@@ -1,0 +1,90 @@
+"""E10 — ablations of the evaluator's design choices (DESIGN.md §3).
+
+The reproduction's evaluation algorithm makes two optimizations beyond
+the plain construction; both are invisible semantically (exactness is
+asserted in the test-suite) and this experiment quantifies their effect:
+
+* **structural cache** — when every predicate is label-only, subtrees
+  with identical shape share one signature distribution.  On a workload
+  of k identical departments the evaluator then does one department's
+  work; with distinct names the cache degrades gracefully.
+* **state canonicalization** — dropping spine positions that no future
+  transition inspects shrinks the automaton state space, and with it the
+  number of counter slots carried per signature.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.aggregates.minmax import rewrite
+from repro.core.compiler import Registry
+from repro.core.constraints import constraints_formula
+from repro.core.evaluator import Evaluation
+from repro.workloads.university import figure1_constraints, scaled_university
+
+CONDITION = rewrite(constraints_formula(figure1_constraints()))
+
+
+@pytest.mark.parametrize("use_cache", [False, True])
+def test_bench_structural_cache(benchmark, use_cache, report):
+    pdoc = scaled_university(departments=8, members=3, students=1, anonymous=True)
+    registry = Registry([CONDITION])
+    benchmark.group = "E10-cache"
+
+    def run():
+        evaluation = Evaluation(registry, pdoc, use_cache=use_cache)
+        return evaluation, evaluation.run()[0]
+
+    evaluation, value = benchmark(run)
+    assert 0 < value < 1
+    report(
+        f"E10 cache={'on ' if use_cache else 'off'} (8 identical departments)  "
+        f"hits={evaluation.cache_hits}"
+    )
+
+
+def test_cache_equivalence(benchmark, report):
+    pdoc = scaled_university(departments=4, members=2, students=1, anonymous=True)
+    registry = Registry([CONDITION])
+
+    def run():
+        cached = Evaluation(registry, pdoc, use_cache=True).run()[0]
+        plain = Evaluation(registry, pdoc, use_cache=False).run()[0]
+        assert cached == plain
+        return cached
+
+    value = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(f"E10 cache on/off agree exactly: Pr ≈ {float(value):.6f}")
+
+
+@pytest.mark.parametrize("canonicalize", [False, True])
+def test_bench_canonicalization(benchmark, canonicalize, report):
+    pdoc = scaled_university(departments=4, members=3, students=1)
+    registry = Registry([CONDITION], canonicalize=canonicalize)
+    benchmark.group = "E10-canonicalization"
+    value = benchmark(lambda: Evaluation(registry, pdoc).run()[0])
+    assert 0 < value < 1
+    report(
+        f"E10 canonicalize={'on ' if canonicalize else 'off'}  "
+        f"counter slots={registry.count_len}"
+    )
+
+
+def test_canonicalization_equivalence(benchmark, report):
+    pdoc = scaled_university(departments=2, members=2, students=1)
+    fast = Registry([CONDITION], canonicalize=True)
+    slow = Registry([CONDITION], canonicalize=False)
+
+    def run():
+        a = Evaluation(fast, pdoc).run()[0]
+        b = Evaluation(slow, pdoc).run()[0]
+        assert a == b
+        return a
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        f"E10 canonicalization on/off agree; slots {fast.count_len} vs {slow.count_len}"
+    )

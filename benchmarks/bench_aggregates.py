@@ -1,0 +1,92 @@
+"""E5 — Theorem 7.1: MIN, MAX and RATIO stay tractable.
+
+Claims regenerated:
+
+* exactness — MIN/MAX (via the CNT rewriting) and RATIO (native automaton
+  support) agree with the exponential baseline on small numeric workloads;
+* shape — evaluation cost over AF^{CNT,MAX,MIN,RATIO} constraints grows
+  polynomially with the workload width, far past the baseline's reach.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.aggregates.ratio import at_least_fraction
+from repro.baseline.naive import naive_probability
+from repro.core.evaluator import probability
+from repro.core.formulas import (
+    CountAtom,
+    MaxAtom,
+    MinAtom,
+    SFormula,
+    conjunction,
+)
+from repro.workloads.synthetic import numeric_pdocument
+from repro.workloads.university import scaled_university
+from repro.xmltree.parser import parse_selector
+
+
+def sel(text: str) -> SFormula:
+    pattern, node = parse_selector(text)
+    return SFormula(pattern, node)
+
+
+ALL_NODES = [sel("$*"), sel("*//$*")]
+
+
+def minmax_formula():
+    return conjunction(
+        [
+            MaxAtom(ALL_NODES, "<=", 8),
+            MinAtom(ALL_NODES, ">=", 2),
+        ]
+    )
+
+
+def test_minmax_exact_against_baseline(benchmark, report):
+    pdoc = numeric_pdocument(width=8, value_range=10, seed=5)
+    formula = minmax_formula()
+    expected = benchmark.pedantic(
+        lambda: naive_probability(pdoc, formula), rounds=1, iterations=1
+    )
+    assert probability(pdoc, formula) == expected
+    report(f"E5  MIN/MAX agree with enumeration: Pr = {float(expected):.6f}")
+
+
+@pytest.mark.parametrize("width", [8, 16, 32, 64])
+def test_bench_minmax_scaling(benchmark, width, report):
+    pdoc = numeric_pdocument(width=width, value_range=10, seed=width)
+    formula = minmax_formula()
+    benchmark.group = "E5-minmax"
+    value = benchmark(lambda: probability(pdoc, formula))
+    assert 0 <= value <= 1
+    report(f"E5  MIN/MAX width={width:>3}  Pr ≈ {float(value):.6f}")
+
+
+@pytest.mark.parametrize("members", [2, 4, 8])
+def test_bench_ratio_scaling(benchmark, members, report):
+    """The paper's motivating RATIO constraint: at least 40% of the members
+    (in each random document) are full professors."""
+    pdoc = scaled_university(departments=2, members=members, students=0)
+    member_sel = sel("*//$member")
+    is_full = CountAtom([sel("$*[position/'full professor']")], ">=", 1)
+    formula = at_least_fraction(member_sel, is_full, Fraction(2, 5))
+    benchmark.group = "E5-ratio"
+    value = benchmark(lambda: probability(pdoc, formula))
+    assert 0 < value < 1
+    report(f"E5  RATIO members={members}  Pr(≥40% full) ≈ {float(value):.6f}")
+
+
+def test_ratio_exact_against_baseline(benchmark, report):
+    pdoc = scaled_university(departments=1, members=2, students=0)
+    member_sel = sel("*//$member")
+    is_full = CountAtom([sel("$*[position/'full professor']")], ">=", 1)
+    formula = at_least_fraction(member_sel, is_full, Fraction(2, 5))
+    expected = benchmark.pedantic(
+        lambda: naive_probability(pdoc, formula), rounds=1, iterations=1
+    )
+    assert probability(pdoc, formula) == expected
+    report(f"E5  RATIO agrees with enumeration: Pr = {float(expected):.6f}")

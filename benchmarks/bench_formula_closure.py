@@ -1,0 +1,71 @@
+"""E9 — Section 5.1: closure of c-formulae under ∧, ¬ and ∨.
+
+The closure constructions (congruent / anti-congruent round trips) are
+what make the whole framework compose: constraints become c-formulae,
+negation enables SNC, disjunction enables the MIN/MAX ≠ cases.  Claims
+regenerated:
+
+* semantic correctness — Pr(¬γ) = 1 − Pr(γ), Pr(γ ∨ δ) by
+  inclusion-exclusion, double negation is exact (all verified on random
+  formulae against the evaluator itself and the baseline);
+* cost shape — each negation wraps the formula one level deeper (the
+  trivial-pattern construction), so k-fold negation grows the evaluation
+  cost roughly linearly in k, not exponentially.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.baseline.naive import naive_probability
+from repro.core.evaluator import probabilities, probability
+from repro.core.formulas import conjunction, disjunction, negation
+from repro.workloads.random_gen import random_formula, random_pdocument
+from repro.workloads.university import figure1_constraints, scaled_university
+from repro.core.constraints import constraints_formula
+
+
+def test_closure_laws_on_random_formulae(benchmark, report):
+    rng = random.Random(20)
+
+    def run():
+        checked = 0
+        for _ in range(15):
+            pdoc = random_pdocument(rng)
+            f = random_formula(rng)
+            g = random_formula(rng)
+            pf, pg, pnf, pnnf, pand, por = probabilities(
+                pdoc,
+                [
+                    f,
+                    g,
+                    negation(f),
+                    negation(negation(f)),
+                    conjunction([f, g]),
+                    disjunction([f, g]),
+                ],
+            )
+            assert pnf == 1 - pf
+            assert pnnf == pf
+            assert pand + por == pf + pg
+            assert naive_probability(pdoc, disjunction([f, g])) == por
+            checked += 1
+        return checked
+
+    count = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(f"E9  closure laws hold exactly on {count} random formula pairs")
+
+
+@pytest.mark.parametrize("depth", [0, 1, 2, 4])
+def test_bench_negation_depth(benchmark, depth, report):
+    pdoc = scaled_university(departments=1, members=2, students=1)
+    formula = constraints_formula(figure1_constraints())
+    for _ in range(depth * 2):  # even number: semantics unchanged
+        formula = negation(formula)
+    benchmark.group = "E9-negation-depth"
+    value = benchmark(lambda: probability(pdoc, formula))
+    report(f"E9  ¬^{depth * 2} wrapping  Pr ≈ {float(value):.6f}")
+    base = probability(pdoc, constraints_formula(figure1_constraints()))
+    assert value == base

@@ -1,0 +1,152 @@
+"""E8 — Section 7.4: probabilistic constraints under SNC and WNC.
+
+Claims regenerated:
+
+* the paper's worked example — "≥ 1 Ph.D. student" w.p. 0.7 and "≤ 15"
+  w.p. 0.9 — is ill-defined under SNC (the 0.03-weight component imposes
+  both negations, which is unsatisfiable) but well-defined under WNC;
+* query evaluation under both semantics is exact (validated against a
+  hand-expanded mixture);
+* cost grows with 2^k mixture components (k = number of probabilistic
+  constraints — fixed, hence constant per the paper's complexity model).
+"""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.core.evaluator import probability
+from repro.core.formulas import CountAtom, SFormula, conjunction, negation
+from repro.core.probconstraints import (
+    SNC,
+    WNC,
+    ProbabilisticConstraint,
+    ProbabilisticPXDB,
+)
+from repro.pdoc.pdocument import pdocument
+from repro.xmltree.parser import parse_selector
+
+
+def sel(text: str) -> SFormula:
+    pattern, node = parse_selector(text)
+    return SFormula(pattern, node)
+
+
+def professor_pdoc(width: int = 4):
+    pd, root = pdocument("professor")
+    ind = root.ind()
+    for _ in range(width):
+        ind.add_edge("student", Fraction(1, 2))
+    pd.validate()
+    return pd
+
+
+def count_students(op: str, bound: int) -> CountAtom:
+    return CountAtom([sel("professor/$student")], op, bound)
+
+
+def paper_example_constraints(width: int):
+    """Ph.D. supervision: >= 1 student w.p. 0.7; <= `width` w.p. 0.9
+    (the paper uses 15; the bound is saturated to the workload width so
+    its negation is genuinely unsatisfiable, as in the paper)."""
+    return [
+        ProbabilisticConstraint(count_students(">=", 1), Fraction(7, 10), name="≥1"),
+        ProbabilisticConstraint(count_students("<=", width), Fraction(9, 10), name="≤N"),
+    ]
+
+
+def test_paper_example_snc_vs_wnc(benchmark, report):
+    pdoc = professor_pdoc()
+    constraints = paper_example_constraints(width=4)
+
+    def run():
+        snc = ProbabilisticPXDB(pdoc, constraints, SNC)
+        wnc = ProbabilisticPXDB(pdoc, constraints, WNC)
+        return snc.is_well_defined(), wnc.is_well_defined()
+
+    snc_ok, wnc_ok = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert not snc_ok and wnc_ok
+    report(
+        "E8  paper example (0.7 / 0.9): SNC ill-defined "
+        "(0.03-weight component unsatisfiable), WNC well-defined"
+    )
+
+
+def test_wnc_query_matches_hand_expansion(benchmark, report):
+    pdoc = professor_pdoc(width=3)
+    c = count_students(">=", 2)
+    p = Fraction(4, 5)
+    space = ProbabilisticPXDB(pdoc, [ProbabilisticConstraint(c, p)], WNC)
+    event = count_students("=", 3)
+
+    def hand():
+        p_joint = probability(pdoc, conjunction([c, event]))
+        p_c = probability(pdoc, c)
+        p_event = probability(pdoc, event)
+        return p * p_joint / p_c + (1 - p) * p_event
+
+    expected = benchmark.pedantic(hand, rounds=1, iterations=1)
+    assert space.event_probability(event) == expected
+    report(f"E8  WNC query matches hand expansion: Pr = {float(expected):.6f}")
+
+
+def test_snc_query_matches_hand_expansion(benchmark, report):
+    pdoc = professor_pdoc(width=3)
+    c = count_students(">=", 2)
+    p = Fraction(4, 5)
+    space = ProbabilisticPXDB(pdoc, [ProbabilisticConstraint(c, p)], SNC)
+    event = count_students(">=", 1)
+
+    def hand():
+        not_c = negation(c)
+        return p * probability(pdoc, conjunction([c, event])) / probability(
+            pdoc, c
+        ) + (1 - p) * probability(pdoc, conjunction([not_c, event])) / probability(
+            pdoc, not_c
+        )
+
+    expected = benchmark.pedantic(hand, rounds=1, iterations=1)
+    assert space.event_probability(event) == expected
+    report(f"E8  SNC query matches hand expansion: Pr = {float(expected):.6f}")
+
+
+@pytest.mark.parametrize("k", [1, 2, 3, 4])
+def test_bench_mixture_scaling(benchmark, k, report):
+    """2^k components: the cost of WNC evaluation versus k."""
+    pdoc = professor_pdoc(width=4)
+    constraints = [
+        ProbabilisticConstraint(count_students(">=", i + 1), Fraction(1, 2))
+        for i in range(k)
+    ]
+    space = ProbabilisticPXDB(pdoc, constraints, WNC)
+    event = count_students(">=", 1)
+    benchmark.group = "E8-mixture"
+    value = benchmark(lambda: space.event_probability(event))
+    assert 0 < value <= 1
+    report(f"E8  WNC k={k} (2^{k} components)  Pr ≈ {float(value):.6f}")
+
+
+def test_sampling_mixture(benchmark, report):
+    from repro.core.formulas import DocumentEvaluator
+
+    pdoc = professor_pdoc(width=2)
+    c = count_students(">=", 1)
+    space = ProbabilisticPXDB(pdoc, [ProbabilisticConstraint(c, Fraction(3, 4))], WNC)
+    target = float(space.event_probability(c))
+    rng = random.Random(11)
+    n = 1200
+
+    def draw_all():
+        hits = 0
+        for _ in range(n):
+            document = space.sample(rng)
+            if DocumentEvaluator().satisfies(document.root, c):
+                hits += 1
+        return hits
+
+    hits = benchmark.pedantic(draw_all, rounds=1, iterations=1)
+    report(f"E8  WNC sampling: empirical {hits / n:.4f} vs exact {target:.4f}")
+    assert abs(hits / n - target) < 0.05

@@ -1,0 +1,121 @@
+"""E4 — SAMPLE⟨C⟩ (Figure 3 / Theorems 6.1-6.2).
+
+Claims regenerated:
+
+* **correctness** (Thm 6.2) — the sampler's empirical distribution matches
+  the exact conditional distribution Pr(D = d) (total-variation check);
+* **efficiency** (Thm 6.1) — per-sample cost is polynomial and, crucially,
+  *independent of Pr(P ⊨ C)*, whereas the rejection baseline's expected
+  attempt count is 1/Pr(P ⊨ C) and blows up as constraints get tighter.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from collections import Counter
+from fractions import Fraction
+
+import pytest
+
+from repro.baseline.naive import conditional_world_distribution
+from repro.baseline.rejection import RejectionBudgetExceeded, rejection_sample
+from repro.core.constraints import constraints_formula
+from repro.core.evaluator import probability
+from repro.core.formulas import CountAtom, SFormula
+from repro.core.sampler import sample
+from repro.workloads.synthetic import star_pdocument
+from repro.workloads.university import figure1_constraints, figure1_pdocument
+from repro.xmltree.parser import parse_selector
+
+CONDITION = constraints_formula(figure1_constraints())
+
+
+def sel(text: str) -> SFormula:
+    pattern, node = parse_selector(text)
+    return SFormula(pattern, node)
+
+
+def test_sampler_distribution_correct(benchmark, report):
+    """2000 samples against the exact conditional distribution of the
+    Figure 1 PXDB: support containment, a chi-square goodness-of-fit test
+    (tail worlds binned so every expected count is >= 5), and the TV
+    distance reported against its statistical noise floor."""
+    import math
+
+    from scipy import stats
+
+    pdoc = figure1_pdocument()
+    exact = conditional_world_distribution(pdoc, CONDITION)
+    rng = random.Random(42)
+    n = 700
+
+    def draw_all():
+        return Counter(sample(pdoc, CONDITION, rng).uid_set() for _ in range(n))
+
+    counts = benchmark.pedantic(draw_all, rounds=1, iterations=1)
+    assert set(counts) <= set(exact)
+
+    observed, expected = [], []
+    tail_obs, tail_exp = 0, 0.0
+    for world, p in sorted(exact.items(), key=lambda kv: -kv[1]):
+        e = float(p) * n
+        if e >= 5:
+            observed.append(counts.get(world, 0))
+            expected.append(e)
+        else:
+            tail_obs += counts.get(world, 0)
+            tail_exp += e
+    if tail_exp > 0:
+        observed.append(tail_obs)
+        expected.append(tail_exp)
+    _, p_value = stats.chisquare(observed, expected)
+    tv = sum(abs(counts.get(w, 0) / n - float(p)) for w, p in exact.items()) / 2
+    noise_floor = math.sqrt(len(exact) / (2 * math.pi * n))
+    report(
+        f"E4  sampler over {n} samples: TV={tv:.4f} "
+        f"(noise floor ≈ {noise_floor:.4f}, worlds={len(exact)}), "
+        f"chi-square p={p_value:.3f}"
+    )
+    assert p_value > 1e-4, f"sampler distribution rejected (p={p_value})"
+    assert tv < 3 * noise_floor
+
+
+@pytest.mark.parametrize("required", [1, 6, 9, 11])
+def test_bench_sampler_vs_rejection(benchmark, required, report):
+    """Constraint hardness sweep: require >= `required` of 12 rare leaves.
+    Figure-3 sampling cost stays flat; rejection attempts explode."""
+    pdoc = star_pdocument(width=12, prob=Fraction(1, 4))
+    condition = CountAtom([sel("root/$a")], ">=", required)
+    p_c = probability(pdoc, condition)
+    rng = random.Random(required)
+    benchmark.group = "E4-sampler"
+    benchmark(lambda: sample(pdoc, condition, rng))
+
+    attempts = None
+    start = time.perf_counter()
+    try:
+        _, attempts = rejection_sample(pdoc, condition, rng, max_attempts=20000)
+        rejection_note = f"attempts={attempts}"
+    except RejectionBudgetExceeded:
+        rejection_note = "attempts>20000 (budget exceeded)"
+    rejection_time = time.perf_counter() - start
+    report(
+        f"E4  required={required:>2}  Pr(P |= C)={float(p_c):.2e}  "
+        f"figure-3 OK; rejection {rejection_note} ({rejection_time:.2f}s)"
+    )
+    if required >= 9:
+        expected_attempts = 1 / float(p_c)
+        assert attempts is None or attempts > 50, (
+            f"rejection should struggle at Pr={float(p_c):.1e} "
+            f"(expected ~{expected_attempts:.0f} attempts)"
+        )
+
+
+def test_bench_sampler_scaling(benchmark, report):
+    """Per-sample cost on the Figure 1 PXDB (13 distributional edges)."""
+    pdoc = figure1_pdocument()
+    rng = random.Random(3)
+    benchmark.group = "E4-sampler"
+    document = benchmark(lambda: sample(pdoc, CONDITION, rng))
+    assert document.root.label == "university"

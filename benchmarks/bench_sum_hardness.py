@@ -1,0 +1,102 @@
+"""E6 — Proposition 7.2: SUM/AVG positivity is NP-complete.
+
+Claims regenerated:
+
+* the Subset-Sum reduction is faithful: Pr(P ⊨ ξ_Σall) > 0 iff the
+  instance is solvable (checked on random instances against a direct
+  subset-sum solver);
+* the generic decision route (world enumeration) doubles its cost per
+  item — the exponential wall the proposition predicts;
+* the pseudo-polynomial DP (polynomial in the item *magnitudes*) stays
+  fast on small-magnitude instances — and is no contradiction, because
+  NP-hard instances carry exponentially large values.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+import pytest
+
+from repro.aggregates.hardness import (
+    decide_by_dp,
+    decide_by_enumeration,
+    reduction,
+    solving_subsets,
+)
+from repro.aggregates.sumavg import sum_formula_probability, xi_avg_all
+from repro.baseline.naive import naive_probability
+
+
+def random_instance(rng: random.Random, size: int, magnitude: int = 15):
+    items = [rng.randint(1, magnitude) for _ in range(size)]
+    target = rng.randint(0, sum(items))
+    return items, target
+
+
+def test_reduction_faithful(benchmark, report):
+    rng = random.Random(7)
+
+    def check_many():
+        agreements = 0
+        for _ in range(20):
+            items, target = random_instance(rng, size=7)
+            pdoc, formula = reduction(items, target)
+            positive = naive_probability(pdoc, formula) > 0
+            assert positive == bool(solving_subsets(items, target))
+            assert positive == decide_by_dp(items, target)
+            agreements += 1
+        return agreements
+
+    count = benchmark.pedantic(check_many, rounds=1, iterations=1)
+    report(f"E6  Subset-Sum reduction faithful on {count} random instances")
+
+
+@pytest.mark.parametrize("size", [6, 8, 10, 12])
+def test_bench_enumeration_wall(benchmark, size, report):
+    rng = random.Random(size)
+    items, target = random_instance(rng, size=size)
+    benchmark.group = "E6-enumeration"
+    value = benchmark.pedantic(
+        lambda: decide_by_enumeration(items, target), rounds=1, iterations=1
+    )
+    report(f"E6  enumeration n={size:>2}  worlds=2^{size}  solvable={value}")
+
+
+@pytest.mark.parametrize("size", [10, 50, 200])
+def test_bench_pseudo_poly_dp(benchmark, size, report):
+    rng = random.Random(size)
+    items, target = random_instance(rng, size=size, magnitude=20)
+    benchmark.group = "E6-dp"
+    value = benchmark(lambda: decide_by_dp(items, target))
+    report(f"E6  pseudo-poly DP n={size:>3}  solvable={value}")
+
+
+def test_exponential_growth_shape(benchmark, report):
+    """Enumeration cost must grow superlinearly (≈2× per item)."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rng = random.Random(1)
+    times = []
+    sizes = [8, 10, 12]
+    for size in sizes:
+        items, target = random_instance(rng, size=size)
+        start = time.perf_counter()
+        decide_by_enumeration(items, target)
+        times.append(time.perf_counter() - start)
+    growth = times[-1] / max(times[0], 1e-9)
+    report(f"E6  enumeration growth from n=8 to n=12: ×{growth:.1f} (≈2^4 = 16 expected)")
+    assert growth > 4, f"expected exponential growth, got ×{growth:.1f}"
+
+
+def test_avg_variant(benchmark, report):
+    """ξ_avg-all: the AVG variant of Proposition 7.2 behaves identically."""
+    rng = random.Random(2)
+    items, target = random_instance(rng, size=6)
+    pdoc, _ = reduction(items, target)
+    formula = xi_avg_all(target)
+    value = benchmark.pedantic(
+        lambda: sum_formula_probability(pdoc, formula), rounds=1, iterations=1
+    )
+    assert value == naive_probability(pdoc, formula)
+    report(f"E6  AVG variant agrees with enumeration (Pr = {float(value):.4f})")

@@ -1,0 +1,47 @@
+"""Benchmark-suite configuration.
+
+Every module here regenerates one experiment of DESIGN.md's index
+(E1-E10), asserting the qualitative *shape* the paper claims (exactness,
+polynomial vs. exponential growth, who wins where) while pytest-benchmark
+records the timings.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Each test receives the ``report`` fixture to emit human-readable result
+rows; they are printed in the terminal summary and appended to
+``benchmarks/last_experiment_rows.txt`` (the source for EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+_ROWS: list[str] = []
+_ROWS_FILE = Path(__file__).parent / "last_experiment_rows.txt"
+
+
+@pytest.fixture(scope="session")
+def report():
+    """Collect human-readable experiment rows (printed at session end)."""
+
+    def emit(line: str) -> None:
+        _ROWS.append(line)
+
+    return emit
+
+
+def pytest_sessionstart(session):
+    _ROWS.clear()
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _ROWS:
+        return
+    rows = sorted(_ROWS)
+    terminalreporter.write_line("")
+    terminalreporter.write_line("=== reproduced experiment rows ===")
+    for row in rows:
+        terminalreporter.write_line(row)
+    _ROWS_FILE.write_text("\n".join(rows) + "\n")

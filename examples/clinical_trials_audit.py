@@ -1,0 +1,111 @@
+"""Aggregate constraints on uncertain medical data (Sections 7.2 and 7.4).
+
+The paper's introduction motivates probabilistic XML with medical
+information "based on statistics and (imprecise) examinations".  This
+example models a clinic's screen-scraped trial registry: each trial's
+cohorts and lab readings were extracted with some confidence, and
+published statistics supply aggregate constraints:
+
+* a CNT constraint   — every trial has at least one cohort;
+* a MAX constraint   — no lab reading exceeds the assay's ceiling of 100;
+* a RATIO constraint — at least half of the trials carry an audit marker;
+* a probabilistic constraint under WNC — with probability 0.9, every
+  audited trial has at least two cohorts.
+
+Run:  python examples/clinical_trials_audit.py
+"""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+
+from repro import (
+    PXDB,
+    CountAtom,
+    MaxAtom,
+    ProbabilisticConstraint,
+    ProbabilisticPXDB,
+    SFormula,
+    WNC,
+    always,
+    parse_selector,
+    pdocument,
+)
+from repro.aggregates.ratio import at_least_fraction
+from repro.pdoc.pdocument import PNode
+
+
+def sel(text: str) -> SFormula:
+    pattern, node = parse_selector(text)
+    return SFormula(pattern, node)
+
+
+def build_registry():
+    """registry -> 4 trials, each with two uncertain cohorts (each cohort
+    holding two uncertain numeric lab readings) and an uncertain audit
+    marker."""
+    rng = random.Random(7)
+    pd, root = pdocument("registry")
+    for index in range(4):
+        trial = root.ordinary("trial")
+        trial.ordinary("name").ordinary(f"trial-{index}")
+        parts = trial.ind()
+        for _ in range(2):
+            cohort = PNode("ord", "cohort")
+            readings = cohort.ind()
+            for _ in range(2):
+                readings.add_edge(rng.randint(40, 95), Fraction(4, 5))
+            parts.add_edge(cohort, Fraction(3, 4))
+        parts.add_edge("audited", Fraction(3, 5))
+    pd.validate()
+    return pd
+
+
+def main() -> None:
+    pdoc = build_registry()
+
+    # CNT (Definition 2.2): every trial has at least one cohort.
+    c_cohort = always(
+        sel("registry/$trial"), sel("*/$cohort"), ">=", 1, name="trial-has-cohort"
+    )
+
+    # MAX (Theorem 7.1): no reading anywhere exceeds the assay ceiling.
+    c_ceiling = MaxAtom([sel("$*"), sel("*//$*")], "<=", 100)
+
+    # RATIO (Theorem 7.1): at least half of the trials are audited.
+    is_audited = CountAtom([sel("*/$audited")], ">=", 1)
+    c_ratio = at_least_fraction(sel("registry/$trial"), is_audited, Fraction(1, 2))
+
+    db = PXDB(pdoc, [c_cohort, c_ceiling, c_ratio])
+    p_c = db.constraint_probability()
+    print(f"Pr(P |= C)  = {p_c} ≈ {float(p_c):.4f}")
+
+    print("\nconditional probability that each trial is audited:")
+    table = db.query_labels("registry/trial/name/$*")
+    audited_table = db.query("registry/$1:trial/$2:audited")
+    for (trial_uid, _), prob in sorted(audited_table.items()):
+        name_node = pdoc.node_by_uid(trial_uid).children[0].children[0]
+        print(f"  {name_node.label}: ≈ {float(prob):.4f}")
+
+    # Probabilistic constraint under WNC (Section 7.4).
+    strict_audit = ProbabilisticConstraint(
+        always(sel("*//$trial[audited]"), sel("*/$cohort"), ">=", 2),
+        Fraction(9, 10),
+        name="audited-trials-fully-enrolled",
+    )
+    space = ProbabilisticPXDB(pdoc, [strict_audit], WNC)
+    print("\nWNC space well-defined?", space.is_well_defined())
+    event = CountAtom([sel("*//$cohort")], ">=", 6)
+    print("Pr(>= 6 cohorts overall under WNC) ≈",
+          f"{float(space.event_probability(event)):.4f}")
+
+    rng = random.Random(3)
+    document = space.sample(rng)
+    cohorts = sum(1 for n in document.nodes() if n.label == "cohort")
+    audited = sum(1 for n in document.nodes() if n.label == "audited")
+    print(f"one WNC sample: {cohorts} cohorts, {audited} audited trials")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,99 @@
+"""Data-quality triage for screen-scraped data — the full pipeline.
+
+The paper's motivating scenario, end to end:
+
+1. simulate a screen-scraper over a ground-truth real-estate listing
+   (per-node confidences, OCR-style label ambiguity, spurious nodes);
+2. state domain knowledge as constraints ("every flat lists a price",
+   "a listing never shows the same flat twice", ...);
+3. diagnose: is the constrained space well-defined?  Which constraints
+   would the most likely raw world violate?
+4. repair probabilistically: the PXDB conditions the scraper's output on
+   the constraints; compare how the *true* world ranks before and after,
+   and read off cleaned per-answer probabilities and expected counts;
+5. show the k most probable cleaned documents.
+
+Run:  python examples/data_quality_report.py
+"""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+
+from repro import (
+    PXDB,
+    expected_count,
+    explain_violations,
+    selector,
+    templates,
+    top_k_worlds,
+)
+from repro.pdoc.enumerate import world_distribution, world_probability
+from repro.workloads.scraping import ScrapeModel, scrape, truth_world
+from repro.xmltree.document import Document, doc
+from repro.xmltree.serialize import document_to_xml
+
+
+def ground_truth() -> Document:
+    return Document(
+        doc(
+            "listing",
+            doc("flat", doc("rooms", 3), doc("price", 1200)),
+            doc("flat", doc("rooms", 2), doc("price", 900)),
+            doc("agent", doc("name", "Iris")),
+        )
+    )
+
+
+def main() -> None:
+    truth = ground_truth()
+    rng = random.Random(11)
+    model = ScrapeModel(ambiguity=0.3, spurious=0.4, sure_depth=1)
+    pdoc = scrape(truth, model, rng)
+    print(f"scraped p-document: {pdoc}")
+
+    constraints = [
+        templates.at_least("listing/$flat", "*/$price", 1, name="flat-has-price"),
+        templates.at_least("listing/$flat", "*/$rooms", 1, name="flat-has-rooms"),
+        templates.at_most("$listing", "*/$agent", 1, name="single-agent"),
+        templates.unique("listing/$flat", "*/$spurious", name="tolerate-one-glitch"),
+    ]
+    db = PXDB(pdoc, constraints)
+    p_c = db.constraint_probability()
+    print(f"Pr(P |= C) = {p_c} ≈ {float(p_c):.4f}")
+
+    # What would the scraper's most likely raw world violate?
+    raw_best_uids = max(world_distribution(pdoc).items(), key=lambda kv: kv[1])[0]
+    raw_best = pdoc.document_from_uids(raw_best_uids)
+    violations = explain_violations(raw_best, constraints)
+    print(f"\nmost likely RAW world violates {len(violations)} constraint instance(s):")
+    for violation in violations:
+        print("  -", violation.describe())
+
+    # How does conditioning move the true world?
+    world = truth_world(truth, pdoc)
+    prior = world_probability(pdoc, world)
+    posterior = db.document_probability(pdoc.document_from_uids(world))
+    print(f"\ntrue world:  prior Pr = {float(prior):.5f}   "
+          f"conditioned Pr = {float(posterior):.5f}   "
+          f"(lift ×{float(posterior / prior):.2f})")
+
+    # Cleaned per-answer probabilities and expected counts.
+    print("\nconditional price answers:")
+    price_table = db.query_labels("listing/flat/price/$*")
+    for labels, prob in sorted(price_table.items(), key=lambda kv: str(kv[0])):
+        print(f"  price={str(labels[0]):<6} Pr ≈ {float(prob):.4f}")
+    flats = expected_count(selector("listing/$flat"), pdoc, db.condition)
+    print(f"expected #flats | C = {flats} ≈ {float(flats):.3f}")
+
+    print("\ntop-3 cleaned documents:")
+    for document, prob in top_k_worlds(pdoc, 3, db.condition):
+        print(f"  Pr = {float(prob):.4f}")
+        for line in document_to_xml(document, style="tags").splitlines()[:6]:
+            print("   ", line)
+        print("    ...")
+
+
+if __name__ == "__main__":
+    main()

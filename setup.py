@@ -1,0 +1,6 @@
+"""Legacy setup shim: the offline environment lacks `wheel`, so editable
+installs must go through `setup.py develop`; metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

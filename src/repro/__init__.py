@@ -1,0 +1,176 @@
+"""repro — PXDB: Probabilistic XML Databases with Constraints.
+
+A from-scratch Python implementation of *Incorporating Constraints in
+Probabilistic XML* (Cohen, Kimelfeld & Sagiv, PODS 2008): p-documents
+(PrXML^{ind,mux,exp}), the constraint/c-formula language, polynomial-time
+constraint satisfaction and query evaluation, exact conditional sampling,
+aggregate extensions (MIN/MAX/RATIO tractable; SUM/AVG NP-hard), and
+probabilistic constraints under SNC/WNC semantics.
+
+Quickstart::
+
+    from fractions import Fraction
+    from repro import PXDB, parse_constraint, pdocument
+
+    pd, root = pdocument("library")
+    shelf = root.ind()
+    shelf.add_edge("book", Fraction(9, 10))
+    shelf.add_edge("book", Fraction(3, 4))
+    pd.validate()
+
+    c = parse_constraint("forall $library : count(*/$book) >= 1")
+    db = PXDB(pd, [c])
+    print(db.constraint_probability())   # Pr(P |= C)
+    print(db.sample())                   # a random document of the PXDB
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-versus-measured record of every reproduced result.
+"""
+
+from .core import (
+    FALSE,
+    TRUE,
+    AvgAtom,
+    CAnd,
+    CFormula,
+    Constraint,
+    CountAtom,
+    DocumentEvaluator,
+    MaxAtom,
+    MinAtom,
+    PXDB,
+    ProbabilisticConstraint,
+    ProbabilisticPXDB,
+    Query,
+    RatioAtom,
+    SFormula,
+    SNC,
+    SumAtom,
+    WNC,
+    always,
+    boolean_query_probability,
+    conjunction,
+    constraints_formula,
+    disjunction,
+    evaluate_query,
+    exists,
+    implies,
+    negation,
+    not_exists,
+    parse_constraint,
+    parse_constraints,
+    probabilities,
+    probability,
+    sample,
+    satisfies,
+    satisfies_all,
+    select,
+    selector,
+)
+from .core.explain import Violation, explain_violations, why_inconsistent
+from .core.topk import top_k_worlds
+from .core import templates
+from .core.statistics import (
+    count_distribution,
+    count_variance,
+    expected_count,
+    expected_sum,
+    membership_probabilities,
+)
+from .pdoc import (
+    PDocument,
+    PNode,
+    node_probability,
+    pdocument,
+    pdocument_from_xml,
+    pdocument_to_xml,
+    random_instance,
+    world_distribution,
+    world_documents,
+    world_probability,
+)
+from .xmltree import (
+    DocNode,
+    Document,
+    Pattern,
+    PatternNode,
+    doc,
+    document_from_xml,
+    document_to_xml,
+    parse_boolean_pattern,
+    parse_pattern,
+    parse_selector,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AvgAtom",
+    "CAnd",
+    "CFormula",
+    "Constraint",
+    "CountAtom",
+    "DocNode",
+    "Document",
+    "DocumentEvaluator",
+    "FALSE",
+    "MaxAtom",
+    "MinAtom",
+    "PDocument",
+    "PNode",
+    "PXDB",
+    "Pattern",
+    "PatternNode",
+    "ProbabilisticConstraint",
+    "ProbabilisticPXDB",
+    "Query",
+    "RatioAtom",
+    "SFormula",
+    "SNC",
+    "SumAtom",
+    "TRUE",
+    "WNC",
+    "Violation",
+    "always",
+    "count_distribution",
+    "count_variance",
+    "expected_count",
+    "expected_sum",
+    "explain_violations",
+    "membership_probabilities",
+    "why_inconsistent",
+    "templates",
+    "top_k_worlds",
+    "boolean_query_probability",
+    "conjunction",
+    "constraints_formula",
+    "disjunction",
+    "doc",
+    "document_from_xml",
+    "document_to_xml",
+    "evaluate_query",
+    "exists",
+    "implies",
+    "negation",
+    "node_probability",
+    "not_exists",
+    "parse_boolean_pattern",
+    "parse_constraint",
+    "parse_constraints",
+    "parse_pattern",
+    "parse_selector",
+    "pdocument",
+    "pdocument_from_xml",
+    "pdocument_to_xml",
+    "probabilities",
+    "probability",
+    "random_instance",
+    "sample",
+    "satisfies",
+    "satisfies_all",
+    "select",
+    "selector",
+    "world_distribution",
+    "world_documents",
+    "world_probability",
+]

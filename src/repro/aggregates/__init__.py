@@ -1,0 +1,1 @@
+"""Aggregate-function extensions of the constraint language (Section 7.2)."""

@@ -1,0 +1,88 @@
+"""The Subset-Sum reduction behind Proposition 7.2.
+
+Proposition 7.2 states that deciding Pr(P ⊨ ξ_Σall) > 0 (and likewise for
+ξ_avg-all) is NP-complete, by reduction from Subset-Sum.  This module
+builds the reduction's gadget so that the hardness boundary can be
+exercised empirically (experiment E6):
+
+given items a_1, …, a_n and target R, the p-document is a root (with a
+non-numeric label) whose single ``ind`` node carries one numeric leaf a_i
+per item, each with probability 1/2.  A random document retains an
+arbitrary subset of the leaves, so
+
+    Pr(P ⊨ SUM(* ∨ *//*) = R) > 0   ⟺   some subset of the items sums to R.
+
+Every algorithm for SUM positivity therefore decides Subset-Sum.  The
+solvers here make the two regimes of the problem tangible:
+
+* :func:`decide_by_enumeration` — explicit world enumeration, Θ(2ⁿ);
+* :func:`decide_by_dp` — the pseudo-polynomial subset-sum DP, polynomial
+  in n·Σa_i (fast for small magnitudes, useless for the exponentially
+  large values a true NP-hard instance can carry).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Sequence
+
+from ..core.formulas import SumAtom
+from ..pdoc.pdocument import PDocument, pdocument
+from .sumavg import xi_sum_all
+
+
+def subset_sum_pdocument(items: Sequence[int]) -> PDocument:
+    """The reduction gadget: one ind edge of probability 1/2 per item."""
+    if not items:
+        raise ValueError("subset-sum instance needs at least one item")
+    pd, root = pdocument("items")
+    ind = root.ind()
+    for value in items:
+        ind.add_edge(int(value), Fraction(1, 2))
+    pd.validate()
+    return pd
+
+
+def reduction(items: Sequence[int], target: int) -> tuple[PDocument, SumAtom]:
+    """Subset-Sum instance ↦ (P̃, ξ_Σall) with
+    Pr(P ⊨ ξ_Σall) > 0 ⟺ the instance is solvable."""
+    return subset_sum_pdocument(items), xi_sum_all(target)
+
+
+def decide_by_enumeration(items: Sequence[int], target: int) -> bool:
+    """Decide solvability by enumerating all 2ⁿ worlds of the gadget and
+    evaluating the a-formula on each (the generic — exponential — route)."""
+    from ..baseline.naive import naive_probability
+
+    pdoc, formula = reduction(items, target)
+    return naive_probability(pdoc, formula) > 0
+
+
+def decide_by_dp(items: Sequence[int], target: int) -> bool:
+    """Decide solvability with the classic pseudo-polynomial DP over
+    attainable sums.  Note this does not contradict NP-hardness: its cost
+    scales with the *magnitude* of the items, which can be exponential in
+    the instance's bit-length."""
+    sums = {0}
+    for value in items:
+        sums |= {s + int(value) for s in sums}
+        if target in sums:
+            return True
+    return target in sums
+
+
+def solving_subsets(items: Sequence[int], target: int) -> list[tuple[int, ...]]:
+    """All index subsets whose items sum to the target (exponential;
+    ground truth for tests)."""
+    result: list[tuple[int, ...]] = []
+
+    def extend(index: int, chosen: tuple[int, ...], remaining: int) -> None:
+        if index == len(items):
+            if remaining == 0:
+                result.append(chosen)
+            return
+        extend(index + 1, chosen, remaining)
+        extend(index + 1, chosen + (index,), remaining - int(items[index]))
+
+    extend(0, (), int(target))
+    return result

@@ -1,0 +1,140 @@
+"""MIN/MAX aggregate atoms and their reduction to CNT atoms (Theorem 7.1).
+
+The paper extends c-formulae to a-formulae over MIN and MAX (Section 7.2)
+and states that tractability is preserved.  The reason is that comparisons
+of an extremum decompose into counting comparisons over *refined*
+selectors: e.g. ``MAX(σ) > R`` holds iff σ selects some node whose label
+is numeric and > R, i.e. ``CNT(σ↾_{>R}) ≥ 1`` where σ↾ conjoins a
+:class:`~repro.xmltree.predicates.NumericCompare` predicate onto the
+projected node.  The empty-set conventions (MAX(∅) = −∞, MIN(∅) = ∞) fall
+out of the same rewriting.
+
+:func:`rewrite` maps any a-formula of AF^{CNT,MAX,MIN,RATIO} to an
+equivalent formula that uses only CNT and RATIO atoms — the fragment the
+polynomial evaluator executes natively.  Formula sharing (the DAG) is
+preserved, and fully CNT/RATIO formulae come back unchanged (identity),
+so rewriting is idempotent and free for the common case.
+"""
+
+from __future__ import annotations
+
+from .. import ops
+from ..xmltree.predicates import NumericCompare
+from ..core.formulas import (
+    CAnd,
+    CFormula,
+    CountAtom,
+    FALSE,
+    MaxAtom,
+    MinAtom,
+    RatioAtom,
+    SFormula,
+    TRUE,
+    conjunction,
+    disjunction,
+)
+
+
+def rewrite(formula: CFormula) -> CFormula:
+    """Rewrite MIN/MAX atoms into CNT atoms, recursively (including inside
+    α attachments and RATIO inner formulae).  SUM/AVG atoms are left in
+    place — the evaluator rejects them with Proposition 7.2's justification.
+    """
+    memo: dict[int, CFormula] = {}
+
+    def visit(f: CFormula) -> CFormula:
+        cached = memo.get(id(f))
+        if cached is not None:
+            return cached
+        result = _rewrite_one(f, visit)
+        memo[id(f)] = result
+        return result
+
+    return visit(formula)
+
+
+def _rewrite_one(formula: CFormula, visit) -> CFormula:
+    if formula is TRUE or formula is FALSE:
+        return formula
+    if isinstance(formula, CAnd):
+        parts = [visit(p) for p in formula.parts]
+        if all(new is old for new, old in zip(parts, formula.parts)):
+            return formula
+        return conjunction(parts)
+    if isinstance(formula, CountAtom):
+        disjuncts = [_rewrite_sformula(sf, visit) for sf in formula.disjuncts]
+        if all(new is old for new, old in zip(disjuncts, formula.disjuncts)):
+            return formula
+        return CountAtom(disjuncts, formula.op, formula.bound)
+    if isinstance(formula, RatioAtom):
+        disjuncts = [_rewrite_sformula(sf, visit) for sf in formula.disjuncts]
+        inner = visit(formula.inner)
+        if inner is formula.inner and all(
+            new is old for new, old in zip(disjuncts, formula.disjuncts)
+        ):
+            return formula
+        return RatioAtom(disjuncts, inner, formula.op, formula.bound)
+    if isinstance(formula, (MinAtom, MaxAtom)):
+        return _rewrite_extremum(formula, visit)
+    return formula  # SUM/AVG atoms pass through; the evaluator rejects them
+
+
+def _rewrite_sformula(sformula: SFormula, visit) -> SFormula:
+    new_alpha = {key: visit(value) for key, value in sformula.alpha.items()}
+    if all(new_alpha[key] is sformula.alpha[key] for key in new_alpha):
+        return sformula
+    return SFormula(sformula.pattern, sformula.projected, new_alpha)
+
+
+def _refined(atom: MinAtom | MaxAtom, op: str, visit) -> list[SFormula]:
+    """Clone the atom's selectors, conjoining ``numeric op bound`` onto the
+    projected node (and rewriting any α attachments along the way)."""
+    predicate = NumericCompare(op, atom.bound)
+    return [
+        _rewrite_sformula(sf, visit).clone(refine_projected=predicate)
+        for sf in atom.disjuncts
+    ]
+
+
+def _rewrite_extremum(atom: MinAtom | MaxAtom, visit) -> CFormula:
+    is_max = isinstance(atom, MaxAtom)
+    # "strict" / "weak": selectors refined with > , >= for MAX (<, <= for MIN).
+    strict_op = ops.GT if is_max else ops.LT
+    weak_op = ops.GE if is_max else ops.LE
+
+    def some(selectors: list[SFormula]) -> CFormula:
+        return CountAtom(selectors, ops.GE, 1)
+
+    def none(selectors: list[SFormula]) -> CFormula:
+        return CountAtom(selectors, ops.EQ, 0)
+
+    op = atom.op
+    # Normalize MIN comparisons to the mirrored MAX logic by swapping the
+    # direction of the comparison operator.
+    if not is_max:
+        op = {ops.LT: ops.GT, ops.LE: ops.GE, ops.GT: ops.LT, ops.GE: ops.LE}.get(op, op)
+
+    # After normalization, read 'op' as a comparison of MAX (resp. the
+    # mirrored MIN): e.g. op == GT means MAX > R, or MIN < R.
+    if op == ops.GT:
+        return some(_refined(atom, strict_op, visit))
+    if op == ops.GE:
+        return some(_refined(atom, weak_op, visit))
+    if op == ops.LE:
+        return none(_refined(atom, strict_op, visit))
+    if op == ops.LT:
+        return none(_refined(atom, weak_op, visit))
+    if op == ops.EQ:
+        return conjunction(
+            [
+                none(_refined(atom, strict_op, visit)),
+                some(_refined(atom, ops.EQ, visit)),
+            ]
+        )
+    # op == NE: the negation of the EQ case.
+    return disjunction(
+        [
+            some(_refined(atom, strict_op, visit)),
+            none(_refined(atom, ops.EQ, visit)),
+        ]
+    )

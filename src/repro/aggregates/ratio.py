@@ -1,0 +1,61 @@
+"""Convenience constructors for RATIO constraints (Section 7.2).
+
+RATIO is supported *natively* by the polynomial evaluator (the automaton
+of a RATIO atom carries the exact pair (accepted-and-γ, accepted); see
+``repro.core.compiler``), so this module only provides ergonomic builders
+for the common shapes the paper motivates, e.g. "at least 40% of all
+professors (in each department) have an active grant".
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterable
+
+from ..core.formulas import (
+    CFormula,
+    CountAtom,
+    RatioAtom,
+    SFormula,
+    exists,
+    not_exists,
+)
+
+
+def ratio_atom(
+    selectors: SFormula | Iterable[SFormula],
+    inner: CFormula,
+    op: str,
+    bound,
+) -> RatioAtom:
+    """RATIO(σ1 ∨ … ∨ σk, γ) θ R."""
+    if isinstance(selectors, SFormula):
+        selectors = [selectors]
+    return RatioAtom(selectors, inner, op, Fraction(bound))
+
+
+def at_least_fraction(
+    selectors: SFormula | Iterable[SFormula], inner: CFormula, bound
+) -> RatioAtom:
+    """"At least ``bound`` of the selected nodes satisfy γ" — e.g. the
+    paper's "at least 40% of all professors have an active grant" with
+    bound = 2/5."""
+    return ratio_atom(selectors, inner, ">=", bound)
+
+
+def at_most_fraction(
+    selectors: SFormula | Iterable[SFormula], inner: CFormula, bound
+) -> RatioAtom:
+    """"At most ``bound`` of the selected nodes satisfy γ"."""
+    return ratio_atom(selectors, inner, "<=", bound)
+
+
+def fraction_with_child(selectors: SFormula | Iterable[SFormula], label, op: str, bound) -> RatioAtom:
+    """Ratio of selected nodes that have a child with the given label —
+    a common idiom ("the fraction of chairs that are full professors")."""
+    from ..xmltree.pattern import pattern
+    from ..xmltree.predicates import LabelEquals
+
+    witness, root = pattern()
+    root.child(LabelEquals(label))
+    return ratio_atom(selectors, exists(witness), op, bound)

@@ -1,0 +1,186 @@
+"""SUM and AVG over p-documents (Section 7.2, the intractable side).
+
+Proposition 7.2: deciding Pr(P ⊨ ξ) > 0 is NP-complete already for the
+a-formulae ξ_Σall (the total of all numeric labels equals R) and ξ_avg-all
+(their average equals R) — so no polynomial algorithm in the style of
+Theorem 5.3 can exist for SUM/AVG unless P = NP, and by the paper's remark
+not even an approximation can (unless NP ⊆ BPP).
+
+What *can* be done, and is provided here:
+
+* :func:`sum_count_distribution` — the exact joint distribution of
+  (Σ numeric labels, #selected nodes) over the whole random document.
+  This is a *pseudo-polynomial* dynamic program: its table is indexed by
+  attainable partial sums, so it is polynomial in the magnitude of the
+  labels but exponential in their bit-length — exactly the loophole
+  Subset-Sum reductions exploit (their labels grow exponentially).
+* :func:`sum_formula_probability` — Pr(P ⊨ agg(* ∨ *//*) θ R) for
+  agg ∈ {SUM, AVG} via that distribution.
+* For *general* SUM/AVG a-formulae, fall back to the exponential baseline
+  (``repro.baseline.naive``), which evaluates Definition 5.2 per world.
+
+AVG needs the joint (sum, count) distribution since AVG = SUM/CNT; note
+that the paper's AVG divides by CNT(U) — the number of *selected* nodes,
+numeric or not — and AVG(∅) = 0.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from .. import ops
+from ..pdoc.pdocument import EXP, IND, MUX, ORD, PDocument, PNode
+from ..xmltree.predicates import is_numeric_label, numeric_value
+from ..core.formulas import AvgAtom, SumAtom
+
+# Joint distribution over (sum, count) pairs of the selected nodes.
+SumCountDist = dict[tuple[Fraction, int], Fraction]
+
+_ZERO: tuple[Fraction, int] = (Fraction(0), 0)
+
+
+def _convolve(left: SumCountDist, right: SumCountDist) -> SumCountDist:
+    result: SumCountDist = {}
+    for (s1, c1), p1 in left.items():
+        for (s2, c2), p2 in right.items():
+            key = (s1 + s2, c1 + c2)
+            result[key] = result.get(key, Fraction(0)) + p1 * p2
+    return result
+
+
+def _mix(parts: list[tuple[Fraction, SumCountDist]]) -> SumCountDist:
+    result: SumCountDist = {}
+    for weight, dist in parts:
+        if weight == 0:
+            continue
+        for key, p in dist.items():
+            result[key] = result.get(key, Fraction(0)) + weight * p
+    return result
+
+
+def sum_count_distribution(pdoc: PDocument) -> SumCountDist:
+    """Joint distribution of (Σ numeric labels, #nodes) over all nodes of a
+    random document of P̃.
+
+    The number of distinct sums is bounded by the number of attainable
+    subset sums — pseudo-polynomial for small integer labels, exponential
+    for adversarial (Subset-Sum) inputs.
+    """
+
+    def forest(node: PNode) -> SumCountDist:
+        if node.kind == ORD:
+            dist: SumCountDist = {_ZERO: Fraction(1)}
+            for child in node.children:
+                dist = _convolve(dist, forest(child))
+            own = (
+                numeric_value(node.label) if is_numeric_label(node.label) else Fraction(0)
+            )
+            return {(s + own, c + 1): p for (s, c), p in dist.items()}
+        if node.kind == IND:
+            dist = {_ZERO: Fraction(1)}
+            for index, child in enumerate(node.children):
+                p = node.probs[index]
+                dist = _convolve(
+                    dist, _mix([(p, forest(child)), (1 - p, {_ZERO: Fraction(1)})])
+                )
+            return dist
+        if node.kind == MUX:
+            total = sum(node.probs, Fraction(0))
+            parts = [(1 - total, {_ZERO: Fraction(1)})]
+            parts += [
+                (node.probs[i], forest(child)) for i, child in enumerate(node.children)
+            ]
+            return _mix(parts)
+        if node.kind == EXP:
+            parts = []
+            for subset, q in node.subsets:
+                dist = {_ZERO: Fraction(1)}
+                for index in sorted(subset):
+                    dist = _convolve(dist, forest(node.children[index]))
+                parts.append((q, dist))
+            return _mix(parts)
+        raise AssertionError(f"unknown node kind {node.kind}")
+
+    return forest(pdoc.root)
+
+
+def sum_formula_probability(pdoc: PDocument, atom: SumAtom | AvgAtom) -> Fraction:
+    """Pr(P ⊨ agg(all nodes) θ R) for the whole-document SUM/AVG formulae
+    ξ_Σall and ξ_avg-all of Proposition 7.2.
+
+    The atom's selectors must be the all-nodes disjunction (* ∨ *//*);
+    general selectors require the exponential baseline.
+    """
+    if not _selects_all_nodes(atom):
+        raise ValueError(
+            "the pseudo-polynomial DP supports only the all-nodes selectors "
+            "(* ∨ *//*); use repro.baseline.naive for general SUM/AVG atoms"
+        )
+    dist = sum_count_distribution(pdoc)
+    result = Fraction(0)
+    for (total, count), p in dist.items():
+        if isinstance(atom, SumAtom):
+            value = total
+        else:
+            value = total / count if count else Fraction(0)
+        if ops.apply(atom.op, value, atom.bound):
+            result += p
+    return result
+
+
+def sum_positive_probability(pdoc: PDocument, target) -> bool:
+    """Decide Pr(P ⊨ ξ_Σall) > 0, i.e. whether some world's total equals
+    ``target`` — the NP-complete decision problem of Proposition 7.2,
+    solved here in pseudo-polynomial time."""
+    target = Fraction(target)
+    return any(
+        total == target and p > 0 for (total, _), p in sum_count_distribution(pdoc).items()
+    )
+
+
+def _selects_all_nodes(atom: SumAtom | AvgAtom) -> bool:
+    """Check the atom's selectors cover exactly {root} ∪ {proper descendants}."""
+    from ..xmltree.pattern import DESC
+    from ..xmltree.predicates import AnyLabel
+
+    shapes = set()
+    for sformula in atom.disjuncts:
+        if not sformula.is_plain():
+            return False
+        pattern = sformula.pattern
+        nodes = list(pattern.nodes())
+        if not all(isinstance(n.predicate, AnyLabel) for n in nodes):
+            return False
+        if len(nodes) == 1 and sformula.projected is pattern.root:
+            shapes.add("root")
+        elif (
+            len(nodes) == 2
+            and nodes[1].axis == DESC
+            and sformula.projected is nodes[1]
+        ):
+            shapes.add("descendants")
+        else:
+            return False
+    return shapes == {"root", "descendants"}
+
+
+def xi_sum_all(target) -> SumAtom:
+    """The a-formula ξ_Σall: SUM(* ∨ *//*) = R (Proposition 7.2)."""
+    return _all_nodes_atom(SumAtom, target)
+
+
+def xi_avg_all(target) -> AvgAtom:
+    """The a-formula ξ_avg-all: AVG(* ∨ *//*) = R (Proposition 7.2)."""
+    return _all_nodes_atom(AvgAtom, target)
+
+
+def _all_nodes_atom(cls, target):
+    from ..core.formulas import SFormula
+    from ..xmltree.pattern import pattern as make_pattern
+
+    root_pattern, root_node = make_pattern()
+    root_selector = SFormula(root_pattern, root_node)
+    desc_pattern, desc_root = make_pattern()
+    descendant = desc_root.descendant()
+    desc_selector = SFormula(desc_pattern, descendant)
+    return cls([root_selector, desc_selector], ops.EQ, Fraction(target))

@@ -1,0 +1,1 @@
+"""Exponential baselines: possible-world evaluation and rejection sampling."""

@@ -1,0 +1,87 @@
+"""Monte-Carlo (additive) approximation of Pr(P ⊨ γ).
+
+The paper's related-work discussion distinguishes exact evaluation
+(possible here thanks to the PXDB design) from approximation (the route
+its companion SIGMOD work takes for more expressive models).  This module
+provides the straightforward sampling estimator as a third reference
+point next to the exact evaluator and the exact-but-exponential
+enumerator:
+
+* unbiased, with Hoeffding additive error ε at confidence 1−δ after
+  n = ln(2/δ) / (2ε²) samples;
+* works for *any* formula with document-level semantics — including the
+  SUM/AVG atoms the exact evaluator must reject (Proposition 7.2 only
+  rules out *relative*-error/positivity guarantees, not additive ones);
+* used by tests as an independent plausibility check on large instances
+  where enumeration is impossible.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from fractions import Fraction
+
+from ..core.formulas import CFormula, DocumentEvaluator
+from ..pdoc.generate import random_instance
+from ..pdoc.pdocument import PDocument
+
+
+def sample_size(epsilon: float, delta: float = 0.05) -> int:
+    """The Hoeffding bound: samples needed for additive error ``epsilon``
+    with confidence 1 − ``delta``."""
+    if not 0 < epsilon < 1 or not 0 < delta < 1:
+        raise ValueError("epsilon and delta must lie in (0, 1)")
+    return math.ceil(math.log(2 / delta) / (2 * epsilon * epsilon))
+
+
+def estimate_probability(
+    pdoc: PDocument,
+    formula: CFormula,
+    samples: int | None = None,
+    epsilon: float = 0.05,
+    delta: float = 0.05,
+    rng: random.Random | None = None,
+) -> Fraction:
+    """Estimate Pr(P ⊨ γ) by sampling random instances.
+
+    Either pass ``samples`` directly or let the Hoeffding bound pick it
+    from (``epsilon``, ``delta``).  Returns hits/samples as a Fraction.
+    """
+    rng = rng if rng is not None else random.Random()
+    n = samples if samples is not None else sample_size(epsilon, delta)
+    hits = 0
+    for _ in range(n):
+        document = random_instance(pdoc, rng)
+        if DocumentEvaluator().satisfies(document.root, formula):
+            hits += 1
+    return Fraction(hits, n)
+
+
+def estimate_conditional_probability(
+    pdoc: PDocument,
+    event: CFormula,
+    condition: CFormula,
+    samples: int = 2000,
+    rng: random.Random | None = None,
+) -> Fraction | None:
+    """Estimate Pr(D ⊨ γ) over the PXDB (P̃, C) by conditioned counting.
+
+    Returns ``None`` when no sample satisfied the condition (the estimator
+    degrades exactly where rejection sampling does — which is the point of
+    the paper's exact algorithms).
+    """
+    rng = rng if rng is not None else random.Random()
+    conditioned = 0
+    hits = 0
+    for _ in range(samples):
+        document = random_instance(pdoc, rng)
+        evaluator = DocumentEvaluator()
+        if not evaluator.satisfies(document.root, condition):
+            continue
+        conditioned += 1
+        if evaluator.satisfies(document.root, event):
+            hits += 1
+    if conditioned == 0:
+        return None
+    return Fraction(hits, conditioned)

@@ -1,0 +1,64 @@
+"""Possible-worlds baseline: exact but exponential evaluation.
+
+Computes Pr(P ⊨ γ) by enumerating *all* worlds of the p-document and
+evaluating γ on each with the document-level semantics of Definition 5.2.
+This is the independent ground truth that the polynomial evaluation
+algorithm (``repro.core.evaluator``) is differentially tested against, and
+the "intractable" side of the scaling experiments (experiment E2 in
+DESIGN.md).  Unlike the polynomial evaluator it also accepts SUM/AVG atoms
+(Proposition 7.2 says no efficient algorithm can).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterable
+
+from ..core.formulas import CFormula, DocumentEvaluator
+from ..pdoc.enumerate import world_distribution
+from ..pdoc.pdocument import PDocument
+
+WorldTruths = list[tuple[frozenset[int], Fraction, tuple[bool, ...]]]
+
+
+def naive_probabilities(pdoc: PDocument, formulas: Iterable[CFormula]) -> list[Fraction]:
+    """Return [Pr(P ⊨ γ) for γ in formulas], by full world enumeration."""
+    formulas = list(formulas)
+    results = [Fraction(0) for _ in formulas]
+    for uids, prob in world_distribution(pdoc).items():
+        if prob == 0:
+            continue
+        document = pdoc.document_from_uids(uids)
+        evaluator = DocumentEvaluator()
+        for index, formula in enumerate(formulas):
+            if evaluator.satisfies(document.root, formula):
+                results[index] += prob
+    return results
+
+
+def naive_probability(pdoc: PDocument, formula: CFormula) -> Fraction:
+    """Pr(P ⊨ γ) by full world enumeration."""
+    return naive_probabilities(pdoc, [formula])[0]
+
+
+def conditional_world_distribution(
+    pdoc: PDocument, condition: CFormula
+) -> dict[frozenset[int], Fraction]:
+    """The distribution of the PXDB (P̃, C): every world satisfying the
+    condition, with probability Pr(P = d | P ⊨ C) (Section 3.2).
+
+    Raises ``ValueError`` when the p-document is not consistent with the
+    condition (Pr(P ⊨ C) = 0), i.e. the PXDB is not well-defined.
+    """
+    satisfying: dict[frozenset[int], Fraction] = {}
+    total = Fraction(0)
+    for uids, prob in world_distribution(pdoc).items():
+        if prob == 0:
+            continue
+        document = pdoc.document_from_uids(uids)
+        if DocumentEvaluator().satisfies(document.root, condition):
+            satisfying[uids] = prob
+            total += prob
+    if total == 0:
+        raise ValueError("the p-document is not consistent with the constraints")
+    return {uids: prob / total for uids, prob in satisfying.items()}

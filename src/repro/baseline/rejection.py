@@ -1,0 +1,44 @@
+"""Rejection-sampling baseline for SAMPLE⟨C⟩.
+
+Draw unconditioned random instances (Section 3.1) and reject those that
+violate the constraints.  Produces exactly the PXDB distribution — but the
+expected number of attempts is 1 / Pr(P ⊨ C), which blows up precisely
+where conditioned sampling is interesting.  Experiment E4 contrasts this
+with the paper's polynomial algorithm (``repro.core.sampler``), whose cost
+is independent of Pr(P ⊨ C).
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..core.formulas import CFormula, DocumentEvaluator
+from ..pdoc.generate import random_instance
+from ..pdoc.pdocument import PDocument
+from ..xmltree.document import Document
+
+
+class RejectionBudgetExceeded(RuntimeError):
+    """Raised when no satisfying instance was found within the budget."""
+
+
+def rejection_sample(
+    pdoc: PDocument,
+    condition: CFormula,
+    rng: random.Random | None = None,
+    max_attempts: int = 1_000_000,
+) -> tuple[Document, int]:
+    """Draw one document of the PXDB (P̃, C); returns (document, attempts).
+
+    Raises :class:`RejectionBudgetExceeded` after ``max_attempts``
+    rejections — with low-probability constraint sets this is the expected
+    outcome, which is the point of the baseline.
+    """
+    rng = rng if rng is not None else random.Random()
+    for attempt in range(1, max_attempts + 1):
+        document = random_instance(pdoc, rng)
+        if DocumentEvaluator().satisfies(document.root, condition):
+            return document, attempt
+    raise RejectionBudgetExceeded(
+        f"no satisfying instance in {max_attempts} attempts"
+    )

@@ -1,0 +1,203 @@
+"""Command-line interface: ``python -m repro <command> …``.
+
+Operates on p-documents serialized in the ProTDB-style XML of
+``repro.pdoc.serialize`` and constraint files in the textual syntax of
+``repro.core.constraint_parser``.
+
+Commands
+--------
+
+* ``validate  PDOC``                       — well-formedness check (Section 3.1);
+* ``worlds    PDOC [--limit K]``           — the K most probable worlds;
+* ``sat       PDOC -c CONSTRAINTS``        — CONSTRAINT-SAT⟨C⟩: Pr(P ⊨ C);
+* ``query     PDOC -q QUERY [-c FILE]``    — EVAL⟨Q, C⟩: per-answer probabilities;
+* ``sample    PDOC [-c FILE] [-n N]``      — SAMPLE⟨C⟩: conditioned samples (Fig. 3);
+* ``check     PDOC DOCUMENT -c FILE``      — explain a document's violations;
+* ``skeleton  PDOC``                       — print the skeleton document.
+
+Example::
+
+    python -m repro sat university.pxml -c constraints.txt
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from pathlib import Path
+
+from .core.constraint_parser import parse_constraints
+from .core.constraints import constraints_formula
+from .core.evaluator import probability
+from .core.explain import explain_violations
+from .core.pxdb import PXDB
+from .core.query import Query
+from .pdoc.enumerate import world_documents
+from .pdoc.serialize import pdocument_from_xml
+from .xmltree.serialize import document_from_xml, document_to_xml
+
+
+def _load_pdocument(path: str):
+    return pdocument_from_xml(Path(path).read_text())
+
+
+def _load_constraints(path: str | None):
+    if path is None:
+        return []
+    return parse_constraints(Path(path).read_text())
+
+
+def _cmd_validate(args) -> int:
+    pdoc = _load_pdocument(args.pdocument)
+    pdoc.validate()
+    print(
+        f"ok: {pdoc.ordinary_size()} ordinary nodes, "
+        f"{len(pdoc.dist_edges())} distributional edges"
+    )
+    return 0
+
+
+def _cmd_worlds(args) -> int:
+    pdoc = _load_pdocument(args.pdocument)
+    edges = len(pdoc.dist_edges())
+    if edges > args.max_edges:
+        print(
+            f"refusing: {edges} distributional edges means up to 2^{edges} "
+            f"worlds (raise --max-edges to force)",
+            file=sys.stderr,
+        )
+        return 1
+    for document, prob in world_documents(pdoc)[: args.limit]:
+        print(f"Pr = {prob}  ≈ {float(prob):.6f}")
+        print(document_to_xml(document, style="tags"))
+        print()
+    return 0
+
+
+def _cmd_sat(args) -> int:
+    pdoc = _load_pdocument(args.pdocument)
+    constraints = _load_constraints(args.constraints)
+    value = probability(pdoc, constraints_formula(constraints))
+    print(f"Pr(P |= C) = {value}  ≈ {float(value):.6f}")
+    print(f"well-defined PXDB: {value > 0}")
+    return 0
+
+
+def _cmd_query(args) -> int:
+    pdoc = _load_pdocument(args.pdocument)
+    constraints = _load_constraints(args.constraints)
+    db = PXDB(pdoc, constraints)
+    table = db.query_labels(args.query)
+    for labels, prob in sorted(table.items(), key=lambda kv: (-kv[1], str(kv[0]))):
+        rendered = ", ".join(str(v) for v in labels)
+        print(f"({rendered})  Pr = {prob}  ≈ {float(prob):.6f}")
+    return 0
+
+
+def _cmd_sample(args) -> int:
+    pdoc = _load_pdocument(args.pdocument)
+    constraints = _load_constraints(args.constraints)
+    db = PXDB(pdoc, constraints)
+    rng = random.Random(args.seed)
+    for _ in range(args.count):
+        print(document_to_xml(db.sample(rng), style="tags"))
+        print()
+    return 0
+
+
+def _cmd_check(args) -> int:
+    document = document_from_xml(Path(args.document).read_text())
+    constraints = _load_constraints(args.constraints)
+    violations = explain_violations(document, constraints)
+    if not violations:
+        print("document satisfies all constraints")
+        return 0
+    for violation in violations:
+        print(violation.describe())
+    return 1
+
+
+def _cmd_skeleton(args) -> int:
+    pdoc = _load_pdocument(args.pdocument)
+    print(document_to_xml(pdoc.skeleton(), style="tags"))
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    from .pdoc.stats import summary
+
+    pdoc = _load_pdocument(args.pdocument)
+    report = summary(pdoc)
+    for key, value in report.items():
+        if key == "expected_size":
+            print(f"{key:>22}: {value} ≈ {float(value):.3f}")
+        elif key == "process_entropy_bits":
+            print(f"{key:>22}: {value:.3f}")
+        else:
+            print(f"{key:>22}: {value}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PXDB: probabilistic XML with constraints (PODS 2008)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("validate", help="check p-document well-formedness")
+    p.add_argument("pdocument")
+    p.set_defaults(func=_cmd_validate)
+
+    p = sub.add_parser("worlds", help="enumerate the most probable worlds")
+    p.add_argument("pdocument")
+    p.add_argument("--limit", type=int, default=5)
+    p.add_argument("--max-edges", type=int, default=16)
+    p.set_defaults(func=_cmd_worlds)
+
+    p = sub.add_parser("sat", help="CONSTRAINT-SAT: compute Pr(P |= C)")
+    p.add_argument("pdocument")
+    p.add_argument("-c", "--constraints", required=True)
+    p.set_defaults(func=_cmd_sat)
+
+    p = sub.add_parser("query", help="EVAL<Q,C>: per-answer probabilities")
+    p.add_argument("pdocument")
+    p.add_argument("-q", "--query", required=True, help="pattern with $ markers")
+    p.add_argument("-c", "--constraints")
+    p.set_defaults(func=_cmd_query)
+
+    p = sub.add_parser("sample", help="SAMPLE<C>: conditioned samples (Figure 3)")
+    p.add_argument("pdocument")
+    p.add_argument("-c", "--constraints")
+    p.add_argument("-n", "--count", type=int, default=1)
+    p.add_argument("--seed", type=int, default=None)
+    p.set_defaults(func=_cmd_sample)
+
+    p = sub.add_parser("check", help="explain a document's constraint violations")
+    p.add_argument("document")
+    p.add_argument("-c", "--constraints", required=True)
+    p.set_defaults(func=_cmd_check)
+
+    p = sub.add_parser("skeleton", help="print the all-nodes skeleton document")
+    p.add_argument("pdocument")
+    p.set_defaults(func=_cmd_skeleton)
+
+    p = sub.add_parser("stats", help="structural/distributional statistics")
+    p.add_argument("pdocument")
+    p.set_defaults(func=_cmd_stats)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except (ValueError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,138 @@
+"""Core PXDB machinery: formulae, constraints, evaluation, queries, sampling.
+
+This package implements the paper's contribution proper: the c-formula
+language (Section 5), the polynomial evaluation algorithm (Theorem 5.3),
+constraint translation (Section 5.1), PXDBs (Section 3.2), query
+evaluation (Corollary 5.4), the conditional sampler (Figure 3 / Theorem
+6.2) and probabilistic constraints (Section 7.4).
+"""
+
+from .explain import Violation, explain_violations, why_inconsistent
+from .statistics import (
+    count_distribution,
+    count_variance,
+    expected_count,
+    expected_sum,
+    membership_probabilities,
+)
+from .constraint_parser import (
+    ConstraintSyntaxError,
+    parse_constraint,
+    parse_constraints,
+)
+from .constraints import Constraint, always, constraints_formula, satisfies_all
+from .evaluator import Evaluation, probabilities, probability
+from .formulas import (
+    FALSE,
+    TRUE,
+    AvgAtom,
+    CAnd,
+    CFormula,
+    CountAtom,
+    DocumentEvaluator,
+    MaxAtom,
+    MinAtom,
+    RatioAtom,
+    SFormula,
+    SumAtom,
+    conjunction,
+    disjunction,
+    exists,
+    implies,
+    negation,
+    not_exists,
+    satisfies,
+    select,
+)
+from .probconstraints import (
+    SNC,
+    WNC,
+    ProbabilisticConstraint,
+    ProbabilisticPXDB,
+)
+from .pxdb import PXDB
+from .query import Query, selector
+from .query_eval import (
+    boolean_query_probability,
+    candidate_tuples,
+    decode_answers,
+    evaluate_query,
+)
+from .sampler import deterministic_instance, sample
+from .templates import (
+    at_least,
+    at_most,
+    between,
+    conditional_presence,
+    exactly,
+    excludes,
+    implies_within,
+    requires,
+    unique,
+)
+from .topk import has_stacked_distributional_nodes, top_k_worlds
+
+__all__ = [
+    "FALSE",
+    "TRUE",
+    "AvgAtom",
+    "CAnd",
+    "CFormula",
+    "Constraint",
+    "ConstraintSyntaxError",
+    "CountAtom",
+    "DocumentEvaluator",
+    "Evaluation",
+    "MaxAtom",
+    "MinAtom",
+    "PXDB",
+    "ProbabilisticConstraint",
+    "ProbabilisticPXDB",
+    "Query",
+    "RatioAtom",
+    "SFormula",
+    "SNC",
+    "SumAtom",
+    "WNC",
+    "Violation",
+    "always",
+    "count_distribution",
+    "count_variance",
+    "expected_count",
+    "expected_sum",
+    "explain_violations",
+    "membership_probabilities",
+    "why_inconsistent",
+    "at_least",
+    "at_most",
+    "between",
+    "conditional_presence",
+    "exactly",
+    "excludes",
+    "has_stacked_distributional_nodes",
+    "implies_within",
+    "requires",
+    "top_k_worlds",
+    "unique",
+    "boolean_query_probability",
+    "candidate_tuples",
+    "conjunction",
+    "constraints_formula",
+    "decode_answers",
+    "deterministic_instance",
+    "disjunction",
+    "evaluate_query",
+    "exists",
+    "implies",
+    "negation",
+    "not_exists",
+    "parse_constraint",
+    "parse_constraints",
+    "probabilities",
+    "probability",
+    "sample",
+    "satisfies",
+    "satisfies_all",
+    "select",
+    "selector",
+]

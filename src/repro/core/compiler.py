@@ -1,0 +1,362 @@
+"""Compilation of c-formulae for the polynomial evaluation algorithm.
+
+The paper proves Theorem 5.3 through a system of eight formula
+transformations plus a recursion that peels the p-document apart, with
+memoing to stay polynomial.  This module realizes the same computation as
+an explicit *compilation*: every atom of the formula becomes a small
+automaton over the positions of its selectors' spines, and the evaluator
+(``repro.core.evaluator``) then runs one bottom-up dynamic program over
+the p-document whose per-node state — the *signature* — has polynomial
+size for a fixed formula.
+
+Key notions
+-----------
+
+**Spine.**  For a selector σ = π_n αT the spine is the path from root(T)
+to n.  A document node u is selected iff the spine embeds into the path
+eval-root .. u such that every spine node's *local test* holds at its
+image: its label predicate, its attached c-formula (on the image's
+subtree) and all its side branches (matched inside the image's subtree).
+
+**Spine automaton.**  Walking down a document path, the state after a node
+is the pair (placed, pending): the spine positions placed exactly at the
+node, and the positions with an outgoing descendant edge placed at or
+above it.  Reading the vector of local-test bits of the next node advances
+the state; the walk *accepts* a node when the last spine position lands on
+it.  States are canonicalized (placed positions that no future transition
+inspects are dropped) to keep the table small.
+
+**Atoms.**  ``CNT(σ1 ∨ … ∨ σk) θ N`` runs the product of the selectors'
+automata and counts nodes accepted by *any* component — which is exactly
+the union semantics |σ1(d) ∪ … ∪ σk(d)|, each node being consumed once.
+Counts saturate at ``cap = max(0, N) + 1``; by ``ops.compare_saturated``
+the comparison θ N is still decided exactly.  ``RATIO(σ⃗, γ) θ R`` counts
+the pair (accepted-and-γ, accepted), compared as b·yes θ a·tot.
+
+**Registry.**  Formulae form a DAG (via the α attachments and RATIO inner
+formulae).  The registry holds them in dependency (topological) order, so
+a node's local tests can consult the truth values of deeper formulae that
+were computed first, plus the flat slot layout of the DP signature: one
+Boolean slot per (plan, side-branch pattern node, self/below) and one
+counter slot per (atom, live automaton state).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable
+
+from .. import ops
+from ..xmltree.pattern import CHILD, DESC, PatternNode
+from .formulas import (
+    CAnd,
+    CFormula,
+    CountAtom,
+    FALSE,
+    MaxAtom,
+    MinAtom,
+    RatioAtom,
+    SFormula,
+    TRUE,
+)
+
+# A per-selector automaton state: (placed, pending) frozensets of spine
+# positions.  The dead state is (∅, ∅).
+SelState = tuple[frozenset[int], frozenset[int]]
+DEAD: SelState = (frozenset(), frozenset())
+
+# Counts in RATIO atoms must stay exact; they are bounded by the document
+# size, so a cap far above any realistic tree never saturates.
+EXACT_CAP = 10**18
+
+
+class SelectorPlan:
+    """The compiled form of one selector σ = π_n αT inside an atom.
+
+    ``canonicalize`` controls the state-compression optimization (dropping
+    placed positions no future transition inspects); turning it off is the
+    ablation baseline of experiment E10 — still correct, more states.
+    """
+
+    __slots__ = ("sformula", "spine", "axes", "branches", "branch_nodes", "last",
+                 "canonicalize")
+
+    def __init__(self, sformula: SFormula, canonicalize: bool = True):
+        self.canonicalize = canonicalize
+        self.sformula = sformula
+        self.spine = sformula.pattern.spine_to(sformula.projected)
+        # axes[i] = edge type between spine[i-1] and spine[i]; axes[0] unused.
+        self.axes = [None] + [node.axis for node in self.spine[1:]]
+        self.branches = sformula.pattern.side_branches(self.spine)
+        self.last = len(self.spine) - 1
+        # All pattern nodes inside side branches need match bits in the DP.
+        self.branch_nodes: list[PatternNode] = []
+        for roots in self.branches.values():
+            for root in roots:
+                stack = [root]
+                while stack:
+                    node = stack.pop()
+                    self.branch_nodes.append(node)
+                    stack.extend(node.children)
+
+    # -- the spine automaton -------------------------------------------------
+    def canonical(self, placed: frozenset[int], pending: frozenset[int]) -> SelState:
+        """Drop placed positions that no future transition inspects: only a
+        position whose outgoing edge is a child edge is consulted later
+        (descendant sources were already folded into ``pending``)."""
+        if not self.canonicalize:
+            if not placed and not pending:
+                return DEAD
+            return (placed, pending)
+        useful = frozenset(
+            i for i in placed if i < self.last and self.axes[i + 1] == CHILD
+        )
+        return (useful, pending)
+
+    def start(self, bits: tuple[bool, ...]) -> tuple[SelState, bool]:
+        """Consume the eval-root; returns (state, accepted)."""
+        if not bits[0]:
+            return DEAD, False
+        placed = frozenset([0])
+        pending = frozenset(
+            i for i in placed if i < self.last and self.axes[i + 1] == DESC
+        )
+        return self.canonical(placed, pending), self.last == 0
+
+    def step(self, state: SelState, bits: tuple[bool, ...]) -> tuple[SelState, bool]:
+        """Consume a non-root node; returns (state, accepted)."""
+        placed, pending = state
+        new_placed = frozenset(
+            i
+            for i in range(1, self.last + 1)
+            if bits[i]
+            and (
+                (self.axes[i] == CHILD and i - 1 in placed)
+                or (self.axes[i] == DESC and i - 1 in pending)
+            )
+        )
+        new_pending = pending | frozenset(
+            i for i in new_placed if i < self.last and self.axes[i + 1] == DESC
+        )
+        accepted = self.last in new_placed
+        return self.canonical(new_placed, new_pending), accepted
+
+
+# A product state across an atom's selectors.
+AtomState = tuple[SelState, ...]
+
+
+class CompiledAtom:
+    """A compiled CNT or RATIO atom: selector plans + product automaton."""
+
+    __slots__ = (
+        "atom",
+        "plans",
+        "cap",
+        "is_ratio",
+        "inner",
+        "live_states",
+        "state_slot",
+    )
+
+    def __init__(self, atom: CountAtom | RatioAtom, canonicalize: bool = True):
+        self.atom = atom
+        self.plans = [SelectorPlan(sf, canonicalize) for sf in atom.disjuncts]
+        self.is_ratio = isinstance(atom, RatioAtom)
+        self.inner = atom.inner if self.is_ratio else None
+        self.cap = EXACT_CAP if self.is_ratio else max(0, atom.bound) + 1
+        self.live_states: list[AtomState] = []
+        self.state_slot: dict[AtomState, int] = {}
+        self._analyze()
+
+    @property
+    def dead(self) -> AtomState:
+        return tuple(DEAD for _ in self.plans)
+
+    def start(self, bit_vectors: list[tuple[bool, ...]]) -> tuple[AtomState, bool]:
+        parts = [plan.start(bits) for plan, bits in zip(self.plans, bit_vectors)]
+        return tuple(s for s, _ in parts), any(acc for _, acc in parts)
+
+    def step(
+        self, state: AtomState, bit_vectors: list[tuple[bool, ...]]
+    ) -> tuple[AtomState, bool]:
+        parts = [
+            plan.step(component, bits)
+            for plan, component, bits in zip(self.plans, state, bit_vectors)
+        ]
+        return tuple(s for s, _ in parts), any(acc for _, acc in parts)
+
+    def _joint_bit_space(self) -> list[list[tuple[bool, ...]]]:
+        """All joint local-bit vectors (a conservative superset of what any
+        document can realize — sound for reachability/liveness analysis)."""
+        per_selector = [
+            [tuple(bits) for bits in itertools.product((False, True), repeat=plan.last + 1)]
+            for plan in self.plans
+        ]
+        return [list(combo) for combo in itertools.product(*per_selector)]
+
+    def _analyze(self) -> None:
+        """Enumerate reachable product states and prune the non-live ones
+        (states from which no acceptance can ever occur contribute count 0
+        and need no slot in the signature; with canonicalization on, most
+        reachable states are live — the pruning mainly matters for the
+        uncanonicalized ablation)."""
+        joint_space = self._joint_bit_space()
+        reachable: set[AtomState] = set()
+        frontier: list[AtomState] = []
+        for joint in joint_space:
+            state, _ = self.start(joint)
+            if state != self.dead and state not in reachable:
+                reachable.add(state)
+                frontier.append(state)
+        edges: dict[AtomState, set[AtomState]] = {}
+        accepts_from: set[AtomState] = set()
+        while frontier:
+            state = frontier.pop()
+            outgoing = edges.setdefault(state, set())
+            for joint in joint_space:
+                nxt, accepted = self.step(state, joint)
+                if accepted:
+                    accepts_from.add(state)
+                if nxt == self.dead:
+                    continue
+                outgoing.add(nxt)
+                if nxt not in reachable:
+                    reachable.add(nxt)
+                    frontier.append(nxt)
+        # Backward propagation of liveness.
+        live = set(accepts_from)
+        changed = True
+        while changed:
+            changed = False
+            for state in reachable:
+                if state in live:
+                    continue
+                if any(nxt in live for nxt in edges.get(state, ())):
+                    live.add(state)
+                    changed = True
+        self.live_states = sorted(live, key=repr)
+        self.state_slot = {state: i for i, state in enumerate(self.live_states)}
+
+    def compare(self, value: int) -> bool:
+        """Decide the atom's comparison from a saturated count (CNT only)."""
+        return ops.compare_saturated(value, self.cap, self.atom.op, self.atom.bound)
+
+    def compare_ratio(self, yes: int, total: int) -> bool:
+        """Decide yes/total θ R exactly (RATIO only); 0 θ R when total = 0."""
+        bound = self.atom.bound
+        if total == 0:
+            return ops.apply(self.atom.op, 0, bound)
+        return ops.apply(
+            self.atom.op, yes * bound.denominator, bound.numerator * total
+        )
+
+
+class Registry:
+    """Everything the evaluator needs, with flat slot layouts.
+
+    * ``order``       — all formulae, dependencies first;
+    * ``atoms``       — compiled CNT/RATIO atoms (dedup by identity);
+    * ``bit_slots``   — (plan, branch pattern node, self|below) → index;
+    * ``count_slots`` — (atom, live state) → index (RATIO uses two
+      consecutive indices: yes, total).
+    """
+
+    __slots__ = (
+        "top",
+        "order",
+        "atoms",
+        "atom_of",
+        "bit_index",
+        "bit_count",
+        "count_layout",
+        "count_caps",
+        "count_len",
+        "label_only",
+    )
+
+    def __init__(self, top_formulas: Iterable[CFormula], canonicalize: bool = True):
+        self.top = list(top_formulas)
+        self.order: list[CFormula] = []
+        self.atoms: list[CompiledAtom] = []
+        self.atom_of: dict[int, CompiledAtom] = {}
+        self._collect(canonicalize)
+        self._layout()
+        # Label-only registries license the evaluator's structural cache:
+        # if no predicate can distinguish nodes beyond their labels, two
+        # structurally identical subtrees have identical signature
+        # distributions.
+        self.label_only = all(
+            node.predicate.is_label_only()
+            for compiled in self.atoms
+            for plan in compiled.plans
+            for node in plan.sformula.pattern.nodes()
+        )
+
+    def _collect(self, canonicalize: bool = True) -> None:
+        visited: set[int] = set()
+        visiting: set[int] = set()
+
+        def visit(formula: CFormula) -> None:
+            key = id(formula)
+            if key in visited:
+                return
+            if key in visiting:
+                raise ValueError("cyclic formula graph")
+            visiting.add(key)
+            if formula is TRUE or formula is FALSE:
+                pass
+            elif isinstance(formula, CAnd):
+                for part in formula.parts:
+                    visit(part)
+            elif isinstance(formula, (CountAtom, RatioAtom)):
+                compiled = CompiledAtom(formula, canonicalize)
+                for plan in compiled.plans:
+                    for node in plan.sformula.pattern.nodes():
+                        attached = plan.sformula.alpha_of(node)
+                        visit(attached)
+                if isinstance(formula, RatioAtom):
+                    visit(formula.inner)
+                self.atoms.append(compiled)
+                self.atom_of[key] = compiled
+            elif isinstance(formula, (MinAtom, MaxAtom)):
+                raise TypeError(
+                    "MIN/MAX atoms must be rewritten to CNT atoms first "
+                    "(repro.aggregates.minmax.rewrite)"
+                )
+            else:
+                raise TypeError(
+                    f"the polynomial evaluator does not support "
+                    f"{type(formula).__name__} (Proposition 7.2: SUM/AVG make "
+                    f"evaluation NP-hard); use the baseline or "
+                    f"repro.aggregates.sumavg"
+                )
+            visiting.discard(key)
+            visited.add(key)
+            self.order.append(formula)
+
+        for formula in self.top:
+            visit(formula)
+
+    def _layout(self) -> None:
+        self.bit_index: dict[tuple[int, int, str], int] = {}
+        index = 0
+        for compiled in self.atoms:
+            for plan in compiled.plans:
+                for node in plan.branch_nodes:
+                    self.bit_index[(id(plan), id(node), "self")] = index
+                    self.bit_index[(id(plan), id(node), "below")] = index + 1
+                    index += 2
+        self.bit_count = index
+
+        self.count_layout: dict[tuple[int, AtomState], int] = {}
+        caps: list[int] = []
+        offset = 0
+        for compiled in self.atoms:
+            width = 2 if compiled.is_ratio else 1
+            for state in compiled.live_states:
+                self.count_layout[(id(compiled), state)] = offset
+                caps.extend([compiled.cap] * width)
+                offset += width
+        self.count_caps = tuple(caps)
+        self.count_len = offset

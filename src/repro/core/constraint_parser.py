@@ -1,0 +1,107 @@
+"""A textual syntax for constraints (Definition 2.2).
+
+Grammar (whitespace-insensitive)::
+
+    constraint := "forall" selector ":" [comparison "->"] comparison
+    comparison := "count" "(" selector ")" op integer
+    op         := "=" | "!=" | "<" | "<=" | ">" | ">="
+
+where ``selector`` uses the pattern syntax of ``repro.xmltree.parser``
+(exactly one ``$``-marked node).  Omitting the antecedent yields a
+constraint with a trivially-true antecedent (CNT(*) ≥ 0), like the
+paper's C1.  Examples, from Figure 1::
+
+    forall university/$department : count(*//$member[position/~'professor'][position/chair]) <= 1
+    forall university/$department : count(*//$member[//~'professor']) >= 3
+        -> count(*//$member[position/~'professor'][position/chair]) >= 1
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..xmltree.parser import PatternSyntaxError, parse_selector
+from .constraints import Constraint, always
+from .formulas import SFormula
+
+_OP_RE = re.compile(r"(<=|>=|!=|=|<|>)")
+
+
+class ConstraintSyntaxError(ValueError):
+    """Raised when a constraint string cannot be parsed."""
+
+
+def _parse_selector_text(text: str) -> SFormula:
+    pattern, node = parse_selector(text.strip())
+    return SFormula(pattern, node)
+
+
+def _parse_comparison(text: str) -> tuple[SFormula, str, int]:
+    text = text.strip()
+    if not text.startswith("count"):
+        raise ConstraintSyntaxError(f"comparison must start with 'count': {text!r}")
+    rest = text[len("count"):].lstrip()
+    if not rest.startswith("("):
+        raise ConstraintSyntaxError(f"expected '(' after count: {text!r}")
+    depth = 0
+    for index, char in enumerate(rest):
+        if char == "(":
+            depth += 1
+        elif char == ")":
+            depth -= 1
+            if depth == 0:
+                selector_text = rest[1:index]
+                tail = rest[index + 1:].strip()
+                break
+    else:
+        raise ConstraintSyntaxError(f"unbalanced parentheses in {text!r}")
+    match = _OP_RE.match(tail)
+    if not match:
+        raise ConstraintSyntaxError(f"expected a comparison operator in {tail!r}")
+    op = match.group(1)
+    bound_text = tail[match.end():].strip()
+    try:
+        bound = int(bound_text)
+    except ValueError:
+        raise ConstraintSyntaxError(f"expected an integer bound, got {bound_text!r}") from None
+    return _parse_selector_text(selector_text), op, bound
+
+
+def parse_constraint(text: str, name: str | None = None) -> Constraint:
+    """Parse one constraint string into a :class:`Constraint`."""
+    stripped = text.strip()
+    if not stripped.startswith("forall"):
+        raise ConstraintSyntaxError(f"constraint must start with 'forall': {text!r}")
+    body = stripped[len("forall"):]
+    try:
+        scope_text, _, rest = body.partition(":")
+        if not rest:
+            raise ConstraintSyntaxError(f"missing ':' in constraint: {text!r}")
+        scope = _parse_selector_text(scope_text)
+        if "->" in rest:
+            antecedent_text, _, consequent_text = rest.partition("->")
+            s1, op1, n1 = _parse_comparison(antecedent_text)
+            s2, op2, n2 = _parse_comparison(consequent_text)
+            return Constraint(scope, s1, op1, n1, s2, op2, n2, name=name)
+        s2, op2, n2 = _parse_comparison(rest)
+        return always(scope, s2, op2, n2, name=name)
+    except PatternSyntaxError as error:
+        raise ConstraintSyntaxError(str(error)) from error
+
+
+def parse_constraints(text: str) -> list[Constraint]:
+    """Parse one constraint per non-empty line; ``# comments`` allowed.
+    A line may name its constraint with a leading ``NAME:`` tag only when
+    the name contains no whitespace and the line continues with 'forall'."""
+    constraints = []
+    for raw_line in text.splitlines():
+        line = raw_line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        name = None
+        head, _, tail = line.partition(":")
+        if tail.strip().startswith("forall") and " " not in head.strip():
+            name = head.strip()
+            line = tail.strip()
+        constraints.append(parse_constraint(line, name=name))
+    return constraints

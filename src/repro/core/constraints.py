@@ -1,0 +1,129 @@
+"""Constraints (Definition 2.2) and their translation to c-formulae (Sec 5.1).
+
+A constraint has the form
+
+    ∀S ( CNT(S1) θ1 N1  →  CNT(S2) θ2 N2 )
+
+where S, S1 and S2 are selectors.  A document d satisfies it when, for
+every node v selected by S, evaluating S1 and S2 on the subtree d^v makes
+the implication true.  The integers N1, N2 form the constraint's
+*numerical specification* (Section 4): they are inputs of the evaluation
+problems, not part of the fixed query.
+
+The translation of Section 5.1: let S = π_n T.  Attach to n the violation
+witness CNT(S1) θ1 N1 ∧ CNT(S2) θ̄2 N2 (θ̄2 the complement of θ2), leaving
+**true** on the other nodes of T; the constraint is the anti-congruent of
+the resulting augmented pattern — "no selected node violates the
+implication".
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from .. import ops
+from ..xmltree.document import DocNode, Document
+from .formulas import (
+    CFormula,
+    CountAtom,
+    DocumentEvaluator,
+    SFormula,
+    conjunction,
+    not_exists,
+)
+
+
+class Constraint:
+    """One constraint ∀S(CNT(S1) θ1 N1 → CNT(S2) θ2 N2).
+
+    ``name`` is a human-readable tag (e.g. "C1" in the paper's Figure 1).
+    """
+
+    __slots__ = ("scope", "s1", "op1", "n1", "s2", "op2", "n2", "name")
+
+    def __init__(
+        self,
+        scope: SFormula,
+        s1: SFormula,
+        op1: str,
+        n1: int,
+        s2: SFormula,
+        op2: str,
+        n2: int,
+        name: str | None = None,
+    ):
+        self.scope = scope
+        self.s1 = s1
+        self.op1 = ops.normalize(op1)
+        self.n1 = int(n1)
+        self.s2 = s2
+        self.op2 = ops.normalize(op2)
+        self.n2 = int(n2)
+        self.name = name
+
+    # -- document semantics (Definition 2.2) --------------------------------
+    def satisfied_by(self, document: Document | DocNode) -> bool:
+        """Decide d ⊨ C by direct application of Definition 2.2."""
+        root = document.root if isinstance(document, Document) else document
+        evaluator = DocumentEvaluator()
+        for v in evaluator.select(root, self.scope):
+            count1 = len(evaluator.select(v, self.s1))
+            if not ops.apply(self.op1, count1, self.n1):
+                continue
+            count2 = len(evaluator.select(v, self.s2))
+            if not ops.apply(self.op2, count2, self.n2):
+                return False
+        return True
+
+    # -- translation to a c-formula (Section 5.1) ---------------------------
+    def to_cformula(self) -> CFormula:
+        """The equivalent c-formula: the anti-congruent of αT where T is the
+        scope's pattern and its selected node carries the violation witness."""
+        witness = conjunction(
+            [
+                self.scope.alpha_of(self.scope.projected),  # keep any existing attachment
+                CountAtom([self.s1], self.op1, self.n1),
+                CountAtom([self.s2], ops.complement(self.op2), self.n2),
+            ]
+        )
+        augmented = self.scope.with_alpha(self.scope.projected, witness)
+        return not_exists(augmented.pattern, augmented.alpha)
+
+    def __repr__(self) -> str:
+        tag = f"{self.name}: " if self.name else ""
+        return (
+            f"{tag}∀{self.scope!r}(CNT({self.s1!r}) {self.op1} {self.n1} → "
+            f"CNT({self.s2!r}) {self.op2} {self.n2})"
+        )
+
+
+def always(scope: SFormula, s2: SFormula, op2: str, n2: int, name: str | None = None) -> Constraint:
+    """A constraint with a trivially-true antecedent: ∀S(CNT(S2) θ2 N2).
+
+    The paper's Example 2.3 uses the same shorthand (its C1: "a department
+    has at most one chair" is ∀S_dep(CNT(*) ≥ 0 → CNT(S_chr) ≤ 1)).
+    """
+    from ..xmltree.pattern import trivial_pattern
+
+    star_pattern, star_root = trivial_pattern()
+    star = SFormula(star_pattern, star_root)
+    return Constraint(scope, star, ops.GE, 0, s2, op2, n2, name=name)
+
+
+def satisfies_all(document: Document | DocNode, constraints: Iterable[Constraint]) -> bool:
+    """d ⊨ C for a finite set of constraints (Section 2.5)."""
+    return all(constraint.satisfied_by(document) for constraint in constraints)
+
+
+def constraints_formula(constraints: Iterable[Constraint | CFormula]) -> CFormula:
+    """The single c-formula expressing a whole constraint set (used by the
+    evaluation pipeline: C-SAT computes Pr(P ⊨ C) of this formula).
+
+    Accepts a mix of :class:`Constraint` objects and raw c-formulae, since
+    Section 7.1 generalizes constraints to arbitrary c-formulae.
+    """
+    parts = [
+        item.to_cformula() if isinstance(item, Constraint) else item
+        for item in constraints
+    ]
+    return conjunction(parts)

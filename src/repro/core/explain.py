@@ -1,0 +1,80 @@
+"""Constraint-violation explanation for documents.
+
+When a document fails a constraint set, knowing *which* constraint failed
+and *where* matters in practice (the paper's motivation is data cleaning
+over screen-scraped inputs).  :func:`explain_violations` reruns Definition
+2.2's quantifier and reports, per violated constraint, the witnesses: the
+scope nodes at which the implication failed, with the offending counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from .. import ops
+from ..xmltree.document import DocNode, Document
+from .constraints import Constraint
+from .formulas import DocumentEvaluator
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One failed quantifier instance of one constraint."""
+
+    constraint: Constraint
+    scope_node: DocNode
+    antecedent_count: int
+    consequent_count: int
+
+    def describe(self) -> str:
+        name = self.constraint.name or "constraint"
+        return (
+            f"{name} violated at node {self.scope_node.label!r} "
+            f"(uid {self.scope_node.uid}): CNT(S1) = {self.antecedent_count} "
+            f"{self.constraint.op1} {self.constraint.n1} holds but CNT(S2) = "
+            f"{self.consequent_count} {self.constraint.op2} {self.constraint.n2} fails"
+        )
+
+
+def explain_violations(
+    document: Document | DocNode, constraints: Iterable[Constraint]
+) -> list[Violation]:
+    """All violations of the constraints on the document (empty = d ⊨ C)."""
+    root = document.root if isinstance(document, Document) else document
+    evaluator = DocumentEvaluator()
+    violations: list[Violation] = []
+    for constraint in constraints:
+        for scope_node in evaluator.select(root, constraint.scope):
+            antecedent = len(evaluator.select(scope_node, constraint.s1))
+            if not ops.apply(constraint.op1, antecedent, constraint.n1):
+                continue
+            consequent = len(evaluator.select(scope_node, constraint.s2))
+            if not ops.apply(constraint.op2, consequent, constraint.n2):
+                violations.append(
+                    Violation(constraint, scope_node, antecedent, consequent)
+                )
+    return violations
+
+
+def why_inconsistent(
+    pdoc, constraints: Iterable[Constraint], max_worlds: int = 512
+) -> str:
+    """A diagnostic for ill-defined PXDBs: scan the most probable worlds
+    and report the violations of the likeliest one.  Enumeration-based —
+    intended for debugging small inputs, not production evaluation."""
+    from ..pdoc.enumerate import world_documents
+
+    constraints = list(constraints)
+    worlds = world_documents(pdoc)[:max_worlds]
+    for document, prob in worlds:
+        violations = explain_violations(document, constraints)
+        if not violations:
+            return "consistent: a satisfying world exists"
+    document, prob = worlds[0]
+    lines = [
+        f"no satisfying world among the {len(worlds)} most probable;",
+        f"the likeliest world (Pr = {prob}) fails because:",
+    ]
+    lines += [f"  - {v.describe()}" for v in explain_violations(document, constraints)]
+    return "\n".join(lines)

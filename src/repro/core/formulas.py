@@ -1,0 +1,424 @@
+"""C-formulae, s-formulae and augmented patterns (Definitions 5.1 and 5.2),
+their evaluation over ordinary documents, and the closure operations of
+Section 5.1 (congruents, anti-congruents, negation, disjunction).
+
+The mutually recursive grammar of the paper:
+
+1. ``true`` / ``false`` are c-formulae                      (:data:`TRUE`, :data:`FALSE`);
+2. conjunctions of c-formulae are c-formulae                 (:class:`CAnd`);
+3. a pattern T plus a map α from its nodes to c-formulae is
+   an *augmented pattern* αT                                 (the ``alpha`` dict of :class:`SFormula`);
+4. π_n αT is an *s-formula* — a generalized selector          (:class:`SFormula`);
+5. ``CNT(σ1 ∨ … ∨ σk) θ N`` is a c-formula                   (:class:`CountAtom`).
+
+Section 7.2 generalizes item 5 to *a-formulae* over other aggregate
+functions; :class:`MinAtom`, :class:`MaxAtom`, :class:`RatioAtom`,
+:class:`SumAtom` and :class:`AvgAtom` realize AF^{agg}.  MIN/MAX/RATIO
+remain tractable (Theorem 7.1): MIN/MAX are rewritten into CNT atoms (see
+``repro.aggregates.minmax``) and RATIO is supported natively by the
+evaluation algorithm.  SUM/AVG make the probabilistic problems NP-hard
+(Proposition 7.2); they are supported here over *documents* and by the
+exponential baseline, but the polynomial evaluator rejects them.
+
+Formula objects are immutable and compared by identity; they may share
+subformulae (the object graph is a DAG) but must not contain cycles.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+from typing import Iterable, Mapping
+
+from .. import ops
+from ..xmltree.document import DocNode
+from ..xmltree.matching import selected_set
+from ..xmltree.pattern import Pattern, PatternNode, trivial_pattern
+from ..xmltree.predicates import (
+    PredAnd,
+    Predicate,
+    is_numeric_label,
+    numeric_value,
+)
+
+
+class CFormula:
+    """Base class of c-formulae (and, more generally, a-formulae)."""
+
+    __slots__ = ()
+
+    # Closure sugar (Section 5.1): c-formulae are closed under ∧, ¬, ∨.
+    def __and__(self, other: "CFormula") -> "CFormula":
+        return conjunction([self, other])
+
+    def __or__(self, other: "CFormula") -> "CFormula":
+        return disjunction([self, other])
+
+    def __invert__(self) -> "CFormula":
+        return negation(self)
+
+
+class _CTrue(CFormula):
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "true"
+
+
+class _CFalse(CFormula):
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "false"
+
+
+TRUE = _CTrue()
+FALSE = _CFalse()
+
+
+class CAnd(CFormula):
+    """Conjunction γ1 ∧ … ∧ γm (Definition 5.1, item 2)."""
+
+    __slots__ = ("parts",)
+
+    def __init__(self, parts: Iterable[CFormula]):
+        self.parts = tuple(parts)
+
+    def __repr__(self) -> str:
+        return "(" + " AND ".join(map(repr, self.parts)) + ")"
+
+
+class SFormula:
+    """An s-formula π_n αT (Definition 5.1, items 3–4).
+
+    ``alpha`` maps pattern nodes (keyed by ``id``) to the c-formulae
+    attached to them; nodes without an entry carry **true** — "from now
+    on, we view every pattern as an augmented one" (Section 5.1).
+    """
+
+    __slots__ = ("pattern", "projected", "alpha")
+
+    def __init__(
+        self,
+        pattern: Pattern,
+        projected: PatternNode,
+        alpha: Mapping[int, CFormula] | None = None,
+    ):
+        if not pattern.contains(projected):
+            raise ValueError("projected node does not belong to the pattern")
+        self.pattern = pattern
+        self.projected = projected
+        self.alpha: dict[int, CFormula] = dict(alpha or {})
+
+    def alpha_of(self, node: PatternNode) -> CFormula:
+        return self.alpha.get(id(node), TRUE)
+
+    def is_plain(self) -> bool:
+        """True when every attached formula is trivially **true**."""
+        return all(f is TRUE for f in self.alpha.values())
+
+    def with_alpha(self, node: PatternNode, formula: CFormula) -> "SFormula":
+        """Return a copy with ``formula`` attached to ``node`` (replacing
+        whatever was attached before)."""
+        alpha = dict(self.alpha)
+        alpha[id(node)] = formula
+        return SFormula(self.pattern, self.projected, alpha)
+
+    def clone(self, refine_projected: Predicate | None = None) -> "SFormula":
+        """Deep-copy the pattern (formulae are shared, they are immutable).
+
+        ``refine_projected`` optionally conjoins an extra predicate onto the
+        projected node — the device behind the MIN/MAX rewriting and the
+        tuple-binding of query evaluation.
+        """
+        mapping: dict[int, PatternNode] = {}
+
+        def rec(node: PatternNode) -> PatternNode:
+            copy = PatternNode(node.predicate, node.axis, node.name)
+            mapping[id(node)] = copy
+            for child in node.children:
+                copy.add_child(rec(child))
+            return copy
+
+        new_root = rec(self.pattern.root)
+        new_projected = mapping[id(self.projected)]
+        if refine_projected is not None:
+            new_projected.predicate = PredAnd((new_projected.predicate, refine_projected))
+        new_alpha = {
+            id(mapping[old_id]): formula
+            for old_id, formula in self.alpha.items()
+            if old_id in mapping
+        }
+        return SFormula(Pattern(new_root), new_projected, new_alpha)
+
+    def __repr__(self) -> str:
+        return f"π({self.pattern!r})"
+
+
+class _AggAtom(CFormula):
+    """Common shape of aggregate comparisons agg(σ1 ∨ … ∨ σk) θ bound."""
+
+    __slots__ = ("disjuncts", "op", "bound")
+
+    AGG = "?"
+
+    def __init__(self, disjuncts: Iterable[SFormula], op: str, bound):
+        self.disjuncts = tuple(disjuncts)
+        if not self.disjuncts:
+            raise ValueError("an aggregate atom needs at least one s-formula")
+        self.op = ops.normalize(op)
+        self.bound = bound
+
+    def __repr__(self) -> str:
+        sel = " OR ".join(map(repr, self.disjuncts))
+        return f"{self.AGG}({sel}) {self.op} {self.bound}"
+
+
+class CountAtom(_AggAtom):
+    """CNT(σ1 ∨ … ∨ σk) θ N (Definition 5.1, item 5).  N is an integer
+    given by the *numerical specification* (Section 4)."""
+
+    __slots__ = ()
+    AGG = "CNT"
+
+    def __init__(self, disjuncts: Iterable[SFormula], op: str, bound: int):
+        super().__init__(disjuncts, op, int(bound))
+
+
+class MinAtom(_AggAtom):
+    """MIN(σ1 ∨ … ∨ σk) θ R (Section 7.2); MIN(∅) = ∞."""
+
+    __slots__ = ()
+    AGG = "MIN"
+
+    def __init__(self, disjuncts: Iterable[SFormula], op: str, bound):
+        super().__init__(disjuncts, op, Fraction(bound))
+
+
+class MaxAtom(_AggAtom):
+    """MAX(σ1 ∨ … ∨ σk) θ R (Section 7.2); MAX(∅) = −∞."""
+
+    __slots__ = ()
+    AGG = "MAX"
+
+    def __init__(self, disjuncts: Iterable[SFormula], op: str, bound):
+        super().__init__(disjuncts, op, Fraction(bound))
+
+
+class SumAtom(_AggAtom):
+    """SUM(σ1 ∨ … ∨ σk) θ R (Section 7.2).  Probabilistic evaluation is
+    NP-hard (Proposition 7.2) — only document-level and baseline
+    evaluation support this atom."""
+
+    __slots__ = ()
+    AGG = "SUM"
+
+    def __init__(self, disjuncts: Iterable[SFormula], op: str, bound):
+        super().__init__(disjuncts, op, Fraction(bound))
+
+
+class AvgAtom(_AggAtom):
+    """AVG(σ1 ∨ … ∨ σk) θ R (Section 7.2); AVG(∅) = 0.  Probabilistic
+    evaluation is NP-hard (Proposition 7.2)."""
+
+    __slots__ = ()
+    AGG = "AVG"
+
+    def __init__(self, disjuncts: Iterable[SFormula], op: str, bound):
+        super().__init__(disjuncts, op, Fraction(bound))
+
+
+class RatioAtom(CFormula):
+    """RATIO(σ1 ∨ … ∨ σk, γ) θ R (Section 7.2): the fraction r of the
+    selected nodes n with d^n ⊨ γ satisfies r θ R; r = 0 when nothing is
+    selected.  Tractable (Theorem 7.1)."""
+
+    __slots__ = ("disjuncts", "inner", "op", "bound")
+
+    def __init__(self, disjuncts: Iterable[SFormula], inner: CFormula, op: str, bound):
+        self.disjuncts = tuple(disjuncts)
+        if not self.disjuncts:
+            raise ValueError("a RATIO atom needs at least one s-formula")
+        self.inner = inner
+        self.op = ops.normalize(op)
+        self.bound = Fraction(bound)
+
+    def __repr__(self) -> str:
+        sel = " OR ".join(map(repr, self.disjuncts))
+        return f"RATIO({sel}, {self.inner!r}) {self.op} {self.bound}"
+
+
+# ---------------------------------------------------------------------------
+# Closure operations (Section 5.1)
+# ---------------------------------------------------------------------------
+
+
+def exists(pattern: Pattern, alpha: Mapping[int, CFormula] | None = None) -> CFormula:
+    """The *congruent* c-formula of the augmented pattern αT:
+    true on d iff M(αT, d) ≠ ∅.  (Paper: CNT(π_r αT) = 1.)"""
+    return CountAtom([SFormula(pattern, pattern.root, alpha)], ops.GE, 1)
+
+
+def not_exists(pattern: Pattern, alpha: Mapping[int, CFormula] | None = None) -> CFormula:
+    """The *anti-congruent*: true on d iff M(αT, d) = ∅
+    (paper: CNT(π_r αT) = 0)."""
+    return CountAtom([SFormula(pattern, pattern.root, alpha)], ops.EQ, 0)
+
+
+def negation(formula: CFormula) -> CFormula:
+    """¬γ, via the construction of Section 5.1: convert γ to a congruent
+    augmented pattern (the trivial pattern with γ attached to its root) and
+    take its anti-congruent."""
+    if formula is TRUE:
+        return FALSE
+    if formula is FALSE:
+        return TRUE
+    pattern, root = trivial_pattern()
+    return not_exists(pattern, {id(root): formula})
+
+
+def conjunction(formulas: Iterable[CFormula]) -> CFormula:
+    """γ1 ∧ … ∧ γm, flattening nested conjunctions and constant-folding."""
+    parts: list[CFormula] = []
+    for formula in formulas:
+        if formula is TRUE:
+            continue
+        if formula is FALSE:
+            return FALSE
+        if isinstance(formula, CAnd):
+            parts.extend(formula.parts)
+        else:
+            parts.append(formula)
+    if not parts:
+        return TRUE
+    if len(parts) == 1:
+        return parts[0]
+    return CAnd(parts)
+
+
+def disjunction(formulas: Iterable[CFormula]) -> CFormula:
+    """γ1 ∨ … ∨ γm = ¬(¬γ1 ∧ … ∧ ¬γm) (c-formulae are closed under ∨)."""
+    formulas = list(formulas)
+    if any(f is TRUE for f in formulas):
+        return TRUE
+    formulas = [f for f in formulas if f is not FALSE]
+    if not formulas:
+        return FALSE
+    if len(formulas) == 1:
+        return formulas[0]
+    return negation(conjunction([negation(f) for f in formulas]))
+
+
+def implies(antecedent: CFormula, consequent: CFormula) -> CFormula:
+    """γ1 → γ2, i.e. ¬(γ1 ∧ ¬γ2)."""
+    return negation(conjunction([antecedent, negation(consequent)]))
+
+
+# ---------------------------------------------------------------------------
+# Evaluation over documents (Definition 5.2)
+# ---------------------------------------------------------------------------
+
+
+class DocumentEvaluator:
+    """Evaluates c-formulae and s-formulae on a concrete document.
+
+    Memoizes (formula, node) truth values, so repeated evaluation over the
+    subtrees of one document — which the recursive semantics of augmented
+    patterns triggers constantly — stays polynomial.
+    """
+
+    __slots__ = ("_truth_memo", "_select_memo")
+
+    def __init__(self) -> None:
+        self._truth_memo: dict[tuple[int, int], bool] = {}
+        self._select_memo: dict[tuple[int, int], set[DocNode]] = {}
+
+    # -- c-formulae ---------------------------------------------------------
+    def satisfies(self, root: DocNode, formula: CFormula) -> bool:
+        """Decide d ⊨ γ where d is the subtree rooted at ``root``."""
+        key = (id(formula), id(root))
+        cached = self._truth_memo.get(key)
+        if cached is not None:
+            return cached
+        value = self._satisfies(root, formula)
+        self._truth_memo[key] = value
+        return value
+
+    def _satisfies(self, root: DocNode, formula: CFormula) -> bool:
+        if formula is TRUE:
+            return True
+        if formula is FALSE:
+            return False
+        if isinstance(formula, CAnd):
+            return all(self.satisfies(root, part) for part in formula.parts)
+        if isinstance(formula, CountAtom):
+            return ops.apply(formula.op, len(self._union(root, formula.disjuncts)), formula.bound)
+        if isinstance(formula, (MinAtom, MaxAtom)):
+            numeric = [
+                numeric_value(v.label)
+                for v in self._union(root, formula.disjuncts)
+                if is_numeric_label(v.label)
+            ]
+            if isinstance(formula, MaxAtom):
+                value = max(numeric) if numeric else -math.inf
+            else:
+                value = min(numeric) if numeric else math.inf
+            return ops.apply(formula.op, value, formula.bound)
+        if isinstance(formula, SumAtom):
+            total = sum(
+                (
+                    numeric_value(v.label)
+                    for v in self._union(root, formula.disjuncts)
+                    if is_numeric_label(v.label)
+                ),
+                Fraction(0),
+            )
+            return ops.apply(formula.op, total, formula.bound)
+        if isinstance(formula, AvgAtom):
+            selected = self._union(root, formula.disjuncts)
+            if not selected:
+                return ops.apply(formula.op, Fraction(0), formula.bound)
+            total = sum(
+                (numeric_value(v.label) for v in selected if is_numeric_label(v.label)),
+                Fraction(0),
+            )
+            return ops.apply(formula.op, total / len(selected), formula.bound)
+        if isinstance(formula, RatioAtom):
+            selected = self._union(root, formula.disjuncts)
+            if not selected:
+                return ops.apply(formula.op, Fraction(0), formula.bound)
+            hits = sum(1 for v in selected if self.satisfies(v, formula.inner))
+            return ops.apply(formula.op, Fraction(hits, len(selected)), formula.bound)
+        raise TypeError(f"cannot evaluate formula of type {type(formula).__name__}")
+
+    # -- s-formulae ---------------------------------------------------------
+    def select(self, root: DocNode, sformula: SFormula) -> set[DocNode]:
+        """σ(d) for d the subtree rooted at ``root`` (Definition 5.2, item 4)."""
+        key = (id(sformula), id(root))
+        cached = self._select_memo.get(key)
+        if cached is not None:
+            return cached
+
+        def extra_test(pattern_node: PatternNode, doc_node: DocNode) -> bool:
+            return self.satisfies(doc_node, sformula.alpha_of(pattern_node))
+
+        test = None if sformula.is_plain() else extra_test
+        result = selected_set(sformula.pattern, sformula.projected, root, test)
+        self._select_memo[key] = result
+        return result
+
+    def _union(self, root: DocNode, disjuncts: tuple[SFormula, ...]) -> set[DocNode]:
+        result: set[DocNode] = set()
+        for sformula in disjuncts:
+            result |= self.select(root, sformula)
+        return result
+
+
+def satisfies(root: DocNode, formula: CFormula) -> bool:
+    """One-shot d ⊨ γ (builds a fresh evaluator; see :class:`DocumentEvaluator`)."""
+    return DocumentEvaluator().satisfies(root, formula)
+
+
+def select(root: DocNode, sformula: SFormula) -> set[DocNode]:
+    """One-shot σ(d)."""
+    return DocumentEvaluator().select(root, sformula)

@@ -1,0 +1,114 @@
+"""PXDBs: probabilistic XML databases (Section 3.2) — the user-facing API.
+
+A PXDB D̃ = (P̃, C) is the probability sub-space of the p-document P̃
+comprising the documents that satisfy the constraint set C, with
+
+    Pr(D = d) = Pr(P = d) / Pr(P ⊨ C)     when d ⊨ C, else 0.
+
+The class bundles the three computational problems of Section 4:
+
+* :meth:`constraint_probability` / :meth:`is_well_defined` — CONSTRAINT-SAT⟨C⟩;
+* :meth:`query` / :meth:`boolean_query` / :meth:`event_probability` — EVAL⟨Q, C⟩;
+* :meth:`sample` — SAMPLE⟨C⟩ (Figure 3).
+
+Constraints may be :class:`~repro.core.constraints.Constraint` objects
+(Definition 2.2) or arbitrary c-formulae (Section 7.1 observes that all
+results carry over to constraints expressed as c-formulae).
+"""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+from typing import Iterable, Sequence
+
+from ..pdoc.enumerate import world_probability
+from ..pdoc.pdocument import PDocument
+from ..xmltree.document import Document
+from ..xmltree.pattern import Pattern
+from .constraints import Constraint, constraints_formula
+from .evaluator import probabilities, probability
+from .formulas import CFormula, TRUE, conjunction
+from .query import Query
+from .query_eval import AnswerTable, decode_answers, evaluate_query
+from .sampler import sample as _sample
+
+
+class PXDB:
+    """The probability space D̃ = (P̃, C)."""
+
+    __slots__ = ("pdoc", "constraints", "_condition", "_constraint_prob")
+
+    def __init__(
+        self,
+        pdoc: PDocument,
+        constraints: Iterable[Constraint | CFormula] = (),
+        check: bool = True,
+    ):
+        self.pdoc = pdoc
+        self.constraints: tuple[Constraint | CFormula, ...] = tuple(constraints)
+        self._condition = constraints_formula(self.constraints)
+        self._constraint_prob: Fraction | None = None
+        if check and not self.is_well_defined():
+            raise ValueError(
+                "the p-document is not consistent with the constraints "
+                "(Pr(P ⊨ C) = 0): the PXDB is not well-defined"
+            )
+
+    # -- CONSTRAINT-SAT⟨C⟩ ----------------------------------------------------
+    @property
+    def condition(self) -> CFormula:
+        """The constraint set as one c-formula."""
+        return self._condition
+
+    def constraint_probability(self) -> Fraction:
+        """Pr(P ⊨ C), computed by the polynomial algorithm (Theorem 5.3)."""
+        if self._constraint_prob is None:
+            self._constraint_prob = probability(self.pdoc, self._condition)
+        return self._constraint_prob
+
+    def is_well_defined(self) -> bool:
+        """Whether the sub-space is nonempty: Pr(P ⊨ C) > 0."""
+        return self.constraint_probability() > 0
+
+    # -- EVAL⟨Q, C⟩ ------------------------------------------------------------
+    def event_probability(self, event: CFormula) -> Fraction:
+        """Pr(D ⊨ γ) = Pr(P ⊨ γ ∧ C) / Pr(P ⊨ C) for any c-formula event."""
+        joint, denominator = probabilities(
+            self.pdoc, [conjunction([self._condition, event]), self._condition]
+        )
+        return joint / denominator
+
+    def boolean_query(self, pattern: Pattern) -> Fraction:
+        """Pr(D ⊨ T′) for a Boolean twig query (Section 5)."""
+        from .formulas import exists
+
+        return self.event_probability(exists(pattern))
+
+    def query(self, query: Query | str) -> AnswerTable:
+        """EVAL⟨Q, C⟩: per-tuple probabilities, keyed by uid tuples."""
+        if isinstance(query, str):
+            query = Query.parse(query)
+        return evaluate_query(query, self.pdoc, self._condition)
+
+    def query_labels(self, query: Query | str) -> dict[tuple, Fraction]:
+        """Like :meth:`query`, with tuples decoded to node labels."""
+        return decode_answers(self.query(query), self.pdoc)
+
+    # -- SAMPLE⟨C⟩ --------------------------------------------------------------
+    def sample(self, rng: random.Random | None = None) -> Document:
+        """Draw one document with probability exactly Pr(D = d) (Fig. 3)."""
+        return _sample(self.pdoc, self._condition, rng)
+
+    # -- document probabilities --------------------------------------------------
+    def document_probability(self, document: Document) -> Fraction:
+        """Pr(D = d) for a concrete world (identified by its uid set)."""
+        from .formulas import DocumentEvaluator
+
+        if not DocumentEvaluator().satisfies(document.root, self._condition):
+            return Fraction(0)
+        prior = world_probability(self.pdoc, document.uid_set())
+        return prior / self.constraint_probability()
+
+    def __repr__(self) -> str:
+        return f"PXDB({self.pdoc!r}, constraints={len(self.constraints)})"

@@ -1,0 +1,92 @@
+"""Queries Q = π_X T (Section 2.4) and their semantics over documents.
+
+A query applies a projection sequence X = (n1, …, nk) to the matches of a
+(possibly augmented, Section 7.2) pattern:
+
+    Q(d) = { (φ(n1), …, φ(nk)) | φ ∈ M(αT, d) }.
+
+A *selector* is the special case of a single projected node.  Boolean
+queries (empty X) are handled through c-formulae (``formulas.exists``).
+
+Probabilistic evaluation — Pr(t ∈ Q(D)) per tuple over a PXDB — lives in
+``repro.core.query_eval``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from ..xmltree.document import DocNode, Document
+from ..xmltree.matching import enumerate_matches
+from ..xmltree.parser import parse_pattern
+from ..xmltree.pattern import Pattern, PatternNode
+from .formulas import CFormula, DocumentEvaluator, SFormula
+
+
+class Query:
+    """A query π_X αT: pattern, projection sequence and α attachments."""
+
+    __slots__ = ("pattern", "projection", "alpha")
+
+    def __init__(
+        self,
+        pattern: Pattern,
+        projection: Iterable[PatternNode],
+        alpha: Mapping[int, CFormula] | None = None,
+    ):
+        self.pattern = pattern
+        self.projection = tuple(projection)
+        for node in self.projection:
+            if not pattern.contains(node):
+                raise ValueError("projection node does not belong to the pattern")
+        self.alpha: dict[int, CFormula] = dict(alpha or {})
+
+    @classmethod
+    def parse(cls, text: str) -> "Query":
+        """Build a query from the textual pattern syntax; the ``$``/``$k:``
+        markers define the projection sequence."""
+        pattern, projections = parse_pattern(text)
+        if not projections:
+            raise ValueError(f"query needs at least one projected node: {text!r}")
+        projection = [projections[i] for i in sorted(projections)]
+        return cls(pattern, projection)
+
+    def is_selector(self) -> bool:
+        return len(self.projection) == 1
+
+    def as_sformula(self) -> SFormula:
+        """The s-formula of a selector query (single projected node)."""
+        if not self.is_selector():
+            raise ValueError("only single-projection queries are selectors")
+        return SFormula(self.pattern, self.projection[0], self.alpha)
+
+    # -- deterministic semantics ---------------------------------------------
+    def answers(self, document: Document | DocNode) -> set[tuple[DocNode, ...]]:
+        """Q(d): the set of projected tuples over the matches M(αT, d)."""
+        root = document.root if isinstance(document, Document) else document
+        evaluator = DocumentEvaluator()
+        alpha = self.alpha
+
+        def extra_test(pattern_node: PatternNode, doc_node: DocNode) -> bool:
+            formula = alpha.get(id(pattern_node))
+            return formula is None or evaluator.satisfies(doc_node, formula)
+
+        test = extra_test if alpha else None
+        return {
+            tuple(match[id(node)] for node in self.projection)
+            for match in enumerate_matches(self.pattern, root, test)
+        }
+
+    def answer_labels(self, document: Document | DocNode) -> set[tuple]:
+        """Convenience: the answers as tuples of labels."""
+        return {
+            tuple(node.label for node in answer) for answer in self.answers(document)
+        }
+
+    def __repr__(self) -> str:
+        return f"Query(π over {len(self.projection)} nodes of {self.pattern!r})"
+
+
+def selector(text: str) -> SFormula:
+    """Parse a selector string directly into an s-formula."""
+    return Query.parse(text).as_sformula()

@@ -1,0 +1,129 @@
+"""Query evaluation over PXDBs — the problem EVAL⟨Q, C⟩ (Section 4).
+
+The result of a query Q over the PXDB D̃ = (P̃, C) maps every possible
+answer tuple t to Pr(t ∈ Q(D)).  Following Section 5, the non-Boolean case
+reduces to Boolean queries by "extending the notion of labels": for each
+candidate tuple t, the pattern's projected nodes are *bound* to t's
+document nodes (the :class:`~repro.xmltree.predicates.NodeIs` predicate),
+which yields a Boolean pattern T_t, and then
+
+    Pr(t ∈ Q(D)) = Pr(P ⊨ C ∧ T_t) / Pr(P ⊨ C).
+
+Candidate tuples are harvested from the p-document's *skeleton* (the
+document retaining every ordinary node): every match in every world is a
+match in the skeleton, because a retained node keeps its lowest ordinary
+ancestor as parent in all worlds.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Mapping
+
+from ..pdoc.pdocument import PDocument
+from ..xmltree.matching import enumerate_matches
+from ..xmltree.pattern import Pattern, PatternNode
+from ..xmltree.predicates import NodeIs, PredAnd
+from .evaluator import probabilities, probability
+from .formulas import CFormula, SFormula, TRUE, conjunction, exists
+from .query import Query
+
+AnswerTable = dict[tuple[int, ...], Fraction]
+
+
+def bound_formula(query: Query, tuple_uids: tuple[int, ...]) -> CFormula:
+    """The Boolean c-formula T_t: the query's pattern with each projected
+    node pinned to the corresponding document node of the candidate tuple."""
+    mapping: dict[int, PatternNode] = {}
+
+    def clone(node: PatternNode) -> PatternNode:
+        copy = PatternNode(node.predicate, node.axis, node.name)
+        mapping[id(node)] = copy
+        for child in node.children:
+            copy.add_child(clone(child))
+        return copy
+
+    new_root = clone(query.pattern.root)
+    for position, node in enumerate(query.projection):
+        bound = mapping[id(node)]
+        bound.predicate = PredAnd((bound.predicate, NodeIs(tuple_uids[position])))
+    new_alpha = {
+        id(mapping[old_id]): formula
+        for old_id, formula in query.alpha.items()
+        if old_id in mapping
+    }
+    return exists(Pattern(new_root), new_alpha)
+
+
+def candidate_tuples(query: Query, pdoc: PDocument) -> list[tuple[int, ...]]:
+    """All tuples (as uid vectors) that any world could possibly return,
+    read off the skeleton document.  α attachments are deliberately
+    ignored here — they may hold in some world even if not in the
+    skeleton — so this is a sound over-approximation."""
+    skeleton = pdoc.skeleton()
+    seen: set[tuple[int, ...]] = set()
+    ordered: list[tuple[int, ...]] = []
+    for match in enumerate_matches(query.pattern, skeleton.root):
+        answer = tuple(match[id(node)].uid for node in query.projection)
+        if answer not in seen:
+            seen.add(answer)
+            ordered.append(answer)
+    return ordered
+
+
+def evaluate_query(
+    query: Query,
+    pdoc: PDocument,
+    condition: CFormula = TRUE,
+    keep_zero: bool = False,
+) -> AnswerTable:
+    """EVAL⟨Q, C⟩: {tuple of uids → Pr(t ∈ Q(D))} over the PXDB (P̃, C).
+
+    ``condition`` is the constraint set as a single c-formula (see
+    ``repro.core.constraints.constraints_formula``); TRUE evaluates over
+    the unconstrained p-document.  Tuples with probability 0 are dropped
+    unless ``keep_zero`` is set.
+
+    Raises ``ValueError`` when Pr(P ⊨ C) = 0 (the PXDB is not well-defined).
+    """
+    denominator = probability(pdoc, condition)
+    if denominator == 0:
+        raise ValueError("the p-document is not consistent with the constraints")
+    table: AnswerTable = {}
+    for answer in candidate_tuples(query, pdoc):
+        joint = probability(pdoc, conjunction([condition, bound_formula(query, answer)]))
+        value = joint / denominator
+        if value > 0 or keep_zero:
+            table[answer] = value
+    return table
+
+
+def boolean_query_probability(
+    pattern: Pattern,
+    pdoc: PDocument,
+    condition: CFormula = TRUE,
+    alpha: Mapping[int, CFormula] | None = None,
+) -> Fraction:
+    """Pr(D ⊨ T′) for a Boolean query over the PXDB (P̃, C) (Section 5):
+    Pr(P ⊨ C ∧ T′) / Pr(P ⊨ C), both computed in one joint DP pass."""
+    query_formula = exists(pattern, alpha)
+    joint, denominator = probabilities(
+        pdoc, [conjunction([condition, query_formula]), condition]
+    )
+    if denominator == 0:
+        raise ValueError("the p-document is not consistent with the constraints")
+    return joint / denominator
+
+
+def decode_answers(table: AnswerTable, pdoc: PDocument) -> dict[tuple, Fraction]:
+    """Human-readable view of an answer table: uid tuples become label tuples.
+
+    Distinct nodes may share labels; colliding label tuples keep the
+    highest probability (this is a presentation helper, not semantics).
+    """
+    decoded: dict[tuple, Fraction] = {}
+    for answer, value in table.items():
+        labels = tuple(pdoc.node_by_uid(uid).label for uid in answer)
+        if labels not in decoded or decoded[labels] < value:
+            decoded[labels] = value
+    return decoded

@@ -1,0 +1,122 @@
+"""Sampling PXDBs — the algorithm Sample⟨C⟩(P̃) of Figure 3 (Section 6).
+
+Drawing a random document *conditioned on the constraints* is nontrivial:
+naive generation followed by rejection runs forever when Pr(P ⊨ C) is
+small, and the constraints induce dependencies across the whole tree.  The
+paper's algorithm processes the distributional edges (v1,w1)…(vm,wm) one
+at a time; for edge i it computes the *posterior* probability of choosing
+the edge given that the final sample satisfies C —
+
+    p_i = P̃_{i-1}(v_i, w_i) · Pr(P_i ⊨ C) / q_{i-1}        (Bayes),
+
+tosses an exact Bernoulli coin, and *conditions* the p-document on the
+outcome (the Norm subroutine:
+:meth:`~repro.pdoc.pdocument.PDocument.conditioned_on_edge`).  After all m
+edges every edge probability is 0 or 1, so the remaining p-document is a
+single document, which is returned.  Theorem 6.2: each document d is
+produced with probability exactly Pr(D = d).
+
+Each iteration costs one run of the polynomial evaluator, so the whole
+sampler is polynomial (Theorem 6.1).  Lines 5–9 of Figure 3 — skipping
+edges whose current probability is already 0 or 1 — are implemented
+verbatim; as the paper notes, this is needed for correctness, not just
+speed (conditioning on a sure/impossible edge is undefined).
+"""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+
+from ..pdoc.pdocument import EXP, IND, MUX, ORD, PDocument, PNode
+from ..xmltree.document import DocNode, Document
+from .evaluator import probability
+from .formulas import CFormula, TRUE
+
+
+def bernoulli(p: Fraction, rng: random.Random) -> bool:
+    """An exact Bernoulli(p) coin for rational p (no float rounding)."""
+    if p <= 0:
+        return False
+    if p >= 1:
+        return True
+    return rng.randrange(p.denominator) < p.numerator
+
+
+def sample(
+    pdoc: PDocument,
+    condition: CFormula = TRUE,
+    rng: random.Random | None = None,
+) -> Document:
+    """Draw one document of the PXDB (P̃, C) with probability Pr(D = d).
+
+    ``condition`` is the constraint set as a single c-formula; TRUE yields
+    unconditioned sampling (in that case every posterior equals the prior
+    and the algorithm degenerates to the two-step process of Section 3.1).
+
+    Raises ``ValueError`` when Pr(P ⊨ C) = 0.
+    """
+    rng = rng if rng is not None else random.Random()
+    current = pdoc
+    q = probability(current, condition)  # q_0 ← Pr(P_0 ⊨ C)
+    if q == 0:
+        raise ValueError("the p-document is not consistent with the constraints")
+
+    total_edges = len(pdoc.dist_edges())
+    for i in range(total_edges):
+        # Clones preserve shape and child order, so the i-th edge of the
+        # current p-document is the i-th edge of the original.
+        edge = current.dist_edges()[i]
+        node, index = edge
+        prior = current.edge_prob(node, index)  # q̂_i
+        if prior == 0 or prior == 1:
+            continue  # lines 5–9: the choice is already determined
+        chosen_doc = current.conditioned_on_edge(edge, True)  # Norm(P, v→w)
+        q_chosen = probability(chosen_doc, condition)  # q′
+        posterior = prior * q_chosen / q  # p_i (Bayes' theorem)
+        if bernoulli(posterior, rng):
+            current, q = chosen_doc, q_chosen
+        else:
+            current = current.conditioned_on_edge(edge, False)  # Norm(P, v↛w)
+            q = (q - q_chosen * prior) / (1 - prior)
+    return deterministic_instance(current)
+
+
+def deterministic_instance(pdoc: PDocument) -> Document:
+    """Materialize a p-document whose every distributional choice is fixed
+    (all ind/mux edge probabilities 0/1; all positive exp subsets equal)."""
+
+    def chosen_children(node: PNode) -> list[PNode]:
+        if node.kind == IND:
+            return [c for c, p in zip(node.children, node.probs) if _sure(p)]
+        if node.kind == MUX:
+            return [c for c, p in zip(node.children, node.probs) if _sure(p)]
+        if node.kind == EXP:
+            positive = [s for s, p in node.subsets if p > 0]
+            first = positive[0]
+            if any(s != first for s in positive):
+                raise ValueError("exp node is not fully determined")
+            return [node.children[i] for i in sorted(first)]
+        raise AssertionError
+
+    def _sure(p: Fraction) -> bool:
+        if p == 1:
+            return True
+        if p == 0:
+            return False
+        raise ValueError("p-document is not fully determined")
+
+    def build(pnode: PNode) -> DocNode:
+        doc_node = DocNode(pnode.label, uid=pnode.uid)
+        attach(pnode, doc_node)
+        return doc_node
+
+    def attach(pnode: PNode, doc_parent: DocNode) -> None:
+        children = pnode.children if pnode.kind == ORD else chosen_children(pnode)
+        for child in children:
+            if child.kind == ORD:
+                doc_parent.add_child(build(child))
+            else:
+                attach(child, doc_parent)
+
+    return Document(build(pdoc.root))

@@ -1,0 +1,155 @@
+"""Distributional statistics of selector counts over a PXDB.
+
+The paper evaluates *threshold* comparisons of aggregates (Section 7.2);
+this module derives richer statistics from the same machinery — the
+natural follow-up the paper's conclusion points to (aggregate queries in
+the style of Re & Suciu's HAVING work):
+
+* :func:`membership_probabilities` — Pr(v ∈ σ(D)) for every candidate
+  node v, via the node-binding device of Section 5;
+* :func:`expected_count` — E[CNT(σ(D))] by linearity (a sum of membership
+  probabilities; polynomial);
+* :func:`count_variance` — Var[CNT(σ(D))] from pairwise joint
+  memberships (quadratically many evaluator calls; still polynomial);
+* :func:`count_distribution` — the full distribution of CNT(σ(D)), one
+  evaluator call per attainable value;
+* :func:`expected_sum` — E[SUM of numeric labels of σ(D)].  Notable:
+  although *threshold* questions about SUM are NP-hard (Proposition 7.2),
+  the expectation is polynomial — linearity sidesteps the Subset-Sum
+  structure entirely.
+
+All results are conditional on the PXDB's constraints when a condition is
+supplied, and exact (Fractions).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from ..pdoc.pdocument import PDocument
+from ..xmltree.predicates import NodeIs, PredAnd, is_numeric_label, numeric_value
+from ..xmltree.pattern import Pattern, PatternNode
+from .evaluator import probabilities, probability
+from .formulas import CFormula, CountAtom, SFormula, TRUE, conjunction, exists
+
+
+def _bound_event(sformula: SFormula, uid: int) -> CFormula:
+    """The event 'the node with this uid is selected by σ' — the pattern
+    with the projected node pinned to the uid (Section 5's label trick)."""
+    mapping: dict[int, PatternNode] = {}
+
+    def clone(node: PatternNode) -> PatternNode:
+        copy = PatternNode(node.predicate, node.axis, node.name)
+        mapping[id(node)] = copy
+        for child in node.children:
+            copy.add_child(clone(child))
+        return copy
+
+    new_root = clone(sformula.pattern.root)
+    bound = mapping[id(sformula.projected)]
+    bound.predicate = PredAnd((bound.predicate, NodeIs(uid)))
+    new_alpha = {
+        id(mapping[old_id]): formula
+        for old_id, formula in sformula.alpha.items()
+        if old_id in mapping
+    }
+    return exists(Pattern(new_root), new_alpha)
+
+
+def candidate_uids(sformula: SFormula, pdoc: PDocument) -> list[int]:
+    """Uids of every node that could possibly be selected (skeleton pass)."""
+    from ..xmltree.matching import selected_set
+
+    skeleton = pdoc.skeleton()
+    selected = selected_set(sformula.pattern, sformula.projected, skeleton.root)
+    return sorted(node.uid for node in selected)
+
+
+def membership_probabilities(
+    sformula: SFormula, pdoc: PDocument, condition: CFormula = TRUE
+) -> dict[int, Fraction]:
+    """{uid: Pr(v ∈ σ(D))} over the PXDB (P̃, condition)."""
+    uids = candidate_uids(sformula, pdoc)
+    denominator = probability(pdoc, condition)
+    if denominator == 0:
+        raise ValueError("the p-document is not consistent with the constraints")
+    table: dict[int, Fraction] = {}
+    for uid in uids:
+        joint = probability(
+            pdoc, conjunction([condition, _bound_event(sformula, uid)])
+        )
+        table[uid] = joint / denominator
+    return table
+
+
+def expected_count(
+    sformula: SFormula, pdoc: PDocument, condition: CFormula = TRUE
+) -> Fraction:
+    """E[CNT(σ(D))] = Σ_v Pr(v ∈ σ(D)) — linearity of expectation."""
+    return sum(
+        membership_probabilities(sformula, pdoc, condition).values(), Fraction(0)
+    )
+
+
+def count_variance(
+    sformula: SFormula, pdoc: PDocument, condition: CFormula = TRUE
+) -> Fraction:
+    """Var[CNT(σ(D))] from pairwise joint membership probabilities.
+
+    E[X²] = Σ_u Σ_v Pr(u ∈ σ ∧ v ∈ σ); the diagonal terms are the
+    marginals, the off-diagonal ones need one evaluator call per unordered
+    pair — O(n²) calls, each polynomial.
+    """
+    uids = candidate_uids(sformula, pdoc)
+    denominator = probability(pdoc, condition)
+    if denominator == 0:
+        raise ValueError("the p-document is not consistent with the constraints")
+    marginals = membership_probabilities(sformula, pdoc, condition)
+    mean = sum(marginals.values(), Fraction(0))
+    second_moment = sum(marginals.values(), Fraction(0))  # diagonal: Pr(u ∈ σ)
+    for i, u in enumerate(uids):
+        for v in uids[i + 1 :]:
+            joint_event = conjunction(
+                [condition, _bound_event(sformula, u), _bound_event(sformula, v)]
+            )
+            joint = probability(pdoc, joint_event) / denominator
+            second_moment += 2 * joint
+    return second_moment - mean * mean
+
+
+def count_distribution(
+    sformula: SFormula, pdoc: PDocument, condition: CFormula = TRUE
+) -> dict[int, Fraction]:
+    """The exact distribution {k: Pr(CNT(σ(D)) = k)}.
+
+    One joint evaluator pass per attainable k (0 … #candidates), each with
+    the atom CNT(σ) = k conjoined to the condition.
+    """
+    upper = len(candidate_uids(sformula, pdoc))
+    queries = [
+        conjunction([condition, CountAtom([sformula], "=", k)])
+        for k in range(upper + 1)
+    ]
+    values = probabilities(pdoc, queries + [condition])
+    denominator = values[-1]
+    if denominator == 0:
+        raise ValueError("the p-document is not consistent with the constraints")
+    distribution = {
+        k: values[k] / denominator for k in range(upper + 1) if values[k] > 0
+    }
+    return distribution
+
+
+def expected_sum(
+    sformula: SFormula, pdoc: PDocument, condition: CFormula = TRUE
+) -> Fraction:
+    """E[Σ numeric labels of σ(D)] — polynomial despite Proposition 7.2:
+    linearity of expectation needs only per-node membership marginals,
+    never the (NP-hard) distribution of the sum itself."""
+    marginals = membership_probabilities(sformula, pdoc, condition)
+    total = Fraction(0)
+    for uid, prob in marginals.items():
+        label = pdoc.node_by_uid(uid).label
+        if is_numeric_label(label):
+            total += numeric_value(label) * prob
+    return total

@@ -1,0 +1,134 @@
+"""A library of common integrity-constraint templates.
+
+The paper argues that constraints "can be derived immediately from
+user-knowledge about real-world requirements, and as such, are expected to
+be easy to formulate" (Section 1).  These constructors capture the shapes
+that cover most such requirements, each returning a plain
+:class:`~repro.core.constraints.Constraint` (Definition 2.2) or c-formula,
+so everything downstream (evaluation, sampling, SNC/WNC) applies:
+
+* :func:`at_most` / :func:`at_least` / :func:`exactly` / :func:`between`
+  — cardinality of a selector inside each scope subtree;
+* :func:`unique` — "at most one X per Y" (the key-style constraints that
+  earlier probabilistic work [20] supported);
+* :func:`requires` — co-occurrence: a witness of A forces a witness of B;
+* :func:`excludes` — mutual exclusion: A and B never co-occur in a scope;
+* :func:`implies_within` — the full conditional form with explicit
+  thresholds on both sides.
+
+All selectors can be given as s-formulae or as pattern strings
+(``"university/$department"``).
+"""
+
+from __future__ import annotations
+
+from .. import ops
+from ..xmltree.parser import parse_selector
+from .constraints import Constraint, always
+from .formulas import CFormula, SFormula
+
+SelectorLike = "SFormula | str"
+
+
+def _selector(value) -> SFormula:
+    if isinstance(value, SFormula):
+        return value
+    pattern, node = parse_selector(value)
+    return SFormula(pattern, node)
+
+
+def at_most(scope, selector, bound: int, name: str | None = None) -> Constraint:
+    """∀scope: CNT(selector) ≤ bound — e.g. the paper's C1 with bound 1."""
+    return always(_selector(scope), _selector(selector), ops.LE, bound, name=name)
+
+
+def at_least(scope, selector, bound: int, name: str | None = None) -> Constraint:
+    """∀scope: CNT(selector) ≥ bound."""
+    return always(_selector(scope), _selector(selector), ops.GE, bound, name=name)
+
+
+def exactly(scope, selector, bound: int, name: str | None = None) -> Constraint:
+    """∀scope: CNT(selector) = bound."""
+    return always(_selector(scope), _selector(selector), ops.EQ, bound, name=name)
+
+
+def between(
+    scope, selector, low: int, high: int, name: str | None = None
+) -> list[Constraint]:
+    """∀scope: low ≤ CNT(selector) ≤ high, as two constraints."""
+    if low > high:
+        raise ValueError(f"empty range [{low}, {high}]")
+    tag = name or "between"
+    return [
+        at_least(scope, selector, low, name=f"{tag}-low"),
+        at_most(scope, selector, high, name=f"{tag}-high"),
+    ]
+
+
+def unique(scope, selector, name: str | None = None) -> Constraint:
+    """At most one selected node per scope subtree — the key-style
+    constraint (the only kind prior probabilistic work supported)."""
+    return at_most(scope, selector, 1, name=name or "unique")
+
+
+def requires(scope, antecedent, consequent, name: str | None = None) -> Constraint:
+    """∀scope: CNT(antecedent) ≥ 1 → CNT(consequent) ≥ 1."""
+    return Constraint(
+        _selector(scope),
+        _selector(antecedent),
+        ops.GE,
+        1,
+        _selector(consequent),
+        ops.GE,
+        1,
+        name=name or "requires",
+    )
+
+
+def excludes(scope, first, second, name: str | None = None) -> Constraint:
+    """∀scope: CNT(first) ≥ 1 → CNT(second) = 0 (mutual exclusion; by
+    symmetry of the contrapositive one direction suffices)."""
+    return Constraint(
+        _selector(scope),
+        _selector(first),
+        ops.GE,
+        1,
+        _selector(second),
+        ops.EQ,
+        0,
+        name=name or "excludes",
+    )
+
+
+def implies_within(
+    scope,
+    antecedent,
+    op1: str,
+    n1: int,
+    consequent,
+    op2: str,
+    n2: int,
+    name: str | None = None,
+) -> Constraint:
+    """The full Definition 2.2 form with explicit thresholds."""
+    return Constraint(
+        _selector(scope),
+        _selector(antecedent),
+        op1,
+        n1,
+        _selector(consequent),
+        op2,
+        n2,
+        name=name,
+    )
+
+
+def conditional_presence(scope, trigger_label, required_label, name=None) -> Constraint:
+    """Sugar: inside each scope subtree, a child labeled ``trigger_label``
+    forces a child labeled ``required_label`` (both as quoted labels)."""
+    return requires(
+        scope,
+        f"*/$'{trigger_label}'" if isinstance(trigger_label, str) else trigger_label,
+        f"*/$'{required_label}'" if isinstance(required_label, str) else required_label,
+        name=name or f"{trigger_label}-needs-{required_label}",
+    )

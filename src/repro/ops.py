@@ -1,0 +1,77 @@
+"""Numerical comparison operators shared by constraints, atoms and predicates.
+
+The paper draws comparison operators from {=, ≠, <, ≤, >, ≥} (Definition
+2.2).  This module gives them a single canonical representation, plus the
+complement operation used by the constraint-to-c-formula translation of
+Section 5.1 (e.g. the complement of ``<`` is ``≥``).
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import Callable
+
+# Canonical operator names.
+EQ, NE, LT, LE, GT, GE = "=", "!=", "<", "<=", ">", ">="
+
+ALL_OPS: tuple[str, ...] = (EQ, NE, LT, LE, GT, GE)
+
+_FUNCS: dict[str, Callable] = {
+    EQ: operator.eq,
+    NE: operator.ne,
+    LT: operator.lt,
+    LE: operator.le,
+    GT: operator.gt,
+    GE: operator.ge,
+}
+
+_COMPLEMENT: dict[str, str] = {EQ: NE, NE: EQ, LT: GE, GE: LT, GT: LE, LE: GT}
+
+_ALIASES: dict[str, str] = {
+    "==": EQ,
+    "=": EQ,
+    "!=": NE,
+    "<>": NE,
+    "≠": NE,
+    "<": LT,
+    "<=": LE,
+    "≤": LE,
+    ">": GT,
+    ">=": GE,
+    "≥": GE,
+}
+
+
+def normalize(op: str) -> str:
+    """Return the canonical form of a comparison operator string."""
+    try:
+        return _ALIASES[op]
+    except KeyError:
+        raise ValueError(f"unknown comparison operator: {op!r}") from None
+
+
+def apply(op: str, left, right) -> bool:
+    """Evaluate ``left op right``."""
+    return _FUNCS[normalize(op)](left, right)
+
+
+def complement(op: str) -> str:
+    """Return the complementary operator θ̄ (paper, Section 5.1)."""
+    return _COMPLEMENT[normalize(op)]
+
+
+def compare_saturated(value: int, cap: int, op: str, bound) -> bool:
+    """Evaluate ``count op bound`` when only ``min(count, cap)`` is known.
+
+    The evaluation algorithm saturates counts at ``cap``; the choice of cap
+    (see ``repro.core.compiler``) guarantees that the comparison against
+    ``bound`` is still decided exactly: if ``value < cap`` the count is
+    exact, and if ``value == cap`` the count is known to be >= cap > bound.
+    """
+    op = normalize(op)
+    if value < cap:
+        return _FUNCS[op](value, bound)
+    # The true count is some integer >= cap, and cap > bound by construction.
+    if op in (GT, GE, NE):
+        return True
+    return False  # =, <, <= are all false for counts strictly above bound

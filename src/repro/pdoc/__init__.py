@@ -1,0 +1,51 @@
+"""P-documents: probabilistic XML trees (PrXML^{ind,mux,exp}).
+
+Implements Section 3.1 of the paper plus the ``exp`` extension of Section
+7.3, with exact-rational probabilities, possible-world enumeration (the
+exponential ground truth used by tests and baselines) and unconditioned
+random-instance generation.
+"""
+
+from .enumerate import (
+    WorldDist,
+    node_probability,
+    world_distribution,
+    world_documents,
+    world_probability,
+)
+from .generate import random_instance, random_world
+from .pdocument import DIST_KINDS, EXP, IND, MUX, ORD, Edge, PDocument, PNode, pdocument
+from .serialize import pdocument_from_xml, pdocument_to_xml
+from .transform import (
+    collapse_ind_chains,
+    exp_to_ind_mux,
+    inline_sure_edges,
+    normalize,
+    prune_impossible,
+)
+
+__all__ = [
+    "DIST_KINDS",
+    "EXP",
+    "Edge",
+    "IND",
+    "MUX",
+    "ORD",
+    "PDocument",
+    "PNode",
+    "WorldDist",
+    "node_probability",
+    "pdocument",
+    "pdocument_from_xml",
+    "pdocument_to_xml",
+    "random_instance",
+    "random_world",
+    "world_distribution",
+    "world_documents",
+    "world_probability",
+    "collapse_ind_chains",
+    "exp_to_ind_mux",
+    "inline_sure_edges",
+    "normalize",
+    "prune_impossible",
+]

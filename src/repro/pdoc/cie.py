@@ -1,0 +1,248 @@
+"""PrXML^{cie}: the probabilistic-tree model of Abiteboul & Senellart
+(Section 7.3's second half).
+
+In this model, probabilistic *events* e1, e2, … are global independent
+Boolean variables, and every ``cie`` distributional node attaches to each
+child a conjunction of event literals (e or ¬e).  A child is retained iff
+its conjunction evaluates to true under the sampled event assignment.
+Because the same event can guard nodes in distant parts of the tree, this
+expresses arbitrary correlations — which is exactly why it is intractable:
+the paper notes that query evaluation for non-trivial Boolean tree queries
+is #P-complete here, and that adding cie features to the PXDB model makes
+even *approximating* query evaluation NP-hard (deciding positivity of
+"every A-labeled node has a child" is NP-complete).
+
+This module implements the model faithfully — with, of course, only
+exponential evaluation (:func:`cie_world_distribution`) and a reduction
+witnessing the hardness claim (:func:`three_sat_reduction`, from 3-SAT:
+the constraint "every clause node has a child" has positive probability
+iff the formula is satisfiable).  It serves as the expressiveness/
+tractability contrast to the PXDB approach (experiment E7's second half).
+"""
+
+from __future__ import annotations
+
+import itertools
+from fractions import Fraction
+from typing import Iterable, Sequence
+
+from ..xmltree import tree
+from ..xmltree.document import DocNode, Document
+
+ORD = "ord"
+CIE = "cie"
+
+# A literal: (event name, polarity). (e, True) means "e", (e, False) "¬e".
+Literal = tuple[str, bool]
+
+
+class CieNode:
+    """A node of a PrXML^{cie} tree: ordinary (labeled) or ``cie``.
+
+    A cie node stores, per child, a conjunction of event literals; the
+    child survives iff all its literals hold under the event assignment.
+    """
+
+    __slots__ = ("kind", "label", "uid", "conditions", "_children", "_parent")
+
+    def __init__(self, kind: str, label=None, uid: int | None = None):
+        from ..xmltree.document import fresh_uid
+
+        if kind not in (ORD, CIE):
+            raise ValueError(f"unknown cie-node kind {kind!r}")
+        if (kind == ORD) != (label is not None):
+            raise ValueError("ordinary nodes carry a label; cie nodes do not")
+        self.kind = kind
+        self.label = label
+        self.uid = (fresh_uid() if uid is None else uid) if kind == ORD else None
+        self.conditions: list[tuple[Literal, ...]] = []
+        self._children: list[CieNode] = []
+        self._parent: CieNode | None = None
+
+    @property
+    def children(self) -> list["CieNode"]:
+        return self._children
+
+    @property
+    def parent(self) -> "CieNode | None":
+        return self._parent
+
+    def ordinary(self, label) -> "CieNode":
+        if self.kind != ORD:
+            raise ValueError("use add_child on cie nodes")
+        node = CieNode(ORD, label)
+        node._parent = self
+        self._children.append(node)
+        return node
+
+    def cie(self) -> "CieNode":
+        if self.kind != ORD:
+            raise ValueError("cie nodes cannot nest directly in this builder")
+        node = CieNode(CIE)
+        node._parent = self
+        self._children.append(node)
+        return node
+
+    def add_child(self, child: "CieNode | object", literals: Iterable[Literal]) -> "CieNode":
+        """Attach a child below this cie node, guarded by the literals."""
+        if self.kind != CIE:
+            raise ValueError("add_child applies to cie nodes")
+        node = child if isinstance(child, CieNode) else CieNode(ORD, child)
+        node._parent = self
+        self._children.append(node)
+        self.conditions.append(tuple(literals))
+        return node
+
+
+class CieDocument:
+    """A PrXML^{cie} tree plus the event probabilities."""
+
+    __slots__ = ("root", "event_probs")
+
+    def __init__(self, root: CieNode, event_probs: dict[str, Fraction]):
+        if root.kind != ORD:
+            raise ValueError("the root must be ordinary")
+        self.root = root
+        self.event_probs = {name: Fraction(p) for name, p in event_probs.items()}
+        for name, p in self.event_probs.items():
+            if not 0 <= p <= 1:
+                raise ValueError(f"event {name!r} probability {p} outside [0, 1]")
+        self._check_events()
+
+    def _check_events(self) -> None:
+        for node in tree.preorder(self.root):
+            if node.kind != CIE:
+                continue
+            for literals in node.conditions:
+                for event, _ in literals:
+                    if event not in self.event_probs:
+                        raise ValueError(f"undeclared event {event!r}")
+
+    def events(self) -> list[str]:
+        return sorted(self.event_probs)
+
+    def instantiate(self, assignment: dict[str, bool]) -> Document:
+        """The document induced by a full event assignment."""
+
+        def build(node: CieNode) -> DocNode:
+            doc_node = DocNode(node.label, uid=node.uid)
+            attach(node, doc_node)
+            return doc_node
+
+        def attach(node: CieNode, doc_parent: DocNode) -> None:
+            if node.kind == ORD:
+                for child in node.children:
+                    dispatch(child, doc_parent)
+                return
+            for child, literals in zip(node.children, node.conditions):
+                if all(assignment[event] == polarity for event, polarity in literals):
+                    dispatch(child, doc_parent)
+
+        def dispatch(child: CieNode, doc_parent: DocNode) -> None:
+            if child.kind == ORD:
+                doc_parent.add_child(build(child))
+            else:
+                attach(child, doc_parent)
+
+        return Document(build(self.root))
+
+
+def cie_world_distribution(cdoc: CieDocument) -> dict[frozenset[int], Fraction]:
+    """The exact world distribution — Θ(2^#events); the model offers no
+    polynomial alternative (that is its point here)."""
+    events = cdoc.events()
+    distribution: dict[frozenset[int], Fraction] = {}
+    for values in itertools.product((False, True), repeat=len(events)):
+        assignment = dict(zip(events, values))
+        weight = Fraction(1)
+        for event, value in assignment.items():
+            p = cdoc.event_probs[event]
+            weight *= p if value else 1 - p
+        if weight == 0:
+            continue
+        key = cdoc.instantiate(assignment).uid_set()
+        distribution[key] = distribution.get(key, Fraction(0)) + weight
+    return distribution
+
+
+def cie_probability(cdoc: CieDocument, formula) -> Fraction:
+    """Pr(P ⊨ γ) over a PrXML^{cie} tree, by exhaustive evaluation."""
+    from ..core.formulas import DocumentEvaluator
+
+    total = Fraction(0)
+    worlds = cie_world_distribution(cdoc)
+    for uids, weight in worlds.items():
+        document = _document_from_uids(cdoc, uids)
+        if DocumentEvaluator().satisfies(document.root, formula):
+            total += weight
+    return total
+
+
+def _document_from_uids(cdoc: CieDocument, uids: frozenset[int]) -> Document:
+    def build(node: CieNode) -> DocNode | None:
+        if node.kind == ORD and node.uid not in uids:
+            return None
+        doc_node = DocNode(node.label, uid=node.uid)
+
+        def attach(inner: CieNode) -> None:
+            for child in inner.children:
+                if child.kind == ORD:
+                    built = build(child)
+                    if built is not None:
+                        doc_node.add_child(built)
+                else:
+                    attach(child)
+
+        attach(node)
+        return doc_node
+
+    built = build(cdoc.root)
+    if built is None:
+        raise ValueError("uid set does not contain the root")
+    return Document(built)
+
+
+def three_sat_reduction(
+    clauses: Sequence[Sequence[tuple[str, bool]]],
+) -> CieDocument:
+    """3-SAT ↦ PrXML^{cie}: one event per variable (probability 1/2); one
+    A-labeled node per clause; under each clause an independent child per
+    literal, guarded by that literal.
+
+    The Boolean constraint "every node labeled A has a child" holds with
+    positive probability iff the formula is satisfiable — the paper's
+    witness that the combined model loses even approximability.
+    """
+    variables = sorted({name for clause in clauses for name, _ in clause})
+    root = CieNode(ORD, "phi")
+    for index, clause in enumerate(clauses):
+        clause_node = root.ordinary("A")
+        guard = clause_node.cie()
+        for literal in clause:
+            guard.add_child(f"lit-{index}", [literal])
+    return CieDocument(root, {name: Fraction(1, 2) for name in variables})
+
+
+def every_a_has_a_child_formula():
+    """The hard constraint of Section 7.3: every A-labeled node has a child."""
+    from ..core.formulas import CountAtom, SFormula, negation
+    from ..xmltree.pattern import pattern
+    from ..xmltree.predicates import LabelEquals
+
+    witness, root = pattern()
+    a_node = root.descendant(LabelEquals("A"))
+    childless = SFormula(
+        witness,
+        a_node,
+        {id(a_node): CountAtom([_any_child_selector()], "=", 0)},
+    )
+    return CountAtom([childless], "=", 0)
+
+
+def _any_child_selector():
+    from ..core.formulas import SFormula
+    from ..xmltree.pattern import pattern
+
+    p, root = pattern()
+    child = root.child()
+    return SFormula(p, child)

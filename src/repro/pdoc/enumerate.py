@@ -1,0 +1,190 @@
+"""Exact possible-world enumeration for p-documents.
+
+This is the exponential ground-truth machinery used by the test-suite and
+the baseline evaluator: it materializes the *entire* probability space of a
+p-document as a map from worlds to probabilities.
+
+A world is identified by the frozen set of ordinary-node uids it retains.
+That identification is sound because (a) an ordinary node appears in a
+random document iff all the distributional choices on its path select it,
+so retained uid sets are downward-closed, and (b) the document parent of a
+retained node (its lowest ordinary ancestor) never varies across worlds.
+It also aggregates correctly: the paper notes (footnote 3) that two
+different random processes may yield the same document; keying by uid set
+merges their probabilities.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from ..xmltree.document import Document
+from .pdocument import EXP, IND, MUX, ORD, PDocument, PNode
+
+WorldDist = dict[frozenset[int], Fraction]
+
+_EMPTY_DIST: WorldDist = {frozenset(): Fraction(1)}
+
+
+def _convolve(left: WorldDist, right: WorldDist) -> WorldDist:
+    result: WorldDist = {}
+    for s1, p1 in left.items():
+        for s2, p2 in right.items():
+            key = s1 | s2
+            result[key] = result.get(key, Fraction(0)) + p1 * p2
+    return result
+
+
+def _scale_mix(parts: list[tuple[Fraction, WorldDist]]) -> WorldDist:
+    result: WorldDist = {}
+    for weight, dist in parts:
+        if weight == 0:
+            continue
+        for s, p in dist.items():
+            result[s] = result.get(s, Fraction(0)) + weight * p
+    return result
+
+
+def _forest_dist(node: PNode) -> WorldDist:
+    """Distribution over uid sets of the document forest generated below
+    (and including, for ordinary nodes) ``node``, given the node is reached."""
+    if node.kind == ORD:
+        dist = _EMPTY_DIST
+        for child in node.children:
+            dist = _convolve(dist, _forest_dist(child))
+        return {s | {node.uid}: p for s, p in dist.items()}
+    if node.kind == IND:
+        dist = _EMPTY_DIST
+        for index, child in enumerate(node.children):
+            p = node.probs[index]
+            child_dist = _scale_mix(
+                [(p, _forest_dist(child)), (1 - p, _EMPTY_DIST)]
+            )
+            dist = _convolve(dist, child_dist)
+        return dist
+    if node.kind == MUX:
+        total = sum(node.probs, Fraction(0))
+        parts = [(1 - total, _EMPTY_DIST)] + [
+            (node.probs[i], _forest_dist(child))
+            for i, child in enumerate(node.children)
+        ]
+        return _scale_mix(parts)
+    if node.kind == EXP:
+        parts = []
+        for subset, q in node.subsets:
+            dist = _EMPTY_DIST
+            for index in sorted(subset):
+                dist = _convolve(dist, _forest_dist(node.children[index]))
+            parts.append((q, dist))
+        return _scale_mix(parts)
+    raise AssertionError(f"unknown node kind {node.kind}")
+
+
+def world_distribution(pdoc: PDocument) -> WorldDist:
+    """Return {uid set: probability} over all worlds of the p-document.
+
+    The size of the result is exponential in the number of distributional
+    edges; intended for small inputs (tests, baselines).
+    """
+    return _forest_dist(pdoc.root)
+
+
+def world_documents(pdoc: PDocument) -> list[tuple[Document, Fraction]]:
+    """Return every world as a materialized :class:`Document` with its
+    probability, ordered by decreasing probability (ties broken by size)."""
+    dist = world_distribution(pdoc)
+    worlds = [(pdoc.document_from_uids(uids), p) for uids, p in dist.items()]
+    worlds.sort(key=lambda item: (-item[1], item[0].size()))
+    return worlds
+
+
+def world_probability(pdoc: PDocument, uids: frozenset[int]) -> Fraction:
+    """Pr(P = d) for the world identified by ``uids`` — without enumerating
+    the whole space.  Returns 0 for uid sets that are not reachable worlds."""
+
+    def forest_prob(node: PNode, target: frozenset[int]) -> Fraction:
+        """Probability that the forest below ``node`` retains exactly the
+        target uids (restricted to the node's subtree), given it is reached."""
+        if node.kind == ORD:
+            if node.uid not in target:
+                return Fraction(0)
+            result = Fraction(1)
+            for child in node.children:
+                result *= forest_prob(child, target)
+                if result == 0:
+                    return result
+            return result
+        if node.kind == IND:
+            result = Fraction(1)
+            for index, child in enumerate(node.children):
+                result *= _optional_prob(child, node.probs[index], target)
+                if result == 0:
+                    return result
+            return result
+        if node.kind == MUX:
+            hit = [
+                (node.probs[i], child)
+                for i, child in enumerate(node.children)
+                if _touches(child, target)
+            ]
+            if len(hit) > 1:
+                return Fraction(0)
+            if len(hit) == 1:
+                prob, child = hit[0]
+                return prob * forest_prob(child, target)
+            total = sum(node.probs, Fraction(0))
+            empty = 1 - total
+            for i, child in enumerate(node.children):
+                empty += node.probs[i] * forest_prob(child, frozenset())
+            return empty
+        if node.kind == EXP:
+            result = Fraction(0)
+            for subset, q in node.subsets:
+                if q == 0:
+                    continue
+                term = q
+                for index, child in enumerate(node.children):
+                    if index in subset:
+                        term *= forest_prob(child, target)
+                    elif _touches(child, target):
+                        term = Fraction(0)
+                    if term == 0:
+                        break
+                result += term
+            return result
+        raise AssertionError(f"unknown node kind {node.kind}")
+
+    def _optional_prob(child: PNode, p: Fraction, target: frozenset[int]) -> Fraction:
+        if _touches(child, target):
+            return p * forest_prob(child, target)
+        # Child absent, or present but generating an empty forest.
+        absent = 1 - p
+        if child.kind != ORD and p > 0:
+            absent += p * forest_prob(child, frozenset())
+        return absent
+
+    def _touches(node: PNode, target: frozenset[int]) -> bool:
+        if node.kind == ORD and node.uid in target:
+            return True
+        return any(_touches(child, target) for child in node.children)
+
+    universe = {node.uid for node in pdoc.ordinary_nodes()}
+    if not uids <= universe:
+        return Fraction(0)
+    return forest_prob(pdoc.root, uids)
+
+
+def node_probability(pdoc: PDocument, uid: int) -> Fraction:
+    """Marginal probability that the ordinary node ``uid`` appears in a
+    random document of P̃ (Example 3.2: the product of the probabilities on
+    the path from the root)."""
+    node = pdoc.node_by_uid(uid)
+    probability = Fraction(1)
+    current = node
+    while current.parent is not None:
+        parent = current.parent
+        if parent.kind != ORD:
+            index = next(i for i, c in enumerate(parent.children) if c is current)
+            probability *= pdoc.edge_prob(parent, index)
+        current = parent
+    return probability

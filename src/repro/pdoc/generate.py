@@ -1,0 +1,83 @@
+"""Random-instance generation for p-documents (the two-step procedure of
+Section 3.1): the *unconditioned* sampler.
+
+Step 1 walks the p-document top-down; at each distributional node it
+randomly selects a subset of the children (independently per child for
+``ind``, at most one child for ``mux``, a whole subset at once for ``exp``)
+and discards the rest.  Step 2 removes the distributional nodes, attaching
+each surviving ordinary node to its lowest surviving ordinary ancestor.
+
+Conditioned sampling — drawing from a PXDB, i.e. conditioned on a set of
+constraints — is the much harder problem solved by
+``repro.core.sampler`` (the paper's Figure 3).
+"""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+
+from ..xmltree.document import DocNode, Document
+from .pdocument import EXP, IND, MUX, ORD, PDocument, PNode
+
+
+def _choose_children(node: PNode, rng: random.Random) -> list[PNode]:
+    """Randomly choose the retained children of a distributional node."""
+    if node.kind == IND:
+        return [
+            child
+            for child, p in zip(node.children, node.probs)
+            if _bernoulli(p, rng)
+        ]
+    if node.kind == MUX:
+        roll = rng.random()
+        cumulative = 0.0
+        for child, p in zip(node.children, node.probs):
+            cumulative += float(p)
+            if roll < cumulative:
+                return [child]
+        return []
+    if node.kind == EXP:
+        roll = rng.random()
+        cumulative = 0.0
+        for subset, q in node.subsets:
+            cumulative += float(q)
+            if roll < cumulative:
+                return [node.children[i] for i in sorted(subset)]
+        # Floating-point slack: fall back to the last subset.
+        return [node.children[i] for i in sorted(node.subsets[-1][0])]
+    raise ValueError("_choose_children applies to distributional nodes only")
+
+
+def _bernoulli(p: Fraction, rng: random.Random) -> bool:
+    if p == 0:
+        return False
+    if p == 1:
+        return True
+    return rng.random() < float(p)
+
+
+def random_instance(pdoc: PDocument, rng: random.Random | None = None) -> Document:
+    """Draw one random document of P̃ (NOT conditioned on any constraints)."""
+    rng = rng if rng is not None else random.Random()
+
+    def build(pnode: PNode) -> DocNode:
+        doc_node = DocNode(pnode.label, uid=pnode.uid)
+        attach_forest(pnode, doc_node)
+        return doc_node
+
+    def attach_forest(pnode: PNode, doc_parent: DocNode) -> None:
+        for child in pnode.children if pnode.kind == ORD else _choose_children(pnode, rng):
+            if child.kind == ORD:
+                doc_parent.add_child(build(child))
+            else:
+                attach_forest(child, doc_parent)
+        # Distributional nodes vanish (step 2): their surviving ordinary
+        # descendants hang directly off doc_parent.
+
+    return Document(build(pdoc.root))
+
+
+def random_world(pdoc: PDocument, rng: random.Random | None = None) -> frozenset[int]:
+    """Draw a random world, returned as its uid set."""
+    return random_instance(pdoc, rng).uid_set()

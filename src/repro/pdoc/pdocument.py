@@ -1,0 +1,377 @@
+"""P-documents: the probabilistic XML model PrXML^{ind,mux} of Section 3.1,
+extended with ``exp`` nodes (Section 7.3, the probabilistic instances of
+Hung, Getoor & Subrahmanian).
+
+A p-document is a tree with two kinds of nodes:
+
+* **ordinary** nodes — regular XML nodes with a label; these are the nodes
+  that may appear in random documents.  Each carries a ``uid`` that its
+  copies in random documents inherit, so possible worlds can be compared
+  and aggregated by their uid sets.
+* **distributional** nodes — ``ind``, ``mux`` or ``exp``; they specify the
+  probability distribution over the subsets of their children and never
+  occur in random documents.  A distributional node is neither the root
+  nor a leaf.
+
+Probabilities are exact rationals (``fractions.Fraction``), matching the
+paper's complexity model ("P̃(u, v) is given as two integers").
+
+The sampling algorithm of Figure 3 repeatedly *conditions* a p-document on
+a distributional edge being chosen or not (the ``Norm`` subroutine); the
+methods :meth:`PDocument.conditioned_on_edge` implement exactly that
+rewrite, returning a new p-document that shares no mutable state with the
+original.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterable, Iterator, Sequence
+
+from ..xmltree import tree
+from ..xmltree.document import DocNode, Document, Label, fresh_uid
+
+ORD = "ord"
+IND = "ind"
+MUX = "mux"
+EXP = "exp"
+DIST_KINDS = (IND, MUX, EXP)
+KINDS = (ORD,) + DIST_KINDS
+
+
+class PNode:
+    """A node of a p-document (ordinary or distributional)."""
+
+    __slots__ = ("kind", "label", "uid", "probs", "subsets", "_children", "_parent")
+
+    def __init__(
+        self,
+        kind: str,
+        label: Label | None = None,
+        uid: int | None = None,
+    ):
+        if kind not in KINDS:
+            raise ValueError(f"unknown node kind {kind!r}")
+        if kind == ORD and label is None:
+            raise ValueError("ordinary nodes need a label")
+        if kind != ORD and label is not None:
+            raise ValueError("distributional nodes carry no label")
+        self.kind = kind
+        self.label = label
+        self.uid = (fresh_uid() if uid is None else uid) if kind == ORD else None
+        # ind/mux: probs[i] = probability that child i is chosen.
+        self.probs: list[Fraction] = []
+        # exp: explicit distribution over child-index subsets.
+        self.subsets: list[tuple[frozenset[int], Fraction]] = []
+        self._children: list[PNode] = []
+        self._parent: PNode | None = None
+
+    # Tree structure --------------------------------------------------------
+    @property
+    def children(self) -> list["PNode"]:
+        return self._children
+
+    @property
+    def parent(self) -> "PNode | None":
+        return self._parent
+
+    def is_ordinary(self) -> bool:
+        return self.kind == ORD
+
+    def is_distributional(self) -> bool:
+        return self.kind != ORD
+
+    def _attach(self, child: "PNode") -> "PNode":
+        if child._parent is not None:
+            raise ValueError("p-document node already has a parent")
+        child._parent = self
+        self._children.append(child)
+        return child
+
+    # Construction helpers ---------------------------------------------------
+    def ordinary(self, label: Label, uid: int | None = None) -> "PNode":
+        """Attach an ordinary child.  For ind/mux parents a probability must
+        be supplied through :meth:`ind`/:meth:`mux` style helpers or
+        :meth:`add_edge`; use ``add_edge`` when the parent is distributional."""
+        if self.kind in (IND, MUX):
+            raise ValueError("use add_edge(...) to attach below ind/mux nodes")
+        return self._attach(PNode(ORD, label, uid=uid))
+
+    def ind(self) -> "PNode":
+        """Attach an ``ind`` distributional child."""
+        if self.kind in (IND, MUX):
+            raise ValueError("use add_edge(...) to attach below ind/mux nodes")
+        return self._attach(PNode(IND))
+
+    def mux(self) -> "PNode":
+        """Attach a ``mux`` distributional child."""
+        if self.kind in (IND, MUX):
+            raise ValueError("use add_edge(...) to attach below ind/mux nodes")
+        return self._attach(PNode(MUX))
+
+    def exp(self) -> "PNode":
+        """Attach an ``exp`` distributional child."""
+        if self.kind in (IND, MUX):
+            raise ValueError("use add_edge(...) to attach below ind/mux nodes")
+        return self._attach(PNode(EXP))
+
+    def add_edge(self, child: "PNode | Label", prob) -> "PNode":
+        """Attach ``child`` below this ind/mux node with probability ``prob``.
+
+        ``child`` may be a bare label (an ordinary leaf is created) or a
+        :class:`PNode` built separately.
+        """
+        if self.kind not in (IND, MUX):
+            raise ValueError("add_edge applies to ind/mux nodes only")
+        node = child if isinstance(child, PNode) else PNode(ORD, child)
+        probability = Fraction(prob)
+        if not 0 <= probability <= 1:
+            raise ValueError(f"edge probability {probability} outside [0, 1]")
+        self._attach(node)
+        self.probs.append(probability)
+        return node
+
+    def add_exp_child(self, child: "PNode | Label") -> "PNode":
+        """Attach a child below this exp node (the distribution over subsets
+        is supplied afterwards through :meth:`set_exp_distribution`)."""
+        if self.kind != EXP:
+            raise ValueError("add_exp_child applies to exp nodes only")
+        node = child if isinstance(child, PNode) else PNode(ORD, child)
+        return self._attach(node)
+
+    def set_exp_distribution(self, distribution: Iterable[tuple[Sequence[int], object]]) -> None:
+        """Set the explicit distribution of an exp node.
+
+        ``distribution`` is an iterable of ``(child-index subset, prob)``;
+        the probabilities must sum to exactly 1 (paper, Section 7.3).
+        """
+        if self.kind != EXP:
+            raise ValueError("set_exp_distribution applies to exp nodes only")
+        subsets: list[tuple[frozenset[int], Fraction]] = []
+        for indices, prob in distribution:
+            subset = frozenset(indices)
+            if any(i < 0 or i >= len(self._children) for i in subset):
+                raise ValueError(f"subset {sorted(subset)} references a missing child")
+            probability = Fraction(prob)
+            if not 0 <= probability <= 1:
+                raise ValueError(f"subset probability {probability} outside [0, 1]")
+            subsets.append((subset, probability))
+        if sum(p for _, p in subsets) != 1:
+            raise ValueError("exp subset probabilities must sum to 1")
+        if len({s for s, _ in subsets}) != len(subsets):
+            raise ValueError("exp distribution lists a subset twice")
+        self.subsets = subsets
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.kind == ORD:
+            return f"PNode(ord, {self.label!r}, uid={self.uid})"
+        return f"PNode({self.kind}, fanout={len(self._children)})"
+
+
+Edge = tuple[PNode, int]  # (distributional node, child index)
+
+
+class PDocument:
+    """A p-document P̃ (Section 3.1): the tree plus probability access.
+
+    The class is immutable in spirit: conditioning operations return new
+    ``PDocument`` objects over cloned node structures.
+    """
+
+    __slots__ = ("root",)
+
+    def __init__(self, root: PNode, validate: bool = True):
+        self.root = root
+        if validate:
+            self.validate()
+
+    # Basic access -----------------------------------------------------------
+    def nodes(self) -> Iterator[PNode]:
+        return tree.preorder(self.root)
+
+    def ordinary_nodes(self) -> Iterator[PNode]:
+        return (n for n in self.nodes() if n.kind == ORD)
+
+    def distributional_nodes(self) -> Iterator[PNode]:
+        return (n for n in self.nodes() if n.kind != ORD)
+
+    def size(self) -> int:
+        return tree.subtree_size(self.root)
+
+    def ordinary_size(self) -> int:
+        return sum(1 for _ in self.ordinary_nodes())
+
+    def node_by_uid(self, uid: int) -> PNode:
+        for node in self.ordinary_nodes():
+            if node.uid == uid:
+                return node
+        raise LookupError(f"no ordinary node with uid {uid}")
+
+    def dist_edges(self) -> list[Edge]:
+        """All edges (v, w) with v distributional, in a fixed preorder —
+        the enumeration E^dst(P̃) that the sampling algorithm iterates over."""
+        return [
+            (node, index)
+            for node in self.nodes()
+            if node.kind != ORD
+            for index in range(len(node.children))
+        ]
+
+    def edge_prob(self, node: PNode, index: int) -> Fraction:
+        """Marginal probability that child ``index`` of a distributional
+        node is chosen, given that the node is reached."""
+        if node.kind in (IND, MUX):
+            return node.probs[index]
+        if node.kind == EXP:
+            return sum((p for s, p in node.subsets if index in s), Fraction(0))
+        raise ValueError("edge_prob applies to distributional nodes only")
+
+    # Validation (Section 3.1 well-formedness) --------------------------------
+    def validate(self) -> None:
+        if self.root.kind != ORD:
+            raise ValueError("the root of a p-document must be ordinary")
+        seen_uids: set[int] = set()
+        for node in self.nodes():
+            if node.kind == ORD:
+                if node.uid in seen_uids:
+                    raise ValueError(f"duplicate ordinary uid {node.uid}")
+                seen_uids.add(node.uid)
+                continue
+            if not node.children:
+                raise ValueError(f"distributional node {node!r} is a leaf")
+            if node.kind in (IND, MUX):
+                if len(node.probs) != len(node.children):
+                    raise ValueError("ind/mux node has children without probabilities")
+                if node.kind == MUX and sum(node.probs) > 1:
+                    raise ValueError("mux child probabilities exceed 1")
+            else:  # EXP
+                if not node.subsets:
+                    raise ValueError("exp node lacks its subset distribution")
+
+    # Conditioning (the Norm subroutine of Figure 3) ---------------------------
+    def conditioned_on_edge(self, edge: Edge, chosen: bool) -> "PDocument":
+        """Return Norm(P̃, v → w) or Norm(P̃, v ↛ w) (Figure 3, Section 6).
+
+        * ``chosen`` — the edge probability becomes 1; for a mux parent all
+          sibling probabilities drop to 0; for an exp parent the subset
+          distribution is conditioned on containing the child.
+        * not ``chosen`` — the edge probability becomes 0; for a mux parent
+          the siblings are renormalized by 1/(1 - p); for an exp parent the
+          distribution is conditioned on *not* containing the child.
+        """
+        node, index = edge
+        prior = self.edge_prob(node, index)
+        if chosen and prior == 0:
+            raise ValueError("cannot condition on a zero-probability edge being chosen")
+        if not chosen and prior == 1:
+            raise ValueError("cannot condition on a sure edge being dropped")
+
+        clone_root, mapping = _clone(self.root)
+        target = mapping[id(node)]
+        if target.kind == IND:
+            target.probs[index] = Fraction(1 if chosen else 0)
+        elif target.kind == MUX:
+            if chosen:
+                target.probs = [
+                    Fraction(1) if i == index else Fraction(0)
+                    for i in range(len(target.probs))
+                ]
+            else:
+                scale = 1 - prior
+                target.probs = [
+                    Fraction(0) if i == index else p / scale
+                    for i, p in enumerate(target.probs)
+                ]
+        else:  # EXP
+            keep = (lambda s: index in s) if chosen else (lambda s: index not in s)
+            scale = prior if chosen else 1 - prior
+            target.subsets = [(s, p / scale) for s, p in target.subsets if keep(s) and p > 0]
+        return PDocument(clone_root, validate=False)
+
+    def clone(self) -> "PDocument":
+        """Deep copy (preserving ordinary uids)."""
+        clone_root, _ = _clone(self.root)
+        return PDocument(clone_root, validate=False)
+
+    # Skeleton ----------------------------------------------------------------
+    def skeleton(self) -> Document:
+        """The document containing *every* ordinary node.
+
+        Every random document of the p-document is an "r-subtree" of the
+        skeleton with the same parent relation (the document parent of an
+        ordinary node — its lowest ordinary ancestor — is fixed across
+        worlds), so the skeleton's matches are a superset of any world's
+        matches.  Query evaluation harvests its candidate tuples here.
+        """
+        return Document(_skeleton_node(self.root))
+
+    def document_from_uids(self, uids: frozenset[int]) -> Document:
+        """Materialize the world identified by a (downward-closed) uid set."""
+        node = _world_node(self.root, uids)
+        if node is None:
+            raise ValueError("uid set does not contain the root")
+        return Document(node)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PDocument(nodes={self.size()}, ordinary={self.ordinary_size()}, "
+            f"dist_edges={len(self.dist_edges())})"
+        )
+
+
+def _clone(node: PNode) -> tuple[PNode, dict[int, PNode]]:
+    mapping: dict[int, PNode] = {}
+
+    def rec(original: PNode) -> PNode:
+        copy = PNode(original.kind, original.label, uid=original.uid)
+        copy.probs = list(original.probs)
+        copy.subsets = list(original.subsets)
+        for child in original.children:
+            copy._attach(rec(child))
+        mapping[id(original)] = copy
+        return copy
+
+    return rec(node), mapping
+
+
+def _skeleton_node(pnode: PNode) -> DocNode:
+    def ordinary_children(node: PNode) -> Iterator[PNode]:
+        for child in node.children:
+            if child.kind == ORD:
+                yield child
+            else:
+                yield from ordinary_children(child)
+
+    doc_node = DocNode(pnode.label, uid=pnode.uid)
+    for child in ordinary_children(pnode):
+        doc_node.add_child(_skeleton_node(child))
+    return doc_node
+
+
+def _world_node(pnode: PNode, uids: frozenset[int]) -> DocNode | None:
+    if pnode.uid not in uids:
+        return None
+    doc_node = DocNode(pnode.label, uid=pnode.uid)
+
+    def attach(node: PNode) -> None:
+        for child in node.children:
+            if child.kind == ORD:
+                built = _world_node(child, uids)
+                if built is not None:
+                    doc_node.add_child(built)
+            else:
+                attach(child)
+
+    attach(pnode)
+    return doc_node
+
+
+def pdocument(root_label: Label, uid: int | None = None) -> tuple[PDocument, PNode]:
+    """Create a p-document with a single ordinary root; returns (P̃, root).
+
+    Note: the returned PDocument shares the growing tree — call
+    ``validate()`` (or build through :class:`PDocument` again) once
+    construction is finished.
+    """
+    root = PNode(ORD, root_label, uid=uid)
+    return PDocument(root, validate=False), root

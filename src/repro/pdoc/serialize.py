@@ -1,0 +1,91 @@
+"""XML (de)serialization for p-documents (ProTDB-style markup).
+
+Distributional nodes are written as ``<ind>``, ``<mux>`` and ``<exp>``
+elements; each child of an ``ind``/``mux`` element carries a ``p``
+attribute with its exact rational probability (e.g. ``p="7/10"``).  An
+``exp`` element lists its children followed by ``<choice subset="0 2"
+p="1/4"/>`` elements giving the explicit distribution over child-index
+subsets.  Ordinary nodes use the same generic node form as documents
+(``repro.xmltree.serialize``), so any label round-trips.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from fractions import Fraction
+
+from .pdocument import EXP, IND, MUX, ORD, PDocument, PNode
+
+_DIST_TAGS = {IND: "ind", MUX: "mux", EXP: "exp"}
+_TAG_KINDS = {tag: kind for kind, tag in _DIST_TAGS.items()}
+
+
+def _to_element(node: PNode, keep_uids: bool) -> ET.Element:
+    if node.kind == ORD:
+        attrs = {"t": "s" if isinstance(node.label, str) else "n", "l": str(node.label)}
+        if keep_uids:
+            attrs["u"] = str(node.uid)
+        element = ET.Element("n", attrs)
+    else:
+        element = ET.Element(_DIST_TAGS[node.kind])
+    for index, child in enumerate(node.children):
+        child_element = _to_element(child, keep_uids)
+        if node.kind in (IND, MUX):
+            child_element.set("p", str(node.probs[index]))
+        element.append(child_element)
+    if node.kind == EXP:
+        for subset, q in node.subsets:
+            choice = ET.Element(
+                "choice", {"subset": " ".join(map(str, sorted(subset))), "p": str(q)}
+            )
+            element.append(choice)
+    return element
+
+
+def pdocument_to_xml(pdoc: PDocument, keep_uids: bool = False) -> str:
+    """Serialize a p-document to an XML string."""
+    element = _to_element(pdoc.root, keep_uids)
+    ET.indent(element)
+    return ET.tostring(element, encoding="unicode")
+
+
+def _parse_label(element: ET.Element):
+    label = element.get("l")
+    if label is None:
+        raise ValueError("ordinary p-document element is missing its 'l' attribute")
+    if element.get("t") == "n":
+        value = Fraction(label)
+        return int(value) if value.denominator == 1 else value
+    return label
+
+
+def _from_element(element: ET.Element) -> PNode:
+    if element.tag == "n":
+        uid_text = element.get("u")
+        node = PNode(ORD, _parse_label(element), uid=int(uid_text) if uid_text else None)
+    elif element.tag in _TAG_KINDS:
+        node = PNode(_TAG_KINDS[element.tag])
+    else:
+        raise ValueError(f"unexpected element <{element.tag}> in p-document XML")
+
+    subsets: list[tuple[frozenset[int], Fraction]] = []
+    for child_element in element:
+        if child_element.tag == "choice":
+            indices = frozenset(int(i) for i in (child_element.get("subset") or "").split())
+            subsets.append((indices, Fraction(child_element.get("p", "0"))))
+            continue
+        child = _from_element(child_element)
+        node._attach(child)
+        if node.kind in (IND, MUX):
+            prob_text = child_element.get("p")
+            if prob_text is None:
+                raise ValueError("child of ind/mux element is missing its 'p' attribute")
+            node.probs.append(Fraction(prob_text))
+    if node.kind == EXP:
+        node.set_exp_distribution((sorted(s), q) for s, q in subsets)
+    return node
+
+
+def pdocument_from_xml(text: str) -> PDocument:
+    """Parse a p-document serialized by :func:`pdocument_to_xml`."""
+    return PDocument(_from_element(ET.fromstring(text)))

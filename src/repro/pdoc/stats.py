@@ -1,0 +1,178 @@
+"""Structural and distributional statistics of p-documents.
+
+Utilities for sizing experiments and for understanding a p-document at a
+glance — all polynomial:
+
+* :func:`expected_document_size` — E[#nodes of a random document], by
+  linearity over per-node presence marginals;
+* :func:`document_size_distribution` — the exact distribution of the
+  random document's size (a convolution DP over the tree);
+* :func:`world_count` — the number of distinct worlds (aggregating the
+  stacked-distributional-node collisions of footnote 3 would require
+  enumeration; this counts *assignment outcomes* per node, an upper
+  bound that is exact for flat p-documents);
+* :func:`process_entropy` — the Shannon entropy (in bits, as a float) of
+  the top-down generation process: the sum over distributional nodes of
+  their choice entropies weighted by the probability the node is reached.
+  An upper bound on the entropy of the document distribution (exact for
+  flat p-documents, where distinct assignments give distinct documents);
+* :func:`summary` — a small report dict used by the CLI.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+
+from .enumerate import node_probability
+from .pdocument import EXP, IND, MUX, ORD, PDocument, PNode
+
+SizeDist = dict[int, Fraction]
+
+
+def expected_document_size(pdoc: PDocument) -> Fraction:
+    """E[#ordinary nodes present] = Σ_v Pr(v present)."""
+    return sum(
+        (node_probability(pdoc, node.uid) for node in pdoc.ordinary_nodes()),
+        Fraction(0),
+    )
+
+
+def _convolve(left: SizeDist, right: SizeDist) -> SizeDist:
+    result: SizeDist = {}
+    for s1, p1 in left.items():
+        for s2, p2 in right.items():
+            result[s1 + s2] = result.get(s1 + s2, Fraction(0)) + p1 * p2
+    return result
+
+
+def _mix(parts: list[tuple[Fraction, SizeDist]]) -> SizeDist:
+    result: SizeDist = {}
+    for weight, dist in parts:
+        if weight == 0:
+            continue
+        for size, p in dist.items():
+            result[size] = result.get(size, Fraction(0)) + weight * p
+    return result
+
+
+def document_size_distribution(pdoc: PDocument) -> SizeDist:
+    """{size: probability} for the number of nodes of a random document.
+
+    Pseudo-polynomial: the table per node has at most (subtree size + 1)
+    entries, so the whole DP is O(n²) table entries.
+    """
+    one: SizeDist = {0: Fraction(1)}
+
+    def forest(node: PNode) -> SizeDist:
+        if node.kind == ORD:
+            dist = one
+            for child in node.children:
+                dist = _convolve(dist, forest(child))
+            return {size + 1: p for size, p in dist.items()}
+        if node.kind == IND:
+            dist = one
+            for index, child in enumerate(node.children):
+                p = node.probs[index]
+                dist = _convolve(dist, _mix([(p, forest(child)), (1 - p, one)]))
+            return dist
+        if node.kind == MUX:
+            total = sum(node.probs, Fraction(0))
+            parts = [(1 - total, one)]
+            parts += [
+                (node.probs[i], forest(child))
+                for i, child in enumerate(node.children)
+            ]
+            return _mix(parts)
+        if node.kind == EXP:
+            parts = []
+            for subset, q in node.subsets:
+                dist = one
+                for index in sorted(subset):
+                    dist = _convolve(dist, forest(node.children[index]))
+                parts.append((q, dist))
+            return _mix(parts)
+        raise AssertionError(f"unknown node kind {node.kind}")
+
+    return forest(pdoc.root)
+
+
+def world_count(pdoc: PDocument) -> int:
+    """The number of distinct assignment outcomes of the generation
+    process (exactly the number of worlds for flat p-documents)."""
+    count = 1
+    for node in pdoc.distributional_nodes():
+        if node.kind == IND:
+            local = 1
+            for p in node.probs:
+                local *= 2 if 0 < p < 1 else 1
+        elif node.kind == MUX:
+            positive = sum(1 for p in node.probs if p > 0)
+            local = positive + (1 if sum(node.probs) < 1 else 0)
+        else:  # EXP
+            local = sum(1 for _, q in node.subsets if q > 0)
+        count *= max(local, 1)
+    return count
+
+
+def process_entropy(pdoc: PDocument) -> float:
+    """Entropy (bits) of the top-down generation process."""
+
+    def reach_probability(node: PNode) -> Fraction:
+        probability = Fraction(1)
+        current = node
+        while current.parent is not None:
+            parent = current.parent
+            if parent.is_distributional():
+                index = next(
+                    i for i, child in enumerate(parent.children) if child is current
+                )
+                probability *= pdoc.edge_prob(parent, index)
+            current = parent
+        return probability
+
+    total = 0.0
+    for node in pdoc.distributional_nodes():
+        reach = float(reach_probability(node))
+        if reach == 0:
+            continue
+        if node.kind == IND:
+            local = sum(_bernoulli_entropy(p) for p in node.probs)
+        elif node.kind == MUX:
+            outcomes = [p for p in node.probs if p > 0]
+            slack = 1 - sum(node.probs)
+            if slack > 0:
+                outcomes.append(slack)
+            local = _categorical_entropy(outcomes)
+        else:  # EXP
+            local = _categorical_entropy([q for _, q in node.subsets if q > 0])
+        total += reach * local
+    return total
+
+
+def _bernoulli_entropy(p: Fraction) -> float:
+    value = float(p)
+    if value in (0.0, 1.0):
+        return 0.0
+    return -(value * math.log2(value) + (1 - value) * math.log2(1 - value))
+
+
+def _categorical_entropy(weights) -> float:
+    values = [float(w) for w in weights if w > 0]
+    return -sum(v * math.log2(v) for v in values)
+
+
+def summary(pdoc: PDocument) -> dict:
+    """A report of the p-document's shape and uncertainty."""
+    sizes = document_size_distribution(pdoc)
+    expected = expected_document_size(pdoc)
+    return {
+        "ordinary_nodes": pdoc.ordinary_size(),
+        "distributional_nodes": sum(1 for _ in pdoc.distributional_nodes()),
+        "distributional_edges": len(pdoc.dist_edges()),
+        "assignment_outcomes": world_count(pdoc),
+        "expected_size": expected,
+        "min_size": min(sizes),
+        "max_size": max(sizes),
+        "process_entropy_bits": process_entropy(pdoc),
+    }

@@ -1,0 +1,274 @@
+"""Semantics-preserving p-document rewrites.
+
+The PrXML literature the paper builds on (Kimelfeld, Kosharovski & Sagiv's
+model combinations) studies translations between distributional-node
+dialects.  This module implements the useful normalizations inside
+PrXML^{ind,mux,exp}; every rewrite preserves the *document distribution*
+exactly (tests compare world distributions before and after):
+
+* :func:`prune_impossible` — drop zero-probability edges/subsets (and the
+  subtrees they guard);
+* :func:`inline_sure_edges` — an ind child with probability 1 (or a mux
+  node with a single probability-1 child) is deterministic: splice the
+  child through, removing the distributional indirection where possible;
+* :func:`collapse_ind_chains` — an ind node whose child is another ind
+  node multiplies through: the grandchildren move up with the product
+  probability (this is the rewrite behind the paper's footnote 3 —
+  stacked ind nodes express nothing ind cannot);
+* :func:`exp_to_ind_mux` — rewrite an exp node whose distribution is a
+  product of independent marginals into plain ind form, when possible
+  (exp nodes are strictly more expressive in general — Section 7.3);
+* :func:`normalize` — the composition of all of the above to fixpoint.
+
+All functions return a *new* PDocument; inputs are never mutated.
+"""
+
+from __future__ import annotations
+
+import itertools
+from fractions import Fraction
+
+from .pdocument import EXP, IND, MUX, ORD, PDocument, PNode
+
+
+def _rebuild(node: PNode) -> PNode:
+    copy = PNode(node.kind, node.label, uid=node.uid)
+    copy.probs = list(node.probs)
+    copy.subsets = list(node.subsets)
+    for child in node.children:
+        copy._attach(_rebuild(child))
+    return copy
+
+
+def _fresh(pdoc: PDocument) -> PDocument:
+    return PDocument(_rebuild(pdoc.root), validate=False)
+
+
+def prune_impossible(pdoc: PDocument) -> PDocument:
+    """Remove edges with probability 0, exp subsets with weight 0, exp
+    children no positive subset mentions, and distributional nodes left
+    childless (an empty distributional node generates nothing, so removing
+    it never changes the document distribution)."""
+
+    def rec(node: PNode) -> PNode | None:
+        copy = PNode(node.kind, node.label, uid=node.uid)
+        if node.kind == ORD:
+            for child in node.children:
+                built = rec(child)
+                if built is not None:
+                    copy._attach(built)
+            return copy
+        if node.kind in (IND, MUX):
+            for child, p in zip(node.children, node.probs):
+                if p == 0:
+                    continue
+                built = rec(child)
+                if built is None:
+                    continue
+                copy._attach(built)
+                copy.probs.append(p)
+            return copy if copy.children else None
+        # EXP: rebuild children, then rewrite the subset distribution over
+        # the surviving indices (vanished children just drop out of every
+        # subset; equal subsets merge; zero-weight subsets disappear).
+        built_children: list[PNode | None] = [rec(child) for child in node.children]
+        used = set()
+        for subset, q in node.subsets:
+            if q > 0:
+                used |= {i for i in subset if built_children[i] is not None}
+        alive = sorted(used)
+        remap = {old: new for new, old in enumerate(alive)}
+        for index in alive:
+            copy._attach(built_children[index])
+        merged: dict[frozenset[int], Fraction] = {}
+        for subset, q in node.subsets:
+            if q == 0:
+                continue
+            key = frozenset(remap[i] for i in subset if i in remap)
+            merged[key] = merged.get(key, Fraction(0)) + q
+        copy.subsets = sorted(merged.items(), key=lambda item: sorted(item[0]))
+        return copy if copy.children else None
+
+    root = rec(pdoc.root)
+    assert root is not None  # the root is ordinary and always survives
+    return PDocument(root, validate=False)
+
+
+def inline_sure_edges(pdoc: PDocument) -> PDocument:
+    """Splice through deterministic indirections.
+
+    An ind edge with probability 1 whose child is *ordinary* moves the
+    child up to the ind node's parent (the edge decision is vacuous).  A
+    mux node whose single positive child has probability 1 behaves the
+    same way.  Ind nodes left with no edges disappear.
+    """
+    result = _fresh(pdoc)
+
+    def visit(node: PNode) -> None:
+        for child in list(node.children):
+            visit(child)
+        if node.kind != ORD:
+            return
+        new_children: list[PNode] = []
+        for child in node.children:
+            promoted = _promote(child)
+            new_children.extend(promoted)
+        for child in new_children:
+            child._parent = node
+        node._children = new_children
+
+    def _promote(child: PNode) -> list[PNode]:
+        if child.kind == IND:
+            sure: list[PNode] = []
+            keep_children: list[PNode] = []
+            keep_probs: list[Fraction] = []
+            for grandchild, p in zip(child.children, child.probs):
+                if p == 1 and grandchild.kind == ORD:
+                    grandchild._parent = None
+                    sure.append(grandchild)
+                else:
+                    keep_children.append(grandchild)
+                    keep_probs.append(p)
+            child._children = keep_children
+            child.probs = keep_probs
+            if keep_children:
+                return sure + [child]
+            return sure
+        if child.kind == MUX:
+            positive = [
+                (c, p) for c, p in zip(child.children, child.probs) if p > 0
+            ]
+            if len(positive) == 1 and positive[0][1] == 1 and positive[0][0].kind == ORD:
+                lone = positive[0][0]
+                lone._parent = None
+                return [lone]
+        return [child]
+
+    visit(result.root)
+    return PDocument(result.root, validate=False)
+
+
+def collapse_ind_chains(pdoc: PDocument) -> PDocument:
+    """Flatten ind-under-ind where it is *sound*.
+
+    An inner ind node's children are mutually independent given the inner
+    node is reached — but they are **correlated through its existence**:
+    Pr(x ∧ y) = p·q_x·q_y ≠ (p·q_x)(p·q_y).  Flattening with product
+    probabilities is therefore only valid when no correlation can arise:
+
+    * the inner ind node has exactly one edge (footnote 3's stacked-chain
+      case): the single grandchild moves up with probability p·q;
+    * the outer edge has probability 1: the inner node is surely reached,
+      so its edges are already top-level choices.
+
+    (The reproduction's own differential tests are what caught the
+    unsound general version of this rewrite.)
+    """
+    result = _fresh(pdoc)
+
+    def visit(node: PNode) -> None:
+        if node.kind == IND:
+            changed = True
+            while changed:
+                changed = False
+                children: list[PNode] = []
+                probs: list[Fraction] = []
+                for child, p in zip(node.children, node.probs):
+                    collapsible = child.kind == IND and (
+                        len(child.children) == 1 or p == 1
+                    )
+                    if collapsible:
+                        for grandchild, q in zip(child.children, child.probs):
+                            grandchild._parent = None
+                            grandchild._parent = node
+                            children.append(grandchild)
+                            probs.append(p * q)
+                        changed = True
+                    else:
+                        children.append(child)
+                        probs.append(p)
+                node._children = children
+                node.probs = probs
+        for child in node.children:
+            visit(child)
+
+    visit(result.root)
+    return result
+
+
+def exp_to_ind_mux(pdoc: PDocument) -> PDocument:
+    """Rewrite product-form exp nodes as ind nodes.
+
+    An exp distribution is *product-form* when it equals the independent
+    combination of its per-child marginals (checked exactly).  Such nodes
+    carry no correlation and become ind nodes; genuinely correlated exp
+    nodes (the Section 7.3 extension) are left untouched.
+    """
+    result = _fresh(pdoc)
+
+    def visit(node: PNode) -> None:
+        for index, child in enumerate(list(node.children)):
+            visit(child)
+            if child.kind != EXP:
+                continue
+            marginals = [
+                sum((q for s, q in child.subsets if i in s), Fraction(0))
+                for i in range(len(child.children))
+            ]
+            if _is_product_form(child, marginals):
+                replacement = PNode(IND)
+                replacement.probs = list(marginals)
+                replacement._children = child.children
+                for grandchild in replacement._children:
+                    grandchild._parent = replacement
+                replacement._parent = node
+                node._children[index] = replacement
+
+    visit(result.root)
+    return result
+
+
+def _is_product_form(node: PNode, marginals: list[Fraction]) -> bool:
+    explicit = {s: q for s, q in node.subsets}
+    width = len(node.children)
+    for subset in map(
+        frozenset,
+        itertools.chain.from_iterable(
+            itertools.combinations(range(width), r) for r in range(width + 1)
+        ),
+    ):
+        expected = Fraction(1)
+        for i in range(width):
+            expected *= marginals[i] if i in subset else 1 - marginals[i]
+        if explicit.get(subset, Fraction(0)) != expected:
+            return False
+    return True
+
+
+def normalize(pdoc: PDocument, max_rounds: int = 10) -> PDocument:
+    """Apply all rewrites to fixpoint (bounded)."""
+    current = pdoc
+    for _ in range(max_rounds):
+        before = _shape_key(current)
+        current = prune_impossible(current)
+        current = collapse_ind_chains(current)
+        current = exp_to_ind_mux(current)
+        current = inline_sure_edges(current)
+        if _shape_key(current) == before:
+            break
+    current.validate()
+    return current
+
+
+def _shape_key(pdoc: PDocument):
+    def key(node: PNode):
+        return (
+            node.kind,
+            node.label,
+            node.uid,
+            tuple(node.probs),
+            tuple(sorted((tuple(sorted(s)), q) for s, q in node.subsets)),
+            tuple(key(child) for child in node.children),
+        )
+
+    return key(pdoc.root)

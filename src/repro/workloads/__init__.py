@@ -1,0 +1,1 @@
+"""Workload generators: the paper's running example and synthetic scaling inputs."""

@@ -1,0 +1,184 @@
+"""Random p-documents and random c-formulae for property-based testing.
+
+The differential test-suite (evaluator vs. possible-worlds baseline,
+sampler vs. exact conditional distribution) draws its instances here.
+Everything is driven by a caller-supplied ``random.Random``, so hypothesis
+can feed seeds and shrinking stays meaningful.
+"""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+
+from ..core.formulas import (
+    CFormula,
+    CountAtom,
+    MaxAtom,
+    MinAtom,
+    RatioAtom,
+    SFormula,
+    conjunction,
+    disjunction,
+    negation,
+)
+from ..pdoc.pdocument import ORD, PDocument, PNode
+from ..xmltree.pattern import CHILD, DESC, Pattern, PatternNode
+from ..xmltree.predicates import ANY, LabelEquals
+
+DEFAULT_LABELS = ("a", "b", "c")
+
+
+def random_pdocument(
+    rng: random.Random,
+    max_nodes: int = 9,
+    max_depth: int = 4,
+    labels: tuple = DEFAULT_LABELS,
+    allow_exp: bool = False,
+    numeric: bool = False,
+) -> PDocument:
+    """A small random p-document with ind/mux (and optionally exp) nodes.
+
+    Sizes stay tiny on purpose: the ground truth enumerates 2^|dist edges|
+    worlds.  ``numeric`` labels some leaves with small integers (for the
+    MIN/MAX differential tests).
+    """
+
+    def pick_label():
+        if numeric and rng.random() < 0.5:
+            return rng.randint(1, 4)
+        return rng.choice(labels)
+
+    root = PNode(ORD, rng.choice(labels))
+    count = [1]
+
+    def grow(node: PNode, depth: int) -> None:
+        if depth >= max_depth or count[0] >= max_nodes:
+            return
+        for _ in range(rng.randint(0, 2)):
+            if count[0] >= max_nodes:
+                break
+            kinds = ["ord", "ord", "ind", "mux"]
+            if allow_exp:
+                kinds.append("exp")
+            kind = rng.choice(kinds)
+            if kind == "ord":
+                child = PNode(ORD, pick_label())
+                _attach(node, child, rng)
+                count[0] += 1
+                grow(child, depth + 1)
+            else:
+                child = PNode(kind)
+                _attach(node, child, rng)
+                grow(child, depth + 1)
+                if not child.children:  # distributional leaves are illegal
+                    grandchild = PNode(ORD, pick_label())
+                    _attach(child, grandchild, rng)
+                    count[0] += 1
+                if child.kind == "exp":
+                    _random_exp_distribution(child, rng)
+
+    grow(root, 0)
+    return PDocument(root)
+
+
+def _attach(parent: PNode, child: PNode, rng: random.Random) -> None:
+    if parent.kind == "ind":
+        parent.add_edge(child, Fraction(rng.randint(0, 4), 4))
+    elif parent.kind == "mux":
+        parent.add_edge(child, Fraction(1, 4))
+    else:  # ord or exp
+        if parent.kind == "exp":
+            parent.add_exp_child(child)
+        else:
+            parent._attach(child)
+
+
+def _random_exp_distribution(node: PNode, rng: random.Random) -> None:
+    indices = list(range(len(node.children)))
+    subsets: list[tuple[tuple[int, ...], Fraction]] = []
+    remaining = Fraction(1)
+    seen: set[frozenset[int]] = set()
+    for _ in range(rng.randint(1, 3)):
+        subset = frozenset(i for i in indices if rng.random() < 0.6)
+        if subset in seen:
+            continue
+        seen.add(subset)
+        weight = remaining * Fraction(rng.randint(1, 3), 4)
+        subsets.append((tuple(sorted(subset)), weight))
+        remaining -= weight
+    fallback = frozenset()
+    if fallback in seen:
+        subsets = [(s, w) for s, w in subsets]
+        subsets[0] = (subsets[0][0], subsets[0][1] + remaining)
+    else:
+        subsets.append(((), remaining))
+    node.set_exp_distribution(subsets)
+
+
+def random_selector(
+    rng: random.Random, labels: tuple = DEFAULT_LABELS, numeric: bool = False
+) -> SFormula:
+    """A random small selector (twig with child/descendant edges)."""
+
+    def node_predicate():
+        if rng.random() < 0.4:
+            return ANY
+        return LabelEquals(rng.choice(labels))
+
+    def grow(depth: int) -> PatternNode:
+        node = PatternNode(node_predicate(), rng.choice([CHILD, DESC]))
+        if depth < 2:
+            for _ in range(rng.randint(0, 2 - depth)):
+                node.add_child(grow(depth + 1))
+        return node
+
+    root = grow(0)
+    root.axis = CHILD
+    pattern = Pattern(root)
+    projected = rng.choice(list(pattern.nodes()))
+    return SFormula(pattern, projected)
+
+
+def random_formula(
+    rng: random.Random,
+    depth: int = 0,
+    labels: tuple = DEFAULT_LABELS,
+    allow_minmax: bool = False,
+    allow_ratio: bool = True,
+) -> CFormula:
+    """A random c-formula (or a-formula) over small selectors, with nested
+    attachments, negation, conjunction and disjunction."""
+    roll = rng.random()
+    ops_pool = ("=", "!=", "<", "<=", ">", ">=")
+    if roll < 0.45 or depth >= 2:
+        selectors = [random_selector(rng, labels, numeric=allow_minmax)
+                     for _ in range(rng.randint(1, 2))]
+        if depth < 2 and rng.random() < 0.4:
+            target = selectors[0]
+            node = rng.choice(list(target.pattern.nodes()))
+            selectors[0] = target.with_alpha(
+                node, random_formula(rng, depth + 2, labels, allow_minmax, allow_ratio)
+            )
+        if allow_minmax and rng.random() < 0.4:
+            cls = MaxAtom if rng.random() < 0.5 else MinAtom
+            return cls(selectors, rng.choice(ops_pool), Fraction(rng.randint(0, 4)))
+        return CountAtom(selectors, rng.choice(ops_pool), rng.randint(0, 3))
+    if roll < 0.6:
+        return conjunction(
+            [random_formula(rng, depth + 1, labels, allow_minmax, allow_ratio)
+             for _ in range(2)]
+        )
+    if roll < 0.75:
+        return disjunction(
+            [random_formula(rng, depth + 1, labels, allow_minmax, allow_ratio)
+             for _ in range(2)]
+        )
+    if roll < 0.9 or not allow_ratio:
+        return negation(random_formula(rng, depth + 1, labels, allow_minmax, allow_ratio))
+    return RatioAtom(
+        [random_selector(rng, labels)],
+        random_formula(rng, depth + 2, labels, allow_minmax, allow_ratio),
+        rng.choice(("<", ">=", ">")),
+        Fraction(rng.randint(0, 4), 4),
+    )

@@ -1,0 +1,146 @@
+"""Screen-scraping simulation: from ground truth to a p-document.
+
+The paper's opening motivation: "screen-scraping, used to automatically
+derive data from Internet sites, naturally gives rise to uncertainties —
+both due to the error-prone nature of the task, as well as to the possible
+unreliability of data sources".  This module simulates exactly that
+pipeline, turning a *ground-truth* document into the p-document a scraper
+would produce:
+
+* every extracted node carries a confidence — the p-document wraps it in
+  an ``ind`` edge with that probability;
+* ambiguous extractions (the scraper saw one value but OCR/parsing offers
+  alternatives) become ``mux`` nodes over the variants;
+* optionally, spurious nodes (false extractions) are injected with low
+  confidence.
+
+Because the generated p-document retains the ground-truth uids, the
+quality of downstream inference can be *scored*: e.g. how often does the
+constraint-conditioned space rank the true world higher than the raw
+scraper output does (see ``examples/data_quality_report.py``).
+"""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+
+from ..xmltree.document import DocNode, Document
+from ..pdoc.pdocument import PDocument, PNode
+
+
+class ScrapeModel:
+    """Noise model for the simulated scraper.
+
+    * ``confidence_low``/``confidence_high`` — per-node extraction
+      confidence is drawn uniformly (as an exact rational with
+      ``precision`` denominator) from this interval;
+    * ``ambiguity`` — probability that a leaf's label is ambiguous, in
+      which case a mux over the true label and a corrupted variant is
+      emitted (the true one gets the confidence mass);
+    * ``spurious`` — probability of injecting a low-confidence fake child
+      under an internal node;
+    * ``sure_depth`` — nodes at depth < sure_depth are extracted surely
+      (page skeletons are reliable; deep content is not).
+    """
+
+    def __init__(
+        self,
+        confidence_low: Fraction = Fraction(3, 5),
+        confidence_high: Fraction = Fraction(19, 20),
+        ambiguity: float = 0.15,
+        spurious: float = 0.1,
+        sure_depth: int = 1,
+        precision: int = 20,
+    ):
+        if not 0 <= confidence_low <= confidence_high <= 1:
+            raise ValueError("confidence interval must satisfy 0 <= low <= high <= 1")
+        self.confidence_low = Fraction(confidence_low)
+        self.confidence_high = Fraction(confidence_high)
+        self.ambiguity = ambiguity
+        self.spurious = spurious
+        self.sure_depth = sure_depth
+        self.precision = precision
+
+    def draw_confidence(self, rng: random.Random) -> Fraction:
+        span = self.confidence_high - self.confidence_low
+        step = Fraction(rng.randint(0, self.precision), self.precision)
+        return self.confidence_low + span * step
+
+
+def corrupt_label(label, rng: random.Random):
+    """A plausible mis-extraction of a label."""
+    if isinstance(label, str) and label:
+        # drop or double a character — classic OCR noise
+        index = rng.randrange(len(label))
+        if rng.random() < 0.5 and len(label) > 1:
+            return label[:index] + label[index + 1 :]
+        return label[:index] + label[index] + label[index:]
+    if isinstance(label, int):
+        return label + rng.choice((-1, 1))
+    return f"{label}?"
+
+
+def scrape(
+    truth: Document,
+    model: ScrapeModel | None = None,
+    rng: random.Random | None = None,
+) -> PDocument:
+    """Simulate scraping the ground-truth document into a p-document.
+
+    The ordinary nodes corresponding to true data keep the ground truth's
+    uids; spurious injections get fresh ones.
+    """
+    model = model if model is not None else ScrapeModel()
+    rng = rng if rng is not None else random.Random()
+
+    def build(node: DocNode, depth: int) -> PNode:
+        ambiguous = (
+            depth >= model.sure_depth
+            and node.is_leaf()
+            and rng.random() < model.ambiguity
+        )
+        built = PNode("ord", node.label, uid=node.uid)
+        for child in node.children:
+            attach_child(built, child, depth + 1)
+        if rng.random() < model.spurious and not node.is_leaf():
+            noise = PNode("ord", "spurious")
+            built.ind().add_edge(noise, Fraction(1, 10))
+        return built
+
+    def attach_child(parent: PNode, child: DocNode, depth: int) -> None:
+        confidence = (
+            Fraction(1) if depth < model.sure_depth else model.draw_confidence(rng)
+        )
+        ambiguous = (
+            depth >= model.sure_depth
+            and child.is_leaf()
+            and rng.random() < model.ambiguity
+        )
+        if ambiguous:
+            mux = parent.mux()
+            true_node = PNode("ord", child.label, uid=child.uid)
+            wrong_node = PNode("ord", corrupt_label(child.label, rng))
+            mux.add_edge(true_node, confidence * Fraction(4, 5))
+            mux.add_edge(wrong_node, confidence * Fraction(1, 5))
+            for grandchild in child.children:
+                attach_child(true_node, grandchild, depth + 1)
+            return
+        built = build(child, depth)
+        if confidence == 1:
+            parent._attach(built)
+        else:
+            parent.ind().add_edge(built, confidence)
+
+    root = build(truth.root, 0)
+    pdoc = PDocument(root, validate=False)
+    pdoc.validate()
+    return pdoc
+
+
+def truth_world(truth: Document, pdoc: PDocument) -> frozenset[int]:
+    """The uid set of the ground-truth world inside the scraped p-document
+    (the true nodes, none of the corrupted or spurious ones)."""
+    truth_uids = truth.uid_set()
+    scraped_uids = {node.uid for node in pdoc.ordinary_nodes()}
+    return frozenset(truth_uids & scraped_uids)

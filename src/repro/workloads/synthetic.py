@@ -1,0 +1,109 @@
+"""Synthetic scalable workloads for the runtime experiments.
+
+These generators produce families of p-documents whose size grows with a
+single parameter, so the scaling experiments (E2–E5, E7 in DESIGN.md) can
+plot runtime-versus-size curves for the polynomial evaluator against the
+exponential possible-worlds baseline.
+
+* :func:`chain_pdocument`    — a path of optional nodes (depth stress);
+* :func:`star_pdocument`     — one ind node with many optional leaves
+  (the shape of the Subset-Sum gadget; width stress);
+* :func:`binary_pdocument`   — a complete binary tree with a mux at each
+  internal node (mixture stress);
+* :func:`numeric_pdocument`  — leaves with numeric labels, for the
+  MIN/MAX/RATIO experiments (E5);
+* :func:`exp_pdocument`      — exp nodes with correlated child subsets
+  (E7, Section 7.3).
+"""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+
+from ..pdoc.pdocument import PDocument, PNode, pdocument
+
+
+def chain_pdocument(depth: int, prob: Fraction = Fraction(9, 10)) -> PDocument:
+    """root ── ind(p) ── a ── ind(p) ── a ── … (``depth`` optional levels)."""
+    pd, root = pdocument("root")
+    current = root
+    for _ in range(depth):
+        node = PNode("ord", "a")
+        current.ind().add_edge(node, prob)
+        current = node
+    pd.validate()
+    return pd
+
+
+def star_pdocument(
+    width: int, prob: Fraction = Fraction(1, 2), label: str = "a"
+) -> PDocument:
+    """root with one ind node carrying ``width`` optional leaves."""
+    pd, root = pdocument("root")
+    ind = root.ind()
+    for _ in range(width):
+        ind.add_edge(label, prob)
+    pd.validate()
+    return pd
+
+
+def binary_pdocument(depth: int, seed: int = 0) -> PDocument:
+    """A complete binary tree of the given depth; each internal ordinary
+    node holds its two children under a mux with random probabilities."""
+    rng = random.Random(seed)
+    pd, root = pdocument("root")
+
+    def grow(node: PNode, level: int) -> None:
+        if level == 0:
+            return
+        mux = node.mux()
+        left_prob = Fraction(rng.randint(1, 3), 8)
+        right_prob = Fraction(rng.randint(1, 3), 8)
+        left = PNode("ord", "L")
+        right = PNode("ord", "R")
+        mux.add_edge(left, left_prob)
+        mux.add_edge(right, right_prob)
+        grow(left, level - 1)
+        grow(right, level - 1)
+
+    grow(root, depth)
+    pd.validate()
+    return pd
+
+
+def numeric_pdocument(
+    width: int, value_range: int = 10, prob: Fraction = Fraction(1, 2), seed: int = 0
+) -> PDocument:
+    """root ── ind ── {numeric leaves}: each leaf carries a random integer
+    label in [1, value_range] and is present with the given probability."""
+    rng = random.Random(seed)
+    pd, root = pdocument("values")
+    ind = root.ind()
+    for _ in range(width):
+        ind.add_edge(rng.randint(1, value_range), prob)
+    pd.validate()
+    return pd
+
+
+def exp_pdocument(groups: int, seed: int = 0) -> PDocument:
+    """``groups`` exp nodes, each with three children and a correlated
+    subset distribution (children 0 and 1 only ever appear together)."""
+    rng = random.Random(seed)
+    pd, root = pdocument("root")
+    for index in range(groups):
+        exp = root.exp()
+        for child in range(3):
+            exp.add_exp_child(f"g{index}c{child}")
+        a = Fraction(rng.randint(1, 3), 10)
+        b = Fraction(rng.randint(1, 3), 10)
+        exp.set_exp_distribution(
+            [
+                ((0, 1), a),          # the correlated pair
+                ((2,), b),
+                ((0, 1, 2), Fraction(1, 10)),
+                ((), 1 - a - b - Fraction(1, 10)),
+            ]
+        )
+    pd.validate()
+    return pd

@@ -1,0 +1,309 @@
+"""The paper's running example: the university PXDB of Figure 1 and the
+random instance of Figure 2.
+
+The figure itself cannot be copied verbatim (it is a drawing), so this
+module reconstructs it to satisfy *every* statement the text makes:
+
+* Example 3.1 — Mary is a chair with probability 0.7 and is either a full
+  professor (0.6) or an assistant professor (0.4), mutually exclusively
+  and surely one of the two;
+* Example 3.2 — the Ph.D. student Amy appears with probability 0.54, the
+  product of the probabilities on the root-to-Amy path (0.9 × 0.6 here);
+* Example 3.4 — Lisa has a probabilistic rank, may be a chair, and may
+  have further Ph.D. students; Paul is a probabilistic third member, and
+  with fewer than 3 members C2's antecedent fails;
+* Example 2.1 — on Figure 2's instance, S_dep selects the single
+  department, S_chr selects Mary's member node, S_mem selects all member
+  nodes and S_st selects the name nodes of David and Nicole;
+* Example 2.3 — Figure 2's instance satisfies C1…C4; if Mary were not a
+  chair it would violate C2; if Lisa were an assistant professor it would
+  violate C4 (she supervises two Ph.D. students).
+
+Schema of a member subtree::
+
+    member
+    ├── name ── <person name>
+    ├── position
+    │   ├── <rank>                  rank ∈ {full professor, assistant professor}
+    │   └── chair                   (optional)
+    └── ph.d. st. ── name ── <student name>     (zero or more)
+
+The selectors S_dep, S_chr, S_mem, S_st and the constraints C1–C4 follow
+Example 2.3.  :func:`scaled_university` generalizes the schema into an
+arbitrarily large workload for the scaling experiments (E2/E3/E4).
+"""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+
+from ..core.constraints import Constraint, always
+from ..core.pxdb import PXDB
+from ..core.query import selector
+from ..pdoc.pdocument import PDocument, PNode, pdocument
+from ..xmltree.document import Document, doc
+
+FULL = "full professor"
+ASSISTANT = "assistant professor"
+PHD = "ph.d. st."
+
+
+# -- selectors (top part of Figure 1) -----------------------------------------
+
+def s_dep():
+    """S_dep: the departments under the root."""
+    return selector("university/$department")
+
+
+def s_chr():
+    """S_chr: member nodes where the person is both a professor and a chair."""
+    return selector("*//$member[position/~'professor'][position/chair]")
+
+
+def s_mem():
+    """S_mem: member nodes that are ancestors of professors."""
+    return selector("*//$member[//~'professor']")
+
+
+def s_st():
+    """S_st: name nodes that are children of nodes labeled 'ph.d. st.'."""
+    return selector("*//'ph.d. st.'/$name")
+
+
+# -- constraints C1–C4 (Example 2.3) ------------------------------------------
+
+def c1() -> Constraint:
+    """C1: a department cannot have more than one chair."""
+    return always(s_dep(), s_chr(), "<=", 1, name="C1")
+
+
+def c2() -> Constraint:
+    """C2: a department with 3 or more professors must have a chair."""
+    return Constraint(s_dep(), s_mem(), ">=", 3, s_chr(), ">=", 1, name="C2")
+
+
+def c3() -> Constraint:
+    """C3: a member must be a full professor in order to be a chair."""
+    is_full = selector(f"$*[position/'{FULL}']")
+    return always(s_chr(), is_full, ">=", 1, name="C3")
+
+
+def c4() -> Constraint:
+    """C4: an assistant professor supervises at most one Ph.D. student."""
+    assistant = selector(f"*//$member[position/'{ASSISTANT}']")
+    students = selector(f"*/$'{PHD}'")
+    return always(assistant, students, "<=", 1, name="C4")
+
+
+def figure1_constraints() -> list[Constraint]:
+    """C = {C1, C2, C3, C4}."""
+    return [c1(), c2(), c3(), c4()]
+
+
+# -- the p-document of Figure 1 ------------------------------------------------
+
+class Figure1:
+    """The Figure 1 p-document with handles to its interesting nodes."""
+
+    def __init__(self) -> None:
+        pd, university = pdocument("university")
+        department = university.ordinary("department")
+
+        # Mary — Example 3.1: chair w.p. 0.7; full xor assistant (0.6/0.4).
+        mary = department.ordinary("member")
+        mary.ordinary("name").ordinary("Mary")
+        mary_pos = mary.ordinary("position")
+        mary_pos.ind().add_edge("chair", Fraction(7, 10))
+        mary_rank = mary_pos.mux()
+        mary_rank.add_edge(FULL, Fraction(3, 5))
+        mary_rank.add_edge(ASSISTANT, Fraction(2, 5))
+
+        # Lisa — probabilistic rank and chair; students David, Nicole, Amy.
+        lisa = department.ordinary("member")
+        lisa.ordinary("name").ordinary("Lisa")
+        lisa_pos = lisa.ordinary("position")
+        lisa_pos.ind().add_edge("chair", Fraction(2, 5))
+        lisa_rank = lisa_pos.mux()
+        lisa_rank.add_edge(FULL, Fraction(1, 2))
+        lisa_rank.add_edge(ASSISTANT, Fraction(1, 2))
+
+        students = lisa.ind()
+        david_st = PNode("ord", PHD)
+        david_name = david_st.ordinary("name")
+        self.david = david_name.ordinary("David")
+        students.add_edge(david_st, Fraction(4, 5))
+
+        nicole_st = PNode("ord", PHD)
+        nicole_name = nicole_st.ordinary("name")
+        self.nicole = nicole_name.ordinary("Nicole")
+        students.add_edge(nicole_st, Fraction(13, 20))
+
+        # Amy — present with probability 0.9 × 0.6 = 0.54 (Example 3.2):
+        # the student node exists w.p. 0.9 and then carries its name w.p. 0.6
+        # (stacked distributional nodes; footnote 3 of the paper).
+        amy_st = PNode("ord", PHD)
+        amy_name_holder = amy_st.ind()
+        amy_name = PNode("ord", "name")
+        self.amy = amy_name.ordinary("Amy")
+        amy_name_holder.add_edge(amy_name, Fraction(3, 5))
+        students.add_edge(amy_st, Fraction(9, 10))
+
+        # Paul — a probabilistic third member (Example 3.4: without him the
+        # department has fewer than 3 members and C2 is vacuous).
+        paul = PNode("ord", "member")
+        paul.ordinary("name").ordinary("Paul")
+        paul_rank = paul.ordinary("position").mux()
+        paul_rank.add_edge(FULL, Fraction(7, 10))
+        paul_rank.add_edge(ASSISTANT, Fraction(3, 10))
+        department.ind().add_edge(paul, Fraction(3, 4))
+
+        pd.validate()
+        self.pdoc = pd
+        self.university = university
+        self.department = department
+        self.mary = mary
+        self.mary_chair = mary_pos.children[0].children[0]
+        self.mary_full = mary_rank.children[0]
+        self.mary_assistant = mary_rank.children[1]
+        self.lisa = lisa
+        self.lisa_chair = lisa_pos.children[0].children[0]
+        self.lisa_full = lisa_rank.children[0]
+        self.lisa_assistant = lisa_rank.children[1]
+        self.david_st = david_st
+        self.nicole_st = nicole_st
+        self.amy_st = amy_st
+        self.paul = paul
+        self.paul_full = paul_rank.children[0]
+        self.paul_assistant = paul_rank.children[1]
+
+    def figure2_uids(self) -> frozenset[int]:
+        """The world of the p-document that *is* the Figure 2 instance:
+        Mary full professor and chair, Lisa full professor with David and
+        Nicole, Paul present as an assistant professor, Amy's student node
+        absent."""
+        keep: set[int] = set()
+
+        def descend(node: PNode) -> None:
+            for child in node.children:
+                if child.kind == "ord":
+                    keep.add(child.uid)
+                descend(child)
+
+        # Start from the sure spine and prune the probabilistic parts.
+        keep.add(self.university.uid)
+        descend(self.university)
+        drop_roots = [self.lisa_chair, self.amy_st, self.mary_assistant,
+                      self.lisa_assistant, self.paul_full]
+        for root in drop_roots:
+            keep.discard(root.uid)
+            dropped: set[int] = set()
+
+            def collect(node: PNode) -> None:
+                for child in node.children:
+                    if child.kind == "ord":
+                        dropped.add(child.uid)
+                    collect(child)
+
+            collect(root)
+            keep -= dropped
+        return frozenset(keep)
+
+
+def figure1_pdocument() -> PDocument:
+    """The p-document P̃ of Figure 1."""
+    return Figure1().pdoc
+
+
+def figure1_pxdb() -> PXDB:
+    """The PXDB D̃ = (P̃, {C1, C2, C3, C4}) of Figure 1."""
+    return PXDB(figure1_pdocument(), figure1_constraints())
+
+
+def figure2_document() -> Document:
+    """The random instance d of Figure 2: Mary is a full professor and the
+    chair, Lisa is a full professor supervising David and Nicole, and Paul
+    is an assistant professor.  Satisfies C1–C4 (Example 2.3)."""
+    return Document(
+        doc(
+            "university",
+            doc(
+                "department",
+                doc(
+                    "member",
+                    doc("name", "Mary"),
+                    doc("position", FULL, "chair"),
+                ),
+                doc(
+                    "member",
+                    doc("name", "Lisa"),
+                    doc("position", FULL),
+                    doc(PHD, doc("name", "David")),
+                    doc(PHD, doc("name", "Nicole")),
+                ),
+                doc(
+                    "member",
+                    doc("name", "Paul"),
+                    doc("position", ASSISTANT),
+                ),
+            ),
+        )
+    )
+
+
+# -- scaled workload -------------------------------------------------------------
+
+def scaled_university(
+    departments: int = 2,
+    members: int = 3,
+    students: int = 1,
+    seed: int = 0,
+    chair_prob: Fraction = Fraction(7, 10),
+    full_prob: Fraction = Fraction(3, 5),
+    member_prob: Fraction = Fraction(4, 5),
+    student_prob: Fraction = Fraction(1, 2),
+    anonymous: bool = False,
+) -> PDocument:
+    """A parameterized university p-document for the scaling experiments.
+
+    Every department gets ``members`` probabilistic members (each present
+    with ``member_prob``), each with a probabilistic chair, a full/assistant
+    mux and ``students`` probabilistic Ph.D. students.  The constraint set
+    C1–C4 applies unchanged.  Deterministic given ``seed`` (names only).
+
+    With ``anonymous=True`` every name leaf carries the same label, making
+    all departments structurally identical — the regime where the
+    evaluator's structural cache collapses the workload to a single
+    department's work (ablation experiment E10).
+    """
+    rng = random.Random(seed)
+    pd, university = pdocument("university")
+    for d_index in range(departments):
+        department = university.ordinary("department")
+        holder = department.ind()
+        for m_index in range(members):
+            member = PNode("ord", "member")
+            member_name = (
+                "somebody" if anonymous else f"member-{d_index}-{m_index}"
+            )
+            member.ordinary("name").ordinary(member_name)
+            position = member.ordinary("position")
+            position.ind().add_edge("chair", chair_prob)
+            rank = position.mux()
+            rank.add_edge(FULL, full_prob)
+            rank.add_edge(ASSISTANT, 1 - full_prob)
+            if students:
+                student_holder = member.ind()
+                for s_index in range(students):
+                    student = PNode("ord", PHD)
+                    student_name = (
+                        "somebody"
+                        if anonymous
+                        else f"student-{d_index}-{m_index}-{s_index}"
+                    )
+                    student.ordinary("name").ordinary(student_name)
+                    student_holder.add_edge(student, student_prob)
+            holder.add_edge(member, member_prob)
+        rng.random()  # reserved for future randomized variations
+    pd.validate()
+    return pd

@@ -1,0 +1,75 @@
+"""Deterministic XML substrate: trees, documents, twig patterns, matching.
+
+This package implements Section 2 of the paper (the deterministic data
+model): directed unordered labeled trees, documents, twig patterns with
+child/descendant edges and label predicates, and the match semantics
+M(T, d).  Everything probabilistic builds on top of it.
+"""
+
+from .document import DocNode, Document, Label, canonical_key, doc
+from .matching import (
+    count_matches,
+    enumerate_matches,
+    has_match,
+    match_bits,
+    selected_set,
+)
+from .parser import (
+    PatternSyntaxError,
+    parse_boolean_pattern,
+    parse_pattern,
+    parse_selector,
+)
+from .pattern import CHILD, DESC, Pattern, PatternNode, pattern, trivial_pattern
+from .predicates import (
+    ANY,
+    AnyLabel,
+    IsNumeric,
+    LabelEquals,
+    LabelSuffix,
+    NodeIs,
+    NumericCompare,
+    Predicate,
+    is_numeric_label,
+    label,
+    numeric_value,
+    suffix,
+)
+from .serialize import document_from_xml, document_to_xml
+
+__all__ = [
+    "ANY",
+    "AnyLabel",
+    "CHILD",
+    "DESC",
+    "DocNode",
+    "Document",
+    "IsNumeric",
+    "Label",
+    "LabelEquals",
+    "LabelSuffix",
+    "NodeIs",
+    "NumericCompare",
+    "Pattern",
+    "PatternNode",
+    "PatternSyntaxError",
+    "Predicate",
+    "canonical_key",
+    "count_matches",
+    "doc",
+    "document_from_xml",
+    "document_to_xml",
+    "enumerate_matches",
+    "has_match",
+    "is_numeric_label",
+    "label",
+    "match_bits",
+    "numeric_value",
+    "parse_boolean_pattern",
+    "parse_pattern",
+    "parse_selector",
+    "pattern",
+    "selected_set",
+    "suffix",
+    "trivial_pattern",
+]

@@ -1,0 +1,179 @@
+"""XML documents: unordered, unranked trees with labeled nodes (Sec. 2.2).
+
+Labels come from an infinite alphabet.  Following Section 7.2 of the paper,
+labels may also be rational numbers, which is what the aggregate functions
+MIN/MAX/SUM/AVG operate on; ``repro.xmltree.predicates.is_numeric_label``
+centralizes the numeric test.
+
+Every node carries a ``uid``.  When a document is a random instance of a
+p-document, the uid is inherited from the originating ordinary p-document
+node, so "the same data item" can be identified across possible worlds.
+This is exactly the device the paper uses when it reduces non-Boolean
+queries to Boolean ones by "extending the notion of labels" (Section 5).
+"""
+
+from __future__ import annotations
+
+import itertools
+from fractions import Fraction
+from typing import Iterable, Iterator
+
+from . import tree
+
+Label = str | int | Fraction
+
+_uid_counter = itertools.count(1)
+
+
+def fresh_uid() -> int:
+    """Return a process-unique node identifier."""
+    return next(_uid_counter)
+
+
+class DocNode:
+    """A node of a document: a label, a uid and child nodes."""
+
+    __slots__ = ("label", "uid", "_children", "_parent")
+
+    def __init__(self, label: Label, children: Iterable["DocNode"] = (), uid: int | None = None):
+        self.label = label
+        self.uid = fresh_uid() if uid is None else uid
+        self._children: list[DocNode] = []
+        self._parent: DocNode | None = None
+        for child in children:
+            self.add_child(child)
+
+    @property
+    def children(self) -> list["DocNode"]:
+        return self._children
+
+    @property
+    def parent(self) -> "DocNode | None":
+        return self._parent
+
+    def add_child(self, child: "DocNode") -> "DocNode":
+        """Attach ``child`` (which must be parentless) below this node."""
+        if child._parent is not None:
+            raise ValueError("node already has a parent")
+        child._parent = self
+        self._children.append(child)
+        return child
+
+    def new_child(self, label: Label, uid: int | None = None) -> "DocNode":
+        """Create, attach and return a fresh child with the given label."""
+        return self.add_child(DocNode(label, uid=uid))
+
+    def is_leaf(self) -> bool:
+        return not self._children
+
+    def descendants(self) -> Iterator["DocNode"]:
+        """Yield this node and all nodes below it (the subtree d^v)."""
+        return tree.preorder(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DocNode({self.label!r}, uid={self.uid})"
+
+
+class Document:
+    """A document: a rooted labeled tree (paper Definition of Sec. 2.2).
+
+    The class is a thin wrapper around the root :class:`DocNode`; the
+    ``subtree`` method gives the induced subtree d^v rooted at a node,
+    which is the unit the paper's constraints quantify over.
+    """
+
+    __slots__ = ("root",)
+
+    def __init__(self, root: DocNode):
+        self.root = root
+
+    def nodes(self) -> Iterator[DocNode]:
+        """Yield all nodes in preorder."""
+        return tree.preorder(self.root)
+
+    def size(self) -> int:
+        """Return the number of nodes."""
+        return tree.subtree_size(self.root)
+
+    def subtree(self, node: DocNode) -> "Document":
+        """Return the subtree d^v rooted at ``node`` (shares the nodes)."""
+        return Document(node)
+
+    def find_all(self, label: Label) -> list[DocNode]:
+        """Return all nodes carrying ``label`` (exact equality)."""
+        return [node for node in self.nodes() if node.label == label]
+
+    def find(self, label: Label) -> DocNode:
+        """Return the unique node carrying ``label``.
+
+        Raises ``LookupError`` when there is no such node or more than one.
+        """
+        matches = self.find_all(label)
+        if len(matches) != 1:
+            raise LookupError(f"expected exactly one node labeled {label!r}, found {len(matches)}")
+        return matches[0]
+
+    def node_by_uid(self, uid: int) -> DocNode:
+        """Return the node with the given uid; raises ``LookupError``."""
+        for node in self.nodes():
+            if node.uid == uid:
+                return node
+        raise LookupError(f"no node with uid {uid}")
+
+    def uid_set(self) -> frozenset[int]:
+        """Return the set of uids; random instances of the same p-document
+        are equal as documents iff their uid sets are equal."""
+        return frozenset(node.uid for node in self.nodes())
+
+    def copy(self) -> "Document":
+        """Return a deep copy preserving uids."""
+
+        def clone(node: DocNode) -> DocNode:
+            return DocNode(node.label, (clone(c) for c in node.children), uid=node.uid)
+
+        return Document(clone(self.root))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Document):
+            return NotImplemented
+        return canonical_key(self.root) == canonical_key(other.root)
+
+    def __hash__(self) -> int:
+        return hash(canonical_key(self.root))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Document(size={self.size()}, root={self.root.label!r})"
+
+
+def canonical_key(node: DocNode) -> tuple:
+    """Canonical form of an unordered labeled tree (label-only, ignores uids).
+
+    Two documents are isomorphic as unordered labeled trees iff their
+    canonical keys are equal.
+    """
+    child_keys = sorted(canonical_key(child) for child in node.children)
+    return (_label_key(node.label), tuple(child_keys))
+
+
+def _label_key(label: Label) -> tuple:
+    # Mixed-type labels must be orderable for sorting; tag by type name.
+    if isinstance(label, str):
+        return ("s", label)
+    return ("n", str(Fraction(label)))
+
+
+def doc(label: Label, *children: "Document | DocNode | Label") -> DocNode:
+    """Concise builder: ``doc('a', doc('b'), 'c')`` builds a - (b, c).
+
+    Accepts nested :func:`doc` results, bare labels (made into leaves) and
+    :class:`DocNode` objects.
+    """
+    node = DocNode(label)
+    for child in children:
+        if isinstance(child, Document):
+            node.add_child(child.root)
+        elif isinstance(child, DocNode):
+            node.add_child(child)
+        else:
+            node.new_child(child)
+    return node

@@ -1,0 +1,196 @@
+"""Twig-pattern matching over (deterministic) documents — M(T, d) of Sec. 2.3.
+
+Three entry points, all parameterized by an optional ``extra_test`` hook so
+that the core package can reuse them for *augmented* patterns (Definition
+5.1), where every pattern node additionally demands that a c-formula hold
+on the subtree of its image:
+
+* :func:`match_bits`      — for every pattern node m, the set of document
+  nodes v such that the sub-pattern rooted at m matches with m ↦ v.  This
+  is the standard polynomial twig-join bottom-up pass.
+* :func:`has_match`       — Boolean matching: M(T, d) ≠ ∅.
+* :func:`selected_set`    — σ(d) for a selector σ = π_n T: the set of nodes
+  selected by projecting on n (computed without enumerating matches, via a
+  walk of the spine automaton; polynomial).
+* :func:`enumerate_matches` — the full set of matches as mappings, used by
+  query evaluation to produce answer tuples.
+
+A match maps the pattern root to the root of the document being evaluated
+(condition 1 of the paper's match definition); evaluating a selector on a
+subtree d^v simply passes v as ``root``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from . import tree
+from .document import DocNode
+from .pattern import CHILD, DESC, Pattern, PatternNode
+
+ExtraTest = Callable[[PatternNode, DocNode], bool]
+
+
+def _passes(pnode: PatternNode, dnode: DocNode, extra_test: ExtraTest | None) -> bool:
+    if not pnode.predicate.matches(dnode):
+        return False
+    return extra_test is None or extra_test(pnode, dnode)
+
+
+def match_bits(
+    pattern: Pattern, root: DocNode, extra_test: ExtraTest | None = None
+) -> dict[int, set[int]]:
+    """Return {id(pattern node) -> {id(doc node) matched at}} over subtree(root).
+
+    ``bits[id(m)]`` contains ``id(v)`` iff the sub-pattern rooted at m has a
+    match mapping m to v (within the subtree of ``root``).
+    """
+    doc_nodes = list(tree.postorder(root))
+    pattern_nodes = list(pattern.nodes())
+    bits: dict[int, set[int]] = {id(m): set() for m in pattern_nodes}
+    # below[id(m)] = doc nodes v such that some node in subtree(v) matches m.
+    below: dict[int, set[int]] = {id(m): set() for m in pattern_nodes}
+
+    for m in reversed(pattern_nodes):  # children of m processed before m
+        m_bits = bits[id(m)]
+        m_below = below[id(m)]
+        for v in doc_nodes:  # postorder: v's children already in `below`
+            ok = _passes(m, v, extra_test)
+            if ok:
+                for mc in m.children:
+                    if mc.axis == CHILD:
+                        if not any(id(w) in bits[id(mc)] for w in v.children):
+                            ok = False
+                            break
+                    else:  # DESC: a proper descendant of v
+                        if not any(id(w) in below[id(mc)] for w in v.children):
+                            ok = False
+                            break
+            if ok:
+                m_bits.add(id(v))
+            if ok or any(id(w) in m_below for w in v.children):
+                m_below.add(id(v))
+    return bits
+
+
+def has_match(pattern: Pattern, root: DocNode, extra_test: ExtraTest | None = None) -> bool:
+    """Decide M(T, d) ≠ ∅ for the document rooted at ``root``."""
+    bits = match_bits(pattern, root, extra_test)
+    return id(root) in bits[id(pattern.root)]
+
+
+def selected_set(
+    pattern: Pattern,
+    projected: PatternNode,
+    root: DocNode,
+    extra_test: ExtraTest | None = None,
+) -> set[DocNode]:
+    """Compute σ(d) for the selector σ = π_projected(pattern) on subtree(root).
+
+    A document node u is selected iff some match maps ``projected`` to u.
+    The computation decomposes the selector into its spine (root-to-n path)
+    and side branches: u is selected iff the spine embeds into the document
+    path root..u such that every spine node's predicate, extra test and side
+    branches are satisfied at its image.  A downward walk carrying the set
+    of embeddable spine prefixes decides this in one pass.
+    """
+    spine = pattern.spine_to(projected)
+    branches = pattern.side_branches(spine)
+    bits = match_bits(pattern, root, extra_test)
+
+    def local_ok(i: int, v: DocNode) -> bool:
+        """The spine node at position i can be placed at v (ignoring the
+        spine child, which the walk itself handles)."""
+        if not _passes(spine[i], v, extra_test):
+            return False
+        for branch_root in branches[i]:
+            branch_bits = bits[id(branch_root)]
+            if branch_root.axis == CHILD:
+                if not any(id(w) in branch_bits for w in v.children):
+                    return False
+            else:
+                if not _under(branch_bits, v):
+                    return False
+        return True
+
+    def _under(branch_bits: set[int], v: DocNode) -> bool:
+        return any(id(u) in branch_bits for u in tree.proper_descendants(v))
+
+    last = len(spine) - 1
+    selected: set[DocNode] = set()
+    if not local_ok(0, root):
+        return selected
+    # State: (placed, pending) — spine positions placed exactly at the
+    # current node / placed at-or-above with an outgoing descendant edge.
+    placed0 = frozenset([0])
+    pending0 = frozenset(i for i in placed0 if i < last and spine[i + 1].axis == DESC)
+    if last == 0:
+        selected.add(root)
+
+    stack: list[tuple[DocNode, frozenset[int], frozenset[int]]] = [(root, placed0, pending0)]
+    while stack:
+        v, placed, pending = stack.pop()
+        for w in v.children:
+            new_placed = frozenset(
+                i
+                for i in range(1, last + 1)
+                if (
+                    (spine[i].axis == CHILD and i - 1 in placed)
+                    or (spine[i].axis == DESC and i - 1 in pending)
+                )
+                and local_ok(i, w)
+            )
+            new_pending = pending | frozenset(
+                i for i in new_placed if i < last and spine[i + 1].axis == DESC
+            )
+            if last in new_placed:
+                selected.add(w)
+            if new_placed or new_pending:
+                stack.append((w, new_placed, new_pending))
+    return selected
+
+
+def enumerate_matches(
+    pattern: Pattern, root: DocNode, extra_test: ExtraTest | None = None
+) -> Iterator[dict[int, DocNode]]:
+    """Yield every match φ ∈ M(T, d) as a dict {id(pattern node): doc node}.
+
+    Uses :func:`match_bits` to prune; the number of matches can of course
+    be exponential in the pattern size, as in any twig-join system.
+    """
+    bits = match_bits(pattern, root, extra_test)
+    if id(root) not in bits[id(pattern.root)]:
+        return
+
+    assignment: dict[int, DocNode] = {}
+
+    def candidates(pnode: PatternNode, base: DocNode) -> Iterator[DocNode]:
+        pool = bits[id(pnode)]
+        if pnode.axis == CHILD:
+            for w in base.children:
+                if id(w) in pool:
+                    yield w
+        else:
+            for w in tree.proper_descendants(base):
+                if id(w) in pool:
+                    yield w
+
+    def extend(pnodes: list[PatternNode], index: int) -> Iterator[dict[int, DocNode]]:
+        if index == len(pnodes):
+            yield dict(assignment)
+            return
+        pnode = pnodes[index]
+        base = assignment[id(pnode.parent)]
+        for w in candidates(pnode, base):
+            assignment[id(pnode)] = w
+            yield from extend(pnodes, index + 1)
+            del assignment[id(pnode)]
+
+    ordered = list(pattern.nodes())  # preorder: parents before children
+    assignment[id(pattern.root)] = root
+    yield from extend(ordered[1:], 0)
+
+
+def count_matches(pattern: Pattern, root: DocNode, extra_test: ExtraTest | None = None) -> int:
+    """Return |M(T, d)| for the document rooted at ``root``."""
+    return sum(1 for _ in enumerate_matches(pattern, root, extra_test))

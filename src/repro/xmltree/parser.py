@@ -1,0 +1,200 @@
+"""A compact textual syntax for twig patterns, selectors and queries.
+
+The paper draws patterns as trees (Figure 1); programmatic construction via
+``repro.xmltree.pattern`` mirrors that.  For examples and tests a terse
+XPath-like string form is much more readable::
+
+    university/department//member[position/professor]/$name
+
+* ``/``            child edge, ``//`` descendant edge (single/double lines
+  in the paper's figures);
+* the first step is the pattern root, matched against the document root;
+* node tests: ``*`` (any label), a bare or quoted label (equality, the
+  paper's ``= x``), ``~suffix`` (the paper's ``~ x``), an integer or
+  fraction (numeric-label equality);
+* ``[relative/path]`` attaches a side branch (a filter twig); a branch
+  starting with ``//`` hangs off a descendant edge;
+* ``$step`` marks the projected node of a selector; ``$2:step`` gives the
+  position in a projection sequence for multi-attribute queries.
+
+:func:`parse_pattern` returns ``(Pattern, projections)`` where projections
+maps 1-based positions to pattern nodes.  :func:`parse_selector` insists on
+exactly one projected node and returns ``(Pattern, node)``.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from .pattern import CHILD, DESC, Pattern, PatternNode
+from .predicates import ANY, LabelEquals, LabelSuffix, Predicate
+
+
+class PatternSyntaxError(ValueError):
+    """Raised when a pattern string cannot be parsed."""
+
+
+class _Scanner:
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+
+    def peek(self) -> str:
+        return self.text[self.pos] if self.pos < len(self.text) else ""
+
+    def startswith(self, token: str) -> bool:
+        return self.text.startswith(token, self.pos)
+
+    def take(self, token: str) -> bool:
+        if self.startswith(token):
+            self.pos += len(token)
+            return True
+        return False
+
+    def expect(self, token: str) -> None:
+        if not self.take(token):
+            raise PatternSyntaxError(
+                f"expected {token!r} at position {self.pos} in {self.text!r}"
+            )
+
+    def done(self) -> bool:
+        return self.pos >= len(self.text)
+
+    def error(self, message: str) -> PatternSyntaxError:
+        return PatternSyntaxError(f"{message} at position {self.pos} in {self.text!r}")
+
+
+_BARE_STOP = set("/[]$~'\"")
+
+
+def _scan_bare(scanner: _Scanner) -> str:
+    start = scanner.pos
+    while not scanner.done() and scanner.peek() not in _BARE_STOP:
+        scanner.pos += 1
+    if scanner.pos == start:
+        raise scanner.error("expected a node test")
+    return scanner.text[start : scanner.pos].strip()
+
+
+def _scan_quoted(scanner: _Scanner) -> str:
+    quote = scanner.peek()
+    scanner.pos += 1
+    start = scanner.pos
+    while not scanner.done() and scanner.peek() != quote:
+        scanner.pos += 1
+    if scanner.done():
+        raise scanner.error("unterminated quoted label")
+    value = scanner.text[start : scanner.pos]
+    scanner.pos += 1
+    return value
+
+
+def _label_value(text: str):
+    """Interpret a bare token: integers/fractions become numeric labels."""
+    try:
+        value = Fraction(text)
+    except (ValueError, ZeroDivisionError):
+        return text
+    return int(value) if value.denominator == 1 else value
+
+
+def _scan_predicate(scanner: _Scanner) -> Predicate:
+    if scanner.take("*"):
+        return ANY
+    if scanner.take("~"):
+        if scanner.peek() in "'\"":
+            return LabelSuffix(_scan_quoted(scanner))
+        return LabelSuffix(_scan_bare(scanner))
+    if scanner.peek() in "'\"":
+        return LabelEquals(_scan_quoted(scanner))
+    return LabelEquals(_label_value(_scan_bare(scanner)))
+
+
+def _parse_step(
+    scanner: _Scanner,
+    parent: PatternNode | None,
+    axis: str,
+    projections: dict[int, PatternNode],
+) -> PatternNode:
+    position: int | None = None
+    if scanner.take("$"):
+        digits_start = scanner.pos
+        while not scanner.done() and scanner.peek().isdigit():
+            scanner.pos += 1
+        if scanner.pos > digits_start and scanner.peek() == ":":
+            position = int(scanner.text[digits_start : scanner.pos])
+            scanner.expect(":")
+        else:
+            # "$42" marks a numeric-label node at position 1, not "$42:".
+            scanner.pos = digits_start
+            position = 1
+    predicate = _scan_predicate(scanner)
+    node = PatternNode(predicate, axis)
+    if parent is not None:
+        parent.add_child(node)
+    if position is not None:
+        if position in projections:
+            raise scanner.error(f"duplicate projection position {position}")
+        projections[position] = node
+    while scanner.take("["):
+        _parse_path(scanner, node, projections, stop="]")
+        scanner.expect("]")
+    return node
+
+
+def _parse_path(
+    scanner: _Scanner,
+    parent: PatternNode | None,
+    projections: dict[int, PatternNode],
+    stop: str = "",
+) -> PatternNode:
+    """Parse ``step (sep step)*``; returns the first node of the path."""
+    axis = CHILD
+    if scanner.take("//"):
+        axis = DESC
+    else:
+        scanner.take("/")
+    first = node = _parse_step(scanner, parent, axis, projections)
+    while not scanner.done() and not (stop and scanner.peek() == stop):
+        if scanner.take("//"):
+            axis = DESC
+        elif scanner.take("/"):
+            axis = CHILD
+        else:
+            raise scanner.error("expected '/', '//' or end of pattern")
+        node = _parse_step(scanner, node, axis, projections)
+    return first
+
+
+def parse_pattern(text: str) -> tuple[Pattern, dict[int, PatternNode]]:
+    """Parse a pattern string; returns (pattern, {position: projected node})."""
+    scanner = _Scanner(text.strip())
+    projections: dict[int, PatternNode] = {}
+    root = _parse_path(scanner, None, projections)
+    if not scanner.done():
+        raise scanner.error("trailing input")
+    if projections:
+        expected = set(range(1, len(projections) + 1))
+        if set(projections) != expected:
+            raise PatternSyntaxError(
+                f"projection positions must be 1..{len(projections)}, got {sorted(projections)}"
+            )
+    return Pattern(root), projections
+
+
+def parse_selector(text: str) -> tuple[Pattern, PatternNode]:
+    """Parse a selector π_n T; the string must mark exactly one node with $."""
+    pattern, projections = parse_pattern(text)
+    if len(projections) != 1:
+        raise PatternSyntaxError(
+            f"a selector needs exactly one $-marked node, got {len(projections)}: {text!r}"
+        )
+    return pattern, projections[1]
+
+
+def parse_boolean_pattern(text: str) -> Pattern:
+    """Parse a pattern with no projection markers (a Boolean twig query)."""
+    pattern, projections = parse_pattern(text)
+    if projections:
+        raise PatternSyntaxError(f"Boolean pattern must not project: {text!r}")
+    return pattern

@@ -1,0 +1,127 @@
+"""Twig patterns: trees with child/descendant edges and label predicates.
+
+This is the pattern language of Section 2.3 of the paper.  A pattern is a
+tree; each node has a predicate (``repro.xmltree.predicates``) and each
+edge is either a *child* edge (single line in the paper's figures) or a
+*descendant* edge (double line).  A match maps the pattern root to the
+document root, respects predicates and maps child/descendant edges onto
+parent/proper-ancestor relationships (see ``repro.xmltree.matching``).
+
+Patterns are plain structural data; *augmented* patterns — which attach a
+c-formula to every node (Definition 5.1) — live in ``repro.core.formulas``
+and reference these nodes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from . import tree
+from .predicates import ANY, Predicate
+
+CHILD = "child"
+DESC = "desc"
+AXES = (CHILD, DESC)
+
+
+class PatternNode:
+    """A node of a twig pattern: predicate + edge type from its parent."""
+
+    __slots__ = ("predicate", "axis", "name", "_children", "_parent")
+
+    def __init__(self, predicate: Predicate = ANY, axis: str = CHILD, name: str | None = None):
+        if axis not in AXES:
+            raise ValueError(f"axis must be one of {AXES}, got {axis!r}")
+        self.predicate = predicate
+        self.axis = axis  # edge type from parent; meaningless at the root
+        self.name = name  # optional human-readable tag for debugging
+        self._children: list[PatternNode] = []
+        self._parent: PatternNode | None = None
+
+    @property
+    def children(self) -> list["PatternNode"]:
+        return self._children
+
+    @property
+    def parent(self) -> "PatternNode | None":
+        return self._parent
+
+    def add_child(self, child: "PatternNode") -> "PatternNode":
+        if child._parent is not None:
+            raise ValueError("pattern node already has a parent")
+        child._parent = self
+        self._children.append(child)
+        return child
+
+    def child(self, predicate: Predicate = ANY, name: str | None = None) -> "PatternNode":
+        """Create and attach a child-edge child; returns the new node."""
+        return self.add_child(PatternNode(predicate, CHILD, name))
+
+    def descendant(self, predicate: Predicate = ANY, name: str | None = None) -> "PatternNode":
+        """Create and attach a descendant-edge child; returns the new node."""
+        return self.add_child(PatternNode(predicate, DESC, name))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        tag = self.name or repr(self.predicate)
+        return f"PatternNode({tag}, axis={self.axis})"
+
+
+class Pattern:
+    """A twig pattern T (Section 2.3), wrapping the root pattern node.
+
+    ``nodes()`` yields a fixed preorder; the evaluation compiler relies on
+    node identity, so pattern objects must not be mutated once used.
+    """
+
+    __slots__ = ("root",)
+
+    def __init__(self, root: PatternNode):
+        self.root = root
+
+    def nodes(self) -> Iterator[PatternNode]:
+        return tree.preorder(self.root)
+
+    def size(self) -> int:
+        return tree.subtree_size(self.root)
+
+    def contains(self, node: PatternNode) -> bool:
+        return any(n is node for n in self.nodes())
+
+    def spine_to(self, node: PatternNode) -> list[PatternNode]:
+        """Return the root-to-``node`` path (the selector's *spine*).
+
+        The evaluation algorithm decomposes a selector π_n T into the spine
+        (the path from root(T) to n) and the side branches hanging off it.
+        """
+        if not self.contains(node):
+            raise ValueError("node does not belong to this pattern")
+        return tree.path_between(self.root, node)
+
+    def side_branches(self, spine: list[PatternNode]) -> dict[int, list[PatternNode]]:
+        """Map each spine position to its non-spine children (branch roots)."""
+        on_spine = {id(n) for n in spine}
+        result: dict[int, list[PatternNode]] = {}
+        for i, spine_node in enumerate(spine):
+            result[i] = [c for c in spine_node.children if id(c) not in on_spine]
+        return result
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Pattern(size={self.size()})"
+
+
+def pattern(predicate: Predicate = ANY, name: str | None = None) -> tuple[Pattern, PatternNode]:
+    """Create a one-node pattern; returns (pattern, root node).
+
+    Typical usage builds the twig top-down::
+
+        T, root = pattern(label('university'))
+        dep = root.child(label('department'), name='dep')
+        member = dep.descendant(suffix('professor'))
+    """
+    root = PatternNode(predicate, CHILD, name)
+    return Pattern(root), root
+
+
+def trivial_pattern() -> tuple[Pattern, PatternNode]:
+    """The trivial pattern T0: a single node with predicate **true** (Sec 5.1)."""
+    return pattern(ANY, name="r")

@@ -1,0 +1,242 @@
+"""Label predicates attached to pattern nodes (paper, Section 2.3).
+
+Each pattern node carries a predicate ``cond : Σ → {true, false}``.  The
+paper's Figure 1 uses three predicate forms, all provided here:
+
+* ``*``      — :class:`AnyLabel`, always true;
+* ``= x``    — :class:`LabelEquals`, exact label equality;
+* ``~ x``    — :class:`LabelSuffix`, ``x`` is a suffix of the label.
+
+Section 7.2 adds numeric labels; :class:`NumericCompare` and
+:class:`IsNumeric` support the MIN/MAX rewriting of Theorem 7.1.  Finally,
+:class:`NodeIs` implements the "extended labels" device of Section 5 that
+reduces non-Boolean query evaluation to Boolean queries: it pins a pattern
+node to one specific document node by uid.
+
+Predicates receive the *node* (anything with ``label`` and ``uid``
+attributes) rather than the bare label, which is what makes ``NodeIs``
+expressible without altering the data model.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from .. import ops
+from .document import Label
+
+
+def is_numeric_label(label: Label) -> bool:
+    """The paper's ``numeric(l)`` test: is the label a rational number?"""
+    return isinstance(label, (int, Fraction)) and not isinstance(label, bool)
+
+
+def numeric_value(label: Label) -> Fraction:
+    """Return the label's numeric value; caller must check numeric first."""
+    return Fraction(label)
+
+
+class Predicate:
+    """Base class for label predicates; subclasses implement ``matches``.
+
+    ``label_only`` declares that ``matches`` inspects nothing but the
+    node's *label* — never its uid or surroundings.  The evaluator may
+    then share work across structurally identical subtrees (its
+    signature cache); :class:`NodeIs` is the one built-in that must set
+    it to False.  Custom predicates default to False, which is always
+    sound.
+    """
+
+    __slots__ = ()
+
+    label_only: bool = False
+
+    def matches(self, node) -> bool:
+        raise NotImplementedError
+
+    def is_label_only(self) -> bool:
+        """Whether this predicate (recursively) reads only labels."""
+        return self.label_only
+
+    # Combinator sugar -----------------------------------------------------
+    def __and__(self, other: "Predicate") -> "Predicate":
+        return PredAnd((self, other))
+
+    def __or__(self, other: "Predicate") -> "Predicate":
+        return PredOr((self, other))
+
+    def __invert__(self) -> "Predicate":
+        return PredNot(self)
+
+
+class AnyLabel(Predicate):
+    """The predicate ``*``: true for every label."""
+
+    label_only = True
+
+    __slots__ = ()
+
+    def matches(self, node) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return "*"
+
+
+ANY = AnyLabel()
+
+
+class LabelEquals(Predicate):
+    """The predicate ``= x``: the label equals ``x``."""
+
+    label_only = True
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Label):
+        self.value = value
+
+    def matches(self, node) -> bool:
+        return node.label == self.value
+
+    def __repr__(self) -> str:
+        return f"={self.value!r}"
+
+
+class LabelSuffix(Predicate):
+    """The predicate ``~ x``: ``x`` is a suffix of the (string) label."""
+
+    label_only = True
+
+    __slots__ = ("suffix",)
+
+    def __init__(self, suffix: str):
+        self.suffix = suffix
+
+    def matches(self, node) -> bool:
+        return isinstance(node.label, str) and node.label.endswith(self.suffix)
+
+    def __repr__(self) -> str:
+        return f"~{self.suffix!r}"
+
+
+class IsNumeric(Predicate):
+    """True iff the label is numeric (paper's ``numeric(l)``)."""
+
+    label_only = True
+
+    __slots__ = ()
+
+    def matches(self, node) -> bool:
+        return is_numeric_label(node.label)
+
+    def __repr__(self) -> str:
+        return "numeric()"
+
+
+class NumericCompare(Predicate):
+    """True iff the label is numeric and ``label op value`` holds.
+
+    This is the predicate refinement behind the MIN/MAX-to-CNT rewriting
+    (Theorem 7.1): e.g. ``MAX(σ) > R`` becomes "σ selects a node whose
+    label is numeric and > R".
+    """
+
+    label_only = True
+
+    __slots__ = ("op", "value")
+
+    def __init__(self, op: str, value):
+        self.op = ops.normalize(op)
+        self.value = Fraction(value)
+
+    def matches(self, node) -> bool:
+        if not is_numeric_label(node.label):
+            return False
+        return ops.apply(self.op, numeric_value(node.label), self.value)
+
+    def __repr__(self) -> str:
+        return f"numeric{self.op}{self.value}"
+
+
+class NodeIs(Predicate):
+    """True only for the document node with the given uid.
+
+    Used by query evaluation (EVAL⟨Q,C⟩) to bind the projected pattern
+    nodes of a candidate answer tuple — the paper's "extension of labels".
+    """
+
+    __slots__ = ("uid",)
+
+    def __init__(self, uid: int):
+        self.uid = uid
+
+    def matches(self, node) -> bool:
+        return node.uid == self.uid
+
+    def __repr__(self) -> str:
+        return f"node#{self.uid}"
+
+
+class PredAnd(Predicate):
+    """Conjunction of predicates."""
+
+    __slots__ = ("parts",)
+
+    def __init__(self, parts):
+        self.parts = tuple(parts)
+
+    def is_label_only(self) -> bool:
+        return all(part.is_label_only() for part in self.parts)
+
+    def matches(self, node) -> bool:
+        return all(part.matches(node) for part in self.parts)
+
+    def __repr__(self) -> str:
+        return "(" + " & ".join(map(repr, self.parts)) + ")"
+
+
+class PredOr(Predicate):
+    """Disjunction of predicates."""
+
+    __slots__ = ("parts",)
+
+    def __init__(self, parts):
+        self.parts = tuple(parts)
+
+    def is_label_only(self) -> bool:
+        return all(part.is_label_only() for part in self.parts)
+
+    def matches(self, node) -> bool:
+        return any(part.matches(node) for part in self.parts)
+
+    def __repr__(self) -> str:
+        return "(" + " | ".join(map(repr, self.parts)) + ")"
+
+
+class PredNot(Predicate):
+    """Negation of a predicate."""
+
+    __slots__ = ("inner",)
+
+    def __init__(self, inner: Predicate):
+        self.inner = inner
+
+    def is_label_only(self) -> bool:
+        return self.inner.is_label_only()
+
+    def matches(self, node) -> bool:
+        return not self.inner.matches(node)
+
+    def __repr__(self) -> str:
+        return f"!{self.inner!r}"
+
+
+def label(value: Label) -> Predicate:
+    """Shorthand for :class:`LabelEquals`."""
+    return LabelEquals(value)
+
+
+def suffix(value: str) -> Predicate:
+    """Shorthand for :class:`LabelSuffix`."""
+    return LabelSuffix(value)

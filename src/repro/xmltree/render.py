@@ -1,0 +1,149 @@
+"""Rendering patterns and selectors back to the textual syntax.
+
+The inverse of ``repro.xmltree.parser``: :func:`pattern_to_string` emits a
+string that re-parses to an equivalent pattern (same matches on every
+document), which the round-trip tests verify.  Used by the constraint
+renderer and anywhere patterns must be shown to people.
+
+The spine of a projected pattern is rendered as the main path and the
+remaining children as ``[...]`` filters, mirroring how the parser builds
+trees; labels that could be misread (whitespace, separators, numerals
+meant as strings) are quoted.
+"""
+
+from __future__ import annotations
+
+import re
+from fractions import Fraction
+
+from .parser import _BARE_STOP  # the characters that end a bare token
+from .pattern import CHILD, DESC, Pattern, PatternNode
+from .predicates import (
+    AnyLabel,
+    LabelEquals,
+    LabelSuffix,
+    Predicate,
+)
+
+
+class RenderError(ValueError):
+    """Raised for patterns whose predicates have no textual form."""
+
+
+_SAFE_BARE = re.compile(r"^[^\s'\"]+$")
+
+
+def _quote(text: str) -> str:
+    if "'" not in text:
+        return f"'{text}'"
+    if '"' not in text:
+        return f'"{text}"'
+    raise RenderError(f"label {text!r} mixes both quote characters")
+
+
+def _render_label(value) -> str:
+    if isinstance(value, (int, Fraction)) and not isinstance(value, bool):
+        text = str(value)
+        return text if "/" not in text else _quote(text)
+    text = str(value)
+    if not text or any(ch in _BARE_STOP or ch.isspace() for ch in text):
+        return _quote(text)
+    # A bare token that parses as a number must be quoted to stay a string.
+    try:
+        Fraction(text)
+    except (ValueError, ZeroDivisionError):
+        return text
+    return _quote(text)
+
+
+def render_predicate(predicate: Predicate) -> str:
+    """The textual node test for a predicate (raises for exotic ones)."""
+    if isinstance(predicate, AnyLabel):
+        return "*"
+    if isinstance(predicate, LabelEquals):
+        return _render_label(predicate.value)
+    if isinstance(predicate, LabelSuffix):
+        return "~" + _render_label(predicate.suffix)
+    raise RenderError(
+        f"predicate {predicate!r} has no textual form "
+        f"(only *, label equality and ~suffix are part of the syntax)"
+    )
+
+
+def _render_node(
+    node: PatternNode,
+    projected: PatternNode | None,
+    spine_child: PatternNode | None,
+) -> str:
+    marker = "$" if node is projected else ""
+    text = marker + render_predicate(node.predicate)
+    for child in node.children:
+        if child is spine_child:
+            continue
+        text += "[" + _render_subtree(child, projected) + "]"
+    return text
+
+
+def _render_subtree(node: PatternNode, projected: PatternNode | None) -> str:
+    prefix = "//" if node.axis == DESC else ""
+    text = prefix + _render_node(node, projected, None)
+    # Children of a branch are all rendered as nested filters, except we
+    # may chain one child as the continuing path for readability.
+    return text
+
+
+def pattern_to_string(
+    pattern: Pattern, projected: PatternNode | None = None
+) -> str:
+    """Render a pattern (optionally with a ``$``-marked projected node).
+
+    When a projected node is given, the root-to-projected spine becomes
+    the main path; otherwise the leftmost root-to-leaf path does.
+    """
+    if projected is not None and not pattern.contains(projected):
+        raise ValueError("projected node does not belong to the pattern")
+    spine = (
+        pattern.spine_to(projected)
+        if projected is not None
+        else _leftmost_path(pattern.root)
+    )
+    parts: list[str] = []
+    for position, node in enumerate(spine):
+        spine_child = spine[position + 1] if position + 1 < len(spine) else None
+        rendered = _render_node(node, projected, spine_child)
+        if position == 0:
+            parts.append(rendered)
+        else:
+            parts.append(("//" if node.axis == DESC else "/") + rendered)
+    return "".join(parts)
+
+
+def _leftmost_path(root: PatternNode) -> list[PatternNode]:
+    path = [root]
+    while path[-1].children:
+        path.append(path[-1].children[0])
+    return path
+
+
+def selector_to_string(sformula) -> str:
+    """Render an s-formula's pattern with its projected node marked.
+
+    Only plain selectors (no α attachments) have a textual form.
+    """
+    if not sformula.is_plain():
+        raise RenderError("augmented selectors have no textual form")
+    return pattern_to_string(sformula.pattern, sformula.projected)
+
+
+def constraint_to_string(constraint) -> str:
+    """Render a Definition 2.2 constraint in the parser's syntax."""
+    scope = selector_to_string(constraint.scope)
+    s1 = selector_to_string(constraint.s1)
+    s2 = selector_to_string(constraint.s2)
+    text = (
+        f"forall {scope} : count({s1}) {constraint.op1} {constraint.n1} "
+        f"-> count({s2}) {constraint.op2} {constraint.n2}"
+    )
+    if constraint.name:
+        return f"{constraint.name}: {text}"
+    return text

@@ -1,0 +1,87 @@
+"""XML (de)serialization for documents.
+
+Two styles:
+
+* ``generic`` — every node becomes ``<n l="label" t="s|n" [u="uid"]/>``;
+  round-trip safe for any label (including numeric labels and labels that
+  are not valid XML names, such as the paper's ``"ph.d. st."``), and
+  optionally preserves node uids.
+* ``tags``    — labels become element tags where possible, which reads like
+  ordinary XML; labels that are not valid XML names fall back to the
+  generic form.  Used for human-facing output.
+
+Only the stdlib ``xml.etree.ElementTree`` is used.
+"""
+
+from __future__ import annotations
+
+import re
+import xml.etree.ElementTree as ET
+from fractions import Fraction
+
+from .document import DocNode, Document
+
+_NAME_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_.-]*$")
+
+
+def _is_xml_name(label) -> bool:
+    return isinstance(label, str) and bool(_NAME_RE.match(label)) and not label.lower().startswith("xml")
+
+
+def _label_attrs(node: DocNode, keep_uids: bool) -> dict[str, str]:
+    attrs: dict[str, str] = {}
+    if isinstance(node.label, str):
+        attrs["l"] = node.label
+        attrs["t"] = "s"
+    else:
+        attrs["l"] = str(Fraction(node.label))
+        attrs["t"] = "n"
+    if keep_uids:
+        attrs["u"] = str(node.uid)
+    return attrs
+
+
+def _to_element(node: DocNode, style: str, keep_uids: bool) -> ET.Element:
+    if style == "tags" and _is_xml_name(node.label):
+        element = ET.Element(node.label)
+        if keep_uids:
+            element.set("u", str(node.uid))
+    else:
+        element = ET.Element("n", _label_attrs(node, keep_uids))
+    for child in node.children:
+        element.append(_to_element(child, style, keep_uids))
+    return element
+
+
+def document_to_xml(document: Document, style: str = "generic", keep_uids: bool = False) -> str:
+    """Serialize a document to an XML string."""
+    if style not in ("generic", "tags"):
+        raise ValueError(f"unknown style {style!r}")
+    element = _to_element(document.root, style, keep_uids)
+    ET.indent(element)
+    return ET.tostring(element, encoding="unicode")
+
+
+def _parse_label(element: ET.Element):
+    if element.tag != "n":
+        return element.tag
+    label = element.get("l")
+    if label is None:
+        raise ValueError("generic node element is missing its 'l' attribute")
+    if element.get("t") == "n":
+        value = Fraction(label)
+        return int(value) if value.denominator == 1 else value
+    return label
+
+
+def _from_element(element: ET.Element) -> DocNode:
+    uid_text = element.get("u")
+    node = DocNode(_parse_label(element), uid=int(uid_text) if uid_text else None)
+    for child in element:
+        node.add_child(_from_element(child))
+    return node
+
+
+def document_from_xml(text: str) -> Document:
+    """Parse a document from either serialization style."""
+    return Document(_from_element(ET.fromstring(text)))

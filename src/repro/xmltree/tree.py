@@ -1,0 +1,148 @@
+"""Generic algorithms on directed, unordered, rooted trees (paper, Section 2.1).
+
+Every tree-node class in this package (document nodes, pattern nodes,
+p-document nodes) exposes ``children`` (a sequence of nodes) and ``parent``
+(a node or ``None``).  The helpers here work on any such object, so the
+traversal logic lives in exactly one place.
+
+Following the paper's conventions, a node is both an ancestor and a
+descendant of itself; the "proper" variants exclude the node.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterator, Protocol, TypeVar
+
+
+class TreeNode(Protocol):
+    """Structural type implemented by all node classes in this package."""
+
+    @property
+    def children(self) -> "list":  # pragma: no cover - protocol only
+        ...
+
+    @property
+    def parent(self) -> "object | None":  # pragma: no cover - protocol only
+        ...
+
+
+N = TypeVar("N", bound=TreeNode)
+
+
+def preorder(root: N) -> Iterator[N]:
+    """Yield the nodes of the subtree rooted at ``root`` in preorder."""
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        yield node
+        # Reversal keeps left-to-right order; trees are unordered in the
+        # model, but a deterministic traversal makes output reproducible.
+        stack.extend(reversed(node.children))
+
+
+def postorder(root: N) -> Iterator[N]:
+    """Yield the nodes of the subtree rooted at ``root`` in postorder."""
+    stack: list[tuple[N, bool]] = [(root, False)]
+    while stack:
+        node, expanded = stack.pop()
+        if expanded:
+            yield node
+            continue
+        stack.append((node, True))
+        stack.extend((child, False) for child in reversed(node.children))
+
+
+def bfs_order(root: N) -> Iterator[N]:
+    """Yield the nodes of the subtree rooted at ``root`` level by level."""
+    queue: deque[N] = deque([root])
+    while queue:
+        node = queue.popleft()
+        yield node
+        queue.extend(node.children)
+
+
+def ancestors(node: N) -> Iterator[N]:
+    """Yield ``node`` and all its ancestors up to the root (paper Sec. 2.1)."""
+    current: N | None = node
+    while current is not None:
+        yield current
+        current = current.parent  # type: ignore[assignment]
+
+
+def proper_ancestors(node: N) -> Iterator[N]:
+    """Yield the ancestors of ``node`` excluding ``node`` itself."""
+    iterator = ancestors(node)
+    next(iterator)
+    return iterator
+
+
+def descendants(node: N) -> Iterator[N]:
+    """Yield ``node`` and all its descendants (i.e. the subtree nodes)."""
+    return preorder(node)
+
+
+def proper_descendants(node: N) -> Iterator[N]:
+    """Yield the descendants of ``node`` excluding ``node`` itself."""
+    iterator = preorder(node)
+    next(iterator)
+    return iterator
+
+
+def is_ancestor(candidate: TreeNode, node: TreeNode) -> bool:
+    """Return whether ``candidate`` is an ancestor of ``node`` (or the node)."""
+    return any(anc is candidate for anc in ancestors(node))
+
+
+def is_proper_ancestor(candidate: TreeNode, node: TreeNode) -> bool:
+    """Return whether ``candidate`` is a proper ancestor of ``node``."""
+    return candidate is not node and is_ancestor(candidate, node)
+
+
+def root_of(node: N) -> N:
+    """Return the root of the tree that ``node`` belongs to."""
+    current = node
+    while current.parent is not None:
+        current = current.parent  # type: ignore[assignment]
+    return current
+
+
+def depth(node: TreeNode) -> int:
+    """Return the number of edges from the root down to ``node``."""
+    return sum(1 for _ in ancestors(node)) - 1
+
+
+def subtree_size(node: TreeNode) -> int:
+    """Return the number of nodes in the subtree rooted at ``node``."""
+    return sum(1 for _ in preorder(node))
+
+
+def leaves(root: N) -> Iterator[N]:
+    """Yield the leaves of the subtree rooted at ``root``."""
+    return (node for node in preorder(root) if not node.children)
+
+
+def path_between(ancestor: N, descendant: N) -> list[N]:
+    """Return the node path ``ancestor`` .. ``descendant`` (inclusive).
+
+    Raises ``ValueError`` when ``ancestor`` is not actually an ancestor of
+    ``descendant``.
+    """
+    path: list[N] = []
+    current: N | None = descendant
+    while current is not None:
+        path.append(current)
+        if current is ancestor:
+            path.reverse()
+            return path
+        current = current.parent  # type: ignore[assignment]
+    raise ValueError("path_between: first argument is not an ancestor")
+
+
+def lowest_common_ancestor(first: N, second: N) -> N:
+    """Return the lowest common ancestor of two nodes of the same tree."""
+    seen = {id(node) for node in ancestors(first)}
+    for candidate in ancestors(second):
+        if id(candidate) in seen:
+            return candidate
+    raise ValueError("nodes do not belong to the same tree")

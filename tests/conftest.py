@@ -1,0 +1,29 @@
+"""Shared fixtures: the paper's running example and small reference trees."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads.university import (
+    Figure1,
+    figure1_constraints,
+    figure2_document,
+)
+
+
+@pytest.fixture(scope="session")
+def figure1() -> Figure1:
+    """The Figure 1 p-document with handles to its interesting nodes."""
+    return Figure1()
+
+
+@pytest.fixture(scope="session")
+def constraints_c1_c4():
+    """C = {C1, C2, C3, C4} of Example 2.3."""
+    return figure1_constraints()
+
+
+@pytest.fixture()
+def figure2():
+    """The Figure 2 instance (a fresh copy per test: documents are mutable)."""
+    return figure2_document()

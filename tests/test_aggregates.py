@@ -1,0 +1,225 @@
+"""Tests for the aggregate extensions (Section 7.2): MIN/MAX rewriting,
+RATIO constructors, SUM/AVG distributions and the Subset-Sum reduction."""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.aggregates.hardness import (
+    decide_by_dp,
+    decide_by_enumeration,
+    reduction,
+    solving_subsets,
+    subset_sum_pdocument,
+)
+from repro.aggregates.minmax import rewrite
+from repro.aggregates.ratio import at_least_fraction, fraction_with_child, ratio_atom
+from repro.aggregates.sumavg import (
+    sum_count_distribution,
+    sum_formula_probability,
+    sum_positive_probability,
+    xi_avg_all,
+    xi_sum_all,
+)
+from repro.baseline.naive import naive_probability
+from repro.core.evaluator import probability
+from repro.core.formulas import (
+    CountAtom,
+    DocumentEvaluator,
+    MaxAtom,
+    MinAtom,
+    SFormula,
+    TRUE,
+    conjunction,
+)
+from repro.pdoc.generate import random_instance
+from repro.pdoc.pdocument import pdocument
+from repro.workloads.random_gen import random_formula, random_pdocument
+from repro.workloads.synthetic import numeric_pdocument
+from repro.xmltree.parser import parse_selector
+
+
+def sel(text: str) -> SFormula:
+    pattern, node = parse_selector(text)
+    return SFormula(pattern, node)
+
+
+# -- MIN/MAX rewriting ---------------------------------------------------------
+
+ALL_OPS = ("=", "!=", "<", "<=", ">", ">=")
+
+
+@pytest.mark.parametrize("op", ALL_OPS)
+@pytest.mark.parametrize("cls", [MinAtom, MaxAtom])
+def test_rewrite_preserves_document_semantics(cls, op):
+    rng = random.Random(hash((cls.__name__, op)) % 10**6)
+    for _ in range(25):
+        pd = random_pdocument(rng, numeric=True)
+        document = random_instance(pd, rng)
+        atom = cls([sel("$*"), sel("*//$*")], op, Fraction(rng.randint(0, 5)))
+        rewritten = rewrite(atom)
+        evaluator = DocumentEvaluator()
+        assert evaluator.satisfies(document.root, atom) == evaluator.satisfies(
+            document.root, rewritten
+        ), (cls.__name__, op)
+
+
+def test_rewrite_is_identity_on_cnt_formulae():
+    atom = CountAtom([sel("r/$a")], ">=", 1)
+    assert rewrite(atom) is atom
+    composite = conjunction([atom, CountAtom([sel("r/$b")], "=", 0)])
+    assert rewrite(composite) is composite
+
+
+def test_rewrite_handles_nested_attachments():
+    inner = MaxAtom([sel("*/$*")], ">", 2)
+    outer_sel = sel("r/$a").with_alpha(sel("r/$a").projected, inner)
+    # NB: with_alpha keys by the projected node of the *same* SFormula:
+    base = sel("r/$a")
+    outer_sel = base.with_alpha(base.projected, inner)
+    atom = CountAtom([outer_sel], ">=", 1)
+    rewritten = rewrite(atom)
+    assert rewritten is not atom
+    from repro.core.formulas import MaxAtom as MA
+
+    def contains_minmax(f, seen=None):
+        seen = seen if seen is not None else set()
+        if id(f) in seen:
+            return False
+        seen.add(id(f))
+        if isinstance(f, (MinAtom, MA)):
+            return True
+        parts = getattr(f, "parts", ())
+        inner_f = getattr(f, "inner", None)
+        disjuncts = getattr(f, "disjuncts", ())
+        for part in parts:
+            if contains_minmax(part, seen):
+                return True
+        if inner_f is not None and contains_minmax(inner_f, seen):
+            return True
+        for sf in disjuncts:
+            for value in sf.alpha.values():
+                if contains_minmax(value, seen):
+                    return True
+        return False
+
+    assert not contains_minmax(rewritten)
+
+
+def test_minmax_probabilities_match_baseline():
+    rng = random.Random(55)
+    for _ in range(40):
+        pd = random_pdocument(rng, numeric=True)
+        formula = random_formula(rng, allow_minmax=True)
+        assert probability(pd, formula) == naive_probability(pd, formula)
+
+
+def test_minmax_empty_set_probabilities():
+    pd = numeric_pdocument(width=2, value_range=5, prob=Fraction(1, 2), seed=1)
+    # MAX < -10 holds exactly when no numeric node is present.
+    atom = MaxAtom([sel("$*"), sel("*//$*")], "<", -10)
+    assert probability(pd, atom) == Fraction(1, 4)
+    atom2 = MinAtom([sel("$*"), sel("*//$*")], ">", 100)
+    assert probability(pd, atom2) == Fraction(1, 4)
+
+
+# -- RATIO constructors -----------------------------------------------------------
+
+def test_ratio_constructors_match_manual():
+    pd, root = pdocument("r")
+    for _ in range(2):
+        from repro.pdoc.pdocument import PNode
+
+        m = PNode("ord", "m")
+        root.ind().add_edge(m, Fraction(1))
+        m.ind().add_edge("x", Fraction(1, 2))
+    pd.validate()
+    has_x = CountAtom([sel("*/$x")], ">=", 1)
+    atom = at_least_fraction(sel("r/$m"), has_x, Fraction(1, 2))
+    assert probability(pd, atom) == Fraction(3, 4)
+    manual = ratio_atom([sel("r/$m")], has_x, ">=", Fraction(1, 2))
+    assert probability(pd, manual) == Fraction(3, 4)
+    child = fraction_with_child(sel("r/$m"), "x", ">=", Fraction(1, 2))
+    assert probability(pd, child) == Fraction(3, 4)
+
+
+# -- SUM/AVG ----------------------------------------------------------------------
+
+def test_sum_count_distribution_basic():
+    pd, root = pdocument("values")
+    ind = root.ind()
+    ind.add_edge(2, Fraction(1, 2))
+    ind.add_edge(3, Fraction(1, 2))
+    pd.validate()
+    dist = sum_count_distribution(pd)
+    assert sum(dist.values()) == 1
+    # (sum, count) includes the root node (count) with label contributing 0.
+    assert dist[(Fraction(0), 1)] == Fraction(1, 4)
+    assert dist[(Fraction(2), 2)] == Fraction(1, 4)
+    assert dist[(Fraction(3), 2)] == Fraction(1, 4)
+    assert dist[(Fraction(5), 3)] == Fraction(1, 4)
+
+
+def test_sum_formula_probability_matches_baseline():
+    rng = random.Random(66)
+    for _ in range(15):
+        pd = random_pdocument(rng, numeric=True, max_nodes=7)
+        target = Fraction(rng.randint(0, 8))
+        sum_atom = xi_sum_all(target)
+        assert sum_formula_probability(pd, sum_atom) == naive_probability(pd, sum_atom)
+        avg_atom = xi_avg_all(target)
+        assert sum_formula_probability(pd, avg_atom) == naive_probability(pd, avg_atom)
+
+
+def test_sum_formula_rejects_general_selectors():
+    pd = subset_sum_pdocument([1, 2])
+    from repro.core.formulas import SumAtom
+
+    narrow = SumAtom([sel("items/$*")], "=", 3)
+    with pytest.raises(ValueError):
+        sum_formula_probability(pd, narrow)
+
+
+# -- the Subset-Sum reduction (Proposition 7.2) --------------------------------------
+
+def test_reduction_positive_iff_solvable():
+    cases = [
+        ([3, 5, 7], 12, True),
+        ([3, 5, 7], 11, False),
+        ([1], 1, True),
+        ([2], 1, False),
+        ([4, 4], 8, True),
+        ([2, 3, 9], 14, True),
+        ([2, 3, 9], 8, False),
+    ]
+    for items, target, solvable in cases:
+        pdoc, formula = reduction(items, target)
+        assert (naive_probability(pdoc, formula) > 0) == solvable
+        assert decide_by_enumeration(items, target) == solvable
+        assert decide_by_dp(items, target) == solvable
+        assert sum_positive_probability(pdoc, target) == solvable
+
+
+def test_reduction_probability_counts_subsets():
+    items = [1, 2, 3]
+    target = 3
+    pdoc, formula = reduction(items, target)
+    expected = Fraction(len(solving_subsets(items, target)), 2 ** len(items))
+    assert naive_probability(pdoc, formula) == expected
+    assert sum_formula_probability(pdoc, formula) == expected
+
+
+def test_empty_instance_rejected():
+    with pytest.raises(ValueError):
+        subset_sum_pdocument([])
+
+
+def test_dp_and_enumeration_agree_randomized():
+    rng = random.Random(88)
+    for _ in range(30):
+        items = [rng.randint(1, 12) for _ in range(rng.randint(1, 8))]
+        target = rng.randint(0, sum(items) + 2)
+        assert decide_by_dp(items, target) == decide_by_enumeration(items, target)

@@ -1,0 +1,121 @@
+"""Unit tests for the exponential baselines (naive evaluation, rejection
+sampling) — the ground-truth machinery itself needs pinning down."""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.baseline.naive import (
+    conditional_world_distribution,
+    naive_probabilities,
+    naive_probability,
+)
+from repro.baseline.rejection import RejectionBudgetExceeded, rejection_sample
+from repro.core.formulas import (
+    FALSE,
+    TRUE,
+    CountAtom,
+    DocumentEvaluator,
+    SFormula,
+    SumAtom,
+)
+from repro.pdoc.pdocument import pdocument
+from repro.xmltree.parser import parse_selector
+
+
+def sel(text: str) -> SFormula:
+    pattern, node = parse_selector(text)
+    return SFormula(pattern, node)
+
+
+def two_leaf_pdoc():
+    pd, root = pdocument("r")
+    ind = root.ind()
+    ind.add_edge("a", Fraction(1, 2))
+    ind.add_edge("b", Fraction(1, 3))
+    pd.validate()
+    return pd
+
+
+def test_constants():
+    pd = two_leaf_pdoc()
+    assert naive_probability(pd, TRUE) == 1
+    assert naive_probability(pd, FALSE) == 0
+
+
+def test_hand_computed_value():
+    pd = two_leaf_pdoc()
+    both = CountAtom([sel("r/$a")], "=", 1) & CountAtom([sel("r/$b")], "=", 1)
+    assert naive_probability(pd, both) == Fraction(1, 6)
+
+
+def test_supports_sum_atoms():
+    """Unlike the polynomial evaluator, the baseline evaluates SUM/AVG."""
+    pd, root = pdocument("r")
+    ind = root.ind()
+    ind.add_edge(2, Fraction(1, 2))
+    ind.add_edge(3, Fraction(1, 2))
+    pd.validate()
+    atom = SumAtom([sel("$*"), sel("*//$*")], "=", 5)
+    assert naive_probability(pd, atom) == Fraction(1, 4)
+
+
+def test_batched_probabilities_share_enumeration():
+    pd = two_leaf_pdoc()
+    a = CountAtom([sel("r/$a")], ">=", 1)
+    values = naive_probabilities(pd, [a, TRUE, FALSE])
+    assert values == [Fraction(1, 2), Fraction(1), Fraction(0)]
+
+
+def test_conditional_distribution_normalizes():
+    pd = two_leaf_pdoc()
+    condition = CountAtom([sel("r/$a")], ">=", 1)
+    dist = conditional_world_distribution(pd, condition)
+    assert sum(dist.values()) == 1
+    for uids in dist:
+        document = pd.document_from_uids(uids)
+        assert DocumentEvaluator().satisfies(document.root, condition)
+
+
+def test_conditional_distribution_rejects_impossible():
+    pd = two_leaf_pdoc()
+    with pytest.raises(ValueError):
+        conditional_world_distribution(pd, FALSE)
+
+
+def test_rejection_sampler_empirical():
+    pd = two_leaf_pdoc()
+    condition = CountAtom([sel("r/$a")], ">=", 1)
+    exact = conditional_world_distribution(pd, condition)
+    rng = random.Random(5)
+    n = 2000
+    counts: dict[frozenset[int], int] = {}
+    for _ in range(n):
+        document, _ = rejection_sample(pd, condition, rng)
+        key = document.uid_set()
+        counts[key] = counts.get(key, 0) + 1
+    assert set(counts) <= set(exact)
+    tv = sum(abs(counts.get(w, 0) / n - float(p)) for w, p in exact.items()) / 2
+    assert tv < 0.05
+
+
+def test_rejection_expected_attempts():
+    """Average attempts ≈ 1 / Pr(P ⊨ C)."""
+    pd = two_leaf_pdoc()
+    condition = CountAtom([sel("r/$a")], ">=", 1) & CountAtom([sel("r/$b")], ">=", 1)
+    p = float(naive_probability(pd, condition))  # 1/6
+    rng = random.Random(6)
+    total_attempts = sum(
+        rejection_sample(pd, condition, rng)[1] for _ in range(600)
+    )
+    mean = total_attempts / 600
+    assert abs(mean - 1 / p) < 1.2
+
+
+def test_rejection_budget_error_message():
+    pd = two_leaf_pdoc()
+    with pytest.raises(RejectionBudgetExceeded, match="5 attempts"):
+        rejection_sample(pd, FALSE, random.Random(0), max_attempts=5)

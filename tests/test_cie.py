@@ -1,0 +1,96 @@
+"""Tests for the PrXML^{cie} probabilistic-tree model (Section 7.3)."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.pdoc.cie import (
+    CieDocument,
+    CieNode,
+    cie_probability,
+    cie_world_distribution,
+    every_a_has_a_child_formula,
+    three_sat_reduction,
+)
+from repro.core.formulas import CountAtom, SFormula
+from repro.xmltree.parser import parse_selector
+
+
+def sel(text: str) -> SFormula:
+    pattern, node = parse_selector(text)
+    return SFormula(pattern, node)
+
+
+def correlated_pair():
+    """Two leaves guarded by the same event: perfectly correlated — the
+    kind of cross-tree dependency ind/mux cannot express locally."""
+    root = CieNode("ord", "r")
+    left = root.ordinary("left")
+    right = root.ordinary("right")
+    left.cie().add_child("x", [("e", True)])
+    right.cie().add_child("y", [("e", True)])
+    return CieDocument(root, {"e": Fraction(1, 3)})
+
+
+def test_world_distribution_sums_to_one():
+    cdoc = correlated_pair()
+    dist = cie_world_distribution(cdoc)
+    assert sum(dist.values()) == 1
+    assert len(dist) == 2  # both present, or both absent
+
+
+def test_cross_tree_correlation():
+    cdoc = correlated_pair()
+    both = CountAtom([sel("r/left/$x")], "=", 1) & CountAtom([sel("r/right/$y")], "=", 1)
+    neither = CountAtom([sel("r/left/$x")], "=", 0) & CountAtom(
+        [sel("r/right/$y")], "=", 0
+    )
+    assert cie_probability(cdoc, both) == Fraction(1, 3)
+    assert cie_probability(cdoc, neither) == Fraction(2, 3)
+
+
+def test_negative_literals():
+    root = CieNode("ord", "r")
+    guard = root.cie()
+    guard.add_child("yes", [("e", True)])
+    guard.add_child("no", [("e", False)])
+    cdoc = CieDocument(root, {"e": Fraction(1, 4)})
+    p_yes = cie_probability(cdoc, CountAtom([sel("r/$yes")], "=", 1))
+    p_no = cie_probability(cdoc, CountAtom([sel("r/$no")], "=", 1))
+    assert p_yes == Fraction(1, 4)
+    assert p_no == Fraction(3, 4)
+    exclusive = CountAtom([sel("r/$yes")], "=", 1) & CountAtom([sel("r/$no")], "=", 1)
+    assert cie_probability(cdoc, exclusive) == 0
+
+
+def test_undeclared_event_rejected():
+    root = CieNode("ord", "r")
+    root.cie().add_child("x", [("mystery", True)])
+    with pytest.raises(ValueError, match="undeclared"):
+        CieDocument(root, {})
+
+
+def test_three_sat_reduction_satisfiable():
+    # (a ∨ b) ∧ (¬a ∨ b): satisfiable (b = true)
+    clauses = [[("a", True), ("b", True)], [("a", False), ("b", True)]]
+    cdoc = three_sat_reduction(clauses)
+    formula = every_a_has_a_child_formula()
+    assert cie_probability(cdoc, formula) > 0
+
+
+def test_three_sat_reduction_unsatisfiable():
+    # a ∧ ¬a: unsatisfiable
+    clauses = [[("a", True)], [("a", False)]]
+    cdoc = three_sat_reduction(clauses)
+    formula = every_a_has_a_child_formula()
+    assert cie_probability(cdoc, formula) == 0
+
+
+def test_three_sat_probability_counts_models():
+    # a single clause (a ∨ b): 3 of 4 assignments satisfy it
+    clauses = [[("a", True), ("b", True)]]
+    cdoc = three_sat_reduction(clauses)
+    formula = every_a_has_a_child_formula()
+    assert cie_probability(cdoc, formula) == Fraction(3, 4)

@@ -1,0 +1,138 @@
+"""End-to-end tests for the command-line interface."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.cli import main
+from repro.pdoc.pdocument import PNode, pdocument
+from repro.pdoc.serialize import pdocument_to_xml
+from repro.workloads.university import figure2_document
+from repro.xmltree.serialize import document_to_xml
+
+CONSTRAINTS = "forall catalog/$shelf : count(*/$book) >= 1\n"
+
+
+@pytest.fixture()
+def files(tmp_path):
+    pd, root = pdocument("catalog")
+    shelf = root.ordinary("shelf")
+    books = shelf.ind()
+    b1 = PNode("ord", "book")
+    b1.ordinary("title").ordinary("Dune")
+    books.add_edge(b1, Fraction(1, 2))
+    b2 = PNode("ord", "book")
+    b2.ordinary("title").ordinary("Solaris")
+    books.add_edge(b2, Fraction(1, 4))
+    pd.validate()
+
+    pdoc_path = tmp_path / "catalog.pxml"
+    pdoc_path.write_text(pdocument_to_xml(pd))
+    constraints_path = tmp_path / "constraints.txt"
+    constraints_path.write_text(CONSTRAINTS)
+    return pdoc_path, constraints_path
+
+
+def test_validate(files, capsys):
+    pdoc_path, _ = files
+    assert main(["validate", str(pdoc_path)]) == 0
+    out = capsys.readouterr().out
+    assert "ordinary nodes" in out
+
+
+def test_sat(files, capsys):
+    pdoc_path, constraints_path = files
+    assert main(["sat", str(pdoc_path), "-c", str(constraints_path)]) == 0
+    out = capsys.readouterr().out
+    assert "Pr(P |= C) = 5/8" in out
+    assert "well-defined PXDB: True" in out
+
+
+def test_query(files, capsys):
+    pdoc_path, constraints_path = files
+    assert (
+        main(
+            [
+                "query",
+                str(pdoc_path),
+                "-q",
+                "catalog/shelf/book/title/$*",
+                "-c",
+                str(constraints_path),
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "Dune" in out and "Solaris" in out
+
+
+def test_sample(files, capsys):
+    pdoc_path, constraints_path = files
+    assert (
+        main(
+            [
+                "sample",
+                str(pdoc_path),
+                "-c",
+                str(constraints_path),
+                "-n",
+                "3",
+                "--seed",
+                "7",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert out.count("<catalog>") == 3
+    assert "<book>" in out  # every sample satisfies the constraint
+
+
+def test_worlds_limit_and_guard(files, capsys):
+    pdoc_path, _ = files
+    assert main(["worlds", str(pdoc_path), "--limit", "2"]) == 0
+    out = capsys.readouterr().out
+    assert out.count("Pr =") == 2
+    # the guard refuses huge enumerations
+    assert main(["worlds", str(pdoc_path), "--max-edges", "1"]) == 1
+
+
+def test_check_violations(files, tmp_path, capsys):
+    _, constraints_path = files
+    from repro.xmltree.document import Document, doc
+
+    bad = Document(doc("catalog", doc("shelf", "lamp")))
+    bad_path = tmp_path / "bad.xml"
+    bad_path.write_text(document_to_xml(bad))
+    assert main(["check", str(bad_path), "-c", str(constraints_path)]) == 1
+    assert "violated" in capsys.readouterr().out
+
+    good_path = tmp_path / "good.xml"
+    good = Document(doc("catalog", doc("shelf", doc("book", "x"))))
+    good_path.write_text(document_to_xml(good))
+    assert main(["check", str(good_path), "-c", str(constraints_path)]) == 0
+
+
+def test_skeleton(files, capsys):
+    pdoc_path, _ = files
+    assert main(["skeleton", str(pdoc_path)]) == 0
+    out = capsys.readouterr().out
+    assert "<title>" in out and "Dune" in out and "Solaris" in out
+
+
+def test_stats(files, capsys):
+    pdoc_path, _ = files
+    assert main(["stats", str(pdoc_path)]) == 0
+    out = capsys.readouterr().out
+    assert "ordinary_nodes" in out
+    assert "expected_size" in out
+    assert "process_entropy_bits" in out
+
+
+def test_error_handling(tmp_path, capsys):
+    missing = tmp_path / "nope.pxml"
+    assert main(["validate", str(missing)]) == 2
+    assert "error:" in capsys.readouterr().err

@@ -1,0 +1,182 @@
+"""Unit tests for the formula compiler: spine extraction, the spine
+automaton's transitions, state canonicalization, reachability/liveness
+analysis and the registry's slot layout."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.compiler import DEAD, CompiledAtom, Registry, SelectorPlan
+from repro.core.formulas import (
+    CountAtom,
+    RatioAtom,
+    SFormula,
+    SumAtom,
+    TRUE,
+    conjunction,
+    negation,
+)
+from repro.xmltree.parser import parse_selector
+from repro.xmltree.pattern import CHILD, DESC
+
+
+def sel(text: str) -> SFormula:
+    pattern, node = parse_selector(text)
+    return SFormula(pattern, node)
+
+
+def plan(text: str) -> SelectorPlan:
+    return SelectorPlan(sel(text))
+
+
+def test_spine_extraction():
+    p = plan("a/b//$c")
+    assert [n.predicate.value for n in p.spine] == ["a", "b", "c"]
+    assert p.axes == [None, CHILD, DESC]
+    assert p.last == 2
+
+
+def test_side_branch_collection():
+    p = plan("a[x/y]/$b[//z]")
+    assert len(p.branches[0]) == 1  # the x branch off the root
+    assert len(p.branches[1]) == 1  # the z branch off b
+    names = sorted(n.predicate.value for n in p.branch_nodes)
+    assert names == ["x", "y", "z"]
+
+
+def test_root_projection_spine():
+    p = plan("$a[b]")
+    assert p.last == 0
+    assert len(p.branch_nodes) == 1
+
+
+def test_start_transition():
+    p = plan("a/$b")
+    state, accepted = p.start((True, False))
+    assert not accepted
+    assert state != DEAD
+    state, accepted = p.start((False, True))
+    assert state == DEAD and not accepted
+
+
+def test_start_accepts_root_projection():
+    p = plan("$a")
+    state, accepted = p.start((True,))
+    assert accepted
+
+
+def test_step_child_axis():
+    p = plan("a/$b")
+    state, _ = p.start((True, False))
+    nxt, accepted = p.step(state, (False, True))
+    assert accepted
+    # b cannot match two levels down via a child edge
+    nxt2, accepted2 = p.step(nxt, (False, True))
+    assert not accepted2 and nxt2 == DEAD
+
+
+def test_step_descendant_axis_persists():
+    p = plan("a//$b")
+    state, _ = p.start((True, False))
+    # b can be found at any depth below
+    for _ in range(4):
+        state, accepted = p.step(state, (False, False))
+        assert not accepted
+        assert state != DEAD  # pending keeps the walk alive
+    _, accepted = p.step(state, (False, True))
+    assert accepted
+
+
+def test_descendant_is_strict():
+    """a//$a: the root itself never counts, only proper descendants."""
+    p = plan("a//$a")
+    state, accepted = p.start((True, True))
+    assert not accepted  # position 1 cannot land on the root
+    _, accepted = p.step(state, (False, True))
+    assert accepted
+
+
+def test_canonicalization_drops_useless_positions():
+    p = plan("a//$b")
+    # position 0 has a descendant outgoing edge: folded into pending.
+    state, _ = p.start((True, False))
+    placed, pending = state
+    assert placed == frozenset()
+    assert pending == frozenset({0})
+
+
+def test_atom_analysis_states_are_live():
+    atom = CountAtom([sel("a/b/$c"), sel("a//$d")], ">=", 2)
+    compiled = CompiledAtom(atom)
+    assert compiled.live_states
+    assert all(state != compiled.dead for state in compiled.live_states)
+    assert compiled.cap == 3
+
+
+def test_atom_cap_for_negative_bound():
+    compiled = CompiledAtom(CountAtom([sel("$a")], ">", -3))
+    assert compiled.cap == 1
+
+
+def test_ratio_atom_uses_exact_cap():
+    from repro.core.compiler import EXACT_CAP
+
+    compiled = CompiledAtom(RatioAtom([sel("a/$b")], TRUE, ">=", 1))
+    assert compiled.is_ratio
+    assert compiled.cap == EXACT_CAP
+
+
+def test_compare_on_saturated_counts():
+    compiled = CompiledAtom(CountAtom([sel("a/$b")], "=", 2))
+    assert compiled.cap == 3
+    assert compiled.compare(2)
+    assert not compiled.compare(3)  # saturated: true count >= 3
+    assert not compiled.compare(1)
+
+
+def test_compare_ratio():
+    from fractions import Fraction
+
+    compiled = CompiledAtom(RatioAtom([sel("a/$b")], TRUE, ">=", Fraction(2, 3)))
+    assert compiled.compare_ratio(2, 3)
+    assert not compiled.compare_ratio(1, 3)
+    assert not compiled.compare_ratio(0, 0)  # empty selection -> ratio 0
+
+
+def test_registry_topological_order():
+    inner = CountAtom([sel("*/$x")], ">=", 1)
+    base = sel("r/$m")
+    outer = CountAtom([base.with_alpha(base.projected, inner)], ">=", 1)
+    registry = Registry([outer])
+    order = [id(f) for f in registry.order]
+    assert order.index(id(inner)) < order.index(id(outer))
+
+
+def test_registry_dedups_shared_formulas():
+    atom = CountAtom([sel("r/$a")], ">=", 1)
+    registry = Registry([conjunction([atom, atom]), atom])
+    assert sum(1 for f in registry.order if f is atom) == 1
+    assert len(registry.atoms) == 1
+
+
+def test_registry_rejects_sum_atoms():
+    with pytest.raises(TypeError, match="NP-hard"):
+        Registry([SumAtom([sel("$a")], "=", 1)])
+
+
+def test_registry_slot_layout_is_dense():
+    atom = CountAtom([sel("a[x]/$b"), sel("a//$c[y]")], "<=", 1)
+    registry = Registry([atom])
+    assert registry.bit_count == 2 * 2  # two branch nodes x self/below
+    compiled = registry.atoms[0]
+    assert registry.count_len == len(compiled.live_states)
+    offsets = sorted(registry.count_layout.values())
+    assert offsets == list(range(len(offsets)))
+
+
+def test_negation_registry_nests():
+    atom = CountAtom([sel("r/$a")], ">=", 1)
+    registry = Registry([negation(atom)])
+    # the anti-congruent wraps the original atom one level deeper
+    assert len(registry.atoms) == 2
+    assert any(f is atom for f in registry.order)

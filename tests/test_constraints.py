@@ -1,0 +1,176 @@
+"""Tests for constraints (Definition 2.2) and their translation (Sec 5.1)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.constraints import (
+    Constraint,
+    always,
+    constraints_formula,
+    satisfies_all,
+)
+from repro.core.formulas import DocumentEvaluator, SFormula, TRUE
+from repro.core.constraint_parser import (
+    ConstraintSyntaxError,
+    parse_constraint,
+    parse_constraints,
+)
+from repro.pdoc.generate import random_instance
+from repro.workloads.random_gen import random_pdocument, random_selector
+from repro.workloads.university import figure1_constraints, figure2_document
+from repro.xmltree.document import Document, doc
+from repro.xmltree.parser import parse_selector
+
+
+def sel(text: str) -> SFormula:
+    pattern, node = parse_selector(text)
+    return SFormula(pattern, node)
+
+
+@pytest.fixture()
+def library():
+    return Document(
+        doc(
+            "library",
+            doc("shelf", doc("book", "old"), doc("book", "old"), "lamp"),
+            doc("shelf", doc("book", "new")),
+        )
+    )
+
+
+def test_constraint_satisfaction_basic(library):
+    # every shelf with >= 2 books has a lamp
+    c = Constraint(
+        sel("library/$shelf"), sel("*/$book"), ">=", 2, sel("*/$lamp"), ">=", 1
+    )
+    assert c.satisfied_by(library)
+    # every shelf with >= 1 book has a lamp: violated by the second shelf
+    c2 = Constraint(
+        sel("library/$shelf"), sel("*/$book"), ">=", 1, sel("*/$lamp"), ">=", 1
+    )
+    assert not c2.satisfied_by(library)
+
+
+def test_always_constraint(library):
+    c = always(sel("library/$shelf"), sel("*/$book"), "<=", 2)
+    assert c.satisfied_by(library)
+    c2 = always(sel("library/$shelf"), sel("*/$book"), ">=", 2)
+    assert not c2.satisfied_by(library)
+
+
+def test_quantifier_scopes_subtree(library):
+    # Inside a shelf subtree, */$book counts only that shelf's books.
+    c = always(sel("library/$shelf"), sel("*//$book"), "<=", 2)
+    assert c.satisfied_by(library)
+
+
+def test_empty_scope_is_vacuous(library):
+    c = always(sel("library/$attic"), sel("$*"), ">=", 100)
+    assert c.satisfied_by(library)
+
+
+def test_satisfies_all(library, figure2, constraints_c1_c4):
+    assert satisfies_all(figure2, constraints_c1_c4)
+    c_bad = always(sel("library/$shelf"), sel("*/$book"), ">=", 3)
+    assert not satisfies_all(library, [c_bad])
+
+
+def test_translation_agrees_with_direct_semantics():
+    """The Section 5.1 translation must coincide with Definition 2.2 on
+    random documents (for constraints over random selectors)."""
+    rng = random.Random(77)
+    checked = 0
+    for _ in range(120):
+        pd = random_pdocument(rng)
+        scope = random_selector(rng)
+        s1 = random_selector(rng)
+        s2 = random_selector(rng)
+        ops = ("=", "!=", "<", "<=", ">", ">=")
+        c = Constraint(
+            scope, s1, rng.choice(ops), rng.randint(0, 2),
+            s2, rng.choice(ops), rng.randint(0, 2),
+        )
+        document = random_instance(pd, rng)
+        direct = c.satisfied_by(document)
+        translated = DocumentEvaluator().satisfies(document.root, c.to_cformula())
+        assert direct == translated
+        checked += 1
+    assert checked == 120
+
+
+def test_figure2_violations(figure2, constraints_c1_c4):
+    """Example 2.3's two counterfactuals: removing Mary's chair violates C2;
+    making Lisa an assistant professor violates C4."""
+    c1, c2, c3, c4 = constraints_c1_c4
+
+    no_chair = figure2.copy()
+    mary_position = no_chair.root.children[0].children[0].children[1]
+    chair = next(c for c in mary_position.children if c.label == "chair")
+    mary_position._children.remove(chair)
+    assert not c2.satisfied_by(no_chair)
+    assert c1.satisfied_by(no_chair)
+
+    lisa_assistant = figure2.copy()
+    lisa_position = lisa_assistant.root.children[0].children[1].children[1]
+    rank = next(c for c in lisa_position.children if c.label.endswith("professor"))
+    rank.label = "assistant professor"
+    assert not c4.satisfied_by(lisa_assistant)
+
+
+def test_constraints_formula_conjunction(figure2, constraints_c1_c4):
+    formula = constraints_formula(constraints_c1_c4)
+    assert DocumentEvaluator().satisfies(figure2.root, formula)
+    assert constraints_formula([]) is TRUE
+
+
+def test_constraint_parser_round_trip(library):
+    c = parse_constraint(
+        "forall library/$shelf : count(*/$book) >= 2 -> count(*/$lamp) >= 1"
+    )
+    assert c.satisfied_by(library)
+    c2 = parse_constraint("forall library/$shelf : count(*/$book) <= 2")
+    assert c2.satisfied_by(library)
+
+
+def test_constraint_parser_names():
+    constraints = parse_constraints(
+        """
+        # C1 from the paper's Figure 1
+        C1: forall university/$department : count(*//$member[position/~'professor'][position/chair]) <= 1
+        forall university/$department : count(*//$member[//~'professor']) >= 3 -> count(*//$member[position/~'professor'][position/chair]) >= 1
+        """
+    )
+    assert len(constraints) == 2
+    assert constraints[0].name == "C1"
+    assert constraints[1].name is None
+
+
+def test_parsed_c1_c4_match_builtins(figure2):
+    """The parser route and the programmatic route agree on Figure 2."""
+    text = """
+    C1: forall university/$department : count(*//$member[position/~'professor'][position/chair]) <= 1
+    C2: forall university/$department : count(*//$member[//~'professor']) >= 3 -> count(*//$member[position/~'professor'][position/chair]) >= 1
+    C3: forall *//$member[position/~'professor'][position/chair] : count($*[position/'full professor']) >= 1
+    C4: forall *//$member[position/'assistant professor'] : count(*/$'ph.d. st.') <= 1
+    """
+    constraints = parse_constraints(text)
+    assert [c.name for c in constraints] == ["C1", "C2", "C3", "C4"]
+    assert satisfies_all(figure2, constraints)
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        "count(*/$a) >= 1",
+        "forall $a count(*/$b) >= 1",
+        "forall $a : size(*/$b) >= 1",
+        "forall $a : count(*/$b) >= one",
+        "forall $a : count(*/$b ~ 1",
+    ],
+)
+def test_parser_rejects_garbage(bad):
+    with pytest.raises(ConstraintSyntaxError):
+        parse_constraint(bad)

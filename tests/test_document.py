@@ -1,0 +1,137 @@
+"""Unit tests for documents (Section 2.2) and their serialization."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.xmltree.document import DocNode, Document, canonical_key, doc
+from repro.xmltree.serialize import document_from_xml, document_to_xml
+
+
+def test_doc_builder_shapes():
+    root = doc("r", doc("a", "d"), "b")
+    assert root.label == "r"
+    assert [c.label for c in root.children] == ["a", "b"]
+    assert root.children[0].children[0].label == "d"
+
+
+def test_add_child_rejects_reparenting():
+    a, b = DocNode("a"), DocNode("b")
+    a.add_child(b)
+    with pytest.raises(ValueError):
+        DocNode("c").add_child(b)
+
+
+def test_uids_are_unique():
+    nodes = [DocNode("x") for _ in range(100)]
+    assert len({n.uid for n in nodes}) == 100
+
+
+def test_explicit_uid_preserved():
+    node = DocNode("x", uid=12345)
+    assert node.uid == 12345
+
+
+def test_size_and_nodes():
+    d = Document(doc("r", doc("a", "b"), "c"))
+    assert d.size() == 4
+    assert [n.label for n in d.nodes()] == ["r", "a", "b", "c"]
+
+
+def test_subtree_view():
+    d = Document(doc("r", doc("a", "b")))
+    a = d.find("a")
+    sub = d.subtree(a)
+    assert sub.size() == 2
+    assert sub.root is a
+
+
+def test_find_rejects_ambiguity():
+    d = Document(doc("r", "a", "a"))
+    with pytest.raises(LookupError):
+        d.find("a")
+    with pytest.raises(LookupError):
+        d.find("missing")
+
+
+def test_node_by_uid():
+    d = Document(doc("r", "a"))
+    a = d.find("a")
+    assert d.node_by_uid(a.uid) is a
+    with pytest.raises(LookupError):
+        d.node_by_uid(-1)
+
+
+def test_uid_set():
+    d = Document(doc("r", "a"))
+    assert d.uid_set() == frozenset(n.uid for n in d.nodes())
+
+
+def test_copy_preserves_structure_and_uids():
+    d = Document(doc("r", doc("a", "b"), "c"))
+    copy = d.copy()
+    assert copy == d
+    assert copy.uid_set() == d.uid_set()
+    assert copy.root is not d.root
+
+
+def test_unordered_equality():
+    left = Document(doc("r", "a", doc("b", "c")))
+    right = Document(doc("r", doc("b", "c"), "a"))
+    assert left == right
+    assert hash(left) == hash(right)
+
+
+def test_unordered_inequality_on_multiplicity():
+    left = Document(doc("r", "a", "a"))
+    right = Document(doc("r", "a"))
+    assert left != right
+
+
+def test_canonical_key_mixed_label_types():
+    left = Document(doc("r", 3, "3"))
+    right = Document(doc("r", "3", 3))
+    assert canonical_key(left.root) == canonical_key(right.root)
+    assert canonical_key(Document(doc("r", 3)).root) != canonical_key(
+        Document(doc("r", "3")).root
+    )
+
+
+@pytest.mark.parametrize("style", ["generic", "tags"])
+def test_serialization_round_trip(style):
+    original = Document(
+        doc("university", doc("ph.d. st.", doc("name", "David")), doc("count", 7))
+    )
+    text = document_to_xml(original, style=style)
+    parsed = document_from_xml(text)
+    assert parsed == original
+
+
+def test_serialization_preserves_uids_when_asked():
+    original = Document(doc("r", "a"))
+    text = document_to_xml(original, keep_uids=True)
+    parsed = document_from_xml(text)
+    assert parsed.uid_set() == original.uid_set()
+
+
+def test_serialization_numeric_labels():
+    original = Document(doc("r", Fraction(3, 4), 5))
+    parsed = document_from_xml(document_to_xml(original))
+    labels = sorted(str(n.label) for n in parsed.nodes())
+    assert labels == ["3/4", "5", "r"]
+    values = {n.label for n in parsed.nodes()} - {"r"}
+    assert Fraction(3, 4) in values and 5 in values
+
+
+def test_tags_style_falls_back_for_odd_labels():
+    original = Document(doc("r", "ph.d. st."))
+    text = document_to_xml(original, style="tags")
+    assert "ph.d. st." in text
+    assert document_from_xml(text) == original
+
+
+def test_unknown_style_rejected():
+    with pytest.raises(ValueError):
+        document_to_xml(Document(doc("r")), style="fancy")

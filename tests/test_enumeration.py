@@ -1,0 +1,118 @@
+"""Tests for possible-world enumeration and world probabilities."""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.pdoc.enumerate import (
+    node_probability,
+    world_distribution,
+    world_documents,
+    world_probability,
+)
+from repro.pdoc.pdocument import PNode, pdocument
+from repro.workloads.random_gen import random_pdocument
+
+
+def build_ind_mux():
+    pd, root = pdocument("r")
+    ind = root.ind()
+    a = ind.add_edge("a", Fraction(1, 2))
+    mux = root.mux()
+    b = mux.add_edge("b", Fraction(3, 5))
+    c = mux.add_edge("c", Fraction(2, 5))
+    pd.validate()
+    return pd, root, a, b, c
+
+
+def test_world_distribution_sums_to_one():
+    pd, *_ = build_ind_mux()
+    dist = world_distribution(pd)
+    assert sum(dist.values()) == 1
+
+
+def test_world_distribution_values():
+    pd, root, a, b, c = build_ind_mux()
+    dist = world_distribution(pd)
+    assert dist[frozenset({root.uid, a.uid, b.uid})] == Fraction(3, 10)
+    assert dist[frozenset({root.uid, b.uid})] == Fraction(3, 10)
+    assert dist[frozenset({root.uid, a.uid, c.uid})] == Fraction(1, 5)
+    assert dist[frozenset({root.uid, c.uid})] == Fraction(1, 5)
+
+
+def test_mux_slack_leaves_empty_choice():
+    pd, root = pdocument("r")
+    mux = root.mux()
+    a = mux.add_edge("a", Fraction(1, 4))
+    pd.validate()
+    dist = world_distribution(pd)
+    assert dist[frozenset({root.uid})] == Fraction(3, 4)
+    assert dist[frozenset({root.uid, a.uid})] == Fraction(1, 4)
+
+
+def test_stacked_distributional_nodes_merge_worlds():
+    # ind above ind: deleting at either level yields the same document;
+    # the distribution must aggregate them (paper, footnote 3).
+    pd, root = pdocument("r")
+    outer = root.ind()
+    inner = PNode("ind")
+    outer.add_edge(inner, Fraction(1, 2))
+    leaf = inner.add_edge("x", Fraction(1, 2))
+    pd.validate()
+    dist = world_distribution(pd)
+    assert dist[frozenset({root.uid})] == Fraction(3, 4)
+    assert dist[frozenset({root.uid, leaf.uid})] == Fraction(1, 4)
+
+
+def test_world_documents_materialization():
+    pd, root, a, b, c = build_ind_mux()
+    docs = world_documents(pd)
+    assert len(docs) == 4
+    assert sum(p for _, p in docs) == 1
+    top_doc, top_p = docs[0]
+    assert top_p == Fraction(3, 10)
+
+
+def test_world_probability_matches_distribution():
+    rng = random.Random(11)
+    for _ in range(25):
+        pd = random_pdocument(rng, allow_exp=True)
+        dist = world_distribution(pd)
+        for uids, p in dist.items():
+            assert world_probability(pd, uids) == p
+
+
+def test_world_probability_of_impossible_world():
+    pd, root, a, b, c = build_ind_mux()
+    # b and c are mutually exclusive
+    assert world_probability(pd, frozenset({root.uid, b.uid, c.uid})) == 0
+    # missing the root
+    assert world_probability(pd, frozenset({a.uid})) == 0
+    # unknown uid
+    assert world_probability(pd, frozenset({root.uid, 10**9})) == 0
+
+
+def test_node_probability_along_path():
+    pd, root = pdocument("r")
+    outer = root.ind()
+    mid = PNode("ord", "m")
+    outer.add_edge(mid, Fraction(1, 2))
+    inner = mid.ind()
+    leaf = inner.add_edge("x", Fraction(1, 3))
+    pd.validate()
+    assert node_probability(pd, leaf.uid) == Fraction(1, 6)
+    assert node_probability(pd, mid.uid) == Fraction(1, 2)
+    assert node_probability(pd, root.uid) == 1
+
+
+def test_node_probability_matches_enumeration():
+    rng = random.Random(23)
+    for _ in range(20):
+        pd = random_pdocument(rng, allow_exp=True)
+        dist = world_distribution(pd)
+        for node in pd.ordinary_nodes():
+            marginal = sum(p for uids, p in dist.items() if node.uid in uids)
+            assert node_probability(pd, node.uid) == marginal

@@ -1,0 +1,201 @@
+"""Unit tests for the polynomial evaluation algorithm (Theorem 5.3).
+
+Differential property tests against the exponential baseline live in
+``test_evaluator_property.py``; these tests pin down exact probabilities
+on hand-analyzable instances and the evaluator's edge cases.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.evaluator import probabilities, probability
+from repro.core.formulas import (
+    FALSE,
+    TRUE,
+    AvgAtom,
+    CountAtom,
+    RatioAtom,
+    SFormula,
+    SumAtom,
+    conjunction,
+    disjunction,
+    exists,
+    negation,
+    not_exists,
+)
+from repro.pdoc.pdocument import PNode, pdocument
+from repro.xmltree.parser import parse_boolean_pattern, parse_selector
+
+
+def sel(text: str) -> SFormula:
+    pattern, node = parse_selector(text)
+    return SFormula(pattern, node)
+
+
+@pytest.fixture()
+def two_ind():
+    """root with two independent 'a' leaves (1/2 and 1/4)."""
+    pd, root = pdocument("r")
+    ind = root.ind()
+    ind.add_edge("a", Fraction(1, 2))
+    ind.add_edge("a", Fraction(1, 4))
+    pd.validate()
+    return pd
+
+
+def test_constants(two_ind):
+    assert probability(two_ind, TRUE) == 1
+    assert probability(two_ind, FALSE) == 0
+
+
+def test_count_exact_values(two_ind):
+    atom = CountAtom([sel("r/$a")], "=", 2)
+    assert probability(two_ind, atom) == Fraction(1, 8)
+    atom1 = CountAtom([sel("r/$a")], "=", 1)
+    assert probability(two_ind, atom1) == Fraction(1, 2) * Fraction(3, 4) + Fraction(
+        1, 2
+    ) * Fraction(1, 4)
+    atom0 = CountAtom([sel("r/$a")], "=", 0)
+    assert probability(two_ind, atom0) == Fraction(3, 8)
+
+
+def test_count_inequalities(two_ind):
+    values = probabilities(
+        two_ind,
+        [
+            CountAtom([sel("r/$a")], ">=", 1),
+            CountAtom([sel("r/$a")], "<", 2),
+            CountAtom([sel("r/$a")], "!=", 1),
+        ],
+    )
+    assert values[0] == Fraction(5, 8)
+    assert values[1] == Fraction(7, 8)
+    assert values[2] == 1 - (Fraction(1, 2) * Fraction(3, 4) + Fraction(1, 2) * Fraction(1, 4))
+
+
+def test_negative_bound(two_ind):
+    assert probability(two_ind, CountAtom([sel("r/$a")], ">", -5)) == 1
+    assert probability(two_ind, CountAtom([sel("r/$a")], "<", -5)) == 0
+
+
+def test_boolean_pattern_probability(two_ind):
+    f = exists(parse_boolean_pattern("r/a"))
+    assert probability(two_ind, f) == Fraction(5, 8)
+    g = not_exists(parse_boolean_pattern("r/a"))
+    assert probability(two_ind, g) == Fraction(3, 8)
+
+
+def test_negation_complements(two_ind):
+    atom = CountAtom([sel("r/$a")], "=", 1)
+    assert probability(two_ind, atom) + probability(two_ind, negation(atom)) == 1
+
+
+def test_conjunction_and_disjunction(two_ind):
+    a1 = CountAtom([sel("r/$a")], ">=", 1)
+    a2 = CountAtom([sel("r/$a")], "<=", 1)
+    assert probability(two_ind, conjunction([a1, a2])) == Fraction(1, 2)
+    assert probability(two_ind, disjunction([a1, a2])) == 1
+
+
+def test_joint_probabilities_are_consistent(two_ind):
+    a = CountAtom([sel("r/$a")], ">=", 1)
+    pa, pnota, ptrue = probabilities(two_ind, [a, negation(a), TRUE])
+    assert pa + pnota == ptrue == 1
+
+
+def test_mux_exclusivity():
+    pd, root = pdocument("r")
+    mux = root.mux()
+    mux.add_edge("a", Fraction(1, 3))
+    mux.add_edge("a", Fraction(1, 3))
+    pd.validate()
+    both = CountAtom([sel("r/$a")], "=", 2)
+    assert probability(pd, both) == 0
+    one = CountAtom([sel("r/$a")], "=", 1)
+    assert probability(pd, one) == Fraction(2, 3)
+
+
+def test_descendant_edge_through_dist_nodes():
+    # r -> ind(0.5) -> m -> ind(0.5) -> x ; query r//x
+    pd, root = pdocument("r")
+    mid = PNode("ord", "m")
+    root.ind().add_edge(mid, Fraction(1, 2))
+    mid.ind().add_edge("x", Fraction(1, 2))
+    pd.validate()
+    f = exists(parse_boolean_pattern("r//x"))
+    assert probability(pd, f) == Fraction(1, 4)
+
+
+def test_nested_alpha_formula():
+    # Count m-children whose subtree has at least one x.
+    pd, root = pdocument("r")
+    for p in (Fraction(1, 2), Fraction(1, 3)):
+        mid = PNode("ord", "m")
+        root.ind().add_edge(mid, Fraction(1))
+        mid.ind().add_edge("x", p)
+    pd.validate()
+    base = sel("r/$m")
+    refined = base.with_alpha(base.projected, CountAtom([sel("*//$x")], ">=", 1))
+    atom = CountAtom([refined], "=", 2)
+    assert probability(pd, atom) == Fraction(1, 6)
+    atom1 = CountAtom([refined], "=", 1)
+    assert probability(pd, atom1) == Fraction(1, 2) * Fraction(2, 3) + Fraction(
+        1, 2
+    ) * Fraction(1, 3)
+
+
+def test_ratio_atom_probability():
+    # Two independent m nodes; each m has an x child with prob 1/2.
+    # RATIO(m-nodes, has-x) = 1 requires every m to have its x.
+    pd, root = pdocument("r")
+    for _ in range(2):
+        mid = PNode("ord", "m")
+        root.ind().add_edge(mid, Fraction(1))
+        mid.ind().add_edge("x", Fraction(1, 2))
+    pd.validate()
+    has_x = CountAtom([sel("*/$x")], ">=", 1)
+    all_have = RatioAtom([sel("r/$m")], has_x, "=", 1)
+    assert probability(pd, all_have) == Fraction(1, 4)
+    half = RatioAtom([sel("r/$m")], has_x, "=", Fraction(1, 2))
+    assert probability(pd, half) == Fraction(1, 2)
+
+
+def test_ratio_empty_selection_counts_as_zero():
+    pd, root = pdocument("r")
+    root.ind().add_edge("a", Fraction(1, 2))
+    pd.validate()
+    ratio = RatioAtom([sel("r/$zzz")], TRUE, "=", 0)
+    assert probability(pd, ratio) == 1
+
+
+def test_sum_avg_rejected_by_polynomial_evaluator(two_ind):
+    with pytest.raises(TypeError, match="NP-hard"):
+        probability(two_ind, SumAtom([sel("r/$a")], "=", 1))
+    with pytest.raises(TypeError, match="NP-hard"):
+        probability(two_ind, AvgAtom([sel("r/$a")], "=", 1))
+
+
+def test_root_anchoring():
+    """Patterns anchor at the document root: a pattern whose root predicate
+    rejects the root label has probability 0 even if a subtree matches."""
+    pd, root = pdocument("r")
+    mid = PNode("ord", "q")
+    root.ind().add_edge(mid, Fraction(1))
+    mid.ordinary("a")
+    pd.validate()
+    assert probability(pd, exists(parse_boolean_pattern("q/a"))) == 0
+    assert probability(pd, exists(parse_boolean_pattern("r//a"))) == 1
+
+
+def test_deep_chain_does_not_blow_up():
+    from repro.workloads.synthetic import chain_pdocument
+
+    pd = chain_pdocument(60, prob=Fraction(1, 2))
+    f = exists(parse_boolean_pattern("root//a"))
+    assert probability(pd, f) == Fraction(1, 2)
+    deep = CountAtom([sel("root//$a")], ">=", 30)
+    value = probability(pd, deep)
+    assert value == Fraction(1, 2) ** 30

@@ -1,0 +1,103 @@
+"""Tests for the evaluator's structural cache and state-pruning ablation.
+
+Both optimizations must be *invisible*: identical probabilities with and
+without them, on randomized instances — and the cache must disable itself
+whenever a predicate inspects node identity (where sharing is unsound).
+"""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+
+from repro.aggregates.minmax import rewrite
+from repro.core.compiler import Registry
+from repro.core.constraints import constraints_formula
+from repro.core.evaluator import Evaluation, probability
+from repro.core.formulas import CountAtom, SFormula, exists
+from repro.workloads.random_gen import random_formula, random_pdocument
+from repro.workloads.university import figure1_constraints, scaled_university
+from repro.xmltree.parser import parse_selector
+from repro.xmltree.pattern import Pattern, PatternNode
+from repro.xmltree.predicates import ANY, NodeIs
+
+
+def sel(text: str) -> SFormula:
+    pattern, node = parse_selector(text)
+    return SFormula(pattern, node)
+
+
+def test_cache_agrees_with_uncached_on_random_instances():
+    rng = random.Random(7)
+    for _ in range(30):
+        pdoc = random_pdocument(rng, allow_exp=True)
+        formula = rewrite(random_formula(rng))
+        cached = Evaluation(Registry([formula]), pdoc, use_cache=True).run()[0]
+        plain = Evaluation(Registry([formula]), pdoc, use_cache=False).run()[0]
+        assert cached == plain
+
+
+def test_cache_hits_on_identical_departments():
+    pdoc = scaled_university(departments=6, members=2, students=1, anonymous=True)
+    condition = rewrite(constraints_formula(figure1_constraints()))
+    evaluation = Evaluation(Registry([condition]), pdoc, use_cache=True)
+    value = evaluation.run()[0]
+    assert evaluation.cache_hits > 0
+    # identical departments: 5 of the 6 come straight from the cache
+    assert evaluation.cache_hits >= 5
+    plain = Evaluation(Registry([condition]), pdoc, use_cache=False)
+    assert plain.run()[0] == value
+    assert plain.cache_hits == 0
+
+
+def test_cache_disabled_for_node_identity_predicates():
+    """NodeIs predicates see uids, so the registry must refuse caching."""
+    pdoc = scaled_university(departments=2, members=2, students=1, anonymous=True)
+    target = next(n for n in pdoc.ordinary_nodes() if n.label == "member")
+    root = PatternNode(ANY)
+    root.descendant(NodeIs(target.uid))
+    formula = exists(Pattern(root))
+    registry = Registry([formula])
+    assert not registry.label_only
+    evaluation = Evaluation(registry, pdoc, use_cache=True)
+    assert not evaluation.use_cache
+    # ... and the value is the node's marginal, not doubled by sharing.
+    from repro.pdoc.enumerate import node_probability
+
+    assert evaluation.run()[0] == node_probability(pdoc, target.uid)
+
+
+def test_label_only_registry_flag():
+    assert Registry([CountAtom([sel("a/$b")], ">=", 1)]).label_only
+    root = PatternNode(NodeIs(1))
+    assert not Registry([exists(Pattern(root))]).label_only
+
+
+def test_canonicalization_ablation_agrees():
+    rng = random.Random(11)
+    for _ in range(25):
+        pdoc = random_pdocument(rng)
+        formula = rewrite(random_formula(rng))
+        fast = Evaluation(Registry([formula], canonicalize=True), pdoc).run()[0]
+        slow = Evaluation(Registry([formula], canonicalize=False), pdoc).run()[0]
+        assert fast == slow
+
+
+def test_canonicalization_reduces_state_count():
+    # Without canonicalization, placed positions linger in the state even
+    # when no future transition can inspect them.
+    atom = CountAtom([sel("a/b//$c"), sel("x//y/$z")], ">=", 1)
+    compact = Registry([atom], canonicalize=True)
+    verbose = Registry([atom], canonicalize=False)
+    assert compact.count_len < verbose.count_len
+
+
+def test_deep_chain_small_cap_is_fast():
+    """Recursion-safety regression: a 800-level chain evaluates fine when
+    the numerical specification (and hence the signature) stays small."""
+    from repro.workloads.synthetic import chain_pdocument
+
+    pdoc = chain_pdocument(800, prob=Fraction(1, 2))
+    formula = CountAtom([sel("root//$a")], ">=", 3)
+    value = probability(pdoc, formula)
+    assert 0 < value < 1

@@ -1,0 +1,77 @@
+"""Tests for constraint-violation explanation."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.core.constraints import Constraint, always
+from repro.core.explain import Violation, explain_violations, why_inconsistent
+from repro.core.formulas import SFormula
+from repro.pdoc.pdocument import pdocument
+from repro.workloads.university import figure1_constraints, figure2_document
+from repro.xmltree.document import Document, doc
+from repro.xmltree.parser import parse_selector
+
+
+def sel(text: str) -> SFormula:
+    pattern, node = parse_selector(text)
+    return SFormula(pattern, node)
+
+
+def test_no_violations_on_figure2(figure2, constraints_c1_c4):
+    assert explain_violations(figure2, constraints_c1_c4) == []
+
+
+def test_violation_located_and_described():
+    d = Document(
+        doc(
+            "library",
+            doc("shelf", doc("book", "x"), doc("book", "y")),
+            doc("shelf"),
+        )
+    )
+    c = always(sel("library/$shelf"), sel("*/$book"), ">=", 1, name="nonempty")
+    violations = explain_violations(d, [c])
+    assert len(violations) == 1
+    violation = violations[0]
+    assert violation.scope_node.label == "shelf"
+    assert violation.consequent_count == 0
+    assert "nonempty violated" in violation.describe()
+    assert "CNT(S2) = 0" in violation.describe()
+
+
+def test_violations_per_constraint():
+    d = Document(doc("library", doc("shelf"), doc("shelf")))
+    c1 = always(sel("library/$shelf"), sel("*/$book"), ">=", 1, name="books")
+    c2 = always(sel("$library"), sel("*/$shelf"), "<=", 1, name="one-shelf")
+    violations = explain_violations(d, [c1, c2])
+    names = sorted(v.constraint.name for v in violations)
+    assert names == ["books", "books", "one-shelf"]
+
+
+def test_conditional_constraint_vacuous_antecedent():
+    d = Document(doc("library", doc("shelf", doc("book", "x"))))
+    c = Constraint(
+        sel("library/$shelf"), sel("*/$book"), ">=", 5, sel("*/$lamp"), ">=", 1
+    )
+    assert explain_violations(d, [c]) == []
+
+
+def test_why_inconsistent_on_consistent_pdoc():
+    pd, root = pdocument("library")
+    shelf = root.ordinary("shelf")
+    shelf.ind().add_edge("book", Fraction(1, 2))
+    pd.validate()
+    c = always(sel("library/$shelf"), sel("*/$book"), "<=", 5)
+    assert "consistent" in why_inconsistent(pd, [c])
+
+
+def test_why_inconsistent_reports_cause():
+    pd, root = pdocument("library")
+    shelf = root.ordinary("shelf")
+    shelf.ind().add_edge("book", Fraction(1, 2))
+    pd.validate()
+    c = always(sel("library/$shelf"), sel("*/$book"), ">=", 3, name="well-stocked")
+    text = why_inconsistent(pd, [c])
+    assert "no satisfying world" in text
+    assert "well-stocked" in text

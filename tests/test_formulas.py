@@ -1,0 +1,220 @@
+"""Tests for c-formulae over documents (Definitions 5.1/5.2) and the
+closure operations of Section 5.1."""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.core.formulas import (
+    FALSE,
+    TRUE,
+    AvgAtom,
+    CAnd,
+    CFormula,
+    CountAtom,
+    DocumentEvaluator,
+    MaxAtom,
+    MinAtom,
+    RatioAtom,
+    SFormula,
+    SumAtom,
+    conjunction,
+    disjunction,
+    exists,
+    implies,
+    negation,
+    not_exists,
+    satisfies,
+    select,
+)
+from repro.workloads.random_gen import random_formula, random_pdocument
+from repro.pdoc.generate import random_instance
+from repro.xmltree.document import Document, doc
+from repro.xmltree.parser import parse_boolean_pattern, parse_selector
+from repro.xmltree.predicates import NumericCompare
+
+
+@pytest.fixture()
+def sample():
+    return Document(
+        doc(
+            "r",
+            doc("a", 3, "x"),
+            doc("a", 5),
+            doc("b", doc("a", 7)),
+        )
+    )
+
+
+def sel(text: str) -> SFormula:
+    pattern, node = parse_selector(text)
+    return SFormula(pattern, node)
+
+
+def test_true_false(sample):
+    assert satisfies(sample.root, TRUE)
+    assert not satisfies(sample.root, FALSE)
+
+
+def test_count_atom(sample):
+    assert satisfies(sample.root, CountAtom([sel("r/$a")], "=", 2))
+    assert satisfies(sample.root, CountAtom([sel("r//$a")], "=", 3))
+    assert not satisfies(sample.root, CountAtom([sel("r//$a")], ">", 3))
+
+
+def test_count_union_semantics(sample):
+    # r/$a and r//$a overlap on the two top-level a's: union has 3 nodes.
+    atom = CountAtom([sel("r/$a"), sel("r//$a")], "=", 3)
+    assert satisfies(sample.root, atom)
+
+
+def test_conjunction_semantics(sample):
+    both = conjunction(
+        [CountAtom([sel("r/$a")], ">=", 1), CountAtom([sel("r/$b")], ">=", 1)]
+    )
+    assert satisfies(sample.root, both)
+    assert not satisfies(
+        sample.root,
+        conjunction([CountAtom([sel("r/$b")], ">=", 2), TRUE]),
+    )
+
+
+def test_conjunction_flattening_and_folding():
+    atom = CountAtom([sel("$r")], ">=", 1)
+    assert conjunction([]) is TRUE
+    assert conjunction([TRUE, atom]) is atom
+    assert conjunction([FALSE, atom]) is FALSE
+    nested = conjunction([CAnd([atom, atom]), atom])
+    assert isinstance(nested, CAnd) and len(nested.parts) == 3
+
+
+def test_negation_involution(sample):
+    atom = CountAtom([sel("r/$a")], "=", 2)
+    assert satisfies(sample.root, atom)
+    assert not satisfies(sample.root, negation(atom))
+    assert satisfies(sample.root, negation(negation(atom)))
+    assert negation(TRUE) is FALSE and negation(FALSE) is TRUE
+
+
+def test_disjunction(sample):
+    f = disjunction(
+        [CountAtom([sel("r/$b")], ">=", 5), CountAtom([sel("r/$a")], ">=", 1)]
+    )
+    assert satisfies(sample.root, f)
+    g = disjunction(
+        [CountAtom([sel("r/$b")], ">=", 5), CountAtom([sel("r/$a")], ">=", 5)]
+    )
+    assert not satisfies(sample.root, g)
+    assert disjunction([]) is FALSE
+    assert disjunction([TRUE, g]) is TRUE
+
+
+def test_implies(sample):
+    f = implies(CountAtom([sel("r/$a")], ">=", 1), CountAtom([sel("r/$b")], ">=", 1))
+    assert satisfies(sample.root, f)
+    g = implies(CountAtom([sel("r/$a")], ">=", 1), CountAtom([sel("r/$b")], ">=", 2))
+    assert not satisfies(sample.root, g)
+    vacuous = implies(CountAtom([sel("r/$c")], ">=", 1), FALSE)
+    assert satisfies(sample.root, vacuous)
+
+
+def test_exists_and_not_exists(sample):
+    assert satisfies(sample.root, exists(parse_boolean_pattern("r/b/a")))
+    assert satisfies(sample.root, not_exists(parse_boolean_pattern("r/c")))
+    assert not satisfies(sample.root, not_exists(parse_boolean_pattern("r//a")))
+
+
+def test_augmented_pattern_alpha(sample):
+    # select a-children whose subtree contains a node > 4
+    base = sel("r/$a")
+    refined = base.with_alpha(
+        base.projected,
+        CountAtom([_numeric_selector(">", 4)], ">=", 1),
+    )
+    selected = select(sample.root, refined)
+    assert {v.children[0].label for v in selected} == {5}
+
+
+def _numeric_selector(op, bound):
+    from repro.xmltree.pattern import pattern
+
+    p, root = pattern()
+    node = root.descendant(NumericCompare(op, bound))
+    return SFormula(p, node)
+
+
+def test_min_max_document_semantics(sample):
+    all_nodes = [sel("$*"), sel("*//$*")]
+    assert satisfies(sample.root, MaxAtom(all_nodes, "=", 7))
+    assert satisfies(sample.root, MinAtom(all_nodes, "=", 3))
+    assert not satisfies(sample.root, MaxAtom(all_nodes, ">", 7))
+    # Empty numeric set: MAX = -inf < anything; MIN = inf > anything.
+    empty = Document(doc("r", "x"))
+    assert satisfies(empty.root, MaxAtom([sel("r/$x")], "<", -1000))
+    assert satisfies(empty.root, MinAtom([sel("r/$x")], ">", 1000))
+
+
+def test_sum_avg_document_semantics(sample):
+    all_nodes = [sel("$*"), sel("*//$*")]
+    assert satisfies(sample.root, SumAtom(all_nodes, "=", 15))
+    # AVG divides by the count of *selected* nodes (9 here), not numeric ones.
+    assert satisfies(sample.root, AvgAtom(all_nodes, "=", Fraction(15, 9)))
+    empty = Document(doc("r"))
+    assert satisfies(empty.root, SumAtom([sel("r/$x")], "=", 0))
+    assert satisfies(empty.root, AvgAtom([sel("r/$x")], "=", 0))
+
+
+def test_ratio_document_semantics(sample):
+    # fraction of a-nodes (3 of them) whose subtree holds a value > 4: 2/3
+    a_nodes = [sel("*//$a")]
+    witness = CountAtom([_numeric_selector(">", 4)], ">=", 1)
+    assert satisfies(sample.root, RatioAtom(a_nodes, witness, "=", Fraction(2, 3)))
+    assert not satisfies(sample.root, RatioAtom(a_nodes, witness, ">", Fraction(2, 3)))
+    # empty selection -> ratio 0
+    none = [sel("*//$zzz")]
+    assert satisfies(sample.root, RatioAtom(none, TRUE, "=", 0))
+
+
+def test_atom_requires_selectors():
+    with pytest.raises(ValueError):
+        CountAtom([], ">=", 1)
+    with pytest.raises(ValueError):
+        RatioAtom([], TRUE, ">=", 1)
+
+
+def test_sformula_rejects_foreign_node(sample):
+    s1, s2 = sel("r/$a"), sel("r/$b")
+    with pytest.raises(ValueError):
+        SFormula(s1.pattern, s2.projected)
+
+
+def test_sformula_clone_refinement(sample):
+    base = sel("r/$a")
+    clone = base.clone(refine_projected=NumericCompare(">", 0))
+    assert select(sample.root, clone) == set()  # 'a' labels are not numeric
+    assert len(select(sample.root, base)) == 2  # original untouched
+
+
+def test_operator_sugar(sample):
+    a = CountAtom([sel("r/$a")], ">=", 1)
+    b = CountAtom([sel("r/$b")], ">=", 1)
+    assert satisfies(sample.root, a & b)
+    assert satisfies(sample.root, a | CountAtom([sel("r/$zz")], ">=", 1))
+    assert not satisfies(sample.root, ~a)
+
+
+def test_closure_round_trip_probability():
+    """¬¬γ and ∨-via-¬∧ must agree with γ on random documents."""
+    rng = random.Random(31)
+    for _ in range(40):
+        pd = random_pdocument(rng)
+        f = random_formula(rng)
+        document = random_instance(pd, rng)
+        evaluator = DocumentEvaluator()
+        value = evaluator.satisfies(document.root, f)
+        assert evaluator.satisfies(document.root, negation(negation(f))) == value
+        assert evaluator.satisfies(document.root, disjunction([f, FALSE])) == value
+        assert evaluator.satisfies(document.root, conjunction([f, TRUE])) == value

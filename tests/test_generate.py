@@ -1,0 +1,76 @@
+"""Tests for unconditioned random-instance generation (Section 3.1)."""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+
+from repro.pdoc.enumerate import world_distribution
+from repro.pdoc.generate import random_instance, random_world
+from repro.pdoc.pdocument import PNode, pdocument
+from repro.workloads.random_gen import random_pdocument
+
+
+def test_instances_are_worlds():
+    rng = random.Random(3)
+    pd = random_pdocument(rng, allow_exp=True)
+    support = set(world_distribution(pd))
+    for _ in range(200):
+        assert random_world(pd, rng) in support
+
+
+def test_deterministic_pdocument_generates_itself():
+    pd, root = pdocument("r")
+    ind = root.ind()
+    a = ind.add_edge("a", Fraction(1))
+    ind.add_edge("b", Fraction(0))
+    pd.validate()
+    rng = random.Random(0)
+    for _ in range(10):
+        assert random_world(pd, rng) == frozenset({root.uid, a.uid})
+
+
+def test_distributional_nodes_vanish():
+    pd, root = pdocument("r")
+    outer = root.ind()
+    inner = PNode("ind")
+    outer.add_edge(inner, Fraction(1))
+    leaf = inner.add_edge("x", Fraction(1))
+    pd.validate()
+    document = random_instance(pd, random.Random(1))
+    # x hangs directly off r in the document (lowest ordinary ancestor).
+    assert document.root.label == "r"
+    assert [c.label for c in document.root.children] == ["x"]
+
+
+def test_empirical_distribution_close_to_exact():
+    pd, root = pdocument("r")
+    ind = root.ind()
+    ind.add_edge("a", Fraction(1, 2))
+    mux = root.mux()
+    mux.add_edge("b", Fraction(3, 5))
+    mux.add_edge("c", Fraction(2, 5))
+    pd.validate()
+    exact = world_distribution(pd)
+    rng = random.Random(42)
+    n = 8000
+    counts: dict[frozenset[int], int] = {}
+    for _ in range(n):
+        world = random_world(pd, rng)
+        counts[world] = counts.get(world, 0) + 1
+    tv = sum(abs(counts.get(k, 0) / n - float(p)) for k, p in exact.items()) / 2
+    assert tv < 0.03, f"total variation too large: {tv}"
+
+
+def test_exp_subsets_respected():
+    pd, root = pdocument("r")
+    exp = root.exp()
+    a = exp.add_exp_child("a")
+    b = exp.add_exp_child("b")
+    # a and b always appear together or not at all
+    exp.set_exp_distribution([((0, 1), Fraction(1, 2)), ((), Fraction(1, 2))])
+    pd.validate()
+    rng = random.Random(7)
+    for _ in range(100):
+        world = random_world(pd, rng)
+        assert (a.uid in world) == (b.uid in world)

@@ -1,0 +1,138 @@
+"""End-to-end integration: the full PXDB workflow over one realistic
+scenario, crossing every subsystem boundary (serialization → constraint
+parsing → evaluation → queries → sampling → statistics → top-k →
+transforms), with exact cross-checks between independent code paths."""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro import (
+    PXDB,
+    expected_count,
+    parse_constraints,
+    selector,
+    templates,
+    top_k_worlds,
+)
+from repro.baseline.naive import conditional_world_distribution
+from repro.core.explain import explain_violations
+from repro.core.formulas import DocumentEvaluator
+from repro.core.statistics import count_distribution
+from repro.pdoc.pdocument import PNode, pdocument
+from repro.pdoc.serialize import pdocument_from_xml, pdocument_to_xml
+from repro.pdoc.transform import normalize
+from repro.workloads.scraping import ScrapeModel, scrape
+from repro.xmltree.document import Document, doc
+from repro.xmltree.serialize import document_from_xml, document_to_xml
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    """Ground truth → scraper → XML round trip → PXDB with parsed constraints."""
+    truth = Document(
+        doc(
+            "campus",
+            doc("lab", doc("head", "Ada"), doc("grant", "ERC")),
+            doc("lab", doc("head", "Bob")),
+        )
+    )
+    pdoc = scrape(
+        truth,
+        ScrapeModel(ambiguity=0, spurious=0.5, sure_depth=1),
+        random.Random(42),
+    )
+    # Serialize / parse round trip in the middle of the pipeline.
+    pdoc = pdocument_from_xml(pdocument_to_xml(pdoc, keep_uids=True))
+    constraints = parse_constraints(
+        """
+        head-required: forall campus/$lab : count(*/$head) >= 1
+        one-glitch:    forall campus/$lab : count(*//$spurious) <= 1
+        """
+    )
+    db = PXDB(pdoc, constraints)
+    return truth, pdoc, db
+
+
+def test_well_defined_and_exact(pipeline):
+    truth, pdoc, db = pipeline
+    p_c = db.constraint_probability()
+    assert 0 < p_c < 1
+    exact = conditional_world_distribution(pdoc, db.condition)
+    assert sum(exact.values()) == 1
+
+
+def test_query_consistency_across_paths(pipeline):
+    """The evaluator's per-tuple probabilities, the enumerated conditional
+    distribution and the count statistics must all agree."""
+    truth, pdoc, db = pipeline
+    heads = selector("campus/lab/head/$*")
+    table = db.query("campus/lab/head/$*")
+    exact = conditional_world_distribution(pdoc, db.condition)
+    for (uid,), prob in table.items():
+        reference = sum(p for uids, p in exact.items() if uid in uids)
+        assert prob == reference
+    # expected count = sum of per-tuple marginals
+    assert expected_count(heads, pdoc, db.condition) == sum(table.values())
+    # full count distribution sums to one and matches enumeration
+    dist = count_distribution(heads, pdoc, db.condition)
+    assert sum(dist.values()) == 1
+    for k, prob in dist.items():
+        reference = Fraction(0)
+        for uids, p in exact.items():
+            document = pdoc.document_from_uids(uids)
+            selected = DocumentEvaluator().select(document.root, heads)
+            if len(selected) == k:
+                reference += p
+        assert prob == reference
+
+
+def test_samples_obey_constraints_and_support(pipeline):
+    truth, pdoc, db = pipeline
+    exact = conditional_world_distribution(pdoc, db.condition)
+    rng = random.Random(9)
+    for _ in range(25):
+        document = db.sample(rng)
+        assert document.uid_set() in exact
+        assert explain_violations(document, db.constraints) == []
+
+
+def test_top_k_heads_ranking(pipeline):
+    truth, pdoc, db = pipeline
+    results = top_k_worlds(pdoc, 3, db.condition)
+    exact = conditional_world_distribution(pdoc, db.condition)
+    ranked = sorted(exact.values(), reverse=True)
+    assert [p for _, p in results] == ranked[:3]
+
+
+def test_normalization_preserves_pxdb(pipeline):
+    truth, pdoc, db = pipeline
+    normalized = normalize(pdoc)
+    db2 = PXDB(normalized, db.constraints)
+    assert db2.constraint_probability() == db.constraint_probability()
+    assert db2.query("campus/lab/head/$*") == db.query("campus/lab/head/$*")
+
+
+def test_document_round_trip_through_files(pipeline, tmp_path):
+    truth, pdoc, db = pipeline
+    sample = db.sample(random.Random(1))
+    path = tmp_path / "sample.xml"
+    path.write_text(document_to_xml(sample, keep_uids=True))
+    loaded = document_from_xml(path.read_text())
+    assert loaded == sample
+    assert loaded.uid_set() == sample.uid_set()
+
+
+def test_templates_and_parsed_constraints_agree(pipeline):
+    truth, pdoc, db = pipeline
+    rebuilt = PXDB(
+        pdoc,
+        [
+            templates.at_least("campus/$lab", "*/$head", 1),
+            templates.at_most("campus/$lab", "*//$spurious", 1),
+        ],
+    )
+    assert rebuilt.constraint_probability() == db.constraint_probability()

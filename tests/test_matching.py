@@ -1,0 +1,181 @@
+"""Tests for twig matching M(T, d), including a brute-force reference
+implementation of the match definition (Section 2.3, conditions 1-4)."""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+
+from repro.xmltree import tree
+from repro.xmltree.document import Document, doc
+from repro.xmltree.matching import (
+    count_matches,
+    enumerate_matches,
+    has_match,
+    match_bits,
+    selected_set,
+)
+from repro.xmltree.parser import parse_boolean_pattern, parse_selector
+from repro.xmltree.pattern import CHILD, DESC, Pattern, PatternNode
+from repro.xmltree.predicates import ANY, LabelEquals
+
+
+def reference_matches(pattern: Pattern, root) -> list[dict]:
+    """All matches by brute force over every node assignment."""
+    pattern_nodes = list(pattern.nodes())
+    doc_nodes = list(tree.preorder(root))
+    matches = []
+    for assignment in itertools.product(doc_nodes, repeat=len(pattern_nodes)):
+        mapping = dict(zip((id(n) for n in pattern_nodes), assignment))
+        if mapping[id(pattern.root)] is not root:
+            continue
+        ok = True
+        for pnode, dnode in zip(pattern_nodes, assignment):
+            if not pnode.predicate.matches(dnode):
+                ok = False
+                break
+            if pnode.parent is not None:
+                image_parent = mapping[id(pnode.parent)]
+                if pnode.axis == CHILD:
+                    if dnode.parent is not image_parent:
+                        ok = False
+                        break
+                else:
+                    if not tree.is_proper_ancestor(image_parent, dnode):
+                        ok = False
+                        break
+        if ok:
+            matches.append(mapping)
+    return matches
+
+
+@pytest.fixture()
+def sample():
+    return Document(
+        doc(
+            "r",
+            doc("a", doc("b", "c"), "c"),
+            doc("b", doc("a", "c")),
+            "c",
+        )
+    )
+
+
+def test_has_match_simple(sample):
+    assert has_match(parse_boolean_pattern("r/a/b"), sample.root)
+    assert has_match(parse_boolean_pattern("r//c"), sample.root)
+    assert not has_match(parse_boolean_pattern("r/c/a"), sample.root)
+
+
+def test_root_must_match(sample):
+    assert not has_match(parse_boolean_pattern("a/b"), sample.root)
+    # ...but evaluating on the subtree rooted at 'a' anchors there.
+    a = sample.root.children[0]
+    assert has_match(parse_boolean_pattern("a/b"), a)
+
+
+def test_descendant_is_proper(sample):
+    # r//r requires a proper descendant labeled r: there is none.
+    assert not has_match(parse_boolean_pattern("r//r"), sample.root)
+
+
+def test_match_bits_structure(sample):
+    pattern = parse_boolean_pattern("r//b")
+    bits = match_bits(pattern, sample.root)
+    root_node, b_node = pattern.nodes()
+    b_labels = {
+        node.label for node in tree.preorder(sample.root) if id(node) in bits[id(b_node)]
+    }
+    assert b_labels == {"b"}
+
+
+@pytest.mark.parametrize(
+    "text,expected",
+    [
+        ("r/$a", 1),
+        ("r//$a", 2),
+        ("r//$c", 4),
+        ("r//$*[c]", 3),  # nodes with a c child: a(top), b(top), b(deep)? -> 3
+        ("r/$*", 3),
+    ],
+)
+def test_selected_set_counts(sample, text, expected):
+    pattern, node = parse_selector(text)
+    assert len(selected_set(pattern, node, sample.root)) == expected
+
+
+def test_selected_set_matches_reference(sample):
+    for text in ["r//$a", "r//$*[c]", "r/$*//c", "r//$b/c", "r//$*"]:
+        pattern, node = parse_selector(text)
+        expected = {
+            id(m[id(node)]) for m in reference_matches(pattern, sample.root)
+        }
+        actual = {id(v) for v in selected_set(pattern, node, sample.root)}
+        assert actual == expected, text
+
+
+def test_enumerate_matches_against_reference(sample):
+    for text in ["r/a/b", "r//c", "r//*[c]", "r//a//c", "r/*[b]/c"]:
+        pattern = parse_boolean_pattern(text)
+        expected = reference_matches(pattern, sample.root)
+        actual = list(enumerate_matches(pattern, sample.root))
+        expected_keys = {
+            tuple(sorted((k, id(v)) for k, v in m.items())) for m in expected
+        }
+        actual_keys = {
+            tuple(sorted((k, id(v)) for k, v in m.items())) for m in actual
+        }
+        assert actual_keys == expected_keys, text
+
+
+def test_count_matches(sample):
+    assert count_matches(parse_boolean_pattern("r//c"), sample.root) == 4
+
+
+def test_randomized_against_reference():
+    rng = random.Random(5)
+    labels = ["a", "b", "c"]
+
+    def random_doc(size):
+        nodes = [doc(rng.choice(labels))]
+        for _ in range(size - 1):
+            parent = rng.choice(nodes)
+            child = doc(rng.choice(labels))
+            parent.add_child(child)
+            nodes.append(child)
+        return nodes[0]
+
+    def random_pattern(max_nodes=4):
+        root = PatternNode(rng.choice([ANY, LabelEquals(rng.choice(labels))]), CHILD)
+        nodes = [root]
+        for _ in range(rng.randint(0, max_nodes - 1)):
+            parent = rng.choice(nodes)
+            child = PatternNode(
+                rng.choice([ANY, LabelEquals(rng.choice(labels))]),
+                rng.choice([CHILD, DESC]),
+            )
+            parent.add_child(child)
+            nodes.append(child)
+        return Pattern(root)
+
+    for _ in range(60):
+        root = random_doc(rng.randint(1, 7))
+        pattern = random_pattern()
+        expected = reference_matches(pattern, root)
+        assert has_match(pattern, root) == bool(expected)
+        projected = rng.choice(list(pattern.nodes()))
+        expected_sel = {id(m[id(projected)]) for m in expected}
+        actual_sel = {id(v) for v in selected_set(pattern, projected, root)}
+        assert actual_sel == expected_sel
+
+
+def test_extra_test_hook(sample):
+    pattern, node = parse_selector("r//$*")
+    # Only accept nodes whose subtree has >= 2 nodes.
+    def extra(pnode, dnode):
+        return tree.subtree_size(dnode) >= 2
+
+    selected = selected_set(pattern, node, sample.root, extra)
+    assert {v.label for v in selected} == {"a", "b"}

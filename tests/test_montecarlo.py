@@ -1,0 +1,89 @@
+"""Tests for the Monte-Carlo approximation baseline."""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.baseline.montecarlo import (
+    estimate_conditional_probability,
+    estimate_probability,
+    sample_size,
+)
+from repro.core.evaluator import probability
+from repro.core.formulas import CountAtom, FALSE, SFormula, TRUE
+from repro.pdoc.pdocument import pdocument
+from repro.aggregates.sumavg import xi_sum_all
+from repro.aggregates.hardness import subset_sum_pdocument
+from repro.baseline.naive import naive_probability
+from repro.xmltree.parser import parse_selector
+
+
+def sel(text: str) -> SFormula:
+    pattern, node = parse_selector(text)
+    return SFormula(pattern, node)
+
+
+def build_pdoc():
+    pd, root = pdocument("r")
+    ind = root.ind()
+    ind.add_edge("a", Fraction(1, 2))
+    ind.add_edge("b", Fraction(1, 4))
+    pd.validate()
+    return pd
+
+
+def test_sample_size_hoeffding():
+    assert sample_size(0.05, 0.05) == 738
+    assert sample_size(0.01, 0.05) > sample_size(0.05, 0.05)
+    with pytest.raises(ValueError):
+        sample_size(0)
+    with pytest.raises(ValueError):
+        sample_size(0.1, 1.5)
+
+
+def test_estimate_close_to_exact():
+    pd = build_pdoc()
+    formula = CountAtom([sel("r/$a")], ">=", 1)
+    exact = float(probability(pd, formula))
+    estimate = estimate_probability(pd, formula, samples=4000, rng=random.Random(1))
+    assert abs(float(estimate) - exact) < 0.03
+
+
+def test_estimate_handles_sum_atoms():
+    """Additive approximation works even where exact evaluation is NP-hard."""
+    pd = subset_sum_pdocument([2, 3, 5])
+    formula = xi_sum_all(5)
+    exact = float(naive_probability(pd, formula))
+    estimate = estimate_probability(pd, formula, samples=4000, rng=random.Random(2))
+    assert abs(float(estimate) - exact) < 0.03
+
+
+def test_estimate_extremes():
+    pd = build_pdoc()
+    assert estimate_probability(pd, TRUE, samples=50, rng=random.Random(0)) == 1
+    assert estimate_probability(pd, FALSE, samples=50, rng=random.Random(0)) == 0
+
+
+def test_conditional_estimate():
+    pd = build_pdoc()
+    condition = CountAtom([sel("r/$a")], ">=", 1)
+    event = CountAtom([sel("r/$b")], ">=", 1)
+    estimate = estimate_conditional_probability(
+        pd, event, condition, samples=4000, rng=random.Random(3)
+    )
+    assert estimate is not None
+    assert abs(float(estimate) - 0.25) < 0.03  # a and b are independent
+
+
+def test_conditional_estimate_degrades_to_none():
+    pd, root = pdocument("r")
+    root.ind().add_edge("rare", Fraction(1, 10**6))
+    pd.validate()
+    condition = CountAtom([sel("r/$rare")], ">=", 1)
+    estimate = estimate_conditional_probability(
+        pd, TRUE, condition, samples=50, rng=random.Random(4)
+    )
+    assert estimate is None

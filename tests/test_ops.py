@@ -1,0 +1,65 @@
+"""Unit tests for the comparison-operator module (Def 2.2 / Section 5)."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro import ops
+
+
+def test_normalize_aliases():
+    assert ops.normalize("==") == ops.EQ
+    assert ops.normalize("=") == ops.EQ
+    assert ops.normalize("<>") == ops.NE
+    assert ops.normalize("≠") == ops.NE
+    assert ops.normalize("≤") == ops.LE
+    assert ops.normalize("≥") == ops.GE
+    with pytest.raises(ValueError):
+        ops.normalize("~=")
+
+
+@pytest.mark.parametrize(
+    "op,left,right,expected",
+    [
+        ("=", 3, 3, True),
+        ("=", 3, 4, False),
+        ("!=", 3, 4, True),
+        ("<", 3, 4, True),
+        ("<=", 4, 4, True),
+        (">", 4, 3, True),
+        (">=", 3, 4, False),
+    ],
+)
+def test_apply(op, left, right, expected):
+    assert ops.apply(op, left, right) is expected
+
+
+def test_apply_with_fractions():
+    assert ops.apply("<", Fraction(1, 3), Fraction(1, 2))
+    assert ops.apply("=", Fraction(2, 4), Fraction(1, 2))
+
+
+def test_complement_is_involutive():
+    for op in ops.ALL_OPS:
+        assert ops.complement(ops.complement(op)) == op
+
+
+def test_complement_pairs():
+    assert ops.complement("=") == "!="
+    assert ops.complement("<") == ">="
+    assert ops.complement(">") == "<="
+
+
+@pytest.mark.parametrize("op", ops.ALL_OPS)
+@pytest.mark.parametrize("bound", [-2, 0, 1, 3])
+@pytest.mark.parametrize("true_count", [0, 1, 2, 3, 4, 5, 9])
+def test_compare_saturated_is_exact(op, bound, true_count):
+    """For the cap used by the evaluator (max(0, N) + 1), comparing the
+    saturated count must equal comparing the true count — exhaustively."""
+    cap = max(0, bound) + 1
+    saturated = min(true_count, cap)
+    assert ops.compare_saturated(saturated, cap, op, bound) == ops.apply(
+        op, true_count, bound
+    )

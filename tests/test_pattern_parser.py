@@ -1,0 +1,131 @@
+"""Unit tests for the textual pattern/selector syntax."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.xmltree.parser import (
+    PatternSyntaxError,
+    parse_boolean_pattern,
+    parse_pattern,
+    parse_selector,
+)
+from repro.xmltree.pattern import CHILD, DESC
+from repro.xmltree.predicates import AnyLabel, LabelEquals, LabelSuffix
+
+
+def test_simple_chain():
+    pattern, projections = parse_pattern("university/department//member")
+    nodes = list(pattern.nodes())
+    assert len(nodes) == 3
+    assert projections == {}
+    assert isinstance(nodes[0].predicate, LabelEquals)
+    assert nodes[1].axis == CHILD
+    assert nodes[2].axis == DESC
+
+
+def test_leading_slash_is_optional():
+    left, _ = parse_pattern("/a/b")
+    right, _ = parse_pattern("a/b")
+    assert left.size() == right.size() == 2
+
+
+def test_star_predicate():
+    pattern, _ = parse_pattern("*//*")
+    assert all(isinstance(n.predicate, AnyLabel) for n in pattern.nodes())
+
+
+def test_suffix_predicate():
+    pattern, _ = parse_pattern("member/~professor")
+    leaf = list(pattern.nodes())[1]
+    assert isinstance(leaf.predicate, LabelSuffix)
+    assert leaf.predicate.suffix == "professor"
+
+
+def test_quoted_labels():
+    pattern, _ = parse_pattern("member/'ph.d. st.'")
+    leaf = list(pattern.nodes())[1]
+    assert leaf.predicate.value == "ph.d. st."
+
+
+def test_quoted_suffix():
+    pattern, _ = parse_pattern("member/~'full professor'")
+    leaf = list(pattern.nodes())[1]
+    assert isinstance(leaf.predicate, LabelSuffix)
+    assert leaf.predicate.suffix == "full professor"
+
+
+def test_numeric_labels():
+    pattern, _ = parse_pattern("values/42")
+    leaf = list(pattern.nodes())[1]
+    assert leaf.predicate.value == 42
+
+
+def test_quoted_numerals_stay_strings():
+    pattern, _ = parse_pattern("values/'42'")
+    leaf = list(pattern.nodes())[1]
+    assert leaf.predicate.value == "42"
+
+
+def test_branches():
+    pattern, _ = parse_pattern("member[position/chair][//~professor]/name")
+    root = pattern.root
+    assert len(root.children) == 3  # two branches + the spine child
+    branch1, branch2, spine = root.children
+    assert branch1.axis == CHILD and branch1.children[0].predicate.value == "chair"
+    assert branch2.axis == DESC
+    assert spine.predicate.value == "name"
+
+
+def test_nested_branches():
+    pattern, _ = parse_pattern("a[b[c]/d]")
+    b = pattern.root.children[0]
+    assert {child.predicate.value for child in b.children} == {"c", "d"}
+
+
+def test_selector_marker():
+    pattern, node = parse_selector("university/$department")
+    assert node.predicate.value == "department"
+    assert node is list(pattern.nodes())[1]
+
+
+def test_selector_on_root():
+    pattern, node = parse_selector("$*[position/chair]")
+    assert node is pattern.root
+
+
+def test_multi_projection_positions():
+    pattern, projections = parse_pattern("a/$2:b/$1:c")
+    assert projections[2].predicate.value == "b"
+    assert projections[1].predicate.value == "c"
+
+
+def test_projection_positions_must_be_dense():
+    with pytest.raises(PatternSyntaxError):
+        parse_pattern("a/$3:b")
+
+
+def test_duplicate_projection_rejected():
+    with pytest.raises(PatternSyntaxError):
+        parse_pattern("a/$1:b/$1:c")
+
+
+def test_selector_requires_exactly_one_marker():
+    with pytest.raises(PatternSyntaxError):
+        parse_selector("a/b")
+    with pytest.raises(PatternSyntaxError):
+        parse_selector("$a/$b")
+
+
+def test_boolean_pattern_rejects_markers():
+    with pytest.raises(PatternSyntaxError):
+        parse_boolean_pattern("a/$b")
+    assert parse_boolean_pattern("a/b").size() == 2
+
+
+@pytest.mark.parametrize("bad", ["", "a/", "a//", "a[b", "a]b", "'unterminated"])
+def test_syntax_errors(bad):
+    with pytest.raises(PatternSyntaxError):
+        parse_pattern(bad)

@@ -1,0 +1,66 @@
+"""Round-trip tests for p-document XML serialization."""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.pdoc.enumerate import world_distribution
+from repro.pdoc.pdocument import pdocument
+from repro.pdoc.serialize import pdocument_from_xml, pdocument_to_xml
+from repro.workloads.random_gen import random_pdocument
+from repro.workloads.university import figure1_pdocument
+
+
+def canonical_worlds(pdoc):
+    """World distribution keyed by structure, not uids (serialization
+    without keep_uids renumbers the nodes)."""
+    from repro.xmltree.document import canonical_key
+
+    result = {}
+    for uids, p in world_distribution(pdoc).items():
+        key = canonical_key(pdoc.document_from_uids(uids).root)
+        result[key] = result.get(key, Fraction(0)) + p
+    return result
+
+
+def test_round_trip_with_uids():
+    pd = figure1_pdocument()
+    text = pdocument_to_xml(pd, keep_uids=True)
+    parsed = pdocument_from_xml(text)
+    assert world_distribution(parsed) == world_distribution(pd)
+
+
+def test_round_trip_structure_without_uids():
+    rng = random.Random(17)
+    for _ in range(10):
+        pd = random_pdocument(rng, allow_exp=True, numeric=True)
+        parsed = pdocument_from_xml(pdocument_to_xml(pd))
+        assert canonical_worlds(parsed) == canonical_worlds(pd)
+
+
+def test_serialized_form_mentions_markup():
+    pd, root = pdocument("r")
+    ind = root.ind()
+    ind.add_edge("a", Fraction(7, 10))
+    exp = root.exp()
+    exp.add_exp_child("b")
+    exp.set_exp_distribution([((0,), Fraction(1, 3)), ((), Fraction(2, 3))])
+    pd.validate()
+    text = pdocument_to_xml(pd)
+    assert "<ind>" in text
+    assert 'p="7/10"' in text
+    assert "<choice" in text and 'subset="0"' in text
+
+
+def test_parse_rejects_unknown_elements():
+    with pytest.raises(ValueError):
+        pdocument_from_xml("<zorp/>")
+
+
+def test_parse_rejects_missing_probability():
+    text = '<n l="r" t="s"><ind><n l="a" t="s"/></ind></n>'
+    with pytest.raises(ValueError):
+        pdocument_from_xml(text)

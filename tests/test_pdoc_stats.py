@@ -1,0 +1,120 @@
+"""Tests for p-document statistics."""
+
+from __future__ import annotations
+
+import math
+import random
+from fractions import Fraction
+
+from repro.pdoc.enumerate import world_distribution
+from repro.pdoc.pdocument import PNode, pdocument
+from repro.pdoc.stats import (
+    document_size_distribution,
+    expected_document_size,
+    process_entropy,
+    summary,
+    world_count,
+)
+from repro.workloads.random_gen import random_pdocument
+
+
+def small_pdoc():
+    pd, root = pdocument("r")
+    ind = root.ind()
+    ind.add_edge("a", Fraction(1, 2))
+    mux = root.mux()
+    mux.add_edge("b", Fraction(1, 4))
+    mux.add_edge("c", Fraction(1, 4))
+    pd.validate()
+    return pd
+
+
+def test_expected_size_by_hand():
+    pd = small_pdoc()
+    # 1 (root) + 1/2 (a) + 1/4 + 1/4 (b, c)
+    assert expected_document_size(pd) == 2
+
+
+def test_expected_size_matches_enumeration():
+    rng = random.Random(4)
+    for _ in range(20):
+        pd = random_pdocument(rng, allow_exp=True)
+        dist = world_distribution(pd)
+        reference = sum(Fraction(len(uids)) * p for uids, p in dist.items())
+        assert expected_document_size(pd) == reference
+
+
+def test_size_distribution_matches_enumeration():
+    rng = random.Random(5)
+    for _ in range(20):
+        pd = random_pdocument(rng, allow_exp=True)
+        dist = document_size_distribution(pd)
+        assert sum(dist.values()) == 1
+        reference: dict[int, Fraction] = {}
+        for uids, p in world_distribution(pd).items():
+            reference[len(uids)] = reference.get(len(uids), Fraction(0)) + p
+        assert dist == reference
+
+
+def test_size_distribution_mean_consistency():
+    pd = small_pdoc()
+    dist = document_size_distribution(pd)
+    mean = sum(Fraction(size) * p for size, p in dist.items())
+    assert mean == expected_document_size(pd)
+
+
+def test_world_count_flat_exact():
+    pd = small_pdoc()
+    # ind: 2 outcomes; mux: b, c or neither = 3 outcomes
+    assert world_count(pd) == 6
+    assert len(world_distribution(pd)) == 6
+
+
+def test_world_count_is_upper_bound_with_stacking():
+    pd, root = pdocument("r")
+    outer = root.ind()
+    inner = PNode("ind")
+    outer.add_edge(inner, Fraction(1, 2))
+    inner.add_edge("x", Fraction(1, 2))
+    pd.validate()
+    assert world_count(pd) == 4
+    assert len(world_distribution(pd)) == 2  # collisions merge worlds
+
+
+def test_entropy_deterministic_is_zero():
+    pd, root = pdocument("r")
+    ind = root.ind()
+    ind.add_edge("a", Fraction(1))
+    ind.add_edge("b", Fraction(0))
+    pd.validate()
+    assert process_entropy(pd) == 0.0
+
+
+def test_entropy_fair_coin_is_one_bit():
+    pd, root = pdocument("r")
+    root.ind().add_edge("a", Fraction(1, 2))
+    pd.validate()
+    assert math.isclose(process_entropy(pd), 1.0)
+
+
+def test_entropy_weights_by_reachability():
+    # An inner fair coin behind a 1/2 edge contributes only 1/2 bit.
+    pd, root = pdocument("r")
+    outer = root.ind()
+    mid = PNode("ord", "m")
+    outer.add_edge(mid, Fraction(1, 2))
+    mid.ind().add_edge("x", Fraction(1, 2))
+    pd.validate()
+    assert math.isclose(process_entropy(pd), 1.0 + 0.5)
+
+
+def test_summary_fields():
+    pd = small_pdoc()
+    report = summary(pd)
+    assert report["ordinary_nodes"] == 4
+    assert report["distributional_nodes"] == 2
+    assert report["distributional_edges"] == 3
+    assert report["assignment_outcomes"] == 6
+    assert report["expected_size"] == 2
+    assert report["min_size"] == 1 and report["max_size"] == 3
+    assert report["process_entropy_bits"] > 0

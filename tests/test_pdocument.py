@@ -1,0 +1,192 @@
+"""Unit tests for p-documents (Section 3.1 + exp nodes of Section 7.3)."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.pdoc.pdocument import EXP, IND, MUX, ORD, PDocument, PNode, pdocument
+
+
+def small_pdoc():
+    pd, root = pdocument("r")
+    ind = root.ind()
+    ind.add_edge("a", Fraction(1, 2))
+    mux = root.mux()
+    mux.add_edge("b", Fraction(1, 4))
+    mux.add_edge("c", Fraction(1, 2))
+    pd.validate()
+    return pd, root
+
+
+def test_node_kinds():
+    node = PNode(ORD, "x")
+    assert node.is_ordinary() and not node.is_distributional()
+    dist = PNode(IND)
+    assert dist.is_distributional()
+
+
+def test_ordinary_needs_label():
+    with pytest.raises(ValueError):
+        PNode(ORD)
+    with pytest.raises(ValueError):
+        PNode(IND, label="x")
+    with pytest.raises(ValueError):
+        PNode("bogus", "x")
+
+
+def test_dist_edges_enumeration():
+    pd, _ = small_pdoc()
+    edges = pd.dist_edges()
+    assert len(edges) == 3
+    kinds = [node.kind for node, _ in edges]
+    assert kinds == [IND, MUX, MUX]
+
+
+def test_edge_prob():
+    pd, _ = small_pdoc()
+    (ind, i0), (mux, j0), (mux2, j1) = pd.dist_edges()
+    assert pd.edge_prob(ind, i0) == Fraction(1, 2)
+    assert pd.edge_prob(mux, j0) == Fraction(1, 4)
+    assert pd.edge_prob(mux2, j1) == Fraction(1, 2)
+
+
+def test_validate_rejects_distributional_root():
+    root = PNode(IND)
+    root.add_edge("a", Fraction(1, 2))
+    with pytest.raises(ValueError):
+        PDocument(root)
+
+
+def test_validate_rejects_distributional_leaf():
+    pd, root = pdocument("r")
+    root.ind()
+    with pytest.raises(ValueError):
+        pd.validate()
+
+
+def test_validate_rejects_mux_oversum():
+    pd, root = pdocument("r")
+    mux = root.mux()
+    mux.add_edge("a", Fraction(3, 4))
+    mux.add_edge("b", Fraction(1, 2))
+    with pytest.raises(ValueError):
+        pd.validate()
+
+
+def test_edge_probability_range_checked():
+    pd, root = pdocument("r")
+    ind = root.ind()
+    with pytest.raises(ValueError):
+        ind.add_edge("a", Fraction(5, 4))
+
+
+def test_add_edge_only_below_dist_nodes():
+    pd, root = pdocument("r")
+    with pytest.raises(ValueError):
+        root.add_edge("a", Fraction(1, 2))
+    ind = root.ind()
+    with pytest.raises(ValueError):
+        ind.ordinary("a")
+
+
+def test_exp_distribution_validation():
+    pd, root = pdocument("r")
+    exp = root.exp()
+    exp.add_exp_child("a")
+    exp.add_exp_child("b")
+    with pytest.raises(ValueError):
+        exp.set_exp_distribution([((0,), Fraction(1, 2))])  # sums to 1/2
+    with pytest.raises(ValueError):
+        exp.set_exp_distribution([((5,), Fraction(1))])  # bad index
+    with pytest.raises(ValueError):
+        exp.set_exp_distribution(
+            [((0,), Fraction(1, 2)), ((0,), Fraction(1, 2))]
+        )  # duplicate subset
+    exp.set_exp_distribution([((0, 1), Fraction(1, 3)), ((), Fraction(2, 3))])
+    pd.validate()
+    assert pd.edge_prob(exp, 0) == Fraction(1, 3)
+    assert pd.edge_prob(exp, 1) == Fraction(1, 3)
+
+
+def test_skeleton_collapses_distributional_nodes():
+    pd, root = small_pdoc()
+    skeleton = pd.skeleton()
+    assert skeleton.root.label == "r"
+    assert sorted(c.label for c in skeleton.root.children) == ["a", "b", "c"]
+    # uids carried over from the ordinary p-nodes
+    assert skeleton.uid_set() == {n.uid for n in pd.ordinary_nodes()}
+
+
+def test_clone_is_deep_and_preserves_uids():
+    pd, _ = small_pdoc()
+    clone = pd.clone()
+    assert clone.root is not pd.root
+    assert {n.uid for n in clone.ordinary_nodes()} == {
+        n.uid for n in pd.ordinary_nodes()
+    }
+    clone.dist_edges()[0][0].probs[0] = Fraction(0)
+    assert pd.dist_edges()[0][0].probs[0] == Fraction(1, 2)
+
+
+def test_conditioned_on_ind_edge():
+    pd, _ = small_pdoc()
+    edge = pd.dist_edges()[0]
+    chosen = pd.conditioned_on_edge(edge, True)
+    assert chosen.dist_edges()[0][0].probs[0] == 1
+    dropped = pd.conditioned_on_edge(edge, False)
+    assert dropped.dist_edges()[0][0].probs[0] == 0
+
+
+def test_conditioned_on_mux_edge_renormalizes():
+    pd, _ = small_pdoc()
+    edge = pd.dist_edges()[1]  # mux child b with prob 1/4
+    chosen = pd.conditioned_on_edge(edge, True)
+    mux = chosen.dist_edges()[1][0]
+    assert mux.probs == [Fraction(1), Fraction(0)]
+    dropped = pd.conditioned_on_edge(edge, False)
+    mux = dropped.dist_edges()[1][0]
+    # sibling c renormalized by 1/(1 - 1/4)
+    assert mux.probs == [Fraction(0), Fraction(2, 3)]
+
+
+def test_conditioned_on_exp_edge():
+    pd, root = pdocument("r")
+    exp = root.exp()
+    exp.add_exp_child("a")
+    exp.add_exp_child("b")
+    exp.set_exp_distribution(
+        [((0, 1), Fraction(1, 4)), ((0,), Fraction(1, 4)), ((), Fraction(1, 2))]
+    )
+    pd.validate()
+    edge = (exp, 0)
+    chosen = pd.conditioned_on_edge(edge, True)
+    new_exp = chosen.dist_edges()[0][0]
+    assert sorted((tuple(sorted(s)), p) for s, p in new_exp.subsets) == [
+        ((0,), Fraction(1, 2)),
+        ((0, 1), Fraction(1, 2)),
+    ]
+    dropped = pd.conditioned_on_edge(edge, False)
+    new_exp = dropped.dist_edges()[0][0]
+    assert [(tuple(sorted(s)), p) for s, p in new_exp.subsets] == [((), Fraction(1))]
+
+
+def test_conditioning_guards():
+    pd, root = pdocument("r")
+    ind = root.ind()
+    ind.add_edge("a", Fraction(0))
+    ind.add_edge("b", Fraction(1))
+    pd.validate()
+    with pytest.raises(ValueError):
+        pd.conditioned_on_edge((pd.dist_edges()[0]), True)  # prob 0 chosen
+    with pytest.raises(ValueError):
+        pd.conditioned_on_edge((pd.dist_edges()[1]), False)  # prob 1 dropped
+
+
+def test_document_from_uids_requires_root():
+    pd, root = small_pdoc()
+    with pytest.raises(ValueError):
+        pd.document_from_uids(frozenset())
+    document = pd.document_from_uids(frozenset({root.uid}))
+    assert document.size() == 1

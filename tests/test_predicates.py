@@ -1,0 +1,108 @@
+"""Unit tests for label predicates (Section 2.3 / Section 7.2)."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.xmltree.document import DocNode
+from repro.xmltree.predicates import (
+    ANY,
+    IsNumeric,
+    LabelEquals,
+    LabelSuffix,
+    NodeIs,
+    NumericCompare,
+    is_numeric_label,
+    label,
+    numeric_value,
+    suffix,
+)
+
+
+def test_any_matches_everything():
+    assert ANY.matches(DocNode("x"))
+    assert ANY.matches(DocNode(3))
+
+
+def test_label_equals():
+    pred = LabelEquals("professor")
+    assert pred.matches(DocNode("professor"))
+    assert not pred.matches(DocNode("full professor"))
+
+
+def test_label_equals_numeric():
+    assert LabelEquals(3).matches(DocNode(3))
+    assert not LabelEquals(3).matches(DocNode("3"))
+
+
+def test_suffix_predicate():
+    pred = LabelSuffix("professor")
+    assert pred.matches(DocNode("full professor"))
+    assert pred.matches(DocNode("professor"))
+    assert not pred.matches(DocNode("professorship"))
+    assert not pred.matches(DocNode(7))
+
+
+def test_is_numeric_label():
+    assert is_numeric_label(3)
+    assert is_numeric_label(Fraction(1, 2))
+    assert not is_numeric_label("3")
+    assert not is_numeric_label(True)  # booleans are not data values
+
+
+def test_numeric_value():
+    assert numeric_value(3) == Fraction(3)
+    assert numeric_value(Fraction(1, 2)) == Fraction(1, 2)
+
+
+def test_is_numeric_predicate():
+    assert IsNumeric().matches(DocNode(0))
+    assert not IsNumeric().matches(DocNode("zero"))
+
+
+@pytest.mark.parametrize(
+    "op,value,matches,rejects",
+    [
+        (">", 3, 4, 3),
+        (">=", 3, 3, 2),
+        ("<", 3, 2, 3),
+        ("<=", 3, 3, 4),
+        ("=", 3, 3, 4),
+        ("!=", 3, 4, 3),
+    ],
+)
+def test_numeric_compare(op, value, matches, rejects):
+    pred = NumericCompare(op, value)
+    assert pred.matches(DocNode(matches))
+    assert not pred.matches(DocNode(rejects))
+
+
+def test_numeric_compare_rejects_text():
+    assert not NumericCompare(">", 0).matches(DocNode("ten"))
+
+
+def test_numeric_compare_fractions():
+    assert NumericCompare(">", Fraction(1, 3)).matches(DocNode(Fraction(1, 2)))
+
+
+def test_node_is():
+    node = DocNode("x")
+    assert NodeIs(node.uid).matches(node)
+    assert not NodeIs(node.uid).matches(DocNode("x"))
+
+
+def test_combinators():
+    node = DocNode("full professor")
+    both = suffix("professor") & LabelSuffix("full professor")
+    assert both.matches(node)
+    either = label("chair") | suffix("professor")
+    assert either.matches(node)
+    assert (~label("chair")).matches(node)
+    assert not (~suffix("professor")).matches(node)
+
+
+def test_shorthands():
+    assert isinstance(label("x"), LabelEquals)
+    assert isinstance(suffix("x"), LabelSuffix)

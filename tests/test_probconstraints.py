@@ -1,0 +1,176 @@
+"""Tests for probabilistic constraints under SNC and WNC (Section 7.4)."""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.core.evaluator import probability
+from repro.core.formulas import (
+    CountAtom,
+    DocumentEvaluator,
+    SFormula,
+    conjunction,
+    negation,
+)
+from repro.core.probconstraints import (
+    SNC,
+    WNC,
+    ProbabilisticConstraint,
+    ProbabilisticPXDB,
+)
+from repro.pdoc.pdocument import pdocument
+from repro.xmltree.parser import parse_selector
+
+
+def sel(text: str) -> SFormula:
+    pattern, node = parse_selector(text)
+    return SFormula(pattern, node)
+
+
+def student_pdoc(width: int = 3):
+    """root with `width` optional 'student' leaves (prob 1/2 each)."""
+    pd, root = pdocument("professor")
+    ind = root.ind()
+    for _ in range(width):
+        ind.add_edge("student", Fraction(1, 2))
+    pd.validate()
+    return pd
+
+
+def count_students(op: str, bound: int) -> CountAtom:
+    return CountAtom([sel("professor/$student")], op, bound)
+
+
+def test_components_weights_sum_to_one():
+    pd = student_pdoc()
+    prob_constraints = [
+        ProbabilisticConstraint(count_students(">=", 1), Fraction(7, 10)),
+        ProbabilisticConstraint(count_students("<=", 2), Fraction(9, 10)),
+    ]
+    for semantics in (SNC, WNC):
+        space = ProbabilisticPXDB(pd, prob_constraints, semantics)
+        assert sum(w for w, _ in space.components()) == 1
+
+
+def test_paper_example_snc_ill_defined():
+    """The paper's Section 7.4 example: "≥ 1 Ph.D. student" w.p. 0.7 and
+    "≤ N students" w.p. 0.9.  Under SNC, with probability 0.03 both
+    negations are imposed — unsatisfiable — so the space is ill-defined;
+    under WNC it is fine."""
+    pd = student_pdoc(width=3)
+    prob_constraints = [
+        ProbabilisticConstraint(count_students(">=", 1), Fraction(7, 10)),
+        ProbabilisticConstraint(count_students("<=", 3), Fraction(9, 10)),
+    ]
+    snc = ProbabilisticPXDB(pd, prob_constraints, SNC)
+    assert not snc.is_well_defined()
+    wnc = ProbabilisticPXDB(pd, prob_constraints, WNC)
+    assert wnc.is_well_defined()
+
+
+def test_snc_needs_all_four_combinations():
+    """With two threshold constraints on the *same* count, the combination
+    ¬C1 ∧ ¬C2 (x < a and x > b with a ≤ b) is always unsatisfiable, so SNC
+    is never well-defined — the general form of the paper's observation."""
+    pd = student_pdoc(width=3)
+    prob_constraints = [
+        ProbabilisticConstraint(count_students(">=", 1), Fraction(7, 10)),
+        ProbabilisticConstraint(count_students("<=", 2), Fraction(9, 10)),
+    ]
+    snc = ProbabilisticPXDB(pd, prob_constraints, SNC)
+    assert not snc.is_well_defined()
+
+
+def test_snc_well_defined_when_negations_satisfiable():
+    """Constraints over independent selectors: all four SNC combinations
+    are satisfiable, so the space is well-defined."""
+    pd, root = pdocument("professor")
+    ind = root.ind()
+    ind.add_edge("student", Fraction(1, 2))
+    ind.add_edge("grant", Fraction(1, 2))
+    pd.validate()
+    prob_constraints = [
+        ProbabilisticConstraint(count_students(">=", 1), Fraction(7, 10)),
+        ProbabilisticConstraint(
+            CountAtom([sel("professor/$grant")], ">=", 1), Fraction(9, 10)
+        ),
+    ]
+    snc = ProbabilisticPXDB(pd, prob_constraints, SNC)
+    assert snc.is_well_defined()
+
+
+def test_wnc_event_probability_by_hand():
+    """One constraint (≥1 student) imposed w.p. p: the mixture is
+    p · Pr(γ | C) + (1-p) · Pr(γ)."""
+    pd = student_pdoc(width=2)
+    c = count_students(">=", 1)
+    p = Fraction(3, 4)
+    space = ProbabilisticPXDB(pd, [ProbabilisticConstraint(c, p)], WNC)
+    event = count_students("=", 2)
+    p_event = probability(pd, event)
+    p_c = probability(pd, c)
+    p_joint = probability(pd, conjunction([c, event]))
+    expected = p * p_joint / p_c + (1 - p) * p_event
+    assert space.event_probability(event) == expected
+
+
+def test_snc_event_probability_by_hand():
+    pd = student_pdoc(width=2)
+    c = count_students(">=", 1)
+    p = Fraction(3, 4)
+    space = ProbabilisticPXDB(pd, [ProbabilisticConstraint(c, p)], SNC)
+    event = count_students("=", 2)
+    not_c = negation(c)
+    expected = p * probability(pd, conjunction([c, event])) / probability(pd, c) + (
+        1 - p
+    ) * probability(pd, conjunction([not_c, event])) / probability(pd, not_c)
+    assert space.event_probability(event) == expected
+
+
+def test_ill_defined_event_probability_raises():
+    pd = student_pdoc(width=1)
+    prob_constraints = [
+        ProbabilisticConstraint(count_students(">=", 1), Fraction(1, 2)),
+        ProbabilisticConstraint(count_students("=", 0), Fraction(1, 2)),
+    ]
+    snc = ProbabilisticPXDB(pd, prob_constraints, SNC)
+    with pytest.raises(ValueError):
+        snc.event_probability(count_students(">=", 0))
+
+
+def test_sampling_respects_mixture():
+    """Sampled worlds must satisfy the sampled component; empirically the
+    event frequency must approach the mixture probability."""
+    pd = student_pdoc(width=2)
+    c = count_students(">=", 1)
+    space = ProbabilisticPXDB(pd, [ProbabilisticConstraint(c, Fraction(3, 4))], WNC)
+    event = count_students(">=", 1)
+    target = float(space.event_probability(event))
+    rng = random.Random(21)
+    n = 1500
+    hits = 0
+    for _ in range(n):
+        document = space.sample(rng)
+        if DocumentEvaluator().satisfies(document.root, event):
+            hits += 1
+    assert abs(hits / n - target) < 0.05
+
+
+def test_degenerate_probabilities():
+    pd = student_pdoc(width=1)
+    c = count_students(">=", 1)
+    sure = ProbabilisticPXDB(pd, [ProbabilisticConstraint(c, 1)], SNC)
+    assert len(sure.components()) == 1
+    assert sure.event_probability(c) == 1
+    never = ProbabilisticPXDB(pd, [ProbabilisticConstraint(c, 0)], WNC)
+    assert never.event_probability(c) == probability(pd, c)
+
+
+def test_probability_validation():
+    with pytest.raises(ValueError):
+        ProbabilisticConstraint(count_students(">=", 1), Fraction(3, 2))
+    with pytest.raises(ValueError):
+        ProbabilisticPXDB(student_pdoc(), [], semantics="sncc")

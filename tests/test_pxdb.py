@@ -1,0 +1,119 @@
+"""Integration tests for the PXDB facade (Section 3.2 / Section 4)."""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.baseline.naive import conditional_world_distribution
+from repro.core.constraints import always
+from repro.core.formulas import CountAtom, SFormula, TRUE, exists
+from repro.core.pxdb import PXDB
+from repro.core.query import selector
+from repro.pdoc.pdocument import pdocument
+from repro.xmltree.parser import parse_boolean_pattern, parse_selector
+
+
+def sel(text: str) -> SFormula:
+    pattern, node = parse_selector(text)
+    return SFormula(pattern, node)
+
+
+def build_pdoc():
+    pd, root = pdocument("shop")
+    items = root.ind()
+    items.add_edge("apple", Fraction(1, 2))
+    items.add_edge("apple", Fraction(1, 2))
+    items.add_edge("pear", Fraction(1, 2))
+    pd.validate()
+    return pd
+
+
+def test_pxdb_rejects_inconsistent_constraints():
+    pd = build_pdoc()
+    impossible = always(sel("$shop"), sel("*/$plum"), ">=", 1)
+    with pytest.raises(ValueError, match="not well-defined"):
+        PXDB(pd, [impossible])
+    # check=False defers the failure
+    db = PXDB(pd, [impossible], check=False)
+    assert not db.is_well_defined()
+
+
+def test_constraint_probability_and_caching():
+    pd = build_pdoc()
+    c = always(sel("$shop"), sel("*/$apple"), ">=", 1)
+    db = PXDB(pd, [c])
+    value = db.constraint_probability()
+    assert value == Fraction(3, 4)
+    assert db.constraint_probability() is db.constraint_probability()  # cached
+
+
+def test_mixed_constraints_and_formulas():
+    pd = build_pdoc()
+    c = always(sel("$shop"), sel("*/$apple"), ">=", 1)
+    raw = CountAtom([sel("shop/$pear")], "<=", 1)
+    db = PXDB(pd, [c, raw])
+    assert db.is_well_defined()
+
+
+def test_event_probability_is_conditional():
+    pd = build_pdoc()
+    c = always(sel("$shop"), sel("*/$apple"), ">=", 1)
+    db = PXDB(pd, [c])
+    two_apples = CountAtom([sel("shop/$apple")], "=", 2)
+    assert db.event_probability(two_apples) == Fraction(1, 4) / Fraction(3, 4)
+    assert db.event_probability(TRUE) == 1
+
+
+def test_boolean_query():
+    pd = build_pdoc()
+    db = PXDB(pd)
+    assert db.boolean_query(parse_boolean_pattern("shop/pear")) == Fraction(1, 2)
+
+
+def test_query_labels_and_sample_roundtrip():
+    pd = build_pdoc()
+    c = always(sel("$shop"), sel("*/$apple"), ">=", 1)
+    db = PXDB(pd, [c])
+    labels = db.query_labels("shop/$*")
+    # Pr(a specific apple | >= 1 apple) = (1/2) / (3/4) = 2/3.
+    assert labels[("apple",)] == Fraction(2, 3)
+    assert labels[("pear",)] == Fraction(1, 2)  # independent of the condition
+    rng = random.Random(2)
+    for _ in range(10):
+        document = db.sample(rng)
+        assert any(c.label == "apple" for c in document.root.children)
+
+
+def test_document_probability_conditional():
+    pd = build_pdoc()
+    c = always(sel("$shop"), sel("*/$apple"), ">=", 1)
+    db = PXDB(pd, [c])
+    exact = conditional_world_distribution(pd, db.condition)
+    for uids, p in exact.items():
+        assert db.document_probability(pd.document_from_uids(uids)) == p
+    total = sum(
+        db.document_probability(pd.document_from_uids(uids)) for uids in exact
+    )
+    assert total == 1
+
+
+def test_document_probability_of_violating_world():
+    pd = build_pdoc()
+    c = always(sel("$shop"), sel("*/$apple"), ">=", 1)
+    db = PXDB(pd, [c])
+    root_uid = pd.root.uid
+    bare = pd.document_from_uids(frozenset({root_uid}))
+    assert db.document_probability(bare) == 0
+
+
+def test_empty_constraint_set_is_prior():
+    pd = build_pdoc()
+    db = PXDB(pd)
+    assert db.constraint_probability() == 1
+    f = exists(parse_boolean_pattern("shop/apple"))
+    from repro.core.evaluator import probability
+
+    assert db.event_probability(f) == probability(pd, f)

@@ -1,0 +1,159 @@
+"""Tests for queries (Section 2.4) and query evaluation EVAL⟨Q,C⟩ (Sec 4/5)."""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.baseline.naive import conditional_world_distribution
+from repro.core.constraints import always
+from repro.core.formulas import CountAtom, DocumentEvaluator, SFormula, TRUE
+from repro.core.pxdb import PXDB
+from repro.core.query import Query, selector
+from repro.core.query_eval import (
+    boolean_query_probability,
+    candidate_tuples,
+    decode_answers,
+    evaluate_query,
+)
+from repro.pdoc.enumerate import world_distribution
+from repro.pdoc.pdocument import PNode, pdocument
+from repro.workloads.random_gen import random_pdocument
+from repro.xmltree.document import Document, doc
+from repro.xmltree.parser import parse_boolean_pattern, parse_selector
+
+
+@pytest.fixture()
+def library():
+    return Document(
+        doc(
+            "library",
+            doc("shelf", doc("book", doc("title", "A")), doc("book", doc("title", "B"))),
+            doc("shelf", doc("book", doc("title", "C"))),
+        )
+    )
+
+
+def test_deterministic_answers(library):
+    q = Query.parse("library/shelf/book/title/$*")
+    assert q.answer_labels(library) == {("A",), ("B",), ("C",)}
+
+
+def test_multi_projection_answers(library):
+    q = Query.parse("library/$1:shelf/book/title/$2:*")
+    labels = q.answer_labels(library)
+    assert labels == {("shelf", "A"), ("shelf", "B"), ("shelf", "C")}
+    assert len(q.answers(library)) == 3  # distinct shelf nodes
+
+
+def test_query_parse_requires_projection():
+    with pytest.raises(ValueError):
+        Query.parse("a/b")
+
+
+def test_query_alpha_filters_answers(library):
+    # shelves whose subtree has >= 2 books
+    base = Query.parse("library/$shelf")
+    pattern, node = base.pattern, base.projection[0]
+    two_books = CountAtom([selector("*/$book")], ">=", 2)
+    q = Query(pattern, [node], alpha={id(node): two_books})
+    answers = q.answers(library)
+    assert len(answers) == 1
+
+
+def naive_query_eval(query, pdoc, condition=TRUE):
+    """Ground truth: per-tuple probabilities over the conditional worlds."""
+    dist = conditional_world_distribution(pdoc, condition)
+    table = {}
+    for uids, p in dist.items():
+        document = pdoc.document_from_uids(uids)
+        for answer in query.answers(document):
+            key = tuple(node.uid for node in answer)
+            table[key] = table.get(key, Fraction(0)) + p
+    return table
+
+
+def simple_pdoc():
+    pd, root = pdocument("library")
+    shelf = root.ordinary("shelf")
+    books = shelf.ind()
+    b1 = PNode("ord", "book")
+    b1.ordinary("title").ordinary("A")
+    books.add_edge(b1, Fraction(1, 2))
+    b2 = PNode("ord", "book")
+    b2.ordinary("title").ordinary("B")
+    books.add_edge(b2, Fraction(1, 4))
+    pd.validate()
+    return pd
+
+
+def test_candidate_tuples_from_skeleton():
+    pd = simple_pdoc()
+    q = Query.parse("library/shelf/book/title/$*")
+    assert len(candidate_tuples(q, pd)) == 2
+
+
+def test_query_eval_unconditioned():
+    pd = simple_pdoc()
+    q = Query.parse("library/shelf/$book")
+    table = evaluate_query(q, pd)
+    assert sorted(table.values()) == [Fraction(1, 4), Fraction(1, 2)]
+    assert table == naive_query_eval(q, pd)
+
+
+def test_query_eval_conditioned():
+    pd = simple_pdoc()
+    # constraint: the shelf has at least one book
+    c = always(selector("library/$shelf"), selector("*/$book"), ">=", 1)
+    condition = c.to_cformula()
+    q = Query.parse("library/shelf/$book")
+    table = evaluate_query(q, pd, condition)
+    assert table == naive_query_eval(q, pd, condition)
+    # conditioning raises both probabilities
+    assert all(v > Fraction(1, 4) for v in table.values())
+
+
+def test_query_eval_keeps_zero_when_asked():
+    pd = simple_pdoc()
+    # bind to an impossible combination: both books with a 'C' title
+    q = Query.parse("library/shelf/book/title/$C")
+    table = evaluate_query(q, pd, keep_zero=True)
+    assert table == {}
+
+
+def test_query_eval_multi_projection_matches_naive():
+    rng = random.Random(13)
+    for _ in range(15):
+        pd = random_pdocument(rng, max_nodes=7)
+        q = Query.parse("$1:*//$2:*")
+        assert evaluate_query(q, pd, keep_zero=False) == {
+            k: v for k, v in naive_query_eval(q, pd).items() if v > 0
+        }
+
+
+def test_boolean_query_probability_equals_event():
+    pd = simple_pdoc()
+    pattern = parse_boolean_pattern("library/shelf/book")
+    c = always(selector("library/$shelf"), selector("*/$book"), "<=", 1)
+    value = boolean_query_probability(pattern, pd, c.to_cformula())
+    db = PXDB(pd, [c])
+    from repro.core.formulas import exists
+
+    assert value == db.event_probability(exists(pattern))
+
+
+def test_decode_answers():
+    pd = simple_pdoc()
+    q = Query.parse("library/shelf/book/title/$*")
+    table = evaluate_query(q, pd)
+    decoded = decode_answers(table, pd)
+    assert decoded == {("A",): Fraction(1, 2), ("B",): Fraction(1, 4)}
+
+
+def test_inconsistent_condition_rejected():
+    pd = simple_pdoc()
+    c = always(selector("$library"), selector("*//$book"), ">=", 5)
+    with pytest.raises(ValueError):
+        evaluate_query(Query.parse("library/$shelf"), pd, c.to_cformula())

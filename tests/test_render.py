@@ -1,0 +1,112 @@
+"""Round-trip tests for the pattern/constraint renderer."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.constraints import Constraint
+from repro.core.constraint_parser import parse_constraint
+from repro.core.formulas import SFormula, select
+from repro.pdoc.generate import random_instance
+from repro.workloads.random_gen import random_pdocument, random_selector
+from repro.workloads.university import c2, figure2_document
+from repro.xmltree.parser import parse_pattern, parse_selector
+from repro.xmltree.render import (
+    RenderError,
+    constraint_to_string,
+    pattern_to_string,
+    render_predicate,
+    selector_to_string,
+)
+from repro.xmltree.predicates import ANY, LabelEquals, LabelSuffix, NodeIs
+
+
+def round_trip_selector(text: str) -> str:
+    pattern, node = parse_selector(text)
+    return selector_to_string(SFormula(pattern, node))
+
+
+@pytest.mark.parametrize(
+    "text",
+    [
+        "university/$department",
+        "*//$member[position/~'professor'][position/chair]",
+        "*//'ph.d. st.'/$name",
+        "$*[position/'full professor']",
+        "a//b/$c[d][//e]",
+        "values/$42",
+    ],
+)
+def test_selector_round_trip_reparses_identically(text):
+    rendered = round_trip_selector(text)
+    pattern1, node1 = parse_selector(text)
+    pattern2, node2 = parse_selector(rendered)
+    # Equivalence check: same selected sets on random documents.
+    rng = random.Random(hash(text) % 10**6)
+    for _ in range(10):
+        pdoc = random_pdocument(rng, labels=("a", "b", "c", "d", "e"))
+        document = random_instance(pdoc, rng)
+        left = {v.uid for v in select(document.root, SFormula(pattern1, node1))}
+        right = {v.uid for v in select(document.root, SFormula(pattern2, node2))}
+        assert left == right
+
+
+def test_render_random_selectors():
+    rng = random.Random(99)
+    for _ in range(60):
+        sformula = random_selector(rng)
+        rendered = selector_to_string(sformula)
+        pattern2, node2 = parse_selector(rendered)
+        for _ in range(5):
+            pdoc = random_pdocument(rng)
+            document = random_instance(pdoc, rng)
+            left = {v.uid for v in select(document.root, sformula)}
+            right = {v.uid for v in select(document.root, SFormula(pattern2, node2))}
+            assert left == right, rendered
+
+
+def test_quoting_rules():
+    assert render_predicate(LabelEquals("ph.d. st.")) == "'ph.d. st.'"
+    assert render_predicate(LabelEquals(42)) == "42"
+    assert render_predicate(LabelEquals("42")) == "'42'"  # string, not numeric
+    assert render_predicate(LabelSuffix("full professor")) == "~'full professor'"
+    assert render_predicate(ANY) == "*"
+
+
+def test_unrenderable_predicates_rejected():
+    with pytest.raises(RenderError):
+        render_predicate(NodeIs(7))
+
+
+def test_pattern_without_projection():
+    pattern, _ = parse_pattern("a/b[c]//d")
+    rendered = pattern_to_string(pattern)
+    reparsed, _ = parse_pattern(rendered)
+    assert reparsed.size() == pattern.size()
+
+
+def test_constraint_round_trip():
+    constraint = c2()
+    text = constraint_to_string(constraint)
+    assert text.startswith("C2: forall")
+    reparsed = parse_constraint(text.split(": ", 1)[1], name="C2")
+    figure2 = figure2_document()
+    assert reparsed.satisfied_by(figure2) == constraint.satisfied_by(figure2)
+    # and on a counterexample
+    broken = figure2.copy()
+    mary_position = broken.root.children[0].children[0].children[1]
+    chair = next(c for c in mary_position.children if c.label == "chair")
+    mary_position._children.remove(chair)
+    assert reparsed.satisfied_by(broken) == constraint.satisfied_by(broken)
+
+
+def test_augmented_selector_rejected():
+    from repro.core.formulas import CountAtom
+
+    base_pattern, node = parse_selector("a/$b")
+    base = SFormula(base_pattern, node)
+    refined = base.with_alpha(node, CountAtom([base], ">=", 1))
+    with pytest.raises(RenderError):
+        selector_to_string(refined)

@@ -1,0 +1,92 @@
+"""Tests for the screen-scraping workload generator."""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.pdoc.enumerate import world_probability
+from repro.workloads.scraping import ScrapeModel, corrupt_label, scrape, truth_world
+from repro.xmltree.document import Document, doc
+
+
+@pytest.fixture()
+def truth():
+    return Document(
+        doc(
+            "listing",
+            doc("flat", doc("rooms", 3), doc("price", 1200)),
+            doc("flat", doc("rooms", 2), doc("price", 900)),
+        )
+    )
+
+
+def test_scrape_produces_valid_pdocument(truth):
+    pdoc = scrape(truth, rng=random.Random(1))
+    pdoc.validate()
+    assert pdoc.root.label == "listing"
+
+
+def test_true_nodes_keep_uids(truth):
+    pdoc = scrape(truth, ScrapeModel(spurious=0, ambiguity=0), random.Random(2))
+    scraped = {n.uid for n in pdoc.ordinary_nodes()}
+    assert truth.uid_set() <= scraped
+
+
+def test_truth_world_has_positive_probability(truth):
+    rng = random.Random(3)
+    model = ScrapeModel(spurious=0, ambiguity=0)
+    pdoc = scrape(truth, model, rng)
+    world = truth_world(truth, pdoc)
+    assert world == truth.uid_set()
+    assert world_probability(pdoc, world) > 0
+
+
+def test_confidence_range_respected(truth):
+    model = ScrapeModel(
+        confidence_low=Fraction(1, 2),
+        confidence_high=Fraction(3, 4),
+        ambiguity=0,
+        spurious=0,
+    )
+    pdoc = scrape(truth, model, random.Random(4))
+    for node, index in pdoc.dist_edges():
+        p = pdoc.edge_prob(node, index)
+        assert Fraction(1, 2) <= p <= Fraction(3, 4)
+
+
+def test_sure_depth_keeps_skeleton(truth):
+    model = ScrapeModel(sure_depth=2, ambiguity=0, spurious=0)
+    pdoc = scrape(truth, model, random.Random(5))
+    flats = [n for n in pdoc.ordinary_nodes() if n.label == "flat"]
+    for flat in flats:
+        assert flat.parent.kind == "ord"  # depth-1 nodes attach surely
+
+
+def test_ambiguity_generates_mux(truth):
+    model = ScrapeModel(ambiguity=1.0, spurious=0)
+    pdoc = scrape(truth, model, random.Random(6))
+    assert any(n.kind == "mux" for n in pdoc.nodes())
+
+
+def test_spurious_nodes_are_fresh(truth):
+    model = ScrapeModel(spurious=1.0, ambiguity=0)
+    pdoc = scrape(truth, model, random.Random(7))
+    spurious = [n for n in pdoc.ordinary_nodes() if n.label == "spurious"]
+    assert spurious
+    assert all(n.uid not in truth.uid_set() for n in spurious)
+    assert truth_world(truth, pdoc) == truth.uid_set()
+
+
+def test_corrupt_label_changes_value():
+    rng = random.Random(8)
+    for label in ("price", "a", 42):
+        corrupted = corrupt_label(label, rng)
+        assert corrupted != label
+
+
+def test_model_validation():
+    with pytest.raises(ValueError):
+        ScrapeModel(confidence_low=Fraction(3, 4), confidence_high=Fraction(1, 2))

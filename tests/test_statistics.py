@@ -1,0 +1,106 @@
+"""Tests for the PXDB statistics module (expected counts, distributions)."""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.baseline.naive import conditional_world_distribution
+from repro.core.formulas import CountAtom, DocumentEvaluator, SFormula, TRUE
+from repro.core.statistics import (
+    count_distribution,
+    count_variance,
+    expected_count,
+    expected_sum,
+    membership_probabilities,
+)
+from repro.pdoc.pdocument import pdocument
+from repro.workloads.random_gen import random_pdocument, random_selector
+from repro.xmltree.parser import parse_selector
+
+
+def sel(text: str) -> SFormula:
+    pattern, node = parse_selector(text)
+    return SFormula(pattern, node)
+
+
+def build_pdoc():
+    pd, root = pdocument("r")
+    ind = root.ind()
+    ind.add_edge("a", Fraction(1, 2))
+    ind.add_edge("a", Fraction(1, 4))
+    ind.add_edge(6, Fraction(1, 3))
+    pd.validate()
+    return pd
+
+
+def test_membership_probabilities():
+    pd = build_pdoc()
+    table = membership_probabilities(sel("r/$a"), pd)
+    assert sorted(table.values()) == [Fraction(1, 4), Fraction(1, 2)]
+
+
+def test_expected_count_linearity():
+    pd = build_pdoc()
+    assert expected_count(sel("r/$a"), pd) == Fraction(3, 4)
+    assert expected_count(sel("r/$*"), pd) == Fraction(3, 4) + Fraction(1, 3)
+
+
+def test_expected_count_conditional():
+    pd = build_pdoc()
+    condition = CountAtom([sel("r/$a")], ">=", 1)
+    value = expected_count(sel("r/$a"), pd, condition)
+    # by hand: E[count | count >= 1] = Pr(1)*1 + Pr(2)*2 over Pr(>=1)
+    p2 = Fraction(1, 2) * Fraction(1, 4)
+    p1 = Fraction(1, 2) * Fraction(3, 4) + Fraction(1, 2) * Fraction(1, 4)
+    assert value == (p1 + 2 * p2) / (p1 + p2)
+
+
+def test_count_distribution_matches_enumeration():
+    rng = random.Random(9)
+    for _ in range(10):
+        pd = random_pdocument(rng, max_nodes=7)
+        sformula = random_selector(rng)
+        dist = count_distribution(sformula, pd)
+        assert sum(dist.values()) == 1
+        reference: dict[int, Fraction] = {}
+        for uids, p in conditional_world_distribution(pd, TRUE).items():
+            document = pd.document_from_uids(uids)
+            count = len(DocumentEvaluator().select(document.root, sformula))
+            reference[count] = reference.get(count, Fraction(0)) + p
+        assert dist == reference
+
+
+def test_count_variance_against_distribution():
+    pd = build_pdoc()
+    sformula = sel("r/$a")
+    dist = count_distribution(sformula, pd)
+    mean = sum(Fraction(k) * p for k, p in dist.items())
+    variance = sum((Fraction(k) - mean) ** 2 * p for k, p in dist.items())
+    assert count_variance(sformula, pd) == variance
+
+
+def test_expected_sum_is_polynomial_in_spirit():
+    pd = build_pdoc()
+    assert expected_sum(sel("r/$*"), pd) == 6 * Fraction(1, 3)
+    # the a-leaves are non-numeric, so only the 6 contributes
+
+
+def test_expected_sum_on_subset_sum_gadget():
+    """Even on the Prop 7.2 gadget, E[SUM] is trivially (sum of items)/2."""
+    from repro.aggregates.hardness import subset_sum_pdocument
+
+    items = [3, 5, 7, 11, 13]
+    pd = subset_sum_pdocument(items)
+    assert expected_sum(sel("items/$*"), pd) == Fraction(sum(items), 2)
+
+
+def test_inconsistent_condition_raises():
+    pd = build_pdoc()
+    impossible = CountAtom([sel("r/$zzz")], ">=", 1)
+    with pytest.raises(ValueError):
+        expected_count(sel("r/$a"), pd, impossible)
+    with pytest.raises(ValueError):
+        count_distribution(sel("r/$a"), pd, impossible)

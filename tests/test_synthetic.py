@@ -1,0 +1,79 @@
+"""Tests for the synthetic workload generators."""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+
+from repro.core.evaluator import probability
+from repro.core.formulas import CountAtom, SFormula, exists
+from repro.workloads.random_gen import random_formula, random_pdocument
+from repro.workloads.synthetic import (
+    binary_pdocument,
+    chain_pdocument,
+    exp_pdocument,
+    numeric_pdocument,
+    star_pdocument,
+)
+from repro.xmltree.parser import parse_boolean_pattern, parse_selector
+
+
+def sel(text: str) -> SFormula:
+    pattern, node = parse_selector(text)
+    return SFormula(pattern, node)
+
+
+def test_chain_shape_and_probability():
+    pd = chain_pdocument(depth=5, prob=Fraction(1, 2))
+    assert pd.ordinary_size() == 6
+    assert len(pd.dist_edges()) == 5
+    # all five levels present with probability (1/2)^5
+    deep = CountAtom([sel("root//$a")], "=", 5)
+    assert probability(pd, deep) == Fraction(1, 32)
+
+
+def test_star_shape():
+    pd = star_pdocument(width=10, prob=Fraction(1, 10))
+    assert pd.ordinary_size() == 11
+    none = CountAtom([sel("root/$a")], "=", 0)
+    assert probability(pd, none) == Fraction(9, 10) ** 10
+
+
+def test_binary_tree_validates_and_evaluates():
+    pd = binary_pdocument(depth=4, seed=3)
+    assert pd.ordinary_size() > 1
+    f = exists(parse_boolean_pattern("root//L"))
+    value = probability(pd, f)
+    assert 0 < value < 1
+
+
+def test_numeric_workload():
+    pd = numeric_pdocument(width=6, value_range=5, seed=2)
+    from repro.xmltree.predicates import is_numeric_label
+
+    numeric = [n for n in pd.ordinary_nodes() if is_numeric_label(n.label)]
+    assert len(numeric) == 6
+
+
+def test_exp_workload_correlation():
+    pd = exp_pdocument(groups=2, seed=4)
+    pd.validate()
+    # children 0 and 1 of each group are perfectly correlated
+    from repro.pdoc.enumerate import world_distribution
+
+    exp_nodes = [n for n in pd.distributional_nodes()]
+    for exp in exp_nodes:
+        a, b = exp.children[0], exp.children[1]
+        for uids, p in world_distribution(pd).items():
+            if p > 0:
+                assert (a.uid in uids) == (b.uid in uids)
+
+
+def test_random_generators_produce_valid_instances():
+    rng = random.Random(10)
+    for _ in range(30):
+        pd = random_pdocument(rng, allow_exp=True, numeric=True)
+        pd.validate()
+        formula = random_formula(rng, allow_minmax=True)
+        value = probability(pd, formula)
+        assert 0 <= value <= 1

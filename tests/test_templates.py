@@ -1,0 +1,109 @@
+"""Tests for the constraint-template library."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import templates
+from repro.core.constraints import satisfies_all
+from repro.xmltree.document import Document, doc
+
+
+@pytest.fixture()
+def store():
+    return Document(
+        doc(
+            "store",
+            doc("aisle", doc("item", "apple"), doc("item", "pear"), "sign"),
+            doc("aisle", doc("item", "milk")),
+        )
+    )
+
+
+def test_at_most(store):
+    assert templates.at_most("store/$aisle", "*/$item", 2).satisfied_by(store)
+    assert not templates.at_most("store/$aisle", "*/$item", 1).satisfied_by(store)
+
+
+def test_at_least(store):
+    assert templates.at_least("store/$aisle", "*/$item", 1).satisfied_by(store)
+    assert not templates.at_least("store/$aisle", "*/$item", 2).satisfied_by(store)
+
+
+def test_exactly(store):
+    assert templates.exactly("$store", "*/$aisle", 2).satisfied_by(store)
+    assert not templates.exactly("$store", "*/$aisle", 3).satisfied_by(store)
+
+
+def test_between(store):
+    both = templates.between("store/$aisle", "*/$item", 1, 2)
+    assert len(both) == 2
+    assert satisfies_all(store, both)
+    assert not satisfies_all(store, templates.between("store/$aisle", "*/$item", 2, 3))
+
+
+def test_between_rejects_empty_range():
+    with pytest.raises(ValueError):
+        templates.between("$a", "*/$b", 3, 1)
+
+
+def test_unique(store):
+    assert templates.unique("store/$aisle", "*/$sign").satisfied_by(store)
+    assert not templates.unique("store/$aisle", "*/$item").satisfied_by(store)
+    assert templates.unique("$a", "*/$b").name == "unique"
+
+
+def test_requires(store):
+    # an aisle with a sign must have at least one item: holds
+    assert templates.requires("store/$aisle", "*/$sign", "*/$item").satisfied_by(store)
+    # an aisle with an item must have a sign: fails for the milk aisle
+    assert not templates.requires("store/$aisle", "*/$item", "*/$sign").satisfied_by(
+        store
+    )
+
+
+def test_excludes(store):
+    assert templates.excludes("store/$aisle", "*/$lamp", "*/$item").satisfied_by(store)
+    assert not templates.excludes("store/$aisle", "*/$sign", "*/$item").satisfied_by(
+        store
+    )
+
+
+def test_implies_within(store):
+    c = templates.implies_within(
+        "store/$aisle", "*/$item", ">=", 2, "*/$sign", ">=", 1, name="busy-aisle"
+    )
+    assert c.satisfied_by(store)
+    assert c.name == "busy-aisle"
+
+
+def test_conditional_presence(store):
+    c = templates.conditional_presence("store/$aisle", "sign", "item")
+    assert c.satisfied_by(store)
+    c2 = templates.conditional_presence("store/$aisle", "item", "sign")
+    assert not c2.satisfied_by(store)
+    assert "sign-needs-item" == templates.conditional_presence(
+        "store/$aisle", "sign", "item"
+    ).name
+
+
+def test_templates_accept_sformulas(store):
+    from repro.core.query import selector
+
+    scope = selector("store/$aisle")
+    items = selector("*/$item")
+    assert templates.at_most(scope, items, 2).satisfied_by(store)
+
+
+def test_templates_compose_with_pxdb():
+    from fractions import Fraction
+
+    from repro.core.pxdb import PXDB
+    from repro.pdoc.pdocument import pdocument
+
+    pd, root = pdocument("store")
+    aisle = root.ordinary("aisle")
+    aisle.ind().add_edge("item", Fraction(1, 2))
+    pd.validate()
+    db = PXDB(pd, [templates.at_least("store/$aisle", "*/$item", 1)])
+    assert db.constraint_probability() == Fraction(1, 2)

@@ -1,0 +1,154 @@
+"""Tests for exact top-k worlds of a PXDB."""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.baseline.naive import conditional_world_distribution
+from repro.core.formulas import CountAtom, SFormula, TRUE
+from repro.core.topk import has_stacked_distributional_nodes, top_k_worlds
+from repro.pdoc.pdocument import PNode, pdocument
+from repro.workloads.random_gen import random_formula, random_pdocument
+from repro.xmltree.parser import parse_selector
+
+
+def sel(text: str) -> SFormula:
+    pattern, node = parse_selector(text)
+    return SFormula(pattern, node)
+
+
+def flat_pdoc():
+    pd, root = pdocument("r")
+    ind = root.ind()
+    ind.add_edge("a", Fraction(9, 10))
+    ind.add_edge("b", Fraction(2, 10))
+    mux = root.mux()
+    mux.add_edge("c", Fraction(3, 10))
+    mux.add_edge("d", Fraction(6, 10))
+    pd.validate()
+    return pd
+
+
+def reference_ranking(pdoc, condition=TRUE):
+    dist = conditional_world_distribution(pdoc, condition)
+    return sorted(dist.items(), key=lambda kv: (-kv[1], sorted(kv[0])))
+
+
+def test_flat_detection():
+    assert not has_stacked_distributional_nodes(flat_pdoc())
+    pd, root = pdocument("r")
+    outer = root.ind()
+    inner = PNode("ind")
+    outer.add_edge(inner, Fraction(1, 2))
+    inner.add_edge("x", Fraction(1, 2))
+    pd.validate()
+    assert has_stacked_distributional_nodes(pd)
+
+
+def test_top_k_matches_enumeration_unconditioned():
+    pdoc = flat_pdoc()
+    reference = reference_ranking(pdoc)
+    results = top_k_worlds(pdoc, 4)
+    assert len(results) == 4
+    for (document, prob), (uids, expected) in zip(results, reference):
+        assert prob == expected
+        assert document.uid_set() == uids or prob == expected  # ties may permute
+
+
+def test_top_k_probabilities_decreasing():
+    pdoc = flat_pdoc()
+    results = top_k_worlds(pdoc, 12)  # 2·2 ind combos × 3 mux outcomes
+    values = [p for _, p in results]
+    assert values == sorted(values, reverse=True)
+    assert sum(values) == 1
+    assert len(results) == 12
+
+
+def test_top_k_conditioned():
+    pdoc = flat_pdoc()
+    condition = CountAtom([sel("r/$a")], ">=", 1)
+    reference = reference_ranking(pdoc, condition)
+    results = top_k_worlds(pdoc, 3, condition)
+    assert [p for _, p in results] == [p for _, p in reference[:3]]
+    for document, _ in results:
+        assert any(c.label == "a" for c in document.root.children)
+
+
+def test_top_k_handles_k_larger_than_support():
+    pdoc = flat_pdoc()
+    condition = CountAtom([sel("r/$a")], ">=", 1) & CountAtom([sel("r/$c")], ">=", 1)
+    results = top_k_worlds(pdoc, 100, condition)
+    reference = reference_ranking(pdoc, condition)
+    assert len(results) == len(reference)
+    assert sum(p for _, p in results) == 1
+
+
+def test_top_k_zero_and_inconsistent():
+    pdoc = flat_pdoc()
+    assert top_k_worlds(pdoc, 0) == []
+    with pytest.raises(ValueError):
+        top_k_worlds(pdoc, 1, CountAtom([sel("r/$zzz")], ">=", 1))
+
+
+def test_top_k_stacked_falls_back_to_enumeration():
+    pd, root = pdocument("r")
+    outer = root.ind()
+    inner = PNode("ind")
+    outer.add_edge(inner, Fraction(1, 2))
+    inner.add_edge("x", Fraction(1, 2))
+    pd.validate()
+    results = top_k_worlds(pd, 2)
+    # worlds: {r} w.p. 3/4 (two assignments merge), {r, x} w.p. 1/4
+    assert [p for _, p in results] == [Fraction(3, 4), Fraction(1, 4)]
+
+
+def test_top_k_stacked_size_guard():
+    pd, root = pdocument("r")
+    outer = root.ind()
+    inner = PNode("ind")
+    outer.add_edge(inner, Fraction(1, 2))
+    for _ in range(25):
+        inner.add_edge("x", Fraction(1, 2))
+    pd.validate()
+    with pytest.raises(ValueError, match="stacked"):
+        top_k_worlds(pd, 1, max_enumeration_edges=20)
+
+
+def test_top_k_skipped_edge_admissibility_regression():
+    """Regression: an ind edge inside a subtree that an ancestor decision
+    can remove may be *skipped* (contributing weight 1), so bounding it by
+    max(p, 1-p) < 1 was non-admissible and broke the output order."""
+    pd, root = pdocument("c")
+    mux = root.mux()
+    mux.add_edge("b0", Fraction(1, 4))
+    ind = root.ind()
+    mid = PNode("ord", "b1")
+    ind.add_edge(mid, Fraction(1, 2))
+    mid.ind().add_edge("b2", Fraction(1, 2))
+    deep = mid.ordinary("b3")
+    deep.ind().add_edge("c4", Fraction(1, 2))
+    pd.validate()
+    reference = reference_ranking(pd)
+    got = [p for _, p in top_k_worlds(pd, len(reference))]
+    assert got == [p for _, p in reference]
+
+
+def test_top_k_randomized_against_enumeration():
+    rng = random.Random(3)
+    checked = 0
+    while checked < 12:
+        pdoc = random_pdocument(rng, max_nodes=7)
+        if has_stacked_distributional_nodes(pdoc):
+            continue
+        condition = random_formula(rng)
+        try:
+            reference = reference_ranking(pdoc, condition)
+        except ValueError:
+            continue
+        checked += 1
+        k = min(4, len(reference))
+        results = top_k_worlds(pdoc, k, condition)
+        assert [p for _, p in results] == [p for _, p in reference[:k]]

@@ -1,0 +1,208 @@
+"""Tests for the semantics-preserving p-document rewrites.
+
+Every rewrite must leave the *document distribution* untouched; the
+structural claims (fewer nodes, no ind-under-ind, …) are asserted on top.
+"""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+
+from repro.pdoc.enumerate import world_distribution
+from repro.pdoc.pdocument import EXP, IND, MUX, PDocument, PNode, pdocument
+from repro.pdoc.transform import (
+    collapse_ind_chains,
+    exp_to_ind_mux,
+    inline_sure_edges,
+    normalize,
+    prune_impossible,
+)
+from repro.workloads.random_gen import random_pdocument
+
+
+def assert_same_distribution(before: PDocument, after: PDocument) -> None:
+    assert world_distribution(before) == world_distribution(after)
+
+
+def test_prune_impossible_edges():
+    pd, root = pdocument("r")
+    ind = root.ind()
+    ind.add_edge("a", Fraction(1, 2))
+    dead = PNode("ord", "dead")
+    dead.ordinary("buried")
+    ind.add_edge(dead, Fraction(0))
+    pd.validate()
+    pruned = prune_impossible(pd)
+    assert_same_distribution(pd, pruned)
+    labels = {n.label for n in pruned.ordinary_nodes()}
+    assert "dead" not in labels and "buried" not in labels
+
+
+def test_prune_impossible_exp_subsets():
+    pd, root = pdocument("r")
+    exp = root.exp()
+    exp.add_exp_child("a")
+    exp.add_exp_child("never")
+    exp.set_exp_distribution(
+        [((0,), Fraction(1, 2)), ((0, 1), Fraction(0)), ((), Fraction(1, 2))]
+    )
+    pd.validate()
+    pruned = prune_impossible(pd)
+    assert_same_distribution(pd, pruned)
+    assert "never" not in {n.label for n in pruned.ordinary_nodes()}
+
+
+def test_prune_drops_emptied_distributional_nodes():
+    pd, root = pdocument("r")
+    ind = root.ind()
+    ind.add_edge("gone", Fraction(0))
+    root.ordinary("stay")
+    pd.validate()
+    pruned = prune_impossible(pd)
+    pruned.validate()  # the childless ind node must have disappeared
+    assert_same_distribution(pd, pruned)
+    assert all(n.kind != IND for n in pruned.nodes())
+
+
+def test_inline_sure_ind_edges():
+    pd, root = pdocument("r")
+    ind = root.ind()
+    ind.add_edge("sure", Fraction(1))
+    ind.add_edge("maybe", Fraction(1, 2))
+    pd.validate()
+    inlined = inline_sure_edges(pd)
+    assert_same_distribution(pd, inlined)
+    # 'sure' now hangs directly off the root
+    sure = next(n for n in inlined.ordinary_nodes() if n.label == "sure")
+    assert sure.parent.kind == "ord"
+
+
+def test_inline_single_sure_mux():
+    pd, root = pdocument("r")
+    mux = root.mux()
+    mux.add_edge("only", Fraction(1))
+    pd.validate()
+    inlined = inline_sure_edges(pd)
+    assert_same_distribution(pd, inlined)
+    assert all(n.kind != MUX for n in inlined.nodes())
+
+
+def test_collapse_single_edge_inner():
+    pd, root = pdocument("r")
+    outer = root.ind()
+    inner = PNode("ind")
+    outer.add_edge(inner, Fraction(1, 2))
+    inner.add_edge("x", Fraction(1, 2))
+    outer.add_edge("z", Fraction(1, 3))
+    pd.validate()
+    collapsed = collapse_ind_chains(pd)
+    assert_same_distribution(pd, collapsed)
+    ind_nodes = [n for n in collapsed.nodes() if n.kind == IND]
+    assert len(ind_nodes) == 1
+    assert sorted(map(str, ind_nodes[0].probs)) == ["1/3", "1/4"]
+
+
+def test_collapse_sure_outer_edge():
+    pd, root = pdocument("r")
+    outer = root.ind()
+    inner = PNode("ind")
+    outer.add_edge(inner, Fraction(1))  # surely reached: edges are top-level
+    inner.add_edge("x", Fraction(1, 2))
+    inner.add_edge("y", Fraction(1, 4))
+    pd.validate()
+    collapsed = collapse_ind_chains(pd)
+    assert_same_distribution(pd, collapsed)
+    ind_nodes = [n for n in collapsed.nodes() if n.kind == IND]
+    assert len(ind_nodes) == 1
+    assert sorted(map(str, ind_nodes[0].probs)) == ["1/2", "1/4"]
+
+
+def test_collapse_refuses_correlated_inner():
+    """The unsound general flattening (caught by the differential test):
+    a multi-child inner ind node under a fractional edge is correlated
+    through the inner node's existence and must stay put."""
+    pd, root = pdocument("r")
+    outer = root.ind()
+    inner = PNode("ind")
+    outer.add_edge(inner, Fraction(1, 2))
+    inner.add_edge("x", Fraction(1, 2))
+    inner.add_edge("y", Fraction(1, 4))
+    pd.validate()
+    collapsed = collapse_ind_chains(pd)
+    assert_same_distribution(pd, collapsed)
+    assert sum(1 for n in collapsed.nodes() if n.kind == IND) == 2
+
+
+def test_collapse_triple_chain():
+    pd, root = pdocument("r")
+    a = root.ind()
+    b = PNode("ind")
+    c = PNode("ind")
+    a.add_edge(b, Fraction(1, 2))
+    b.add_edge(c, Fraction(1, 2))
+    c.add_edge("deep", Fraction(1, 2))
+    pd.validate()
+    collapsed = collapse_ind_chains(pd)
+    assert_same_distribution(pd, collapsed)
+    only_ind = [n for n in collapsed.nodes() if n.kind == IND]
+    assert len(only_ind) == 1
+    assert only_ind[0].probs == [Fraction(1, 8)]
+
+
+def test_exp_to_ind_when_product_form():
+    pd, root = pdocument("r")
+    exp = root.exp()
+    exp.add_exp_child("a")
+    exp.add_exp_child("b")
+    # independent marginals 1/2 and 1/4, written out explicitly
+    exp.set_exp_distribution(
+        [
+            ((0, 1), Fraction(1, 8)),
+            ((0,), Fraction(3, 8)),
+            ((1,), Fraction(1, 8)),
+            ((), Fraction(3, 8)),
+        ]
+    )
+    pd.validate()
+    rewritten = exp_to_ind_mux(pd)
+    assert_same_distribution(pd, rewritten)
+    assert all(n.kind != EXP for n in rewritten.nodes())
+
+
+def test_exp_with_correlation_left_alone():
+    pd, root = pdocument("r")
+    exp = root.exp()
+    exp.add_exp_child("a")
+    exp.add_exp_child("b")
+    exp.set_exp_distribution([((0, 1), Fraction(1, 2)), ((), Fraction(1, 2))])
+    pd.validate()
+    rewritten = exp_to_ind_mux(pd)
+    assert_same_distribution(pd, rewritten)
+    assert any(n.kind == EXP for n in rewritten.nodes())
+
+
+def test_normalize_randomized():
+    rng = random.Random(15)
+    for _ in range(30):
+        pd = random_pdocument(rng, allow_exp=True)
+        normalized = normalize(pd)
+        assert_same_distribution(pd, normalized)
+        # no *single-edge* ind-under-ind survives normalization
+        for node in normalized.nodes():
+            if node.kind == IND:
+                for child, p in zip(node.children, node.probs):
+                    if child.kind == IND:
+                        assert len(child.children) > 1 and p != 1
+
+
+def test_normalize_never_mutates_input():
+    pd, root = pdocument("r")
+    ind = root.ind()
+    ind.add_edge("a", Fraction(0))
+    ind.add_edge("b", Fraction(1))
+    pd.validate()
+    before = world_distribution(pd)
+    normalize(pd)
+    assert world_distribution(pd) == before
+    assert len(pd.dist_edges()) == 2  # original untouched

@@ -1,0 +1,119 @@
+"""Unit tests for the generic tree algorithms (Section 2.1 vocabulary)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.xmltree import tree
+from repro.xmltree.document import DocNode, Document, doc
+
+
+@pytest.fixture()
+def sample():
+    #         r
+    #       / | \
+    #      a  b  c
+    #     / \     \
+    #    d   e     f
+    r = doc("r", doc("a", "d", "e"), "b", doc("c", "f"))
+    return Document(r)
+
+
+def _labels(nodes):
+    return [n.label for n in nodes]
+
+
+def test_preorder(sample):
+    assert _labels(tree.preorder(sample.root)) == ["r", "a", "d", "e", "b", "c", "f"]
+
+
+def test_postorder(sample):
+    assert _labels(tree.postorder(sample.root)) == ["d", "e", "a", "b", "f", "c", "r"]
+
+
+def test_bfs_order(sample):
+    assert _labels(tree.bfs_order(sample.root)) == ["r", "a", "b", "c", "d", "e", "f"]
+
+
+def test_ancestors_include_self(sample):
+    d = sample.find("d")
+    assert _labels(tree.ancestors(d)) == ["d", "a", "r"]
+
+
+def test_proper_ancestors_exclude_self(sample):
+    d = sample.find("d")
+    assert _labels(tree.proper_ancestors(d)) == ["a", "r"]
+
+
+def test_descendants_include_self(sample):
+    a = sample.find("a")
+    assert sorted(_labels(tree.descendants(a))) == ["a", "d", "e"]
+
+
+def test_proper_descendants(sample):
+    a = sample.find("a")
+    assert sorted(_labels(tree.proper_descendants(a))) == ["d", "e"]
+
+
+def test_is_ancestor_reflexive(sample):
+    a = sample.find("a")
+    assert tree.is_ancestor(a, a)
+    assert not tree.is_proper_ancestor(a, a)
+
+
+def test_is_proper_ancestor(sample):
+    r, d = sample.root, sample.find("d")
+    assert tree.is_proper_ancestor(r, d)
+    assert not tree.is_proper_ancestor(d, r)
+
+
+def test_root_of(sample):
+    assert tree.root_of(sample.find("f")) is sample.root
+
+
+def test_depth(sample):
+    assert tree.depth(sample.root) == 0
+    assert tree.depth(sample.find("d")) == 2
+
+
+def test_subtree_size(sample):
+    assert tree.subtree_size(sample.root) == 7
+    assert tree.subtree_size(sample.find("a")) == 3
+    assert tree.subtree_size(sample.find("b")) == 1
+
+
+def test_leaves(sample):
+    assert sorted(_labels(tree.leaves(sample.root))) == ["b", "d", "e", "f"]
+
+
+def test_path_between(sample):
+    path = tree.path_between(sample.root, sample.find("d"))
+    assert _labels(path) == ["r", "a", "d"]
+
+
+def test_path_between_self(sample):
+    a = sample.find("a")
+    assert tree.path_between(a, a) == [a]
+
+
+def test_path_between_rejects_non_ancestor(sample):
+    with pytest.raises(ValueError):
+        tree.path_between(sample.find("b"), sample.find("d"))
+
+
+def test_lowest_common_ancestor(sample):
+    d, e = sample.find("d"), sample.find("e")
+    assert tree.lowest_common_ancestor(d, e).label == "a"
+    f = sample.find("f")
+    assert tree.lowest_common_ancestor(d, f).label == "r"
+
+
+def test_lca_of_node_with_itself(sample):
+    d = sample.find("d")
+    assert tree.lowest_common_ancestor(d, d) is d
+
+
+def test_lca_rejects_disjoint_trees(sample):
+    other = DocNode("x")
+    with pytest.raises(ValueError):
+        tree.lowest_common_ancestor(sample.root, other)

@@ -1,0 +1,203 @@
+"""End-to-end tests on the paper's running example: Figures 1-2 and every
+worked example in the text (2.1, 2.3, 3.1, 3.2, 3.3, 3.4)."""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.baseline.naive import conditional_world_distribution, naive_probability
+from repro.core.constraints import constraints_formula, satisfies_all
+from repro.core.evaluator import probability
+from repro.core.formulas import DocumentEvaluator, exists, select
+from repro.core.pxdb import PXDB
+from repro.pdoc.enumerate import node_probability, world_probability
+from repro.workloads.university import (
+    Figure1,
+    figure1_constraints,
+    figure1_pxdb,
+    figure2_document,
+    s_chr,
+    s_dep,
+    s_mem,
+    s_st,
+    scaled_university,
+)
+from repro.xmltree.document import canonical_key
+from repro.xmltree.pattern import Pattern, PatternNode
+from repro.xmltree.predicates import ANY, NodeIs
+
+
+@pytest.fixture(scope="module")
+def pxdb(figure1):
+    return PXDB(figure1.pdoc, figure1_constraints())
+
+
+def node_event(uid: int):
+    """The c-formula 'the node with this uid appears in the document'."""
+    root = PatternNode(ANY)
+    root.descendant(NodeIs(uid))
+    return exists(Pattern(root))
+
+
+# -- Example 2.1: the selectors on Figure 2's instance --------------------------
+
+def test_example_2_1_s_dep(figure2):
+    assert [v.label for v in select(figure2.root, s_dep())] == ["department"]
+
+
+def test_example_2_1_s_chr(figure2):
+    selected = select(figure2.root, s_chr())
+    names = {v.children[0].children[0].label for v in selected}
+    assert names == {"Mary"}
+
+
+def test_example_2_1_s_mem_selects_all_members(figure2):
+    selected = select(figure2.root, s_mem())
+    assert len(selected) == 3
+    assert {v.label for v in selected} == {"member"}
+
+
+def test_example_2_1_s_st(figure2):
+    selected = select(figure2.root, s_st())
+    students = {v.children[0].label for v in selected}
+    assert students == {"David", "Nicole"}
+
+
+# -- Example 2.3: Figure 2 satisfies C1..C4 ---------------------------------------
+
+def test_example_2_3_figure2_satisfies_constraints(figure2, constraints_c1_c4):
+    assert satisfies_all(figure2, constraints_c1_c4)
+
+
+# -- Example 3.1: Mary's probabilities ---------------------------------------------
+
+def test_example_3_1_mary_chair_and_rank(figure1):
+    assert node_probability(figure1.pdoc, figure1.mary_chair.uid) == Fraction(7, 10)
+    assert node_probability(figure1.pdoc, figure1.mary_full.uid) == Fraction(3, 5)
+    assert node_probability(figure1.pdoc, figure1.mary_assistant.uid) == Fraction(2, 5)
+    # "she must be either a full or an assistant professor": the mux sums to 1
+    full_or_assistant = probability(
+        figure1.pdoc,
+        node_event(figure1.mary_full.uid) | node_event(figure1.mary_assistant.uid),
+    )
+    assert full_or_assistant == 1
+
+
+# -- Example 3.2: Pr(Amy) = 0.54 -----------------------------------------------------
+
+def test_example_3_2_amy_unconditioned(figure1):
+    assert node_probability(figure1.pdoc, figure1.amy.uid) == Fraction(27, 50)
+    assert probability(figure1.pdoc, node_event(figure1.amy.uid)) == Fraction(27, 50)
+
+
+# -- Example 3.3 / 3.4: the PXDB and the conditioned Amy probability -------------------
+
+def test_pxdb_is_well_defined(pxdb):
+    assert pxdb.is_well_defined()
+    assert 0 < pxdb.constraint_probability() < 1
+
+
+def test_constraint_probability_matches_naive(figure1, constraints_c1_c4):
+    formula = constraints_formula(constraints_c1_c4)
+    assert probability(figure1.pdoc, formula) == naive_probability(
+        figure1.pdoc, formula
+    )
+
+
+def test_example_3_4_amy_conditioned(figure1, pxdb):
+    """Under the constraints, Amy's probability shifts away from 0.54 —
+    the probabilistic dependencies of Example 3.4 at work — and the exact
+    value matches the enumerated conditional distribution."""
+    conditional = pxdb.event_probability(node_event(figure1.amy.uid))
+    assert conditional != Fraction(27, 50)
+    exact = conditional_world_distribution(figure1.pdoc, pxdb.condition)
+    expected = sum(p for uids, p in exact.items() if figure1.amy.uid in uids)
+    assert conditional == expected
+
+
+def test_example_3_4_dependency_chain(figure1, pxdb):
+    """Conditioned on Mary being a chair, Lisa cannot be one (C1)."""
+    mary_chair = node_event(figure1.mary_chair.uid)
+    lisa_chair = node_event(figure1.lisa_chair.uid)
+    both = pxdb.event_probability(mary_chair & lisa_chair)
+    assert both == 0
+    # ... while unconditioned they are independent and can co-occur.
+    assert probability(figure1.pdoc, mary_chair & lisa_chair) > 0
+
+
+def test_chair_must_be_full_professor(figure1, pxdb):
+    """C3 in action: Pr(Mary chair AND Mary assistant | C) = 0."""
+    event = node_event(figure1.mary_chair.uid) & node_event(
+        figure1.mary_assistant.uid
+    )
+    assert pxdb.event_probability(event) == 0
+
+
+# -- Figure 2 as a world of Figure 1 ----------------------------------------------------
+
+def test_figure2_is_a_world(figure1, figure2):
+    uids = figure1.figure2_uids()
+    world = figure1.pdoc.document_from_uids(uids)
+    assert canonical_key(world.root) == canonical_key(figure2.root)
+
+
+def test_figure2_probabilities(figure1, pxdb):
+    uids = figure1.figure2_uids()
+    prior = world_probability(figure1.pdoc, uids)
+    assert prior > 0
+    world = figure1.pdoc.document_from_uids(uids)
+    conditional = pxdb.document_probability(world)
+    assert conditional == prior / pxdb.constraint_probability()
+    assert conditional > prior
+
+
+# -- queries over the PXDB ----------------------------------------------------------------
+
+def test_query_students_over_pxdb(pxdb):
+    table = pxdb.query_labels("*//'ph.d. st.'/name/$*")
+    assert set(table) >= {("David",), ("Nicole",), ("Amy",)}
+    assert all(0 < p <= 1 for p in table.values())
+
+
+def test_query_matches_naive_conditional(figure1, pxdb):
+    """Per-tuple query probabilities agree with the enumerated PXDB."""
+    from repro.core.query import Query
+
+    query = Query.parse("*//'ph.d. st.'/name/$*")
+    table = pxdb.query(query)
+    exact = conditional_world_distribution(figure1.pdoc, pxdb.condition)
+    reference: dict[tuple[int, ...], Fraction] = {}
+    for uids, p in exact.items():
+        document = figure1.pdoc.document_from_uids(uids)
+        for answer in query.answers(document):
+            key = tuple(node.uid for node in answer)
+            reference[key] = reference.get(key, Fraction(0)) + p
+    assert table == reference
+
+
+# -- sampling the PXDB --------------------------------------------------------------------
+
+def test_sampling_figure1(pxdb, constraints_c1_c4):
+    rng = random.Random(99)
+    for _ in range(5):
+        document = pxdb.sample(rng)
+        assert satisfies_all(document, constraints_c1_c4)
+
+
+# -- the scaled workload ------------------------------------------------------------------
+
+def test_scaled_university_shape():
+    pd = scaled_university(departments=3, members=2, students=1)
+    skeleton = pd.skeleton()
+    departments = [c for c in skeleton.root.children if c.label == "department"]
+    assert len(departments) == 3
+    pd.validate()
+
+
+def test_scaled_university_consistent_with_constraints():
+    pd = scaled_university(departments=2, members=2, students=1)
+    formula = constraints_formula(figure1_constraints())
+    assert probability(pd, formula) > 0

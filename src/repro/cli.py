@@ -11,7 +11,8 @@ Commands
 * ``worlds    PDOC [--limit K]``           — the K most probable worlds;
 * ``sat       PDOC -c CONSTRAINTS``        — CONSTRAINT-SAT⟨C⟩: Pr(P ⊨ C);
 * ``query     PDOC -q QUERY [-c FILE]``    — EVAL⟨Q, C⟩: per-answer probabilities;
-* ``sample    PDOC [-c FILE] [-n N]``      — SAMPLE⟨C⟩: conditioned samples (Fig. 3);
+* ``sample    PDOC [-c FILE] [-n N] [--stats] [--no-incremental]``
+                                           — SAMPLE⟨C⟩: conditioned samples (Fig. 3);
 * ``check     PDOC DOCUMENT -c FILE``      — explain a document's violations;
 * ``skeleton  PDOC``                       — print the skeleton document.
 
@@ -100,9 +101,23 @@ def _cmd_sample(args) -> int:
     constraints = _load_constraints(args.constraints)
     db = PXDB(pdoc, constraints)
     rng = random.Random(args.seed)
+    incremental = not args.no_incremental
     for _ in range(args.count):
-        print(document_to_xml(db.sample(rng), style="tags"))
+        print(document_to_xml(db.sample(rng, incremental=incremental), style="tags"))
         print()
+    if args.stats:
+        stats = db.sample_engine.stats()
+        print(f"samples:               {args.count}", file=sys.stderr)
+        print(f"evaluator runs:        {stats['runs']}", file=sys.stderr)
+        per_sample = stats["runs"] / args.count if args.count else 0.0
+        print(f"evaluations/sample:    {per_sample:.1f}", file=sys.stderr)
+        print(f"subtree dists computed: {stats['nodes_computed']}", file=sys.stderr)
+        print(
+            f"cache hits/misses:     {stats['cache_hits']}/{stats['cache_misses']} "
+            f"(hit rate {stats['hit_rate']:.1%})",
+            file=sys.stderr,
+        )
+        print(f"cache entries:         {stats['cache_entries']}", file=sys.stderr)
     return 0
 
 
@@ -172,6 +187,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-c", "--constraints")
     p.add_argument("-n", "--count", type=int, default=1)
     p.add_argument("--seed", type=int, default=None)
+    p.add_argument(
+        "--stats",
+        action="store_true",
+        help="print incremental-engine counters (evaluations per sample, "
+        "cache hit rate, subtree distributions recomputed) to stderr",
+    )
+    p.add_argument(
+        "--no-incremental",
+        action="store_true",
+        help="disable the cross-run signature cache (from-scratch "
+        "evaluation per edge, the pre-engine behavior; for comparison)",
+    )
     p.set_defaults(func=_cmd_sample)
 
     p = sub.add_parser("check", help="explain a document's constraint violations")

@@ -293,6 +293,15 @@ class Registry:
             for node in plan.sformula.pattern.nodes()
         )
 
+    @property
+    def fingerprint_mode(self) -> str:
+        """Which structural fingerprint makes signature-distribution caching
+        sound for this registry: ``"shape"`` (uid-free — maximal sharing,
+        label-only predicates) or ``"identity"`` (uid-including — required
+        once some predicate inspects node identity, still sound across
+        clones because cloning preserves uids)."""
+        return "shape" if self.label_only else "identity"
+
     def _collect(self, canonicalize: bool = True) -> None:
         visited: set[int] = set()
         visiting: set[int] = set()

@@ -31,6 +31,11 @@ All arithmetic is exact (``fractions.Fraction``).  For a fixed formula the
 signature space is polynomial in |P̃| and the numerical specification,
 matching the paper's data-complexity claim; the exponential ground truth
 (``repro.baseline.naive``) is used to validate the implementation.
+
+:class:`IncrementalEngine` persists the subtree-distribution cache *across*
+evaluation runs (keyed by the stable structural fingerprints of
+``repro.pdoc.pdocument``), which turns the m evaluator calls of SAMPLE⟨C⟩
+from m full passes into one full pass plus m spine-sized re-evaluations.
 """
 
 from __future__ import annotations
@@ -46,6 +51,89 @@ Signature = tuple[int, tuple[int, ...]]  # (bit mask, counter vector)
 SigDist = dict[Signature, Fraction]
 
 
+class IncrementalEngine:
+    """A persistent, cross-run signature-distribution cache for one registry.
+
+    The per-run structural cache of :class:`Evaluation` shares work *within*
+    one bottom-up pass; this engine extends the sharing *across* passes: it
+    keeps the ``fingerprint → SigDist`` table alive between evaluations, so
+    re-evaluating a document that differs from a previously seen one in a
+    single spine (the SAMPLE⟨C⟩ loop conditions one distributional edge per
+    iteration) recomputes only the changed root-to-edge path — every
+    untouched subtree is a cache hit, and the traversal does not even
+    descend into it.
+
+    Cache keys are the stable structural fingerprints of
+    ``repro.pdoc.pdocument`` in the registry's
+    :attr:`~repro.core.compiler.Registry.fingerprint_mode`:
+
+    * ``"shape"`` (label-only registries) — uid-free, so identical
+      fragments share an entry even within one document;
+    * ``"identity"`` — uids included; sharing only between clones /
+      in-place-conditioned versions of the same nodes, which keeps the
+      cache sound when predicates inspect node identity (``NodeIs``).
+
+    Counters (cumulative across the engine's lifetime):
+
+    * ``runs``            — completed evaluation passes;
+    * ``hits`` / ``misses`` — cache lookups during those passes;
+    * ``nodes_computed``  — subtree signature distributions actually
+      recomputed (the quantity the incremental sampler minimizes).
+    """
+
+    __slots__ = ("registry", "identity_keys", "cache", "hits", "misses",
+                 "runs", "nodes_computed")
+
+    def __init__(self, registry: Registry):
+        self.registry = registry
+        self.identity_keys = registry.fingerprint_mode == "identity"
+        self.cache: dict[int, SigDist] = {}
+        self.hits = 0
+        self.misses = 0
+        self.runs = 0
+        self.nodes_computed = 0
+
+    @classmethod
+    def for_formulas(cls, formulas: list[CFormula]) -> "IncrementalEngine":
+        """Compile ``formulas`` once (MIN/MAX rewritten, Theorem 7.1) and
+        wrap the registry in a fresh engine."""
+        from ..aggregates.minmax import rewrite
+
+        return cls(Registry([rewrite(f) for f in formulas]))
+
+    @classmethod
+    def for_formula(cls, formula: CFormula) -> "IncrementalEngine":
+        return cls.for_formulas([formula])
+
+    def evaluation(self, pdoc: PDocument) -> "Evaluation":
+        """A fresh evaluation of ``pdoc`` backed by this engine's cache."""
+        return Evaluation(self.registry, pdoc, engine=self)
+
+    def probabilities(self, pdoc: PDocument) -> list[Fraction]:
+        """[Pr(P ⊨ γ) for γ in registry.top], reusing all cached subtrees."""
+        self.runs += 1
+        return self.evaluation(pdoc).run()
+
+    def probability(self, pdoc: PDocument) -> Fraction:
+        return self.probabilities(pdoc)[0]
+
+    def clear(self) -> None:
+        """Drop the cached distributions (counters are kept)."""
+        self.cache.clear()
+
+    def stats(self) -> dict[str, int | float]:
+        """Cumulative observability counters, plus derived rates."""
+        lookups = self.hits + self.misses
+        return {
+            "runs": self.runs,
+            "cache_hits": self.hits,
+            "cache_misses": self.misses,
+            "hit_rate": self.hits / lookups if lookups else 0.0,
+            "nodes_computed": self.nodes_computed,
+            "cache_entries": len(self.cache),
+        }
+
+
 class Evaluation:
     """One evaluation run: a compiled registry bound to a p-document.
 
@@ -54,17 +142,36 @@ class Evaluation:
     a function of its *shape* (kinds, labels, probabilities), so the
     distributions of the many identical fragments large workloads contain
     (e.g. the departments of the scaled university) are computed once.
-    The cache is automatically disabled when some predicate inspects node
-    identity (``NodeIs``), where sharing would be unsound.
+    Without an engine the cache is automatically disabled when some
+    predicate inspects node identity (``NodeIs``), where sharing by shape
+    would be unsound; an :class:`IncrementalEngine` re-enables it with
+    uid-including identity fingerprints (sound across clones).
+
+    ``cache_hits`` / ``cache_misses`` / ``nodes_computed`` are *per-run*
+    counters: :meth:`run` resets them, so repeated runs on one object
+    report that run's work only (the engine keeps the cumulative view).
     """
 
-    def __init__(self, registry: Registry, pdoc: PDocument, use_cache: bool = True):
+    def __init__(
+        self,
+        registry: Registry,
+        pdoc: PDocument,
+        use_cache: bool = True,
+        engine: IncrementalEngine | None = None,
+    ):
+        if engine is not None and engine.registry is not registry:
+            raise ValueError("the engine was compiled for a different registry")
         self.registry = registry
         self.pdoc = pdoc
+        self.engine = engine
         self.empty: Signature = (0, (0,) * registry.count_len)
-        self.use_cache = use_cache and registry.label_only
+        self.use_cache = use_cache and (registry.label_only or engine is not None)
+        self._identity_keys = not registry.label_only
+        self._memo: dict[int, SigDist] = {}
+        self._local_cache: dict[int, SigDist] = {}
         self.cache_hits = 0
         self.cache_misses = 0
+        self.nodes_computed = 0
 
     # -- signature monoid ----------------------------------------------------
     def combine(self, left: Signature, right: Signature) -> Signature:
@@ -100,44 +207,56 @@ class Evaluation:
 
         Computed iteratively (explicit postorder), so arbitrarily deep
         p-documents do not hit the interpreter's recursion limit, with
-        memoization by structural key when the registry permits it.
+        memoization by structural fingerprint when the registry permits it.
+        A cache hit *prunes the traversal*: the subtree below a known
+        fingerprint is never visited, so with a warm engine cache the work
+        is proportional to the changed spine, not the document size.
         """
-        from ..xmltree import tree
-
-        memo: dict[int, SigDist] = {}
-        cache: dict[tuple, SigDist] = {}
-        keys: dict[int, tuple] = {}
-        if self.use_cache:
-            self._structural_keys(node, keys)
-        for current in tree.postorder(node):
-            key = keys.get(id(current))
-            if key is not None and key in cache:
-                memo[id(current)] = cache[key]
-                self.cache_hits += 1
+        memo = self._memo
+        if id(node) in memo:
+            return memo[id(node)]
+        cache = self.engine.cache if self.engine is not None else self._local_cache
+        stack: list[tuple[PNode, bool]] = [(node, False)]
+        while stack:
+            current, expanded = stack.pop()
+            if id(current) in memo:
+                continue
+            if not expanded:
+                if self.use_cache:
+                    dist = cache.get(self._cache_key(current))
+                    if dist is not None:
+                        memo[id(current)] = dist
+                        self._hit()
+                        continue
+                stack.append((current, True))
+                stack.extend((child, False) for child in current.children)
                 continue
             dist = self._forest_dist_local(current, memo)
             memo[id(current)] = dist
-            if key is not None:
-                cache[key] = dist
-                self.cache_misses += 1
+            self.nodes_computed += 1
+            if self.engine is not None:
+                self.engine.nodes_computed += 1
+            if self.use_cache:
+                cache[self._cache_key(current)] = dist
+                self._miss()
         return memo[id(node)]
 
-    def _structural_keys(self, root: PNode, keys: dict[int, tuple]) -> None:
-        """Assign every node a hashable key capturing its subtree's shape:
-        kind, label, edge probabilities / subset distribution, children's
-        keys in order (order matters: exp subsets index into it)."""
-        from ..xmltree import tree
+    def _cache_key(self, node: PNode) -> int:
+        """The node's stable structural fingerprint in the registry's mode
+        (cached on the node itself; O(1) when already computed)."""
+        if self._identity_keys:
+            return node.identity_fingerprint()
+        return node.shape_fingerprint()
 
-        interned: dict[tuple, int] = {}
-        for node in tree.postorder(root):
-            raw = (
-                node.kind,
-                node.label,
-                tuple(node.probs),
-                tuple((tuple(sorted(s)), q) for s, q in node.subsets),
-                tuple(keys[id(child)] for child in node.children),
-            )
-            keys[id(node)] = interned.setdefault(raw, len(interned))
+    def _hit(self) -> None:
+        self.cache_hits += 1
+        if self.engine is not None:
+            self.engine.hits += 1
+
+    def _miss(self) -> None:
+        self.cache_misses += 1
+        if self.engine is not None:
+            self.engine.misses += 1
 
     def _forest_dist_local(self, node: PNode, memo: dict[int, SigDist]) -> SigDist:
         """One node's forest distribution, children's results in ``memo``."""
@@ -356,7 +475,17 @@ class Evaluation:
 
     # -- the root -----------------------------------------------------------------
     def run(self) -> list[Fraction]:
-        """Pr(P ⊨ γ) for every top formula of the registry."""
+        """Pr(P ⊨ γ) for every top formula of the registry.
+
+        Resets the per-run counters and the per-document memo first, so
+        ``cache_hits`` / ``cache_misses`` / ``nodes_computed`` afterwards
+        describe exactly this run (the memo must not survive either: the
+        p-document may have been conditioned in place since the last run).
+        """
+        self._memo.clear()
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.nodes_computed = 0
         root = self.pdoc.root
         dist = self.children_dist(root)
         results = [Fraction(0) for _ in self.registry.top]

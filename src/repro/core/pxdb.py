@@ -37,7 +37,8 @@ from .sampler import sample as _sample
 class PXDB:
     """The probability space D̃ = (P̃, C)."""
 
-    __slots__ = ("pdoc", "constraints", "_condition", "_constraint_prob")
+    __slots__ = ("pdoc", "constraints", "_condition", "_constraint_prob",
+                 "_sample_engine")
 
     def __init__(
         self,
@@ -49,6 +50,7 @@ class PXDB:
         self.constraints: tuple[Constraint | CFormula, ...] = tuple(constraints)
         self._condition = constraints_formula(self.constraints)
         self._constraint_prob: Fraction | None = None
+        self._sample_engine = None
         if check and not self.is_well_defined():
             raise ValueError(
                 "the p-document is not consistent with the constraints "
@@ -96,9 +98,30 @@ class PXDB:
         return decode_answers(self.query(query), self.pdoc)
 
     # -- SAMPLE⟨C⟩ --------------------------------------------------------------
-    def sample(self, rng: random.Random | None = None) -> Document:
+    @property
+    def sample_engine(self):
+        """The incremental evaluation engine backing :meth:`sample` —
+        compiled once per PXDB and warm across samples, so consecutive
+        draws share every subtree distribution the constraint DP has ever
+        computed.  Exposes the observability counters
+        (:meth:`~repro.core.evaluator.IncrementalEngine.stats`)."""
+        if self._sample_engine is None:
+            from .evaluator import IncrementalEngine
+
+            self._sample_engine = IncrementalEngine.for_formula(self._condition)
+        return self._sample_engine
+
+    def sample(
+        self, rng: random.Random | None = None, incremental: bool = True
+    ) -> Document:
         """Draw one document with probability exactly Pr(D = d) (Fig. 3)."""
-        return _sample(self.pdoc, self._condition, rng)
+        return _sample(
+            self.pdoc,
+            self._condition,
+            rng,
+            engine=self.sample_engine,
+            incremental=incremental,
+        )
 
     # -- document probabilities --------------------------------------------------
     def document_probability(self, document: Document) -> Fraction:

@@ -21,6 +21,18 @@ sampler is polynomial (Theorem 6.1).  Lines 5–9 of Figure 3 — skipping
 edges whose current probability is already 0 or 1 — are implemented
 verbatim; as the paper notes, this is needed for correctness, not just
 speed (conditioning on a sure/impossible edge is undefined).
+
+The loop is driven by an :class:`~repro.core.evaluator.IncrementalEngine`:
+the constraint formula is compiled once, the sampler works on a private
+copy of the p-document that it conditions *in place* (Figure 3 only ever
+moves forward), and after each conditioning only the root-to-edge spine
+has a stale fingerprint — every other subtree's signature distribution is
+a warm cache hit, so iteration i costs O(spine) evaluator work instead of
+a full pass.  The Bayes step evaluates the tentatively-chosen document;
+when the coin rejects, the snapshot is restored, the complement is applied
+in place, and q is updated algebraically — no second evaluation, and the
+spine distributions cached for the chosen variant stay available for later
+iterations that revisit the same local distributions.
 """
 
 from __future__ import annotations
@@ -30,7 +42,7 @@ from fractions import Fraction
 
 from ..pdoc.pdocument import EXP, IND, MUX, ORD, PDocument, PNode
 from ..xmltree.document import DocNode, Document
-from .evaluator import probability
+from .evaluator import IncrementalEngine
 from .formulas import CFormula, TRUE
 
 
@@ -47,6 +59,9 @@ def sample(
     pdoc: PDocument,
     condition: CFormula = TRUE,
     rng: random.Random | None = None,
+    *,
+    engine: IncrementalEngine | None = None,
+    incremental: bool = True,
 ) -> Document:
     """Draw one document of the PXDB (P̃, C) with probability Pr(D = d).
 
@@ -54,30 +69,48 @@ def sample(
     unconditioned sampling (in that case every posterior equals the prior
     and the algorithm degenerates to the two-step process of Section 3.1).
 
+    ``engine`` — an :class:`~repro.core.evaluator.IncrementalEngine`
+    compiled for ``condition``; pass one to share the compiled registry
+    and the signature-distribution cache across samples (and to read the
+    hit/miss/evaluation counters afterwards).  By default a fresh engine
+    is created per call.  ``incremental=False`` clears the engine cache
+    before every evaluation — the from-scratch reference mode used by the
+    benchmarks and the differential tests.
+
     Raises ``ValueError`` when Pr(P ⊨ C) = 0.
     """
     rng = rng if rng is not None else random.Random()
-    current = pdoc
-    q = probability(current, condition)  # q_0 ← Pr(P_0 ⊨ C)
+    if engine is None:
+        engine = IncrementalEngine.for_formula(condition)
+
+    def evaluate(target: PDocument) -> Fraction:
+        if not incremental:
+            engine.clear()
+        return engine.probability(target)
+
+    # A private copy: the loop conditions it in place (the caller's
+    # p-document is never touched), so the distributional-edge list is
+    # enumerated once and stays valid — the node objects are stable for
+    # the whole run, no per-iteration re-enumeration or index remapping.
+    current = pdoc.clone()
+    q = evaluate(current)  # q_0 ← Pr(P_0 ⊨ C)
     if q == 0:
         raise ValueError("the p-document is not consistent with the constraints")
 
-    total_edges = len(pdoc.dist_edges())
-    for i in range(total_edges):
-        # Clones preserve shape and child order, so the i-th edge of the
-        # current p-document is the i-th edge of the original.
-        edge = current.dist_edges()[i]
+    for edge in current.dist_edges():
         node, index = edge
         prior = current.edge_prob(node, index)  # q̂_i
         if prior == 0 or prior == 1:
             continue  # lines 5–9: the choice is already determined
-        chosen_doc = current.conditioned_on_edge(edge, True)  # Norm(P, v→w)
-        q_chosen = probability(chosen_doc, condition)  # q′
+        snapshot = current.edge_snapshot(edge)
+        current.condition_edge_in_place(edge, True)  # Norm(P, v→w)
+        q_chosen = evaluate(current)  # q′
         posterior = prior * q_chosen / q  # p_i (Bayes' theorem)
         if bernoulli(posterior, rng):
-            current, q = chosen_doc, q_chosen
+            q = q_chosen
         else:
-            current = current.conditioned_on_edge(edge, False)  # Norm(P, v↛w)
+            current.restore_edge(edge, snapshot)
+            current.condition_edge_in_place(edge, False)  # Norm(P, v↛w)
             q = (q - q_chosen * prior) / (1 - prior)
     return deterministic_instance(current)
 
@@ -93,6 +126,8 @@ def deterministic_instance(pdoc: PDocument) -> Document:
             return [c for c, p in zip(node.children, node.probs) if _sure(p)]
         if node.kind == EXP:
             positive = [s for s, p in node.subsets if p > 0]
+            if not positive:
+                raise ValueError("p-document is not fully determined")
             first = positive[0]
             if any(s != first for s in positive):
                 raise ValueError("exp node is not fully determined")

@@ -68,18 +68,22 @@ def candidate_uids(sformula: SFormula, pdoc: PDocument) -> list[int]:
 def membership_probabilities(
     sformula: SFormula, pdoc: PDocument, condition: CFormula = TRUE
 ) -> dict[int, Fraction]:
-    """{uid: Pr(v ∈ σ(D))} over the PXDB (P̃, condition)."""
+    """{uid: Pr(v ∈ σ(D))} over the PXDB (P̃, condition).
+
+    All per-node events are evaluated *jointly* with the condition in a
+    single DP pass (one registry compilation, one bottom-up traversal),
+    instead of one evaluator run per candidate node — the same batching
+    :func:`count_distribution` uses.
+    """
     uids = candidate_uids(sformula, pdoc)
-    denominator = probability(pdoc, condition)
+    events = [
+        conjunction([condition, _bound_event(sformula, uid)]) for uid in uids
+    ]
+    values = probabilities(pdoc, events + [condition])
+    denominator = values[-1]
     if denominator == 0:
         raise ValueError("the p-document is not consistent with the constraints")
-    table: dict[int, Fraction] = {}
-    for uid in uids:
-        joint = probability(
-            pdoc, conjunction([condition, _bound_event(sformula, uid)])
-        )
-        table[uid] = joint / denominator
-    return table
+    return {uid: values[i] / denominator for i, uid in enumerate(uids)}
 
 
 def expected_count(

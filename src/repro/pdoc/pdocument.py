@@ -39,10 +39,22 @@ DIST_KINDS = (IND, MUX, EXP)
 KINDS = (ORD,) + DIST_KINDS
 
 
+# Process-wide intern tables for structural fingerprints.  A fingerprint is
+# a small integer identifying a subtree's content up to the chosen equality:
+# *shape* fingerprints ignore ordinary uids (two structurally identical
+# subtrees share one), *identity* fingerprints include them (equal only for
+# clones of the same subtree).  Interning makes equality O(1) and keys
+# stable across documents and across evaluator runs, which is what the
+# incremental engine's persistent cache is keyed on.
+_SHAPE_INTERN: dict[tuple, int] = {}
+_IDENT_INTERN: dict[tuple, int] = {}
+
+
 class PNode:
     """A node of a p-document (ordinary or distributional)."""
 
-    __slots__ = ("kind", "label", "uid", "probs", "subsets", "_children", "_parent")
+    __slots__ = ("kind", "label", "uid", "probs", "subsets", "_children", "_parent",
+                 "_shape_fp", "_ident_fp")
 
     def __init__(
         self,
@@ -65,6 +77,9 @@ class PNode:
         self.subsets: list[tuple[frozenset[int], Fraction]] = []
         self._children: list[PNode] = []
         self._parent: PNode | None = None
+        # Cached structural fingerprints (None = not computed / stale).
+        self._shape_fp: int | None = None
+        self._ident_fp: int | None = None
 
     # Tree structure --------------------------------------------------------
     @property
@@ -86,7 +101,38 @@ class PNode:
             raise ValueError("p-document node already has a parent")
         child._parent = self
         self._children.append(child)
+        self.invalidate_fingerprints()
         return child
+
+    # Fingerprints ------------------------------------------------------------
+    def invalidate_fingerprints(self) -> None:
+        """Mark the cached fingerprints of this node and every ancestor
+        stale.  Every mutation of content or structure must call this — a
+        node's fingerprint summarizes its whole subtree, so a change here
+        changes the fingerprint of the entire root-to-node spine (and of
+        nothing else; sibling subtrees keep their cached values, which is
+        what makes conditioning cheap for the incremental evaluator)."""
+        node: PNode | None = self
+        while node is not None:
+            node._shape_fp = None
+            node._ident_fp = None
+            node = node._parent
+
+    def shape_fingerprint(self) -> int:
+        """Interned id of the subtree's shape: kind, label, probabilities,
+        subset distribution and children's shapes — everything a label-only
+        formula can observe.  Two subtrees with equal shape fingerprints
+        have identical signature distributions under any label-only
+        registry."""
+        return _fingerprint(self, identity=False)
+
+    def identity_fingerprint(self) -> int:
+        """Like :meth:`shape_fingerprint` but including ordinary uids, so
+        it is equal exactly for (possibly conditioned) clones of the same
+        subtree with unchanged content.  Sound as a cache key even when
+        predicates inspect node identity (``NodeIs``), because clones
+        preserve uids."""
+        return _fingerprint(self, identity=True)
 
     # Construction helpers ---------------------------------------------------
     def ordinary(self, label: Label, uid: int | None = None) -> "PNode":
@@ -161,6 +207,7 @@ class PNode:
         if len({s for s, _ in subsets}) != len(subsets):
             raise ValueError("exp distribution lists a subset twice")
         self.subsets = subsets
+        self.invalidate_fingerprints()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         if self.kind == ORD:
@@ -260,14 +307,27 @@ class PDocument:
           distribution is conditioned on *not* containing the child.
         """
         node, index = edge
-        prior = self.edge_prob(node, index)
+        clone_root, mapping = _clone(self.root)
+        clone = PDocument(clone_root, validate=False)
+        clone.condition_edge_in_place((mapping[id(node)], index), chosen)
+        return clone
+
+    def condition_edge_in_place(self, edge: Edge, chosen: bool) -> None:
+        """Apply Norm(P̃, v → w) / Norm(P̃, v ↛ w) to *this* p-document.
+
+        The in-place variant backs the sampler's hot loop: Figure 3 only
+        ever conditions forward (it never returns to the unconditioned
+        document), so cloning the whole tree per edge is pure overhead.
+        The target node's cached fingerprints — and those of its ancestors,
+        the "spine" — are invalidated; every other subtree keeps its
+        fingerprint, so an incremental evaluator recomputes only the spine.
+        """
+        target, index = edge
+        prior = self.edge_prob(target, index)
         if chosen and prior == 0:
             raise ValueError("cannot condition on a zero-probability edge being chosen")
         if not chosen and prior == 1:
             raise ValueError("cannot condition on a sure edge being dropped")
-
-        clone_root, mapping = _clone(self.root)
-        target = mapping[id(node)]
         if target.kind == IND:
             target.probs[index] = Fraction(1 if chosen else 0)
         elif target.kind == MUX:
@@ -286,7 +346,20 @@ class PDocument:
             keep = (lambda s: index in s) if chosen else (lambda s: index not in s)
             scale = prior if chosen else 1 - prior
             target.subsets = [(s, p / scale) for s, p in target.subsets if keep(s) and p > 0]
-        return PDocument(clone_root, validate=False)
+        target.invalidate_fingerprints()
+
+    def edge_snapshot(self, edge: Edge) -> tuple[list[Fraction], list]:
+        """Capture the mutable distribution state of an edge's parent node,
+        so a speculative :meth:`condition_edge_in_place` can be undone."""
+        node, _ = edge
+        return (list(node.probs), list(node.subsets))
+
+    def restore_edge(self, edge: Edge, snapshot: tuple[list[Fraction], list]) -> None:
+        """Undo in-place conditioning of ``edge`` (inverse of the snapshot)."""
+        node, _ = edge
+        node.probs = list(snapshot[0])
+        node.subsets = list(snapshot[1])
+        node.invalidate_fingerprints()
 
     def clone(self) -> "PDocument":
         """Deep copy (preserving ordinary uids)."""
@@ -328,10 +401,47 @@ def _clone(node: PNode) -> tuple[PNode, dict[int, PNode]]:
         copy.subsets = list(original.subsets)
         for child in original.children:
             copy._attach(rec(child))
+        # Content is identical, so cached fingerprints carry over (attaching
+        # children above reset them); this is what lets conditioned clones
+        # reuse the incremental engine's cache for untouched subtrees.
+        copy._shape_fp = original._shape_fp
+        copy._ident_fp = original._ident_fp
         mapping[id(original)] = copy
         return copy
 
     return rec(node), mapping
+
+
+def _fingerprint(root: PNode, identity: bool) -> int:
+    """Compute (and cache) the requested fingerprint of ``root``'s subtree.
+
+    Iterative postorder with early pruning: subtrees whose fingerprint is
+    already cached are not re-walked, so after in-place conditioning the
+    cost is proportional to the invalidated spine, not the document.
+    """
+    table = _IDENT_INTERN if identity else _SHAPE_INTERN
+    slot = "_ident_fp" if identity else "_shape_fp"
+    stack: list[tuple[PNode, bool]] = [(root, False)]
+    while stack:
+        node, expanded = stack.pop()
+        if getattr(node, slot) is not None:
+            continue
+        if not expanded:
+            stack.append((node, True))
+            stack.extend((child, False) for child in node.children)
+            continue
+        raw = (
+            node.kind,
+            node.label,
+            node.uid if identity else None,
+            tuple(node.probs),
+            tuple((tuple(sorted(s)), q) for s, q in node.subsets),
+            tuple(getattr(child, slot) for child in node.children),
+        )
+        setattr(node, slot, table.setdefault(raw, len(table)))
+    value = getattr(root, slot)
+    assert value is not None
+    return value
 
 
 def _skeleton_node(pnode: PNode) -> DocNode:

@@ -91,6 +91,30 @@ def test_sample(files, capsys):
     assert "<book>" in out  # every sample satisfies the constraint
 
 
+def test_sample_stats_and_no_incremental(files, capsys):
+    pdoc_path, constraints_path = files
+    args = [
+        "sample",
+        str(pdoc_path),
+        "-c",
+        str(constraints_path),
+        "-n",
+        "2",
+        "--seed",
+        "7",
+        "--stats",
+    ]
+    assert main(args) == 0
+    captured = capsys.readouterr()
+    assert captured.out.count("<catalog>") == 2
+    assert "evaluations/sample" in captured.err
+    assert "cache hits/misses" in captured.err
+    # the from-scratch mode draws the same documents under the same seed
+    assert main(args + ["--no-incremental"]) == 0
+    again = capsys.readouterr()
+    assert again.out == captured.out
+
+
 def test_worlds_limit_and_guard(files, capsys):
     pdoc_path, _ = files
     assert main(["worlds", str(pdoc_path), "--limit", "2"]) == 0

@@ -178,6 +178,38 @@ def test_rejection_baseline_agrees():
     assert attempts >= 1
 
 
+def test_sample_with_shared_engine_stays_correct():
+    """A single engine reused across many draws must not skew the
+    distribution (chi-square against the exact conditional)."""
+    from repro.core.evaluator import IncrementalEngine
+
+    pd, condition = small_pxdb()
+    exact = conditional_world_distribution(pd, condition)
+    engine = IncrementalEngine.for_formula(condition)
+    rng = random.Random(77)
+    n = 3000
+    counts = Counter(
+        sample(pd, condition, rng, engine=engine).uid_set() for _ in range(n)
+    )
+    worlds = sorted(exact, key=sorted)
+    observed = [counts.get(w, 0) for w in worlds]
+    expected = [float(exact[w]) * n for w in worlds]
+    _, p_value = stats.chisquare(observed, expected)
+    assert p_value > 1e-4, f"shared-engine sampler looks wrong (p={p_value})"
+    assert engine.stats()["cache_hits"] > 0
+
+
+def test_sample_reports_evaluations_through_engine():
+    from repro.core.evaluator import IncrementalEngine
+
+    pd, condition = small_pxdb()
+    engine = IncrementalEngine.for_formula(condition)
+    sample(pd, condition, random.Random(2), engine=engine)
+    # One run for q_0 plus one per still-undetermined edge.
+    edges = len(pd.dist_edges())
+    assert 1 <= engine.stats()["runs"] <= 1 + edges
+
+
 def test_rejection_baseline_budget():
     pd, root = pdocument("r")
     root.ind().add_edge("a", Fraction(1, 1000))

@@ -1,0 +1,181 @@
+"""E11 — the service layer: warm store-and-serve vs cold per-request work.
+
+Two claims, both load-bearing for the service subsystem:
+
+* **Warm throughput** — repeat requests against a *stored* PXDB (parsed
+  once, condition compiled once, Pr(P ⊨ C) cached, incremental engine and
+  query-result cache hot) must be ≥ 3× faster than the CLI-equivalent
+  cold path that re-parses the p-document, re-compiles the constraints
+  and re-evaluates the denominator on every request.  (In practice the
+  gap is orders of magnitude; 3× is the regression floor.)
+* **Concurrent exactness** — a 4-client concurrent run over HTTP returns
+  results *identical* (exact ``Fraction`` strings, byte-identical sampled
+  XML) to sequential direct :class:`~repro.core.pxdb.PXDB` calls.  The
+  coalescer shares DP passes and the pool shares nothing but file specs;
+  neither is allowed to perturb a single digit.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+import pytest
+
+from repro.core.pxdb import PXDB
+from repro.pdoc.serialize import pdocument_to_xml
+from repro.service import DocumentStore, Metrics, PXDBService, ServiceClient, start_server
+from repro.service.store import read_constraints, read_pdocument
+from repro.workloads.university import scaled_university
+from repro.xmltree.serialize import document_to_xml
+
+CONSTRAINTS_TEXT = (
+    "forall university/$department : "
+    "count(*//$member[position/~'professor'][position/chair]) <= 1\n"
+    "forall university/$department : "
+    "count(*//$member[//~'professor']) >= 3 -> "
+    "count(*//$member[position/~'professor'][position/chair]) >= 1\n"
+)
+QUERIES = ["*//'ph.d. st.'/$name", "university/$department"]
+REPEATS = 10
+
+
+@pytest.fixture()
+def university_files(tmp_path: Path) -> tuple[Path, Path]:
+    pdoc = scaled_university(departments=3, members=3, students=1)
+    pdocument_path = tmp_path / "university.pxml"
+    pdocument_path.write_text(pdocument_to_xml(pdoc))
+    constraints_path = tmp_path / "university.cons"
+    constraints_path.write_text(CONSTRAINTS_TEXT)
+    return pdocument_path, constraints_path
+
+
+def _cold_request(pdocument_path: Path, constraints_path: Path, query: str | None):
+    """What every CLI invocation pays: parse, compile, evaluate from zero."""
+    pdoc = read_pdocument(pdocument_path)
+    constraints = read_constraints(constraints_path)
+    db = PXDB(pdoc, constraints)  # check=True evaluates the denominator
+    if query is None:
+        return db.constraint_probability()
+    return db.query_labels(query)
+
+
+def test_bench_service_warm_vs_cold(university_files, report, benchmark):
+    pdocument_path, constraints_path = university_files
+
+    store = DocumentStore()
+    store.register("uni", pdocument_path, constraints_path)
+    service = PXDBService(store, metrics=Metrics())
+
+    requests: list[str | None] = [None] + QUERIES  # None = CONSTRAINT-SAT
+
+    start = time.perf_counter()
+    cold_results = [
+        _cold_request(pdocument_path, constraints_path, query)
+        for _ in range(REPEATS)
+        for query in requests
+    ]
+    cold_elapsed = time.perf_counter() - start
+
+    def warm_round() -> list:
+        results = []
+        for query in requests:
+            if query is None:
+                results.append(service.sat("uni"))
+            else:
+                results.append(service.query("uni", query))
+        return results
+
+    start = time.perf_counter()
+    warm_results = [result for _ in range(REPEATS) for result in warm_round()]
+    warm_elapsed = time.perf_counter() - start
+
+    # Exactness first: the warm path answers exactly what cold computed.
+    for cold, warm in zip(cold_results, warm_results):
+        if isinstance(warm, dict) and "answers" in warm:
+            served = {
+                tuple(row["answer"]): row["probability"] for row in warm["answers"]
+            }
+            direct = {
+                tuple(str(label) for label in labels): str(value)
+                for labels, value in cold.items()
+            }
+            assert served == direct
+        else:
+            assert warm["constraint_probability"] == str(cold)
+
+    total = REPEATS * len(requests)
+    speedup = cold_elapsed / warm_elapsed if warm_elapsed else float("inf")
+    report(
+        f"E11 service  warm-store speedup: {total} requests  "
+        f"cold {cold_elapsed * 1000:7.1f} ms  warm {warm_elapsed * 1000:7.1f} ms  "
+        f"speedup {speedup:6.1f}x (floor 3x)"
+    )
+    assert cold_elapsed >= 3 * warm_elapsed, (
+        f"warm service should be >= 3x faster: cold {cold_elapsed:.4f}s "
+        f"vs warm {warm_elapsed:.4f}s ({speedup:.1f}x)"
+    )
+
+    benchmark(warm_round)
+
+
+def test_bench_service_concurrent_identity(university_files, report):
+    pdocument_path, constraints_path = university_files
+    clients = 4
+
+    # Ground truth: sequential direct PXDB calls, one fresh PXDB per
+    # sampling seed (the sample sequence depends only on the RNG).
+    pdoc = read_pdocument(pdocument_path)
+    constraints = read_constraints(constraints_path)
+    db = PXDB(pdoc, constraints)
+    expected: dict[tuple, object] = {}
+    for index in range(clients):
+        expected[("sat", index)] = str(db.constraint_probability())
+        for query in QUERIES:
+            expected[("query", index, query)] = {
+                tuple(str(label) for label in labels): str(value)
+                for labels, value in db.query_labels(query).items()
+            }
+        rng = random.Random(index)
+        fresh = PXDB(read_pdocument(pdocument_path), constraints)
+        expected[("sample", index)] = [
+            document_to_xml(fresh.sample(rng), style="tags") for _ in range(2)
+        ]
+
+    store = DocumentStore()
+    store.register("uni", pdocument_path, constraints_path)
+    server = start_server(store)
+    host, port = server.server_address[:2]
+    client = ServiceClient(f"http://{host}:{port}")
+
+    def run_client(index: int) -> dict[tuple, object]:
+        results: dict[tuple, object] = {}
+        results[("sat", index)] = str(client.sat("uni"))
+        for query in QUERIES:
+            results[("query", index, query)] = {
+                labels: str(value)
+                for labels, value in client.query("uni", query).items()
+            }
+        results[("sample", index)] = client.sample("uni", count=2, seed=index)
+        return results
+
+    start = time.perf_counter()
+    try:
+        with ThreadPoolExecutor(max_workers=clients) as executor:
+            merged: dict[tuple, object] = {}
+            for results in executor.map(run_client, range(clients)):
+                merged.update(results)
+    finally:
+        server.shutdown()
+        server.server_close()
+    elapsed = time.perf_counter() - start
+
+    assert merged == expected, "concurrent served results diverged from direct PXDB"
+    total = clients * (2 + len(QUERIES))
+    report(
+        f"E11 service  concurrent identity: {clients} clients x "
+        f"{2 + len(QUERIES)} ops in {elapsed * 1000:7.1f} ms "
+        f"({total / elapsed:6.1f} req/s), results byte-identical"
+    )

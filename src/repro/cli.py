@@ -14,11 +14,15 @@ Commands
 * ``sample    PDOC [-c FILE] [-n N] [--stats] [--no-incremental]``
                                            — SAMPLE⟨C⟩: conditioned samples (Fig. 3);
 * ``check     PDOC DOCUMENT -c FILE``      — explain a document's violations;
-* ``skeleton  PDOC``                       — print the skeleton document.
+* ``skeleton  PDOC``                       — print the skeleton document;
+* ``serve     --db NAME=PDOC[:FILE] …``    — the JSON/HTTP service (docs/SERVICE.md).
 
 Example::
 
     python -m repro sat university.pxml -c constraints.txt
+
+Every load failure (missing file, malformed XML, bad constraint syntax)
+prints a one-line ``error: …`` to stderr and exits with status 2.
 """
 
 from __future__ import annotations
@@ -26,27 +30,23 @@ from __future__ import annotations
 import argparse
 import random
 import sys
-from pathlib import Path
 
-from .core.constraint_parser import parse_constraints
 from .core.constraints import constraints_formula
 from .core.evaluator import probability
 from .core.explain import explain_violations
 from .core.pxdb import PXDB
 from .core.query import Query
 from .pdoc.enumerate import world_documents
-from .pdoc.serialize import pdocument_from_xml
-from .xmltree.serialize import document_from_xml, document_to_xml
+from .service.store import read_constraints, read_document, read_pdocument
+from .xmltree.serialize import document_to_xml
 
 
 def _load_pdocument(path: str):
-    return pdocument_from_xml(Path(path).read_text())
+    return read_pdocument(path)
 
 
 def _load_constraints(path: str | None):
-    if path is None:
-        return []
-    return parse_constraints(Path(path).read_text())
+    return read_constraints(path)
 
 
 def _cmd_validate(args) -> int:
@@ -112,17 +112,29 @@ def _cmd_sample(args) -> int:
         per_sample = stats["runs"] / args.count if args.count else 0.0
         print(f"evaluations/sample:    {per_sample:.1f}", file=sys.stderr)
         print(f"subtree dists computed: {stats['nodes_computed']}", file=sys.stderr)
-        print(
-            f"cache hits/misses:     {stats['cache_hits']}/{stats['cache_misses']} "
-            f"(hit rate {stats['hit_rate']:.1%})",
-            file=sys.stderr,
-        )
-        print(f"cache entries:         {stats['cache_entries']}", file=sys.stderr)
+        if incremental:
+            print(
+                f"cache hits/misses:     {stats['cache_hits']}/{stats['cache_misses']} "
+                f"(hit rate {stats['hit_rate']:.1%})",
+                file=sys.stderr,
+            )
+            print(f"cache entries:         {stats['cache_entries']}", file=sys.stderr)
+        else:
+            # The engine still drives the evaluations, but its cache is
+            # cleared before each one — hit/miss counters would describe
+            # intra-run sharing only, not the cross-run cache the flag
+            # disabled, so they are suppressed rather than misreported.
+            print(
+                "incremental engine bypassed (--no-incremental): the counts "
+                "above are from-scratch evaluation work; cross-run cache "
+                "statistics do not apply",
+                file=sys.stderr,
+            )
     return 0
 
 
 def _cmd_check(args) -> int:
-    document = document_from_xml(Path(args.document).read_text())
+    document = read_document(args.document)
     constraints = _load_constraints(args.constraints)
     violations = explain_violations(document, constraints)
     if not violations:
@@ -136,6 +148,66 @@ def _cmd_check(args) -> int:
 def _cmd_skeleton(args) -> int:
     pdoc = _load_pdocument(args.pdocument)
     print(document_to_xml(pdoc.skeleton(), style="tags"))
+    return 0
+
+
+def _parse_db_spec(spec: str) -> tuple[str, str, str | None]:
+    """``NAME=PDOC[:CONSTRAINTS]`` → (name, pdocument_path, constraints_path)."""
+    if "=" not in spec:
+        raise ValueError(
+            f"invalid --db spec {spec!r}: expected NAME=PDOC[:CONSTRAINTS]"
+        )
+    name, _, paths = spec.partition("=")
+    if not name:
+        raise ValueError(f"invalid --db spec {spec!r}: empty name")
+    pdocument_path, _, constraints_path = paths.partition(":")
+    if not pdocument_path:
+        raise ValueError(f"invalid --db spec {spec!r}: empty p-document path")
+    return name, pdocument_path, constraints_path or None
+
+
+def _cmd_serve(args) -> int:
+    from .service.metrics import Metrics
+    from .service.pool import EvaluationPool
+    from .service.server import PXDBService, make_server
+    from .service.store import DocumentStore
+
+    store = DocumentStore(
+        max_entries=args.max_entries,
+        coalesce_window=args.coalesce_window,
+    )
+    for spec in args.db:
+        name, pdocument_path, constraints_path = _parse_db_spec(spec)
+        entry = store.register(name, pdocument_path, constraints_path)
+        probability = entry.pxdb.constraint_probability()
+        print(
+            f"registered {name!r}: {pdocument_path}"
+            + (f" + {constraints_path}" if constraints_path else "")
+            + f"  Pr(P |= C) = {probability} ~= {float(probability):.6f}",
+            file=sys.stderr,
+        )
+    pool = None
+    if args.pool > 0:
+        pool = EvaluationPool(
+            store.specs(), workers=args.pool, timeout=args.pool_timeout
+        )
+        print(
+            f"process pool: {args.pool} workers, "
+            f"{args.pool_timeout:g}s timeout (in-process fallback)",
+            file=sys.stderr,
+        )
+    service = PXDBService(store, metrics=Metrics(), pool=pool)
+    server = make_server(service, args.host, args.port, verbose=args.verbose)
+    host, port = server.server_address[:2]
+    print(f"serving PXDBs on http://{host}:{port}", file=sys.stderr)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    finally:
+        server.server_close()
+        if pool is not None:
+            pool.shutdown()
     return 0
 
 
@@ -213,6 +285,59 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("stats", help="structural/distributional statistics")
     p.add_argument("pdocument")
     p.set_defaults(func=_cmd_stats)
+
+    p = sub.add_parser(
+        "serve",
+        help="serve stored PXDBs over JSON/HTTP (see docs/SERVICE.md)",
+    )
+    p.add_argument(
+        "--db",
+        action="append",
+        default=[],
+        metavar="NAME=PDOC[:CONSTRAINTS]",
+        help="register a PXDB at startup (repeatable); more can be added "
+        "at runtime via POST /register",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument(
+        "--port",
+        type=int,
+        default=8642,
+        help="TCP port (0 picks an ephemeral port, printed at startup)",
+    )
+    p.add_argument(
+        "--pool",
+        type=int,
+        default=0,
+        metavar="N",
+        help="dispatch sat/query/sample to N worker processes with warm "
+        "stores (0 = in-process execution only)",
+    )
+    p.add_argument(
+        "--pool-timeout",
+        type=float,
+        default=30.0,
+        metavar="S",
+        help="seconds before a pooled request falls back in-process",
+    )
+    p.add_argument(
+        "--coalesce-window",
+        type=float,
+        default=0.002,
+        metavar="S",
+        help="how long a query leader waits to merge concurrent requests "
+        "into one joint DP pass (0 disables the wait)",
+    )
+    p.add_argument(
+        "--max-entries",
+        type=int,
+        default=64,
+        help="LRU bound on simultaneously loaded PXDBs",
+    )
+    p.add_argument(
+        "--verbose", action="store_true", help="log every HTTP request"
+    )
+    p.set_defaults(func=_cmd_serve)
 
     return parser
 

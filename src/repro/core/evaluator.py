@@ -79,12 +79,18 @@ class IncrementalEngine:
     * ``hits`` / ``misses`` — cache lookups during those passes;
     * ``nodes_computed``  — subtree signature distributions actually
       recomputed (the quantity the incremental sampler minimizes).
+
+    ``max_entries`` bounds the cache for long-lived engines (the service
+    layer keeps one warm engine per stored PXDB indefinitely): after each
+    run the oldest entries — dict order is insertion order, i.e. bottom-up
+    discovery order — are evicted down to the bound.  ``None`` (the
+    default) keeps the cache unbounded, the original behavior.
     """
 
     __slots__ = ("registry", "identity_keys", "cache", "hits", "misses",
-                 "runs", "nodes_computed")
+                 "runs", "nodes_computed", "max_entries", "evictions")
 
-    def __init__(self, registry: Registry):
+    def __init__(self, registry: Registry, max_entries: int | None = None):
         self.registry = registry
         self.identity_keys = registry.fingerprint_mode == "identity"
         self.cache: dict[int, SigDist] = {}
@@ -92,18 +98,24 @@ class IncrementalEngine:
         self.misses = 0
         self.runs = 0
         self.nodes_computed = 0
+        self.max_entries = max_entries
+        self.evictions = 0
 
     @classmethod
-    def for_formulas(cls, formulas: list[CFormula]) -> "IncrementalEngine":
+    def for_formulas(
+        cls, formulas: list[CFormula], max_entries: int | None = None
+    ) -> "IncrementalEngine":
         """Compile ``formulas`` once (MIN/MAX rewritten, Theorem 7.1) and
         wrap the registry in a fresh engine."""
         from ..aggregates.minmax import rewrite
 
-        return cls(Registry([rewrite(f) for f in formulas]))
+        return cls(Registry([rewrite(f) for f in formulas]), max_entries)
 
     @classmethod
-    def for_formula(cls, formula: CFormula) -> "IncrementalEngine":
-        return cls.for_formulas([formula])
+    def for_formula(
+        cls, formula: CFormula, max_entries: int | None = None
+    ) -> "IncrementalEngine":
+        return cls.for_formulas([formula], max_entries)
 
     def evaluation(self, pdoc: PDocument) -> "Evaluation":
         """A fresh evaluation of ``pdoc`` backed by this engine's cache."""
@@ -112,7 +124,13 @@ class IncrementalEngine:
     def probabilities(self, pdoc: PDocument) -> list[Fraction]:
         """[Pr(P ⊨ γ) for γ in registry.top], reusing all cached subtrees."""
         self.runs += 1
-        return self.evaluation(pdoc).run()
+        results = self.evaluation(pdoc).run()
+        if self.max_entries is not None and len(self.cache) > self.max_entries:
+            excess = len(self.cache) - self.max_entries
+            for key in list(self.cache)[:excess]:
+                del self.cache[key]
+            self.evictions += excess
+        return results
 
     def probability(self, pdoc: PDocument) -> Fraction:
         return self.probabilities(pdoc)[0]
@@ -131,6 +149,7 @@ class IncrementalEngine:
             "hit_rate": self.hits / lookups if lookups else 0.0,
             "nodes_computed": self.nodes_computed,
             "cache_entries": len(self.cache),
+            "cache_evictions": self.evictions,
         }
 
 

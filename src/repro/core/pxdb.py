@@ -73,13 +73,45 @@ class PXDB:
         """Whether the sub-space is nonempty: Pr(P ⊨ C) > 0."""
         return self.constraint_probability() > 0
 
+    def prime_constraint_probability(self, value: Fraction) -> None:
+        """Install a precomputed Pr(P ⊨ C) — e.g. the store warms an
+        :class:`~repro.core.evaluator.IncrementalEngine` with one pass and
+        hands the denominator over instead of paying a second cold pass."""
+        if value < 0 or value > 1:
+            raise ValueError(f"Pr(P |= C) must lie in [0, 1], got {value}")
+        self._constraint_prob = value
+
     # -- EVAL⟨Q, C⟩ ------------------------------------------------------------
     def event_probability(self, event: CFormula) -> Fraction:
         """Pr(D ⊨ γ) = Pr(P ⊨ γ ∧ C) / Pr(P ⊨ C) for any c-formula event."""
-        joint, denominator = probabilities(
-            self.pdoc, [conjunction([self._condition, event]), self._condition]
-        )
-        return joint / denominator
+        return self.event_probabilities([event])[0]
+
+    def event_probabilities(self, events: Sequence[CFormula]) -> list[Fraction]:
+        """[Pr(D ⊨ γ) for γ in events] in one joint DP pass.
+
+        The conditional probabilities of all events are computed together
+        (one registry compilation, one bottom-up traversal — the batching
+        of :func:`~repro.core.evaluator.probabilities`).  The denominator
+        Pr(P ⊨ C) is taken from the :meth:`constraint_probability` cache
+        when warm; when cold it joins the same pass and the cache is
+        populated as a side effect, so no caller ever pays for it twice.
+        """
+        events = list(events)
+        joints = [conjunction([self._condition, event]) for event in events]
+        if self._constraint_prob is None:
+            values = probabilities(self.pdoc, joints + [self._condition])
+            self._constraint_prob = values[-1]
+            joint_values = values[:-1]
+        elif events:
+            joint_values = probabilities(self.pdoc, joints)
+        else:
+            joint_values = []
+        denominator = self._constraint_prob
+        if denominator == 0:
+            raise ValueError(
+                "the p-document is not consistent with the constraints"
+            )
+        return [joint / denominator for joint in joint_values]
 
     def boolean_query(self, pattern: Pattern) -> Fraction:
         """Pr(D ⊨ T′) for a Boolean twig query (Section 5)."""
@@ -110,6 +142,14 @@ class PXDB:
 
             self._sample_engine = IncrementalEngine.for_formula(self._condition)
         return self._sample_engine
+
+    @sample_engine.setter
+    def sample_engine(self, engine) -> None:
+        """Inject a pre-warmed engine (the document store compiles one per
+        entry, runs the CONSTRAINT-SAT pass on it, and hands it over so the
+        first sample request already starts from a hot cache).  The engine
+        must have been compiled for this PXDB's condition."""
+        self._sample_engine = engine
 
     def sample(
         self, rng: random.Random | None = None, incremental: bool = True

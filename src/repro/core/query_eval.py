@@ -24,7 +24,7 @@ from ..pdoc.pdocument import PDocument
 from ..xmltree.matching import enumerate_matches
 from ..xmltree.pattern import Pattern, PatternNode
 from ..xmltree.predicates import NodeIs, PredAnd
-from .evaluator import probabilities, probability
+from .evaluator import probabilities
 from .formulas import CFormula, SFormula, TRUE, conjunction, exists
 from .query import Query
 
@@ -85,13 +85,22 @@ def evaluate_query(
     unless ``keep_zero`` is set.
 
     Raises ``ValueError`` when Pr(P ⊨ C) = 0 (the PXDB is not well-defined).
+
+    All candidate tuples are evaluated *jointly* with the condition in one
+    DP pass (one registry compilation, one bottom-up traversal) — the same
+    batching as ``repro.core.statistics.membership_probabilities`` — rather
+    than one evaluator run per candidate.
     """
-    denominator = probability(pdoc, condition)
+    answers = candidate_tuples(query, pdoc)
+    events = [
+        conjunction([condition, bound_formula(query, answer)]) for answer in answers
+    ]
+    values = probabilities(pdoc, events + [condition])
+    denominator = values[-1]
     if denominator == 0:
         raise ValueError("the p-document is not consistent with the constraints")
     table: AnswerTable = {}
-    for answer in candidate_tuples(query, pdoc):
-        joint = probability(pdoc, conjunction([condition, bound_formula(query, answer)]))
+    for answer, joint in zip(answers, values):
         value = joint / denominator
         if value > 0 or keep_zero:
             table[answer] = value

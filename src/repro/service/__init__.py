@@ -1,0 +1,65 @@
+"""The PXDB service layer: store-and-serve for constrained probabilistic XML.
+
+The paper's three tractable problems — CONSTRAINT-SAT⟨C⟩, EVAL⟨Q, C⟩ and
+SAMPLE⟨C⟩ — are all per-request operations over a *fixed* pair (P̃, C),
+which makes them the ideal shape for a long-lived service: parse the
+p-document once, compile the constraint c-formula once, keep the
+incremental engine warm, and answer every subsequent request from hot
+state instead of from cold CLI invocations.
+
+Modules
+-------
+
+* :mod:`~repro.service.store`    — the named PXDB registry (load-once,
+  LRU-bounded, file-mtime invalidated, warm engines + cached Pr(P ⊨ C));
+* :mod:`~repro.service.coalesce` — batches concurrent formula-probability
+  requests against one entry into single joint DP passes;
+* :mod:`~repro.service.server`   — the stdlib JSON-over-HTTP server
+  (``/sat``, ``/query``, ``/sample``, ``/check``, ``/stats``,
+  ``/metrics``, ``/register``) and the transport-independent
+  :class:`~repro.service.server.PXDBService` it wraps;
+* :mod:`~repro.service.pool`     — optional process-pool execution for
+  CPU-bound evaluation, with per-worker engine warm-up and graceful
+  degradation to in-process execution;
+* :mod:`~repro.service.client`   — the thin Python client (exact
+  ``Fraction`` round-trips);
+* :mod:`~repro.service.metrics`  — request counters, latency histograms
+  and engine cache hit-rates surfaced at ``/metrics``.
+
+Start one with ``python -m repro serve --db name=doc.pxml:constraints.txt``
+(see ``docs/SERVICE.md``).
+"""
+
+from .client import ServiceClient, ServiceError
+from .coalesce import Coalescer
+from .metrics import LatencyHistogram, Metrics
+from .pool import EvaluationPool, PoolUnavailable
+from .server import PXDBService, make_server, serve_forever, start_server
+from .store import (
+    DocumentStore,
+    StoreEntry,
+    load_pxdb,
+    read_constraints,
+    read_document,
+    read_pdocument,
+)
+
+__all__ = [
+    "Coalescer",
+    "DocumentStore",
+    "EvaluationPool",
+    "LatencyHistogram",
+    "Metrics",
+    "PXDBService",
+    "PoolUnavailable",
+    "ServiceClient",
+    "ServiceError",
+    "StoreEntry",
+    "load_pxdb",
+    "make_server",
+    "read_constraints",
+    "read_document",
+    "read_pdocument",
+    "serve_forever",
+    "start_server",
+]

@@ -1,0 +1,122 @@
+"""The thin Python client for the PXDB service.
+
+Stdlib-only (``urllib``); probabilities round-trip as exact ``Fraction``
+strings, so a client-side comparison against a direct
+:class:`~repro.core.pxdb.PXDB` call can demand *equality*, not closeness.
+Used by the test suite, the service benchmark, and the CI smoke job.
+
+    client = ServiceClient("http://127.0.0.1:8642")
+    client.sat("uni")                      # Fraction(5, 8)
+    client.query("uni", "*//'ph.d. st.'/$name")
+    client.sample("uni", count=3, seed=7)  # three XML documents
+"""
+
+from __future__ import annotations
+
+import json
+from fractions import Fraction
+from urllib import error as urlerror
+from urllib import request as urlrequest
+from urllib.parse import urlencode
+
+
+class ServiceError(RuntimeError):
+    """A failed service call; ``status`` is the HTTP code (None when the
+    server was unreachable)."""
+
+    def __init__(self, message: str, status: int | None = None):
+        super().__init__(message)
+        self.status = status
+
+
+class ServiceClient:
+    """One service endpoint, many calls.  Thread-safe (no shared state
+    beyond the base URL), so concurrent-client tests share one instance."""
+
+    def __init__(self, base_url: str, timeout: float = 60.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- transport ------------------------------------------------------------
+    def _request(self, path: str, payload: dict | None = None,
+                 params: dict | None = None) -> dict:
+        url = self.base_url + path
+        if params:
+            url += "?" + urlencode(params)
+        data = None
+        headers = {}
+        if payload is not None:
+            data = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urlrequest.Request(url, data=data, headers=headers)
+        try:
+            with urlrequest.urlopen(request, timeout=self.timeout) as response:
+                body = json.loads(response.read().decode("utf-8"))
+        except urlerror.HTTPError as error:
+            try:
+                message = json.loads(error.read().decode("utf-8")).get(
+                    "error", str(error)
+                )
+            except (ValueError, OSError):
+                message = str(error)
+            raise ServiceError(message, status=error.code) from None
+        except urlerror.URLError as error:
+            raise ServiceError(
+                f"cannot reach service at {self.base_url}: {error.reason}"
+            ) from None
+        if not body.get("ok", False):
+            raise ServiceError(str(body.get("error", "service error")))
+        return body
+
+    # -- the three problems ---------------------------------------------------
+    def sat(self, db: str) -> Fraction:
+        """Pr(P ⊨ C) of the stored PXDB, exact."""
+        return Fraction(self.sat_info(db)["constraint_probability"])
+
+    def sat_info(self, db: str) -> dict:
+        return self._request("/sat", {"db": db})
+
+    def query(self, db: str, query: str) -> dict[tuple, Fraction]:
+        """Per-answer probabilities keyed by label tuples, exact — the
+        same shape as ``PXDB.query_labels``."""
+        return {
+            tuple(row["answer"]): Fraction(row["probability"])
+            for row in self.query_info(db, query)["answers"]
+        }
+
+    def query_info(self, db: str, query: str) -> dict:
+        return self._request("/query", {"db": db, "query": query})
+
+    def sample(self, db: str, count: int = 1, seed: int | None = None) -> list[str]:
+        """``count`` sampled documents as XML strings (deterministic given
+        ``seed`` — identical to ``PXDB.sample(random.Random(seed))``)."""
+        body = self._request(
+            "/sample", {"db": db, "count": count, "seed": seed}
+        )
+        return body["documents"]
+
+    def check(self, db: str, document_xml: str) -> dict:
+        return self._request("/check", {"db": db, "document": document_xml})
+
+    # -- management -----------------------------------------------------------
+    def register(self, name: str, pdocument_path: str,
+                 constraints_path: str | None = None) -> dict:
+        return self._request(
+            "/register",
+            {
+                "name": name,
+                "pdocument": str(pdocument_path),
+                "constraints": (
+                    str(constraints_path) if constraints_path is not None else None
+                ),
+            },
+        )
+
+    def stats(self) -> dict:
+        return self._request("/stats")
+
+    def metrics(self) -> dict:
+        return self._request("/metrics")
+
+    def health(self) -> bool:
+        return self._request("/health").get("status") == "ok"

@@ -1,0 +1,116 @@
+"""Request coalescing: concurrent evaluations share one joint DP pass.
+
+The evaluator's deepest batching lever is that :func:`repro.core.evaluator.
+probabilities` computes *any number* of c-formula probabilities in a
+single bottom-up pass over the p-document — the compiled registry simply
+carries more slots.  ``PXDB.event_probabilities`` builds on it (all events
+conjoined with the condition, the cached denominator shared), and this
+module turns it into a concurrency primitive: when several requests
+against the same stored PXDB arrive together, the first becomes the
+*leader*, waits one small coalescing window for followers to pile in,
+drains the queue, runs **one** joint pass for every pending event, and
+distributes the slices.  Followers just block on a future.
+
+The result is identical to evaluating each request alone (the arithmetic
+is exact and per-formula independent); only the traversal is shared —
+with k concurrent requests the document is walked once instead of k
+times.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future
+from fractions import Fraction
+from typing import Sequence
+
+from ..core.formulas import CFormula
+from ..core.pxdb import PXDB
+
+
+class Coalescer:
+    """Batches concurrent formula-probability requests against one PXDB.
+
+    ``window`` is how long a leader waits for followers before running the
+    joint pass (seconds; 0 disables the wait — still correct, coalescing
+    then only catches requests that arrived while a pass was in flight).
+    """
+
+    def __init__(self, pxdb: PXDB, window: float = 0.002):
+        self.pxdb = pxdb
+        self.window = window
+        self._lock = threading.Lock()
+        self._pending: list[tuple[Sequence[CFormula], Future]] = []
+        self._leader_active = False
+        self.batches = 0
+        self.coalesced_requests = 0
+        self.largest_batch = 0
+
+    def event_probabilities(self, events: Sequence[CFormula]) -> list[Fraction]:
+        """[Pr(D ⊨ γ) for γ in events], possibly computed inside a joint
+        pass shared with concurrently arriving requests."""
+        future: Future = Future()
+        with self._lock:
+            self._pending.append((events, future))
+            lead = not self._leader_active
+            if lead:
+                self._leader_active = True
+        if lead:
+            self._drive()
+        return future.result()
+
+    def event_probability(self, event: CFormula) -> Fraction:
+        return self.event_probabilities([event])[0]
+
+    def _drive(self) -> None:
+        """Leader duty: wait the window, drain everything pending, run one
+        joint pass, slice the results back out.  Repeats while more work
+        arrived during the pass, so no request is left leaderless."""
+        while True:
+            if self.window > 0:
+                time.sleep(self.window)
+            with self._lock:
+                batch = self._pending
+                self._pending = []
+                if not batch:
+                    self._leader_active = False
+                    return
+            self._run_batch(batch)
+            with self._lock:
+                if not self._pending:
+                    self._leader_active = False
+                    return
+                # New requests arrived while evaluating: stay leader.
+
+    def _run_batch(self, batch: list[tuple[Sequence[CFormula], Future]]) -> None:
+        flat: list[CFormula] = []
+        slices: list[tuple[int, int]] = []
+        for events, _ in batch:
+            start = len(flat)
+            flat.extend(events)
+            slices.append((start, len(flat)))
+        try:
+            values = self.pxdb.event_probabilities(flat)
+        except BaseException as error:  # noqa: BLE001 — fan the failure out
+            for _, future in batch:
+                future.set_exception(error)
+            return
+        self.batches += 1
+        self.coalesced_requests += len(batch)
+        self.largest_batch = max(self.largest_batch, len(batch))
+        for (start, stop), (_, future) in zip(slices, batch):
+            future.set_result(values[start:stop])
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "batches": self.batches,
+                "coalesced_requests": self.coalesced_requests,
+                "largest_batch": self.largest_batch,
+                "mean_batch_size": (
+                    round(self.coalesced_requests / self.batches, 2)
+                    if self.batches
+                    else 0.0
+                ),
+            }

@@ -1,0 +1,129 @@
+"""Service observability: request counters and latency histograms.
+
+Everything here is stdlib-only and thread-safe; the server surfaces one
+:class:`Metrics` snapshot at ``/metrics`` (request counts and error counts
+per endpoint, latency histograms with estimated quantiles, store and
+engine cache statistics merged in by the service).
+
+Counters are deliberately coarse-grained — the point is to answer "is the
+warm path actually warm" (engine hit rates, coalescer batch sizes, result
+cache hits) and "where does request time go", not to replace a real APM.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from bisect import bisect_left
+
+# Bucket upper bounds in seconds (the last bucket is +inf).  Spans the
+# range from a cache-hit response (~100 µs) to a cold multi-second pass.
+DEFAULT_BUCKETS = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+
+class LatencyHistogram:
+    """A fixed-bucket latency histogram (cumulative-style, Prometheus-like).
+
+    ``observe`` is O(log buckets); ``summary`` reports count, total and
+    mean alongside quantile estimates interpolated from the buckets —
+    coarse by construction, but plenty to see a warm/cold split.
+    """
+
+    __slots__ = ("buckets", "counts", "count", "total")
+
+    def __init__(self, buckets: tuple[float, ...] = DEFAULT_BUCKETS):
+        self.buckets = buckets
+        self.counts = [0] * (len(buckets) + 1)  # last slot: > buckets[-1]
+        self.count = 0
+        self.total = 0.0
+
+    def observe(self, seconds: float) -> None:
+        self.counts[bisect_left(self.buckets, seconds)] += 1
+        self.count += 1
+        self.total += seconds
+
+    def quantile(self, q: float) -> float:
+        """Upper bound of the bucket containing the q-quantile (seconds)."""
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        cumulative = 0
+        for index, bucket_count in enumerate(self.counts):
+            cumulative += bucket_count
+            if cumulative >= target:
+                if index < len(self.buckets):
+                    return self.buckets[index]
+                return float("inf")
+        return float("inf")
+
+    def summary(self) -> dict:
+        return {
+            "count": self.count,
+            "total_ms": round(self.total * 1000, 3),
+            "mean_ms": round(self.total / self.count * 1000, 3) if self.count else 0.0,
+            "p50_ms": round(self.quantile(0.5) * 1000, 3),
+            "p90_ms": round(self.quantile(0.9) * 1000, 3),
+            "p99_ms": round(self.quantile(0.99) * 1000, 3),
+        }
+
+
+class Metrics:
+    """Named counters plus per-key latency histograms, behind one lock."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counters: dict[str, int] = {}
+        self._histograms: dict[str, LatencyHistogram] = {}
+        self.started_at = time.time()
+
+    def increment(self, name: str, amount: int = 1) -> None:
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + amount
+
+    def observe(self, name: str, seconds: float) -> None:
+        with self._lock:
+            histogram = self._histograms.get(name)
+            if histogram is None:
+                histogram = self._histograms[name] = LatencyHistogram()
+            histogram.observe(seconds)
+
+    def timed(self, name: str) -> "_Timer":
+        """``with metrics.timed("query"): …`` — counts the request, times
+        it, and counts ``<name>.errors`` when the block raises."""
+        return _Timer(self, name)
+
+    def counter(self, name: str) -> int:
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "uptime_s": round(time.time() - self.started_at, 3),
+                "counters": dict(sorted(self._counters.items())),
+                "latency": {
+                    name: histogram.summary()
+                    for name, histogram in sorted(self._histograms.items())
+                },
+            }
+
+
+class _Timer:
+    __slots__ = ("metrics", "name", "start")
+
+    def __init__(self, metrics: Metrics, name: str):
+        self.metrics = metrics
+        self.name = name
+
+    def __enter__(self) -> "_Timer":
+        self.metrics.increment(f"{self.name}.requests")
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.metrics.observe(self.name, time.perf_counter() - self.start)
+        if exc_type is not None:
+            self.metrics.increment(f"{self.name}.errors")

@@ -1,0 +1,192 @@
+"""Process-pool execution for CPU-bound evaluation.
+
+The evaluator is pure Python over exact ``Fraction`` arithmetic, so under
+the GIL the threaded server serializes DP passes no matter how many
+request threads run.  This module moves the three problem operations
+(``sat``, ``query``, ``sample``) into worker *processes*:
+
+* **per-worker warm-up** — each worker is initialized with the store's
+  file specs and builds its own :class:`~repro.service.store.DocumentStore`
+  (parse once, compile once, denominator cached), so after the first
+  request per worker the pool serves from hot state exactly like the
+  in-process path;
+* **bounded queue** — at most ``queue_limit`` requests are in flight;
+  further submissions are rejected immediately rather than queued without
+  bound;
+* **graceful degradation** — a full queue, a result timeout, a broken
+  pool, or a database the workers cannot load all raise
+  :class:`PoolUnavailable`, which the server translates into silent
+  in-process fallback (the warm store answers; ``pool.fallbacks`` counts
+  it).  The service never returns an error *because* the pool is sick.
+
+Workers execute the same payload builders as the in-process path
+(:mod:`repro.service.server`), and the arithmetic is exact, so pooled
+responses are byte-identical to in-process ones.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeout
+from concurrent.futures.process import BrokenProcessPool
+
+from .store import DocumentStore
+
+# Worker-process global, set by the initializer.  Plain module state is
+# the supported ProcessPoolExecutor idiom for per-worker caches.
+_WORKER_STORE: DocumentStore | None = None
+
+
+def _init_worker(
+    specs: list[tuple[str, str, str | None]],
+    engine_cache_cap: int | None,
+    query_cache_cap: int,
+) -> None:
+    """Build this worker's warm store from the parent's file specs.
+
+    A spec that fails to load is skipped (not fatal): the name simply
+    stays unregistered in this worker, requests for it raise ``KeyError``
+    and the parent falls back to its own in-process entry.
+    """
+    global _WORKER_STORE
+    store = DocumentStore(
+        max_entries=max(len(specs), 1),
+        check_mtime=False,  # workers are warmed once; parent handles reloads
+        engine_cache_cap=engine_cache_cap,
+        query_cache_cap=query_cache_cap,
+        coalesce_window=0.0,  # single-request workers have nobody to wait for
+    )
+    for name, pdocument_path, constraints_path in specs:
+        try:
+            store.register(name, pdocument_path, constraints_path)
+        except ValueError:
+            continue
+    _WORKER_STORE = store
+
+
+def _worker_run(op: str, name: str, payload: dict) -> dict:
+    """Execute one operation against the worker's warm store."""
+    if op == "sleep":  # test hook: occupy a worker for a controlled time
+        time.sleep(float(payload.get("seconds", 0.0)))
+        return {"slept": float(payload.get("seconds", 0.0))}
+    from .server import query_payload, sample_payload, sat_payload
+
+    if _WORKER_STORE is None:
+        raise KeyError("worker store is not initialized")
+    entry = _WORKER_STORE.get(name)
+    if op == "sat":
+        return sat_payload(entry)
+    if op == "query":
+        return query_payload(entry, payload["query_text"], coalesce=False)
+    if op == "sample":
+        return sample_payload(
+            entry, count=payload.get("count", 1), seed=payload.get("seed")
+        )
+    raise ValueError(f"unknown pool operation {op!r}")
+
+
+class PoolUnavailable(RuntimeError):
+    """The pool cannot serve this request *right now* — callers should
+    degrade to in-process execution, not fail the request."""
+
+
+class EvaluationPool:
+    """A bounded process pool with warm per-worker document stores.
+
+    ``specs`` is ``DocumentStore.specs()`` output — the (name, p-document
+    path, constraints path) triples the workers load at startup.  Only
+    file-backed entries can be pooled; in-memory entries always execute
+    in-process via the fallback path.
+    """
+
+    def __init__(
+        self,
+        specs: list[tuple[str, str, str | None]] = (),
+        *,
+        workers: int = 2,
+        timeout: float = 30.0,
+        queue_limit: int | None = None,
+        engine_cache_cap: int | None = None,
+        query_cache_cap: int = 128,
+    ):
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        self.workers = workers
+        self.timeout = timeout
+        self.queue_limit = queue_limit if queue_limit is not None else workers * 2
+        self._slots = threading.BoundedSemaphore(self.queue_limit)
+        self._lock = threading.Lock()
+        self._broken = False
+        self.submitted = 0
+        self.completed = 0
+        self.timeouts = 0
+        self.rejected = 0
+        self._executor = ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_init_worker,
+            initargs=(list(specs), engine_cache_cap, query_cache_cap),
+        )
+
+    def run(self, op: str, name: str, payload: dict | None = None,
+            timeout: float | None = None) -> dict:
+        """One pooled operation; raises :class:`PoolUnavailable` when the
+        pool cannot answer in time (the request may still complete in the
+        worker — the result is simply dropped) and re-raises the worker's
+        own exception (``KeyError``/``ValueError``) when it fails."""
+        if self._broken:
+            raise PoolUnavailable("process pool is broken")
+        if not self._slots.acquire(blocking=False):
+            with self._lock:
+                self.rejected += 1
+            raise PoolUnavailable(
+                f"pool queue is full ({self.queue_limit} requests in flight)"
+            )
+        try:
+            future = self._executor.submit(_worker_run, op, name, payload or {})
+        except BaseException as error:  # shut down or broken executor
+            self._slots.release()
+            self._broken = True
+            raise PoolUnavailable(f"pool submit failed: {error}") from error
+        with self._lock:
+            self.submitted += 1
+        future.add_done_callback(lambda _f: self._slots.release())
+        deadline = self.timeout if timeout is None else timeout
+        try:
+            result = future.result(deadline)
+        except FuturesTimeout:
+            future.cancel()
+            with self._lock:
+                self.timeouts += 1
+            raise PoolUnavailable(
+                f"pool result timed out after {deadline:g}s"
+            ) from None
+        except BrokenProcessPool as error:
+            self._broken = True
+            raise PoolUnavailable(f"process pool broke: {error}") from error
+        with self._lock:
+            self.completed += 1
+        return result
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "workers": self.workers,
+                "queue_limit": self.queue_limit,
+                "timeout_s": self.timeout,
+                "submitted": self.submitted,
+                "completed": self.completed,
+                "timeouts": self.timeouts,
+                "rejected": self.rejected,
+                "broken": self._broken,
+            }
+
+    def shutdown(self) -> None:
+        self._executor.shutdown(wait=False, cancel_futures=True)
+
+    def __enter__(self) -> "EvaluationPool":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown()

@@ -1,0 +1,383 @@
+"""The PXDB query/sample server: JSON over HTTP, stdlib only.
+
+Two layers:
+
+* :class:`PXDBService` — the transport-independent request surface.  Every
+  public method takes plain values and returns a JSON-ready ``dict``, so
+  tests (and the process-pool workers) exercise exactly the code the HTTP
+  handler serves.  The service owns a :class:`~repro.service.store.
+  DocumentStore` (warm engines, cached denominators), a
+  :class:`~repro.service.metrics.Metrics` sink, and optionally an
+  :class:`~repro.service.pool.EvaluationPool` for CPU-bound dispatch.
+* ``ThreadingHTTPServer`` + :class:`_Handler` — the thin HTTP skin.  One
+  thread per connection; handlers translate routes to service calls and
+  exceptions to status codes (``KeyError`` → 404, ``ValueError`` → 400,
+  anything else → 500).
+
+Request coalescing: ``/query`` computes per-answer probabilities through
+the entry's :class:`~repro.service.coalesce.Coalescer`, so queries that
+arrive concurrently against the same stored PXDB share **one** joint DP
+pass over the p-document (the batching of ``PXDB.event_probabilities``
+promoted to a concurrency primitive).  ``/sat`` answers from the cached
+Pr(P ⊨ C); repeated ``/query`` texts answer from the entry's LRU result
+cache; ``/sample`` runs on the entry's warm incremental engine under a
+per-entry lock (the engine's cache is not concurrency-safe, and sampling
+is the only operation that mutates it).
+
+Pool mode: when a pool is attached, ``/sat``, ``/query`` and ``/sample``
+are dispatched to a worker process with its own warm store; on timeout,
+full queue or broken pool the request silently degrades to in-process
+execution (counted under ``pool.fallbacks`` in ``/metrics``).
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import threading
+import xml.etree.ElementTree as ET
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlparse
+
+from ..core.constraints import Constraint
+from ..core.explain import explain_violations
+from ..core.query import Query
+from ..core.query_eval import bound_formula, candidate_tuples, decode_answers
+from ..xmltree.serialize import document_from_xml, document_to_xml
+from .metrics import Metrics
+from .pool import EvaluationPool, PoolUnavailable
+from .store import DocumentStore, StoreEntry
+
+
+# -- payload builders ---------------------------------------------------------
+# Module-level so the pool workers (repro.service.pool._worker_run) execute
+# the very same code against their own warm store — pooled and in-process
+# responses are byte-identical (the arithmetic is exact everywhere).
+
+def sat_payload(entry: StoreEntry) -> dict:
+    """CONSTRAINT-SAT⟨C⟩ — answered from the cached denominator (the store
+    primed it from the warm engine's load-time pass, so this is O(1))."""
+    value = entry.pxdb.constraint_probability()
+    return {
+        "db": entry.name,
+        "constraint_probability": str(value),
+        "constraint_probability_float": float(value),
+        "well_defined": value > 0,
+    }
+
+
+def query_payload(entry: StoreEntry, query_text: str, *, coalesce: bool = True) -> dict:
+    """EVAL⟨Q, C⟩ — all candidate tuples evaluated in one joint DP pass,
+    through the coalescer (shared with concurrent requests) unless
+    ``coalesce=False`` (pool workers are single-request, no window to wait)."""
+    query = Query.parse(query_text)
+    pdoc = entry.pxdb.pdoc
+    answers = candidate_tuples(query, pdoc)
+    events = [bound_formula(query, answer) for answer in answers]
+    if coalesce:
+        values = entry.coalescer.event_probabilities(events)
+    else:
+        values = entry.pxdb.event_probabilities(events)
+    table = {answer: value for answer, value in zip(answers, values) if value > 0}
+    rows = [
+        {
+            "answer": [str(label) for label in labels],
+            "probability": str(value),
+            "probability_float": float(value),
+        }
+        for labels, value in sorted(
+            decode_answers(table, pdoc).items(), key=lambda kv: (-kv[1], str(kv[0]))
+        )
+    ]
+    return {"db": entry.name, "query": query_text, "answers": rows}
+
+
+def sample_payload(entry: StoreEntry, count: int = 1, seed: int | None = None) -> dict:
+    """SAMPLE⟨C⟩ — ``count`` draws on the entry's warm incremental engine.
+    The per-entry lock serializes samplers (the engine cache is shared
+    mutable state); a ``seed`` makes the draw sequence deterministic and
+    identical to ``PXDB.sample`` with the same ``random.Random(seed)``."""
+    if count < 1:
+        raise ValueError(f"count must be positive, got {count}")
+    rng = random.Random(seed)
+    with entry.sample_lock:
+        documents = [
+            document_to_xml(entry.pxdb.sample(rng), style="tags")
+            for _ in range(count)
+        ]
+    return {"db": entry.name, "count": count, "seed": seed, "documents": documents}
+
+
+def check_payload(entry: StoreEntry, document_xml: str) -> dict:
+    """Explain a concrete document's violations of the stored constraints
+    (Definition 2.2 constraints only — c-formula constraints have no
+    per-violation witness to describe)."""
+    try:
+        document = document_from_xml(document_xml)
+    except ET.ParseError as error:
+        raise ValueError(f"malformed XML document: {error}") from error
+    constraints = [c for c in entry.constraints if isinstance(c, Constraint)]
+    violations = explain_violations(document, constraints)
+    return {
+        "db": entry.name,
+        "satisfies": not violations,
+        "violations": [violation.describe() for violation in violations],
+        "checked_constraints": len(constraints),
+    }
+
+
+# -- the service --------------------------------------------------------------
+
+class PXDBService:
+    """The transport-independent request surface over a document store."""
+
+    def __init__(
+        self,
+        store: DocumentStore | None = None,
+        *,
+        metrics: Metrics | None = None,
+        pool: EvaluationPool | None = None,
+    ):
+        self.store = store if store is not None else DocumentStore()
+        self.metrics = metrics if metrics is not None else Metrics()
+        self.pool = pool
+
+    # -- problem endpoints ----------------------------------------------------
+    def sat(self, db: str) -> dict:
+        with self.metrics.timed("sat"):
+            return self._dispatch("sat", db, {})
+
+    def query(self, db: str, query_text: str) -> dict:
+        with self.metrics.timed("query"):
+            entry = self.store.get(db)  # also refreshes mtime-stale entries
+            cached = entry.cached_query(query_text)
+            if cached is not None:
+                self.metrics.increment("query.cache_hits")
+                return cached
+            payload = self._dispatch("query", db, {"query_text": query_text})
+            entry.cache_query(query_text, payload)
+            return payload
+
+    def sample(self, db: str, count: int = 1, seed: int | None = None) -> dict:
+        with self.metrics.timed("sample"):
+            return self._dispatch("sample", db, {"count": count, "seed": seed})
+
+    def check(self, db: str, document_xml: str) -> dict:
+        with self.metrics.timed("check"):
+            return check_payload(self.store.get(db), document_xml)
+
+    # -- management endpoints -------------------------------------------------
+    def register(
+        self, name: str, pdocument_path: str, constraints_path: str | None = None
+    ) -> dict:
+        with self.metrics.timed("register"):
+            entry = self.store.register(name, pdocument_path, constraints_path)
+            return entry.info()
+
+    def stats(self) -> dict:
+        with self.metrics.timed("stats"):
+            return {
+                "store": self.store.stats(),
+                "databases": {
+                    entry.name: entry.info() for entry in self.store.loaded_entries()
+                },
+                "registered": self.store.names(),
+            }
+
+    def metrics_payload(self) -> dict:
+        payload = self.metrics.snapshot()
+        payload["store"] = self.store.stats()
+        payload["engines"] = {
+            entry.name: entry.engine.stats() for entry in self.store.loaded_entries()
+        }
+        payload["coalescers"] = {
+            entry.name: entry.coalescer.stats()
+            for entry in self.store.loaded_entries()
+        }
+        if self.pool is not None:
+            payload["pool"] = self.pool.stats()
+        return payload
+
+    # -- internals ------------------------------------------------------------
+    def _dispatch(self, op: str, db: str, kwargs: dict) -> dict:
+        """Run ``op`` in the pool when one is attached, in-process otherwise.
+
+        Degradation is deliberate and silent: a full queue, a timeout, a
+        broken pool, or a database the workers do not have (in-memory
+        entries have no file spec to warm workers from) all fall back to
+        the in-process warm path and bump ``pool.fallbacks``.
+        """
+        if self.pool is not None:
+            try:
+                result = self.pool.run(op, db, kwargs)
+                self.metrics.increment("pool.dispatched")
+                return result
+            except (PoolUnavailable, KeyError):
+                self.metrics.increment("pool.fallbacks")
+        entry = self.store.get(db)
+        if op == "sat":
+            return sat_payload(entry)
+        if op == "query":
+            return query_payload(entry, **kwargs)
+        if op == "sample":
+            return sample_payload(entry, **kwargs)
+        raise AssertionError(f"unknown operation {op!r}")
+
+
+# -- the HTTP skin ------------------------------------------------------------
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "PXDBService/1.0"
+    protocol_version = "HTTP/1.1"  # keep-alive; every response carries a length
+
+    @property
+    def service(self) -> PXDBService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    def do_GET(self) -> None:  # noqa: N802 — http.server API
+        parsed = urlparse(self.path)
+        params = {key: values[-1] for key, values in parse_qs(parsed.query).items()}
+        self._handle(parsed.path, params)
+
+    def do_POST(self) -> None:  # noqa: N802 — http.server API
+        length = int(self.headers.get("Content-Length") or 0)
+        body = self.rfile.read(length)
+        try:
+            params = json.loads(body) if body else {}
+            if not isinstance(params, dict):
+                raise ValueError("request body must be a JSON object")
+        except json.JSONDecodeError as error:
+            self._send(400, {"ok": False, "error": f"invalid JSON body: {error}"})
+            return
+        self._handle(urlparse(self.path).path, params)
+
+    def _handle(self, route: str, params: dict) -> None:
+        service = self.service
+        try:
+            if route == "/sat":
+                payload = service.sat(_required(params, "db"))
+            elif route == "/query":
+                payload = service.query(
+                    _required(params, "db"), _required(params, "query")
+                )
+            elif route == "/sample":
+                seed = params.get("seed")
+                payload = service.sample(
+                    _required(params, "db"),
+                    count=int(params.get("count", 1)),
+                    seed=int(seed) if seed is not None else None,
+                )
+            elif route == "/check":
+                payload = service.check(
+                    _required(params, "db"), _required(params, "document")
+                )
+            elif route == "/register":
+                payload = service.register(
+                    _required(params, "name"),
+                    _required(params, "pdocument"),
+                    params.get("constraints"),
+                )
+            elif route == "/stats":
+                payload = service.stats()
+            elif route == "/metrics":
+                payload = service.metrics_payload()
+            elif route == "/health":
+                payload = {"status": "ok"}
+            else:
+                self._send(404, {"ok": False, "error": f"no such endpoint: {route}"})
+                return
+        except KeyError as error:
+            self._send(404, {"ok": False, "error": _message(error)})
+        except ValueError as error:
+            self._send(400, {"ok": False, "error": str(error)})
+        except Exception as error:  # noqa: BLE001 — last-resort 500
+            self.service.metrics.increment("http.internal_errors")
+            self._send(500, {"ok": False, "error": f"{type(error).__name__}: {error}"})
+        else:
+            self._send(200, {"ok": True, **payload})
+
+    def _send(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        """Per-request stderr chatter off by default (metrics cover it)."""
+        if getattr(self.server, "verbose", False):
+            super().log_message(format, *args)
+
+
+def _required(params: dict, key: str) -> str:
+    value = params.get(key)
+    if value is None:
+        raise ValueError(f"missing required parameter {key!r}")
+    return value
+
+
+def _message(error: KeyError) -> str:
+    return str(error.args[0]) if error.args else str(error)
+
+
+# -- lifecycle ----------------------------------------------------------------
+
+def make_server(
+    service: PXDBService | DocumentStore,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    *,
+    metrics: Metrics | None = None,
+    pool: EvaluationPool | None = None,
+    verbose: bool = False,
+) -> ThreadingHTTPServer:
+    """A bound (not yet serving) threaded HTTP server over ``service``.
+
+    Accepts a bare :class:`~repro.service.store.DocumentStore` for
+    convenience; ``port=0`` binds an ephemeral port (read it back from
+    ``server.server_address``).
+    """
+    if not isinstance(service, PXDBService):
+        service = PXDBService(service, metrics=metrics, pool=pool)
+    server = ThreadingHTTPServer((host, port), _Handler)
+    server.daemon_threads = True
+    server.service = service  # type: ignore[attr-defined]
+    server.verbose = verbose  # type: ignore[attr-defined]
+    return server
+
+
+def start_server(
+    service: PXDBService | DocumentStore,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    *,
+    metrics: Metrics | None = None,
+    pool: EvaluationPool | None = None,
+) -> ThreadingHTTPServer:
+    """Bind and serve on a daemon thread; returns the running server.
+    Shut down with ``server.shutdown(); server.server_close()``."""
+    server = make_server(service, host, port, metrics=metrics, pool=pool)
+    thread = threading.Thread(
+        target=server.serve_forever, name="pxdb-service", daemon=True
+    )
+    server.service_thread = thread  # type: ignore[attr-defined]
+    thread.start()
+    return server
+
+
+def serve_forever(
+    service: PXDBService | DocumentStore,
+    host: str = "127.0.0.1",
+    port: int = 8642,
+    *,
+    verbose: bool = False,
+) -> None:
+    """Blocking serve loop for the CLI (Ctrl-C returns cleanly)."""
+    server = make_server(service, host, port, verbose=verbose)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()

@@ -1,0 +1,367 @@
+"""The PXDB document store: a named registry of warm (P̃, C) pairs.
+
+A stored entry is everything a request against a PXDB needs, loaded once:
+
+* the parsed :class:`~repro.pdoc.pdocument.PDocument` and constraint set;
+* the compiled condition c-formula inside a warm
+  :class:`~repro.core.evaluator.IncrementalEngine` — the store runs the
+  CONSTRAINT-SAT pass on it at load time, so Pr(P ⊨ C) is cached (and
+  primed into the PXDB's denominator cache: every EVAL⟨Q, C⟩ request
+  divides by it without recomputing) and the engine's
+  signature-distribution cache is hot before the first request arrives;
+* a :class:`~repro.service.coalesce.Coalescer` that merges concurrent
+  formula-probability requests into single joint DP passes;
+* an LRU-bounded per-query result cache (exact ``Fraction`` tables —
+  sound because a stored document only changes via reload, which replaces
+  the whole entry).
+
+The registry itself keeps *specs* (name → file paths) separately from
+*loaded entries*: entries are LRU-evicted beyond ``max_entries`` but the
+spec survives, so a later request transparently reloads.  On every access
+the source files' mtimes are compared against the load-time values and a
+change invalidates the entry (fresh parse, fresh engine, fresh caches).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+import xml.etree.ElementTree as ET
+from collections import OrderedDict
+from pathlib import Path
+from typing import Iterable
+
+from ..core.constraint_parser import parse_constraints
+from ..core.constraints import Constraint
+from ..core.evaluator import IncrementalEngine
+from ..core.formulas import CFormula
+from ..core.pxdb import PXDB
+from ..pdoc.pdocument import PDocument
+from ..pdoc.serialize import pdocument_from_xml
+from ..xmltree.document import Document
+from ..xmltree.serialize import document_from_xml
+from .coalesce import Coalescer
+
+
+def read_pdocument(path: str | os.PathLike) -> PDocument:
+    """Parse a p-document file; every failure is a one-line ``ValueError``
+    naming the path (missing file, malformed XML, invalid structure)."""
+    text = _read(path, "p-document")
+    try:
+        return pdocument_from_xml(text)
+    except ET.ParseError as error:
+        raise ValueError(f"malformed XML in p-document {path}: {error}") from error
+    except ValueError as error:
+        raise ValueError(f"invalid p-document {path}: {error}") from error
+
+
+def read_constraints(path: str | os.PathLike | None) -> list[Constraint]:
+    """Parse a constraint file (``None`` → no constraints), one-line errors."""
+    if path is None:
+        return []
+    try:
+        return parse_constraints(_read(path, "constraint file"))
+    except ValueError as error:
+        raise ValueError(f"invalid constraint file {path}: {error}") from error
+
+
+def read_document(path: str | os.PathLike) -> Document:
+    """Parse a concrete XML document file, one-line errors."""
+    text = _read(path, "document")
+    try:
+        return document_from_xml(text)
+    except ET.ParseError as error:
+        raise ValueError(f"malformed XML in document {path}: {error}") from error
+
+
+def load_pxdb(
+    pdocument_path: str | os.PathLike,
+    constraints_path: str | os.PathLike | None = None,
+) -> tuple[PXDB, list[Constraint]]:
+    """Load a PXDB from disk with one-line, path-bearing error messages.
+
+    Raises ``ValueError`` for unreadable or malformed files — one exception
+    type so both the CLI and the server map every load failure to a single
+    user-facing error path.  Consistency is *not* checked here (the store
+    checks it via the warm engine's pass, paying the DP exactly once).
+    """
+    pdoc = read_pdocument(pdocument_path)
+    constraints = read_constraints(constraints_path)
+    return PXDB(pdoc, constraints, check=False), constraints
+
+
+def _read(path: str | os.PathLike, kind: str) -> str:
+    try:
+        return Path(path).read_text()
+    except OSError as error:
+        reason = error.strerror or str(error)
+        raise ValueError(f"cannot read {kind} {path}: {reason}") from error
+
+
+class StoreEntry:
+    """One warm PXDB: document, constraints, engine, coalescer, caches."""
+
+    __slots__ = ("name", "pdocument_path", "constraints_path", "pxdb",
+                 "constraints", "engine", "coalescer", "lock", "sample_lock",
+                 "query_cache", "query_cache_cap", "loaded_at", "mtimes")
+
+    def __init__(
+        self,
+        name: str,
+        pxdb: PXDB,
+        constraints: Iterable[Constraint | CFormula],
+        *,
+        pdocument_path: str | None = None,
+        constraints_path: str | None = None,
+        mtimes: tuple[int, ...] = (),
+        engine_cache_cap: int | None = None,
+        query_cache_cap: int = 128,
+        coalesce_window: float = 0.002,
+    ):
+        self.name = name
+        self.pdocument_path = pdocument_path
+        self.constraints_path = constraints_path
+        self.pxdb = pxdb
+        self.constraints = tuple(constraints)
+        self.mtimes = mtimes
+        self.loaded_at = time.time()
+        self.lock = threading.Lock()
+        # Sampling mutates the warm engine's cache (not concurrency-safe)
+        # — the server serializes /sample per entry on this lock.
+        self.sample_lock = threading.Lock()
+        self.query_cache: OrderedDict[str, dict] = OrderedDict()
+        self.query_cache_cap = query_cache_cap
+        # Warm-up: one engine, one CONSTRAINT-SAT pass.  The denominator is
+        # primed into the PXDB and the engine is injected as its sample
+        # engine, so /sat answers from cache, /query divides by the cached
+        # denominator, and the first /sample starts from a hot DP cache.
+        self.engine = IncrementalEngine.for_formula(
+            pxdb.condition, max_entries=engine_cache_cap
+        )
+        denominator = self.engine.probability(pxdb.pdoc)
+        if denominator == 0:
+            raise ValueError(
+                f"PXDB {name!r} is not well-defined: Pr(P |= C) = 0"
+            )
+        pxdb.prime_constraint_probability(denominator)
+        pxdb.sample_engine = self.engine
+        self.coalescer = Coalescer(pxdb, window=coalesce_window)
+
+    def cache_query(self, key: str, payload: dict) -> None:
+        with self.lock:
+            cache = self.query_cache
+            cache[key] = payload
+            cache.move_to_end(key)
+            while len(cache) > self.query_cache_cap:
+                cache.popitem(last=False)
+
+    def cached_query(self, key: str) -> dict | None:
+        with self.lock:
+            payload = self.query_cache.get(key)
+            if payload is not None:
+                self.query_cache.move_to_end(key)
+            return payload
+
+    def info(self) -> dict:
+        """A JSON-ready description (served by ``/stats``)."""
+        pdoc = self.pxdb.pdoc
+        denominator = self.pxdb.constraint_probability()
+        return {
+            "name": self.name,
+            "pdocument": self.pdocument_path,
+            "constraints_file": self.constraints_path,
+            "constraints": len(self.constraints),
+            "ordinary_nodes": pdoc.ordinary_size(),
+            "distributional_edges": len(pdoc.dist_edges()),
+            "constraint_probability": str(denominator),
+            "constraint_probability_float": float(denominator),
+            "loaded_at": self.loaded_at,
+            "query_cache_entries": len(self.query_cache),
+            "engine": self.engine.stats(),
+            "coalescer": self.coalescer.stats(),
+        }
+
+
+class DocumentStore:
+    """The named registry: register once, serve warm forever.
+
+    Thread-safe.  ``max_entries`` bounds the number of *loaded* entries
+    (LRU); registered specs are never forgotten, so an evicted name
+    reloads transparently on next access.  ``check_mtime=False`` disables
+    the per-access stat calls (for immutable deployments).
+    """
+
+    def __init__(
+        self,
+        max_entries: int = 64,
+        *,
+        check_mtime: bool = True,
+        engine_cache_cap: int | None = None,
+        query_cache_cap: int = 128,
+        coalesce_window: float = 0.002,
+    ):
+        if max_entries < 1:
+            raise ValueError("max_entries must be at least 1")
+        self.max_entries = max_entries
+        self.check_mtime = check_mtime
+        self._engine_cache_cap = engine_cache_cap
+        self._query_cache_cap = query_cache_cap
+        self._coalesce_window = coalesce_window
+        self._lock = threading.RLock()
+        self._specs: dict[str, tuple[str, str | None] | None] = {}
+        self._entries: OrderedDict[str, StoreEntry] = OrderedDict()
+        self.loads = 0
+        self.reloads = 0
+        self.evictions = 0
+        self.hits = 0
+
+    # -- registration ---------------------------------------------------------
+    def register(
+        self,
+        name: str,
+        pdocument_path: str | os.PathLike,
+        constraints_path: str | os.PathLike | None = None,
+    ) -> StoreEntry:
+        """Load the files now, remember the spec forever."""
+        with self._lock:
+            spec = (
+                str(pdocument_path),
+                str(constraints_path) if constraints_path is not None else None,
+            )
+            self._specs[name] = spec
+            entry = self._load(name, spec)
+            self._install(name, entry)
+            return entry
+
+    def add(
+        self,
+        name: str,
+        pxdb: PXDB,
+        constraints: Iterable[Constraint | CFormula] = (),
+    ) -> StoreEntry:
+        """Register an in-memory PXDB (no files, so no mtime invalidation;
+        if evicted, the entry is gone — there is no spec to reload from)."""
+        with self._lock:
+            entry = StoreEntry(
+                name,
+                pxdb,
+                constraints or pxdb.constraints,
+                engine_cache_cap=self._engine_cache_cap,
+                query_cache_cap=self._query_cache_cap,
+                coalesce_window=self._coalesce_window,
+            )
+            self._specs[name] = None
+            self._install(name, entry)
+            return entry
+
+    def remove(self, name: str) -> None:
+        with self._lock:
+            self._specs.pop(name, None)
+            self._entries.pop(name, None)
+
+    # -- access ---------------------------------------------------------------
+    def get(self, name: str) -> StoreEntry:
+        """The entry for ``name`` — warm if loaded and fresh, reloaded if
+        its files changed on disk, loaded from spec if LRU-evicted.
+        Raises ``KeyError`` for names never registered."""
+        with self._lock:
+            if name not in self._specs:
+                raise KeyError(f"no PXDB named {name!r} is registered")
+            spec = self._specs[name]
+            entry = self._entries.get(name)
+            if entry is not None and spec is not None and self.check_mtime:
+                if _mtimes(spec) != entry.mtimes:
+                    self.reloads += 1
+                    entry = self._load(name, spec)
+                    self._install(name, entry)
+                    return entry
+            if entry is None:
+                if spec is None:
+                    raise KeyError(
+                        f"PXDB {name!r} was evicted and has no file spec to reload"
+                    )
+                entry = self._load(name, spec)
+                self._install(name, entry)
+                return entry
+            self.hits += 1
+            self._entries.move_to_end(name)
+            return entry
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._specs)
+
+    def loaded_names(self) -> list[str]:
+        with self._lock:
+            return list(self._entries)
+
+    def loaded_entries(self) -> list[StoreEntry]:
+        """A snapshot of the loaded entries (no LRU touch, no mtime check
+        — observability reads should not perturb eviction order)."""
+        with self._lock:
+            return list(self._entries.values())
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._specs
+
+    def specs(self) -> list[tuple[str, str, str | None]]:
+        """(name, pdocument_path, constraints_path) for file-backed entries
+        — the hand-off format for warming process-pool workers."""
+        with self._lock:
+            return [
+                (name, spec[0], spec[1])
+                for name, spec in sorted(self._specs.items())
+                if spec is not None
+            ]
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "registered": len(self._specs),
+                "loaded": len(self._entries),
+                "max_entries": self.max_entries,
+                "loads": self.loads,
+                "reloads": self.reloads,
+                "evictions": self.evictions,
+                "hits": self.hits,
+            }
+
+    # -- internals ------------------------------------------------------------
+    def _load(self, name: str, spec: tuple[str, str | None]) -> StoreEntry:
+        pdocument_path, constraints_path = spec
+        pxdb, constraints = load_pxdb(pdocument_path, constraints_path)
+        self.loads += 1
+        return StoreEntry(
+            name,
+            pxdb,
+            constraints,
+            pdocument_path=pdocument_path,
+            constraints_path=constraints_path,
+            mtimes=_mtimes(spec),
+            engine_cache_cap=self._engine_cache_cap,
+            query_cache_cap=self._query_cache_cap,
+            coalesce_window=self._coalesce_window,
+        )
+
+    def _install(self, name: str, entry: StoreEntry) -> None:
+        self._entries[name] = entry
+        self._entries.move_to_end(name)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+
+def _mtimes(spec: tuple[str, str | None]) -> tuple[int, ...]:
+    """st_mtime_ns of the spec's files (0 for a missing file, so deletion
+    also invalidates)."""
+    stamps = []
+    for path in spec:
+        if path is None:
+            continue
+        try:
+            stamps.append(os.stat(path).st_mtime_ns)
+        except OSError:
+            stamps.append(0)
+    return tuple(stamps)

@@ -160,3 +160,70 @@ def test_error_handling(tmp_path, capsys):
     missing = tmp_path / "nope.pxml"
     assert main(["validate", str(missing)]) == 2
     assert "error:" in capsys.readouterr().err
+
+
+def test_error_paths_are_one_line_exit_2(files, tmp_path, capsys):
+    """Every malformed or missing input prints one ``error:`` line to
+    stderr and exits 2 — no traceback leaks through any subcommand."""
+    pdoc_path, constraints_path = files
+
+    malformed = tmp_path / "broken.pxml"
+    malformed.write_text("<catalog><unclosed")
+    assert main(["sat", str(malformed), "-c", str(constraints_path)]) == 2
+    err = capsys.readouterr().err
+    assert err.startswith("error:") and "malformed XML" in err
+    assert len(err.strip().splitlines()) == 1
+
+    assert main(["sat", str(pdoc_path), "-c", str(tmp_path / "no.cons")]) == 2
+    err = capsys.readouterr().err
+    assert err.startswith("error:") and "cannot read constraint file" in err
+
+    bad_constraints = tmp_path / "bad.cons"
+    bad_constraints.write_text("forall gibberish\n")
+    assert main(["query", str(pdoc_path), "-q", "catalog/$shelf",
+                 "-c", str(bad_constraints)]) == 2
+    err = capsys.readouterr().err
+    assert err.startswith("error:") and "invalid constraint file" in err
+
+    bad_document = tmp_path / "bad.xml"
+    bad_document.write_text("<oops")
+    assert main(["check", str(bad_document), "-c", str(constraints_path)]) == 2
+    err = capsys.readouterr().err
+    assert err.startswith("error:") and "malformed XML in document" in err
+
+    assert main(["sample", str(tmp_path / "ghost.pxml")]) == 2
+    assert capsys.readouterr().err.startswith("error:")
+
+
+def test_sample_stats_no_incremental_reports_bypass(files, capsys):
+    """With --no-incremental the stats block reports the from-scratch
+    work and says so explicitly, instead of printing cross-run cache
+    counters the bypassed engine never benefits from."""
+    pdoc_path, constraints_path = files
+    args = ["sample", str(pdoc_path), "-c", str(constraints_path),
+            "-n", "2", "--seed", "7", "--stats", "--no-incremental"]
+    assert main(args) == 0
+    err = capsys.readouterr().err
+    assert "incremental engine bypassed" in err
+    assert "evaluations/sample" in err
+    assert "cache hits/misses" not in err
+
+
+def test_serve_db_spec_parsing():
+    from repro.cli import _parse_db_spec
+
+    assert _parse_db_spec("uni=a.pxml:c.txt") == ("uni", "a.pxml", "c.txt")
+    assert _parse_db_spec("uni=a.pxml") == ("uni", "a.pxml", None)
+    for bad in ("noequals", "=a.pxml", "name=", "name=:c.txt"):
+        with pytest.raises(ValueError, match="invalid --db spec"):
+            _parse_db_spec(bad)
+
+
+def test_serve_parser_wired():
+    from repro.cli import build_parser
+
+    args = build_parser().parse_args(
+        ["serve", "--db", "uni=a.pxml:c.txt", "--port", "0", "--pool", "2"]
+    )
+    assert args.db == ["uni=a.pxml:c.txt"]
+    assert args.port == 0 and args.pool == 2

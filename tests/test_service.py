@@ -1,0 +1,452 @@
+"""Tests for the PXDB service layer (store, coalescer, server, pool)."""
+
+from __future__ import annotations
+
+import os
+import random
+import threading
+from fractions import Fraction
+from pathlib import Path
+
+import pytest
+
+from repro.core.evaluator import IncrementalEngine
+from repro.core.formulas import exists
+from repro.core.pxdb import PXDB
+from repro.core.query import Query
+from repro.pdoc.pdocument import PNode, pdocument
+from repro.pdoc.serialize import pdocument_to_xml
+from repro.service import (
+    Coalescer,
+    DocumentStore,
+    EvaluationPool,
+    LatencyHistogram,
+    Metrics,
+    PXDBService,
+    PoolUnavailable,
+    ServiceClient,
+    ServiceError,
+    load_pxdb,
+    start_server,
+)
+from repro.service.store import read_constraints, read_pdocument
+from repro.workloads.university import s_st
+from repro.xmltree.document import Document, doc
+from repro.xmltree.serialize import document_to_xml
+
+CONSTRAINTS = "forall catalog/$shelf : count(*/$book) >= 1\n"
+QUERY = "catalog/shelf/book/title/$*"
+
+
+def make_catalog():
+    """The small two-book catalog of the CLI tests (Pr(P |= C) = 5/8)."""
+    pd, root = pdocument("catalog")
+    shelf = root.ordinary("shelf")
+    books = shelf.ind()
+    b1 = PNode("ord", "book")
+    b1.ordinary("title").ordinary("Dune")
+    books.add_edge(b1, Fraction(1, 2))
+    b2 = PNode("ord", "book")
+    b2.ordinary("title").ordinary("Solaris")
+    books.add_edge(b2, Fraction(1, 4))
+    pd.validate()
+    return pd
+
+
+@pytest.fixture()
+def catalog_files(tmp_path: Path) -> tuple[Path, Path]:
+    pdoc_path = tmp_path / "catalog.pxml"
+    pdoc_path.write_text(pdocument_to_xml(make_catalog()))
+    constraints_path = tmp_path / "constraints.txt"
+    constraints_path.write_text(CONSTRAINTS)
+    return pdoc_path, constraints_path
+
+
+def _bump_mtime(path: Path) -> None:
+    stamp = os.stat(path).st_mtime_ns + 1_000_000_000
+    os.utime(path, ns=(stamp, stamp))
+
+
+# -- loading ------------------------------------------------------------------
+
+def test_load_pxdb_missing_file(tmp_path):
+    with pytest.raises(ValueError, match="cannot read p-document"):
+        load_pxdb(tmp_path / "nope.pxml")
+
+
+def test_load_pxdb_malformed_xml(tmp_path):
+    bad = tmp_path / "bad.pxml"
+    bad.write_text("<not xml")
+    with pytest.raises(ValueError, match="malformed XML in p-document"):
+        load_pxdb(bad)
+
+
+def test_load_pxdb_bad_constraints(catalog_files, tmp_path):
+    pdoc_path, _ = catalog_files
+    bad = tmp_path / "bad.cons"
+    bad.write_text("forall nonsense without count\n")
+    with pytest.raises(ValueError, match="invalid constraint file"):
+        load_pxdb(pdoc_path, bad)
+
+
+# -- the document store -------------------------------------------------------
+
+def test_store_warm_entry(catalog_files):
+    store = DocumentStore()
+    entry = store.register("cat", *catalog_files)
+    # Load-time warm-up: denominator cached, engine already ran one pass.
+    assert entry.pxdb.constraint_probability() == Fraction(5, 8)
+    assert entry.engine.runs == 1
+    assert entry.pxdb.sample_engine is entry.engine
+    assert store.get("cat") is entry
+    assert store.stats()["hits"] == 1
+
+
+def test_store_rejects_inconsistent_pxdb(tmp_path, catalog_files):
+    pdoc_path, _ = catalog_files
+    impossible = tmp_path / "impossible.cons"
+    impossible.write_text("forall catalog/$shelf : count(*/$book) >= 5\n")
+    store = DocumentStore()
+    with pytest.raises(ValueError, match="not well-defined"):
+        store.register("cat", pdoc_path, impossible)
+
+
+def test_store_mtime_invalidation(catalog_files):
+    pdoc_path, constraints_path = catalog_files
+    store = DocumentStore()
+    first = store.register("cat", pdoc_path, constraints_path)
+    assert store.get("cat") is first
+    constraints_path.write_text("forall catalog/$shelf : count(*/$book) >= 0\n")
+    _bump_mtime(constraints_path)
+    second = store.get("cat")
+    assert second is not first
+    assert second.pxdb.constraint_probability() == 1  # new trivial constraint
+    assert store.stats()["reloads"] == 1
+
+
+def test_store_mtime_checks_disabled(catalog_files):
+    pdoc_path, constraints_path = catalog_files
+    store = DocumentStore(check_mtime=False)
+    first = store.register("cat", pdoc_path, constraints_path)
+    _bump_mtime(constraints_path)
+    assert store.get("cat") is first
+
+
+def test_store_lru_eviction_reloads_from_spec(catalog_files, tmp_path):
+    pdoc_path, constraints_path = catalog_files
+    other_path = tmp_path / "other.pxml"
+    other_path.write_text(pdocument_to_xml(make_catalog()))
+    store = DocumentStore(max_entries=1)
+    store.register("a", pdoc_path, constraints_path)
+    store.register("b", other_path)
+    assert store.loaded_names() == ["b"]  # a evicted
+    assert store.stats()["evictions"] == 1
+    entry = store.get("a")  # transparently reloaded from the spec
+    assert entry.pxdb.constraint_probability() == Fraction(5, 8)
+    assert store.stats()["loads"] == 3
+
+
+def test_store_in_memory_entry_cannot_reload(catalog_files):
+    pdoc_path, constraints_path = catalog_files
+    store = DocumentStore(max_entries=1)
+    store.add("mem", PXDB(make_catalog()))
+    store.register("file", pdoc_path, constraints_path)  # evicts "mem"
+    with pytest.raises(KeyError, match="evicted"):
+        store.get("mem")
+
+
+def test_store_unknown_name(catalog_files):
+    store = DocumentStore()
+    with pytest.raises(KeyError, match="no PXDB named"):
+        store.get("ghost")
+
+
+# -- the incremental engine's cache bound -------------------------------------
+
+def test_engine_cache_bound_evicts():
+    pdoc = make_catalog()
+    db = PXDB(pdoc, [])
+    engine = IncrementalEngine.for_formula(db.condition, max_entries=2)
+    engine.probability(pdoc)
+    assert len(engine.cache) <= 2
+    assert engine.evictions > 0
+    assert engine.stats()["cache_evictions"] == engine.evictions
+    # Bounded cache stays correct (just slower): same probability again.
+    assert engine.probability(pdoc) == 1
+
+
+# -- the coalescer ------------------------------------------------------------
+
+def test_coalescer_matches_direct_and_batches(catalog_files):
+    pdoc = read_pdocument(catalog_files[0])
+    constraints = read_constraints(catalog_files[1])
+    db = PXDB(pdoc, constraints)
+    event = exists(s_st().pattern)  # Pr = 0 on the catalog, exactness test
+    book_event = exists(Query.parse(QUERY).pattern)
+    direct = [db.event_probability(event), db.event_probability(book_event)]
+
+    shared = PXDB(pdoc, constraints)
+    coalescer = Coalescer(shared, window=0.02)
+    results: dict[int, Fraction] = {}
+
+    def worker(index: int) -> None:
+        chosen = event if index % 2 == 0 else book_event
+        results[index] = coalescer.event_probability(chosen)
+
+    threads = [threading.Thread(target=worker, args=(i,)) for i in range(6)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    for index, value in results.items():
+        assert value == direct[index % 2]
+    stats = coalescer.stats()
+    assert stats["coalesced_requests"] == 6
+    assert 1 <= stats["batches"] <= 6
+    assert stats["largest_batch"] >= 1
+
+
+def test_coalescer_propagates_errors():
+    pdoc = make_catalog()
+    db = PXDB(pdoc, [])
+    db.prime_constraint_probability(Fraction(0))  # force the failure path
+    coalescer = Coalescer(db, window=0.0)
+    with pytest.raises(ValueError, match="not consistent"):
+        coalescer.event_probability(db.condition)
+
+
+# -- metrics ------------------------------------------------------------------
+
+def test_latency_histogram_quantiles():
+    histogram = LatencyHistogram()
+    for seconds in (0.0004, 0.0004, 0.0004, 0.0004, 0.0004, 0.0004, 0.3):
+        histogram.observe(seconds)
+    summary = histogram.summary()
+    assert summary["count"] == 7
+    assert summary["p50_ms"] == 0.5  # first bucket upper bound
+    assert summary["p99_ms"] == 500.0
+    assert summary["mean_ms"] > 0
+
+
+def test_metrics_timer_counts_errors():
+    metrics = Metrics()
+    with metrics.timed("op"):
+        pass
+    with pytest.raises(RuntimeError):
+        with metrics.timed("op"):
+            raise RuntimeError("boom")
+    snapshot = metrics.snapshot()
+    assert snapshot["counters"]["op.requests"] == 2
+    assert snapshot["counters"]["op.errors"] == 1
+    assert snapshot["latency"]["op"]["count"] == 2
+
+
+# -- the service (in-process) -------------------------------------------------
+
+@pytest.fixture()
+def catalog_service(catalog_files) -> PXDBService:
+    store = DocumentStore()
+    store.register("cat", *catalog_files)
+    return PXDBService(store, metrics=Metrics())
+
+
+def test_service_sat_matches_direct(catalog_service):
+    payload = catalog_service.sat("cat")
+    assert payload["constraint_probability"] == "5/8"
+    assert payload["well_defined"] is True
+
+
+def test_service_query_matches_direct_and_caches(catalog_service, catalog_files):
+    db = PXDB(read_pdocument(catalog_files[0]), read_constraints(catalog_files[1]))
+    direct = {
+        tuple(str(label) for label in labels): str(value)
+        for labels, value in db.query_labels(QUERY).items()
+    }
+    payload = catalog_service.query("cat", QUERY)
+    served = {tuple(row["answer"]): row["probability"] for row in payload["answers"]}
+    assert served == direct
+    # Second identical request: answered from the entry's result cache.
+    again = catalog_service.query("cat", QUERY)
+    assert again == payload
+    assert catalog_service.metrics.counter("query.cache_hits") == 1
+
+
+def test_service_sample_deterministic_and_satisfying(catalog_service, catalog_files):
+    payload = catalog_service.sample("cat", count=3, seed=11)
+    db = PXDB(read_pdocument(catalog_files[0]), read_constraints(catalog_files[1]))
+    rng = random.Random(11)
+    direct = [document_to_xml(db.sample(rng), style="tags") for _ in range(3)]
+    assert payload["documents"] == direct
+    for document in payload["documents"]:
+        assert catalog_service.check("cat", document)["satisfies"] is True
+
+
+def test_service_check_reports_violations(catalog_service):
+    empty_shelf = document_to_xml(Document(doc("catalog", doc("shelf"))))
+    verdict = catalog_service.check("cat", empty_shelf)
+    assert verdict["satisfies"] is False
+    assert any("violated" in line for line in verdict["violations"])
+
+
+def test_service_sample_rejects_bad_count(catalog_service):
+    with pytest.raises(ValueError, match="count must be positive"):
+        catalog_service.sample("cat", count=0)
+
+
+def test_service_stats_and_metrics_payloads(catalog_service):
+    catalog_service.sat("cat")
+    stats = catalog_service.stats()
+    assert stats["registered"] == ["cat"]
+    assert stats["databases"]["cat"]["constraint_probability"] == "5/8"
+    metrics = catalog_service.metrics_payload()
+    assert metrics["counters"]["sat.requests"] == 1
+    assert metrics["engines"]["cat"]["runs"] >= 1
+    assert "coalescers" in metrics and "store" in metrics
+
+
+# -- HTTP round-trips ---------------------------------------------------------
+
+@pytest.fixture()
+def http_service(catalog_files):
+    store = DocumentStore()
+    store.register("cat", *catalog_files)
+    server = start_server(store)
+    host, port = server.server_address[:2]
+    client = ServiceClient(f"http://{host}:{port}")
+    yield client, server.service  # type: ignore[attr-defined]
+    server.shutdown()
+    server.server_close()
+
+
+def test_http_roundtrip_matches_direct(http_service, catalog_files):
+    client, _ = http_service
+    assert client.health() is True
+    assert client.sat("cat") == Fraction(5, 8)
+    db = PXDB(read_pdocument(catalog_files[0]), read_constraints(catalog_files[1]))
+    assert client.query("cat", QUERY) == {
+        tuple(str(label) for label in labels): value
+        for labels, value in db.query_labels(QUERY).items()
+    }
+    samples = client.sample("cat", count=2, seed=3)
+    rng = random.Random(3)
+    fresh = PXDB(read_pdocument(catalog_files[0]), read_constraints(catalog_files[1]))
+    assert samples == [
+        document_to_xml(fresh.sample(rng), style="tags") for _ in range(2)
+    ]
+    assert client.metrics()["counters"]["sat.requests"] == 1
+
+
+def test_http_error_statuses(http_service):
+    client, _ = http_service
+    with pytest.raises(ServiceError) as unknown_db:
+        client.sat("ghost")
+    assert unknown_db.value.status == 404
+    with pytest.raises(ServiceError) as bad_query:
+        client.query("cat", "not a ((( query")
+    assert bad_query.value.status == 400
+    with pytest.raises(ServiceError) as missing_param:
+        client._request("/sat", {})
+    assert missing_param.value.status == 400
+    with pytest.raises(ServiceError) as no_endpoint:
+        client._request("/nope", {})
+    assert no_endpoint.value.status == 404
+
+
+def test_http_register_at_runtime(http_service, tmp_path):
+    client, _ = http_service
+    other = tmp_path / "other.pxml"
+    other.write_text(pdocument_to_xml(make_catalog()))
+    info = client.register("cat2", other)
+    assert info["name"] == "cat2"
+    assert client.sat("cat2") == 1  # no constraints
+    with pytest.raises(ServiceError) as bad:
+        client.register("cat3", str(tmp_path / "missing.pxml"))
+    assert bad.value.status == 400
+
+
+def test_http_concurrent_mixed_identity(http_service, catalog_files):
+    """4 concurrent clients issuing mixed sat/query/sample return exactly
+    what sequential direct PXDB calls produce."""
+    client, service = http_service
+    db = PXDB(read_pdocument(catalog_files[0]), read_constraints(catalog_files[1]))
+    expected_sat = db.constraint_probability()
+    expected_query = {
+        tuple(str(label) for label in labels): value
+        for labels, value in db.query_labels(QUERY).items()
+    }
+
+    def expected_samples(seed: int) -> list[str]:
+        fresh = PXDB(
+            read_pdocument(catalog_files[0]), read_constraints(catalog_files[1])
+        )
+        rng = random.Random(seed)
+        return [document_to_xml(fresh.sample(rng), style="tags") for _ in range(2)]
+
+    failures: list[str] = []
+
+    def run_client(index: int) -> None:
+        try:
+            assert client.sat("cat") == expected_sat
+            assert client.query("cat", QUERY) == expected_query
+            assert client.sample("cat", count=2, seed=index) == expected_samples(index)
+        except Exception as error:  # noqa: BLE001 — collected for the main thread
+            failures.append(f"client {index}: {error!r}")
+
+    threads = [threading.Thread(target=run_client, args=(i,)) for i in range(4)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not failures, failures
+    assert service.metrics.counter("sat.requests") == 4
+
+
+# -- the process pool ---------------------------------------------------------
+
+def test_pool_execution_timeout_and_fallback(catalog_files):
+    store = DocumentStore()
+    store.register("cat", *catalog_files)
+    with EvaluationPool(store.specs(), workers=1, timeout=60.0) as pool:
+        # 1. Pooled execution returns the same payload as in-process.
+        pooled = pool.run("sat", "cat")
+        assert pooled == PXDBService(store).sat("cat")
+        # 2. A too-slow worker result raises PoolUnavailable (timeout).
+        with pytest.raises(PoolUnavailable, match="timed out"):
+            pool.run("sleep", "cat", {"seconds": 5.0}, timeout=0.1)
+        assert pool.stats()["timeouts"] == 1
+        # 3. A database the workers do not know raises KeyError upward.
+        with pytest.raises(KeyError):
+            pool.run("sat", "ghost")
+
+    # 4. Service-level graceful degradation: with an absurd pool timeout
+    # every request falls back to the warm in-process path and still
+    # returns the exact answer.
+    degraded = PXDBService(
+        store,
+        metrics=Metrics(),
+        pool=EvaluationPool(store.specs(), workers=1, timeout=1e-4),
+    )
+    try:
+        assert degraded.sat("cat")["constraint_probability"] == "5/8"
+        assert degraded.metrics.counter("pool.fallbacks") >= 1
+        assert degraded.metrics_payload()["pool"]["timeouts"] >= 1
+    finally:
+        degraded.pool.shutdown()
+
+
+def test_pool_queue_bound_rejects(catalog_files):
+    store = DocumentStore()
+    store.register("cat", *catalog_files)
+    with EvaluationPool(store.specs(), workers=1, queue_limit=1, timeout=30.0) as pool:
+        blocker = threading.Thread(
+            target=lambda: pool.run("sleep", "cat", {"seconds": 0.5})
+        )
+        blocker.start()
+        try:
+            with pytest.raises(PoolUnavailable, match="full|timed out"):
+                # The single slot is taken by the sleeper; this either hits
+                # the bound immediately or times out behind it.
+                pool.run("sat", "cat", timeout=0.05)
+        finally:
+            blocker.join()

@@ -15,7 +15,6 @@ asserted in the test-suite) and this experiment quantifies their effect:
 
 from __future__ import annotations
 
-import time
 
 import pytest
 

@@ -1,0 +1,114 @@
+"""E12 — arithmetic-circuit compilation: re-bind + forward sweep vs. a
+full DP re-run after probability-only edits.
+
+The serving scenario: a stored p-document whose *structure* is fixed but
+whose probability annotations keep being re-estimated (data cleaning,
+confidence updates).  The DP must re-traverse the document per edit; the
+compiled circuit re-binds its parameter vector and replays one forward
+sweep over the (dead-code-eliminated) gate program.
+
+Two claims:
+
+* **Exactness** — on every edited binding, the circuit's forward pass
+  returns ``Fraction``s identical to a fresh evaluator run, and one
+  backward sweep matches exact central finite differences (the outputs
+  are multilinear in the parameters, so the differences are exact).
+* **Speedup** — re-bind + forward must be ≥ 5× faster than the full DP
+  re-run (fresh :class:`~repro.core.evaluator.Evaluation` over an
+  already-compiled registry — the steelman: no parsing, no constraint
+  compilation, no automata construction in the measured region).
+"""
+
+from __future__ import annotations
+
+import time
+from fractions import Fraction
+
+from repro.aggregates.minmax import rewrite
+from repro.circuit import compile_formulas
+from repro.core.compiler import Registry
+from repro.core.constraints import constraints_formula
+from repro.core.evaluator import Evaluation
+from repro.pdoc.parameters import apply_parameters, parameter_slots
+from repro.workloads.university import figure1_constraints, scaled_university
+
+EDIT_ROUNDS = 6
+SPEEDUP_FLOOR = 5.0
+
+
+def _edited_values(slots, round_index: int) -> list[Fraction]:
+    """A deterministic per-round probability jitter: scale every ind/mux
+    edge probability by a round-dependent factor < 1 (keeps values in
+    [0, 1] and mux sums ≤ 1; exp subset weights — which must sum to
+    exactly 1 — are left untouched)."""
+    factor = Fraction(17 + round_index, 20 + round_index)
+    values = []
+    for slot in slots:
+        if slot.field == "edge":
+            values.append(slot.value * factor)
+        else:
+            values.append(slot.value)
+    return values
+
+
+def test_bench_circuit_rebind_vs_dp(report, benchmark):
+    pdoc = scaled_university(departments=4, members=4, students=2)
+    condition = rewrite(constraints_formula(figure1_constraints()))
+    registry = Registry([condition])
+
+    start = time.perf_counter()
+    circuit = compile_formulas(pdoc, [condition])
+    compile_elapsed = time.perf_counter() - start
+    stats = circuit.stats()
+
+    slots = parameter_slots(pdoc)
+    dp_elapsed = 0.0
+    circuit_elapsed = 0.0
+    for round_index in range(EDIT_ROUNDS):
+        apply_parameters(pdoc, _edited_values(slots, round_index))
+
+        start = time.perf_counter()
+        dp_value = Evaluation(registry, pdoc).run()[0]
+        dp_elapsed += time.perf_counter() - start
+
+        start = time.perf_counter()
+        circuit_value = circuit.rebind(pdoc).forward()[0]
+        circuit_elapsed += time.perf_counter() - start
+
+        assert circuit_value == dp_value, (
+            f"round {round_index}: circuit {circuit_value} != DP {dp_value}"
+        )
+
+    # Backward pass spot-check: exact central differences on two params.
+    base = list(circuit.param_values)
+    gradients = circuit.gradient(0)
+    step = Fraction(1, 64)
+    for k in (0, len(base) // 2):
+        up, down = list(base), list(base)
+        up[k] = base[k] + step
+        down[k] = base[k] - step
+        circuit.set_param_values(up)
+        high = circuit.forward()[0]
+        circuit.set_param_values(down)
+        low = circuit.forward()[0]
+        assert (high - low) / (2 * step) == gradients[k]
+    circuit.set_param_values(base)
+
+    speedup = dp_elapsed / circuit_elapsed if circuit_elapsed else float("inf")
+    report(
+        f"E12 circuit  {stats['nodes']} nodes / {stats['params']} params  "
+        f"compile {compile_elapsed * 1000:6.1f} ms  "
+        f"{EDIT_ROUNDS} edits: DP {dp_elapsed * 1000:7.1f} ms  "
+        f"rebind+forward {circuit_elapsed * 1000:6.1f} ms  "
+        f"speedup {speedup:5.1f}x (floor {SPEEDUP_FLOOR:.0f}x)"
+    )
+    assert dp_elapsed >= SPEEDUP_FLOOR * circuit_elapsed, (
+        f"circuit re-bind should be >= {SPEEDUP_FLOOR}x faster than the DP "
+        f"re-run: DP {dp_elapsed:.4f}s vs circuit {circuit_elapsed:.4f}s "
+        f"({speedup:.1f}x)"
+    )
+
+    def rebind_and_forward():
+        return circuit.rebind(pdoc).forward()
+
+    benchmark(rebind_and_forward)

@@ -19,7 +19,6 @@ Run:  python examples/data_quality_report.py
 from __future__ import annotations
 
 import random
-from fractions import Fraction
 
 from repro import (
     PXDB,

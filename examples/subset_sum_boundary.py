@@ -22,7 +22,6 @@ from __future__ import annotations
 
 import random
 import time
-from fractions import Fraction
 
 from repro import CountAtom, MaxAtom, SFormula, parse_selector, probability
 from repro.aggregates.hardness import (
@@ -32,7 +31,6 @@ from repro.aggregates.hardness import (
     solving_subsets,
     subset_sum_pdocument,
 )
-from repro.aggregates.sumavg import sum_formula_probability
 from repro.baseline.naive import naive_probability
 
 

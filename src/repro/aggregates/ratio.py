@@ -14,11 +14,9 @@ from typing import Iterable
 
 from ..core.formulas import (
     CFormula,
-    CountAtom,
     RatioAtom,
     SFormula,
     exists,
-    not_exists,
 )
 
 

@@ -1,0 +1,312 @@
+"""The arithmetic-circuit IR: nodes, hash-consing builder, forward and
+backward passes.
+
+A circuit is a flat, topologically ordered array of nodes over exact
+rationals:
+
+* ``PARAM``  — a free probability parameter (an ind/mux edge probability
+  or an exp subset weight of the compiled p-document);
+* ``CONST``  — a fixed ``Fraction``;
+* ``ADD`` / ``MUL`` — n-ary sums and products of earlier nodes.
+
+Every output of the compilation (one per registered c-formula) is a
+*multilinear polynomial* in the parameters: each parameter belongs to one
+distributional node and the DP combines distinct subtrees purely by
+sum-of-products, so no parameter is ever multiplied with itself.  Two
+consequences the rest of the subsystem leans on:
+
+* the **backward pass** (reverse-mode differentiation) computes exact
+  ∂output/∂θ for *every* parameter in one sweep, and
+* central finite differences are *exact* for multilinear functions, which
+  is how the tests validate the backward pass against plain re-evaluation.
+
+The builder hash-conses: structurally identical gates (same operation,
+same operand multiset) are created once, and constants are folded eagerly
+(x·0 → 0, x·1 → x, sums/products of constants collapse).  Evaluation cost
+is therefore |circuit| exact-Fraction operations with none of the
+signature bookkeeping of the DP — which is where the re-bind-and-sweep
+speedup over a fresh evaluator run comes from (experiment E12).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from math import prod
+from typing import Sequence
+
+PARAM = 0
+CONST = 1
+ADD = 2
+MUL = 3
+
+KIND_NAMES = ("param", "const", "add", "mul")
+
+_ZERO = Fraction(0)
+_ONE = Fraction(1)
+
+
+class Builder:
+    """Constructs a circuit bottom-up with hash-consing and constant
+    folding.  Node ids are dense ints; operands always precede their
+    gates, so the arrays are topologically ordered by construction."""
+
+    def __init__(self):
+        self.kinds: list[int] = []
+        # args[i]: PARAM -> parameter index, CONST -> Fraction,
+        #          ADD/MUL -> tuple of operand node ids.
+        self.args: list = []
+        self.param_nodes: list[int] = []
+        self._const_memo: dict[Fraction, int] = {}
+        self._gate_memo: dict[tuple, int] = {}
+        self.zero = self.const(_ZERO)
+        self.one = self.const(_ONE)
+        self._minus_one = self.const(Fraction(-1))
+
+    def _append(self, kind: int, arg) -> int:
+        self.kinds.append(kind)
+        self.args.append(arg)
+        return len(self.kinds) - 1
+
+    def const(self, value) -> int:
+        value = Fraction(value)
+        node = self._const_memo.get(value)
+        if node is None:
+            node = self._const_memo[value] = self._append(CONST, value)
+        return node
+
+    def param(self) -> int:
+        """A fresh parameter node (never shared: distinct parameters are
+        distinct even when their current values coincide)."""
+        node = self._append(PARAM, len(self.param_nodes))
+        self.param_nodes.append(node)
+        return node
+
+    def add(self, operands: Sequence[int]) -> int:
+        """Σ operands (a multiset — duplicates mean 2x, kept as given)."""
+        total = _ZERO
+        rest: list[int] = []
+        for node in operands:
+            if self.kinds[node] == CONST:
+                total += self.args[node]
+            else:
+                rest.append(node)
+        if not rest:
+            return self.const(total)
+        if total != 0:
+            rest.append(self.const(total))
+        if len(rest) == 1:
+            return rest[0]
+        key = (ADD, tuple(sorted(rest)))
+        node = self._gate_memo.get(key)
+        if node is None:
+            node = self._gate_memo[key] = self._append(ADD, key[1])
+        return node
+
+    def mul(self, operands: Sequence[int]) -> int:
+        """Π operands (again a multiset; x·x is a degree-2 term)."""
+        product = _ONE
+        rest: list[int] = []
+        for node in operands:
+            if self.kinds[node] == CONST:
+                product *= self.args[node]
+            else:
+                rest.append(node)
+        if product == 0 or not rest:
+            return self.const(product)
+        if product != 1:
+            rest.append(self.const(product))
+        if len(rest) == 1:
+            return rest[0]
+        key = (MUL, tuple(sorted(rest)))
+        node = self._gate_memo.get(key)
+        if node is None:
+            node = self._gate_memo[key] = self._append(MUL, key[1])
+        return node
+
+    def one_minus(self, node: int) -> int:
+        """1 - x, expressed with the four node kinds only."""
+        return self.add([self.one, self.mul([self._minus_one, node])])
+
+
+def _compact(kinds, args, param_nodes, outputs):
+    """Dead-code elimination: keep only nodes reachable from the outputs.
+
+    The tracer materializes the *full* signature distribution at every
+    document position, but the root analysis consumes only the satisfying
+    signatures — typically ~90% of the traced gates never feed an output.
+    Parameters are exempt (kept even when dead) so parameter positions
+    keep lining up with :func:`repro.pdoc.parameters.parameter_slots`;
+    their gradients are simply 0.
+    """
+    count = len(kinds)
+    live = bytearray(count)
+    stack = list(outputs)
+    while stack:
+        node = stack.pop()
+        if live[node]:
+            continue
+        live[node] = 1
+        if kinds[node] >= ADD:
+            stack.extend(args[node])
+    for node in param_nodes:
+        live[node] = 1
+    remap = [0] * count
+    new_kinds: list[int] = []
+    new_args: list = []
+    for node in range(count):
+        if not live[node]:
+            continue
+        remap[node] = len(new_kinds)
+        new_kinds.append(kinds[node])
+        if kinds[node] >= ADD:
+            new_args.append(tuple(remap[operand] for operand in args[node]))
+        else:
+            new_args.append(args[node])
+    return (
+        new_kinds,
+        new_args,
+        [remap[node] for node in param_nodes],
+        [remap[node] for node in outputs],
+    )
+
+
+class Circuit:
+    """An immutable compiled circuit plus its current parameter binding.
+
+    ``forward()`` evaluates every gate once (exact ``Fraction``s) and
+    returns the output values; ``gradient(k)`` runs one reverse sweep and
+    returns ∂output_k/∂θ for every parameter θ.  ``set_param_values``
+    re-binds the parameters in O(1) per parameter — evaluation cost after
+    a re-bind is one forward sweep, never a recompilation.
+    """
+
+    __slots__ = ("kinds", "args", "param_nodes", "param_values", "outputs",
+                 "_template", "_gates", "_values")
+
+    def __init__(
+        self,
+        kinds: Sequence[int],
+        args: Sequence,
+        param_nodes: Sequence[int],
+        param_values: Sequence[Fraction],
+        outputs: Sequence[int],
+    ):
+        kinds, args, param_nodes, outputs = _compact(
+            kinds, args, param_nodes, outputs
+        )
+        self.kinds = tuple(kinds)
+        self.args = tuple(args)
+        self.param_nodes = tuple(param_nodes)
+        self.param_values = [Fraction(v) for v in param_values]
+        if len(self.param_values) != len(self.param_nodes):
+            raise ValueError("one value per parameter required")
+        self.outputs = tuple(outputs)
+        # Pre-filled evaluation template: constants are fixed forever,
+        # parameter and gate slots are overwritten by every forward pass.
+        self._template = [
+            arg if kind == CONST else None for kind, arg in zip(kinds, args)
+        ]
+        # The gate program: only ADD/MUL slots need per-sweep work.
+        self._gates = tuple(
+            (kind == ADD, node, args[node])
+            for node, kind in enumerate(kinds)
+            if kind >= ADD
+        )
+        self._values: list | None = None
+
+    @classmethod
+    def from_builder(
+        cls, builder: Builder, outputs: Sequence[int],
+        param_values: Sequence[Fraction],
+    ) -> "Circuit":
+        return cls(
+            builder.kinds, builder.args, builder.param_nodes, param_values, outputs
+        )
+
+    def __len__(self) -> int:
+        return len(self.kinds)
+
+    @property
+    def num_params(self) -> int:
+        return len(self.param_nodes)
+
+    # -- parameter re-binding -------------------------------------------------
+    def set_param_values(self, values: Sequence[Fraction]) -> None:
+        if len(values) != len(self.param_nodes):
+            raise ValueError(
+                f"expected {len(self.param_nodes)} parameter values, "
+                f"got {len(values)}"
+            )
+        self.param_values = [Fraction(v) for v in values]
+        self._values = None
+
+    # -- forward pass ---------------------------------------------------------
+    def forward(self) -> list[Fraction]:
+        """Evaluate every output at the current parameter binding."""
+        values = self._template[:]
+        params = self.param_values
+        for position, node in enumerate(self.param_nodes):
+            values[node] = params[position]
+        # CONST slots are pre-filled by the template; only gates compute.
+        get = values.__getitem__
+        for is_add, node, operands in self._gates:
+            if is_add:
+                values[node] = sum(map(get, operands), _ZERO)
+            else:
+                values[node] = prod(map(get, operands))
+        self._values = values
+        return [values[o] for o in self.outputs]
+
+    # -- backward pass --------------------------------------------------------
+    def gradient(self, output: int = 0) -> list[Fraction]:
+        """[∂output/∂θ for every parameter θ] in one reverse sweep.
+
+        Products distribute their adjoint via prefix/suffix partial
+        products, so zero-valued operands need no special casing (and no
+        division is ever performed).
+        """
+        values = self._values
+        if values is None:
+            self.forward()
+            values = self._values
+        adjoint = [_ZERO] * len(self.kinds)
+        adjoint[self.outputs[output]] = _ONE
+        # Reverse sweep over the gate program; PARAM/CONST adjoints never
+        # propagate further, so gates are the only nodes that do work.
+        for is_add, node, operands in reversed(self._gates):
+            seed = adjoint[node]
+            if seed == 0:
+                continue
+            if is_add:
+                for j in operands:
+                    adjoint[j] += seed
+            else:
+                count = len(operands)
+                prefix = [_ONE] * (count + 1)
+                for k in range(count):
+                    prefix[k + 1] = prefix[k] * values[operands[k]]
+                suffix = _ONE
+                for k in range(count - 1, -1, -1):
+                    adjoint[operands[k]] += seed * prefix[k] * suffix
+                    suffix *= values[operands[k]]
+        return [adjoint[node] for node in self.param_nodes]
+
+    # -- observability --------------------------------------------------------
+    def stats(self) -> dict[str, int]:
+        """Node counts by kind plus size/shape summary (CLI ``circuit
+        stats`` and the service's /metrics surface this)."""
+        by_kind = [0, 0, 0, 0]
+        operands = 0
+        for i, kind in enumerate(self.kinds):
+            by_kind[kind] += 1
+            if kind in (ADD, MUL):
+                operands += len(self.args[i])
+        return {
+            "nodes": len(self.kinds),
+            "params": by_kind[PARAM],
+            "consts": by_kind[CONST],
+            "adds": by_kind[ADD],
+            "muls": by_kind[MUL],
+            "edges": operands,
+            "outputs": len(self.outputs),
+        }

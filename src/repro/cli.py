@@ -15,6 +15,13 @@ Commands
                                            — SAMPLE⟨C⟩: conditioned samples (Fig. 3);
 * ``check     PDOC DOCUMENT -c FILE``      — explain a document's violations;
 * ``skeleton  PDOC``                       — print the skeleton document;
+* ``circuit   {compile,eval,grad,stats} PDOC [-c FILE] [-q PATTERN]``
+                                           — arithmetic-circuit compilation
+                                             (docs/CIRCUIT.md): compile the
+                                             c-formula DP, evaluate it (optionally
+                                             after ``--rebind``-ing another
+                                             p-document's probabilities), or rank
+                                             parameters by sensitivity;
 * ``serve     --db NAME=PDOC[:FILE] …``    — the JSON/HTTP service (docs/SERVICE.md).
 
 Example::
@@ -35,7 +42,6 @@ from .core.constraints import constraints_formula
 from .core.evaluator import probability
 from .core.explain import explain_violations
 from .core.pxdb import PXDB
-from .core.query import Query
 from .pdoc.enumerate import world_documents
 from .service.store import read_constraints, read_document, read_pdocument
 from .xmltree.serialize import document_to_xml
@@ -148,6 +154,68 @@ def _cmd_check(args) -> int:
 def _cmd_skeleton(args) -> int:
     pdoc = _load_pdocument(args.pdocument)
     print(document_to_xml(pdoc.skeleton(), style="tags"))
+    return 0
+
+
+def _cmd_circuit(args) -> int:
+    from .core.formulas import exists
+    from .xmltree.parser import parse_boolean_pattern
+
+    pdoc = _load_pdocument(args.pdocument)
+    constraints = _load_constraints(args.constraints)
+    db = PXDB(pdoc, constraints, check=False)
+    events = []
+    labels = []
+    if args.query:
+        events.append(exists(parse_boolean_pattern(args.query)))
+        labels.append(f"Pr(P |= {args.query} AND C)")
+    labels.append("Pr(P |= C)")
+    circuit = db.compile_circuit(events)
+
+    if args.action == "stats":
+        for key, value in circuit.stats().items():
+            print(f"{key:>8}: {value}")
+        return 0
+
+    if args.action == "compile":
+        stats = circuit.stats()
+        print(
+            f"compiled: {stats['nodes']} nodes "
+            f"({stats['adds']} add, {stats['muls']} mul, {stats['edges']} edges), "
+            f"{stats['params']} parameters, {stats['outputs']} outputs"
+        )
+        for label, value in zip(labels, circuit.forward()):
+            print(f"{label} = {value}  ≈ {float(value):.6f}")
+        return 0
+
+    if args.action == "eval":
+        if args.rebind:
+            circuit.rebind(_load_pdocument(args.rebind))
+            print(f"re-bound to the probabilities of {args.rebind}")
+        values = circuit.forward()
+        for label, value in zip(labels, values):
+            print(f"{label} = {value}  ≈ {float(value):.6f}")
+        if args.query:
+            denominator = values[-1]
+            if denominator == 0:
+                print("Pr(D |= event) undefined: Pr(P |= C) = 0")
+                return 1
+            conditional = values[0] / denominator
+            print(
+                f"Pr(D |= {args.query}) = {conditional}  ≈ {float(conditional):.6f}"
+            )
+        return 0
+
+    # grad: one backward sweep ranks every parameter by |d output / d theta|.
+    rows = circuit.sensitivities(0)
+    if args.top is not None:
+        rows = rows[: args.top]
+    print(f"d {labels[0]} / d theta, most influential first:")
+    for row in rows:
+        print(
+            f"  {row['parameter']:<44} value={row['value']}  "
+            f"d={row['derivative']}  ≈ {float(row['derivative']):+.6f}"
+        )
     return 0
 
 
@@ -285,6 +353,38 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("stats", help="structural/distributional statistics")
     p.add_argument("pdocument")
     p.set_defaults(func=_cmd_stats)
+
+    p = sub.add_parser(
+        "circuit",
+        help="compile the c-formula DP into an arithmetic circuit "
+        "(docs/CIRCUIT.md)",
+    )
+    p.add_argument(
+        "action",
+        choices=["compile", "eval", "grad", "stats"],
+        help="compile: build + report + evaluate; eval: evaluate (after an "
+        "optional --rebind); grad: parameter sensitivities; stats: sizes only",
+    )
+    p.add_argument("pdocument")
+    p.add_argument("-c", "--constraints")
+    p.add_argument(
+        "-q", "--query",
+        help="also compile this Boolean pattern event (no $ markers): the "
+        "circuit outputs Pr(P |= event AND C) alongside Pr(P |= C)",
+    )
+    p.add_argument(
+        "--rebind",
+        metavar="PDOC",
+        help="(eval) re-bind to this structurally identical p-document's "
+        "probabilities before evaluating — no recompilation",
+    )
+    p.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        help="(grad) how many parameters to print (default 10)",
+    )
+    p.set_defaults(func=_cmd_circuit)
 
     p = sub.add_parser(
         "serve",

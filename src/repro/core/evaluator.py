@@ -44,7 +44,7 @@ from fractions import Fraction
 
 from ..pdoc.pdocument import EXP, IND, MUX, ORD, PDocument, PNode
 from .compiler import CompiledAtom, Registry, SelectorPlan
-from .formulas import CAnd, CFormula, CountAtom, FALSE, RatioAtom, TRUE
+from .formulas import CAnd, CFormula, FALSE, TRUE
 from ..xmltree.pattern import CHILD
 
 Signature = tuple[int, tuple[int, ...]]  # (bit mask, counter vector)

@@ -1,10 +1,18 @@
-"""Constraint-violation explanation for documents.
+"""Constraint-violation explanation for documents, and parameter
+sensitivity for p-documents.
 
 When a document fails a constraint set, knowing *which* constraint failed
 and *where* matters in practice (the paper's motivation is data cleaning
 over screen-scraped inputs).  :func:`explain_violations` reruns Definition
 2.2's quantifier and reports, per violated constraint, the witnesses: the
 scope nodes at which the implication failed, with the offending counts.
+
+:func:`most_influential_edges` is the probabilistic counterpart: which
+probability annotations of the *p-document* matter most for an event?  It
+compiles the event into an arithmetic circuit (``repro.circuit``) and
+reads off ∂Pr(P ⊨ γ)/∂θ for every ind/mux edge probability and exp subset
+weight in one backward sweep — the edges whose mis-estimation moves the
+answer the most, i.e. where cleaning effort pays off first.
 """
 
 from __future__ import annotations
@@ -55,6 +63,29 @@ def explain_violations(
                     Violation(constraint, scope_node, antecedent, consequent)
                 )
     return violations
+
+
+def most_influential_edges(
+    pdoc, formula, top: int | None = 10, constraints: Iterable = ()
+) -> list[dict]:
+    """Rank the p-document's probability parameters by how strongly they
+    influence Pr(P ⊨ γ) — or Pr(P ⊨ γ ∧ C) when constraints are given.
+
+    Returns up to ``top`` rows (all of them when ``top`` is None), largest
+    |∂Pr/∂θ| first; each row carries the parameter's description (node
+    kind, path, edge/subset index), its current value, and the exact
+    derivative.  One circuit compilation plus one backward sweep computes
+    every derivative at once — no per-edge re-evaluation.
+    """
+    from ..circuit import compile_formula
+    from .constraints import constraints_formula
+    from .formulas import conjunction
+
+    constraints = tuple(constraints)
+    if constraints:
+        formula = conjunction([formula, constraints_formula(constraints)])
+    rows = compile_formula(pdoc, formula).sensitivities(0)
+    return rows if top is None else rows[:top]
 
 
 def why_inconsistent(

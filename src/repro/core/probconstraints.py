@@ -37,7 +37,7 @@ from ..pdoc.pdocument import PDocument
 from ..xmltree.document import Document
 from .constraints import Constraint
 from .evaluator import probabilities, probability
-from .formulas import CFormula, TRUE, conjunction, negation
+from .formulas import CFormula, conjunction, negation
 from .sampler import bernoulli, sample
 
 SNC = "snc"

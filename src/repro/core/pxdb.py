@@ -28,7 +28,7 @@ from ..xmltree.document import Document
 from ..xmltree.pattern import Pattern
 from .constraints import Constraint, constraints_formula
 from .evaluator import probabilities, probability
-from .formulas import CFormula, TRUE, conjunction
+from .formulas import CFormula, conjunction
 from .query import Query
 from .query_eval import AnswerTable, decode_answers, evaluate_query
 from .sampler import sample as _sample
@@ -37,8 +37,11 @@ from .sampler import sample as _sample
 class PXDB:
     """The probability space D̃ = (P̃, C)."""
 
+    #: Retained compiled circuits per event batch (see :meth:`compile_circuit`).
+    CIRCUIT_CACHE_CAP = 8
+
     __slots__ = ("pdoc", "constraints", "_condition", "_constraint_prob",
-                 "_sample_engine")
+                 "_sample_engine", "_event_circuits")
 
     def __init__(
         self,
@@ -51,6 +54,10 @@ class PXDB:
         self._condition = constraints_formula(self.constraints)
         self._constraint_prob: Fraction | None = None
         self._sample_engine = None
+        # Compiled arithmetic circuits, keyed by the (identity-compared)
+        # event tuple they answer.  Formula objects are immutable and the
+        # cache holds references, so identity keys cannot be recycled.
+        self._event_circuits: dict[tuple, object] = {}
         if check and not self.is_well_defined():
             raise ValueError(
                 "the p-document is not consistent with the constraints "
@@ -86,7 +93,9 @@ class PXDB:
         """Pr(D ⊨ γ) = Pr(P ⊨ γ ∧ C) / Pr(P ⊨ C) for any c-formula event."""
         return self.event_probabilities([event])[0]
 
-    def event_probabilities(self, events: Sequence[CFormula]) -> list[Fraction]:
+    def event_probabilities(
+        self, events: Sequence[CFormula], via: str = "dp"
+    ) -> list[Fraction]:
         """[Pr(D ⊨ γ) for γ in events] in one joint DP pass.
 
         The conditional probabilities of all events are computed together
@@ -95,7 +104,17 @@ class PXDB:
         Pr(P ⊨ C) is taken from the :meth:`constraint_probability` cache
         when warm; when cold it joins the same pass and the cache is
         populated as a side effect, so no caller ever pays for it twice.
+
+        ``via="circuit"`` answers from a compiled arithmetic circuit
+        instead (compiled on first use for this event tuple, retained, and
+        re-bound to the p-document's current probabilities on every call
+        — so after probability-only edits the cost is one O(|circuit|)
+        sweep, not a fresh DP).  Results are identical exact ``Fraction``s.
         """
+        if via == "circuit":
+            return self._event_probabilities_circuit(tuple(events))
+        if via != "dp":
+            raise ValueError(f"unknown evaluation route {via!r}")
         events = list(events)
         joints = [conjunction([self._condition, event]) for event in events]
         if self._constraint_prob is None:
@@ -112,6 +131,60 @@ class PXDB:
                 "the p-document is not consistent with the constraints"
             )
         return [joint / denominator for joint in joint_values]
+
+    # -- arithmetic-circuit route (repro.circuit) -------------------------------
+    def compile_circuit(self, events: Sequence[CFormula] = ()):
+        """Compile [Pr(P ⊨ γ ∧ C) for γ in events] + [Pr(P ⊨ C)] into one
+        shared arithmetic circuit (:class:`repro.circuit.CompiledCircuit`).
+
+        The constraint probability is always the *last* output, so a
+        circuit compiled with no events is exactly the CONSTRAINT-SAT⟨C⟩
+        circuit.  The circuit is bound to the p-document's structure:
+        probability-only edits re-bind in O(|params|), structural edits
+        require recompiling.
+        """
+        from ..circuit import compile_formulas
+
+        joints = [conjunction([self._condition, event]) for event in events]
+        return compile_formulas(self.pdoc, joints + [self._condition])
+
+    def circuit_for(self, events: Sequence[CFormula] = ()):
+        """The retained compiled circuit for this event tuple (compiled on
+        first use, then cached up to :data:`CIRCUIT_CACHE_CAP` tuples)."""
+        key = tuple(events)
+        circuit = self._event_circuits.get(key)
+        if circuit is None:
+            circuit = self.compile_circuit(key)
+            while len(self._event_circuits) >= self.CIRCUIT_CACHE_CAP:
+                self._event_circuits.pop(next(iter(self._event_circuits)))
+            self._event_circuits[key] = circuit
+        return circuit
+
+    def _event_probabilities_circuit(
+        self, events: tuple[CFormula, ...]
+    ) -> list[Fraction]:
+        circuit = self.circuit_for(events)
+        # Re-bind unconditionally: O(|params|) and keeps the circuit honest
+        # after in-place probability edits (repro.pdoc.parameters).
+        values = circuit.rebind(self.pdoc).forward()
+        denominator = values[-1]
+        self._constraint_prob = denominator
+        if denominator == 0:
+            raise ValueError(
+                "the p-document is not consistent with the constraints"
+            )
+        return [joint / denominator for joint in values[:-1]]
+
+    def circuit_stats(self) -> dict:
+        """Aggregate statistics over the retained compiled circuits (the
+        service's /metrics surfaces these per stored entry)."""
+        circuits = list(self._event_circuits.values())
+        return {
+            "cached": len(circuits),
+            "nodes": sum(len(circuit) for circuit in circuits),
+            "params": sum(circuit.num_params for circuit in circuits),
+            "rebinds": sum(circuit.rebinds for circuit in circuits),
+        }
 
     def boolean_query(self, pattern: Pattern) -> Fraction:
         """Pr(D ⊨ T′) for a Boolean twig query (Section 5)."""

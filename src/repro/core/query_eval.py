@@ -25,7 +25,7 @@ from ..xmltree.matching import enumerate_matches
 from ..xmltree.pattern import Pattern, PatternNode
 from ..xmltree.predicates import NodeIs, PredAnd
 from .evaluator import probabilities
-from .formulas import CFormula, SFormula, TRUE, conjunction, exists
+from .formulas import CFormula, TRUE, conjunction, exists
 from .query import Query
 
 AnswerTable = dict[tuple[int, ...], Fraction]

@@ -25,7 +25,7 @@ from __future__ import annotations
 from .. import ops
 from ..xmltree.parser import parse_selector
 from .constraints import Constraint, always
-from .formulas import CFormula, SFormula
+from .formulas import SFormula
 
 SelectorLike = "SFormula | str"
 

@@ -28,7 +28,7 @@ import heapq
 import itertools
 from fractions import Fraction
 
-from ..pdoc.pdocument import EXP, IND, MUX, PDocument
+from ..pdoc.pdocument import IND, PDocument
 from ..xmltree.document import Document
 from .evaluator import probability
 from .formulas import CFormula, DocumentEvaluator, TRUE

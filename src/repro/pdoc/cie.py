@@ -225,7 +225,7 @@ def three_sat_reduction(
 
 def every_a_has_a_child_formula():
     """The hard constraint of Section 7.3: every A-labeled node has a child."""
-    from ..core.formulas import CountAtom, SFormula, negation
+    from ..core.formulas import CountAtom, SFormula
     from ..xmltree.pattern import pattern
     from ..xmltree.predicates import LabelEquals
 

@@ -1,0 +1,151 @@
+"""The parameter view of a p-document: its probability values as a flat,
+deterministically ordered vector.
+
+A p-document factors into *structure* (node kinds, labels, child
+arrangement, exp subset index sets — summarized by
+:meth:`~repro.pdoc.pdocument.PNode.structure_fingerprint`) and
+*parameters* (the edge probabilities of ind/mux nodes and the subset
+weights of exp nodes).  This module enumerates the parameters in a fixed
+preorder, so that
+
+* a compiled arithmetic circuit (``repro.circuit``) can name each
+  parameter by its position and re-bind a structurally identical
+  p-document without recompiling;
+* the document store can distinguish a probability-only file edit (same
+  structure fingerprint, new parameter vector) from a structural edit and
+  keep its warm engines and circuits alive across the former.
+
+Slot order is the preorder of the distributional nodes, and within a node
+the child index order (ind/mux) or the listed subset order (exp) — the
+same order in which two structurally identical documents enumerate their
+nodes, so positions align.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Sequence
+
+from .pdocument import EXP, IND, MUX, PDocument, PNode
+
+EDGE = "edge"      # probs[index] of an ind/mux node
+SUBSET = "subset"  # subsets[index] weight of an exp node
+
+
+class ParameterSlot:
+    """One probability parameter: where it lives and how to describe it."""
+
+    __slots__ = ("node", "field", "index", "path")
+
+    def __init__(self, node: PNode, field: str, index: int, path: tuple[int, ...]):
+        self.node = node
+        self.field = field
+        self.index = index
+        self.path = path
+
+    @property
+    def value(self) -> Fraction:
+        if self.field == EDGE:
+            return self.node.probs[self.index]
+        return self.node.subsets[self.index][1]
+
+    def describe(self) -> str:
+        """A stable, human-readable name (used by sensitivity reports)."""
+        location = "/" + "/".join(map(str, self.path)) if self.path else "/"
+        if self.field == EDGE:
+            child = self.node.children[self.index]
+            target = repr(child.label) if child.kind == "ord" else child.kind
+            return f"{self.node.kind}@{location} edge {self.index} -> {target}"
+        subset = sorted(self.node.subsets[self.index][0])
+        return f"exp@{location} subset {subset}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ParameterSlot({self.describe()}, value={self.value})"
+
+
+def parameter_slots(pdoc: PDocument) -> list[ParameterSlot]:
+    """All probability parameters of ``pdoc``, in the canonical order.
+
+    Two p-documents with equal structure fingerprints produce slot lists
+    of equal length whose positions refer to corresponding locations.
+    """
+    slots: list[ParameterSlot] = []
+    stack: list[tuple[PNode, tuple[int, ...]]] = [(pdoc.root, ())]
+    while stack:
+        node, path = stack.pop()
+        if node.kind in (IND, MUX):
+            slots.extend(
+                ParameterSlot(node, EDGE, i, path) for i in range(len(node.probs))
+            )
+        elif node.kind == EXP:
+            slots.extend(
+                ParameterSlot(node, SUBSET, i, path) for i in range(len(node.subsets))
+            )
+        # Reversed push keeps the traversal in preorder (stack is LIFO).
+        for index in range(len(node.children) - 1, -1, -1):
+            stack.append((node.children[index], path + (index,)))
+    return slots
+
+
+def parameter_values(pdoc: PDocument) -> list[Fraction]:
+    """The parameter vector of ``pdoc`` in canonical slot order."""
+    return [slot.value for slot in parameter_slots(pdoc)]
+
+
+def apply_parameters(pdoc: PDocument, values: Sequence[Fraction]) -> int:
+    """Overwrite ``pdoc``'s probability parameters with ``values``
+    (canonical slot order), validating the per-node distribution laws
+    (probabilities in [0, 1], mux sums ≤ 1, exp subset weights summing to
+    exactly 1).  Returns the number of *nodes* whose parameters actually
+    changed; only those have their fingerprints invalidated, so an
+    incremental evaluator subsequently recomputes only the touched spines.
+
+    Raises ``ValueError`` on a length mismatch or an invalid distribution
+    — in that case the document is left unmodified.
+    """
+    slots = parameter_slots(pdoc)
+    if len(slots) != len(values):
+        raise ValueError(
+            f"parameter vector has {len(values)} entries, "
+            f"the p-document has {len(slots)} parameter slots"
+        )
+    # Group assignments per node, validate everything before mutating.
+    per_node: dict[int, tuple[PNode, list[tuple[ParameterSlot, Fraction]]]] = {}
+    for slot, raw in zip(slots, values):
+        value = Fraction(raw)
+        if not 0 <= value <= 1:
+            raise ValueError(
+                f"parameter {slot.describe()} = {value} outside [0, 1]"
+            )
+        per_node.setdefault(id(slot.node), (slot.node, []))[1].append((slot, value))
+    for node, assignments in per_node.values():
+        if node.kind == MUX:
+            if sum(v for _, v in assignments) > 1:
+                raise ValueError(
+                    f"mux@{assignments[0][0].path} child probabilities exceed 1"
+                )
+        elif node.kind == EXP:
+            if sum(v for _, v in assignments) != 1:
+                raise ValueError(
+                    f"exp@{assignments[0][0].path} subset weights must sum to 1"
+                )
+    changed = 0
+    for node, assignments in per_node.values():
+        if node.kind in (IND, MUX):
+            new_probs = list(node.probs)
+            for slot, value in assignments:
+                new_probs[slot.index] = value
+            if new_probs != node.probs:
+                node.probs = new_probs
+                node.invalidate_fingerprints()
+                changed += 1
+        else:  # EXP
+            new_subsets = list(node.subsets)
+            for slot, value in assignments:
+                subset, _ = new_subsets[slot.index]
+                new_subsets[slot.index] = (subset, value)
+            if new_subsets != node.subsets:
+                node.subsets = new_subsets
+                node.invalidate_fingerprints()
+                changed += 1
+    return changed

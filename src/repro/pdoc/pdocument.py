@@ -43,18 +43,23 @@ KINDS = (ORD,) + DIST_KINDS
 # a small integer identifying a subtree's content up to the chosen equality:
 # *shape* fingerprints ignore ordinary uids (two structurally identical
 # subtrees share one), *identity* fingerprints include them (equal only for
-# clones of the same subtree).  Interning makes equality O(1) and keys
-# stable across documents and across evaluator runs, which is what the
-# incremental engine's persistent cache is keyed on.
+# clones of the same subtree), *structure* fingerprints additionally ignore
+# every probability value (edge probabilities, exp subset weights) — they
+# identify the parameterized skeleton that the arithmetic-circuit backend
+# compiles against, so two documents with equal structure fingerprints
+# differ at most in their probability parameters.  Interning makes equality
+# O(1) and keys stable across documents and across evaluator runs, which is
+# what the incremental engine's persistent cache is keyed on.
 _SHAPE_INTERN: dict[tuple, int] = {}
 _IDENT_INTERN: dict[tuple, int] = {}
+_STRUCT_INTERN: dict[tuple, int] = {}
 
 
 class PNode:
     """A node of a p-document (ordinary or distributional)."""
 
     __slots__ = ("kind", "label", "uid", "probs", "subsets", "_children", "_parent",
-                 "_shape_fp", "_ident_fp")
+                 "_shape_fp", "_ident_fp", "_struct_fp")
 
     def __init__(
         self,
@@ -80,6 +85,7 @@ class PNode:
         # Cached structural fingerprints (None = not computed / stale).
         self._shape_fp: int | None = None
         self._ident_fp: int | None = None
+        self._struct_fp: int | None = None
 
     # Tree structure --------------------------------------------------------
     @property
@@ -116,6 +122,7 @@ class PNode:
         while node is not None:
             node._shape_fp = None
             node._ident_fp = None
+            node._struct_fp = None
             node = node._parent
 
     def shape_fingerprint(self) -> int:
@@ -133,6 +140,18 @@ class PNode:
         predicates inspect node identity (``NodeIs``), because clones
         preserve uids."""
         return _fingerprint(self, identity=True)
+
+    def structure_fingerprint(self) -> int:
+        """The subtree's *parameterized* structure: kinds, labels, child
+        arrangement and (for exp nodes) the ordered list of subset index
+        sets — everything **except** the probability values.  Two subtrees
+        with equal structure fingerprints describe the same probability
+        polynomial and differ at most in the point it is evaluated at,
+        which is exactly the condition under which a compiled arithmetic
+        circuit (``repro.circuit``) can be re-bound instead of recompiled.
+        Ordinary uids are excluded so the fingerprint is stable across
+        re-parses of the same file (serialization drops uids by default)."""
+        return _fingerprint(self, identity=False, structure=True)
 
     # Construction helpers ---------------------------------------------------
     def ordinary(self, label: Label, uid: int | None = None) -> "PNode":
@@ -406,21 +425,31 @@ def _clone(node: PNode) -> tuple[PNode, dict[int, PNode]]:
         # reuse the incremental engine's cache for untouched subtrees.
         copy._shape_fp = original._shape_fp
         copy._ident_fp = original._ident_fp
+        copy._struct_fp = original._struct_fp
         mapping[id(original)] = copy
         return copy
 
     return rec(node), mapping
 
 
-def _fingerprint(root: PNode, identity: bool) -> int:
+def _fingerprint(root: PNode, identity: bool, structure: bool = False) -> int:
     """Compute (and cache) the requested fingerprint of ``root``'s subtree.
 
     Iterative postorder with early pruning: subtrees whose fingerprint is
     already cached are not re-walked, so after in-place conditioning the
     cost is proportional to the invalidated spine, not the document.
+
+    ``structure=True`` masks out every probability value (edge
+    probabilities and exp subset weights) while keeping the ordered subset
+    index sets — the parameter *slots* are part of the structure, their
+    values are not.
     """
-    table = _IDENT_INTERN if identity else _SHAPE_INTERN
-    slot = "_ident_fp" if identity else "_shape_fp"
+    if structure:
+        table, slot = _STRUCT_INTERN, "_struct_fp"
+    elif identity:
+        table, slot = _IDENT_INTERN, "_ident_fp"
+    else:
+        table, slot = _SHAPE_INTERN, "_shape_fp"
     stack: list[tuple[PNode, bool]] = [(root, False)]
     while stack:
         node, expanded = stack.pop()
@@ -434,8 +463,11 @@ def _fingerprint(root: PNode, identity: bool) -> int:
             node.kind,
             node.label,
             node.uid if identity else None,
-            tuple(node.probs),
-            tuple((tuple(sorted(s)), q) for s, q in node.subsets),
+            len(node.probs) if structure else tuple(node.probs),
+            tuple(
+                tuple(sorted(s)) if structure else (tuple(sorted(s)), q)
+                for s, q in node.subsets
+            ),
             tuple(getattr(child, slot) for child in node.children),
         )
         setattr(node, slot, table.setdefault(raw, len(table)))

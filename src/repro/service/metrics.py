@@ -12,9 +12,11 @@ cache hits) and "where does request time go", not to replace a real APM.
 
 from __future__ import annotations
 
+import re
 import threading
 import time
 from bisect import bisect_left
+from typing import Iterable
 
 # Bucket upper bounds in seconds (the last bucket is +inf).  Spans the
 # range from a cache-hit response (~100 µs) to a cold multi-second pass.
@@ -109,6 +111,82 @@ class Metrics:
                     for name, histogram in sorted(self._histograms.items())
                 },
             }
+
+    def render_prometheus(
+        self, extra: Iterable[tuple[str, dict, float]] = ()
+    ) -> str:
+        """The Prometheus text exposition (format 0.0.4) of this sink.
+
+        Counters become ``pxdb_<name>_total``; each latency histogram
+        becomes a classic ``pxdb_request_duration_seconds`` series (with
+        *cumulative* ``le`` buckets, as the format requires — the internal
+        buckets are disjoint).  ``extra`` rows — (metric name, label dict,
+        value) — are appended as gauges; the service uses them for store,
+        circuit and pool statistics.
+        """
+        with self._lock:
+            counters = sorted(self._counters.items())
+            histograms = [
+                (name, histogram.buckets, list(histogram.counts),
+                 histogram.count, histogram.total)
+                for name, histogram in sorted(self._histograms.items())
+            ]
+            uptime = time.time() - self.started_at
+        lines = [
+            "# TYPE pxdb_uptime_seconds gauge",
+            f"pxdb_uptime_seconds {_format_value(uptime)}",
+        ]
+        for name, value in counters:
+            metric = f"pxdb_{_sanitize(name)}_total"
+            lines.append(f"# TYPE {metric} counter")
+            lines.append(f"{metric} {value}")
+        if histograms:
+            metric = "pxdb_request_duration_seconds"
+            lines.append(f"# TYPE {metric} histogram")
+            for name, buckets, counts, count, total in histograms:
+                label = _sanitize(name)
+                cumulative = 0
+                for bound, bucket_count in zip(buckets, counts):
+                    cumulative += bucket_count
+                    lines.append(
+                        f'{metric}_bucket{{op="{label}",le="{_format_value(bound)}"}}'
+                        f" {cumulative}"
+                    )
+                lines.append(f'{metric}_bucket{{op="{label}",le="+Inf"}} {count}')
+                lines.append(f'{metric}_sum{{op="{label}"}} {_format_value(total)}')
+                lines.append(f'{metric}_count{{op="{label}"}} {count}')
+        for name, labels, value in extra:
+            metric = _sanitize(name)
+            rendered = ",".join(
+                f'{key}="{_escape_label(item)}"'
+                for key, item in sorted(labels.items())
+            )
+            lines.append(f"# TYPE {metric} gauge")
+            lines.append(
+                f"{metric}{{{rendered}}} {_format_value(value)}"
+                if rendered else f"{metric} {_format_value(value)}"
+            )
+        return "\n".join(lines) + "\n"
+
+
+def _sanitize(name: str) -> str:
+    """A Prometheus-legal metric-name fragment ("query.cache_hits" →
+    "query_cache_hits")."""
+    return re.sub(r"[^a-zA-Z0-9_]", "_", name)
+
+
+def _escape_label(value) -> str:
+    return str(value).replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_value(value) -> str:
+    """Shortest faithful rendering (integral floats print as integers)."""
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    value = float(value)
+    return str(int(value)) if value.is_integer() else repr(value)
 
 
 class _Timer:

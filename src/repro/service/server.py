@@ -69,15 +69,30 @@ def sat_payload(entry: StoreEntry) -> dict:
 def query_payload(entry: StoreEntry, query_text: str, *, coalesce: bool = True) -> dict:
     """EVAL⟨Q, C⟩ — all candidate tuples evaluated in one joint DP pass,
     through the coalescer (shared with concurrent requests) unless
-    ``coalesce=False`` (pool workers are single-request, no window to wait)."""
-    query = Query.parse(query_text)
+    ``coalesce=False`` (pool workers are single-request, no window to wait).
+
+    A query text seen before (whose *result* cache entry was dropped — a
+    parameter-only reload, or LRU pressure) takes the circuit route
+    instead: the entry retained its candidate tuples and bound event
+    formulas, which key the PXDB's compiled-circuit cache, so the answer
+    is one parameter re-bind plus one forward sweep — no fresh DP, no
+    re-matching.  Results are identical exact ``Fraction``s either way.
+    """
     pdoc = entry.pxdb.pdoc
-    answers = candidate_tuples(query, pdoc)
-    events = [bound_formula(query, answer) for answer in answers]
-    if coalesce:
-        values = entry.coalescer.event_probabilities(events)
+    known = entry.cached_events(query_text)
+    if known is not None:
+        answers, events = known
+        values = entry.pxdb.event_probabilities(events, via="circuit")
+        entry.circuit_hits += 1
     else:
-        values = entry.pxdb.event_probabilities(events)
+        query = Query.parse(query_text)
+        answers = candidate_tuples(query, pdoc)
+        events = [bound_formula(query, answer) for answer in answers]
+        if coalesce:
+            values = entry.coalescer.event_probabilities(events)
+        else:
+            values = entry.pxdb.event_probabilities(events)
+        entry.cache_events(query_text, tuple(answers), tuple(events))
     table = {answer: value for answer, value in zip(answers, values) if value > 0}
     rows = [
         {
@@ -194,9 +209,41 @@ class PXDBService:
             entry.name: entry.coalescer.stats()
             for entry in self.store.loaded_entries()
         }
+        payload["circuits"] = {
+            entry.name: {
+                **entry.pxdb.circuit_stats(),
+                "hits": entry.circuit_hits,
+                "param_reloads": entry.param_reloads,
+            }
+            for entry in self.store.loaded_entries()
+        }
         if self.pool is not None:
             payload["pool"] = self.pool.stats()
         return payload
+
+    def metrics_prometheus(self) -> str:
+        """The /metrics surface in Prometheus text exposition format."""
+        extra = [
+            (f"pxdb_store_{key}", {}, value)
+            for key, value in self.store.stats().items()
+        ]
+        for entry in self.store.loaded_entries():
+            labels = {"db": entry.name}
+            stats = entry.pxdb.circuit_stats()
+            extra += [
+                ("pxdb_circuit_cached", labels, stats["cached"]),
+                ("pxdb_circuit_nodes", labels, stats["nodes"]),
+                ("pxdb_circuit_rebinds_total", labels, stats["rebinds"]),
+                ("pxdb_circuit_hits_total", labels, entry.circuit_hits),
+                ("pxdb_entry_param_reloads_total", labels, entry.param_reloads),
+            ]
+        if self.pool is not None:
+            extra += [
+                (f"pxdb_pool_{key}", {}, value)
+                for key, value in self.pool.stats().items()
+                if isinstance(value, (int, float))
+            ]
+        return self.metrics.render_prometheus(extra)
 
     # -- internals ------------------------------------------------------------
     def _dispatch(self, op: str, db: str, kwargs: dict) -> dict:
@@ -280,6 +327,12 @@ class _Handler(BaseHTTPRequestHandler):
             elif route == "/stats":
                 payload = service.stats()
             elif route == "/metrics":
+                accept = self.headers.get("Accept") or ""
+                if params.get("format") == "prometheus" or (
+                    "text/plain" in accept and "application/json" not in accept
+                ):
+                    self._send_text(200, service.metrics_prometheus())
+                    return
                 payload = service.metrics_payload()
             elif route == "/health":
                 payload = {"status": "ok"}
@@ -300,6 +353,14 @@ class _Handler(BaseHTTPRequestHandler):
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_text(self, status: int, text: str) -> None:
+        body = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)

@@ -19,7 +19,19 @@ The registry itself keeps *specs* (name → file paths) separately from
 *loaded entries*: entries are LRU-evicted beyond ``max_entries`` but the
 spec survives, so a later request transparently reloads.  On every access
 the source files' mtimes are compared against the load-time values and a
-change invalidates the entry (fresh parse, fresh engine, fresh caches).
+change invalidates the entry.
+
+Invalidation distinguishes two kinds of file edit via the p-document's
+*structure fingerprint* (uid- and probability-free):
+
+* a **parameter-only edit** — same structure, new probabilities — keeps
+  the entry alive: the new values are applied onto the *retained* tree
+  (:func:`repro.pdoc.parameters.apply_parameters`, preserving uids, the
+  warm engine and every compiled circuit), the constraint probability is
+  refreshed by re-binding the retained CONSTRAINT-SAT circuit, and only
+  the query *result* cache is dropped (results are parameter-dependent);
+* a **structural edit** (or any constraint-file change) replaces the
+  whole entry: fresh parse, fresh engine, fresh caches.
 """
 
 from __future__ import annotations
@@ -37,6 +49,7 @@ from ..core.constraints import Constraint
 from ..core.evaluator import IncrementalEngine
 from ..core.formulas import CFormula
 from ..core.pxdb import PXDB
+from ..pdoc.parameters import apply_parameters, parameter_values
 from ..pdoc.pdocument import PDocument
 from ..pdoc.serialize import pdocument_from_xml
 from ..xmltree.document import Document
@@ -104,7 +117,9 @@ class StoreEntry:
 
     __slots__ = ("name", "pdocument_path", "constraints_path", "pxdb",
                  "constraints", "engine", "coalescer", "lock", "sample_lock",
-                 "query_cache", "query_cache_cap", "loaded_at", "mtimes")
+                 "query_cache", "query_cache_cap", "loaded_at", "mtimes",
+                 "structure_fp", "param_reloads", "circuit_hits",
+                 "query_events", "query_events_cap")
 
     def __init__(
         self,
@@ -132,6 +147,16 @@ class StoreEntry:
         self.sample_lock = threading.Lock()
         self.query_cache: OrderedDict[str, dict] = OrderedDict()
         self.query_cache_cap = query_cache_cap
+        # Per-query candidate tuples + bound event formulas, retained
+        # across parameter-only reloads (structure unchanged ⇒ the
+        # skeleton, hence the candidates, are unchanged).  The event
+        # tuples key the PXDB's compiled-circuit cache, so a re-asked
+        # query after a parameter edit answers by circuit re-bind.
+        self.query_events: OrderedDict[str, tuple[tuple, tuple]] = OrderedDict()
+        self.query_events_cap = PXDB.CIRCUIT_CACHE_CAP
+        self.structure_fp = pxdb.pdoc.root.structure_fingerprint()
+        self.param_reloads = 0
+        self.circuit_hits = 0
         # Warm-up: one engine, one CONSTRAINT-SAT pass.  The denominator is
         # primed into the PXDB and the engine is injected as its sample
         # engine, so /sat answers from cache, /query divides by the cached
@@ -163,6 +188,41 @@ class StoreEntry:
                 self.query_cache.move_to_end(key)
             return payload
 
+    def cache_events(self, key: str, answers: tuple, events: tuple) -> None:
+        with self.lock:
+            cache = self.query_events
+            cache[key] = (answers, events)
+            cache.move_to_end(key)
+            while len(cache) > self.query_events_cap:
+                cache.popitem(last=False)
+
+    def cached_events(self, key: str) -> tuple[tuple, tuple] | None:
+        with self.lock:
+            known = self.query_events.get(key)
+            if known is not None:
+                self.query_events.move_to_end(key)
+            return known
+
+    def apply_parameter_update(
+        self, new_pdoc: PDocument, mtimes: tuple[int, ...]
+    ) -> int:
+        """A parameter-only reload: copy ``new_pdoc``'s probability values
+        onto the *retained* tree (uids, warm engine and compiled circuits
+        all survive; the engine's stale fingerprint keys simply never hit
+        again), refresh Pr(P ⊨ C) by re-binding the retained
+        CONSTRAINT-SAT circuit, and drop the (parameter-dependent) query
+        result cache.  Raises ``ValueError`` when the new parameters make
+        the PXDB ill-defined (Pr(P ⊨ C) = 0)."""
+        changed = apply_parameters(self.pxdb.pdoc, parameter_values(new_pdoc))
+        # Rebind + one forward sweep; also re-primes the denominator cache
+        # that /sat and every /query division read.
+        self.pxdb.event_probabilities([], via="circuit")
+        with self.lock:
+            self.query_cache.clear()
+        self.mtimes = mtimes
+        self.param_reloads += 1
+        return changed
+
     def info(self) -> dict:
         """A JSON-ready description (served by ``/stats``)."""
         pdoc = self.pxdb.pdoc
@@ -178,6 +238,9 @@ class StoreEntry:
             "constraint_probability_float": float(denominator),
             "loaded_at": self.loaded_at,
             "query_cache_entries": len(self.query_cache),
+            "param_reloads": self.param_reloads,
+            "circuit_hits": self.circuit_hits,
+            "circuits": self.pxdb.circuit_stats(),
             "engine": self.engine.stats(),
             "coalescer": self.coalescer.stats(),
         }
@@ -213,6 +276,7 @@ class DocumentStore:
         self._entries: OrderedDict[str, StoreEntry] = OrderedDict()
         self.loads = 0
         self.reloads = 0
+        self.param_reloads = 0
         self.evictions = 0
         self.hits = 0
 
@@ -271,7 +335,20 @@ class DocumentStore:
             spec = self._specs[name]
             entry = self._entries.get(name)
             if entry is not None and spec is not None and self.check_mtime:
-                if _mtimes(spec) != entry.mtimes:
+                stamps = _mtimes(spec)
+                if stamps != entry.mtimes:
+                    try:
+                        rebound = self._try_rebind(entry, spec, stamps)
+                    except ValueError:
+                        # The entry's tree may already carry the bad
+                        # parameters — drop it; the spec survives, so the
+                        # next access retries from a fresh parse.
+                        self._entries.pop(name, None)
+                        raise
+                    if rebound:
+                        self.param_reloads += 1
+                        self._entries.move_to_end(name)
+                        return entry
                     self.reloads += 1
                     entry = self._load(name, spec)
                     self._install(name, entry)
@@ -324,11 +401,34 @@ class DocumentStore:
                 "max_entries": self.max_entries,
                 "loads": self.loads,
                 "reloads": self.reloads,
+                "param_reloads": self.param_reloads,
                 "evictions": self.evictions,
                 "hits": self.hits,
             }
 
     # -- internals ------------------------------------------------------------
+    def _try_rebind(
+        self, entry: StoreEntry, spec: tuple[str, str | None],
+        stamps: tuple[int, ...],
+    ) -> bool:
+        """Attempt a parameter-only refresh of a stale entry.
+
+        Returns True when the p-document file changed probabilities only
+        (equal structure fingerprints) and the constraint file did not
+        change — in which case the entry was updated in place.  Returns
+        False to request a full reload.  ``ValueError`` (malformed file,
+        ill-defined parameters) propagates to the caller.
+        """
+        if len(stamps) != len(entry.mtimes):
+            return False
+        if len(stamps) == 2 and stamps[1] != entry.mtimes[1]:
+            return False  # the constraint file changed: full reload
+        new_pdoc = read_pdocument(spec[0])
+        if new_pdoc.root.structure_fingerprint() != entry.structure_fp:
+            return False
+        entry.apply_parameter_update(new_pdoc, stamps)
+        return True
+
     def _load(self, name: str, spec: tuple[str, str | None]) -> StoreEntry:
         pdocument_path, constraints_path = spec
         pxdb, constraints = load_pxdb(pdocument_path, constraints_path)

@@ -17,7 +17,7 @@ import re
 from fractions import Fraction
 
 from .parser import _BARE_STOP  # the characters that end a bare token
-from .pattern import CHILD, DESC, Pattern, PatternNode
+from .pattern import DESC, Pattern, PatternNode
 from .predicates import (
     AnyLabel,
     LabelEquals,

@@ -32,7 +32,6 @@ from repro.core.formulas import (
     MaxAtom,
     MinAtom,
     SFormula,
-    TRUE,
     conjunction,
 )
 from repro.pdoc.generate import random_instance

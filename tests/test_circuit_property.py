@@ -1,0 +1,93 @@
+"""Property-based differential tests for the circuit compilation: on
+randomized p-documents and c-formulae, the compiled circuit's forward pass
+must return ``Fraction``s *identical* to the Theorem 5.3 evaluator, and
+its backward pass must match exact central finite differences (the
+outputs are multilinear in the parameters, so the differences are exact).
+"""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.circuit import compile_formula, compile_formulas
+from repro.core.evaluator import probabilities
+from repro.core.formulas import conjunction, disjunction, negation
+from repro.workloads.random_gen import random_formula, random_pdocument
+
+_SETTINGS = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@given(seed=st.integers(min_value=0, max_value=10**9))
+@_SETTINGS
+def test_forward_matches_evaluator_count_formulae(seed):
+    rng = random.Random(seed)
+    pdoc = random_pdocument(rng)
+    formulas = [random_formula(rng, allow_ratio=False) for _ in range(2)]
+    assert compile_formulas(pdoc, formulas).probabilities() == probabilities(
+        pdoc, formulas
+    )
+
+
+@given(seed=st.integers(min_value=0, max_value=10**9))
+@_SETTINGS
+def test_forward_matches_evaluator_ratio_formulae(seed):
+    rng = random.Random(seed)
+    pdoc = random_pdocument(rng)
+    formula = random_formula(rng, allow_ratio=True)
+    assert compile_formula(pdoc, formula).probability() == probabilities(
+        pdoc, [formula]
+    )[0]
+
+
+@given(seed=st.integers(min_value=0, max_value=10**9))
+@_SETTINGS
+def test_forward_matches_evaluator_exp_nodes(seed):
+    rng = random.Random(seed)
+    pdoc = random_pdocument(rng, allow_exp=True)
+    formula = random_formula(rng)
+    assert compile_formula(pdoc, formula).probability() == probabilities(
+        pdoc, [formula]
+    )[0]
+
+
+@given(seed=st.integers(min_value=0, max_value=10**9))
+@_SETTINGS
+def test_forward_matches_evaluator_boolean_closure(seed):
+    rng = random.Random(seed)
+    pdoc = random_pdocument(rng, allow_exp=True)
+    f1 = random_formula(rng)
+    f2 = random_formula(rng)
+    formulas = [negation(f1), conjunction([f1, f2]), disjunction([f1, negation(f2)])]
+    assert compile_formulas(pdoc, formulas).probabilities() == probabilities(
+        pdoc, formulas
+    )
+
+
+@given(seed=st.integers(min_value=0, max_value=10**9))
+@_SETTINGS
+def test_gradient_matches_exact_central_differences(seed):
+    rng = random.Random(seed)
+    pdoc = random_pdocument(rng, max_nodes=8, max_depth=3, allow_exp=True)
+    circuit = compile_formula(pdoc, random_formula(rng))
+    if circuit.num_params == 0:
+        return
+    step = Fraction(1, 9)
+    base = list(circuit.param_values)
+    gradients = circuit.gradient(0)
+    # One randomly chosen parameter per example keeps the runtime sane.
+    k = rng.randrange(circuit.num_params)
+    up, down = list(base), list(base)
+    up[k] = base[k] + step
+    down[k] = base[k] - step
+    circuit.set_param_values(up)
+    high = circuit.forward()[0]
+    circuit.set_param_values(down)
+    low = circuit.forward()[0]
+    assert (high - low) / (2 * step) == gradients[k]

@@ -9,7 +9,6 @@ import pytest
 from repro.cli import main
 from repro.pdoc.pdocument import PNode, pdocument
 from repro.pdoc.serialize import pdocument_to_xml
-from repro.workloads.university import figure2_document
 from repro.xmltree.serialize import document_to_xml
 
 CONSTRAINTS = "forall catalog/$shelf : count(*/$book) >= 1\n"
@@ -227,3 +226,60 @@ def test_serve_parser_wired():
     )
     assert args.db == ["uni=a.pxml:c.txt"]
     assert args.port == 0 and args.pool == 2
+
+
+# -- the circuit subcommand ---------------------------------------------------
+
+def test_circuit_compile_and_stats(files, capsys):
+    pdoc_path, constraints_path = files
+    args = ["circuit", "compile", str(pdoc_path), "-c", str(constraints_path)]
+    assert main(args) == 0
+    out = capsys.readouterr().out
+    assert "compiled:" in out and "parameters" in out
+    assert "Pr(P |= C) = 5/8" in out
+    assert main(["circuit", "stats", str(pdoc_path)]) == 0
+    out = capsys.readouterr().out
+    assert "nodes:" in out and "rebinds: 0" in out
+
+
+def test_circuit_eval_with_event_and_rebind(files, tmp_path, capsys):
+    pdoc_path, constraints_path = files
+    # Re-bind to a copy with the first book certain to appear.
+    from repro.pdoc.parameters import apply_parameters, parameter_values
+    from repro.pdoc.serialize import pdocument_from_xml
+
+    edited = pdocument_from_xml(pdoc_path.read_text())
+    values = parameter_values(edited)
+    values[0] = Fraction(1)
+    apply_parameters(edited, values)
+    edited_path = tmp_path / "edited.pxml"
+    edited_path.write_text(pdocument_to_xml(edited))
+
+    args = ["circuit", "eval", str(pdoc_path), "-c", str(constraints_path),
+            "-q", "catalog/shelf/book", "--rebind", str(edited_path)]
+    assert main(args) == 0
+    out = capsys.readouterr().out
+    assert "re-bound to the probabilities" in out
+    assert "Pr(D |= catalog/shelf/book) = 1" in out
+
+
+def test_circuit_rebind_structural_mismatch_exits_2(files, tmp_path, capsys):
+    pdoc_path, constraints_path = files
+    other = tmp_path / "other.pxml"
+    from repro.workloads.university import figure1_pdocument
+
+    other.write_text(pdocument_to_xml(figure1_pdocument()))
+    args = ["circuit", "eval", str(pdoc_path), "-c", str(constraints_path),
+            "--rebind", str(other)]
+    assert main(args) == 2
+    assert "structure differs" in capsys.readouterr().err
+
+
+def test_circuit_grad_ranks_parameters(files, capsys):
+    pdoc_path, constraints_path = files
+    args = ["circuit", "grad", str(pdoc_path), "-c", str(constraints_path),
+            "--top", "1"]
+    assert main(args) == 0
+    out = capsys.readouterr().out
+    assert "most influential first" in out
+    assert out.count("ind@") == 1  # --top limits the listing

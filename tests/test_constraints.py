@@ -20,7 +20,6 @@ from repro.core.constraint_parser import (
 )
 from repro.pdoc.generate import random_instance
 from repro.workloads.random_gen import random_pdocument, random_selector
-from repro.workloads.university import figure1_constraints, figure2_document
 from repro.xmltree.document import Document, doc
 from repro.xmltree.parser import parse_selector
 

@@ -5,7 +5,6 @@ from __future__ import annotations
 import random
 from fractions import Fraction
 
-import pytest
 
 from repro.pdoc.enumerate import (
     node_probability,

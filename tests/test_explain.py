@@ -5,10 +5,9 @@ from __future__ import annotations
 from fractions import Fraction
 
 from repro.core.constraints import Constraint, always
-from repro.core.explain import Violation, explain_violations, why_inconsistent
+from repro.core.explain import explain_violations, why_inconsistent
 from repro.core.formulas import SFormula
 from repro.pdoc.pdocument import pdocument
-from repro.workloads.university import figure1_constraints, figure2_document
 from repro.xmltree.document import Document, doc
 from repro.xmltree.parser import parse_selector
 

@@ -13,7 +13,6 @@ from repro.core.formulas import (
     TRUE,
     AvgAtom,
     CAnd,
-    CFormula,
     CountAtom,
     DocumentEvaluator,
     MaxAtom,

@@ -22,7 +22,6 @@ from repro.baseline.naive import conditional_world_distribution
 from repro.core.explain import explain_violations
 from repro.core.formulas import DocumentEvaluator
 from repro.core.statistics import count_distribution
-from repro.pdoc.pdocument import PNode, pdocument
 from repro.pdoc.serialize import pdocument_from_xml, pdocument_to_xml
 from repro.pdoc.transform import normalize
 from repro.workloads.scraping import ScrapeModel, scrape

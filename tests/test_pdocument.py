@@ -6,7 +6,7 @@ from fractions import Fraction
 
 import pytest
 
-from repro.pdoc.pdocument import EXP, IND, MUX, ORD, PDocument, PNode, pdocument
+from repro.pdoc.pdocument import IND, MUX, ORD, PDocument, PNode, pdocument
 
 
 def small_pdoc():

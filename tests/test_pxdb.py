@@ -11,7 +11,6 @@ from repro.baseline.naive import conditional_world_distribution
 from repro.core.constraints import always
 from repro.core.formulas import CountAtom, SFormula, TRUE, exists
 from repro.core.pxdb import PXDB
-from repro.core.query import selector
 from repro.pdoc.pdocument import pdocument
 from repro.xmltree.parser import parse_boolean_pattern, parse_selector
 

@@ -9,7 +9,7 @@ import pytest
 
 from repro.baseline.naive import conditional_world_distribution
 from repro.core.constraints import always
-from repro.core.formulas import CountAtom, DocumentEvaluator, SFormula, TRUE
+from repro.core.formulas import CountAtom, TRUE
 from repro.core.pxdb import PXDB
 from repro.core.query import Query, selector
 from repro.core.query_eval import (
@@ -18,11 +18,10 @@ from repro.core.query_eval import (
     decode_answers,
     evaluate_query,
 )
-from repro.pdoc.enumerate import world_distribution
 from repro.pdoc.pdocument import PNode, pdocument
 from repro.workloads.random_gen import random_pdocument
 from repro.xmltree.document import Document, doc
-from repro.xmltree.parser import parse_boolean_pattern, parse_selector
+from repro.xmltree.parser import parse_boolean_pattern
 
 
 @pytest.fixture()

@@ -6,7 +6,6 @@ import random
 
 import pytest
 
-from repro.core.constraints import Constraint
 from repro.core.constraint_parser import parse_constraint
 from repro.core.formulas import SFormula, select
 from repro.pdoc.generate import random_instance

@@ -450,3 +450,129 @@ def test_pool_queue_bound_rejects(catalog_files):
                 pool.run("sat", "cat", timeout=0.05)
         finally:
             blocker.join()
+
+
+# -- parameter-only reloads and the circuit path ------------------------------
+
+def _edit_first_parameter(pdoc_path: Path, value: Fraction) -> None:
+    """Rewrite the p-document file with its first probability parameter
+    changed to ``value`` (structure untouched)."""
+    from repro.pdoc.parameters import apply_parameters, parameter_values
+    from repro.pdoc.serialize import pdocument_from_xml
+
+    pdoc = pdocument_from_xml(pdoc_path.read_text())
+    values = parameter_values(pdoc)
+    values[0] = value
+    apply_parameters(pdoc, values)
+    pdoc_path.write_text(pdocument_to_xml(pdoc))
+    _bump_mtime(pdoc_path)
+
+
+def test_store_parameter_only_reload_keeps_entry(catalog_files):
+    pdoc_path, constraints_path = catalog_files
+    store = DocumentStore()
+    first = store.register("cat", pdoc_path, constraints_path)
+    engine = first.engine
+    assert first.pxdb.constraint_probability() == Fraction(5, 8)
+    _edit_first_parameter(pdoc_path, Fraction(9, 10))
+    second = store.get("cat")
+    # Same warm entry, same engine — only the parameters moved.
+    assert second is first
+    assert second.engine is engine
+    assert second.param_reloads == 1
+    assert store.stats()["param_reloads"] == 1
+    assert store.stats()["reloads"] == 0
+    # The denominator was refreshed from the re-bound sat circuit:
+    # Pr(C) = Pr(at least one book) = 1 - (1 - 9/10)(1 - 1/4).
+    assert second.pxdb.constraint_probability() == Fraction(37, 40)
+    assert second.pxdb.circuit_stats()["rebinds"] >= 1
+
+
+def test_store_structural_edit_still_full_reloads(catalog_files):
+    pdoc_path, constraints_path = catalog_files
+    store = DocumentStore()
+    first = store.register("cat", pdoc_path, constraints_path)
+    pd = make_catalog()
+    pd.root.children[0].ordinary("label")  # structural: one more node
+    pdoc_path.write_text(pdocument_to_xml(pd))
+    _bump_mtime(pdoc_path)
+    second = store.get("cat")
+    assert second is not first
+    assert store.stats()["reloads"] == 1
+    assert store.stats()["param_reloads"] == 0
+
+
+def test_store_parameter_reload_to_zero_denominator_drops_entry(catalog_files):
+    pdoc_path, constraints_path = catalog_files
+    store = DocumentStore()
+    store.register("cat", pdoc_path, constraints_path)
+    # Both books at probability 0 can never satisfy "count >= 1".
+    from repro.pdoc.parameters import apply_parameters, parameter_values
+    from repro.pdoc.serialize import pdocument_from_xml
+
+    pdoc = pdocument_from_xml(pdoc_path.read_text())
+    apply_parameters(pdoc, [Fraction(0)] * len(parameter_values(pdoc)))
+    pdoc_path.write_text(pdocument_to_xml(pdoc))
+    _bump_mtime(pdoc_path)
+    with pytest.raises(ValueError, match="not consistent"):
+        store.get("cat")
+    assert "cat" not in store.loaded_names()  # dropped, spec retained
+    with pytest.raises(ValueError, match="not well-defined"):
+        store.get("cat")  # fresh load rejects it too
+
+
+def test_service_query_after_parameter_reload_uses_circuit(catalog_service,
+                                                           catalog_files):
+    pdoc_path, _ = catalog_files
+    first = catalog_service.query("cat", QUERY)
+    entry = catalog_service.store.get("cat")
+    assert entry.circuit_hits == 0
+    _edit_first_parameter(pdoc_path, Fraction(1, 10))
+    second = catalog_service.query("cat", QUERY)
+    entry = catalog_service.store.get("cat")
+    assert entry.circuit_hits == 1  # answered by re-bind + forward sweep
+    assert second != first
+    # Exact agreement with a cold evaluation of the edited file.
+    db = PXDB(read_pdocument(pdoc_path), read_constraints(catalog_files[1]))
+    expected = {
+        tuple(str(label) for label in labels): str(value)
+        for labels, value in db.query_labels(QUERY).items()
+    }
+    got = {
+        tuple(row["answer"]): row["probability"] for row in second["answers"]
+    }
+    assert got == expected
+    # /metrics surfaces the circuit counters.
+    circuits = catalog_service.metrics_payload()["circuits"]["cat"]
+    assert circuits["hits"] == 1
+    assert circuits["param_reloads"] == 1
+    assert circuits["rebinds"] >= 2  # sat refresh + query answer
+
+
+def test_service_sat_after_parameter_reload(catalog_service, catalog_files):
+    pdoc_path, _ = catalog_files
+    assert catalog_service.sat("cat")["constraint_probability"] == "5/8"
+    _edit_first_parameter(pdoc_path, Fraction(9, 10))
+    assert catalog_service.sat("cat")["constraint_probability"] == "37/40"
+
+
+def test_http_metrics_prometheus(http_service):
+    import urllib.request
+
+    client, service = http_service
+    client.sat("cat")
+    base = client.base_url
+    with urllib.request.urlopen(f"{base}/metrics?format=prometheus") as response:
+        assert response.headers["Content-Type"].startswith("text/plain")
+        text = response.read().decode("utf-8")
+    assert "pxdb_sat_requests_total 1" in text
+    assert "pxdb_store_loads_total" in text or "pxdb_store_loads" in text
+    assert 'le="+Inf"' in text
+    # Accept-header negotiation reaches the same exposition.
+    request = urllib.request.Request(
+        f"{base}/metrics", headers={"Accept": "text/plain"}
+    )
+    with urllib.request.urlopen(request) as response:
+        assert response.headers["Content-Type"].startswith("text/plain")
+    # Default stays JSON.
+    assert "counters" in client.metrics()

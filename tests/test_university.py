@@ -11,14 +11,11 @@ import pytest
 from repro.baseline.naive import conditional_world_distribution, naive_probability
 from repro.core.constraints import constraints_formula, satisfies_all
 from repro.core.evaluator import probability
-from repro.core.formulas import DocumentEvaluator, exists, select
+from repro.core.formulas import exists, select
 from repro.core.pxdb import PXDB
 from repro.pdoc.enumerate import node_probability, world_probability
 from repro.workloads.university import (
-    Figure1,
     figure1_constraints,
-    figure1_pxdb,
-    figure2_document,
     s_chr,
     s_dep,
     s_mem,

@@ -22,13 +22,14 @@ from repro.aggregates.minmax import rewrite
 from repro.core.compiler import Registry
 from repro.core.constraints import constraints_formula
 from repro.core.evaluator import Evaluation
+from repro.obs.benchrec import benchmark_mean
 from repro.workloads.university import figure1_constraints, scaled_university
 
 CONDITION = rewrite(constraints_formula(figure1_constraints()))
 
 
 @pytest.mark.parametrize("use_cache", [False, True])
-def test_bench_structural_cache(benchmark, use_cache, report):
+def test_bench_structural_cache(benchmark, use_cache, report, record):
     pdoc = scaled_university(departments=8, members=3, students=1, anonymous=True)
     registry = Registry([CONDITION])
     benchmark.group = "E10-cache"
@@ -42,6 +43,15 @@ def test_bench_structural_cache(benchmark, use_cache, report):
     report(
         f"E10 cache={'on ' if use_cache else 'off'} (8 identical departments)  "
         f"hits={evaluation.cache_hits}"
+    )
+    record(
+        f"structural cache={'on' if use_cache else 'off'}, 8 departments",
+        wall_s=benchmark_mean(benchmark),
+        counters={
+            "nodes_computed": evaluation.nodes_computed,
+            "cache_hits": evaluation.cache_hits,
+            "max_sig_width": evaluation.max_sig_width,
+        },
     )
 
 
@@ -60,7 +70,7 @@ def test_cache_equivalence(benchmark, report):
 
 
 @pytest.mark.parametrize("canonicalize", [False, True])
-def test_bench_canonicalization(benchmark, canonicalize, report):
+def test_bench_canonicalization(benchmark, canonicalize, report, record):
     pdoc = scaled_university(departments=4, members=3, students=1)
     registry = Registry([CONDITION], canonicalize=canonicalize)
     benchmark.group = "E10-canonicalization"
@@ -69,6 +79,11 @@ def test_bench_canonicalization(benchmark, canonicalize, report):
     report(
         f"E10 canonicalize={'on ' if canonicalize else 'off'}  "
         f"counter slots={registry.count_len}"
+    )
+    record(
+        f"canonicalize={'on' if canonicalize else 'off'}, 4 departments",
+        wall_s=benchmark_mean(benchmark),
+        counters={"counter_slots": registry.count_len},
     )
 
 

@@ -24,6 +24,7 @@ from repro.core.formulas import (
     SFormula,
     conjunction,
 )
+from repro.obs.benchrec import benchmark_mean
 from repro.workloads.synthetic import numeric_pdocument
 from repro.workloads.university import scaled_university
 from repro.xmltree.parser import parse_selector
@@ -57,17 +58,22 @@ def test_minmax_exact_against_baseline(benchmark, report):
 
 
 @pytest.mark.parametrize("width", [8, 16, 32, 64])
-def test_bench_minmax_scaling(benchmark, width, report):
+def test_bench_minmax_scaling(benchmark, width, report, record):
     pdoc = numeric_pdocument(width=width, value_range=10, seed=width)
     formula = minmax_formula()
     benchmark.group = "E5-minmax"
     value = benchmark(lambda: probability(pdoc, formula))
     assert 0 <= value <= 1
     report(f"E5  MIN/MAX width={width:>3}  Pr ≈ {float(value):.6f}")
+    record(
+        f"MIN/MAX numeric width={width}",
+        wall_s=benchmark_mean(benchmark),
+        counters={"width": width},
+    )
 
 
 @pytest.mark.parametrize("members", [2, 4, 8])
-def test_bench_ratio_scaling(benchmark, members, report):
+def test_bench_ratio_scaling(benchmark, members, report, record):
     """The paper's motivating RATIO constraint: at least 40% of the members
     (in each random document) are full professors."""
     pdoc = scaled_university(departments=2, members=members, students=0)
@@ -78,6 +84,11 @@ def test_bench_ratio_scaling(benchmark, members, report):
     value = benchmark(lambda: probability(pdoc, formula))
     assert 0 < value < 1
     report(f"E5  RATIO members={members}  Pr(≥40% full) ≈ {float(value):.6f}")
+    record(
+        f"RATIO members={members}",
+        wall_s=benchmark_mean(benchmark),
+        counters={"members": members},
+    )
 
 
 def test_ratio_exact_against_baseline(benchmark, report):

@@ -29,6 +29,7 @@ from repro.circuit import compile_formulas
 from repro.core.compiler import Registry
 from repro.core.constraints import constraints_formula
 from repro.core.evaluator import Evaluation
+from repro.obs.benchrec import benchmark_mean
 from repro.pdoc.parameters import apply_parameters, parameter_slots
 from repro.workloads.university import figure1_constraints, scaled_university
 
@@ -51,7 +52,7 @@ def _edited_values(slots, round_index: int) -> list[Fraction]:
     return values
 
 
-def test_bench_circuit_rebind_vs_dp(report, benchmark):
+def test_bench_circuit_rebind_vs_dp(report, benchmark, record):
     pdoc = scaled_university(departments=4, members=4, students=2)
     condition = rewrite(constraints_formula(figure1_constraints()))
     registry = Registry([condition])
@@ -112,3 +113,16 @@ def test_bench_circuit_rebind_vs_dp(report, benchmark):
         return circuit.rebind(pdoc).forward()
 
     benchmark(rebind_and_forward)
+    record(
+        f"scaled university, {EDIT_ROUNDS} probability edits",
+        wall_s=benchmark_mean(benchmark),
+        counters={
+            "nodes": stats["nodes"],
+            "params": stats["params"],
+            "edges": stats["edges"],
+        },
+        speedup=speedup,
+        compile_s=compile_elapsed,
+        dp_s=dp_elapsed,
+        circuit_s=circuit_elapsed,
+    )

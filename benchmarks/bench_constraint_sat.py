@@ -21,6 +21,7 @@ import pytest
 from repro.baseline.naive import naive_probability
 from repro.core.constraints import constraints_formula
 from repro.core.evaluator import probability
+from repro.obs.benchrec import benchmark_mean
 from repro.pdoc.enumerate import world_distribution
 from repro.workloads.university import figure1_constraints, scaled_university
 
@@ -28,11 +29,16 @@ CONDITION = constraints_formula(figure1_constraints())
 
 
 @pytest.mark.parametrize("departments", [1, 2, 4, 8])
-def test_bench_poly_evaluator_scaling(benchmark, departments, report):
+def test_bench_poly_evaluator_scaling(benchmark, departments, report, record):
     pdoc = scaled_university(departments=departments, members=3, students=1)
     benchmark.group = "E2-constraint-sat"
     value = benchmark(lambda: probability(pdoc, CONDITION))
     assert 0 < value < 1
+    record(
+        f"scaled university departments={departments}",
+        wall_s=benchmark_mean(benchmark),
+        counters={"dist_edges": len(pdoc.dist_edges())},
+    )
     report(
         f"E2  poly  departments={departments:>2}  dist_edges={len(pdoc.dist_edges()):>3}  "
         f"Pr(P |= C) ≈ {float(value):.6f}"
@@ -53,7 +59,7 @@ def test_bench_naive_baseline(benchmark, departments, report):
     )
 
 
-def test_exponential_vs_polynomial_crossover(benchmark, report):
+def test_exponential_vs_polynomial_crossover(benchmark, report, record):
     """The headline shape: the baseline's cost doubles per distributional
     edge; the evaluator's does not.  Measured on a fixed ladder."""
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)  # run under --benchmark-only
@@ -81,9 +87,17 @@ def test_exponential_vs_polynomial_crossover(benchmark, report):
         f"expected exponential-vs-polynomial separation, got "
         f"naive ×{naive_growth:.1f} vs poly ×{poly_growth:.1f}"
     )
+    record(
+        f"crossover ladder departments={sizes}",
+        wall_s=poly_times[-1],
+        counters={},
+        speedup=naive_times[-1] / max(poly_times[-1], 1e-9),
+        poly_growth=poly_growth,
+        naive_growth=naive_growth,
+    )
 
 
-def test_large_instance_feasible_for_evaluator_only(benchmark, report):
+def test_large_instance_feasible_for_evaluator_only(benchmark, report, record):
     """A p-document far beyond the baseline's reach (hundreds of
     distributional edges => >2^100 worlds) evaluates in seconds."""
     pdoc = scaled_university(departments=12, members=4, students=2)
@@ -98,4 +112,9 @@ def test_large_instance_feasible_for_evaluator_only(benchmark, report):
     report(
         f"E2  poly on {edges} dist edges (≈2^{edges} worlds): {elapsed:.2f}s, "
         f"Pr ≈ {float(value):.6f}"
+    )
+    record(
+        f"large instance ({edges} dist edges)",
+        wall_s=elapsed,
+        counters={"dist_edges": edges},
     )

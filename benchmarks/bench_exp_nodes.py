@@ -21,6 +21,7 @@ from repro.baseline.naive import conditional_world_distribution, naive_probabili
 from repro.core.evaluator import probability
 from repro.core.formulas import CountAtom, SFormula, conjunction, implies
 from repro.core.sampler import sample
+from repro.obs.benchrec import benchmark_mean
 from repro.workloads.synthetic import exp_pdocument
 from repro.xmltree.parser import parse_selector
 
@@ -61,13 +62,18 @@ def test_exp_correlation_holds_surely(benchmark, report):
 
 
 @pytest.mark.parametrize("groups", [2, 4, 8, 16])
-def test_bench_exp_scaling(benchmark, groups, report):
+def test_bench_exp_scaling(benchmark, groups, report, record):
     pdoc = exp_pdocument(groups=groups, seed=groups)
     formula = CountAtom([sel("root/$*")], ">=", groups)
     benchmark.group = "E7-exp"
     value = benchmark(lambda: probability(pdoc, formula))
     assert 0 <= value <= 1
     report(f"E7  groups={groups:>2}  Pr(≥{groups} children) ≈ {float(value):.6f}")
+    record(
+        f"exp groups={groups}",
+        wall_s=benchmark_mean(benchmark),
+        counters={"groups": groups},
+    )
 
 
 def test_sampler_handles_exp_nodes(benchmark, report):

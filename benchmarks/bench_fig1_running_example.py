@@ -23,6 +23,7 @@ from repro.core.constraints import constraints_formula, satisfies_all
 from repro.core.evaluator import probability
 from repro.core.formulas import exists
 from repro.core.pxdb import PXDB
+from repro.obs.benchrec import benchmark_mean
 from repro.pdoc.enumerate import node_probability
 from repro.workloads.university import (
     Figure1,
@@ -79,18 +80,21 @@ def bench_constraint_sat(fig):
     return probability(fig.pdoc, constraints_formula(figure1_constraints()))
 
 
-def test_bench_constraint_sat(benchmark, fig):
+def test_bench_constraint_sat(benchmark, fig, record):
     value = benchmark(bench_constraint_sat, fig)
     assert 0 < value < 1
+    record("figure1 CONSTRAINT-SAT", wall_s=benchmark_mean(benchmark))
 
 
-def test_bench_query_eval(benchmark, pxdb, fig):
+def test_bench_query_eval(benchmark, pxdb, fig, record):
     event = node_event(fig.amy.uid)
     value = benchmark(lambda: pxdb.event_probability(event))
     assert 0 < value < 1
+    record("figure1 EVAL (Amy event)", wall_s=benchmark_mean(benchmark))
 
 
-def test_bench_sampling(benchmark, pxdb):
+def test_bench_sampling(benchmark, pxdb, record):
     rng = random.Random(7)
     document = benchmark(lambda: pxdb.sample(rng))
     assert document.root.label == "university"
+    record("figure1 SAMPLE", wall_s=benchmark_mean(benchmark))

@@ -20,11 +20,12 @@ import random
 import pytest
 
 from repro.baseline.naive import naive_probability
+from repro.core.constraints import constraints_formula
 from repro.core.evaluator import probabilities, probability
 from repro.core.formulas import conjunction, disjunction, negation
+from repro.obs.benchrec import benchmark_mean
 from repro.workloads.random_gen import random_formula, random_pdocument
 from repro.workloads.university import figure1_constraints, scaled_university
-from repro.core.constraints import constraints_formula
 
 
 def test_closure_laws_on_random_formulae(benchmark, report):
@@ -59,7 +60,7 @@ def test_closure_laws_on_random_formulae(benchmark, report):
 
 
 @pytest.mark.parametrize("depth", [0, 1, 2, 4])
-def test_bench_negation_depth(benchmark, depth, report):
+def test_bench_negation_depth(benchmark, depth, report, record):
     pdoc = scaled_university(departments=1, members=2, students=1)
     formula = constraints_formula(figure1_constraints())
     for _ in range(depth * 2):  # even number: semantics unchanged
@@ -67,5 +68,10 @@ def test_bench_negation_depth(benchmark, depth, report):
     benchmark.group = "E9-negation-depth"
     value = benchmark(lambda: probability(pdoc, formula))
     report(f"E9  ¬^{depth * 2} wrapping  Pr ≈ {float(value):.6f}")
+    record(
+        f"negation depth={depth * 2}",
+        wall_s=benchmark_mean(benchmark),
+        counters={"negations": depth * 2},
+    )
     base = probability(pdoc, constraints_formula(figure1_constraints()))
     assert value == base

@@ -1,0 +1,108 @@
+"""E13 — observability overhead: tracing must be (near) free when off.
+
+The span instrumentation (repro.obs.spans) rides inside the DP hot path
+— ``Evaluation.run``, ``IncrementalEngine.probabilities``, ``sample`` —
+so its *disabled* cost budget is strict: every site pays one attribute
+load and a branch, and :meth:`Tracer.span` hands back a shared no-op
+singleton without allocating.  Claims regenerated:
+
+* **zero allocation when off** — a full sampler workload with tracing
+  disabled records no spans and returns the no-op singleton from every
+  ``span()`` call;
+* **≤ 5% disabled overhead** — the measured per-call cost of a disabled
+  hook, multiplied by the number of hook crossings a sampler draw
+  actually performs (counted by running the same draw with tracing on),
+  stays under 5% of the draw's wall time;
+* **bounded enabled overhead** — the tracing-on/off wall-time ratio is
+  reported (not asserted: enabled tracing is allowed to cost, it only
+  has to be *worth* it).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from repro.core.constraints import constraints_formula
+from repro.core.evaluator import IncrementalEngine
+from repro.core.sampler import sample
+from repro.obs.spans import NOOP_SPAN, TRACER
+from repro.workloads.university import figure1_constraints, figure1_pdocument
+
+CONDITION = constraints_formula(figure1_constraints())
+DRAWS = 8
+
+
+def _draw_batch(pdoc, seed: int) -> float:
+    """Wall time of DRAWS conditioned samples on a fresh warm engine."""
+    engine = IncrementalEngine.for_formula(CONDITION)
+    rng = random.Random(seed)
+    start = time.perf_counter()
+    for _ in range(DRAWS):
+        sample(pdoc, CONDITION, rng, engine=engine)
+    return time.perf_counter() - start
+
+
+def test_disabled_path_allocates_no_spans(report):
+    TRACER.configure(enabled=False)
+    TRACER.reset()
+    assert TRACER.span("probe", attr=1) is NOOP_SPAN, (
+        "disabled span() must return the shared no-op singleton"
+    )
+    pdoc = figure1_pdocument()
+    _draw_batch(pdoc, seed=1)
+    stats = TRACER.stats()
+    assert stats["spans_recorded"] == 0 and stats["spans_buffered"] == 0, (
+        f"disabled tracing recorded spans: {stats}"
+    )
+    report("E13 obs  tracing off: 0 spans allocated across a sampler batch")
+
+
+def test_bench_disabled_overhead_within_budget(report, record):
+    pdoc = figure1_pdocument()
+
+    # Warm-up, then the baseline: sampler batches with tracing off.
+    TRACER.configure(enabled=False)
+    _draw_batch(pdoc, seed=2)
+    off_times = [_draw_batch(pdoc, seed=3 + i) for i in range(3)]
+    t_off = min(off_times) / DRAWS
+
+    # Hook crossings per draw: with tracing on, every crossing records
+    # exactly one span, so the recorded-span count *is* the crossing count.
+    TRACER.configure(enabled=True)
+    TRACER.reset()
+    on_times = [_draw_batch(pdoc, seed=3 + i) for i in range(3)]
+    t_on = min(on_times) / DRAWS
+    hooks_per_draw = TRACER.stats()["spans_recorded"] / (3 * DRAWS)
+    TRACER.configure(enabled=False)
+    TRACER.reset()
+
+    # Per-call cost of a *disabled* hook (attribute load + branch +
+    # singleton return), measured over enough calls to dominate timer noise.
+    calls = 200_000
+    span = TRACER.span
+    start = time.perf_counter()
+    for _ in range(calls):
+        span("probe")
+    per_call = (time.perf_counter() - start) / calls
+
+    disabled_cost = hooks_per_draw * per_call
+    overhead = disabled_cost / t_off
+    report(
+        f"E13 obs  disabled overhead: {hooks_per_draw:.1f} hooks/draw × "
+        f"{per_call * 1e9:.0f} ns = {overhead:.3%} of a {t_off * 1000:.2f} ms draw "
+        f"(budget 5%); tracing-on ratio {t_on / t_off:.2f}x"
+    )
+    record(
+        f"figure1 sampler, {DRAWS} draws/batch",
+        wall_s=t_off,
+        counters={"hooks_per_draw": round(hooks_per_draw, 1)},
+        disabled_hook_ns=per_call * 1e9,
+        disabled_overhead_fraction=overhead,
+        enabled_ratio=t_on / t_off,
+    )
+    assert overhead <= 0.05, (
+        f"disabled tracing costs {overhead:.2%} of a sampler draw "
+        f"(budget 5%): {hooks_per_draw:.1f} hooks x {per_call * 1e9:.0f} ns "
+        f"vs {t_off * 1000:.3f} ms"
+    )

@@ -26,6 +26,7 @@ from repro.core.probconstraints import (
     ProbabilisticConstraint,
     ProbabilisticPXDB,
 )
+from repro.obs.benchrec import benchmark_mean
 from repro.pdoc.pdocument import pdocument
 from repro.xmltree.parser import parse_selector
 
@@ -114,7 +115,7 @@ def test_snc_query_matches_hand_expansion(benchmark, report):
 
 
 @pytest.mark.parametrize("k", [1, 2, 3, 4])
-def test_bench_mixture_scaling(benchmark, k, report):
+def test_bench_mixture_scaling(benchmark, k, report, record):
     """2^k components: the cost of WNC evaluation versus k."""
     pdoc = professor_pdoc(width=4)
     constraints = [
@@ -127,6 +128,11 @@ def test_bench_mixture_scaling(benchmark, k, report):
     value = benchmark(lambda: space.event_probability(event))
     assert 0 < value <= 1
     report(f"E8  WNC k={k} (2^{k} components)  Pr ≈ {float(value):.6f}")
+    record(
+        f"WNC mixture k={k}",
+        wall_s=benchmark_mean(benchmark),
+        counters={"components": 2**k},
+    )
 
 
 def test_sampling_mixture(benchmark, report):

@@ -19,6 +19,7 @@ from repro.baseline.naive import conditional_world_distribution
 from repro.core.constraints import constraints_formula
 from repro.core.pxdb import PXDB
 from repro.core.query import Query
+from repro.obs.benchrec import benchmark_mean
 from repro.workloads.university import figure1_constraints, scaled_university
 
 CONDITION = constraints_formula(figure1_constraints())
@@ -26,13 +27,21 @@ QUERY_TEXT = "*//'ph.d. st.'/name/$*"
 
 
 @pytest.mark.parametrize("departments", [1, 2, 4])
-def test_bench_query_scaling(benchmark, departments, report):
+def test_bench_query_scaling(benchmark, departments, report, record):
     pdoc = scaled_university(departments=departments, members=2, students=2)
     db = PXDB(pdoc, [CONDITION])
     benchmark.group = "E3-query-eval"
     table = benchmark(lambda: db.query(QUERY_TEXT))
     expected_tuples = departments * 2 * 2
     assert len(table) == expected_tuples
+    record(
+        f"scaled university departments={departments}",
+        wall_s=benchmark_mean(benchmark),
+        counters={
+            "tuples": len(table),
+            "dist_edges": len(pdoc.dist_edges()),
+        },
+    )
     values = sorted(set(table.values()))
     report(
         f"E3  departments={departments}  tuples={len(table)}  "
@@ -60,10 +69,15 @@ def test_query_matches_enumeration(benchmark, report):
     report("E3  per-tuple probabilities equal the enumerated PXDB exactly")
 
 
-def test_bench_multi_projection(benchmark):
+def test_bench_multi_projection(benchmark, record):
     pdoc = scaled_university(departments=2, members=2, students=1)
     db = PXDB(pdoc, [CONDITION])
     query = Query.parse("*/department/$1:member/'ph.d. st.'/name/$2:*")
     benchmark.group = "E3-query-eval"
     table = benchmark(lambda: db.query(query))
     assert all(0 < v <= 1 for v in table.values())
+    record(
+        "two-projection query, departments=2",
+        wall_s=benchmark_mean(benchmark),
+        counters={"tuples": len(table)},
+    )

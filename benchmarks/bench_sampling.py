@@ -29,6 +29,7 @@ from repro.core.constraints import constraints_formula
 from repro.core.evaluator import IncrementalEngine, probability
 from repro.core.formulas import CountAtom, SFormula
 from repro.core.sampler import sample
+from repro.obs.benchrec import benchmark_mean
 from repro.workloads.synthetic import star_pdocument
 from repro.workloads.university import (
     figure1_constraints,
@@ -45,7 +46,7 @@ def sel(text: str) -> SFormula:
     return SFormula(pattern, node)
 
 
-def test_sampler_distribution_correct(benchmark, report):
+def test_sampler_distribution_correct(benchmark, report, record):
     """2000 samples against the exact conditional distribution of the
     Figure 1 PXDB: support containment, a chi-square goodness-of-fit test
     (tail worlds binned so every expected count is >= 5), and the TV
@@ -64,6 +65,11 @@ def test_sampler_distribution_correct(benchmark, report):
 
     counts = benchmark.pedantic(draw_all, rounds=1, iterations=1)
     assert set(counts) <= set(exact)
+    record(
+        f"figure1 n={n}",
+        wall_s=benchmark_mean(benchmark),
+        counters={"worlds": len(exact), "samples": n},
+    )
 
     observed, expected = [], []
     tail_obs, tail_exp = 0, 0.0
@@ -91,7 +97,7 @@ def test_sampler_distribution_correct(benchmark, report):
 
 
 @pytest.mark.parametrize("required", [1, 6, 9, 11])
-def test_bench_sampler_vs_rejection(benchmark, required, report):
+def test_bench_sampler_vs_rejection(benchmark, required, report, record):
     """Constraint hardness sweep: require >= `required` of 12 rare leaves.
     Figure-3 sampling cost stays flat; rejection attempts explode."""
     pdoc = star_pdocument(width=12, prob=Fraction(1, 4))
@@ -113,6 +119,13 @@ def test_bench_sampler_vs_rejection(benchmark, required, report):
         f"E4  required={required:>2}  Pr(P |= C)={float(p_c):.2e}  "
         f"figure-3 OK; rejection {rejection_note} ({rejection_time:.2f}s)"
     )
+    record(
+        f"star width=12 required={required}",
+        wall_s=benchmark_mean(benchmark),
+        counters={"rejection_attempts": attempts},
+        constraint_probability=float(p_c),
+        rejection_wall_s=rejection_time,
+    )
     if required >= 9:
         expected_attempts = 1 / float(p_c)
         assert attempts is None or attempts > 50, (
@@ -121,16 +134,21 @@ def test_bench_sampler_vs_rejection(benchmark, required, report):
         )
 
 
-def test_bench_sampler_scaling(benchmark, report):
+def test_bench_sampler_scaling(benchmark, report, record):
     """Per-sample cost on the Figure 1 PXDB (13 distributional edges)."""
     pdoc = figure1_pdocument()
     rng = random.Random(3)
     benchmark.group = "E4-sampler"
     document = benchmark(lambda: sample(pdoc, CONDITION, rng))
     assert document.root.label == "university"
+    record(
+        "figure1 per-sample",
+        wall_s=benchmark_mean(benchmark),
+        counters={"dist_edges": len(pdoc.dist_edges())},
+    )
 
 
-def test_bench_incremental_engine(report):
+def test_bench_incremental_engine(report, record):
     """Incremental vs. from-scratch evaluation inside SAMPLE⟨C⟩ on the
     scaled university: same seeds, same documents, but the warm signature
     cache must cut full-subtree recomputations per sample by ≥ 3× (in
@@ -165,6 +183,19 @@ def test_bench_incremental_engine(report):
         f"{incr['nodes_computed'] / draws:.0f} vs {scratch['nodes_computed'] / draws:.0f} "
         f"per sample ({recompute_ratio:.1f}x fewer), hit rate {incr['hit_rate']:.0%}, "
         f"wall-clock speedup {scratch_time / incr_time:.1f}x"
+    )
+    record(
+        f"scaled university ({edges} dist edges, {draws} samples)",
+        wall_s=incr_time,
+        counters={
+            "runs": incr["runs"],
+            "nodes_computed": incr["nodes_computed"],
+            "cache_hits": incr["cache_hits"],
+            "cache_misses": incr["cache_misses"],
+        },
+        speedup=scratch_time / incr_time,
+        scratch_wall_s=scratch_time,
+        recompute_ratio=recompute_ratio,
     )
     assert recompute_ratio >= 3.0, (
         f"incremental engine saved only {recompute_ratio:.2f}x subtree "

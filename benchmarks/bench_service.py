@@ -25,6 +25,7 @@ from pathlib import Path
 import pytest
 
 from repro.core.pxdb import PXDB
+from repro.obs.benchrec import benchmark_mean
 from repro.pdoc.serialize import pdocument_to_xml
 from repro.service import DocumentStore, Metrics, PXDBService, ServiceClient, start_server
 from repro.service.store import read_constraints, read_pdocument
@@ -62,7 +63,7 @@ def _cold_request(pdocument_path: Path, constraints_path: Path, query: str | Non
     return db.query_labels(query)
 
 
-def test_bench_service_warm_vs_cold(university_files, report, benchmark):
+def test_bench_service_warm_vs_cold(university_files, report, benchmark, record):
     pdocument_path, constraints_path = university_files
 
     store = DocumentStore()
@@ -119,9 +120,21 @@ def test_bench_service_warm_vs_cold(university_files, report, benchmark):
     )
 
     benchmark(warm_round)
+    engine_stats = store.get("uni").engine.stats()
+    record(
+        f"warm vs cold, {total} requests",
+        wall_s=benchmark_mean(benchmark),
+        counters={
+            "engine_cache_hits": engine_stats["cache_hits"],
+            "engine_nodes_computed": engine_stats["nodes_computed"],
+        },
+        speedup=speedup,
+        cold_s=cold_elapsed,
+        warm_s=warm_elapsed,
+    )
 
 
-def test_bench_service_concurrent_identity(university_files, report):
+def test_bench_service_concurrent_identity(university_files, report, record):
     pdocument_path, constraints_path = university_files
     clients = 4
 
@@ -178,4 +191,10 @@ def test_bench_service_concurrent_identity(university_files, report):
         f"E11 service  concurrent identity: {clients} clients x "
         f"{2 + len(QUERIES)} ops in {elapsed * 1000:7.1f} ms "
         f"({total / elapsed:6.1f} req/s), results byte-identical"
+    )
+    record(
+        f"{clients} concurrent clients over HTTP",
+        wall_s=elapsed,
+        counters={"requests": total},
+        requests_per_s=total / elapsed,
     )

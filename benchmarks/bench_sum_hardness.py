@@ -27,6 +27,7 @@ from repro.aggregates.hardness import (
 )
 from repro.aggregates.sumavg import sum_formula_probability, xi_avg_all
 from repro.baseline.naive import naive_probability
+from repro.obs.benchrec import benchmark_mean
 
 
 def random_instance(rng: random.Random, size: int, magnitude: int = 15):
@@ -65,12 +66,17 @@ def test_bench_enumeration_wall(benchmark, size, report):
 
 
 @pytest.mark.parametrize("size", [10, 50, 200])
-def test_bench_pseudo_poly_dp(benchmark, size, report):
+def test_bench_pseudo_poly_dp(benchmark, size, report, record):
     rng = random.Random(size)
     items, target = random_instance(rng, size=size, magnitude=20)
     benchmark.group = "E6-dp"
     value = benchmark(lambda: decide_by_dp(items, target))
     report(f"E6  pseudo-poly DP n={size:>3}  solvable={value}")
+    record(
+        f"pseudo-poly DP n={size}",
+        wall_s=benchmark_mean(benchmark),
+        counters={"items": size},
+    )
 
 
 def test_exponential_growth_shape(benchmark, report):

@@ -10,6 +10,12 @@ records the timings.  Run with::
 Each test receives the ``report`` fixture to emit human-readable result
 rows; they are printed in the terminal summary and appended to
 ``benchmarks/last_experiment_rows.txt`` (the source for EXPERIMENTS.md).
+
+Each test also receives the ``record`` fixture — structured benchmark
+telemetry (``repro.obs.benchrec``).  At session end every exercised area
+writes ``BENCH_<area>.json`` at the repo root and is diffed against the
+previous file of the same name; wall-time/speedup regressions beyond the
+threshold are printed in the terminal summary (see docs/OBSERVABILITY.md).
 """
 
 from __future__ import annotations
@@ -18,8 +24,13 @@ from pathlib import Path
 
 import pytest
 
+from repro.obs import benchrec
+
 _ROWS: list[str] = []
 _ROWS_FILE = Path(__file__).parent / "last_experiment_rows.txt"
+
+_REPO_ROOT = Path(__file__).parent.parent
+_RECORDERS: dict[str, benchrec.BenchRecorder] = {}
 
 
 @pytest.fixture(scope="session")
@@ -32,16 +43,61 @@ def report():
     return emit
 
 
+@pytest.fixture
+def record(request):
+    """Structured telemetry for the requesting module's area: calling
+    ``record(workload, wall_s=…, counters=…, speedup=…, **extra)`` appends
+    one pxdb-bench/1 row to BENCH_<area>.json (area = the module name
+    minus its ``bench_`` prefix; the test name is filled in)."""
+    module = request.module.__name__.rpartition(".")[2]
+    area = module[len("bench_"):] if module.startswith("bench_") else module
+    recorder = _RECORDERS.get(area)
+    if recorder is None:
+        recorder = _RECORDERS[area] = benchrec.BenchRecorder(area, _REPO_ROOT)
+    test = request.node.name
+
+    def emit(workload, wall_s=None, counters=None, speedup=None, **extra):
+        return recorder.record(
+            test, workload, wall_s, counters=counters, speedup=speedup, **extra
+        )
+
+    return emit
+
+
 def pytest_sessionstart(session):
     _ROWS.clear()
+    _RECORDERS.clear()
 
 
 def pytest_terminal_summary(terminalreporter, exitstatus, config):
-    if not _ROWS:
+    if _ROWS:
+        rows = sorted(_ROWS)
+        terminalreporter.write_line("")
+        terminalreporter.write_line("=== reproduced experiment rows ===")
+        for row in rows:
+            terminalreporter.write_line(row)
+        _ROWS_FILE.write_text("\n".join(rows) + "\n")
+    if not _RECORDERS:
         return
-    rows = sorted(_ROWS)
     terminalreporter.write_line("")
-    terminalreporter.write_line("=== reproduced experiment rows ===")
-    for row in rows:
-        terminalreporter.write_line(row)
-    _ROWS_FILE.write_text("\n".join(rows) + "\n")
+    terminalreporter.write_line("=== benchmark telemetry (pxdb-bench/1) ===")
+    for area in sorted(_RECORDERS):
+        recorder = _RECORDERS[area]
+        previous = None
+        if recorder.path.exists():
+            try:
+                previous = benchrec.load(recorder.path)
+            except (ValueError, OSError):
+                previous = None  # unreadable old telemetry: overwrite it
+        path = recorder.write()
+        terminalreporter.write_line(
+            f"{path.name}: {len(recorder.rows)} row(s)"
+        )
+        if previous is not None:
+            flagged = benchrec.compare(previous, recorder.payload())
+            if flagged:
+                terminalreporter.write_line(benchrec.format_regressions(flagged))
+            else:
+                terminalreporter.write_line(
+                    f"  no regressions vs previous {path.name}"
+                )

@@ -34,6 +34,8 @@ from fractions import Fraction
 from math import prod
 from typing import Sequence
 
+from ..obs.spans import TRACER
+
 PARAM = 0
 CONST = 1
 ADD = 2
@@ -243,6 +245,18 @@ class Circuit:
     # -- forward pass ---------------------------------------------------------
     def forward(self) -> list[Fraction]:
         """Evaluate every output at the current parameter binding."""
+        if not TRACER.enabled:
+            return self._forward()
+        with TRACER.span(
+            "circuit.forward",
+            gates=len(self._gates),
+            nodes=len(self.kinds),
+            params=len(self.param_nodes),
+            outputs=len(self.outputs),
+        ):
+            return self._forward()
+
+    def _forward(self) -> list[Fraction]:
         values = self._template[:]
         params = self.param_values
         for position, node in enumerate(self.param_nodes):
@@ -265,6 +279,14 @@ class Circuit:
         products, so zero-valued operands need no special casing (and no
         division is ever performed).
         """
+        if not TRACER.enabled:
+            return self._gradient(output)
+        with TRACER.span(
+            "circuit.gradient", gates=len(self._gates), params=len(self.param_nodes)
+        ):
+            return self._gradient(output)
+
+    def _gradient(self, output: int = 0) -> list[Fraction]:
         values = self._values
         if values is None:
             self.forward()

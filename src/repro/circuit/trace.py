@@ -39,6 +39,7 @@ from typing import Sequence
 from ..core.compiler import Registry
 from ..core.evaluator import Evaluation, SigDist
 from ..core.formulas import CFormula
+from ..obs.spans import TRACER
 from ..pdoc.parameters import EDGE, SUBSET, parameter_slots
 from ..pdoc.pdocument import EXP, IND, MUX, ORD, PDocument, PNode
 from .ir import Builder, Circuit
@@ -201,6 +202,12 @@ class CompiledCircuit(Circuit):
         differ arbitrarily.  Cost: O(|params|); the next :meth:`forward`
         evaluates the new binding without recompilation.
         """
+        if not TRACER.enabled:
+            return self._rebind(pdoc)
+        with TRACER.span("circuit.rebind", params=len(self.param_nodes)):
+            return self._rebind(pdoc)
+
+    def _rebind(self, pdoc: PDocument) -> "CompiledCircuit":
         if pdoc.root.structure_fingerprint() != self.structure_fp:
             raise ValueError(
                 "cannot rebind: the p-document's structure differs from the "

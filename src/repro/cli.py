@@ -22,7 +22,9 @@ Commands
                                              after ``--rebind``-ing another
                                              p-document's probabilities), or rank
                                              parameters by sensitivity;
-* ``serve     --db NAME=PDOC[:FILE] …``    — the JSON/HTTP service (docs/SERVICE.md).
+* ``serve     --db NAME=PDOC[:FILE] …``    — the JSON/HTTP service (docs/SERVICE.md);
+* ``trace     {top,show,export} [--url U]``— span traces of a running service
+                                             (docs/OBSERVABILITY.md).
 
 Example::
 
@@ -42,6 +44,7 @@ from .core.constraints import constraints_formula
 from .core.evaluator import probability
 from .core.explain import explain_violations
 from .core.pxdb import PXDB
+from .obs import package_version
 from .pdoc.enumerate import world_documents
 from .service.store import read_constraints, read_document, read_pdocument
 from .xmltree.serialize import document_to_xml
@@ -235,11 +238,19 @@ def _parse_db_spec(spec: str) -> tuple[str, str, str | None]:
 
 
 def _cmd_serve(args) -> int:
+    from .obs import configure_logging
+    from .obs.spans import TRACER
     from .service.metrics import Metrics
     from .service.pool import EvaluationPool
     from .service.server import PXDBService, make_server
     from .service.store import DocumentStore
 
+    configure_logging(args.log_level, json_mode=args.log_json)
+    TRACER.configure(
+        enabled=args.trace,
+        ring_size=args.trace_ring,
+        jsonl_path=args.trace_jsonl,
+    )
     store = DocumentStore(
         max_entries=args.max_entries,
         coalesce_window=args.coalesce_window,
@@ -264,9 +275,17 @@ def _cmd_serve(args) -> int:
             f"{args.pool_timeout:g}s timeout (in-process fallback)",
             file=sys.stderr,
         )
-    service = PXDBService(store, metrics=Metrics(), pool=pool)
+    service = PXDBService(
+        store, metrics=Metrics(), pool=pool, slow_ms=args.slow_ms
+    )
     server = make_server(service, args.host, args.port, verbose=args.verbose)
     host, port = server.server_address[:2]
+    if args.trace:
+        print(
+            f"tracing on: ring={args.trace_ring}"
+            + (f", jsonl={args.trace_jsonl}" if args.trace_jsonl else ""),
+            file=sys.stderr,
+        )
     print(f"serving PXDBs on http://{host}:{port}", file=sys.stderr)
     try:
         server.serve_forever()
@@ -277,6 +296,63 @@ def _cmd_serve(args) -> int:
         if pool is not None:
             pool.shutdown()
     return 0
+
+
+def _render_span_tree(node: dict, indent: int = 0) -> None:
+    pad = "  " * indent
+    attrs = node.get("attributes") or {}
+    rendered = " ".join(f"{key}={value}" for key, value in sorted(attrs.items()))
+    status = "" if node["status"] == "ok" else f"  [{node['status']}]"
+    print(
+        f"{pad}{node['name']}  {node['duration_ms']:.3f} ms"
+        f"  (pid {node['pid']}){status}"
+        + (f"  {rendered}" if rendered else "")
+    )
+    for child in node.get("children", ()):
+        _render_span_tree(child, indent + 1)
+
+
+def _cmd_trace(args) -> int:
+    import json as _json
+
+    from .service.client import ServiceClient, ServiceError
+
+    client = ServiceClient(args.url)
+    try:
+        if args.action == "show":
+            if not args.trace_id:
+                print("error: trace show requires a trace id", file=sys.stderr)
+                return 2
+            body = client.trace(args.trace_id)
+            print(f"trace {body['trace_id']}: {len(body['spans'])} spans")
+            for root in body["tree"]:
+                _render_span_tree(root)
+            return 0
+        summaries = client.traces(slow_ms=args.slow_ms, limit=args.limit)
+        if args.action == "top":
+            if not summaries:
+                print("no recorded traces (is the server running with --trace?)")
+                return 0
+            for row in summaries:
+                print(
+                    f"{row['trace_id']}  {row['duration_ms']:>10.3f} ms  "
+                    f"{row['spans']:>3} spans  {row['name']}"
+                    + ("" if row["status"] == "ok" else f"  [{row['status']}]")
+                )
+            return 0
+        # export: each summary expanded to its full flat span list.
+        dump = [client.trace(row["trace_id"]) for row in summaries]
+        text = _json.dumps(dump, indent=2, default=str)
+        if args.output:
+            with open(args.output, "w", encoding="utf-8") as handle:
+                handle.write(text + "\n")
+            print(f"wrote {len(dump)} traces to {args.output}", file=sys.stderr)
+        else:
+            print(text)
+        return 0
+    except ServiceError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
 
 
 def _cmd_stats(args) -> int:
@@ -298,6 +374,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="PXDB: probabilistic XML with constraints (PODS 2008)",
+    )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"%(prog)s {package_version()}",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -437,7 +518,86 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--verbose", action="store_true", help="log every HTTP request"
     )
+    p.add_argument(
+        "--trace",
+        action="store_true",
+        help="record per-request span traces, browsable at /trace/<id> and "
+        "/traces (docs/OBSERVABILITY.md)",
+    )
+    p.add_argument(
+        "--trace-ring",
+        type=int,
+        default=4096,
+        metavar="N",
+        help="in-memory span ring size (oldest spans evicted first)",
+    )
+    p.add_argument(
+        "--trace-jsonl",
+        metavar="FILE",
+        help="also append every finished span to FILE as JSON lines",
+    )
+    p.add_argument(
+        "--slow-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="log requests slower than MS milliseconds and keep them in "
+        "the /traces?slow_ms= slow-query ring",
+    )
+    p.add_argument(
+        "--log-level",
+        choices=["debug", "info", "warning", "error"],
+        default="info",
+        help="stdlib logging level for the 'repro' logger tree",
+    )
+    p.add_argument(
+        "--log-json",
+        action="store_true",
+        help="emit one JSON object per log line instead of plain text",
+    )
     p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "trace",
+        help="inspect span traces of a running service "
+        "(docs/OBSERVABILITY.md)",
+    )
+    p.add_argument(
+        "action",
+        choices=["top", "show", "export"],
+        help="top: slowest recent root spans; show: one trace as a tree; "
+        "export: dump recent traces (flat spans) as JSON",
+    )
+    p.add_argument(
+        "trace_id",
+        nargs="?",
+        help="(show) the trace id, e.g. from 'repro trace top' or a "
+        "/metrics exemplar",
+    )
+    p.add_argument(
+        "--url",
+        default="http://127.0.0.1:8642",
+        help="service base URL (default http://127.0.0.1:8642)",
+    )
+    p.add_argument(
+        "--slow-ms",
+        type=float,
+        default=0.0,
+        metavar="MS",
+        help="(top/export) only traces at least MS milliseconds long",
+    )
+    p.add_argument(
+        "--limit",
+        type=int,
+        default=20,
+        help="(top/export) at most this many traces (default 20)",
+    )
+    p.add_argument(
+        "-o", "--output",
+        metavar="FILE",
+        help="(export) write JSON here instead of stdout",
+    )
+    p.set_defaults(func=_cmd_trace)
 
     return parser
 

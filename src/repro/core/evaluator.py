@@ -42,6 +42,7 @@ from __future__ import annotations
 
 from fractions import Fraction
 
+from ..obs.spans import TRACER
 from ..pdoc.pdocument import EXP, IND, MUX, ORD, PDocument, PNode
 from .compiler import CompiledAtom, Registry, SelectorPlan
 from .formulas import CAnd, CFormula, FALSE, TRUE
@@ -124,7 +125,9 @@ class IncrementalEngine:
     def probabilities(self, pdoc: PDocument) -> list[Fraction]:
         """[Pr(P ⊨ γ) for γ in registry.top], reusing all cached subtrees."""
         self.runs += 1
-        results = self.evaluation(pdoc).run()
+        with TRACER.span("engine.pass", run=self.runs) as span:
+            results = self.evaluation(pdoc).run()
+            span.set(cache_entries=len(self.cache))
         if self.max_entries is not None and len(self.cache) > self.max_entries:
             excess = len(self.cache) - self.max_entries
             for key in list(self.cache)[:excess]:
@@ -191,6 +194,7 @@ class Evaluation:
         self.cache_hits = 0
         self.cache_misses = 0
         self.nodes_computed = 0
+        self.max_sig_width = 0
 
     # -- signature monoid ----------------------------------------------------
     def combine(self, left: Signature, right: Signature) -> Signature:
@@ -253,6 +257,8 @@ class Evaluation:
             dist = self._forest_dist_local(current, memo)
             memo[id(current)] = dist
             self.nodes_computed += 1
+            if len(dist) > self.max_sig_width:
+                self.max_sig_width = len(dist)
             if self.engine is not None:
                 self.engine.nodes_computed += 1
             if self.use_cache:
@@ -497,14 +503,33 @@ class Evaluation:
         """Pr(P ⊨ γ) for every top formula of the registry.
 
         Resets the per-run counters and the per-document memo first, so
-        ``cache_hits`` / ``cache_misses`` / ``nodes_computed`` afterwards
-        describe exactly this run (the memo must not survive either: the
-        p-document may have been conditioned in place since the last run).
+        ``cache_hits`` / ``cache_misses`` / ``nodes_computed`` /
+        ``max_sig_width`` afterwards describe exactly this run (the memo
+        must not survive either: the p-document may have been conditioned
+        in place since the last run).
+
+        When tracing is on, the run is recorded as a ``dp.run`` span
+        carrying those structural counters; when off, the cost is one
+        attribute load and a branch.
         """
+        if not TRACER.enabled:
+            return self._run()
+        with TRACER.span("dp.run", formulas=len(self.registry.top)) as span:
+            results = self._run()
+            span.set(
+                nodes_computed=self.nodes_computed,
+                cache_hits=self.cache_hits,
+                cache_misses=self.cache_misses,
+                max_sig_width=self.max_sig_width,
+            )
+        return results
+
+    def _run(self) -> list[Fraction]:
         self._memo.clear()
         self.cache_hits = 0
         self.cache_misses = 0
         self.nodes_computed = 0
+        self.max_sig_width = 0
         root = self.pdoc.root
         dist = self.children_dist(root)
         results = [Fraction(0) for _ in self.registry.top]

@@ -22,6 +22,7 @@ import random
 from fractions import Fraction
 from typing import Iterable, Sequence
 
+from ..obs.spans import TRACER
 from ..pdoc.enumerate import world_probability
 from ..pdoc.pdocument import PDocument
 from ..xmltree.document import Document
@@ -112,9 +113,23 @@ class PXDB:
         sweep, not a fresh DP).  Results are identical exact ``Fraction``s.
         """
         if via == "circuit":
-            return self._event_probabilities_circuit(tuple(events))
+            if not TRACER.enabled:
+                return self._event_probabilities_circuit(tuple(events))
+            with TRACER.span("pxdb.events", via=via, events=len(events)):
+                return self._event_probabilities_circuit(tuple(events))
         if via != "dp":
             raise ValueError(f"unknown evaluation route {via!r}")
+        if not TRACER.enabled:
+            return self._event_probabilities_dp(events)
+        with TRACER.span(
+            "pxdb.events",
+            via=via,
+            events=len(events),
+            denominator_warm=self._constraint_prob is not None,
+        ):
+            return self._event_probabilities_dp(events)
+
+    def _event_probabilities_dp(self, events: Sequence[CFormula]) -> list[Fraction]:
         events = list(events)
         joints = [conjunction([self._condition, event]) for event in events]
         if self._constraint_prob is None:

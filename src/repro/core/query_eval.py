@@ -20,6 +20,7 @@ from __future__ import annotations
 from fractions import Fraction
 from typing import Mapping
 
+from ..obs.spans import TRACER
 from ..pdoc.pdocument import PDocument
 from ..xmltree.matching import enumerate_matches
 from ..xmltree.pattern import Pattern, PatternNode
@@ -60,15 +61,28 @@ def candidate_tuples(query: Query, pdoc: PDocument) -> list[tuple[int, ...]]:
     read off the skeleton document.  α attachments are deliberately
     ignored here — they may hold in some world even if not in the
     skeleton — so this is a sound over-approximation."""
+    if not TRACER.enabled:
+        return _candidate_tuples(query, pdoc)[0]
+    with TRACER.span("query.match") as span:
+        ordered, matches = _candidate_tuples(query, pdoc)
+        span.set(candidates=len(ordered), matches=matches)
+    return ordered
+
+
+def _candidate_tuples(
+    query: Query, pdoc: PDocument
+) -> tuple[list[tuple[int, ...]], int]:
     skeleton = pdoc.skeleton()
     seen: set[tuple[int, ...]] = set()
     ordered: list[tuple[int, ...]] = []
+    matches = 0
     for match in enumerate_matches(query.pattern, skeleton.root):
+        matches += 1
         answer = tuple(match[id(node)].uid for node in query.projection)
         if answer not in seen:
             seen.add(answer)
             ordered.append(answer)
-    return ordered
+    return ordered, matches
 
 
 def evaluate_query(

@@ -40,6 +40,7 @@ from __future__ import annotations
 import random
 from fractions import Fraction
 
+from ..obs.spans import TRACER
 from ..pdoc.pdocument import EXP, IND, MUX, ORD, PDocument, PNode
 from ..xmltree.document import DocNode, Document
 from .evaluator import IncrementalEngine
@@ -82,6 +83,29 @@ def sample(
     rng = rng if rng is not None else random.Random()
     if engine is None:
         engine = IncrementalEngine.for_formula(condition)
+    if not TRACER.enabled:
+        return _draw(pdoc, condition, rng, engine, incremental)[0]
+    runs_before = engine.runs
+    nodes_before = engine.nodes_computed
+    with TRACER.span("sample.draw", incremental=incremental) as span:
+        document, edges, conditioned = _draw(pdoc, condition, rng, engine, incremental)
+        span.set(
+            edges=edges,
+            conditioned=conditioned,
+            evaluations=engine.runs - runs_before,
+            nodes_computed=engine.nodes_computed - nodes_before,
+        )
+    return document
+
+
+def _draw(
+    pdoc: PDocument,
+    condition: CFormula,
+    rng: random.Random,
+    engine: IncrementalEngine,
+    incremental: bool,
+) -> tuple[Document, int, int]:
+    """The Figure 3 loop; returns (document, #dist edges, #edges conditioned)."""
 
     def evaluate(target: PDocument) -> Fraction:
         if not incremental:
@@ -97,11 +121,15 @@ def sample(
     if q == 0:
         raise ValueError("the p-document is not consistent with the constraints")
 
+    edges = 0
+    conditioned = 0
     for edge in current.dist_edges():
         node, index = edge
+        edges += 1
         prior = current.edge_prob(node, index)  # q̂_i
         if prior == 0 or prior == 1:
             continue  # lines 5–9: the choice is already determined
+        conditioned += 1
         snapshot = current.edge_snapshot(edge)
         current.condition_edge_in_place(edge, True)  # Norm(P, v→w)
         q_chosen = evaluate(current)  # q′
@@ -112,7 +140,7 @@ def sample(
             current.restore_edge(edge, snapshot)
             current.condition_edge_in_place(edge, False)  # Norm(P, v↛w)
             q = (q - q_chosen * prior) / (1 - prior)
-    return deterministic_instance(current)
+    return deterministic_instance(current), edges, conditioned
 
 
 def deterministic_instance(pdoc: PDocument) -> Document:

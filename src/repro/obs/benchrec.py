@@ -1,0 +1,241 @@
+"""Benchmark telemetry: machine-readable `BENCH_<area>.json` files.
+
+The human-readable experiment rows printed by ``benchmarks/conftest.py``
+are great in a terminal and useless for trend analysis.  Every benchmark
+module additionally records structured rows through a
+:class:`BenchRecorder` (exposed as the ``record`` fixture), and the
+session writes one ``BENCH_<area>.json`` per benchmark area at the repo
+root.  A row carries the workload description, measured wall time, the
+DP's structural counters (nodes computed, cache hits, …) and an optional
+speedup ratio — the quantities Theorem 5.3 says drive the run time.
+
+Schema (``docs/OBSERVABILITY.md`` is the normative description)::
+
+    {
+      "schema": "pxdb-bench/1",
+      "area": "sampling",
+      "generated_at": "2026-08-06T12:00:00+00:00",
+      "python": "3.12.3",
+      "rows": [
+        {"test": "test_bench_incremental_sampling",
+         "workload": "scaled university n=24",
+         "wall_s": 0.0123,
+         "counters": {"nodes_computed": 415, "cache_hits": 1210},
+         "speedup": 6.2,
+         "extra": {}}
+      ]
+    }
+
+:func:`compare` diffs two payloads row-by-row (keyed by test +
+workload) and flags wall-time regressions and speedup drops beyond a
+threshold; :func:`main` is the regression script
+(``python -m repro.obs.benchrec old.json new.json``), wired into the
+benchmark session teardown so every local or CI run reports drift
+against the previously committed telemetry.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import json
+import platform
+import sys
+from pathlib import Path
+from typing import Any, Mapping, Sequence
+
+SCHEMA = "pxdb-bench/1"
+
+#: Relative wall-time increase (or speedup decrease) that counts as a
+#: regression.  Generous because micro-benchmarks on shared CI are noisy.
+DEFAULT_THRESHOLD = 0.25
+
+
+class BenchRecorder:
+    """Accumulates benchmark rows for one area and writes BENCH_<area>.json."""
+
+    def __init__(self, area: str, out_dir: str | Path = "."):
+        if not area or not area.replace("_", "").isalnum():
+            raise ValueError(f"invalid benchmark area {area!r}")
+        self.area = area
+        self.out_dir = Path(out_dir)
+        self.rows: list[dict] = []
+
+    def record(
+        self,
+        test: str,
+        workload: str,
+        wall_s: float | None,
+        counters: Mapping[str, Any] | None = None,
+        speedup: float | None = None,
+        **extra: Any,
+    ) -> dict:
+        """Append one row.  ``counters`` holds integral structural
+        quantities (DP nodes, cache hits, circuit gates); ``extra`` is a
+        free-form bag for anything else worth keeping."""
+        row = {
+            "test": str(test),
+            "workload": str(workload),
+            "wall_s": None if wall_s is None else float(wall_s),
+            "counters": {k: _jsonable(v) for k, v in (counters or {}).items()},
+            "speedup": None if speedup is None else float(speedup),
+            "extra": {k: _jsonable(v) for k, v in extra.items()},
+        }
+        self.rows.append(row)
+        return row
+
+    @property
+    def path(self) -> Path:
+        return self.out_dir / f"BENCH_{self.area}.json"
+
+    def payload(self) -> dict:
+        return {
+            "schema": SCHEMA,
+            "area": self.area,
+            "generated_at": _dt.datetime.now(_dt.timezone.utc).isoformat(timespec="seconds"),
+            "python": platform.python_version(),
+            "rows": self.rows,
+        }
+
+    def write(self) -> Path:
+        payload = self.payload()
+        validate(payload)
+        self.path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+        return self.path
+
+
+def benchmark_mean(benchmark) -> float | None:
+    """Mean seconds of a pytest-benchmark fixture's recorded runs (duck
+    typed — no pytest-benchmark import; None when it never ran, e.g.
+    under ``--benchmark-disable``)."""
+    try:
+        return float(benchmark.stats.stats.mean)
+    except (AttributeError, TypeError):
+        return None
+
+
+def _jsonable(value: Any) -> Any:
+    """Round-trippable JSON value; exact Fractions become floats, anything
+    else non-serializable becomes its repr."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, Mapping):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    try:
+        return float(value)
+    except (TypeError, ValueError):
+        return repr(value)
+
+
+def validate(payload: Mapping) -> None:
+    """Raise ``ValueError`` unless ``payload`` conforms to pxdb-bench/1."""
+    if payload.get("schema") != SCHEMA:
+        raise ValueError(f"unknown schema {payload.get('schema')!r}, expected {SCHEMA!r}")
+    for field in ("area", "generated_at", "python", "rows"):
+        if field not in payload:
+            raise ValueError(f"missing field {field!r}")
+    if not isinstance(payload["rows"], list):
+        raise ValueError("'rows' must be a list")
+    for i, row in enumerate(payload["rows"]):
+        for field in ("test", "workload", "wall_s", "counters", "speedup"):
+            if field not in row:
+                raise ValueError(f"row {i} missing field {field!r}")
+        if row["wall_s"] is not None and not isinstance(row["wall_s"], (int, float)):
+            raise ValueError(f"row {i}: wall_s must be a number or null")
+        if not isinstance(row["counters"], Mapping):
+            raise ValueError(f"row {i}: counters must be an object")
+
+
+def load(path: str | Path) -> dict:
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    validate(payload)
+    return payload
+
+
+def compare(
+    previous: Mapping, current: Mapping, threshold: float = DEFAULT_THRESHOLD
+) -> list[dict]:
+    """Row-by-row regression report: current vs. previous payload.
+
+    Rows are matched on (test, workload).  A regression is a wall-time
+    increase above ``threshold`` (relative) or a speedup ratio that fell
+    by more than ``threshold``.  Returns one dict per flagged row.
+    """
+    older = {(r["test"], r["workload"]): r for r in previous["rows"]}
+    flagged: list[dict] = []
+    for row in current["rows"]:
+        old = older.get((row["test"], row["workload"]))
+        if old is None:
+            continue
+        if row["wall_s"] and old["wall_s"]:
+            ratio = row["wall_s"] / old["wall_s"]
+            if ratio > 1.0 + threshold:
+                flagged.append(
+                    {
+                        "test": row["test"],
+                        "workload": row["workload"],
+                        "kind": "wall_s",
+                        "previous": old["wall_s"],
+                        "current": row["wall_s"],
+                        "ratio": ratio,
+                    }
+                )
+        if row["speedup"] and old["speedup"]:
+            if row["speedup"] < old["speedup"] * (1.0 - threshold):
+                flagged.append(
+                    {
+                        "test": row["test"],
+                        "workload": row["workload"],
+                        "kind": "speedup",
+                        "previous": old["speedup"],
+                        "current": row["speedup"],
+                        "ratio": row["speedup"] / old["speedup"],
+                    }
+                )
+    return flagged
+
+
+def format_regressions(flagged: Sequence[Mapping]) -> str:
+    lines = []
+    for f in flagged:
+        direction = "slower" if f["kind"] == "wall_s" else "lower speedup"
+        lines.append(
+            f"REGRESSION {f['test']} [{f['workload']}] {f['kind']}: "
+            f"{f['previous']:.6g} -> {f['current']:.6g} "
+            f"({f['ratio']:.2f}x, {direction})"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """``python -m repro.obs.benchrec PREVIOUS.json CURRENT.json [--threshold X]``
+    — exit 1 when regressions are flagged."""
+    args = list(sys.argv[1:] if argv is None else argv)
+    threshold = DEFAULT_THRESHOLD
+    if "--threshold" in args:
+        at = args.index("--threshold")
+        threshold = float(args[at + 1])
+        del args[at : at + 2]
+    if len(args) != 2:
+        print(__doc__.strip().splitlines()[0], file=sys.stderr)
+        print(
+            "usage: python -m repro.obs.benchrec PREVIOUS.json CURRENT.json"
+            " [--threshold X]",
+            file=sys.stderr,
+        )
+        return 2
+    previous, current = load(args[0]), load(args[1])
+    flagged = compare(previous, current, threshold=threshold)
+    if flagged:
+        print(format_regressions(flagged))
+        return 1
+    print(
+        f"no regressions: {len(current['rows'])} row(s) vs "
+        f"{args[0]} (threshold {threshold:.0%})"
+    )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI tests
+    raise SystemExit(main())

@@ -1,0 +1,97 @@
+"""Structured stdlib logging for the PXDB service.
+
+One configuration entry point (:func:`configure_logging`) wires the
+``repro`` logger hierarchy to stderr with either a human one-line format
+or JSON records (``repro serve --log-json``).  Handlers attach to the
+``repro`` root logger only — library imports never configure logging on
+their own, and reconfiguring replaces previous handlers instead of
+stacking duplicates.
+
+Server code logs through child loggers (``repro.service.server``,
+``repro.service.slow`` …) and passes structured fields via ``extra=``;
+the JSON formatter lifts every non-standard record attribute into the
+emitted object, so ``logger.warning("slow", extra={"trace_id": t})``
+yields ``{"message": "slow", "trace_id": "..."}``.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import json
+import logging
+import sys
+from typing import Any, TextIO
+
+#: Attributes present on every LogRecord — anything else came in via extra=.
+_STANDARD_ATTRS = frozenset(
+    logging.LogRecord("", 0, "", 0, "", (), None).__dict__
+) | {"message", "asctime", "taskName"}
+
+LEVELS = {"debug", "info", "warning", "error", "critical"}
+
+
+class JsonFormatter(logging.Formatter):
+    """Each record as one JSON object per line, extras included."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload: dict[str, Any] = {
+            "ts": _dt.datetime.fromtimestamp(
+                record.created, tz=_dt.timezone.utc
+            ).isoformat(timespec="milliseconds"),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        for key, value in record.__dict__.items():
+            if key not in _STANDARD_ATTRS:
+                payload[key] = value
+        if record.exc_info:
+            payload["exc"] = self.formatException(record.exc_info)
+        return json.dumps(payload, default=str)
+
+
+class PlainFormatter(logging.Formatter):
+    """Human format that still shows structured extras as key=value."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        base = (
+            f"{self.formatTime(record, '%Y-%m-%d %H:%M:%S')} "
+            f"{record.levelname:<7} {record.name} {record.getMessage()}"
+        )
+        extras = " ".join(
+            f"{key}={value}"
+            for key, value in record.__dict__.items()
+            if key not in _STANDARD_ATTRS
+        )
+        if extras:
+            base = f"{base} [{extras}]"
+        if record.exc_info:
+            base = f"{base}\n{self.formatException(record.exc_info)}"
+        return base
+
+
+def configure_logging(
+    level: str = "info",
+    json_mode: bool = False,
+    stream: TextIO | None = None,
+) -> logging.Logger:
+    """(Re)configure the ``repro`` logger hierarchy and return its root."""
+    if level not in LEVELS:
+        raise ValueError(f"unknown log level {level!r}; choose from {sorted(LEVELS)}")
+    root = logging.getLogger("repro")
+    for handler in list(root.handlers):
+        root.removeHandler(handler)
+        handler.close()
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(JsonFormatter() if json_mode else PlainFormatter())
+    root.addHandler(handler)
+    root.setLevel(getattr(logging, level.upper()))
+    root.propagate = False
+    return root
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Child of the ``repro`` hierarchy (``name`` may already include it)."""
+    if not name.startswith("repro"):
+        name = f"repro.{name}"
+    return logging.getLogger(name)

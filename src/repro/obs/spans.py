@@ -1,0 +1,326 @@
+"""Contextvar-scoped span tracing for the PXDB engine and service.
+
+One global :class:`Tracer` (module singleton :data:`TRACER`) records
+*spans* — named, timed regions with structural attributes — into a
+lock-protected in-memory ring buffer, optionally mirroring every finished
+span to a JSONL file.  Spans nest through a ``contextvars.ContextVar``:
+a span opened while another is active becomes its child, so one request
+yields one coherent tree across the server handler, the coalescer, the
+document store, the DP evaluator, the sampler and the circuit sweeps.
+
+Design constraints (the reason this module looks the way it does):
+
+* **stdlib only** — no OpenTelemetry; the span model is a strict subset
+  (trace id, span id, parent id, name, start, duration, attributes,
+  status) so an exporter could map 1:1 later.
+* **near-zero cost when disabled** — instrumentation sites guard with
+  ``if TRACER.enabled:`` (one attribute load and a branch) or call
+  :meth:`Tracer.span`, which returns a shared no-op singleton without
+  allocating anything.  The disabled path MUST allocate no spans; the
+  test suite and ``benchmarks/bench_obs.py`` assert both properties.
+* **cross-process propagation** — a tracer context (trace id + parent
+  span id) serializes to a small dict that rides inside a process-pool
+  task payload; the worker activates it, records spans against the same
+  trace id in its own ring, then *drains* them into the result so the
+  parent can :meth:`~Tracer.ingest` them.  One request against a
+  pool-backed server therefore still produces a single span tree.
+
+The attribute vocabulary is documented in ``docs/OBSERVABILITY.md``;
+attributes record the *structural* quantities that drive the DP's cost
+(nodes computed, cache hits/misses, maximum signature-distribution
+width, matcher candidate counts, circuit gate counts) — the run-time
+model of Theorem 5.3 — not just wall-clock.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import json
+import os
+import random
+import threading
+import time
+from collections import deque
+from typing import Any, Iterable
+
+# (trace_id, span_id) of the active span; None outside any span.  Fresh
+# threads start with the default (None), so a server handler thread that
+# opens a request span starts a new trace.
+_CONTEXT: contextvars.ContextVar[tuple[str, str] | None] = contextvars.ContextVar(
+    "pxdb_trace_context", default=None
+)
+
+_IDS = random.Random()  # seeded from OS entropy; ids need uniqueness, not crypto
+
+
+def _new_id() -> str:
+    return f"{_IDS.getrandbits(64):016x}"
+
+
+class Span:
+    """One live span; use as a context manager.  Finishing records an
+    immutable dict into the tracer's ring buffer."""
+
+    __slots__ = ("tracer", "trace_id", "span_id", "parent_id", "name",
+                 "attributes", "started_at", "_start", "_token", "status")
+
+    def __init__(self, tracer: "Tracer", name: str, trace_id: str,
+                 parent_id: str | None, attributes: dict):
+        self.tracer = tracer
+        self.trace_id = trace_id
+        self.span_id = _new_id()
+        self.parent_id = parent_id
+        self.name = name
+        self.attributes = attributes
+        self.status = "ok"
+
+    def set(self, **attributes) -> "Span":
+        """Attach (or overwrite) attributes; chainable."""
+        self.attributes.update(attributes)
+        return self
+
+    def __enter__(self) -> "Span":
+        self._token = _CONTEXT.set((self.trace_id, self.span_id))
+        self.started_at = time.time()
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        duration = time.perf_counter() - self._start
+        _CONTEXT.reset(self._token)
+        if exc_type is not None:
+            self.status = f"error:{exc_type.__name__}"
+        self.tracer._finish(
+            {
+                "trace_id": self.trace_id,
+                "span_id": self.span_id,
+                "parent_id": self.parent_id,
+                "name": self.name,
+                "start": self.started_at,
+                "duration_ms": duration * 1000.0,
+                "status": self.status,
+                "pid": os.getpid(),
+                "attributes": self.attributes,
+            }
+        )
+
+
+class _NoopSpan:
+    """The shared do-nothing span handed out while tracing is disabled.
+    A singleton: the disabled path allocates nothing."""
+
+    __slots__ = ()
+    trace_id = None
+    span_id = None
+
+    def set(self, **attributes) -> "_NoopSpan":
+        return self
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+class Tracer:
+    """The process-wide span sink: ring buffer + optional JSONL export.
+
+    ``enabled`` is read directly by instrumentation sites (plain attribute
+    access — the near-zero disabled path); everything that mutates shared
+    state takes the lock.
+    """
+
+    def __init__(self, ring_size: int = 4096):
+        self.enabled = False
+        self._lock = threading.Lock()
+        self._ring: deque[dict] = deque(maxlen=ring_size)
+        self._jsonl_path: str | None = None
+        self._jsonl_file = None
+        self.spans_recorded = 0
+
+    # -- configuration --------------------------------------------------------
+    def configure(
+        self,
+        enabled: bool | None = None,
+        ring_size: int | None = None,
+        jsonl_path: str | os.PathLike | None = None,
+    ) -> "Tracer":
+        """Reconfigure in place (the singleton is shared by everything in
+        the process).  ``jsonl_path`` opens an append-mode exporter;
+        ``None`` leaves the current exporter untouched — close it with
+        :meth:`reset`."""
+        with self._lock:
+            if ring_size is not None:
+                self._ring = deque(self._ring, maxlen=ring_size)
+            if jsonl_path is not None:
+                if self._jsonl_file is not None:
+                    self._jsonl_file.close()
+                self._jsonl_path = str(jsonl_path)
+                self._jsonl_file = open(self._jsonl_path, "a", encoding="utf-8")
+            if enabled is not None:
+                self.enabled = enabled
+        return self
+
+    def reset(self) -> None:
+        """Drop all recorded spans and close the JSONL exporter (the
+        enabled flag and ring size are kept)."""
+        with self._lock:
+            self._ring.clear()
+            self.spans_recorded = 0
+            if self._jsonl_file is not None:
+                self._jsonl_file.close()
+                self._jsonl_file = None
+                self._jsonl_path = None
+
+    # -- span creation --------------------------------------------------------
+    def span(self, name: str, **attributes):
+        """A new child span of the current context (a fresh root — new
+        trace id — when no span is active).  Returns the no-op singleton
+        when tracing is disabled."""
+        if not self.enabled:
+            return NOOP_SPAN
+        context = _CONTEXT.get()
+        if context is None:
+            return Span(self, name, _new_id(), None, attributes)
+        trace_id, parent_id = context
+        return Span(self, name, trace_id, parent_id, attributes)
+
+    def current_trace_id(self) -> str | None:
+        context = _CONTEXT.get()
+        return context[0] if context is not None else None
+
+    # -- cross-process propagation --------------------------------------------
+    def context(self) -> dict | None:
+        """The active context as a payload-embeddable dict (``None`` when
+        tracing is off or no span is active)."""
+        if not self.enabled:
+            return None
+        context = _CONTEXT.get()
+        if context is None:
+            return None
+        return {"trace_id": context[0], "span_id": context[1]}
+
+    def activate(self, context: dict) -> contextvars.Token:
+        """Adopt a propagated context (pool workers call this; pair with
+        :meth:`deactivate`).  Also enables the tracer, so worker-side
+        instrumentation records against the parent's trace id."""
+        self.enabled = True
+        return _CONTEXT.set((context["trace_id"], context["span_id"]))
+
+    def deactivate(self, token: contextvars.Token) -> None:
+        _CONTEXT.reset(token)
+
+    def drain(self, trace_id: str) -> list[dict]:
+        """Remove and return every recorded span of ``trace_id`` (workers
+        ship them back inside the task result)."""
+        with self._lock:
+            mine = [s for s in self._ring if s["trace_id"] == trace_id]
+            if mine:
+                kept = [s for s in self._ring if s["trace_id"] != trace_id]
+                self._ring.clear()
+                self._ring.extend(kept)
+        return mine
+
+    def ingest(self, spans: Iterable[dict]) -> None:
+        """Splice foreign (worker-produced) spans into the ring buffer."""
+        with self._lock:
+            for span in spans:
+                self._record_locked(span)
+
+    # -- recording ------------------------------------------------------------
+    def _finish(self, span: dict) -> None:
+        with self._lock:
+            self._record_locked(span)
+
+    def _record_locked(self, span: dict) -> None:
+        self._ring.append(span)
+        self.spans_recorded += 1
+        if self._jsonl_file is not None:
+            self._jsonl_file.write(json.dumps(span, default=str) + "\n")
+            self._jsonl_file.flush()
+
+    # -- retrieval ------------------------------------------------------------
+    def spans(self) -> list[dict]:
+        with self._lock:
+            return list(self._ring)
+
+    def trace(self, trace_id: str) -> list[dict]:
+        """All recorded spans of one trace, oldest first."""
+        with self._lock:
+            return [s for s in self._ring if s["trace_id"] == trace_id]
+
+    def traces(self, slow_ms: float = 0.0, limit: int = 50) -> list[dict]:
+        """Root-span summaries (spans with no parent), slowest first,
+        filtered to those at least ``slow_ms`` long."""
+        with self._lock:
+            per_trace: dict[str, int] = {}
+            roots: list[dict] = []
+            for span in self._ring:
+                per_trace[span["trace_id"]] = per_trace.get(span["trace_id"], 0) + 1
+                if span["parent_id"] is None:
+                    roots.append(span)
+        summaries = [
+            {
+                "trace_id": root["trace_id"],
+                "name": root["name"],
+                "start": root["start"],
+                "duration_ms": root["duration_ms"],
+                "status": root["status"],
+                "spans": per_trace.get(root["trace_id"], 1),
+                "attributes": root["attributes"],
+            }
+            for root in roots
+            if root["duration_ms"] >= slow_ms
+        ]
+        summaries.sort(key=lambda row: -row["duration_ms"])
+        return summaries[:limit]
+
+    def tree(self, trace_id: str) -> list[dict]:
+        """The trace as a nested forest (children under ``"children"``,
+        ordered by start time).  Spans whose parent was evicted from the
+        ring surface as additional roots rather than disappearing."""
+        return build_tree(self.trace(trace_id))
+
+    def stats(self) -> dict[str, Any]:
+        with self._lock:
+            return {
+                "enabled": self.enabled,
+                "spans_recorded": self.spans_recorded,
+                "spans_buffered": len(self._ring),
+                "ring_size": self._ring.maxlen,
+                "jsonl_path": self._jsonl_path,
+            }
+
+
+def build_tree(spans: list[dict]) -> list[dict]:
+    """Nest a flat span list into a forest by parent_id (shared by the
+    tracer, the server's /trace endpoint and the CLI renderer)."""
+    nodes = {span["span_id"]: {**span, "children": []} for span in spans}
+    roots: list[dict] = []
+    for node in nodes.values():
+        parent = nodes.get(node["parent_id"])
+        if parent is not None:
+            parent["children"].append(node)
+        else:
+            roots.append(node)
+    for node in nodes.values():
+        node["children"].sort(key=lambda child: child["start"])
+    roots.sort(key=lambda root: root["start"])
+    return roots
+
+
+def tree_coverage(root: dict) -> float:
+    """Fraction of a root span's wall time covered by its direct
+    children (the acceptance metric for "spans cover the request")."""
+    if root["duration_ms"] <= 0:
+        return 1.0
+    covered = sum(child["duration_ms"] for child in root.get("children", ()))
+    return min(covered / root["duration_ms"], 1.0)
+
+
+#: The process-wide tracer every instrumentation site shares.
+TRACER = Tracer()

@@ -24,7 +24,12 @@ Modules
 * :mod:`~repro.service.client`   — the thin Python client (exact
   ``Fraction`` round-trips);
 * :mod:`~repro.service.metrics`  — request counters, latency histograms
-  and engine cache hit-rates surfaced at ``/metrics``.
+  (with exemplar trace ids) and engine cache hit-rates surfaced at
+  ``/metrics``.
+
+Observability: the server integrates :mod:`repro.obs` — per-request span
+traces (``/trace/<id>``, ``/traces``), a slow-query log, structured
+logging and pool-worker stat aggregation.  See ``docs/OBSERVABILITY.md``.
 
 Start one with ``python -m repro serve --db name=doc.pxml:constraints.txt``
 (see ``docs/SERVICE.md``).

@@ -120,3 +120,18 @@ class ServiceClient:
 
     def health(self) -> bool:
         return self._request("/health").get("status") == "ok"
+
+    def health_info(self) -> dict:
+        """The full /health payload (status, version, tracing flag)."""
+        return self._request("/health")
+
+    # -- tracing --------------------------------------------------------------
+    def trace(self, trace_id: str) -> dict:
+        """One recorded trace: flat ``spans`` plus the nested ``tree``."""
+        return self._request(f"/trace/{trace_id}")
+
+    def traces(self, slow_ms: float = 0.0, limit: int = 50) -> list[dict]:
+        """Recent root-span summaries, slowest first."""
+        return self._request(
+            "/traces", params={"slow_ms": slow_ms, "limit": limit}
+        )["traces"]

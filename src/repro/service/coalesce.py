@@ -27,6 +27,7 @@ from typing import Sequence
 
 from ..core.formulas import CFormula
 from ..core.pxdb import PXDB
+from ..obs.spans import TRACER
 
 
 class Coalescer:
@@ -41,7 +42,10 @@ class Coalescer:
         self.pxdb = pxdb
         self.window = window
         self._lock = threading.Lock()
-        self._pending: list[tuple[Sequence[CFormula], Future]] = []
+        # Pending: (events, future, link).  ``link`` is a per-request dict
+        # the leader stamps with its trace id before running the batch, so
+        # a traced follower can record which trace did its work.
+        self._pending: list[tuple[Sequence[CFormula], Future, dict]] = []
         self._leader_active = False
         self.batches = 0
         self.coalesced_requests = 0
@@ -51,14 +55,25 @@ class Coalescer:
         """[Pr(D ⊨ γ) for γ in events], possibly computed inside a joint
         pass shared with concurrently arriving requests."""
         future: Future = Future()
+        link: dict = {}
         with self._lock:
-            self._pending.append((events, future))
+            self._pending.append((events, future, link))
             lead = not self._leader_active
             if lead:
                 self._leader_active = True
         if lead:
             self._drive()
-        return future.result()
+            return future.result()
+        if not TRACER.enabled:
+            return future.result()
+        # Follower: the joint DP runs in the leader's thread under the
+        # leader's trace; this span records the wait and links the traces.
+        with TRACER.span("coalesce.wait", events=len(events)) as span:
+            values = future.result()
+            leader_trace = link.get("leader_trace_id")
+            if leader_trace is not None:
+                span.set(leader_trace_id=leader_trace)
+        return values
 
     def event_probability(self, event: CFormula) -> Fraction:
         return self.event_probabilities([event])[0]
@@ -83,23 +98,36 @@ class Coalescer:
                     return
                 # New requests arrived while evaluating: stay leader.
 
-    def _run_batch(self, batch: list[tuple[Sequence[CFormula], Future]]) -> None:
+    def _run_batch(
+        self, batch: list[tuple[Sequence[CFormula], Future, dict]]
+    ) -> None:
         flat: list[CFormula] = []
         slices: list[tuple[int, int]] = []
-        for events, _ in batch:
+        for events, _, _ in batch:
             start = len(flat)
             flat.extend(events)
             slices.append((start, len(flat)))
+        if not TRACER.enabled:
+            self._evaluate_batch(batch, flat, slices)
+            return
+        with TRACER.span(
+            "coalesce.batch", requests=len(batch), events=len(flat)
+        ) as span:
+            for _, _, link in batch:
+                link["leader_trace_id"] = span.trace_id
+            self._evaluate_batch(batch, flat, slices)
+
+    def _evaluate_batch(self, batch, flat, slices) -> None:
         try:
             values = self.pxdb.event_probabilities(flat)
         except BaseException as error:  # noqa: BLE001 — fan the failure out
-            for _, future in batch:
+            for _, future, _ in batch:
                 future.set_exception(error)
             return
         self.batches += 1
         self.coalesced_requests += len(batch)
         self.largest_batch = max(self.largest_batch, len(batch))
-        for (start, stop), (_, future) in zip(slices, batch):
+        for (start, stop), (_, future, _) in zip(slices, batch):
             future.set_result(values[start:stop])
 
     def stats(self) -> dict:

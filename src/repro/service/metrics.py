@@ -18,6 +18,8 @@ import time
 from bisect import bisect_left
 from typing import Iterable
 
+from ..obs.spans import TRACER
+
 # Bucket upper bounds in seconds (the last bucket is +inf).  Spans the
 # range from a cache-hit response (~100 µs) to a cold multi-second pass.
 DEFAULT_BUCKETS = (
@@ -34,18 +36,34 @@ class LatencyHistogram:
     coarse by construction, but plenty to see a warm/cold split.
     """
 
-    __slots__ = ("buckets", "counts", "count", "total")
+    __slots__ = ("buckets", "counts", "count", "total", "exemplars")
 
     def __init__(self, buckets: tuple[float, ...] = DEFAULT_BUCKETS):
         self.buckets = buckets
         self.counts = [0] * (len(buckets) + 1)  # last slot: > buckets[-1]
         self.count = 0
         self.total = 0.0
+        # Per-bucket exemplar: the trace id of the most recent traced
+        # observation that landed in the bucket — the jumping-off point
+        # from "p99 is slow" to "here is a slow trace to look at".
+        self.exemplars: list[str | None] = [None] * (len(buckets) + 1)
 
-    def observe(self, seconds: float) -> None:
-        self.counts[bisect_left(self.buckets, seconds)] += 1
+    def observe(self, seconds: float, trace_id: str | None = None) -> None:
+        index = bisect_left(self.buckets, seconds)
+        self.counts[index] += 1
         self.count += 1
         self.total += seconds
+        if trace_id is not None:
+            self.exemplars[index] = trace_id
+
+    def exemplar_map(self) -> dict[str, str]:
+        """{bucket upper bound (str) → trace id} for populated exemplars."""
+        bounds = [str(b) for b in self.buckets] + ["+Inf"]
+        return {
+            bound: trace_id
+            for bound, trace_id in zip(bounds, self.exemplars)
+            if trace_id is not None
+        }
 
     def quantile(self, q: float) -> float:
         """Upper bound of the bucket containing the q-quantile (seconds)."""
@@ -85,12 +103,14 @@ class Metrics:
         with self._lock:
             self._counters[name] = self._counters.get(name, 0) + amount
 
-    def observe(self, name: str, seconds: float) -> None:
+    def observe(
+        self, name: str, seconds: float, trace_id: str | None = None
+    ) -> None:
         with self._lock:
             histogram = self._histograms.get(name)
             if histogram is None:
                 histogram = self._histograms[name] = LatencyHistogram()
-            histogram.observe(seconds)
+            histogram.observe(seconds, trace_id)
 
     def timed(self, name: str) -> "_Timer":
         """``with metrics.timed("query"): …`` — counts the request, times
@@ -103,13 +123,17 @@ class Metrics:
 
     def snapshot(self) -> dict:
         with self._lock:
+            latency = {}
+            for name, histogram in sorted(self._histograms.items()):
+                summary = histogram.summary()
+                exemplars = histogram.exemplar_map()
+                if exemplars:
+                    summary["exemplars"] = exemplars
+                latency[name] = summary
             return {
                 "uptime_s": round(time.time() - self.started_at, 3),
                 "counters": dict(sorted(self._counters.items())),
-                "latency": {
-                    name: histogram.summary()
-                    for name, histogram in sorted(self._histograms.items())
-                },
+                "latency": latency,
             }
 
     def render_prometheus(
@@ -202,6 +226,11 @@ class _Timer:
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
-        self.metrics.observe(self.name, time.perf_counter() - self.start)
+        # The active trace (if any) becomes the bucket's exemplar — the
+        # timer runs inside the request's root span, so this is the id the
+        # /trace endpoint resolves.
+        self.metrics.observe(
+            self.name, time.perf_counter() - self.start, TRACER.current_trace_id()
+        )
         if exc_type is not None:
             self.metrics.increment(f"{self.name}.errors")

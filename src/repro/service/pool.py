@@ -26,12 +26,14 @@ responses are byte-identical to in-process ones.
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FuturesTimeout
 from concurrent.futures.process import BrokenProcessPool
 
+from ..obs.spans import TRACER
 from .store import DocumentStore
 
 # Worker-process global, set by the initializer.  Plain module state is
@@ -67,10 +69,39 @@ def _init_worker(
 
 
 def _worker_run(op: str, name: str, payload: dict) -> dict:
-    """Execute one operation against the worker's warm store."""
+    """Execute one operation against the worker's warm store.
+
+    When the payload carries a ``_trace`` context (the parent's trace and
+    span ids), the worker adopts it, records its spans against the same
+    trace id, and returns them alongside the untouched result payload —
+    the parent splices them into its own ring buffer, so the trace tree
+    crosses the process boundary seamlessly.
+    """
+    trace_ctx = payload.pop("_trace", None)
+    if trace_ctx is None:
+        return _worker_op(op, name, payload)
+    token = TRACER.activate(trace_ctx)
+    try:
+        with TRACER.span("pool.worker", op=op, db=name, worker_pid=os.getpid()):
+            result = _worker_op(op, name, payload)
+    finally:
+        TRACER.deactivate(token)
+        TRACER.enabled = False
+    return {
+        "__pool_payload__": result,
+        "__pool_spans__": TRACER.drain(trace_ctx["trace_id"]),
+    }
+
+
+def _worker_op(op: str, name: str, payload: dict) -> dict:
     if op == "sleep":  # test hook: occupy a worker for a controlled time
         time.sleep(float(payload.get("seconds", 0.0)))
         return {"slept": float(payload.get("seconds", 0.0))}
+    if op == "worker_stats":
+        # Observability probe (see EvaluationPool.worker_stats): a tiny
+        # stagger spreads concurrent probes across distinct idle workers.
+        time.sleep(float(payload.get("stagger", 0.0)))
+        return _worker_stats_payload()
     from .server import query_payload, sample_payload, sat_payload
 
     if _WORKER_STORE is None:
@@ -85,6 +116,20 @@ def _worker_run(op: str, name: str, payload: dict) -> dict:
             entry, count=payload.get("count", 1), seed=payload.get("seed")
         )
     raise ValueError(f"unknown pool operation {op!r}")
+
+
+def _worker_stats_payload() -> dict:
+    """This worker's warm-store and per-entry engine counters."""
+    store = _WORKER_STORE
+    if store is None:
+        return {"pid": os.getpid(), "store": None, "engines": {}}
+    return {
+        "pid": os.getpid(),
+        "store": store.stats(),
+        "engines": {
+            entry.name: entry.engine.stats() for entry in store.loaded_entries()
+        },
+    }
 
 
 class PoolUnavailable(RuntimeError):
@@ -123,6 +168,7 @@ class EvaluationPool:
         self.completed = 0
         self.timeouts = 0
         self.rejected = 0
+        self._worker_stats_cache: tuple[float, dict] | None = None
         self._executor = ProcessPoolExecutor(
             max_workers=workers,
             initializer=_init_worker,
@@ -135,6 +181,23 @@ class EvaluationPool:
         pool cannot answer in time (the request may still complete in the
         worker — the result is simply dropped) and re-raises the worker's
         own exception (``KeyError``/``ValueError``) when it fails."""
+        if not TRACER.enabled:
+            return self._run(op, name, payload or {}, timeout)
+        with TRACER.span("pool.dispatch", op=op, db=name) as span:
+            task = dict(payload or {})
+            context = TRACER.context()
+            if context is not None:
+                task["_trace"] = context
+            result = self._run(op, name, task, timeout)
+            if isinstance(result, dict) and "__pool_payload__" in result:
+                spans = result["__pool_spans__"]
+                TRACER.ingest(spans)
+                span.set(worker_spans=len(spans))
+                result = result["__pool_payload__"]
+        return result
+
+    def _run(self, op: str, name: str, payload: dict,
+             timeout: float | None) -> dict:
         if self._broken:
             raise PoolUnavailable("process pool is broken")
         if not self._slots.acquire(blocking=False):
@@ -144,7 +207,7 @@ class EvaluationPool:
                 f"pool queue is full ({self.queue_limit} requests in flight)"
             )
         try:
-            future = self._executor.submit(_worker_run, op, name, payload or {})
+            future = self._executor.submit(_worker_run, op, name, payload)
         except BaseException as error:  # shut down or broken executor
             self._slots.release()
             self._broken = True
@@ -169,6 +232,50 @@ class EvaluationPool:
             self.completed += 1
         return result
 
+    def worker_stats(self, timeout: float = 5.0, max_age: float = 5.0) -> dict:
+        """Per-worker warm-store/engine counters, plus a summed view.
+
+        ``ProcessPoolExecutor`` cannot address individual workers, so one
+        probe task per worker is submitted with a small stagger (an idle
+        worker picks each up; staggering keeps one worker from answering
+        them all) and the results are deduplicated by pid.  Best-effort:
+        busy workers are simply missing from the report.  Results are
+        cached for ``max_age`` seconds so /metrics scrapes do not hammer
+        the pool.
+        """
+        with self._lock:
+            cached = self._worker_stats_cache
+        if cached is not None and time.monotonic() - cached[0] < max_age:
+            return cached[1]
+        workers: dict[str, dict] = {}
+        if not self._broken:
+            futures = []
+            try:
+                for index in range(self.workers):
+                    futures.append(
+                        self._executor.submit(
+                            _worker_run, "worker_stats", "",
+                            {"stagger": 0.02 * index},
+                        )
+                    )
+            except BaseException:
+                futures = futures or []
+            deadline = time.monotonic() + timeout
+            for future in futures:
+                remaining = max(deadline - time.monotonic(), 0.0)
+                try:
+                    row = future.result(remaining)
+                except Exception:  # timeout/broken pool: skip this probe
+                    continue
+                workers[str(row["pid"])] = {
+                    "store": row["store"], "engines": row["engines"]
+                }
+        summed = _sum_worker_stats(workers)
+        report = {"workers": workers, "summed": summed, "probed": len(workers)}
+        with self._lock:
+            self._worker_stats_cache = (time.monotonic(), report)
+        return report
+
     def stats(self) -> dict:
         with self._lock:
             return {
@@ -190,3 +297,22 @@ class EvaluationPool:
 
     def __exit__(self, exc_type, exc, tb) -> None:
         self.shutdown()
+
+
+def _sum_worker_stats(workers: dict[str, dict]) -> dict:
+    """Element-wise sums of the numeric per-worker counters (rates and
+    gauges like ``hit_rate``/``max_entries`` are deliberately excluded)."""
+    summable_store = ("loads", "reloads", "param_reloads", "evictions", "hits",
+                      "registered", "loaded")
+    summable_engine = ("runs", "cache_hits", "cache_misses", "nodes_computed",
+                       "cache_entries", "cache_evictions")
+    store_sum = {key: 0 for key in summable_store}
+    engine_sum = {key: 0 for key in summable_engine}
+    for info in workers.values():
+        store = info.get("store") or {}
+        for key in summable_store:
+            store_sum[key] += int(store.get(key, 0))
+        for engine in (info.get("engines") or {}).values():
+            for key in summable_engine:
+                engine_sum[key] += int(engine.get(key, 0))
+    return {"store": store_sum, "engines": engine_sum}

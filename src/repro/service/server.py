@@ -35,7 +35,10 @@ from __future__ import annotations
 import json
 import random
 import threading
+import time
 import xml.etree.ElementTree as ET
+from collections import deque
+from contextlib import contextmanager
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlparse
 
@@ -43,10 +46,16 @@ from ..core.constraints import Constraint
 from ..core.explain import explain_violations
 from ..core.query import Query
 from ..core.query_eval import bound_formula, candidate_tuples, decode_answers
+from ..obs import package_version
+from ..obs.logs import get_logger
+from ..obs.spans import TRACER, build_tree
 from ..xmltree.serialize import document_from_xml, document_to_xml
 from .metrics import Metrics
 from .pool import EvaluationPool, PoolUnavailable
 from .store import DocumentStore, StoreEntry
+
+_log = get_logger("service.server")
+_slow_log = get_logger("service.slow")
 
 
 # -- payload builders ---------------------------------------------------------
@@ -85,25 +94,30 @@ def query_payload(entry: StoreEntry, query_text: str, *, coalesce: bool = True) 
         values = entry.pxdb.event_probabilities(events, via="circuit")
         entry.circuit_hits += 1
     else:
-        query = Query.parse(query_text)
-        answers = candidate_tuples(query, pdoc)
-        events = [bound_formula(query, answer) for answer in answers]
+        with TRACER.span("query.bind"):
+            query = Query.parse(query_text)
+            answers = candidate_tuples(query, pdoc)
+            events = [bound_formula(query, answer) for answer in answers]
         if coalesce:
             values = entry.coalescer.event_probabilities(events)
         else:
             values = entry.pxdb.event_probabilities(events)
         entry.cache_events(query_text, tuple(answers), tuple(events))
-    table = {answer: value for answer, value in zip(answers, values) if value > 0}
-    rows = [
-        {
-            "answer": [str(label) for label in labels],
-            "probability": str(value),
-            "probability_float": float(value),
+    with TRACER.span("query.decode", candidates=len(answers)):
+        table = {
+            answer: value for answer, value in zip(answers, values) if value > 0
         }
-        for labels, value in sorted(
-            decode_answers(table, pdoc).items(), key=lambda kv: (-kv[1], str(kv[0]))
-        )
-    ]
+        rows = [
+            {
+                "answer": [str(label) for label in labels],
+                "probability": str(value),
+                "probability_float": float(value),
+            }
+            for labels, value in sorted(
+                decode_answers(table, pdoc).items(),
+                key=lambda kv: (-kv[1], str(kv[0])),
+            )
+        ]
     return {"db": entry.name, "query": query_text, "answers": rows}
 
 
@@ -152,55 +166,119 @@ class PXDBService:
         *,
         metrics: Metrics | None = None,
         pool: EvaluationPool | None = None,
+        slow_ms: float | None = None,
     ):
         self.store = store if store is not None else DocumentStore()
         self.metrics = metrics if metrics is not None else Metrics()
         self.pool = pool
+        # Slow-query log: requests at least this many milliseconds long are
+        # logged (repro.service.slow) and kept in a bounded recent list
+        # surfaced by /metrics.  None disables the log.
+        self.slow_ms = slow_ms
+        self._slow_requests: deque[dict] = deque(maxlen=64)
+        self.version = package_version()
+
+    @contextmanager
+    def _request(self, op: str, **attrs):
+        """Request envelope: root span (one trace per request) + slow-query
+        detection.  The wall clock is measured independently of tracing, so
+        the slow log works with tracing off (trace_id is then null)."""
+        span = TRACER.span(f"request.{op}", **attrs)
+        start = time.perf_counter()
+        try:
+            with span:
+                yield span
+        finally:
+            duration_ms = (time.perf_counter() - start) * 1000.0
+            if self.slow_ms is not None and duration_ms >= self.slow_ms:
+                record = {
+                    "op": op,
+                    "db": attrs.get("db"),
+                    "duration_ms": round(duration_ms, 3),
+                    "trace_id": span.trace_id,
+                    "time": time.time(),
+                }
+                self._slow_requests.append(record)
+                self.metrics.increment("slow_requests")
+                _slow_log.warning(
+                    "slow request",
+                    extra={k: v for k, v in record.items() if k != "time"},
+                )
 
     # -- problem endpoints ----------------------------------------------------
     def sat(self, db: str) -> dict:
-        with self.metrics.timed("sat"):
+        with self._request("sat", db=db), self.metrics.timed("sat"):
             return self._dispatch("sat", db, {})
 
     def query(self, db: str, query_text: str) -> dict:
-        with self.metrics.timed("query"):
+        with self._request("query", db=db, query=query_text) as span, \
+                self.metrics.timed("query"):
             entry = self.store.get(db)  # also refreshes mtime-stale entries
             cached = entry.cached_query(query_text)
             if cached is not None:
                 self.metrics.increment("query.cache_hits")
+                span.set(cache="hit")
                 return cached
             payload = self._dispatch("query", db, {"query_text": query_text})
             entry.cache_query(query_text, payload)
             return payload
 
     def sample(self, db: str, count: int = 1, seed: int | None = None) -> dict:
-        with self.metrics.timed("sample"):
+        with self._request("sample", db=db, count=count), self.metrics.timed("sample"):
             return self._dispatch("sample", db, {"count": count, "seed": seed})
 
     def check(self, db: str, document_xml: str) -> dict:
-        with self.metrics.timed("check"):
+        with self._request("check", db=db), self.metrics.timed("check"):
             return check_payload(self.store.get(db), document_xml)
 
     # -- management endpoints -------------------------------------------------
     def register(
         self, name: str, pdocument_path: str, constraints_path: str | None = None
     ) -> dict:
-        with self.metrics.timed("register"):
+        with self._request("register", db=name), self.metrics.timed("register"):
             entry = self.store.register(name, pdocument_path, constraints_path)
+            _log.info("registered database", extra={"db": name})
             return entry.info()
 
     def stats(self) -> dict:
         with self.metrics.timed("stats"):
-            return {
+            payload = {
                 "store": self.store.stats(),
                 "databases": {
                     entry.name: entry.info() for entry in self.store.loaded_entries()
                 },
                 "registered": self.store.names(),
+                "version": self.version,
             }
+            if self.pool is not None:
+                payload["pool"] = self.pool.stats()
+                payload["pool_workers"] = self.pool.worker_stats(timeout=1.0)
+            return payload
+
+    # -- observability endpoints ----------------------------------------------
+    def trace(self, trace_id: str) -> dict:
+        """One recorded trace, flat and as a nested tree (/trace/<id>)."""
+        spans = TRACER.trace(trace_id)
+        if not spans:
+            raise KeyError(f"no recorded trace {trace_id!r}")
+        return {
+            "trace_id": trace_id,
+            "spans": spans,
+            "tree": build_tree(spans),
+        }
+
+    def traces(self, slow_ms: float = 0.0, limit: int = 50) -> dict:
+        """Recent root spans, slowest first (/traces?slow_ms=&limit=)."""
+        return {
+            "traces": TRACER.traces(slow_ms=slow_ms, limit=limit),
+            "tracing": TRACER.stats(),
+        }
 
     def metrics_payload(self) -> dict:
         payload = self.metrics.snapshot()
+        payload["version"] = self.version
+        payload["tracing"] = TRACER.stats()
+        payload["slow_requests"] = list(self._slow_requests)
         payload["store"] = self.store.stats()
         payload["engines"] = {
             entry.name: entry.engine.stats() for entry in self.store.loaded_entries()
@@ -219,11 +297,15 @@ class PXDBService:
         }
         if self.pool is not None:
             payload["pool"] = self.pool.stats()
+            payload["pool_workers"] = self.pool.worker_stats(timeout=1.0)
         return payload
 
     def metrics_prometheus(self) -> str:
         """The /metrics surface in Prometheus text exposition format."""
         extra = [
+            ("pxdb_info", {"version": self.version}, 1),
+        ]
+        extra += [
             (f"pxdb_store_{key}", {}, value)
             for key, value in self.store.stats().items()
         ]
@@ -243,6 +325,16 @@ class PXDBService:
                 for key, value in self.pool.stats().items()
                 if isinstance(value, (int, float))
             ]
+            workers = self.pool.worker_stats(timeout=1.0)
+            for pid, info in workers["workers"].items():
+                labels = {"pid": pid}
+                for key, value in (info.get("store") or {}).items():
+                    if isinstance(value, (int, float)):
+                        extra.append((f"pxdb_pool_worker_store_{key}", labels, value))
+            for key, value in workers["summed"]["store"].items():
+                extra.append((f"pxdb_pool_workers_store_{key}", {}, value))
+            for key, value in workers["summed"]["engines"].items():
+                extra.append((f"pxdb_pool_workers_engine_{key}", {}, value))
         return self.metrics.render_prometheus(extra)
 
     # -- internals ------------------------------------------------------------
@@ -326,6 +418,13 @@ class _Handler(BaseHTTPRequestHandler):
                 )
             elif route == "/stats":
                 payload = service.stats()
+            elif route == "/traces":
+                payload = service.traces(
+                    slow_ms=float(params.get("slow_ms", 0.0)),
+                    limit=int(params.get("limit", 50)),
+                )
+            elif route.startswith("/trace/"):
+                payload = service.trace(route[len("/trace/"):])
             elif route == "/metrics":
                 accept = self.headers.get("Accept") or ""
                 if params.get("format") == "prometheus" or (
@@ -335,16 +434,29 @@ class _Handler(BaseHTTPRequestHandler):
                     return
                 payload = service.metrics_payload()
             elif route == "/health":
-                payload = {"status": "ok"}
+                payload = {
+                    "status": "ok",
+                    "version": service.version,
+                    "tracing": TRACER.enabled,
+                }
             else:
                 self._send(404, {"ok": False, "error": f"no such endpoint: {route}"})
                 return
         except KeyError as error:
+            _log.info(
+                "not found", extra={"route": route, "error": _message(error)}
+            )
             self._send(404, {"ok": False, "error": _message(error)})
         except ValueError as error:
+            _log.info(
+                "bad request", extra={"route": route, "error": str(error)}
+            )
             self._send(400, {"ok": False, "error": str(error)})
         except Exception as error:  # noqa: BLE001 — last-resort 500
             self.service.metrics.increment("http.internal_errors")
+            # The response stays a one-liner; the full traceback goes to the
+            # server-side log, where it can actually be acted on.
+            _log.exception("internal error", extra={"route": route})
             self._send(500, {"ok": False, "error": f"{type(error).__name__}: {error}"})
         else:
             self._send(200, {"ok": True, **payload})
@@ -392,6 +504,7 @@ def make_server(
     metrics: Metrics | None = None,
     pool: EvaluationPool | None = None,
     verbose: bool = False,
+    slow_ms: float | None = None,
 ) -> ThreadingHTTPServer:
     """A bound (not yet serving) threaded HTTP server over ``service``.
 
@@ -400,7 +513,7 @@ def make_server(
     ``server.server_address``).
     """
     if not isinstance(service, PXDBService):
-        service = PXDBService(service, metrics=metrics, pool=pool)
+        service = PXDBService(service, metrics=metrics, pool=pool, slow_ms=slow_ms)
     server = ThreadingHTTPServer((host, port), _Handler)
     server.daemon_threads = True
     server.service = service  # type: ignore[attr-defined]
@@ -433,9 +546,13 @@ def serve_forever(
     port: int = 8642,
     *,
     verbose: bool = False,
+    slow_ms: float | None = None,
 ) -> None:
     """Blocking serve loop for the CLI (Ctrl-C returns cleanly)."""
-    server = make_server(service, host, port, verbose=verbose)
+    server = make_server(service, host, port, verbose=verbose, slow_ms=slow_ms)
+    _log.info(
+        "serving", extra={"host": host, "port": server.server_address[1]}
+    )
     try:
         server.serve_forever()
     except KeyboardInterrupt:

@@ -49,6 +49,7 @@ from ..core.constraints import Constraint
 from ..core.evaluator import IncrementalEngine
 from ..core.formulas import CFormula
 from ..core.pxdb import PXDB
+from ..obs.spans import TRACER
 from ..pdoc.parameters import apply_parameters, parameter_values
 from ..pdoc.pdocument import PDocument
 from ..pdoc.serialize import pdocument_from_xml
@@ -329,6 +330,23 @@ class DocumentStore:
         """The entry for ``name`` — warm if loaded and fresh, reloaded if
         its files changed on disk, loaded from spec if LRU-evicted.
         Raises ``KeyError`` for names never registered."""
+        if not TRACER.enabled:
+            return self._get(name)
+        before = (self.hits, self.loads, self.reloads, self.param_reloads)
+        with TRACER.span("store.get", db=name) as span:
+            entry = self._get(name)
+            deltas = (self.hits, self.loads, self.reloads, self.param_reloads)
+            for label, b, a in zip(("warm", "load", "reload", "param_reload"),
+                                   before, deltas):
+                if a > b:
+                    # Under concurrency another request may bump a counter
+                    # in between; first changed one wins — tracing detail,
+                    # not an exact ledger.
+                    span.set(outcome=label)
+                    break
+        return entry
+
+    def _get(self, name: str) -> StoreEntry:
         with self._lock:
             if name not in self._specs:
                 raise KeyError(f"no PXDB named {name!r} is registered")

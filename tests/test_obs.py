@@ -1,0 +1,515 @@
+"""Tests for the observability subsystem (repro.obs): span tracing and
+its propagation through the engine, the coalescer, the process pool and
+the HTTP server; structured logging; benchmark telemetry."""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import threading
+from fractions import Fraction
+from pathlib import Path
+
+import pytest
+
+from repro.core.constraints import constraints_formula
+from repro.core.evaluator import probability
+from repro.core.sampler import sample
+from repro.obs import benchrec, configure_logging, get_logger, package_version
+from repro.obs.spans import NOOP_SPAN, TRACER, build_tree, tree_coverage
+from repro.pdoc.pdocument import PNode, pdocument
+from repro.pdoc.serialize import pdocument_to_xml
+from repro.service import (
+    DocumentStore,
+    EvaluationPool,
+    Metrics,
+    PXDBService,
+    ServiceClient,
+    start_server,
+)
+from repro.workloads.university import figure1_constraints, figure1_pdocument
+
+CONSTRAINTS = "forall catalog/$shelf : count(*/$book) >= 1\n"
+QUERY = "catalog/shelf/book/title/$*"
+
+
+def make_catalog():
+    pd, root = pdocument("catalog")
+    shelf = root.ordinary("shelf")
+    books = shelf.ind()
+    b1 = PNode("ord", "book")
+    b1.ordinary("title").ordinary("Dune")
+    books.add_edge(b1, Fraction(1, 2))
+    b2 = PNode("ord", "book")
+    b2.ordinary("title").ordinary("Solaris")
+    books.add_edge(b2, Fraction(1, 4))
+    pd.validate()
+    return pd
+
+
+@pytest.fixture()
+def catalog_files(tmp_path: Path) -> tuple[Path, Path]:
+    pdoc_path = tmp_path / "catalog.pxml"
+    pdoc_path.write_text(pdocument_to_xml(make_catalog()))
+    constraints_path = tmp_path / "constraints.txt"
+    constraints_path.write_text(CONSTRAINTS)
+    return pdoc_path, constraints_path
+
+
+@pytest.fixture()
+def tracing():
+    """Tracing on with a clean ring; restores the disabled default after."""
+    TRACER.configure(enabled=True)
+    TRACER.reset()
+    yield TRACER
+    TRACER.configure(enabled=False)
+    TRACER.reset()
+
+
+# -- the span model -----------------------------------------------------------
+
+def test_span_nesting_attributes_and_status(tracing):
+    with TRACER.span("outer", kind="test") as outer:
+        with TRACER.span("child") as child:
+            child.set(n=3)
+        with pytest.raises(RuntimeError):
+            with TRACER.span("failing"):
+                raise RuntimeError("boom")
+    spans = TRACER.spans()
+    assert [s["name"] for s in spans] == ["child", "failing", "outer"]
+    assert len({s["trace_id"] for s in spans}) == 1
+    by_name = {s["name"]: s for s in spans}
+    assert by_name["outer"]["parent_id"] is None
+    assert by_name["child"]["parent_id"] == by_name["outer"]["span_id"]
+    assert by_name["child"]["attributes"] == {"n": 3}
+    assert by_name["outer"]["attributes"] == {"kind": "test"}
+    assert by_name["failing"]["status"] == "error:RuntimeError"
+    tree = build_tree(spans)
+    assert len(tree) == 1 and [c["name"] for c in tree[0]["children"]] == [
+        "child", "failing",
+    ]
+
+
+def test_separate_roots_get_separate_traces(tracing):
+    with TRACER.span("first"):
+        pass
+    with TRACER.span("second"):
+        pass
+    ids = {s["trace_id"] for s in TRACER.spans()}
+    assert len(ids) == 2
+    summaries = TRACER.traces()
+    assert {row["name"] for row in summaries} == {"first", "second"}
+
+
+def test_ring_buffer_bounded(tracing):
+    TRACER.configure(ring_size=8)
+    for index in range(30):
+        with TRACER.span(f"s{index}"):
+            pass
+    spans = TRACER.spans()
+    assert len(spans) == 8
+    assert spans[-1]["name"] == "s29"
+    assert TRACER.stats()["spans_recorded"] == 30
+
+
+def test_disabled_path_allocates_nothing():
+    assert not TRACER.enabled
+    span = TRACER.span("anything", x=1)
+    assert span is NOOP_SPAN
+    with span as inner:
+        assert inner.set(y=2) is NOOP_SPAN
+    assert TRACER.spans() == []
+    assert TRACER.context() is None
+    assert TRACER.current_trace_id() is None
+
+
+def test_jsonl_exporter(tracing, tmp_path):
+    path = tmp_path / "spans.jsonl"
+    TRACER.configure(jsonl_path=path)
+    with TRACER.span("exported", answer=42):
+        pass
+    lines = path.read_text().strip().splitlines()
+    assert len(lines) == 1
+    record = json.loads(lines[0])
+    assert record["name"] == "exported"
+    assert record["attributes"] == {"answer": 42}
+
+
+def test_tree_coverage():
+    root = {"duration_ms": 10.0, "children": [
+        {"duration_ms": 6.0}, {"duration_ms": 3.0},
+    ]}
+    assert tree_coverage(root) == pytest.approx(0.9)
+    assert tree_coverage({"duration_ms": 0.0, "children": []}) == 1.0
+
+
+# -- DP instrumentation -------------------------------------------------------
+
+def test_dp_run_span_carries_structural_attributes(tracing):
+    pdoc = figure1_pdocument()
+    condition = constraints_formula(figure1_constraints())
+    value = probability(pdoc, condition)
+    assert 0 < value < 1
+    runs = [s for s in TRACER.spans() if s["name"] == "dp.run"]
+    assert runs, "no dp.run span recorded"
+    attrs = runs[-1]["attributes"]
+    assert attrs["nodes_computed"] > 0
+    assert attrs["max_sig_width"] >= 1
+    assert attrs["cache_hits"] >= 0 and attrs["cache_misses"] >= 0
+
+
+def test_sample_draw_span(tracing):
+    import random
+
+    pdoc = figure1_pdocument()
+    condition = constraints_formula(figure1_constraints())
+    document = sample(pdoc, condition, random.Random(7))
+    assert document.root.label == "university"
+    draws = [s for s in TRACER.spans() if s["name"] == "sample.draw"]
+    assert len(draws) == 1
+    attrs = draws[0]["attributes"]
+    assert attrs["edges"] > 0
+    assert attrs["evaluations"] >= 1
+    assert attrs["nodes_computed"] >= 0
+    # The per-edge DP evaluations nest under the draw.
+    passes = [s for s in TRACER.spans() if s["name"] == "engine.pass"]
+    assert passes and all(
+        s["trace_id"] == draws[0]["trace_id"] for s in passes
+    )
+
+
+# -- service: one request, one tree -------------------------------------------
+
+def test_http_query_yields_coherent_trace_tree(tmp_path, tracing):
+    # A DP-heavy workload: the trace must cover most of the request, so
+    # the measured region cannot be dominated by untraced fixed overhead.
+    from repro.workloads.university import scaled_university
+
+    pdoc_path = tmp_path / "uni.pxml"
+    pdoc_path.write_text(
+        pdocument_to_xml(scaled_university(departments=2, members=2, students=1))
+    )
+    cons_path = tmp_path / "uni.cons"
+    cons_path.write_text(
+        "forall university/$department : "
+        "count(*//$member[position/~'professor'][position/chair]) <= 1\n"
+    )
+    store = DocumentStore()
+    store.register("uni", pdoc_path, cons_path)
+    TRACER.reset()  # drop the register-time warm-up spans
+    server = start_server(store)
+    host, port = server.server_address[:2]
+    client = ServiceClient(f"http://{host}:{port}")
+    try:
+        answers = client.query("uni", "*//'ph.d. st.'/$name")
+        assert answers  # exactness is test_service's job
+        summaries = client.traces()
+        roots = [row for row in summaries if row["name"] == "request.query"]
+        assert roots, f"no request.query root in {summaries}"
+        body = client.trace(roots[0]["trace_id"])
+        assert body["trace_id"] == roots[0]["trace_id"]
+        tree = body["tree"]
+        assert len(tree) == 1, "one request must yield one root"
+        root = tree[0]
+        assert root["name"] == "request.query"
+        assert tree_coverage(root) >= 0.8
+        names = {s["name"] for s in body["spans"]}
+        assert "store.get" in names
+        assert "pxdb.events" in names or "query.match" in names
+        # Somewhere below the root the DP ran and reported its counters.
+        assert any(
+            "nodes_computed" in s["attributes"] for s in body["spans"]
+        ), f"no DP counters in {sorted(names)}"
+        # Unknown trace ids are a clean 404.
+        from repro.service import ServiceError
+
+        with pytest.raises(ServiceError):
+            client.trace("doesnotexist")
+    finally:
+        server.shutdown()
+        server.server_close()
+
+
+def test_concurrent_coalesced_requests_keep_distinct_traces(
+    catalog_files, tracing
+):
+    store = DocumentStore(coalesce_window=0.25)
+    store.register("cat", *catalog_files)
+    TRACER.reset()
+    service = PXDBService(store)
+    barrier = threading.Barrier(2)
+    queries = [QUERY, "catalog/$shelf"]
+    results: dict[int, dict] = {}
+
+    def run(index: int) -> None:
+        barrier.wait()
+        results[index] = service.query("cat", queries[index])
+
+    threads = [threading.Thread(target=run, args=(i,)) for i in range(2)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert set(results) == {0, 1}
+
+    spans = TRACER.spans()
+    roots = [s for s in spans if s["name"] == "request.query"]
+    assert len(roots) == 2
+    trace_ids = {s["trace_id"] for s in roots}
+    assert len(trace_ids) == 2, "concurrent requests must not share a trace"
+
+    batches = [s for s in spans if s["name"] == "coalesce.batch"]
+    assert any(s["attributes"]["requests"] == 2 for s in batches), (
+        "the two concurrent queries should have coalesced into one batch"
+    )
+    waits = [s for s in spans if s["name"] == "coalesce.wait"]
+    assert waits, "the follower must record a coalesce.wait span"
+    for wait in waits:
+        leader = wait["attributes"]["leader_trace_id"]
+        assert leader in trace_ids and leader != wait["trace_id"]
+
+
+def test_pool_request_carries_parent_trace(catalog_files, tracing):
+    store = DocumentStore()
+    store.register("cat", *catalog_files)
+    TRACER.reset()
+    with EvaluationPool(store.specs(), workers=1, timeout=60.0) as pool:
+        service = PXDBService(store, pool=pool)
+        payload = service.query("cat", QUERY)
+        assert payload["answers"]
+        spans = TRACER.spans()
+        roots = [s for s in spans if s["name"] == "request.query"]
+        workers = [s for s in spans if s["name"] == "pool.worker"]
+        dispatches = [s for s in spans if s["name"] == "pool.dispatch"]
+        assert roots and workers and dispatches
+        trace_id = roots[0]["trace_id"]
+        assert workers[0]["trace_id"] == trace_id
+        assert dispatches[0]["trace_id"] == trace_id
+        assert workers[0]["pid"] != os.getpid(), (
+            "pool.worker must come from the worker process"
+        )
+        assert workers[0]["attributes"]["op"] == "query"
+        # The dispatch child spans the IPC round-trip, so the tree covers
+        # (nearly) the whole pool-backed request.
+        tree = build_tree([s for s in spans if s["trace_id"] == trace_id])
+        assert len(tree) == 1
+        assert tree_coverage(tree[0]) >= 0.9
+
+
+def test_pool_worker_stats_aggregation(catalog_files):
+    store = DocumentStore()
+    store.register("cat", *catalog_files)
+    with EvaluationPool(store.specs(), workers=2, timeout=60.0) as pool:
+        service = PXDBService(store, pool=pool)
+        service.sat("cat")
+        report = pool.worker_stats(timeout=10.0)
+        assert report["probed"] >= 1
+        assert len(report["workers"]) == report["probed"]
+        assert str(os.getpid()) not in report["workers"]
+        for info in report["workers"].values():
+            assert "store" in info and "engines" in info
+        summed = report["summed"]
+        assert summed["store"]["registered"] >= report["probed"]
+        assert "runs" in summed["engines"]
+        # The cached report is reused within max_age.
+        assert pool.worker_stats(max_age=60.0) is report
+        # And both surfaces expose it.
+        assert "pool_workers" in service.stats()
+        assert "pool_workers" in service.metrics_payload()
+        prom = service.metrics_prometheus()
+        assert "pxdb_pool_workers_store_registered" in prom
+        assert "pxdb_pool_worker_store_registered" in prom
+
+
+# -- slow-query log, exemplars, version ---------------------------------------
+
+def test_slow_query_log(catalog_files):
+    store = DocumentStore()
+    store.register("cat", *catalog_files)
+    service = PXDBService(store, slow_ms=0.0)  # everything is "slow"
+    service.sat("cat")
+    assert service.metrics.counter("slow_requests") >= 1
+    payload = service.metrics_payload()
+    assert payload["slow_requests"]
+    record = payload["slow_requests"][-1]
+    assert record["op"] == "sat" and record["db"] == "cat"
+    assert record["duration_ms"] >= 0.0
+    assert record["trace_id"] is None  # tracing off: the log still works
+
+
+def test_metrics_exemplars_reference_traces(catalog_files, tracing):
+    store = DocumentStore()
+    store.register("cat", *catalog_files)
+    TRACER.reset()
+    service = PXDBService(store)
+    service.sat("cat")
+    payload = service.metrics_payload()
+    exemplars = payload["latency"]["sat"].get("exemplars")
+    assert exemplars, "traced requests must leave bucket exemplars"
+    trace_id = next(iter(exemplars.values()))
+    assert TRACER.trace(trace_id), "the exemplar must resolve to a trace"
+
+
+def test_health_and_version(catalog_files):
+    store = DocumentStore()
+    store.register("cat", *catalog_files)
+    server = start_server(store)
+    host, port = server.server_address[:2]
+    client = ServiceClient(f"http://{host}:{port}")
+    try:
+        info = client.health_info()
+        assert info["status"] == "ok"
+        assert info["version"] == package_version()
+        assert info["tracing"] is False
+        assert client.metrics()["version"] == package_version()
+    finally:
+        server.shutdown()
+        server.server_close()
+
+
+def test_cli_version_flag(capsys):
+    from repro.cli import main
+
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--version"])
+    assert excinfo.value.code == 0
+    assert package_version() in capsys.readouterr().out
+
+
+def test_cli_trace_commands(catalog_files, tracing, capsys, tmp_path):
+    from repro.cli import main
+
+    store = DocumentStore()
+    store.register("cat", *catalog_files)
+    TRACER.reset()
+    server = start_server(store)
+    host, port = server.server_address[:2]
+    url = f"http://{host}:{port}"
+    try:
+        ServiceClient(url).query("cat", QUERY)
+        assert main(["trace", "top", "--url", url]) == 0
+        top = capsys.readouterr().out
+        assert "request.query" in top
+        trace_id = top.split()[0]
+        assert main(["trace", "show", trace_id, "--url", url]) == 0
+        shown = capsys.readouterr().out
+        assert "request.query" in shown and "store.get" in shown
+        out = tmp_path / "traces.json"
+        assert main(["trace", "export", "--url", url, "-o", str(out)]) == 0
+        dumped = json.loads(out.read_text())
+        assert any(
+            row["trace_id"] == trace_id
+            for trace in dumped
+            for row in trace["spans"]
+        )
+        # show without an id is a usage error, unreachable server is exit 2.
+        assert main(["trace", "show", "--url", url]) == 2
+        assert main(["trace", "top", "--url", "http://127.0.0.1:1"]) == 2
+    finally:
+        server.shutdown()
+        server.server_close()
+
+
+# -- structured logging -------------------------------------------------------
+
+def test_configure_logging_json_lifts_extras():
+    stream = io.StringIO()
+    configure_logging("debug", json_mode=True, stream=stream)
+    try:
+        get_logger("service.server").info(
+            "slow request", extra={"op": "sat", "duration_ms": 12.5}
+        )
+        payload = json.loads(stream.getvalue().strip())
+        assert payload["message"] == "slow request"
+        assert payload["level"] == "info"
+        assert payload["logger"] == "repro.service.server"
+        assert payload["op"] == "sat" and payload["duration_ms"] == 12.5
+    finally:
+        configure_logging("warning")  # detach the StringIO handler
+
+
+def test_configure_logging_plain_shows_extras():
+    stream = io.StringIO()
+    configure_logging("info", json_mode=False, stream=stream)
+    try:
+        get_logger("service.slow").warning("slow", extra={"db": "cat"})
+        line = stream.getvalue().strip()
+        assert "repro.service.slow" in line and "db=cat" in line
+    finally:
+        configure_logging("warning")
+
+
+def test_configure_logging_rejects_unknown_level():
+    with pytest.raises(ValueError, match="unknown log level"):
+        configure_logging("loud")
+
+
+def test_get_logger_prefixes():
+    assert get_logger("service.server").name == "repro.service.server"
+    assert get_logger("repro.obs").name == "repro.obs"
+
+
+# -- benchmark telemetry ------------------------------------------------------
+
+def test_benchrec_write_load_roundtrip(tmp_path):
+    recorder = benchrec.BenchRecorder("sampling", tmp_path)
+    recorder.record(
+        "test_x", "w1", 0.25,
+        counters={"nodes_computed": 10, "width": Fraction(3, 2)},
+        speedup=4.0, note="hi",
+    )
+    path = recorder.write()
+    assert path == tmp_path / "BENCH_sampling.json"
+    payload = benchrec.load(path)
+    assert payload["schema"] == benchrec.SCHEMA
+    assert payload["area"] == "sampling"
+    row = payload["rows"][0]
+    assert row["counters"] == {"nodes_computed": 10, "width": 1.5}
+    assert row["extra"] == {"note": "hi"}
+
+
+def test_benchrec_rejects_bad_payloads(tmp_path):
+    with pytest.raises(ValueError, match="invalid benchmark area"):
+        benchrec.BenchRecorder("no/slashes")
+    with pytest.raises(ValueError, match="unknown schema"):
+        benchrec.validate({"schema": "nope"})
+    with pytest.raises(ValueError, match="missing field"):
+        benchrec.validate({"schema": benchrec.SCHEMA, "rows": []})
+
+
+def test_benchrec_compare_flags_regressions():
+    def payload(wall, speedup):
+        return {
+            "schema": benchrec.SCHEMA, "area": "x",
+            "generated_at": "now", "python": "3",
+            "rows": [{
+                "test": "t", "workload": "w", "wall_s": wall,
+                "counters": {}, "speedup": speedup, "extra": {},
+            }],
+        }
+
+    # Within threshold: silent.
+    assert benchrec.compare(payload(1.0, 10.0), payload(1.1, 9.5)) == []
+    flagged = benchrec.compare(payload(1.0, 10.0), payload(2.0, 5.0))
+    assert {f["kind"] for f in flagged} == {"wall_s", "speedup"}
+    text = benchrec.format_regressions(flagged)
+    assert "REGRESSION" in text and "slower" in text
+
+
+def test_benchrec_cli(tmp_path, capsys):
+    old = benchrec.BenchRecorder("x", tmp_path)
+    old.record("t", "w", 1.0)
+    old_path = tmp_path / "old.json"
+    old_path.write_text(json.dumps(old.payload()))
+    new = benchrec.BenchRecorder("x", tmp_path)
+    new.record("t", "w", 3.0)
+    new_path = tmp_path / "new.json"
+    new_path.write_text(json.dumps(new.payload()))
+
+    assert benchrec.main([str(old_path), str(old_path)]) == 0
+    assert "no regressions" in capsys.readouterr().out
+    assert benchrec.main([str(old_path), str(new_path)]) == 1
+    assert "REGRESSION" in capsys.readouterr().out
+    assert benchrec.main([str(old_path), str(new_path), "--threshold", "5"]) == 0
+    assert benchrec.main([str(old_path)]) == 2

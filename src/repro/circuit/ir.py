@@ -30,10 +30,13 @@ speedup over a fresh evaluator run comes from (experiment E12).
 
 from __future__ import annotations
 
+import math
 from fractions import Fraction
 from math import prod
 from typing import Sequence
 
+from ..numeric import GUARD, get_backend
+from ..numeric.backends import Interval, _imul, _lift_interval
 from ..obs.spans import TRACER
 
 PARAM = 0
@@ -183,7 +186,9 @@ class Circuit:
     """
 
     __slots__ = ("kinds", "args", "param_nodes", "param_values", "outputs",
-                 "_template", "_gates", "_values")
+                 "_template", "_gates", "_values",
+                 "_float_template", "_float_params", "_float_values",
+                 "_interval_template", "_interval_params", "_interval_values")
 
     def __init__(
         self,
@@ -215,6 +220,16 @@ class Circuit:
             if kind >= ADD
         )
         self._values: list | None = None
+        # Per-backend evaluation state (repro.numeric): templates are
+        # compile-time constants, params and values are invalidated on
+        # every re-bind.  Keeping them per backend is what makes the
+        # float64 fast path a tight array loop over pre-lowered floats.
+        self._float_template: list | None = None
+        self._float_params: list | None = None
+        self._float_values: list | None = None
+        self._interval_template: list | None = None
+        self._interval_params: list | None = None
+        self._interval_values: list | None = None
 
     @classmethod
     def from_builder(
@@ -241,20 +256,43 @@ class Circuit:
             )
         self.param_values = [Fraction(v) for v in values]
         self._values = None
+        self._float_params = None
+        self._float_values = None
+        self._interval_params = None
+        self._interval_values = None
 
     # -- forward pass ---------------------------------------------------------
-    def forward(self) -> list[Fraction]:
-        """Evaluate every output at the current parameter binding."""
+    def forward(self, backend: str | None = None) -> list:
+        """Evaluate every output at the current parameter binding.
+
+        ``backend`` selects the arithmetic (``repro.numeric``): ``exact``
+        (default) returns ``Fraction``s, ``float64`` doubles, ``interval``
+        :class:`~repro.numeric.Interval` enclosures that always contain
+        the exact outputs, and ``"auto"`` the guarded mix — exact
+        ``Fraction``s for outputs whose sign the interval sweep cannot
+        certify, midpoint floats for the rest.
+        """
+        name = "auto" if backend == "auto" else get_backend(backend).name
         if not TRACER.enabled:
-            return self._forward()
+            return self._forward_backend(name)
         with TRACER.span(
             "circuit.forward",
             gates=len(self._gates),
             nodes=len(self.kinds),
             params=len(self.param_nodes),
             outputs=len(self.outputs),
+            backend=name,
         ):
+            return self._forward_backend(name)
+
+    def _forward_backend(self, name: str) -> list:
+        if name == "exact":
             return self._forward()
+        if name == "float64":
+            return self._forward_float()
+        if name == "interval":
+            return [Interval(*pair) for pair in self._forward_interval()]
+        return self._forward_auto()
 
     def _forward(self) -> list[Fraction]:
         values = self._template[:]
@@ -271,20 +309,114 @@ class Circuit:
         self._values = values
         return [values[o] for o in self.outputs]
 
+    def _forward_float(self) -> list[float]:
+        """The float64 kernel: one round-to-nearest double per operation,
+        over pre-lowered constant/parameter arrays — no Fraction ever
+        touches the sweep."""
+        if self._float_template is None:
+            self._float_template = [
+                float(arg) if kind == CONST else None
+                for kind, arg in zip(self.kinds, self.args)
+            ]
+        if self._float_params is None:
+            self._float_params = [float(v) for v in self.param_values]
+        values = self._float_template[:]
+        params = self._float_params
+        for position, node in enumerate(self.param_nodes):
+            values[node] = params[position]
+        get = values.__getitem__
+        for is_add, node, operands in self._gates:
+            if is_add:
+                values[node] = sum(map(get, operands))
+            else:
+                values[node] = prod(map(get, operands))
+        self._float_values = values
+        return [values[o] for o in self.outputs]
+
+    def _forward_interval(self) -> list[tuple[float, float]]:
+        """The interval kernel: every operation outward-rounded by one ulp,
+        so each raw (lo, hi) result encloses the exact output."""
+        if self._interval_template is None:
+            self._interval_template = [
+                _lift_interval(arg) if kind == CONST else None
+                for kind, arg in zip(self.kinds, self.args)
+            ]
+        if self._interval_params is None:
+            self._interval_params = [_lift_interval(v) for v in self.param_values]
+        values = self._interval_template[:]
+        params = self._interval_params
+        for position, node in enumerate(self.param_nodes):
+            values[node] = params[position]
+        na = math.nextafter
+        inf = math.inf
+        for is_add, node, operands in self._gates:
+            first = operands[0]
+            acc = values[first]
+            if is_add:
+                lo, hi = acc
+                for j in operands[1:]:
+                    vlo, vhi = values[j]
+                    # Adding an exact 0.0 endpoint is exact: exact zeros
+                    # stay [0, 0] point intervals through the circuit.
+                    s = lo + vlo
+                    lo = s if lo == 0.0 or vlo == 0.0 else na(s, -inf)
+                    s = hi + vhi
+                    hi = s if hi == 0.0 or vhi == 0.0 else na(s, inf)
+                values[node] = (lo, hi)
+            else:
+                # _imul handles the sign cases (the ``1 - x`` encoding
+                # multiplies by the constant -1).
+                for j in operands[1:]:
+                    acc = _imul(acc, values[j])
+                values[node] = acc
+        self._interval_values = values
+        return [values[o] for o in self.outputs]
+
+    def _forward_auto(self) -> list:
+        """The guarded forward: interval sweep, one exact sweep only when
+        some output's sign is uncertified (its enclosure straddles 0)."""
+        enclosures = self._forward_interval()
+        straddling = {
+            index for index, (lo, hi) in enumerate(enclosures) if lo <= 0.0 < hi
+        }
+        certified = len(enclosures) - len(straddling)
+        if certified:
+            GUARD.decided(certified)
+        if not straddling:
+            return [Interval(*pair).mid for pair in enclosures]
+        GUARD.fell_back(len(straddling))
+        exact = self._forward()
+        return [
+            exact[index] if index in straddling else Interval(*pair).mid
+            for index, pair in enumerate(enclosures)
+        ]
+
     # -- backward pass --------------------------------------------------------
-    def gradient(self, output: int = 0) -> list[Fraction]:
+    def gradient(self, output: int = 0, backend: str | None = None) -> list:
         """[∂output/∂θ for every parameter θ] in one reverse sweep.
 
         Products distribute their adjoint via prefix/suffix partial
         products, so zero-valued operands need no special casing (and no
-        division is ever performed).
+        division is ever performed).  ``backend`` selects the arithmetic:
+        ``exact`` Fractions (default), ``float64`` doubles or ``interval``
+        enclosures of the exact derivatives (``auto`` is a decision policy
+        and has no meaning for gradients).
         """
+        name = get_backend(backend).name
         if not TRACER.enabled:
-            return self._gradient(output)
+            return self._gradient_backend(output, name)
         with TRACER.span(
-            "circuit.gradient", gates=len(self._gates), params=len(self.param_nodes)
+            "circuit.gradient", gates=len(self._gates),
+            params=len(self.param_nodes), backend=name,
         ):
+            return self._gradient_backend(output, name)
+
+    def _gradient_backend(self, output: int, name: str) -> list:
+        if name == "exact":
             return self._gradient(output)
+        if name == "float64":
+            return self._gradient_float(output)
+        return self._gradient_interval(output)
 
     def _gradient(self, output: int = 0) -> list[Fraction]:
         values = self._values
@@ -312,6 +444,66 @@ class Circuit:
                     adjoint[operands[k]] += seed * prefix[k] * suffix
                     suffix *= values[operands[k]]
         return [adjoint[node] for node in self.param_nodes]
+
+    def _gradient_float(self, output: int = 0) -> list[float]:
+        values = self._float_values
+        if values is None:
+            self._forward_float()
+            values = self._float_values
+        adjoint = [0.0] * len(self.kinds)
+        adjoint[self.outputs[output]] = 1.0
+        for is_add, node, operands in reversed(self._gates):
+            seed = adjoint[node]
+            if seed == 0.0:
+                continue
+            if is_add:
+                for j in operands:
+                    adjoint[j] += seed
+            else:
+                count = len(operands)
+                prefix = [1.0] * (count + 1)
+                for k in range(count):
+                    prefix[k + 1] = prefix[k] * values[operands[k]]
+                suffix = 1.0
+                for k in range(count - 1, -1, -1):
+                    adjoint[operands[k]] += seed * prefix[k] * suffix
+                    suffix *= values[operands[k]]
+        return [adjoint[node] for node in self.param_nodes]
+
+    def _gradient_interval(self, output: int = 0) -> list[Interval]:
+        values = self._interval_values
+        if values is None:
+            self._forward_interval()
+            values = self._interval_values
+        na = math.nextafter
+        inf = math.inf
+        zero = (0.0, 0.0)
+        one = (1.0, 1.0)
+        adjoint = [zero] * len(self.kinds)
+        adjoint[self.outputs[output]] = one
+        for is_add, node, operands in reversed(self._gates):
+            seed = adjoint[node]
+            if seed == zero:
+                continue
+            if is_add:
+                slo, shi = seed
+                for j in operands:
+                    alo, ahi = adjoint[j]
+                    adjoint[j] = (na(alo + slo, -inf), na(ahi + shi, inf))
+            else:
+                count = len(operands)
+                prefix = [one] * (count + 1)
+                for k in range(count):
+                    prefix[k + 1] = _imul(prefix[k], values[operands[k]])
+                suffix = one
+                for k in range(count - 1, -1, -1):
+                    term = _imul(_imul(seed, prefix[k]), suffix)
+                    alo, ahi = adjoint[operands[k]]
+                    adjoint[operands[k]] = (
+                        na(alo + term[0], -inf), na(ahi + term[1], inf),
+                    )
+                    suffix = _imul(suffix, values[operands[k]])
+        return [Interval(*adjoint[node]) for node in self.param_nodes]
 
     # -- observability --------------------------------------------------------
     def stats(self) -> dict[str, int]:

@@ -218,12 +218,13 @@ class CompiledCircuit(Circuit):
         return self
 
     # -- convenience ----------------------------------------------------------
-    def probabilities(self) -> list[Fraction]:
-        """[Pr(P ⊨ γ) for γ in formulas] at the current binding."""
-        return self.forward()
+    def probabilities(self, backend: str | None = None) -> list:
+        """[Pr(P ⊨ γ) for γ in formulas] at the current binding, in the
+        requested numeric backend (``repro.numeric``; default exact)."""
+        return self.forward(backend)
 
-    def probability(self) -> Fraction:
-        return self.forward()[0]
+    def probability(self, backend: str | None = None):
+        return self.forward(backend)[0]
 
     def sensitivities(self, output: int = 0) -> list[dict]:
         """∂Pr(P ⊨ γ_output)/∂θ for every parameter θ, most influential

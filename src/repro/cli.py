@@ -44,6 +44,7 @@ from .core.constraints import constraints_formula
 from .core.evaluator import probability
 from .core.explain import explain_violations
 from .core.pxdb import PXDB
+from .numeric import BACKEND_NAMES, Interval, maybe_positive, value_fields
 from .obs import package_version
 from .pdoc.enumerate import world_documents
 from .service.store import read_constraints, read_document, read_pdocument
@@ -85,12 +86,18 @@ def _cmd_worlds(args) -> int:
     return 0
 
 
+def _rank(value):
+    """Descending-sort key across backends (interval → midpoint)."""
+    return value.mid if isinstance(value, Interval) else value
+
+
 def _cmd_sat(args) -> int:
     pdoc = _load_pdocument(args.pdocument)
     constraints = _load_constraints(args.constraints)
-    value = probability(pdoc, constraints_formula(constraints))
-    print(f"Pr(P |= C) = {value}  ≈ {float(value):.6f}")
-    print(f"well-defined PXDB: {value > 0}")
+    value = probability(pdoc, constraints_formula(constraints), backend=args.backend)
+    text, approx = value_fields(value)
+    print(f"Pr(P |= C) = {text}  ≈ {approx:.6f}")
+    print(f"well-defined PXDB: {maybe_positive(value)}")
     return 0
 
 
@@ -98,10 +105,13 @@ def _cmd_query(args) -> int:
     pdoc = _load_pdocument(args.pdocument)
     constraints = _load_constraints(args.constraints)
     db = PXDB(pdoc, constraints)
-    table = db.query_labels(args.query)
-    for labels, prob in sorted(table.items(), key=lambda kv: (-kv[1], str(kv[0]))):
+    table = db.query_labels(args.query, backend=args.backend)
+    for labels, prob in sorted(
+        table.items(), key=lambda kv: (-_rank(kv[1]), str(kv[0]))
+    ):
         rendered = ", ".join(str(v) for v in labels)
-        print(f"({rendered})  Pr = {prob}  ≈ {float(prob):.6f}")
+        text, approx = value_fields(prob)
+        print(f"({rendered})  Pr = {text}  ≈ {approx:.6f}")
     return 0
 
 
@@ -112,7 +122,12 @@ def _cmd_sample(args) -> int:
     rng = random.Random(args.seed)
     incremental = not args.no_incremental
     for _ in range(args.count):
-        print(document_to_xml(db.sample(rng, incremental=incremental), style="tags"))
+        print(
+            document_to_xml(
+                db.sample(rng, incremental=incremental, backend=args.backend),
+                style="tags",
+            )
+        )
         print()
     if args.stats:
         stats = db.sample_engine.stats()
@@ -276,8 +291,11 @@ def _cmd_serve(args) -> int:
             file=sys.stderr,
         )
     service = PXDBService(
-        store, metrics=Metrics(), pool=pool, slow_ms=args.slow_ms
+        store, metrics=Metrics(), pool=pool, slow_ms=args.slow_ms,
+        default_backend=args.backend,
     )
+    if args.backend != "exact":
+        print(f"default numeric backend: {args.backend}", file=sys.stderr)
     server = make_server(service, args.host, args.port, verbose=args.verbose)
     host, port = server.server_address[:2]
     if args.trace:
@@ -395,12 +413,25 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("sat", help="CONSTRAINT-SAT: compute Pr(P |= C)")
     p.add_argument("pdocument")
     p.add_argument("-c", "--constraints", required=True)
+    p.add_argument(
+        "--backend",
+        choices=list(BACKEND_NAMES),
+        default=None,
+        help="numeric backend (docs/NUMERIC.md): exact Fractions (default), "
+        "float64, interval enclosures, or the guarded auto policy",
+    )
     p.set_defaults(func=_cmd_sat)
 
     p = sub.add_parser("query", help="EVAL<Q,C>: per-answer probabilities")
     p.add_argument("pdocument")
     p.add_argument("-q", "--query", required=True, help="pattern with $ markers")
     p.add_argument("-c", "--constraints")
+    p.add_argument(
+        "--backend",
+        choices=list(BACKEND_NAMES),
+        default=None,
+        help="numeric backend for the joint DP pass (docs/NUMERIC.md)",
+    )
     p.set_defaults(func=_cmd_query)
 
     p = sub.add_parser("sample", help="SAMPLE<C>: conditioned samples (Figure 3)")
@@ -419,6 +450,14 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="disable the cross-run signature cache (from-scratch "
         "evaluation per edge, the pre-engine behavior; for comparison)",
+    )
+    p.add_argument(
+        "--backend",
+        choices=["exact", "float64", "auto"],
+        default=None,
+        help="sampler arithmetic (docs/NUMERIC.md): exact (default), "
+        "float64 (fast, unguarded), or auto (interval-guarded draws "
+        "with exact fallback; bit-identical to exact)",
     )
     p.set_defaults(func=_cmd_sample)
 
@@ -514,6 +553,14 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=64,
         help="LRU bound on simultaneously loaded PXDBs",
+    )
+    p.add_argument(
+        "--backend",
+        choices=list(BACKEND_NAMES),
+        default="exact",
+        help="default numeric backend for sat/query/sample requests that "
+        "do not name one (per-request 'backend' field overrides; "
+        "docs/NUMERIC.md)",
     )
     p.add_argument(
         "--verbose", action="store_true", help="log every HTTP request"

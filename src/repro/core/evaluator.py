@@ -40,8 +40,11 @@ from m full passes into one full pass plus m spine-sized re-evaluations.
 
 from __future__ import annotations
 
+import math
 from fractions import Fraction
 
+from ..numeric import GUARD, NumericBackend, get_backend
+from ..numeric.backends import _imul
 from ..obs.spans import TRACER
 from ..pdoc.pdocument import EXP, IND, MUX, ORD, PDocument, PNode
 from .compiler import CompiledAtom, Registry, SelectorPlan
@@ -49,6 +52,8 @@ from .formulas import CAnd, CFormula, FALSE, TRUE
 from ..xmltree.pattern import CHILD
 
 Signature = tuple[int, tuple[int, ...]]  # (bit mask, counter vector)
+# Values are Fractions under the default exact backend; float64/interval
+# evaluations (repro.numeric) store their own scalar type instead.
 SigDist = dict[Signature, Fraction]
 
 
@@ -89,9 +94,15 @@ class IncrementalEngine:
     """
 
     __slots__ = ("registry", "identity_keys", "cache", "hits", "misses",
-                 "runs", "nodes_computed", "max_entries", "evictions")
+                 "runs", "nodes_computed", "max_entries", "evictions", "backend",
+                 "combine_cache", "consume_cache", "root_cache")
 
-    def __init__(self, registry: Registry, max_entries: int | None = None):
+    def __init__(
+        self,
+        registry: Registry,
+        max_entries: int | None = None,
+        backend: str | NumericBackend | None = None,
+    ):
         self.registry = registry
         self.identity_keys = registry.fingerprint_mode == "identity"
         self.cache: dict[int, SigDist] = {}
@@ -101,22 +112,38 @@ class IncrementalEngine:
         self.nodes_computed = 0
         self.max_entries = max_entries
         self.evictions = 0
+        # Cached distributions hold backend-typed scalars, so one engine is
+        # permanently bound to one backend (PXDB keeps one per backend).
+        self.backend = get_backend(backend)
+        # Structure caches: pure functions of the registry and signatures /
+        # node content, independent of the document's probabilities and of
+        # the backend — sound to keep across runs, and the reason repeated
+        # spine re-evaluations pay almost no signature bookkeeping.
+        self.combine_cache: dict = {}
+        self.consume_cache: dict = {}
+        self.root_cache: dict = {}
 
     @classmethod
     def for_formulas(
-        cls, formulas: list[CFormula], max_entries: int | None = None
+        cls,
+        formulas: list[CFormula],
+        max_entries: int | None = None,
+        backend: str | NumericBackend | None = None,
     ) -> "IncrementalEngine":
         """Compile ``formulas`` once (MIN/MAX rewritten, Theorem 7.1) and
         wrap the registry in a fresh engine."""
         from ..aggregates.minmax import rewrite
 
-        return cls(Registry([rewrite(f) for f in formulas]), max_entries)
+        return cls(Registry([rewrite(f) for f in formulas]), max_entries, backend)
 
     @classmethod
     def for_formula(
-        cls, formula: CFormula, max_entries: int | None = None
+        cls,
+        formula: CFormula,
+        max_entries: int | None = None,
+        backend: str | NumericBackend | None = None,
     ) -> "IncrementalEngine":
-        return cls.for_formulas([formula], max_entries)
+        return cls.for_formulas([formula], max_entries, backend)
 
     def evaluation(self, pdoc: PDocument) -> "Evaluation":
         """A fresh evaluation of ``pdoc`` backed by this engine's cache."""
@@ -133,6 +160,14 @@ class IncrementalEngine:
             for key in list(self.cache)[:excess]:
                 del self.cache[key]
             self.evictions += excess
+        if self.max_entries is not None:
+            # Structure-cache entries are tiny (signature tuples); allow a
+            # generous multiple before trimming oldest-first.
+            bound = 8 * self.max_entries
+            for cache in (self.combine_cache, self.consume_cache, self.root_cache):
+                if len(cache) > bound:
+                    for key in list(cache)[: len(cache) - bound]:
+                        del cache[key]
         return results
 
     def probability(self, pdoc: PDocument) -> Fraction:
@@ -141,6 +176,9 @@ class IncrementalEngine:
     def clear(self) -> None:
         """Drop the cached distributions (counters are kept)."""
         self.cache.clear()
+        self.combine_cache.clear()
+        self.consume_cache.clear()
+        self.root_cache.clear()
 
     def stats(self) -> dict[str, int | float]:
         """Cumulative observability counters, plus derived rates."""
@@ -180,17 +218,37 @@ class Evaluation:
         pdoc: PDocument,
         use_cache: bool = True,
         engine: IncrementalEngine | None = None,
+        backend: str | NumericBackend | None = None,
     ):
         if engine is not None and engine.registry is not registry:
             raise ValueError("the engine was compiled for a different registry")
+        if engine is not None:
+            resolved = engine.backend if backend is None else get_backend(backend)
+            if resolved is not engine.backend:
+                raise ValueError(
+                    f"the engine is bound to the {engine.backend.name!r} backend, "
+                    f"cannot evaluate with {resolved.name!r}"
+                )
+        else:
+            resolved = get_backend(backend)
         self.registry = registry
         self.pdoc = pdoc
         self.engine = engine
+        self.backend = resolved
         self.empty: Signature = (0, (0,) * registry.count_len)
         self.use_cache = use_cache and (registry.label_only or engine is not None)
         self._identity_keys = not registry.label_only
         self._memo: dict[int, SigDist] = {}
         self._local_cache: dict[int, SigDist] = {}
+        self._lift_memo: dict[Fraction, object] = {}
+        if engine is not None:
+            self._combine_cache = engine.combine_cache
+            self._consume_cache = engine.consume_cache
+            self._root_cache = engine.root_cache
+        else:
+            self._combine_cache = {}
+            self._consume_cache = {}
+            self._root_cache = {}
         self.cache_hits = 0
         self.cache_misses = 0
         self.nodes_computed = 0
@@ -198,29 +256,129 @@ class Evaluation:
 
     # -- signature monoid ----------------------------------------------------
     def combine(self, left: Signature, right: Signature) -> Signature:
-        caps = self.registry.count_caps
-        bits = left[0] | right[0]
-        counts = tuple(
-            value if (value := a + b) <= cap else cap
-            for a, b, cap in zip(left[1], right[1], caps)
-        )
-        return (bits, counts)
+        # Zero count vectors dominate in practice (counting atoms touch few
+        # nodes); adding one is the identity, so skip the capped zip.  The
+        # general case is memoized (on the engine, when there is one): the
+        # signature space is polynomial, so the same pairs recur endlessly
+        # across convolutions and runs.
+        lc = left[1]
+        rc = right[1]
+        zeros = self.empty[1]
+        if lc == zeros:
+            return (left[0] | right[0], rc)
+        if rc == zeros:
+            return (left[0] | right[0], lc)
+        key = (lc, rc)
+        counts = self._combine_cache.get(key)
+        if counts is None:
+            counts = tuple(
+                value if (value := a + b) <= cap else cap
+                for a, b, cap in zip(lc, rc, self.registry.count_caps)
+            )
+            self._combine_cache[key] = counts
+        return (left[0] | right[0], counts)
+
+    def _lift(self, value: Fraction):
+        """The backend scalar for an exact document probability (memoized:
+        documents reuse few distinct probabilities, and interval lifting
+        checks representability)."""
+        lifted = self._lift_memo.get(value)
+        if lifted is None:
+            lifted = self._lift_memo[value] = self.backend.lift(value)
+        return lifted
 
     def convolve(self, left: SigDist, right: SigDist) -> SigDist:
+        # Singleton-empty operands (IND p=1 children, fresh accumulators)
+        # reduce to a scalar rescale — no signature work at all.
+        backend = self.backend
+        if len(left) == 1 and self.empty in left:
+            p1 = left[self.empty]
+            if p1 == backend.one:
+                return dict(right)
+            mul = backend.mul
+            return {sig: mul(p1, p) for sig, p in right.items()}
+        if len(right) == 1 and self.empty in right:
+            p2 = right[self.empty]
+            if p2 == backend.one:
+                return dict(left)
+            mul = backend.mul
+            return {sig: mul(p, p2) for sig, p in left.items()}
+        if backend.name == "interval":
+            return self._convolve_interval(left, right)
         result: SigDist = {}
+        combine = self.combine
+        add = backend.add
+        mul = backend.mul
+        get = result.get
         for sig1, p1 in left.items():
             for sig2, p2 in right.items():
-                key = self.combine(sig1, sig2)
-                result[key] = result.get(key, Fraction(0)) + p1 * p2
+                key = combine(sig1, sig2)
+                term = mul(p1, p2)
+                current = get(key)
+                result[key] = term if current is None else add(current, term)
+        return result
+
+    def _convolve_interval(self, left: SigDist, right: SigDist) -> SigDist:
+        """convolve with the directed-rounding arithmetic inlined: the DP's
+        weights are nonnegative up to rounding slack, so the nonneg product
+        fast path applies almost always and each term costs two ``nextafter``
+        calls instead of two Python-level operator calls."""
+        result: SigDist = {}
+        combine = self.combine
+        get = result.get
+        na = math.nextafter
+        inf = math.inf
+        imul = _imul
+        for sig1, a in left.items():
+            alo, ahi = a
+            nonneg = alo >= 0.0
+            for sig2, b in right.items():
+                blo, bhi = b
+                if nonneg and blo >= 0.0:
+                    # Same zero-exactness rules as _imul: a 0.0 lower bound
+                    # is already valid, and an upper 0.0 widens only when it
+                    # is underflow (both factors nonzero) — exact zeros stay
+                    # [0, 0] so downstream guards can certify them.
+                    tlo = alo * blo
+                    if tlo != 0.0:
+                        tlo = na(tlo, -inf)
+                    thi = ahi * bhi
+                    if ahi != 0.0 and bhi != 0.0:
+                        thi = na(thi, inf)
+                else:
+                    tlo, thi = imul(a, b)
+                key = combine(sig1, sig2)
+                current = get(key)
+                if current is None:
+                    result[key] = (tlo, thi)
+                else:
+                    clo, chi = current
+                    slo = clo + tlo
+                    if clo != 0.0 and tlo != 0.0:
+                        slo = na(slo, -inf)
+                    shi = chi + thi
+                    if chi != 0.0 and thi != 0.0:
+                        shi = na(shi, inf)
+                    result[key] = (slo, shi)
         return result
 
     def mix(self, parts: list[tuple[Fraction, SigDist]]) -> SigDist:
         result: SigDist = {}
+        backend = self.backend
+        add = backend.add
+        mul = backend.mul
+        get = result.get
         for weight, dist in parts:
-            if weight == 0:
+            # Prune only weights that are *certainly* zero: a float64 0.0
+            # may be the underflow of a tiny positive rational, and an
+            # interval is zero only when its upper bound is exactly 0
+            # (underflow ≠ impossible — see docs/NUMERIC.md).
+            if backend.is_zero(weight):
                 continue
             for sig, p in dist.items():
-                result[sig] = result.get(sig, Fraction(0)) + weight * p
+                term = mul(weight, p)
+                current = get(sig)
+                result[sig] = term if current is None else add(current, term)
         return result
 
     # -- forest distributions --------------------------------------------------
@@ -285,49 +443,70 @@ class Evaluation:
 
     def _forest_dist_local(self, node: PNode, memo: dict[int, SigDist]) -> SigDist:
         """One node's forest distribution, children's results in ``memo``."""
+        one = self.backend.one
         if node.kind == ORD:
             dist = self._combine_children(node, memo)
             out: SigDist = {}
+            add = self.backend.add
+            get = out.get
             for forest_sig, p in dist.items():
                 sig = self.consume(node, forest_sig)
-                out[sig] = out.get(sig, Fraction(0)) + p
+                current = get(sig)
+                out[sig] = p if current is None else add(current, p)
             return out
+        # Zero/one short-circuits below test the *exact* document rationals
+        # (always available, whatever the arithmetic backend), never their
+        # lifted values: a float64 weight of 0.0 may be the underflow of a
+        # tiny positive probability, and pruning it would silently drop
+        # possible worlds (underflow ≠ impossible — docs/NUMERIC.md).  Both
+        # weights are lifted from the exact values (1 - p computed as a
+        # rational), so interval lifts stay as tight as representability
+        # allows.
+        lift = self._lift
         if node.kind == IND:
-            dist = {self.empty: Fraction(1)}
+            dist = {self.empty: one}
             for index, child in enumerate(node.children):
                 p = node.probs[index]
+                if p == 0:
+                    continue  # surely absent: convolving with "absent" is identity
+                if p == 1:
+                    dist = self.convolve(dist, memo[id(child)])
+                    continue
                 child_dist = self.mix(
-                    [(p, memo[id(child)]), (1 - p, {self.empty: Fraction(1)})]
+                    [(lift(p), memo[id(child)]), (lift(1 - p), {self.empty: one})]
                 )
                 dist = self.convolve(dist, child_dist)
             return dist
         if node.kind == MUX:
             total = sum(node.probs, Fraction(0))
-            parts = [(1 - total, {self.empty: Fraction(1)})]
+            parts = [] if total == 1 else [(lift(1 - total), {self.empty: one})]
             parts += [
-                (node.probs[i], memo[id(child)])
+                (lift(node.probs[i]), memo[id(child)])
                 for i, child in enumerate(node.children)
+                if node.probs[i] != 0
             ]
             return self.mix(parts)
         if node.kind == EXP:
             parts = []
             for subset, q in node.subsets:
-                dist = {self.empty: Fraction(1)}
+                if q == 0:
+                    continue
+                dist = {self.empty: one}
                 for index in sorted(subset):
                     dist = self.convolve(dist, memo[id(node.children[index])])
-                parts.append((q, dist))
+                parts.append((lift(q), dist))
             return self.mix(parts)
         raise AssertionError(f"unknown node kind {node.kind}")
 
     def _combine_children(self, node: PNode, memo: dict[int, SigDist]) -> SigDist:
-        dist: SigDist = {self.empty: Fraction(1)}
+        dist: SigDist = {self.empty: self.backend.one}
         for child in node.children:
             dist = self.convolve(dist, memo[id(child)])
         return dist
 
     def children_dist(self, node: PNode) -> SigDist:
         """Convolution of the forests of an ordinary node's children."""
-        dist: SigDist = {self.empty: Fraction(1)}
+        dist: SigDist = {self.empty: self.backend.one}
         for child in node.children:
             dist = self.convolve(dist, self.forest_dist(child))
         return dist
@@ -335,9 +514,19 @@ class Evaluation:
     # -- consuming an ordinary node ---------------------------------------------
     def consume(self, node: PNode, forest: Signature) -> Signature:
         """Signature of the tree rooted at ``node`` given its children's
-        combined forest signature."""
-        truths, plan_bits = self._local_analysis(node, forest)
-        return self._emit(node, forest, truths, plan_bits)
+        combined forest signature.
+
+        Memoized on the engine: every predicate reads only ``node.label``
+        (or ``node.uid`` for ``NodeIs``), so the result is a pure function
+        of (uid, label, forest) for a fixed registry — independent of the
+        document's probabilities, hence stable across conditioning."""
+        key = (node.uid, node.label, forest)
+        cached = self._consume_cache.get(key)
+        if cached is None:
+            truths, plan_bits = self._local_analysis(node, forest)
+            cached = self._emit(node, forest, truths, plan_bits)
+            self._consume_cache[key] = cached
+        return cached
 
     def _local_analysis(
         self, node: PNode, forest: Signature
@@ -514,7 +703,9 @@ class Evaluation:
         """
         if not TRACER.enabled:
             return self._run()
-        with TRACER.span("dp.run", formulas=len(self.registry.top)) as span:
+        with TRACER.span(
+            "dp.run", formulas=len(self.registry.top), backend=self.backend.name
+        ) as span:
             results = self._run()
             span.set(
                 nodes_computed=self.nodes_computed,
@@ -532,28 +723,86 @@ class Evaluation:
         self.max_sig_width = 0
         root = self.pdoc.root
         dist = self.children_dist(root)
-        results = [Fraction(0) for _ in self.registry.top]
+        add = self.backend.add
+        top = self.registry.top
+        results = [self.backend.zero for _ in top]
+        root_cache = self._root_cache
+        root_key = (root.uid, root.label)
         for forest_sig, p in dist.items():
-            truths, _ = self._local_analysis(root, forest_sig)
-            for index, formula in enumerate(self.registry.top):
-                if truths[id(formula)]:
-                    results[index] += p
+            key = (root_key, forest_sig)
+            top_truths = root_cache.get(key)
+            if top_truths is None:
+                truths, _ = self._local_analysis(root, forest_sig)
+                top_truths = tuple(truths[id(formula)] for formula in top)
+                root_cache[key] = top_truths
+            for index, true in enumerate(top_truths):
+                if true:
+                    results[index] = add(results[index], p)
         return results
 
 
-def probabilities(pdoc: PDocument, formulas: list[CFormula]) -> list[Fraction]:
-    """Exact [Pr(P ⊨ γ) for γ in formulas], in one joint DP pass.
+def probabilities(
+    pdoc: PDocument,
+    formulas: list[CFormula],
+    backend: str | NumericBackend | None = None,
+) -> list[Fraction]:
+    """[Pr(P ⊨ γ) for γ in formulas], in one joint DP pass.
 
     MIN/MAX atoms are rewritten to CNT atoms on the way in (Theorem 7.1);
     SUM/AVG atoms are rejected (Proposition 7.2 — use the baseline).
+
+    ``backend`` selects the arithmetic (``repro.numeric``): the default
+    ``exact`` returns the exact ``Fraction``s of Theorem 5.3; ``float64``
+    returns doubles; ``interval`` returns
+    :class:`~repro.numeric.Interval` enclosures that always contain the
+    exact value; ``"auto"`` evaluates in interval arithmetic and re-runs
+    the pass exactly for the outputs whose sign the bounds cannot certify
+    — those come back as exact ``Fraction``s, every other output as a
+    midpoint float, so a ``> 0`` test on any output matches ``exact``.
     """
     from ..aggregates.minmax import rewrite
 
     rewritten = [rewrite(f) for f in formulas]
     registry = Registry(rewritten)
-    return Evaluation(registry, pdoc).run()
+    if backend == "auto":
+        return _auto_probabilities(registry, pdoc)
+    evaluation = Evaluation(registry, pdoc, backend=backend)
+    finalize = evaluation.backend.finalize
+    return [finalize(value) for value in evaluation.run()]
 
 
-def probability(pdoc: PDocument, formula: CFormula) -> Fraction:
-    """Exact Pr(P ⊨ γ) (Theorem 5.3)."""
-    return probabilities(pdoc, [formula])[0]
+def _auto_probabilities(registry: Registry, pdoc: PDocument) -> list:
+    enclosures = Evaluation(registry, pdoc, backend="interval").run()
+    straddling = [
+        index for index, (lo, hi) in enumerate(enclosures) if lo <= 0.0 < hi
+    ]
+    certified = len(enclosures) - len(straddling)
+    if certified:
+        GUARD.decided(certified)
+    if not straddling:
+        return [_interval_mid(value) for value in enclosures]
+    # One joint exact pass resolves every straddling output at once.
+    GUARD.fell_back(len(straddling))
+    exact_values = Evaluation(registry, pdoc).run()
+    resolved = set(straddling)
+    return [
+        exact_values[index] if index in resolved else _interval_mid(value)
+        for index, value in enumerate(enclosures)
+    ]
+
+
+def _interval_mid(value: tuple[float, float]) -> float:
+    lo, hi = value
+    if lo == hi:
+        return lo
+    mid = (max(lo, 0.0) + min(hi, 1.0)) / 2.0
+    return min(max(mid, lo), hi)
+
+
+def probability(
+    pdoc: PDocument,
+    formula: CFormula,
+    backend: str | NumericBackend | None = None,
+) -> Fraction:
+    """Pr(P ⊨ γ) (Theorem 5.3), in the requested backend's arithmetic."""
+    return probabilities(pdoc, [formula], backend=backend)[0]

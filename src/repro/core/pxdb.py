@@ -22,6 +22,7 @@ import random
 from fractions import Fraction
 from typing import Iterable, Sequence
 
+from ..numeric import surely_zero
 from ..obs.spans import TRACER
 from ..pdoc.enumerate import world_probability
 from ..pdoc.pdocument import PDocument
@@ -35,6 +36,28 @@ from .query_eval import AnswerTable, decode_answers, evaluate_query
 from .sampler import sample as _sample
 
 
+def _check_denominator(denominator, backend) -> None:
+    """Refuse to normalize by a zero Pr(P ⊨ C).
+
+    ``surely_zero`` is proof of inconsistency in every guaranteed backend
+    (exact zero, or an interval whose upper bound is exactly 0); a plain
+    float64 zero is ambiguous — it may be the underflow of a tiny positive
+    rational — and gets its own error instead of a false "inconsistent".
+    """
+    if backend == "float64":
+        if denominator == 0.0:
+            raise ValueError(
+                "float64 evaluation of Pr(P |= C) underflowed to 0 "
+                "(underflow is not proof of impossibility); use "
+                "backend='auto' or 'exact'"
+            )
+        return
+    if surely_zero(denominator):
+        raise ValueError(
+            "the p-document is not consistent with the constraints"
+        )
+
+
 class PXDB:
     """The probability space D̃ = (P̃, C)."""
 
@@ -42,7 +65,7 @@ class PXDB:
     CIRCUIT_CACHE_CAP = 8
 
     __slots__ = ("pdoc", "constraints", "_condition", "_constraint_prob",
-                 "_sample_engine", "_event_circuits")
+                 "_sample_engine", "_event_circuits", "_aux_engines")
 
     def __init__(
         self,
@@ -59,6 +82,11 @@ class PXDB:
         # event tuple they answer.  Formula objects are immutable and the
         # cache holds references, so identity keys cannot be recycled.
         self._event_circuits: dict[tuple, object] = {}
+        # Warm non-exact sampler engines, keyed by arithmetic name (an
+        # engine is permanently bound to one backend — see
+        # IncrementalEngine).  The exact engine stays in _sample_engine so
+        # the store's warm-engine injection keeps working unchanged.
+        self._aux_engines: dict = {}
         if check and not self.is_well_defined():
             raise ValueError(
                 "the p-document is not consistent with the constraints "
@@ -71,8 +99,14 @@ class PXDB:
         """The constraint set as one c-formula."""
         return self._condition
 
-    def constraint_probability(self) -> Fraction:
-        """Pr(P ⊨ C), computed by the polynomial algorithm (Theorem 5.3)."""
+    def constraint_probability(self, backend: str | None = None) -> Fraction:
+        """Pr(P ⊨ C), computed by the polynomial algorithm (Theorem 5.3).
+
+        ``backend`` selects the arithmetic (``repro.numeric``); only the
+        exact value is cached — non-exact requests always re-evaluate (the
+        evaluation itself is the cheap part in those backends)."""
+        if backend not in (None, "exact"):
+            return probability(self.pdoc, self._condition, backend=backend)
         if self._constraint_prob is None:
             self._constraint_prob = probability(self.pdoc, self._condition)
         return self._constraint_prob
@@ -90,12 +124,17 @@ class PXDB:
         self._constraint_prob = value
 
     # -- EVAL⟨Q, C⟩ ------------------------------------------------------------
-    def event_probability(self, event: CFormula) -> Fraction:
+    def event_probability(
+        self, event: CFormula, backend: str | None = None
+    ) -> Fraction:
         """Pr(D ⊨ γ) = Pr(P ⊨ γ ∧ C) / Pr(P ⊨ C) for any c-formula event."""
-        return self.event_probabilities([event])[0]
+        return self.event_probabilities([event], backend=backend)[0]
 
     def event_probabilities(
-        self, events: Sequence[CFormula], via: str = "dp"
+        self,
+        events: Sequence[CFormula],
+        via: str = "dp",
+        backend: str | None = None,
     ) -> list[Fraction]:
         """[Pr(D ⊨ γ) for γ in events] in one joint DP pass.
 
@@ -111,27 +150,40 @@ class PXDB:
         re-bound to the p-document's current probabilities on every call
         — so after probability-only edits the cost is one O(|circuit|)
         sweep, not a fresh DP).  Results are identical exact ``Fraction``s.
+
+        ``backend`` selects the arithmetic on either route
+        (``repro.numeric``); the circuit keeps per-backend kernels, so a
+        float64 re-ask of a compiled event tuple is one tight float sweep.
         """
         if via == "circuit":
             if not TRACER.enabled:
-                return self._event_probabilities_circuit(tuple(events))
+                return self._event_probabilities_circuit(tuple(events), backend)
             with TRACER.span("pxdb.events", via=via, events=len(events)):
-                return self._event_probabilities_circuit(tuple(events))
+                return self._event_probabilities_circuit(tuple(events), backend)
         if via != "dp":
             raise ValueError(f"unknown evaluation route {via!r}")
         if not TRACER.enabled:
-            return self._event_probabilities_dp(events)
+            return self._event_probabilities_dp(events, backend)
         with TRACER.span(
             "pxdb.events",
             via=via,
             events=len(events),
             denominator_warm=self._constraint_prob is not None,
         ):
-            return self._event_probabilities_dp(events)
+            return self._event_probabilities_dp(events, backend)
 
-    def _event_probabilities_dp(self, events: Sequence[CFormula]) -> list[Fraction]:
+    def _event_probabilities_dp(
+        self, events: Sequence[CFormula], backend: str | None = None
+    ) -> list[Fraction]:
         events = list(events)
         joints = [conjunction([self._condition, event]) for event in events]
+        if backend not in (None, "exact"):
+            values = probabilities(
+                self.pdoc, joints + [self._condition], backend=backend
+            )
+            denominator = values[-1]
+            _check_denominator(denominator, backend)
+            return [joint / denominator for joint in values[:-1]]
         if self._constraint_prob is None:
             values = probabilities(self.pdoc, joints + [self._condition])
             self._constraint_prob = values[-1]
@@ -176,18 +228,21 @@ class PXDB:
         return circuit
 
     def _event_probabilities_circuit(
-        self, events: tuple[CFormula, ...]
+        self, events: tuple[CFormula, ...], backend: str | None = None
     ) -> list[Fraction]:
         circuit = self.circuit_for(events)
         # Re-bind unconditionally: O(|params|) and keeps the circuit honest
         # after in-place probability edits (repro.pdoc.parameters).
-        values = circuit.rebind(self.pdoc).forward()
+        values = circuit.rebind(self.pdoc).forward(backend)
         denominator = values[-1]
-        self._constraint_prob = denominator
-        if denominator == 0:
-            raise ValueError(
-                "the p-document is not consistent with the constraints"
-            )
+        if backend in (None, "exact"):
+            self._constraint_prob = denominator
+            if denominator == 0:
+                raise ValueError(
+                    "the p-document is not consistent with the constraints"
+                )
+        else:
+            _check_denominator(denominator, backend)
         return [joint / denominator for joint in values[:-1]]
 
     def circuit_stats(self) -> dict:
@@ -201,21 +256,27 @@ class PXDB:
             "rebinds": sum(circuit.rebinds for circuit in circuits),
         }
 
-    def boolean_query(self, pattern: Pattern) -> Fraction:
+    def boolean_query(
+        self, pattern: Pattern, backend: str | None = None
+    ) -> Fraction:
         """Pr(D ⊨ T′) for a Boolean twig query (Section 5)."""
         from .formulas import exists
 
-        return self.event_probability(exists(pattern))
+        return self.event_probability(exists(pattern), backend=backend)
 
-    def query(self, query: Query | str) -> AnswerTable:
+    def query(
+        self, query: Query | str, backend: str | None = None
+    ) -> AnswerTable:
         """EVAL⟨Q, C⟩: per-tuple probabilities, keyed by uid tuples."""
         if isinstance(query, str):
             query = Query.parse(query)
-        return evaluate_query(query, self.pdoc, self._condition)
+        return evaluate_query(query, self.pdoc, self._condition, backend=backend)
 
-    def query_labels(self, query: Query | str) -> dict[tuple, Fraction]:
+    def query_labels(
+        self, query: Query | str, backend: str | None = None
+    ) -> dict[tuple, Fraction]:
         """Like :meth:`query`, with tuples decoded to node labels."""
-        return decode_answers(self.query(query), self.pdoc)
+        return decode_answers(self.query(query, backend=backend), self.pdoc)
 
     # -- SAMPLE⟨C⟩ --------------------------------------------------------------
     @property
@@ -239,16 +300,56 @@ class PXDB:
         must have been compiled for this PXDB's condition."""
         self._sample_engine = engine
 
+    def _engine_for(self, backend_name: str):
+        """A warm engine bound to ``backend_name`` (built on first use)."""
+        engine = self._aux_engines.get(backend_name)
+        if engine is None:
+            from .evaluator import IncrementalEngine
+
+            engine = IncrementalEngine(
+                self.sample_engine.registry, backend=backend_name
+            )
+            self._aux_engines[backend_name] = engine
+        return engine
+
     def sample(
-        self, rng: random.Random | None = None, incremental: bool = True
+        self,
+        rng: random.Random | None = None,
+        incremental: bool = True,
+        backend: str | None = None,
     ) -> Document:
-        """Draw one document with probability exactly Pr(D = d) (Fig. 3)."""
+        """Draw one document with probability exactly Pr(D = d) (Fig. 3).
+
+        ``backend`` selects the sampler arithmetic: ``exact`` (default),
+        ``float64`` (fast, distribution may drift by rounding) or ``auto``
+        (interval evaluation, exact fallback on uncertified coins — draws
+        are bit-identical to ``exact`` for the same rng).  Non-exact
+        backends run on their own warm engines; ``auto`` additionally uses
+        the exact sample engine for its fallbacks, so all modes share the
+        compiled registry.
+        """
+        if backend in (None, "exact"):
+            engine = self.sample_engine
+            fallback = None
+        elif backend == "float64":
+            engine = self._engine_for("float64")
+            fallback = None
+        elif backend == "auto":
+            engine = self._engine_for("interval")
+            fallback = self.sample_engine
+        else:
+            raise ValueError(
+                f"unknown sampler backend {backend!r} "
+                "(expected 'exact', 'float64' or 'auto')"
+            )
         return _sample(
             self.pdoc,
             self._condition,
             rng,
-            engine=self.sample_engine,
+            engine=engine,
             incremental=incremental,
+            backend=backend,
+            fallback_engine=fallback,
         )
 
     # -- document probabilities --------------------------------------------------

@@ -20,6 +20,7 @@ from __future__ import annotations
 from fractions import Fraction
 from typing import Mapping
 
+from ..numeric import maybe_positive, surely_zero
 from ..obs.spans import TRACER
 from ..pdoc.pdocument import PDocument
 from ..xmltree.matching import enumerate_matches
@@ -85,11 +86,27 @@ def _candidate_tuples(
     return ordered, matches
 
 
+def _check_denominator(denominator, backend) -> None:
+    """Refuse a zero Pr(P ⊨ C) — with an underflow-aware error for
+    float64, where 0.0 is not proof of inconsistency."""
+    if backend == "float64":
+        if denominator == 0.0:
+            raise ValueError(
+                "float64 evaluation of Pr(P |= C) underflowed to 0 "
+                "(underflow is not proof of impossibility); use "
+                "backend='auto' or 'exact'"
+            )
+        return
+    if surely_zero(denominator):
+        raise ValueError("the p-document is not consistent with the constraints")
+
+
 def evaluate_query(
     query: Query,
     pdoc: PDocument,
     condition: CFormula = TRUE,
     keep_zero: bool = False,
+    backend: str | None = None,
 ) -> AnswerTable:
     """EVAL⟨Q, C⟩: {tuple of uids → Pr(t ∈ Q(D))} over the PXDB (P̃, C).
 
@@ -104,19 +121,31 @@ def evaluate_query(
     DP pass (one registry compilation, one bottom-up traversal) — the same
     batching as ``repro.core.statistics.membership_probabilities`` — rather
     than one evaluator run per candidate.
+
+    ``backend`` selects the arithmetic (``repro.numeric``).  The keep/drop
+    decision is *sound* in every guaranteed backend: a tuple is dropped
+    only when its probability cannot be positive (``maybe_positive``), so
+    an interval evaluation never drops a tuple the exact evaluation would
+    keep, and ``auto`` keeps exactly the tuples ``exact`` keeps (the
+    evaluator certifies every output's sign).
     """
     answers = candidate_tuples(query, pdoc)
     events = [
         conjunction([condition, bound_formula(query, answer)]) for answer in answers
     ]
-    values = probabilities(pdoc, events + [condition])
+    values = probabilities(pdoc, events + [condition], backend=backend)
     denominator = values[-1]
-    if denominator == 0:
-        raise ValueError("the p-document is not consistent with the constraints")
+    if backend in (None, "exact"):
+        if denominator == 0:
+            raise ValueError(
+                "the p-document is not consistent with the constraints"
+            )
+    else:
+        _check_denominator(denominator, backend)
     table: AnswerTable = {}
     for answer, joint in zip(answers, values):
         value = joint / denominator
-        if value > 0 or keep_zero:
+        if keep_zero or maybe_positive(value):
             table[answer] = value
     return table
 
@@ -126,15 +155,21 @@ def boolean_query_probability(
     pdoc: PDocument,
     condition: CFormula = TRUE,
     alpha: Mapping[int, CFormula] | None = None,
+    backend: str | None = None,
 ) -> Fraction:
     """Pr(D ⊨ T′) for a Boolean query over the PXDB (P̃, C) (Section 5):
     Pr(P ⊨ C ∧ T′) / Pr(P ⊨ C), both computed in one joint DP pass."""
     query_formula = exists(pattern, alpha)
     joint, denominator = probabilities(
-        pdoc, [conjunction([condition, query_formula]), condition]
+        pdoc, [conjunction([condition, query_formula]), condition], backend=backend
     )
-    if denominator == 0:
-        raise ValueError("the p-document is not consistent with the constraints")
+    if backend in (None, "exact"):
+        if denominator == 0:
+            raise ValueError(
+                "the p-document is not consistent with the constraints"
+            )
+    else:
+        _check_denominator(denominator, backend)
     return joint / denominator
 
 

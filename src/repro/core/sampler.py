@@ -40,20 +40,29 @@ from __future__ import annotations
 import random
 from fractions import Fraction
 
+from ..numeric import GUARD, exact_bernoulli, guarded_bernoulli
 from ..obs.spans import TRACER
 from ..pdoc.pdocument import EXP, IND, MUX, ORD, PDocument, PNode
 from ..xmltree.document import DocNode, Document
 from .evaluator import IncrementalEngine
 from .formulas import CFormula, TRUE
 
+#: Backends SAMPLE⟨C⟩ accepts.  ``interval`` alone is rejected: a branch
+#: coin needs a decision every iteration, which bounds cannot always give;
+#: ``auto`` is the sound way to sample on interval arithmetic.
+SAMPLER_BACKENDS = ("exact", "float64", "auto")
+
 
 def bernoulli(p: Fraction, rng: random.Random) -> bool:
-    """An exact Bernoulli(p) coin for rational p (no float rounding)."""
-    if p <= 0:
-        return False
-    if p >= 1:
-        return True
-    return rng.randrange(p.denominator) < p.numerator
+    """An exact Bernoulli(p) coin for rational p (no float rounding).
+
+    Implemented by the lazy-bisection protocol of
+    :func:`repro.numeric.guard.exact_bernoulli`: RNG consumption depends
+    only on where the uniform's 64-bit cells fall relative to p, which is
+    what lets the guarded ``auto`` sampler reproduce the exact backend's
+    draws bit-for-bit from interval bounds alone.
+    """
+    return exact_bernoulli(p, rng)
 
 
 def sample(
@@ -63,6 +72,8 @@ def sample(
     *,
     engine: IncrementalEngine | None = None,
     incremental: bool = True,
+    backend: str | None = None,
+    fallback_engine: IncrementalEngine | None = None,
 ) -> Document:
     """Draw one document of the PXDB (P̃, C) with probability Pr(D = d).
 
@@ -78,22 +89,53 @@ def sample(
     before every evaluation — the from-scratch reference mode used by the
     benchmarks and the differential tests.
 
+    ``backend`` selects the arithmetic of the conditioned evaluator passes
+    (``repro.numeric``): ``exact`` (default), ``float64`` (fast,
+    unguarded — branch decisions may drift near ties), or ``auto``
+    (interval evaluation; every coin whose posterior enclosure cannot
+    certify the branch falls back to exact posteriors computed on
+    ``fallback_engine``, so the draw sequence is identical to ``exact``
+    under the same seed).  An ``engine`` passed explicitly must be bound
+    to the evaluation backend (``interval`` when ``backend="auto"``).
+
     Raises ``ValueError`` when Pr(P ⊨ C) = 0.
     """
+    backend = backend or "exact"
+    if backend not in SAMPLER_BACKENDS:
+        raise ValueError(
+            f"sampling supports backends {SAMPLER_BACKENDS}, not {backend!r}"
+        )
+    eval_backend = "interval" if backend == "auto" else backend
     rng = rng if rng is not None else random.Random()
     if engine is None:
-        engine = IncrementalEngine.for_formula(condition)
+        engine = IncrementalEngine.for_formula(condition, backend=eval_backend)
+    elif engine.backend.name != eval_backend:
+        raise ValueError(
+            f"the engine is bound to the {engine.backend.name!r} backend; "
+            f"backend={backend!r} sampling needs {eval_backend!r}"
+        )
+    if backend == "auto":
+        if fallback_engine is None:
+            fallback_engine = IncrementalEngine.for_formula(condition)
+        elif fallback_engine.backend.name != "exact":
+            raise ValueError("the fallback engine must be exact")
+    else:
+        fallback_engine = None
     if not TRACER.enabled:
-        return _draw(pdoc, condition, rng, engine, incremental)[0]
+        return _draw(pdoc, condition, rng, engine, incremental, fallback_engine)[0]
     runs_before = engine.runs
     nodes_before = engine.nodes_computed
-    with TRACER.span("sample.draw", incremental=incremental) as span:
-        document, edges, conditioned = _draw(pdoc, condition, rng, engine, incremental)
+    fallbacks_before = GUARD.fallbacks
+    with TRACER.span("sample.draw", incremental=incremental, backend=backend) as span:
+        document, edges, conditioned = _draw(
+            pdoc, condition, rng, engine, incremental, fallback_engine
+        )
         span.set(
             edges=edges,
             conditioned=conditioned,
             evaluations=engine.runs - runs_before,
             nodes_computed=engine.nodes_computed - nodes_before,
+            numeric_fallbacks=GUARD.fallbacks - fallbacks_before,
         )
     return document
 
@@ -104,10 +146,12 @@ def _draw(
     rng: random.Random,
     engine: IncrementalEngine,
     incremental: bool,
+    fallback_engine: IncrementalEngine | None,
 ) -> tuple[Document, int, int]:
     """The Figure 3 loop; returns (document, #dist edges, #edges conditioned)."""
+    backend = engine.backend
 
-    def evaluate(target: PDocument) -> Fraction:
+    def evaluate(target: PDocument):
         if not incremental:
             engine.clear()
         return engine.probability(target)
@@ -117,10 +161,17 @@ def _draw(
     # enumerated once and stays valid — the node objects are stable for
     # the whole run, no per-iteration re-enumeration or index remapping.
     current = pdoc.clone()
+    if backend.name == "exact":
+        return _draw_exact(current, rng, engine, evaluate)
+    if backend.name == "float64":
+        return _draw_float(current, rng, evaluate)
+    return _draw_guarded(current, rng, evaluate, fallback_engine, incremental)
+
+
+def _draw_exact(current, rng, engine, evaluate):
     q = evaluate(current)  # q_0 ← Pr(P_0 ⊨ C)
     if q == 0:
         raise ValueError("the p-document is not consistent with the constraints")
-
     edges = 0
     conditioned = 0
     for edge in current.dist_edges():
@@ -140,6 +191,138 @@ def _draw(
             current.restore_edge(edge, snapshot)
             current.condition_edge_in_place(edge, False)  # Norm(P, v↛w)
             q = (q - q_chosen * prior) / (1 - prior)
+    return deterministic_instance(current), edges, conditioned
+
+
+def _draw_float(current, rng, evaluate):
+    """The float64 loop: float posteriors fed to the exact coin.  Fast and
+    unguarded — a posterior rounded across a cell boundary can flip a
+    branch vs exact.  Rejections update q algebraically like the exact
+    loop; only when the subtraction cancels catastrophically (the update
+    lost ~9 digits) is q re-evaluated from the document."""
+    q = evaluate(current)
+    if q == 0.0:
+        raise ValueError("the p-document is not consistent with the constraints")
+    edges = 0
+    conditioned = 0
+    for edge in current.dist_edges():
+        node, index = edge
+        edges += 1
+        prior = current.edge_prob(node, index)
+        if prior == 0 or prior == 1:
+            continue
+        conditioned += 1
+        snapshot = current.edge_snapshot(edge)
+        current.condition_edge_in_place(edge, True)
+        q_chosen = evaluate(current)
+        p = float(prior)
+        posterior = p * q_chosen / q
+        if bernoulli(Fraction(min(max(posterior, 0.0), 1.0)), rng):
+            q = q_chosen
+        else:
+            current.restore_edge(edge, snapshot)
+            current.condition_edge_in_place(edge, False)
+            update = (q - q_chosen * p) / (1.0 - p)
+            if update > 1e-9 * q:
+                q = update
+            else:  # cancellation ate the digits: recompute from scratch
+                q = evaluate(current)
+            if q <= 0.0:  # underflow: the float posterior lied; bail out
+                raise ValueError(
+                    "float64 sampling underflowed to an impossible state; "
+                    "use backend='auto' or 'exact'"
+                )
+    return deterministic_instance(current), edges, conditioned
+
+
+def _draw_guarded(current, rng, evaluate, fallback_engine, incremental):
+    """The guarded loop: interval q/posteriors, exact only on straddles.
+
+    Invariant kept per iteration: ``q`` encloses (and ``q_exact``, when
+    not None, *is*) Pr(P_i ⊨ C) for the current conditioning state.  A
+    coin fallback evaluates the exact q and q′ on the warm fallback
+    engine and re-runs the identical coin protocol on the exact
+    posterior, so draws match the exact backend bit-for-bit.
+    """
+    from ..numeric.backends import INTERVAL, _idiv, _imul, _isub
+
+    lift = INTERVAL.lift
+
+    def evaluate_exact(target):
+        if not incremental:
+            fallback_engine.clear()
+        return fallback_engine.probability(target)
+
+    q = evaluate(current)
+    q_exact: Fraction | None = None
+    if q[1] <= 0.0:
+        raise ValueError("the p-document is not consistent with the constraints")
+    if q[0] <= 0.0:
+        GUARD.fell_back()
+        q_exact = evaluate_exact(current)
+        if q_exact == 0:
+            raise ValueError(
+                "the p-document is not consistent with the constraints"
+            )
+        q = lift(q_exact)
+    else:
+        GUARD.decided()
+
+    edges = 0
+    conditioned = 0
+    for edge in current.dist_edges():
+        node, index = edge
+        edges += 1
+        prior = current.edge_prob(node, index)  # always an exact Fraction
+        if prior == 0 or prior == 1:
+            continue
+        conditioned += 1
+        snapshot = current.edge_snapshot(edge)
+        current.condition_edge_in_place(edge, True)
+        q_chosen = evaluate(current)
+        prior_iv = lift(prior)
+        plo, phi = _idiv(_imul(prior_iv, q_chosen), q)
+        resolved: dict = {}
+
+        def resolve(edge=edge, snapshot=snapshot, prior=prior,
+                    resolved=resolved):
+            nonlocal q_exact
+            # Exact q of the *pre-conditioning* state: roll the edge back,
+            # evaluate, re-apply — the warm exact engine pays spine-only.
+            if q_exact is None:
+                current.restore_edge(edge, snapshot)
+                q_exact = evaluate_exact(current)
+                current.condition_edge_in_place(edge, True)
+            resolved["q_chosen"] = evaluate_exact(current)
+            return prior * resolved["q_chosen"] / q_exact
+
+        if guarded_bernoulli(plo, min(phi, 1.0), resolve, rng):
+            if "q_chosen" in resolved:
+                q_exact = resolved["q_chosen"]
+                q = lift(q_exact)
+            else:
+                q_exact = None
+                q = q_chosen
+        else:
+            current.restore_edge(edge, snapshot)
+            current.condition_edge_in_place(edge, False)
+            if "q_chosen" in resolved:
+                q_exact = (q_exact - resolved["q_chosen"] * prior) / (1 - prior)
+                q = lift(q_exact)
+            else:
+                update = _idiv(
+                    _isub(q, _imul(q_chosen, lift(prior))), lift(1 - prior)
+                )
+                q_exact = None
+                if update[0] > 0.0 and update[1] - update[0] <= 1e-9 * update[1]:
+                    # The algebraic enclosure is still tight: keep it.
+                    q = update
+                else:
+                    # Interval subtraction lost too much width; a spine-only
+                    # interval re-evaluation restores a tight q, intersected
+                    # with the algebraic update (both enclose q_i).
+                    q = evaluate(current)
+                    q = (max(q[0], update[0]), min(q[1], update[1]))
     return deterministic_instance(current), edges, conditioned
 
 

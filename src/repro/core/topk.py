@@ -28,6 +28,7 @@ import heapq
 import itertools
 from fractions import Fraction
 
+from ..numeric import surely_zero
 from ..pdoc.pdocument import IND, PDocument
 from ..xmltree.document import Document
 from .evaluator import probability
@@ -101,7 +102,11 @@ def _is_reachable(pdoc: PDocument, node) -> bool:
 
 
 def _top_k_flat(
-    pdoc: PDocument, k: int, condition: CFormula, normalizer: Fraction
+    pdoc: PDocument,
+    k: int,
+    condition: CFormula,
+    normalizer: Fraction,
+    backend: str | None = None,
 ) -> list[tuple[Document, Fraction]]:
     total = len(pdoc.dist_edges())
     counter = itertools.count()  # tie-breaker so heap never compares p-docs
@@ -128,7 +133,11 @@ def _top_k_flat(
         for chosen in (True, False):
             weight = prior if chosen else 1 - prior
             conditioned = current.conditioned_on_edge(edge, chosen)
-            if probability(conditioned, condition) == 0:
+            # Prune on certain inconsistency: exact 0, an interval with
+            # upper bound exactly 0, or (for auto) a sign the guard
+            # certified or resolved exactly.  float64 is the unguarded
+            # mode: a 0.0 here may be underflow and prunes anyway.
+            if surely_zero(probability(conditioned, condition, backend=backend)):
                 continue
             new_mass = mass * weight
             new_bound = new_mass * suffixes[decided + 1]
@@ -162,6 +171,7 @@ def top_k_worlds(
     k: int,
     condition: CFormula = TRUE,
     max_enumeration_edges: int = 20,
+    backend: str | None = None,
 ) -> list[tuple[Document, Fraction]]:
     """The k most probable documents of the PXDB (P̃, condition), with
     their conditional probabilities Pr(D = d), in decreasing order.
@@ -169,14 +179,26 @@ def top_k_worlds(
     Flat p-documents use the exact branch-and-bound; p-documents with
     stacked distributional nodes fall back to enumeration and refuse
     inputs with more than ``max_enumeration_edges`` distributional edges.
+
+    ``backend`` selects the arithmetic for the *pruning* probabilities
+    (``repro.numeric``); the search itself — edge masses, bounds, heap
+    order — is always exact ``Fraction`` arithmetic, so the ranking is
+    backend-independent whenever pruning is sound (every backend except
+    raw ``float64``, whose underflow may over-prune).
     """
     if k <= 0:
         return []
-    normalizer = probability(pdoc, condition)
-    if normalizer == 0:
+    normalizer = probability(pdoc, condition, backend=backend)
+    if backend == "float64" and normalizer == 0.0:
+        raise ValueError(
+            "float64 evaluation of Pr(P |= C) underflowed to 0 "
+            "(underflow is not proof of impossibility); use "
+            "backend='auto' or 'exact'"
+        )
+    if surely_zero(normalizer):
         raise ValueError("the p-document is not consistent with the constraints")
     if not has_stacked_distributional_nodes(pdoc):
-        return _top_k_flat(pdoc, k, condition, normalizer)
+        return _top_k_flat(pdoc, k, condition, normalizer, backend=backend)
     edges = len(pdoc.dist_edges())
     if edges > max_enumeration_edges:
         raise ValueError(

@@ -108,12 +108,20 @@ def _worker_op(op: str, name: str, payload: dict) -> dict:
         raise KeyError("worker store is not initialized")
     entry = _WORKER_STORE.get(name)
     if op == "sat":
-        return sat_payload(entry)
+        return sat_payload(entry, backend=payload.get("backend"))
     if op == "query":
-        return query_payload(entry, payload["query_text"], coalesce=False)
+        return query_payload(
+            entry,
+            payload["query_text"],
+            coalesce=False,
+            backend=payload.get("backend"),
+        )
     if op == "sample":
         return sample_payload(
-            entry, count=payload.get("count", 1), seed=payload.get("seed")
+            entry,
+            count=payload.get("count", 1),
+            seed=payload.get("seed"),
+            backend=payload.get("backend"),
         )
     raise ValueError(f"unknown pool operation {op!r}")
 

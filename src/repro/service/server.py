@@ -46,6 +46,9 @@ from ..core.constraints import Constraint
 from ..core.explain import explain_violations
 from ..core.query import Query
 from ..core.query_eval import bound_formula, candidate_tuples, decode_answers
+from ..numeric import BACKEND_NAMES, GUARD, maybe_positive
+from ..numeric import value_fields as _value_fields
+from ..numeric.backends import Interval
 from ..obs import package_version
 from ..obs.logs import get_logger
 from ..obs.spans import TRACER, build_tree
@@ -61,21 +64,83 @@ _slow_log = get_logger("service.slow")
 # -- payload builders ---------------------------------------------------------
 # Module-level so the pool workers (repro.service.pool._worker_run) execute
 # the very same code against their own warm store — pooled and in-process
-# responses are byte-identical (the arithmetic is exact everywhere).
+# responses are byte-identical (the arithmetic is exact everywhere; the
+# guard counters of non-exact backends are the one per-process exception).
 
-def sat_payload(entry: StoreEntry) -> dict:
+def _resolve_backend(backend: str | None) -> str:
+    """Request/default backend name → validated canonical name."""
+    if backend is None:
+        return "exact"
+    if backend not in BACKEND_NAMES:
+        raise ValueError(
+            f"unknown backend {backend!r} (choose from {', '.join(BACKEND_NAMES)})"
+        )
+    return backend
+
+
+def _sort_value(value) -> float:
+    return value.mid if isinstance(value, Interval) else value
+
+
+def _guarded_event_values(pxdb, events, via: str = "dp") -> list:
+    """``auto``-backend event probabilities, safe for *ranking*.
+
+    One interval pass bounds every conditional probability.  An output is
+    ambiguous when its sign is unproven (the enclosure straddles 0) or
+    its rank is unproven (its enclosure overlaps an adjacent enclosure in
+    midpoint order — by transitivity, non-adjacent enclosures cannot
+    overlap unless some adjacent pair does).  Ambiguous outputs get one
+    joint exact re-pass; certified outputs keep their midpoints.  The
+    resulting keep/drop and sort decisions are exactly the exact
+    backend's (mixed ``Fraction``/``float`` comparisons are exact in
+    Python)."""
+    intervals = pxdb.event_probabilities(events, via=via, backend="interval")
+    n = len(intervals)
+    ambiguous = {
+        i for i, iv in enumerate(intervals) if iv.lo <= 0.0 < iv.hi
+    }
+    order = sorted(range(n), key=lambda i: -intervals[i].mid)
+    for above, below in zip(order, order[1:]):
+        if intervals[below].hi >= intervals[above].lo:
+            ambiguous.add(above)
+            ambiguous.add(below)
+    GUARD.decided(n - len(ambiguous))
+    values = [iv.mid for iv in intervals]
+    if ambiguous:
+        GUARD.fell_back(len(ambiguous))
+        resolved = sorted(ambiguous)
+        exact = pxdb.event_probabilities([events[i] for i in resolved], via=via)
+        for index, value in zip(resolved, exact):
+            values[index] = value
+    return values
+
+
+def sat_payload(entry: StoreEntry, backend: str | None = None) -> dict:
     """CONSTRAINT-SAT⟨C⟩ — answered from the cached denominator (the store
-    primed it from the warm engine's load-time pass, so this is O(1))."""
-    value = entry.pxdb.constraint_probability()
+    primed it from the warm engine's load-time pass, so this is O(1) for
+    the exact backend; other backends re-evaluate in their arithmetic)."""
+    name = _resolve_backend(backend)
+    if name == "exact":
+        value = entry.pxdb.constraint_probability()
+    else:
+        value = entry.pxdb.constraint_probability(backend=name)
+    text, approx = _value_fields(value)
     return {
         "db": entry.name,
-        "constraint_probability": str(value),
-        "constraint_probability_float": float(value),
-        "well_defined": value > 0,
+        "backend": name,
+        "constraint_probability": text,
+        "constraint_probability_float": approx,
+        "well_defined": maybe_positive(value),
     }
 
 
-def query_payload(entry: StoreEntry, query_text: str, *, coalesce: bool = True) -> dict:
+def query_payload(
+    entry: StoreEntry,
+    query_text: str,
+    *,
+    coalesce: bool = True,
+    backend: str | None = None,
+) -> dict:
     """EVAL⟨Q, C⟩ — all candidate tuples evaluated in one joint DP pass,
     through the coalescer (shared with concurrent requests) unless
     ``coalesce=False`` (pool workers are single-request, no window to wait).
@@ -86,55 +151,93 @@ def query_payload(entry: StoreEntry, query_text: str, *, coalesce: bool = True) 
     formulas, which key the PXDB's compiled-circuit cache, so the answer
     is one parameter re-bind plus one forward sweep — no fresh DP, no
     re-matching.  Results are identical exact ``Fraction``s either way.
+
+    Non-exact backends bypass the coalescer (it batches exact DP passes
+    only); ``auto`` ranks answers through :func:`_guarded_event_values`,
+    so its answer set and order are provably the exact backend's.
     """
+    name = _resolve_backend(backend)
     pdoc = entry.pxdb.pdoc
     known = entry.cached_events(query_text)
     if known is not None:
         answers, events = known
-        values = entry.pxdb.event_probabilities(events, via="circuit")
+        if name == "auto":
+            values = _guarded_event_values(entry.pxdb, list(events), via="circuit")
+        else:
+            values = entry.pxdb.event_probabilities(
+                events, via="circuit",
+                backend=None if name == "exact" else name,
+            )
         entry.circuit_hits += 1
     else:
         with TRACER.span("query.bind"):
             query = Query.parse(query_text)
             answers = candidate_tuples(query, pdoc)
             events = [bound_formula(query, answer) for answer in answers]
-        if coalesce:
-            values = entry.coalescer.event_probabilities(events)
+        if name == "exact":
+            if coalesce:
+                values = entry.coalescer.event_probabilities(events)
+            else:
+                values = entry.pxdb.event_probabilities(events)
+        elif name == "auto":
+            values = _guarded_event_values(entry.pxdb, events)
         else:
-            values = entry.pxdb.event_probabilities(events)
+            values = entry.pxdb.event_probabilities(events, backend=name)
         entry.cache_events(query_text, tuple(answers), tuple(events))
-    with TRACER.span("query.decode", candidates=len(answers)):
+    with TRACER.span("query.decode", candidates=len(answers), backend=name):
         table = {
-            answer: value for answer, value in zip(answers, values) if value > 0
+            answer: value
+            for answer, value in zip(answers, values)
+            if maybe_positive(value)
         }
-        rows = [
-            {
-                "answer": [str(label) for label in labels],
-                "probability": str(value),
-                "probability_float": float(value),
-            }
-            for labels, value in sorted(
-                decode_answers(table, pdoc).items(),
-                key=lambda kv: (-kv[1], str(kv[0])),
+        rows = []
+        for labels, value in sorted(
+            decode_answers(table, pdoc).items(),
+            key=lambda kv: (-_sort_value(kv[1]), str(kv[0])),
+        ):
+            text, approx = _value_fields(value)
+            rows.append(
+                {
+                    "answer": [str(label) for label in labels],
+                    "probability": text,
+                    "probability_float": approx,
+                }
             )
-        ]
-    return {"db": entry.name, "query": query_text, "answers": rows}
+    return {"db": entry.name, "query": query_text, "backend": name, "answers": rows}
 
 
-def sample_payload(entry: StoreEntry, count: int = 1, seed: int | None = None) -> dict:
+def sample_payload(
+    entry: StoreEntry,
+    count: int = 1,
+    seed: int | None = None,
+    backend: str | None = None,
+) -> dict:
     """SAMPLE⟨C⟩ — ``count`` draws on the entry's warm incremental engine.
     The per-entry lock serializes samplers (the engine cache is shared
     mutable state); a ``seed`` makes the draw sequence deterministic and
-    identical to ``PXDB.sample`` with the same ``random.Random(seed)``."""
+    identical to ``PXDB.sample`` with the same ``random.Random(seed)``.
+    Non-exact backends draw on the entry's lazily warmed per-backend
+    engines (``PXDB.sample`` dispatch); ``auto`` consumes the seed's
+    random stream identically to exact, so seeded draws agree."""
+    name = _resolve_backend(backend)
     if count < 1:
         raise ValueError(f"count must be positive, got {count}")
     rng = random.Random(seed)
     with entry.sample_lock:
         documents = [
-            document_to_xml(entry.pxdb.sample(rng), style="tags")
+            document_to_xml(
+                entry.pxdb.sample(rng, backend=None if name == "exact" else name),
+                style="tags",
+            )
             for _ in range(count)
         ]
-    return {"db": entry.name, "count": count, "seed": seed, "documents": documents}
+    return {
+        "db": entry.name,
+        "backend": name,
+        "count": count,
+        "seed": seed,
+        "documents": documents,
+    }
 
 
 def check_payload(entry: StoreEntry, document_xml: str) -> dict:
@@ -167,10 +270,14 @@ class PXDBService:
         metrics: Metrics | None = None,
         pool: EvaluationPool | None = None,
         slow_ms: float | None = None,
+        default_backend: str = "exact",
     ):
         self.store = store if store is not None else DocumentStore()
         self.metrics = metrics if metrics is not None else Metrics()
         self.pool = pool
+        # Numeric backend used when a request does not name one; every
+        # sat/query/sample request may override it with a "backend" field.
+        self.default_backend = _resolve_backend(default_backend)
         # Slow-query log: requests at least this many milliseconds long are
         # logged (repro.service.slow) and kept in a bounded recent list
         # surfaced by /metrics.  None disables the log.
@@ -206,26 +313,48 @@ class PXDBService:
                 )
 
     # -- problem endpoints ----------------------------------------------------
-    def sat(self, db: str) -> dict:
-        with self._request("sat", db=db), self.metrics.timed("sat"):
-            return self._dispatch("sat", db, {})
+    def _backend(self, backend: str | None) -> str:
+        return _resolve_backend(backend) if backend is not None \
+            else self.default_backend
 
-    def query(self, db: str, query_text: str) -> dict:
-        with self._request("query", db=db, query=query_text) as span, \
+    def sat(self, db: str, backend: str | None = None) -> dict:
+        name = self._backend(backend)
+        with self._request("sat", db=db, backend=name), self.metrics.timed("sat"):
+            return self._dispatch("sat", db, {"backend": name})
+
+    def query(self, db: str, query_text: str, backend: str | None = None) -> dict:
+        name = self._backend(backend)
+        with self._request("query", db=db, query=query_text, backend=name) as span, \
                 self.metrics.timed("query"):
             entry = self.store.get(db)  # also refreshes mtime-stale entries
-            cached = entry.cached_query(query_text)
+            # Result-cache key carries the backend: the same text answered
+            # in a different arithmetic is a different payload.
+            cache_key = query_text if name == "exact" \
+                else f"{name}\x00{query_text}"
+            cached = entry.cached_query(cache_key)
             if cached is not None:
                 self.metrics.increment("query.cache_hits")
                 span.set(cache="hit")
                 return cached
-            payload = self._dispatch("query", db, {"query_text": query_text})
-            entry.cache_query(query_text, payload)
+            payload = self._dispatch(
+                "query", db, {"query_text": query_text, "backend": name}
+            )
+            entry.cache_query(cache_key, payload)
             return payload
 
-    def sample(self, db: str, count: int = 1, seed: int | None = None) -> dict:
-        with self._request("sample", db=db, count=count), self.metrics.timed("sample"):
-            return self._dispatch("sample", db, {"count": count, "seed": seed})
+    def sample(
+        self,
+        db: str,
+        count: int = 1,
+        seed: int | None = None,
+        backend: str | None = None,
+    ) -> dict:
+        name = self._backend(backend)
+        with self._request("sample", db=db, count=count, backend=name), \
+                self.metrics.timed("sample"):
+            return self._dispatch(
+                "sample", db, {"count": count, "seed": seed, "backend": name}
+            )
 
     def check(self, db: str, document_xml: str) -> dict:
         with self._request("check", db=db), self.metrics.timed("check"):
@@ -278,6 +407,12 @@ class PXDBService:
         payload = self.metrics.snapshot()
         payload["version"] = self.version
         payload["tracing"] = TRACER.stats()
+        # Guard counters of this process's auto-backend evaluations
+        # (docs/NUMERIC.md); pool workers keep their own counters.
+        payload["numeric"] = {
+            "default_backend": self.default_backend,
+            **GUARD.snapshot(),
+        }
         payload["slow_requests"] = list(self._slow_requests)
         payload["store"] = self.store.stats()
         payload["engines"] = {
@@ -304,6 +439,11 @@ class PXDBService:
         """The /metrics surface in Prometheus text exposition format."""
         extra = [
             ("pxdb_info", {"version": self.version}, 1),
+        ]
+        guard = GUARD.snapshot()
+        extra += [
+            ("pxdb_numeric_guard_decisions_total", {}, guard["decisions"]),
+            ("pxdb_numeric_guard_fallbacks_total", {}, guard["fallbacks"]),
         ]
         extra += [
             (f"pxdb_store_{key}", {}, value)
@@ -355,7 +495,7 @@ class PXDBService:
                 self.metrics.increment("pool.fallbacks")
         entry = self.store.get(db)
         if op == "sat":
-            return sat_payload(entry)
+            return sat_payload(entry, **kwargs)
         if op == "query":
             return query_payload(entry, **kwargs)
         if op == "sample":
@@ -394,10 +534,14 @@ class _Handler(BaseHTTPRequestHandler):
         service = self.service
         try:
             if route == "/sat":
-                payload = service.sat(_required(params, "db"))
+                payload = service.sat(
+                    _required(params, "db"), backend=params.get("backend")
+                )
             elif route == "/query":
                 payload = service.query(
-                    _required(params, "db"), _required(params, "query")
+                    _required(params, "db"),
+                    _required(params, "query"),
+                    backend=params.get("backend"),
                 )
             elif route == "/sample":
                 seed = params.get("seed")
@@ -405,6 +549,7 @@ class _Handler(BaseHTTPRequestHandler):
                     _required(params, "db"),
                     count=int(params.get("count", 1)),
                     seed=int(seed) if seed is not None else None,
+                    backend=params.get("backend"),
                 )
             elif route == "/check":
                 payload = service.check(
@@ -505,6 +650,7 @@ def make_server(
     pool: EvaluationPool | None = None,
     verbose: bool = False,
     slow_ms: float | None = None,
+    default_backend: str = "exact",
 ) -> ThreadingHTTPServer:
     """A bound (not yet serving) threaded HTTP server over ``service``.
 
@@ -513,7 +659,10 @@ def make_server(
     ``server.server_address``).
     """
     if not isinstance(service, PXDBService):
-        service = PXDBService(service, metrics=metrics, pool=pool, slow_ms=slow_ms)
+        service = PXDBService(
+            service, metrics=metrics, pool=pool, slow_ms=slow_ms,
+            default_backend=default_backend,
+        )
     server = ThreadingHTTPServer((host, port), _Handler)
     server.daemon_threads = True
     server.service = service  # type: ignore[attr-defined]
@@ -547,9 +696,13 @@ def serve_forever(
     *,
     verbose: bool = False,
     slow_ms: float | None = None,
+    default_backend: str = "exact",
 ) -> None:
     """Blocking serve loop for the CLI (Ctrl-C returns cleanly)."""
-    server = make_server(service, host, port, verbose=verbose, slow_ms=slow_ms)
+    server = make_server(
+        service, host, port, verbose=verbose, slow_ms=slow_ms,
+        default_backend=default_backend,
+    )
     _log.info(
         "serving", extra={"host": host, "port": server.server_address[1]}
     )

@@ -1,6 +1,10 @@
-"""Shared fixtures: the paper's running example and small reference trees."""
+"""Shared fixtures: the paper's running example and small reference trees,
+plus the golden-snapshot machinery (``--update-golden``)."""
 
 from __future__ import annotations
+
+import json
+from pathlib import Path
 
 import pytest
 
@@ -9,6 +13,44 @@ from repro.workloads.university import (
     figure1_constraints,
     figure2_document,
 )
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite tests/golden/*.json from the current outputs "
+        "instead of comparing against them",
+    )
+
+
+@pytest.fixture()
+def golden(request):
+    """Compare a JSON-ready payload against tests/golden/<name>.json.
+
+    With ``--update-golden`` the snapshot is rewritten instead; the diff
+    then goes through code review like any other change."""
+
+    def check(name: str, payload) -> None:
+        path = GOLDEN_DIR / f"{name}.json"
+        rendered = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        if request.config.getoption("--update-golden"):
+            GOLDEN_DIR.mkdir(exist_ok=True)
+            path.write_text(rendered)
+            return
+        assert path.exists(), (
+            f"missing golden snapshot {path}; run "
+            f"`pytest {request.node.nodeid} --update-golden` to create it"
+        )
+        assert json.loads(path.read_text()) == json.loads(rendered), (
+            f"output differs from golden snapshot {path} "
+            f"(re-run with --update-golden if the change is intended)"
+        )
+
+    return check
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,98 @@
+"""Shared Hypothesis strategies for the property-based suites.
+
+Every randomized differential test in the repo (evaluator vs. baseline,
+circuit vs. evaluator, numeric backends vs. exact) draws its inputs from
+here, so the input distribution is defined once: a seeded ``random.Random``
+feeds :mod:`repro.workloads.random_gen`, and Hypothesis shrinks over the
+seed.  Drawing the *rng* (rather than a finished p-document) lets a test
+keep consuming the same stream for its formula — formula shape is
+correlated with document shape exactly as the generators intend.
+"""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+
+from hypothesis import HealthCheck, settings, strategies as st
+
+from repro.workloads.random_gen import random_formula, random_pdocument
+
+# One settings profile for every property suite: these tests enumerate
+# possible worlds (the baseline) or run several evaluator passes per
+# example, so the per-example deadline is off and slow examples are fine.
+DEFAULT_SETTINGS = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+seeds = st.integers(min_value=0, max_value=10**9)
+
+
+@st.composite
+def rngs(draw) -> random.Random:
+    """A deterministically seeded ``random.Random`` (shrinks over the seed)."""
+    return random.Random(draw(seeds))
+
+
+@st.composite
+def pdoc_formula_pairs(
+    draw,
+    *,
+    formulas: int = 1,
+    allow_exp: bool = False,
+    numeric: bool = False,
+    allow_ratio: bool = True,
+    allow_minmax: bool = False,
+    max_nodes: int = 9,
+    max_depth: int = 4,
+):
+    """(p-document, [c-formulas]) drawn from one seeded stream."""
+    rng = draw(rngs())
+    pdoc = random_pdocument(
+        rng,
+        max_nodes=max_nodes,
+        max_depth=max_depth,
+        allow_exp=allow_exp,
+        numeric=numeric,
+    )
+    produced = [
+        random_formula(rng, allow_ratio=allow_ratio, allow_minmax=allow_minmax)
+        for _ in range(formulas)
+    ]
+    return pdoc, produced
+
+
+def reestimate(pdoc, rng: random.Random):
+    """Jitter every distributional probability to a 6-significant-digit
+    rational — the "re-estimated parameters" regime where exact ``Fraction``
+    denominators blow up and the float fast path earns its keep.  Mux/exp
+    weight vectors are renormalized so they still sum below/at 1.
+    """
+    copy = pdoc.clone()
+    for node in copy.distributional_nodes():
+        if node.kind == "exp":
+            weights = [
+                Fraction(rng.randrange(1, 999_999), 1_000_000)
+                for _ in node.subsets
+            ]
+            total = sum(weights)
+            node.subsets = [
+                (subset, weight / total)
+                for (subset, _), weight in zip(node.subsets, weights)
+            ]
+            continue
+        if node.kind == "mux":
+            weights = [
+                Fraction(rng.randrange(1, 999_999), 1_000_000)
+                for _ in node.probs
+            ]
+            total = sum(weights) + Fraction(rng.randrange(1, 999_999), 1_000_000)
+            node.probs = [weight / total for weight in weights]
+        else:
+            node.probs = [
+                Fraction(rng.randrange(900_000, 999_999), 1_000_000)
+                for _ in node.probs
+            ]
+    return copy

@@ -3,31 +3,28 @@ randomized p-documents and c-formulae, the compiled circuit's forward pass
 must return ``Fraction``s *identical* to the Theorem 5.3 evaluator, and
 its backward pass must match exact central finite differences (the
 outputs are multilinear in the parameters, so the differences are exact).
+
+Input distributions live in :mod:`tests.strategies`, shared with the
+evaluator and numeric-backend differential suites.
 """
 
 from __future__ import annotations
 
-import random
 from fractions import Fraction
 
-from hypothesis import HealthCheck, given, settings, strategies as st
+from hypothesis import given
 
 from repro.circuit import compile_formula, compile_formulas
 from repro.core.evaluator import probabilities
 from repro.core.formulas import conjunction, disjunction, negation
 from repro.workloads.random_gen import random_formula, random_pdocument
 
-_SETTINGS = settings(
-    max_examples=60,
-    deadline=None,
-    suppress_health_check=[HealthCheck.too_slow],
-)
+from .strategies import DEFAULT_SETTINGS, rngs
 
 
-@given(seed=st.integers(min_value=0, max_value=10**9))
-@_SETTINGS
-def test_forward_matches_evaluator_count_formulae(seed):
-    rng = random.Random(seed)
+@given(rng=rngs())
+@DEFAULT_SETTINGS
+def test_forward_matches_evaluator_count_formulae(rng):
     pdoc = random_pdocument(rng)
     formulas = [random_formula(rng, allow_ratio=False) for _ in range(2)]
     assert compile_formulas(pdoc, formulas).probabilities() == probabilities(
@@ -35,10 +32,9 @@ def test_forward_matches_evaluator_count_formulae(seed):
     )
 
 
-@given(seed=st.integers(min_value=0, max_value=10**9))
-@_SETTINGS
-def test_forward_matches_evaluator_ratio_formulae(seed):
-    rng = random.Random(seed)
+@given(rng=rngs())
+@DEFAULT_SETTINGS
+def test_forward_matches_evaluator_ratio_formulae(rng):
     pdoc = random_pdocument(rng)
     formula = random_formula(rng, allow_ratio=True)
     assert compile_formula(pdoc, formula).probability() == probabilities(
@@ -46,10 +42,9 @@ def test_forward_matches_evaluator_ratio_formulae(seed):
     )[0]
 
 
-@given(seed=st.integers(min_value=0, max_value=10**9))
-@_SETTINGS
-def test_forward_matches_evaluator_exp_nodes(seed):
-    rng = random.Random(seed)
+@given(rng=rngs())
+@DEFAULT_SETTINGS
+def test_forward_matches_evaluator_exp_nodes(rng):
     pdoc = random_pdocument(rng, allow_exp=True)
     formula = random_formula(rng)
     assert compile_formula(pdoc, formula).probability() == probabilities(
@@ -57,10 +52,9 @@ def test_forward_matches_evaluator_exp_nodes(seed):
     )[0]
 
 
-@given(seed=st.integers(min_value=0, max_value=10**9))
-@_SETTINGS
-def test_forward_matches_evaluator_boolean_closure(seed):
-    rng = random.Random(seed)
+@given(rng=rngs())
+@DEFAULT_SETTINGS
+def test_forward_matches_evaluator_boolean_closure(rng):
     pdoc = random_pdocument(rng, allow_exp=True)
     f1 = random_formula(rng)
     f2 = random_formula(rng)
@@ -70,10 +64,9 @@ def test_forward_matches_evaluator_boolean_closure(seed):
     )
 
 
-@given(seed=st.integers(min_value=0, max_value=10**9))
-@_SETTINGS
-def test_gradient_matches_exact_central_differences(seed):
-    rng = random.Random(seed)
+@given(rng=rngs())
+@DEFAULT_SETTINGS
+def test_gradient_matches_exact_central_differences(rng):
     pdoc = random_pdocument(rng, max_nodes=8, max_depth=3, allow_exp=True)
     circuit = compile_formula(pdoc, random_formula(rng))
     if circuit.num_params == 0:

@@ -6,67 +6,59 @@ This is the central correctness argument of the reproduction: the two
 implementations share no code above the document level (the baseline uses
 the Definition 5.2 document semantics over enumerated worlds; the
 evaluator uses compiled automata and the signature DP).
+
+Input distributions live in :mod:`tests.strategies`, shared with the
+circuit and numeric-backend differential suites.
 """
 
 from __future__ import annotations
 
-import random
-
-from hypothesis import HealthCheck, given, settings, strategies as st
+from hypothesis import given
 
 from repro.baseline.naive import naive_probability
 from repro.core.evaluator import probability
 from repro.core.formulas import conjunction, disjunction, negation
 from repro.workloads.random_gen import random_formula, random_pdocument
 
-_SETTINGS = settings(
-    max_examples=60,
-    deadline=None,
-    suppress_health_check=[HealthCheck.too_slow],
-)
+from .strategies import DEFAULT_SETTINGS, rngs
 
 
-@given(seed=st.integers(min_value=0, max_value=10**9))
-@_SETTINGS
-def test_count_formulae_match_baseline(seed):
-    rng = random.Random(seed)
+@given(rng=rngs())
+@DEFAULT_SETTINGS
+def test_count_formulae_match_baseline(rng):
     pdoc = random_pdocument(rng)
     formula = random_formula(rng, allow_ratio=False)
     assert probability(pdoc, formula) == naive_probability(pdoc, formula)
 
 
-@given(seed=st.integers(min_value=0, max_value=10**9))
-@_SETTINGS
-def test_ratio_formulae_match_baseline(seed):
-    rng = random.Random(seed)
+@given(rng=rngs())
+@DEFAULT_SETTINGS
+def test_ratio_formulae_match_baseline(rng):
     pdoc = random_pdocument(rng)
     formula = random_formula(rng, allow_ratio=True)
     assert probability(pdoc, formula) == naive_probability(pdoc, formula)
 
 
-@given(seed=st.integers(min_value=0, max_value=10**9))
-@_SETTINGS
-def test_exp_nodes_match_baseline(seed):
-    rng = random.Random(seed)
+@given(rng=rngs())
+@DEFAULT_SETTINGS
+def test_exp_nodes_match_baseline(rng):
     pdoc = random_pdocument(rng, allow_exp=True)
     formula = random_formula(rng)
     assert probability(pdoc, formula) == naive_probability(pdoc, formula)
 
 
-@given(seed=st.integers(min_value=0, max_value=10**9))
-@_SETTINGS
-def test_minmax_formulae_match_baseline(seed):
-    rng = random.Random(seed)
+@given(rng=rngs())
+@DEFAULT_SETTINGS
+def test_minmax_formulae_match_baseline(rng):
     pdoc = random_pdocument(rng, numeric=True)
     formula = random_formula(rng, allow_minmax=True)
     assert probability(pdoc, formula) == naive_probability(pdoc, formula)
 
 
-@given(seed=st.integers(min_value=0, max_value=10**9))
-@_SETTINGS
-def test_probability_axioms(seed):
+@given(rng=rngs())
+@DEFAULT_SETTINGS
+def test_probability_axioms(rng):
     """Pr(γ) + Pr(¬γ) = 1; monotonicity of conjunction/disjunction."""
-    rng = random.Random(seed)
     pdoc = random_pdocument(rng)
     f = random_formula(rng)
     g = random_formula(rng)

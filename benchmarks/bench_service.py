@@ -198,3 +198,57 @@ def test_bench_service_concurrent_identity(university_files, report, record):
         counters={"requests": total},
         requests_per_s=total / elapsed,
     )
+
+
+def test_bench_service_coalescer_early_drain(university_files, report, record):
+    """Sequential clients must not pay the coalescing window: a lone
+    leader drains as soon as it sees it has no followers, so the mean
+    per-call latency stays well under the window (the pre-fix behavior
+    slept the full window on every call — a hard 2 ms p50 floor)."""
+    from repro.core.formulas import exists
+    from repro.core.query import Query
+    from repro.service import Coalescer
+
+    pdoc = read_pdocument(university_files[0])
+    constraints = read_constraints(university_files[1])
+    db = PXDB(pdoc, constraints)
+    event = exists(Query.parse(QUERIES[0]).pattern)
+    direct = db.event_probability(event)
+
+    window = 0.01
+    calls = 20
+    coalescer = Coalescer(db, window=window)
+    assert coalescer.event_probability(event) == direct  # warm the engine
+
+    # Baseline: the same evaluations without any coalescing machinery.
+    start = time.perf_counter()
+    for _ in range(calls):
+        assert db.event_probability(event) == direct
+    direct_mean = (time.perf_counter() - start) / calls
+
+    start = time.perf_counter()
+    for _ in range(calls):
+        assert coalescer.event_probability(event) == direct
+    mean = (time.perf_counter() - start) / calls
+    overhead = mean - direct_mean
+
+    report(
+        f"E11 service  sequential coalescer: {calls} calls  "
+        f"direct {direct_mean * 1000:6.3f} ms  coalesced {mean * 1000:6.3f} ms  "
+        f"overhead {overhead * 1000:+6.3f} ms vs {window * 1000:.0f} ms window"
+    )
+    # Pre-fix, every lone leader slept the whole window, so the overhead
+    # was >= window by construction.  Early drain keeps it to bookkeeping.
+    assert overhead < window / 2, (
+        f"a lone leader should drain early, not sleep the {window * 1000:.0f} ms "
+        f"window: coalescing overhead {overhead * 1000:.3f} ms per call"
+    )
+    assert coalescer.stats()["batches"] == calls + 1
+    record(
+        f"{calls} sequential coalesced calls",
+        wall_s=mean,
+        counters={"calls": calls, "batches": coalescer.stats()["batches"]},
+        window_s=window,
+        direct_ms=direct_mean * 1000,
+        overhead_ms=overhead * 1000,
+    )

@@ -13,14 +13,17 @@ evaluator run into that circuit (:func:`compile_formulas`), after which
   edits of the p-document — in O(|params|) without recompiling.
 """
 
+from .batch import HAVE_NUMPY, BatchBinding
 from .ir import ADD, CONST, MUL, PARAM, Builder, Circuit
 from .trace import CircuitTracer, CompiledCircuit, ParamInfo, compile_formula, compile_formulas
 
 __all__ = [
     "ADD",
     "CONST",
+    "HAVE_NUMPY",
     "MUL",
     "PARAM",
+    "BatchBinding",
     "Builder",
     "Circuit",
     "CircuitTracer",

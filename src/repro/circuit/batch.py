@@ -1,0 +1,206 @@
+"""Batched (vectorized) circuit execution over numpy arrays.
+
+A :class:`BatchBinding` packs N parameter bindings column-wise into one
+float64 array of shape ``(num_params, N)``; :func:`run_forward_batch`
+then sweeps the dense gate program once with one numpy operation per
+gate operand, evaluating all N bindings simultaneously.  The payoff is
+amortization: the Python-level interpreter overhead (~the entire cost of
+the scalar float64 sweep) is paid once per *gate*, not once per gate per
+binding, so a 1000-binding sweep runs orders of magnitude faster than
+1000 re-bind-and-sweep passes (experiment E13's batch rows).
+
+Bitwise contract
+----------------
+Column ``i`` of every output is **bitwise identical** to the scalar
+float64 forward pass at binding ``i``.  Both sweeps perform the same
+round-to-nearest double operations in the same order:
+
+* ADD gates accumulate left-to-right over the stored operand order,
+  seeded with ``0.0`` — exactly mirroring the scalar ``sum(...)``, whose
+  integer-zero start coerces ``0 + v`` first (this also pins the IEEE
+  ``-0.0 + -0.0 == -0.0`` vs ``0.0 + -0.0 == 0.0`` edge the same way);
+* MUL gates multiply left-to-right (``prod(...)`` starts at integer 1,
+  and ``1 * x`` is bitwise ``x``).
+
+numpy is an *optional* dependency: importing this module without numpy
+installed raises a clear error, and nothing else in the package imports
+it at module scope.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .ir import Circuit
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised only without numpy
+    _np = None
+
+HAVE_NUMPY = _np is not None
+
+
+def require_numpy():
+    """The numpy module, or a ``RuntimeError`` explaining the extra."""
+    if _np is None:  # pragma: no cover - exercised only without numpy
+        raise RuntimeError(
+            "the batch circuit backend requires numpy "
+            "(install the 'batch' extra: pip install repro-pxml[batch])"
+        )
+    return _np
+
+
+class BatchBinding:
+    """N parameter bindings packed as one float64 array per PARAM slot.
+
+    ``values[k, i]`` is parameter k of binding i — the same canonical
+    parameter order as :func:`repro.pdoc.parameters.parameter_slots` and
+    ``Circuit.param_nodes``.  Rows of exact ``Fraction`` values are
+    lowered with ``float(...)``, matching the scalar float64 path's
+    parameter lowering, which is what makes the bitwise contract hold.
+    """
+
+    __slots__ = ("values",)
+
+    def __init__(self, values):
+        np = require_numpy()
+        array = np.asarray(values, dtype=np.float64)
+        if array.ndim != 2:
+            raise ValueError(
+                f"BatchBinding expects a (num_params, n_bindings) matrix, "
+                f"got shape {array.shape}"
+            )
+        self.values = array
+
+    @classmethod
+    def from_rows(cls, rows: Sequence[Sequence]) -> "BatchBinding":
+        """Build from per-binding parameter vectors (one row per binding)."""
+        np = require_numpy()
+        rows = list(rows)
+        if not rows:
+            raise ValueError("BatchBinding requires at least one binding")
+        width = len(rows[0])
+        lowered = np.empty((len(rows), width), dtype=np.float64)
+        for i, row in enumerate(rows):
+            if len(row) != width:
+                raise ValueError(
+                    f"binding {i} has {len(row)} values, expected {width}"
+                )
+            lowered[i] = list(map(float, row))
+        return cls(lowered.T)
+
+    @property
+    def num_params(self) -> int:
+        return self.values.shape[0]
+
+    @property
+    def n(self) -> int:
+        return self.values.shape[1]
+
+    def column(self, i: int) -> list[float]:
+        """Binding i as a plain parameter-value list (test/debug helper)."""
+        return [float(v) for v in self.values[:, i]]
+
+    def __len__(self) -> int:
+        return self.n
+
+
+def as_batch(bindings, num_params: int) -> BatchBinding:
+    """Coerce ``bindings`` (a BatchBinding, or an iterable of per-binding
+    parameter vectors) and validate its width against the circuit."""
+    batch = (
+        bindings
+        if isinstance(bindings, BatchBinding)
+        else BatchBinding.from_rows(bindings)
+    )
+    if batch.num_params != num_params:
+        raise ValueError(
+            f"expected {num_params} parameter values per binding, "
+            f"got {batch.num_params}"
+        )
+    return batch
+
+
+def run_forward_batch(circuit: "Circuit", params, *, retain: bool = False):
+    """Interpreted vectorized sweep: all outputs at all bindings.
+
+    ``params`` is the ``(num_params, N)`` float64 matrix.  Returns the
+    ``(n_outputs, N)`` output matrix; with ``retain=True`` returns
+    ``(outputs, values)`` where ``values`` holds every node's array (the
+    backward pass needs them).
+    """
+    np = require_numpy()
+    n = params.shape[1]
+    # CONST slots hold Python floats (broadcast on use); PARAM slots hold
+    # row views of the binding matrix; gates fill in arrays.
+    values: list = [
+        float(arg) if kind == 1 else None  # CONST == 1
+        for kind, arg in zip(circuit.kinds, circuit.args)
+    ]
+    for position, node in enumerate(circuit.param_nodes):
+        values[node] = params[position]
+    add, multiply = np.add, np.multiply
+    ndarray = np.ndarray
+    for is_add, node, operands in circuit._gates:
+        if is_add:
+            # 0.0 + first seeds the accumulator exactly like the scalar
+            # sum()'s zero start; once it is an array (a gate has at most
+            # one const operand, so after two operands at the latest) the
+            # rest add in place.
+            acc = 0.0 + values[operands[0]]
+            for j in operands[1:]:
+                if type(acc) is ndarray:
+                    add(acc, values[j], out=acc)
+                else:
+                    acc = acc + values[j]
+        else:
+            acc = values[operands[0]] * values[operands[1]]
+            for j in operands[2:]:
+                multiply(acc, values[j], out=acc)
+        values[node] = acc
+    outputs = np.empty((len(circuit.outputs), n), dtype=np.float64)
+    for i, node in enumerate(circuit.outputs):
+        outputs[i] = values[node]
+    if retain:
+        return outputs, values
+    return outputs
+
+
+def run_gradient_batch(circuit: "Circuit", params, output: int = 0):
+    """Vectorized reverse sweep: ``(num_params, N)`` of ∂output/∂θ.
+
+    Same division-free prefix/suffix MUL adjoints as the scalar backward
+    pass, with every partial product an (N,)-array.  Untouched adjoints
+    stay the scalar ``0.0`` sentinel so dead subgraphs cost nothing.
+    """
+    np = require_numpy()
+    n = params.shape[1]
+    _, values = run_forward_batch(circuit, params, retain=True)
+    adjoint: list = [0.0] * len(circuit.kinds)
+    adjoint[circuit.outputs[output]] = np.ones(n, dtype=np.float64)
+    for is_add, node, operands in reversed(circuit._gates):
+        seed = adjoint[node]
+        if isinstance(seed, float):  # never seeded: zero everywhere
+            continue
+        if is_add:
+            for j in operands:
+                adjoint[j] = adjoint[j] + seed
+        else:
+            count = len(operands)
+            prefix: list = [1.0] * (count + 1)
+            for k in range(count):
+                prefix[k + 1] = prefix[k] * values[operands[k]]
+            suffix = 1.0
+            for k in range(count - 1, -1, -1):
+                adjoint[operands[k]] = (
+                    adjoint[operands[k]] + seed * prefix[k] * suffix
+                )
+                suffix = suffix * values[operands[k]]
+    gradients = np.zeros((len(circuit.param_nodes), n), dtype=np.float64)
+    for position, node in enumerate(circuit.param_nodes):
+        row = adjoint[node]
+        if not isinstance(row, float):
+            gradients[position] = row
+    return gradients

@@ -188,7 +188,8 @@ class Circuit:
     __slots__ = ("kinds", "args", "param_nodes", "param_values", "outputs",
                  "_template", "_gates", "_values",
                  "_float_template", "_float_params", "_float_values",
-                 "_interval_template", "_interval_params", "_interval_values")
+                 "_interval_template", "_interval_params", "_interval_values",
+                 "_batch_kernel")
 
     def __init__(
         self,
@@ -230,6 +231,10 @@ class Circuit:
         self._interval_template: list | None = None
         self._interval_params: list | None = None
         self._interval_values: list | None = None
+        # Lazily codegen'd numpy kernel for the batch backend.  Structure
+        # never changes after construction, so it is never invalidated
+        # (False marks "codegen declined, use the interpreted sweep").
+        self._batch_kernel = None
 
     @classmethod
     def from_builder(
@@ -390,6 +395,73 @@ class Circuit:
             exact[index] if index in straddling else Interval(*pair).mid
             for index, pair in enumerate(enclosures)
         ]
+
+    # -- batched (vectorized) passes ------------------------------------------
+    def forward_batch(self, bindings, *, use_kernel: bool = True):
+        """Evaluate every output at N parameter bindings in one sweep.
+
+        ``bindings`` is a :class:`~repro.circuit.batch.BatchBinding` (or
+        any iterable of per-binding parameter vectors); the result is the
+        float64 array of shape ``(n_outputs, N)``.  Column ``i`` is
+        bitwise identical to ``forward(backend="float64")`` after
+        ``set_param_values(bindings[i])`` — the batch backend inherits
+        the scalar fast path's certification (and sits inside the
+        interval backend's enclosures) by construction.  Requires numpy.
+        """
+        from .batch import as_batch, run_forward_batch
+        from .kernel import compile_kernel
+
+        batch = as_batch(bindings, len(self.param_nodes))
+        kernel = None
+        if use_kernel:
+            if self._batch_kernel is None:
+                compiled = compile_kernel(self)
+                self._batch_kernel = compiled if compiled is not None else False
+            kernel = self._batch_kernel or None
+
+        def _run():
+            if kernel is not None:
+                import numpy
+
+                out = numpy.empty(
+                    (len(self.outputs), batch.n), dtype=numpy.float64
+                )
+                kernel(batch.values, out)
+                return out
+            return run_forward_batch(self, batch.values)
+
+        if not TRACER.enabled:
+            return _run()
+        with TRACER.span(
+            "circuit.forward_batch",
+            gates=len(self._gates),
+            params=len(self.param_nodes),
+            outputs=len(self.outputs),
+            bindings=batch.n,
+            kernel=kernel is not None,
+        ):
+            return _run()
+
+    def gradient_batch(self, bindings, output: int = 0):
+        """[∂output/∂θ] at N bindings: a ``(num_params, N)`` float64 array.
+
+        One vectorized reverse sweep with the same division-free
+        prefix/suffix MUL adjoints as :meth:`gradient`; column ``i`` is
+        bitwise identical to the scalar ``gradient(output,
+        backend="float64")`` at binding ``i``.  Requires numpy.
+        """
+        from .batch import as_batch, run_gradient_batch
+
+        batch = as_batch(bindings, len(self.param_nodes))
+        if not TRACER.enabled:
+            return run_gradient_batch(self, batch.values, output)
+        with TRACER.span(
+            "circuit.gradient_batch",
+            gates=len(self._gates),
+            params=len(self.param_nodes),
+            bindings=batch.n,
+        ):
+            return run_gradient_batch(self, batch.values, output)
 
     # -- backward pass --------------------------------------------------------
     def gradient(self, output: int = 0, backend: str | None = None) -> list:

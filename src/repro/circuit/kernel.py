@@ -1,0 +1,74 @@
+"""Codegen'd numpy kernels for batched circuit execution.
+
+:func:`emit_source` turns the dense gate program into straight-line
+Python source — one assignment per gate, each a chain of elementwise
+numpy operations — and :func:`compile_kernel` execs it into a callable
+``kernel(P, out)`` (``P`` the ``(num_params, N)`` binding matrix, ``out``
+the ``(n_outputs, N)`` result buffer).  Compared to the interpreted sweep
+in :mod:`repro.circuit.batch` this removes the per-gate list indexing and
+loop dispatch, leaving only the numpy calls themselves.
+
+The emitted arithmetic preserves the bitwise contract with the scalar
+float64 sweep: ADD chains are seeded with a literal ``0.0`` and evaluated
+left-to-right in stored operand order (mirroring the scalar ``sum``'s
+integer-zero start, including the ``-0.0`` accumulation edge); MUL chains
+multiply left-to-right (``prod``'s integer-one start is a bitwise no-op).
+Constants are inlined as ``repr`` literals, which round-trip doubles
+exactly.
+
+Very large circuits would make CPython's compiler the bottleneck, so
+circuits above :data:`KERNEL_GATE_LIMIT` gates fall back to the
+interpreted sweep (the caller handles ``None``).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .ir import Circuit
+
+# Above this many gates, one-time codegen + compile cost stops paying for
+# itself and the straight-line function gets unwieldy; interpret instead.
+KERNEL_GATE_LIMIT = 20_000
+
+CONST = 1  # mirrors ir.CONST without a circular import
+
+
+def emit_source(circuit: "Circuit", name: str = "_kernel") -> str:
+    """The kernel's Python source (also handy for debugging/tests)."""
+    kinds = circuit.kinds
+    args = circuit.args
+
+    def term(node: int) -> str:
+        if kinds[node] == CONST:
+            return repr(float(args[node]))
+        return f"v{node}"
+
+    lines = [f"def {name}(P, out):"]
+    for position, node in enumerate(circuit.param_nodes):
+        lines.append(f"    v{node} = P[{position}]")
+    for is_add, node, operands in circuit._gates:
+        parts = [term(j) for j in operands]
+        if is_add:
+            expr = " + ".join(["0.0", *parts])
+        else:
+            expr = " * ".join(parts)
+        lines.append(f"    v{node} = {expr}")
+    for index, node in enumerate(circuit.outputs):
+        lines.append(f"    out[{index}] = {term(node)}")
+    if len(lines) == 1:
+        lines.append("    pass")
+    return "\n".join(lines) + "\n"
+
+
+def compile_kernel(circuit: "Circuit") -> Callable | None:
+    """A compiled ``kernel(P, out)``, or ``None`` when the circuit is too
+    large for codegen (caller falls back to the interpreted sweep)."""
+    gates = len(circuit._gates)
+    if gates > KERNEL_GATE_LIMIT:
+        return None
+    source = emit_source(circuit)
+    namespace: dict = {}
+    exec(compile(source, f"<circuit-kernel:{gates}g>", "exec"), namespace)
+    return namespace["_kernel"]

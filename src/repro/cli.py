@@ -15,7 +15,7 @@ Commands
                                            — SAMPLE⟨C⟩: conditioned samples (Fig. 3);
 * ``check     PDOC DOCUMENT -c FILE``      — explain a document's violations;
 * ``skeleton  PDOC``                       — print the skeleton document;
-* ``circuit   {compile,eval,grad,stats} PDOC [-c FILE] [-q PATTERN]``
+* ``circuit   {compile,eval,grad,stats,sweep} PDOC [-c FILE] [-q PATTERN]``
                                            — arithmetic-circuit compilation
                                              (docs/CIRCUIT.md): compile the
                                              c-formula DP, evaluate it (optionally
@@ -39,6 +39,7 @@ from __future__ import annotations
 import argparse
 import random
 import sys
+from fractions import Fraction
 
 from .core.constraints import constraints_formula
 from .core.evaluator import probability
@@ -224,6 +225,9 @@ def _cmd_circuit(args) -> int:
             )
         return 0
 
+    if args.action == "sweep":
+        return _circuit_sweep(args, db, circuit, labels)
+
     # grad: one backward sweep ranks every parameter by |d output / d theta|.
     rows = circuit.sensitivities(0)
     if args.top is not None:
@@ -234,6 +238,64 @@ def _cmd_circuit(args) -> int:
             f"  {row['parameter']:<44} value={row['value']}  "
             f"d={row['derivative']}  ≈ {float(row['derivative']):+.6f}"
         )
+    return 0
+
+
+def _circuit_sweep(args, db, circuit, labels) -> int:
+    """``repro circuit sweep``: evaluate the compiled circuit at many
+    parameter bindings in one batched numpy pass (docs/CIRCUIT.md)."""
+    import json as _json
+
+    from .circuit.batch import require_numpy
+    from .pdoc.parameters import scaled_edge_bindings
+
+    require_numpy()
+    factors = None
+    if args.bindings:
+        with open(args.bindings) as handle:
+            raw = _json.load(handle)
+        if not isinstance(raw, list) or not raw:
+            raise ValueError(
+                f"{args.bindings}: expected a non-empty JSON list of "
+                "parameter vectors"
+            )
+        rows = [[Fraction(value) for value in row] for row in raw]
+    else:
+        if args.points < 1:
+            raise ValueError("--points must be at least 1")
+        lo_text, _, hi_text = args.scale.partition(":")
+        try:
+            lo, hi = Fraction(lo_text), Fraction(hi_text or lo_text)
+        except (ValueError, ZeroDivisionError) as error:
+            raise ValueError(f"invalid --scale {args.scale!r}: {error}") from error
+        steps = max(args.points - 1, 1)
+        factors = [
+            lo + (hi - lo) * k / steps for k in range(args.points)
+        ]
+        rows = scaled_edge_bindings(db.pdoc, factors)
+    outputs = circuit.forward_batch(rows)
+    denominators = outputs[-1]
+    print(
+        f"sweep: {len(rows)} bindings x {circuit.num_params} parameters, "
+        f"{len(circuit)} circuit nodes"
+    )
+    for index in range(len(rows)):
+        prefix = f"[{index}]"
+        if factors is not None:
+            prefix += f" scale={float(factors[index]):.6f}"
+        parts = [
+            f"{label} = {outputs[j][index]:.6f}"
+            for j, label in enumerate(labels)
+        ]
+        denominator = denominators[index]
+        if args.query:
+            if denominator > 0.0:
+                parts.append(
+                    f"Pr(D |= {args.query}) = {outputs[0][index] / denominator:.6f}"
+                )
+            else:
+                parts.append(f"Pr(D |= {args.query}) undefined (Pr(P |= C) = 0)")
+        print(f"{prefix}  " + "  ".join(parts))
     return 0
 
 
@@ -481,9 +543,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "action",
-        choices=["compile", "eval", "grad", "stats"],
+        choices=["compile", "eval", "grad", "stats", "sweep"],
         help="compile: build + report + evaluate; eval: evaluate (after an "
-        "optional --rebind); grad: parameter sensitivities; stats: sizes only",
+        "optional --rebind); grad: parameter sensitivities; stats: sizes "
+        "only; sweep: batched numpy evaluation over many parameter bindings",
     )
     p.add_argument("pdocument")
     p.add_argument("-c", "--constraints")
@@ -503,6 +566,25 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=10,
         help="(grad) how many parameters to print (default 10)",
+    )
+    p.add_argument(
+        "--points",
+        type=int,
+        default=8,
+        help="(sweep) how many scaled bindings to generate (default 8)",
+    )
+    p.add_argument(
+        "--scale",
+        default="0.5:1.0",
+        metavar="LO:HI",
+        help="(sweep) scale every edge probability by factors spaced evenly "
+        "over [LO, HI] (default 0.5:1.0)",
+    )
+    p.add_argument(
+        "--bindings",
+        metavar="FILE",
+        help="(sweep) JSON file with explicit bindings (a list of parameter "
+        "vectors in canonical slot order) instead of --points/--scale",
     )
     p.set_defaults(func=_cmd_circuit)
 

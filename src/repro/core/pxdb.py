@@ -135,7 +135,8 @@ class PXDB:
         events: Sequence[CFormula],
         via: str = "dp",
         backend: str | None = None,
-    ) -> list[Fraction]:
+        bindings=None,
+    ) -> list:
         """[Pr(D ⊨ γ) for γ in events] in one joint DP pass.
 
         The conditional probabilities of all events are computed together
@@ -154,7 +155,23 @@ class PXDB:
         ``backend`` selects the arithmetic on either route
         (``repro.numeric``); the circuit keeps per-backend kernels, so a
         float64 re-ask of a compiled event tuple is one tight float sweep.
+
+        ``backend="batch"`` (circuit route only, requires ``bindings``)
+        evaluates all events at N parameter bindings in one vectorized
+        numpy sweep; each returned entry is then the float64 array of
+        that event's conditional probability across the bindings — see
+        :meth:`sweep_probabilities`.
         """
+        if backend == "batch":
+            if via != "circuit":
+                raise ValueError("backend='batch' requires via='circuit'")
+            if bindings is None:
+                raise ValueError(
+                    "backend='batch' requires bindings= (N parameter "
+                    "vectors, one per sweep point)"
+                )
+            conditionals, _ = self.sweep_probabilities(events, bindings)
+            return [conditionals[i] for i in range(len(tuple(events)))]
         if via == "circuit":
             if not TRACER.enabled:
                 return self._event_probabilities_circuit(tuple(events), backend)
@@ -244,6 +261,43 @@ class PXDB:
         else:
             _check_denominator(denominator, backend)
         return [joint / denominator for joint in values[:-1]]
+
+    def sweep_probabilities(self, events: Sequence[CFormula], bindings):
+        """Vectorized parameter sweep over the compiled circuit (numpy).
+
+        ``bindings`` is a :class:`~repro.circuit.BatchBinding` or an
+        iterable of N parameter vectors in canonical slot order
+        (:func:`repro.pdoc.parameters.parameter_slots`).  Returns
+        ``(conditionals, denominators)``: conditionals is the float64
+        array of shape ``(len(events), N)`` with ``conditionals[i, j] =
+        Pr(D ⊨ γ_i)`` at binding j, denominators the ``(N,)`` array of
+        ``Pr(P ⊨ C)`` per binding.  Every joint/denominator entry is
+        bitwise identical to the per-binding float64 circuit forward —
+        the differential suite certifies this against the scalar and
+        interval backends.
+        """
+        events = tuple(events)
+        circuit = self.circuit_for(events)
+
+        def _run():
+            from ..circuit.batch import as_batch
+
+            batch = as_batch(bindings, circuit.num_params)
+            outputs = circuit.forward_batch(batch)
+            denominators = outputs[-1]
+            if (denominators <= 0.0).any():
+                raise ValueError(
+                    "float64 sweep evaluation of Pr(P |= C) reached 0 at "
+                    "some binding (underflow is not proof of "
+                    "impossibility); evaluate those bindings with "
+                    "backend='auto' or 'exact'"
+                )
+            return outputs[:-1] / denominators, denominators
+
+        if not TRACER.enabled:
+            return _run()
+        with TRACER.span("pxdb.sweep", events=len(events)):
+            return _run()
 
     def circuit_stats(self) -> dict:
         """Aggregate statistics over the retained compiled circuits (the

@@ -296,6 +296,13 @@ def get_backend(spec=None) -> NumericBackend:
                 "'auto' is a guarded evaluation policy, not an arithmetic; "
                 "this call path does not support it"
             )
+        if spec == "batch":
+            raise ValueError(
+                "'batch' is the vectorized circuit sweep mode, not a scalar "
+                "arithmetic; use Circuit.forward_batch or "
+                "PXDB.event_probabilities(via='circuit', backend='batch', "
+                "bindings=...)"
+            )
         raise ValueError(f"unknown numeric backend {spec!r} (expected one of "
                          f"{', '.join(BACKEND_NAMES)})")
     return backend

@@ -92,6 +92,30 @@ def parameter_values(pdoc: PDocument) -> list[Fraction]:
     return [slot.value for slot in parameter_slots(pdoc)]
 
 
+def scaled_edge_bindings(
+    pdoc: PDocument, factors: Sequence[Fraction]
+) -> list[list[Fraction]]:
+    """One parameter binding per factor: every ind/mux *edge* probability
+    scaled by the factor (clamped into [0, 1]), exp subset weights left
+    untouched (they must keep summing to 1).
+
+    This is the canonical parameter-sweep generator behind ``repro
+    circuit sweep`` and the batch benchmarks: it perturbs the free
+    probabilities while every binding stays a valid p-document
+    parameterization, so sweep results remain probabilities.
+    """
+    base = [(slot.value, slot.field) for slot in parameter_slots(pdoc)]
+    bindings: list[list[Fraction]] = []
+    for factor in factors:
+        factor = Fraction(factor)
+        bindings.append([
+            min(max(value * factor, Fraction(0)), Fraction(1))
+            if field == EDGE else value
+            for value, field in base
+        ])
+    return bindings
+
+
 def apply_parameters(pdoc: PDocument, values: Sequence[Fraction]) -> int:
     """Overwrite ``pdoc``'s probability parameters with ``values``
     (canonical slot order), validating the per-node distribution laws

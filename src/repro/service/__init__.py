@@ -15,7 +15,7 @@ Modules
 * :mod:`~repro.service.coalesce` — batches concurrent formula-probability
   requests against one entry into single joint DP passes;
 * :mod:`~repro.service.server`   — the stdlib JSON-over-HTTP server
-  (``/sat``, ``/query``, ``/sample``, ``/check``, ``/stats``,
+  (``/sat``, ``/query``, ``/sample``, ``/sweep``, ``/check``, ``/stats``,
   ``/metrics``, ``/register``) and the transport-independent
   :class:`~repro.service.server.PXDBService` it wraps;
 * :mod:`~repro.service.pool`     — optional process-pool execution for

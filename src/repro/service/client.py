@@ -98,6 +98,16 @@ class ServiceClient:
     def check(self, db: str, document_xml: str) -> dict:
         return self._request("/check", {"db": db, "document": document_xml})
 
+    def sweep(self, db: str, bindings, pattern: str | None = None) -> dict:
+        """Batched parameter sweep: ``bindings`` is a list of parameter
+        vectors (numbers or fraction strings, canonical slot order); the
+        response carries per-binding ``constraint_probability`` (and
+        ``event_probability`` when a Boolean ``pattern`` is given)."""
+        body: dict = {"db": db, "bindings": [list(map(str, row)) for row in bindings]}
+        if pattern is not None:
+            body["pattern"] = pattern
+        return self._request("/sweep", body)
+
     # -- management -----------------------------------------------------------
     def register(self, name: str, pdocument_path: str,
                  constraints_path: str | None = None) -> dict:

@@ -38,10 +38,16 @@ class Coalescer:
     then only catches requests that arrived while a pass was in flight).
     """
 
-    def __init__(self, pxdb: PXDB, window: float = 0.002):
+    def __init__(self, pxdb: PXDB, window: float = 0.002, max_batch: int = 64):
         self.pxdb = pxdb
         self.window = window
+        # Once this many requests are pending the leader drains at once:
+        # a full batch gains nothing from waiting out the window.
+        self.max_batch = max_batch
         self._lock = threading.Lock()
+        # Followers notify on arrival so a waiting leader can re-check the
+        # batch size (and drain early) without polling.
+        self._arrival = threading.Condition(self._lock)
         # Pending: (events, future, link).  ``link`` is a per-request dict
         # the leader stamps with its trace id before running the batch, so
         # a traced follower can record which trace did its work.
@@ -50,6 +56,13 @@ class Coalescer:
         self.batches = 0
         self.coalesced_requests = 0
         self.largest_batch = 0
+        # Sweep-side pending/counters (see sweep_probabilities).
+        self._sweep_pending: list[tuple[object, tuple, list, Future]] = []
+        self._sweep_leader_active = False
+        self.sweep_batches = 0
+        self.sweep_requests = 0
+        self.sweep_columns = 0
+        self.largest_sweep = 0
 
     def event_probabilities(self, events: Sequence[CFormula]) -> list[Fraction]:
         """[Pr(D ⊨ γ) for γ in events], possibly computed inside a joint
@@ -61,6 +74,8 @@ class Coalescer:
             lead = not self._leader_active
             if lead:
                 self._leader_active = True
+            else:
+                self._arrival.notify_all()
         if lead:
             self._drive()
             return future.result()
@@ -78,13 +93,84 @@ class Coalescer:
     def event_probability(self, event: CFormula) -> Fraction:
         return self.event_probabilities([event])[0]
 
-    def _drive(self) -> None:
-        """Leader duty: wait the window, drain everything pending, run one
-        joint pass, slice the results back out.  Repeats while more work
-        arrived during the pass, so no request is left leaderless."""
+    # -- batched parameter sweeps ---------------------------------------------
+    def sweep_probabilities(self, key, events: Sequence[CFormula], rows):
+        """One request's slice of a vectorized parameter sweep.
+
+        ``rows`` is this request's list of parameter bindings; concurrent
+        sweep requests sharing the same ``key`` (the service keys by
+        pattern text, so equal keys mean the same event tuple) are packed
+        *column-wise* into a single ``PXDB.sweep_probabilities`` call —
+        one numpy sweep answers them all.  Returns ``(conditionals,
+        denominators)`` restricted to this request's columns.
+        """
+        future: Future = Future()
+        with self._lock:
+            self._sweep_pending.append((key, tuple(events), list(rows), future))
+            lead = not self._sweep_leader_active
+            if lead:
+                self._sweep_leader_active = True
+            else:
+                self._arrival.notify_all()
+        if lead:
+            self._drive_sweeps()
+        return future.result()
+
+    def _drive_sweeps(self) -> None:
+        """Sweep-leader duty: same early-draining window protocol as
+        :meth:`_drive`, then one vectorized circuit call per key group."""
         while True:
-            if self.window > 0:
-                time.sleep(self.window)
+            self._await_followers(self._sweep_pending)
+            with self._lock:
+                batch = self._sweep_pending
+                self._sweep_pending = []
+                if not batch:
+                    self._sweep_leader_active = False
+                    return
+            self._run_sweep_batch(batch)
+            with self._lock:
+                if not self._sweep_pending:
+                    self._sweep_leader_active = False
+                    return
+
+    def _run_sweep_batch(self, batch) -> None:
+        groups: dict = {}
+        for key, events, rows, future in batch:
+            groups.setdefault(key, []).append((events, rows, future))
+        for members in groups.values():
+            events = members[0][0]
+            flat_rows: list = []
+            slices: list[tuple[int, int]] = []
+            for _, rows, _ in members:
+                start = len(flat_rows)
+                flat_rows.extend(rows)
+                slices.append((start, len(flat_rows)))
+            try:
+                conditionals, denominators = self.pxdb.sweep_probabilities(
+                    events, flat_rows
+                )
+            except BaseException as error:  # noqa: BLE001 — fan the failure out
+                for _, _, future in members:
+                    if not future.done():
+                        future.set_exception(error)
+                continue
+            self.sweep_batches += 1
+            self.sweep_requests += len(members)
+            self.sweep_columns += len(flat_rows)
+            self.largest_sweep = max(self.largest_sweep, len(flat_rows))
+            for (start, stop), (_, _, future) in zip(slices, members):
+                future.set_result(
+                    (conditionals[:, start:stop], denominators[start:stop])
+                )
+
+    def _drive(self) -> None:
+        """Leader duty: wait out the coalescing window (draining early when
+        alone or full — see :meth:`_await_followers`), drain everything
+        pending, run one joint pass, slice the results back out.  Repeats
+        while more work arrived during the pass, so no request is left
+        leaderless."""
+        while True:
+            self._await_followers(self._pending)
             with self._lock:
                 batch = self._pending
                 self._pending = []
@@ -97,6 +183,34 @@ class Coalescer:
                     self._leader_active = False
                     return
                 # New requests arrived while evaluating: stay leader.
+
+    def _await_followers(self, pending: list) -> None:
+        """The leader's coalescing wait, with early drain.
+
+        A lone leader waits one short grace slice (an eighth of the
+        window) for a first follower and then drains — a sequential
+        client must not pay the whole window as a latency floor, but a
+        zero wait would race genuinely concurrent arrivals out of their
+        shared batch (coalescing also still catches requests landing
+        while the pass itself runs).  Once followers are pending the
+        leader waits out the window, woken by further arrivals to drain
+        as soon as the batch ceiling is reached.
+        """
+        if self.window <= 0:
+            return
+        grace = self.window / 8
+        deadline = time.monotonic() + self.window
+        with self._arrival:
+            while len(pending) < self.max_batch:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return
+                if len(pending) <= 1:
+                    self._arrival.wait(min(grace, remaining))
+                    if len(pending) <= 1:
+                        return
+                else:
+                    self._arrival.wait(remaining)
 
     def _run_batch(
         self, batch: list[tuple[Sequence[CFormula], Future, dict]]
@@ -141,4 +255,8 @@ class Coalescer:
                     if self.batches
                     else 0.0
                 ),
+                "sweep_batches": self.sweep_batches,
+                "sweep_requests": self.sweep_requests,
+                "sweep_columns": self.sweep_columns,
+                "largest_sweep": self.largest_sweep,
             }

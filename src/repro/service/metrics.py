@@ -66,18 +66,38 @@ class LatencyHistogram:
         }
 
     def quantile(self, q: float) -> float:
-        """Upper bound of the bucket containing the q-quantile (seconds)."""
+        """The q-quantile estimate in seconds, linearly interpolated
+        inside the containing bucket (``histogram_quantile`` semantics —
+        observations are assumed uniform within their bucket).
+
+        Reporting the bucket's *upper bound* instead would systematically
+        overstate every quantile — a lone 0.3 s observation in the
+        (0.25, 0.5] bucket would read as a 500 ms p99.  Edge cases: an
+        empty histogram reports 0; a quantile landing in the +Inf
+        overflow bucket is clamped to the largest finite bound (that
+        bucket has no upper edge to interpolate toward, and Prometheus
+        clamps the same way).
+        """
         if self.count == 0:
             return 0.0
+        if not self.buckets:
+            return float("inf")
+        q = min(max(q, 0.0), 1.0)
         target = q * self.count
         cumulative = 0
         for index, bucket_count in enumerate(self.counts):
-            cumulative += bucket_count
-            if cumulative >= target:
-                if index < len(self.buckets):
-                    return self.buckets[index]
-                return float("inf")
-        return float("inf")
+            if bucket_count == 0:
+                continue
+            reached = cumulative + bucket_count
+            if reached >= target:
+                if index >= len(self.buckets):
+                    return self.buckets[-1]
+                lower = self.buckets[index - 1] if index else 0.0
+                upper = self.buckets[index]
+                fraction = (target - cumulative) / bucket_count
+                return lower + (upper - lower) * fraction
+            cumulative = reached
+        return self.buckets[-1]
 
     def summary(self) -> dict:
         return {

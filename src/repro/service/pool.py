@@ -216,10 +216,17 @@ class EvaluationPool:
             )
         try:
             future = self._executor.submit(_worker_run, op, name, payload)
-        except BaseException as error:  # shut down or broken executor
+        except Exception as error:  # shut down or broken executor
             self._slots.release()
             self._broken = True
             raise PoolUnavailable(f"pool submit failed: {error}") from error
+        except BaseException:
+            # KeyboardInterrupt/SystemExit must propagate — swallowing them
+            # into the in-process fallback would make ^C evaluate the
+            # request instead of stopping the server.  Release the slot so
+            # a surviving pool stays usable.
+            self._slots.release()
+            raise
         with self._lock:
             self.submitted += 1
         future.add_done_callback(lambda _f: self._slots.release())
@@ -266,7 +273,7 @@ class EvaluationPool:
                             {"stagger": 0.02 * index},
                         )
                     )
-            except BaseException:
+            except Exception:  # shut down mid-probe: report what we have
                 futures = futures or []
             deadline = time.monotonic() + timeout
             for future in futures:

@@ -258,6 +258,68 @@ def check_payload(entry: StoreEntry, document_xml: str) -> dict:
     }
 
 
+def sweep_payload(
+    entry: StoreEntry, bindings, pattern: str | None = None
+) -> dict:
+    """A vectorized parameter sweep over the entry's compiled circuit.
+
+    ``bindings`` is a list of parameter vectors (canonical slot order —
+    :func:`repro.pdoc.parameters.parameter_slots`; values may be numbers
+    or exact fraction strings like ``"1/3"``).  Each binding is evaluated
+    by the batched numpy circuit backend in **one** sweep: Pr(P ⊨ C) per
+    binding, plus Pr(D ⊨ pattern) when a Boolean pattern is given.
+    Concurrent sweeps against the same pattern coalesce column-wise into
+    a single vectorized call (keyed by pattern text, so equal texts share
+    one compiled circuit).
+    """
+    from fractions import Fraction
+
+    from ..core.formulas import exists
+    from ..xmltree.parser import parse_boolean_pattern
+
+    if not isinstance(bindings, (list, tuple)) or not bindings:
+        raise ValueError("bindings must be a non-empty list of parameter vectors")
+    rows = []
+    for i, row in enumerate(bindings):
+        if not isinstance(row, (list, tuple)):
+            raise ValueError(f"binding {i} is not a list of parameter values")
+        try:
+            values = [Fraction(value) for value in row]
+        except (ValueError, TypeError, ZeroDivisionError) as error:
+            raise ValueError(f"binding {i} is not numeric: {error}") from error
+        for value in values:
+            if not 0 <= value <= 1:
+                raise ValueError(
+                    f"binding {i} has a parameter {value} outside [0, 1]"
+                )
+        rows.append(values)
+    if pattern is not None:
+        key = f"sweep\x00{pattern}"
+        known = entry.cached_events(key)
+        if known is not None:
+            events = known[1]
+            entry.circuit_hits += 1
+        else:
+            events = (exists(parse_boolean_pattern(pattern)),)
+            entry.cache_events(key, (), events)
+    else:
+        key = "sweep\x00"
+        events = ()
+    conditionals, denominators = entry.coalescer.sweep_probabilities(
+        key, events, rows
+    )
+    payload = {
+        "db": entry.name,
+        "backend": "batch",
+        "bindings": len(rows),
+        "constraint_probability": [float(v) for v in denominators],
+    }
+    if pattern is not None:
+        payload["pattern"] = pattern
+        payload["event_probability"] = [float(v) for v in conditionals[0]]
+    return payload
+
+
 # -- the service --------------------------------------------------------------
 
 class PXDBService:
@@ -359,6 +421,15 @@ class PXDBService:
     def check(self, db: str, document_xml: str) -> dict:
         with self._request("check", db=db), self.metrics.timed("check"):
             return check_payload(self.store.get(db), document_xml)
+
+    def sweep(self, db: str, bindings, pattern: str | None = None) -> dict:
+        """Batched parameter sweep (always in-process: the vectorized
+        sweep is one numpy pass, and coalescing with concurrent sweeps
+        needs the shared in-process circuit)."""
+        with self._request(
+            "sweep", db=db, bindings=len(bindings) if bindings else 0
+        ), self.metrics.timed("sweep"):
+            return sweep_payload(self.store.get(db), bindings, pattern=pattern)
 
     # -- management endpoints -------------------------------------------------
     def register(
@@ -550,6 +621,12 @@ class _Handler(BaseHTTPRequestHandler):
                     count=int(params.get("count", 1)),
                     seed=int(seed) if seed is not None else None,
                     backend=params.get("backend"),
+                )
+            elif route == "/sweep":
+                payload = service.sweep(
+                    _required(params, "db"),
+                    params.get("bindings"),
+                    pattern=params.get("pattern"),
                 )
             elif route == "/check":
                 payload = service.check(

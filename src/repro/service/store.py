@@ -36,6 +36,7 @@ Invalidation distinguishes two kinds of file edit via the p-document's
 
 from __future__ import annotations
 
+import hashlib
 import os
 import threading
 import time
@@ -119,6 +120,7 @@ class StoreEntry:
     __slots__ = ("name", "pdocument_path", "constraints_path", "pxdb",
                  "constraints", "engine", "coalescer", "lock", "sample_lock",
                  "query_cache", "query_cache_cap", "loaded_at", "mtimes",
+                 "content_fps", "stamped_at",
                  "structure_fp", "param_reloads", "circuit_hits",
                  "query_events", "query_events_cap")
 
@@ -130,7 +132,8 @@ class StoreEntry:
         *,
         pdocument_path: str | None = None,
         constraints_path: str | None = None,
-        mtimes: tuple[int, ...] = (),
+        mtimes: tuple = (),
+        content_fps: tuple = (),
         engine_cache_cap: int | None = None,
         query_cache_cap: int = 128,
         coalesce_window: float = 0.002,
@@ -141,6 +144,8 @@ class StoreEntry:
         self.pxdb = pxdb
         self.constraints = tuple(constraints)
         self.mtimes = mtimes
+        self.content_fps = content_fps
+        self.stamped_at = time.time_ns()
         self.loaded_at = time.time()
         self.lock = threading.Lock()
         # Sampling mutates the warm engine's cache (not concurrency-safe)
@@ -205,7 +210,7 @@ class StoreEntry:
             return known
 
     def apply_parameter_update(
-        self, new_pdoc: PDocument, mtimes: tuple[int, ...]
+        self, new_pdoc: PDocument, mtimes: tuple, content_fps: tuple = ()
     ) -> int:
         """A parameter-only reload: copy ``new_pdoc``'s probability values
         onto the *retained* tree (uids, warm engine and compiled circuits
@@ -221,6 +226,8 @@ class StoreEntry:
         with self.lock:
             self.query_cache.clear()
         self.mtimes = mtimes
+        self.content_fps = content_fps
+        self.stamped_at = time.time_ns()
         self.param_reloads += 1
         return changed
 
@@ -353,10 +360,21 @@ class DocumentStore:
             spec = self._specs[name]
             entry = self._entries.get(name)
             if entry is not None and spec is not None and self.check_mtime:
-                stamps = _mtimes(spec)
-                if stamps != entry.mtimes:
+                stamps = _stamps(spec)
+                fps = None
+                changed = stamps != entry.mtimes
+                if not changed and entry.content_fps and _racy(
+                    stamps, entry.stamped_at
+                ):
+                    # The stat signature is unchanged but was recorded so
+                    # close to the files' mtimes that a same-tick rewrite
+                    # (coarse-timestamp filesystem, fast writer) would be
+                    # invisible to it — break the tie on content.
+                    fps = _fingerprints(spec)
+                    changed = fps != entry.content_fps
+                if changed:
                     try:
-                        rebound = self._try_rebind(entry, spec, stamps)
+                        rebound = self._try_rebind(entry, spec, stamps, fps)
                     except ValueError:
                         # The entry's tree may already carry the bad
                         # parameters — drop it; the spec survives, so the
@@ -427,7 +445,7 @@ class DocumentStore:
     # -- internals ------------------------------------------------------------
     def _try_rebind(
         self, entry: StoreEntry, spec: tuple[str, str | None],
-        stamps: tuple[int, ...],
+        stamps: tuple, fps: tuple | None = None,
     ) -> bool:
         """Attempt a parameter-only refresh of a stale entry.
 
@@ -441,10 +459,18 @@ class DocumentStore:
             return False
         if len(stamps) == 2 and stamps[1] != entry.mtimes[1]:
             return False  # the constraint file changed: full reload
+        if fps is None:
+            fps = _fingerprints(spec)
+        if (
+            len(fps) == 2
+            and len(entry.content_fps) == 2
+            and fps[1] != entry.content_fps[1]
+        ):
+            return False  # same-tick constraint rewrite: full reload
         new_pdoc = read_pdocument(spec[0])
         if new_pdoc.root.structure_fingerprint() != entry.structure_fp:
             return False
-        entry.apply_parameter_update(new_pdoc, stamps)
+        entry.apply_parameter_update(new_pdoc, stamps, fps)
         return True
 
     def _load(self, name: str, spec: tuple[str, str | None]) -> StoreEntry:
@@ -457,7 +483,8 @@ class DocumentStore:
             constraints,
             pdocument_path=pdocument_path,
             constraints_path=constraints_path,
-            mtimes=_mtimes(spec),
+            mtimes=_stamps(spec),
+            content_fps=_fingerprints(spec),
             engine_cache_cap=self._engine_cache_cap,
             query_cache_cap=self._query_cache_cap,
             coalesce_window=self._coalesce_window,
@@ -471,15 +498,47 @@ class DocumentStore:
             self.evictions += 1
 
 
-def _mtimes(spec: tuple[str, str | None]) -> tuple[int, ...]:
-    """st_mtime_ns of the spec's files (0 for a missing file, so deletion
-    also invalidates)."""
+# A same-stat rewrite is only possible while the filesystem clock is
+# within its timestamp granularity of the recorded stamp; 2 s covers
+# 1-second-resolution filesystems with margin (git's racy-clean window).
+_RACY_WINDOW_NS = 2_000_000_000
+
+
+def _stamps(spec: tuple[str, str | None]) -> tuple[tuple[int, int], ...]:
+    """(st_mtime_ns, st_size) of the spec's files ((0, 0) for a missing
+    file, so deletion also invalidates).  Size breaks most same-tick
+    rewrite ties; equal-size ties fall to the content fingerprint."""
     stamps = []
     for path in spec:
         if path is None:
             continue
         try:
-            stamps.append(os.stat(path).st_mtime_ns)
+            status = os.stat(path)
+            stamps.append((status.st_mtime_ns, status.st_size))
         except OSError:
-            stamps.append(0)
+            stamps.append((0, 0))
     return tuple(stamps)
+
+
+def _fingerprints(spec: tuple[str, str | None]) -> tuple[bytes, ...]:
+    """A content digest per spec file (empty for an unreadable file)."""
+    prints = []
+    for path in spec:
+        if path is None:
+            continue
+        try:
+            data = Path(path).read_bytes()
+        except OSError:
+            prints.append(b"")
+            continue
+        prints.append(hashlib.blake2b(data, digest_size=16).digest())
+    return tuple(prints)
+
+
+def _racy(stamps: tuple, stamped_at_ns: int) -> bool:
+    """Whether any file's mtime is close enough to the time the stamps
+    were recorded that a same-stat rewrite could hide from ``os.stat``."""
+    return any(
+        mtime_ns and stamped_at_ns - mtime_ns <= _RACY_WINDOW_NS
+        for mtime_ns, _ in stamps
+    )

@@ -20,17 +20,34 @@ def test_quantile_of_empty_histogram_is_zero():
     assert summary["p99_ms"] == 0.0
 
 
-def test_quantile_single_observation_single_bucket():
+def test_quantile_single_observation_interpolates_within_bucket():
     histogram = LatencyHistogram()
     histogram.observe(0.003)  # lands in the (0.0025, 0.005] bucket
-    # Every quantile of a one-observation histogram is that bucket's bound.
-    assert histogram.quantile(0.01) == 0.005
-    assert histogram.quantile(0.5) == 0.005
-    assert histogram.quantile(1.0) == 0.005
+    # Interpolated quantiles travel through the bucket instead of pinning
+    # to its upper bound (the old behavior read every quantile as 5 ms).
+    assert histogram.quantile(0.5) == pytest.approx(0.00375)
+    assert histogram.quantile(1.0) == pytest.approx(0.005)
+    assert 0.0025 < histogram.quantile(0.01) < 0.005
 
 
-def test_quantile_overflow_bucket_is_infinite():
+def test_quantile_monotone_in_q():
+    histogram = LatencyHistogram()
+    for value in (0.0001, 0.003, 0.003, 0.04, 1.7):
+        histogram.observe(value)
+    quantiles = [histogram.quantile(q / 20) for q in range(21)]
+    assert quantiles == sorted(quantiles)
+
+
+def test_quantile_overflow_bucket_clamps_to_highest_bound():
     histogram = LatencyHistogram(buckets=(0.1,))
+    histogram.observe(5.0)
+    # Observations beyond the last finite bucket have no upper bound to
+    # interpolate toward; report the highest finite bound, not infinity.
+    assert histogram.quantile(0.5) == 0.1
+
+
+def test_quantile_without_buckets_is_infinite():
+    histogram = LatencyHistogram(buckets=())
     histogram.observe(5.0)
     assert histogram.quantile(0.5) == float("inf")
 
@@ -40,8 +57,17 @@ def test_quantile_two_buckets_split():
     for _ in range(9):
         histogram.observe(0.0001)
     histogram.observe(0.5)
-    assert histogram.quantile(0.5) == 0.001
-    assert histogram.quantile(0.99) == 1.0
+    # q=0.5 -> 5th of 9 observations in (0, 0.001]: 0.001 * 5/9.
+    assert histogram.quantile(0.5) == pytest.approx(0.001 * 5 / 9)
+    # q=0.99 -> rank 9.9 of 10, 0.9 into the (0.001, 1.0] bucket.
+    assert histogram.quantile(0.99) == pytest.approx(0.001 + 0.999 * 0.9)
+
+
+def test_quantile_skips_empty_buckets():
+    histogram = LatencyHistogram(buckets=(0.001, 0.01, 0.1, 1.0))
+    histogram.observe(0.5)  # only the (0.1, 1.0] bucket is occupied
+    assert 0.1 < histogram.quantile(0.01) <= 1.0
+    assert histogram.quantile(1.0) == pytest.approx(1.0)
 
 
 # -- Prometheus text exposition -----------------------------------------------

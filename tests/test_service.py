@@ -5,6 +5,7 @@ from __future__ import annotations
 import os
 import random
 import threading
+import time
 from fractions import Fraction
 from pathlib import Path
 
@@ -224,8 +225,11 @@ def test_latency_histogram_quantiles():
         histogram.observe(seconds)
     summary = histogram.summary()
     assert summary["count"] == 7
-    assert summary["p50_ms"] == 0.5  # first bucket upper bound
-    assert summary["p99_ms"] == 500.0
+    # p50: rank 3.5 of 6 observations in the (0, 0.0005] bucket.
+    assert summary["p50_ms"] == round(0.0005 * 3.5 / 6 * 1000, 3)
+    # p99: 0.93 into the (0.25, 0.5] bucket that holds the 0.3 s outlier
+    # (the old upper-bound rule read this as a flat 500 ms).
+    assert summary["p99_ms"] == 482.5
     assert summary["mean_ms"] > 0
 
 
@@ -576,3 +580,228 @@ def test_http_metrics_prometheus(http_service):
         assert response.headers["Content-Type"].startswith("text/plain")
     # Default stays JSON.
     assert "counters" in client.metrics()
+
+
+# -- regressions: same-tick store invalidation --------------------------------
+
+def test_store_same_tick_constraint_rewrite_detected(catalog_files):
+    """An edit that leaves ``(st_mtime_ns, st_size)`` unchanged must still
+    invalidate: the content fingerprint catches same-tick rewrites."""
+    pdoc_path, constraints_path = catalog_files
+    store = DocumentStore()
+    first = store.register("cat", pdoc_path, constraints_path)
+    assert first.pxdb.constraint_probability() == Fraction(5, 8)
+    stat = os.stat(constraints_path)
+    # Same byte length (">= 1" -> ">= 0"), mtime pinned back: stat-identical.
+    constraints_path.write_text(CONSTRAINTS.replace(">= 1", ">= 0"))
+    os.utime(constraints_path, ns=(stat.st_atime_ns, stat.st_mtime_ns))
+    after = os.stat(constraints_path)
+    assert (after.st_mtime_ns, after.st_size) == (stat.st_mtime_ns, stat.st_size)
+    second = store.get("cat")
+    assert second is not first
+    assert second.pxdb.constraint_probability() == 1  # trivial new constraint
+    assert store.stats()["reloads"] == 1
+
+
+def test_store_same_tick_double_rewrite_one_tick(catalog_files):
+    """The issue's exact scenario: a file rewritten twice within one mtime
+    tick.  The store observes the first rewrite, then the second lands on
+    the very same ``(st_mtime_ns, st_size)`` stamp — only the fingerprint
+    distinguishes them."""
+    pdoc_path, constraints_path = catalog_files
+    store = DocumentStore()
+    store.register("cat", pdoc_path, constraints_path)
+    stat = os.stat(constraints_path)
+    # First rewrite inside the tick, observed by the store.
+    constraints_path.write_text(CONSTRAINTS.replace(">= 1", ">= 0"))
+    os.utime(constraints_path, ns=(stat.st_atime_ns, stat.st_mtime_ns))
+    assert store.get("cat").pxdb.constraint_probability() == 1
+    # Second rewrite, still on the same stamp.
+    constraints_path.write_text(CONSTRAINTS.replace(">= 1", ">= 2"))
+    os.utime(constraints_path, ns=(stat.st_atime_ns, stat.st_mtime_ns))
+    reloaded = store.get("cat")
+    # count(book) >= 2 needs both books: Pr = 1/2 * 1/4.
+    assert reloaded.pxdb.constraint_probability() == Fraction(1, 8)
+    assert store.stats()["reloads"] == 2
+
+
+def test_store_same_tick_parameter_edit_rebinds(catalog_files):
+    """A same-tick *parameter* edit takes the warm re-bind path, not a
+    full reload: fingerprints detect the change, structure fingerprints
+    keep the entry."""
+    pdoc_path, constraints_path = catalog_files
+    store = DocumentStore()
+    first = store.register("cat", pdoc_path, constraints_path)
+    engine = first.engine
+    stat = os.stat(pdoc_path)
+    text = pdoc_path.read_text()
+    assert "1/2" in text
+    pdoc_path.write_text(text.replace("1/2", "1/3", 1))  # same byte length
+    os.utime(pdoc_path, ns=(stat.st_atime_ns, stat.st_mtime_ns))
+    after = os.stat(pdoc_path)
+    assert (after.st_mtime_ns, after.st_size) == (stat.st_mtime_ns, stat.st_size)
+    second = store.get("cat")
+    assert second is first
+    assert second.engine is engine
+    assert second.param_reloads == 1
+    # Pr(C) = 1 - (1 - 1/3)(1 - 1/4) = 1/2.
+    assert second.pxdb.constraint_probability() == Fraction(1, 2)
+
+
+# -- regressions: pool interrupt handling -------------------------------------
+
+def test_pool_interrupt_propagates_and_releases_slot(catalog_files):
+    """KeyboardInterrupt raised while submitting must propagate (not be
+    swallowed into PoolUnavailable/fallback), must not mark the pool
+    broken, and must release the queue slot."""
+    store = DocumentStore()
+    store.register("cat", *catalog_files)
+    with EvaluationPool(store.specs(), workers=1, queue_limit=1,
+                        timeout=60.0) as pool:
+        real_submit = pool._executor.submit
+
+        def interrupted(*args, **kwargs):
+            raise KeyboardInterrupt
+
+        pool._executor.submit = interrupted
+        try:
+            with pytest.raises(KeyboardInterrupt):
+                pool.run("sat", "cat")
+        finally:
+            pool._executor.submit = real_submit
+        # With queue_limit=1 a leaked slot would reject this immediately,
+        # and a pool marked broken would refuse it outright.
+        assert pool.run("sat", "cat")["constraint_probability"] == "5/8"
+
+
+def test_pool_submit_error_still_degrades(catalog_files):
+    """Ordinary executor failures keep the graceful-degradation contract:
+    PoolUnavailable, so the service falls back in-process."""
+    store = DocumentStore()
+    store.register("cat", *catalog_files)
+    with EvaluationPool(store.specs(), workers=1, timeout=60.0) as pool:
+        def failing(*args, **kwargs):
+            raise RuntimeError("executor shut down")
+
+        pool._executor.submit = failing
+        with pytest.raises(PoolUnavailable, match="submit failed"):
+            pool.run("sat", "cat")
+
+
+# -- regressions: coalescer early drain ---------------------------------------
+
+def test_coalescer_sequential_requests_drain_early(catalog_files):
+    """A lone leader must not sleep the full window — three sequential
+    calls against a 0.25 s window would otherwise take >= 0.75 s."""
+    pdoc = read_pdocument(catalog_files[0])
+    db = PXDB(pdoc, read_constraints(catalog_files[1]))
+    event = exists(Query.parse(QUERY).pattern)
+    direct = db.event_probability(event)
+    coalescer = Coalescer(db, window=0.25)
+    started = time.monotonic()
+    for _ in range(3):
+        assert coalescer.event_probability(event) == direct
+    elapsed = time.monotonic() - started
+    assert elapsed < 0.25
+    assert coalescer.stats()["batches"] == 3
+
+
+def test_coalescer_await_followers_drains_at_ceiling():
+    coalescer = Coalescer(PXDB(make_catalog()), window=0.8, max_batch=2)
+    started = time.monotonic()
+    coalescer._await_followers([object(), object()])  # ceiling: no wait at all
+    assert time.monotonic() - started < 0.05
+    coalescer._await_followers([object()])            # lone leader: grace only
+    coalescer._await_followers([])                    # emptied queue: grace only
+    # Pre-fix each call slept the full window (2.4 s total); the two lone
+    # calls above pay at most one window/8 grace slice each.
+    assert time.monotonic() - started < 0.5
+
+
+# -- the batched parameter sweep through the service stack --------------------
+
+def test_coalescer_sweep_batches_columns(catalog_files):
+    pytest.importorskip("numpy")
+    from repro.pdoc.parameters import parameter_values
+
+    pdoc = read_pdocument(catalog_files[0])
+    db = PXDB(pdoc, read_constraints(catalog_files[1]))
+    event = exists(Query.parse(QUERY).pattern)
+    rows_a = [parameter_values(pdoc), [Fraction(1), Fraction(0)]]
+    rows_b = [[Fraction(1, 3), Fraction(1, 3)]]
+    coalescer = Coalescer(db, window=0.02)
+    out = {}
+
+    def worker(tag, rows):
+        out[tag] = coalescer.sweep_probabilities("k", (event,), rows)
+
+    threads = [
+        threading.Thread(target=worker, args=("a", rows_a)),
+        threading.Thread(target=worker, args=("b", rows_b)),
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    for tag, rows in (("a", rows_a), ("b", rows_b)):
+        conditionals, denominators = out[tag]
+        expected_cond, expected_denom = db.sweep_probabilities((event,), rows)
+        # Column-sliced batch results are bitwise the standalone sweep.
+        assert denominators.tolist() == expected_denom.tolist()
+        assert conditionals.tolist() == expected_cond.tolist()
+    stats = coalescer.stats()
+    assert stats["sweep_requests"] == 2
+    assert stats["sweep_columns"] == 3
+    assert 1 <= stats["sweep_batches"] <= 2
+    assert stats["largest_sweep"] >= 1
+
+
+def test_service_sweep_matches_hand_computation(catalog_service):
+    pytest.importorskip("numpy")
+    payload = catalog_service.sweep(
+        "cat",
+        [["1/2", "1/4"], ["1", "0"]],
+        pattern="catalog/shelf/book/title/Dune",
+    )
+    assert payload["backend"] == "batch"
+    assert payload["bindings"] == 2
+    # Pr(C) = 1 - (1-p1)(1-p2) per binding.
+    assert payload["constraint_probability"] == pytest.approx([0.625, 1.0])
+    # Pr(Dune | C) = p1 / Pr(C).
+    assert payload["event_probability"] == pytest.approx([0.8, 1.0])
+    assert catalog_service.metrics.counter("sweep.requests") == 1
+    # Equal pattern text reuses the cached compiled event.
+    entry = catalog_service.store.get("cat")
+    hits = entry.circuit_hits
+    catalog_service.sweep("cat", [["1/2", "1/4"]],
+                          pattern="catalog/shelf/book/title/Dune")
+    assert entry.circuit_hits == hits + 1
+
+
+def test_service_sweep_rejects_bad_bindings(catalog_service):
+    pytest.importorskip("numpy")
+    with pytest.raises(ValueError, match="non-empty list"):
+        catalog_service.sweep("cat", [])
+    with pytest.raises(ValueError, match="not a list"):
+        catalog_service.sweep("cat", ["1/2"])
+    with pytest.raises(ValueError, match="not numeric"):
+        catalog_service.sweep("cat", [["bogus", "1/2"]])
+    with pytest.raises(ValueError, match="outside"):
+        catalog_service.sweep("cat", [["3/2", "1/2"]])
+    with pytest.raises(ValueError, match="parameter values per binding"):
+        catalog_service.sweep("cat", [["1/2"]])
+
+
+def test_http_sweep_roundtrip(http_service):
+    pytest.importorskip("numpy")
+    client, _service = http_service
+    body = client.sweep(
+        "cat", [[Fraction(1, 2), Fraction(1, 4)]], pattern="catalog/shelf/book"
+    )
+    assert body["constraint_probability"] == pytest.approx([0.625])
+    # "at least one book" is exactly the constraint: conditional is 1.
+    assert body["event_probability"] == pytest.approx([1.0])
+    without_pattern = client.sweep("cat", [["1", "0"], ["0", "1"]])
+    assert without_pattern["constraint_probability"] == pytest.approx([1.0, 1.0])
+    assert "event_probability" not in without_pattern

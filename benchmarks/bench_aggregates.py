@@ -1,20 +1,31 @@
 """E5 — Theorem 7.1: MIN, MAX and RATIO stay tractable.
+E15 — the approximation tier answers NP-hard SUM events with certified
+error where exact enumeration is out of reach.
 
 Claims regenerated:
 
 * exactness — MIN/MAX (via the CNT rewriting) and RATIO (native automaton
   support) agree with the exponential baseline on small numeric workloads;
 * shape — evaluation cost over AF^{CNT,MAX,MIN,RATIO} constraints grows
-  polynomially with the workload width, far past the baseline's reach.
+  polynomially with the workload width, far past the baseline's reach;
+* the guaranteed-accuracy tier (repro.approx) answers a conditioned
+  SUM event on a Subset-Sum gadget whose enumeration would take >10 s in
+  under a second warm, with an interval that contains the exact value,
+  and the empirical-Bernstein rule stops with a fraction of the fixed-n
+  Hoeffding budget on low-variance instances.
 """
 
 from __future__ import annotations
 
+import time
 from fractions import Fraction
 
 import pytest
 
+from repro.aggregates.hardness import subset_sum_pdocument
 from repro.aggregates.ratio import at_least_fraction
+from repro.aggregates.sumavg import sum_count_distribution
+from repro.approx import hoeffding_sample_size, parse_event
 from repro.baseline.naive import naive_probability
 from repro.core.evaluator import probability
 from repro.core.formulas import (
@@ -24,6 +35,7 @@ from repro.core.formulas import (
     SFormula,
     conjunction,
 )
+from repro.core.pxdb import PXDB
 from repro.obs.benchrec import benchmark_mean
 from repro.workloads.synthetic import numeric_pdocument
 from repro.workloads.university import scaled_university
@@ -88,6 +100,124 @@ def test_bench_ratio_scaling(benchmark, members, report, record):
         f"RATIO members={members}",
         wall_s=benchmark_mean(benchmark),
         counters={"members": members},
+    )
+
+
+# -- E15: the guaranteed-accuracy approximation tier ---------------------------
+
+# Sixteen odd items: every subset sum is distinct enough that the joint
+# (sum, count) DP stays small while 2^16 worlds are far past enumeration.
+E15_ITEMS = [3, 5, 7, 9, 11, 13, 15, 17, 19, 21, 23, 25, 27, 29, 31, 33]
+E15_CONDITION = "count(*//$*) >= 3"  # at least three items survive
+E15_EVENT = "sum(all) > 30"
+E15_EPSILON = 0.02
+E15_DELTA = 0.05
+
+
+def _exact_conditional(items, threshold, min_items):
+    """Exact Pr(SUM > threshold | >= min_items kept) from the joint
+    (sum, count) distribution — pseudo-polynomial, so it reaches n = 16
+    where per-world enumeration cannot.  The distribution counts every
+    document node including the non-numeric root, hence the +1."""
+    dist = sum_count_distribution(subset_sum_pdocument(items))
+    numerator = sum(
+        p for (s, c), p in dist.items() if s > threshold and c >= min_items + 1
+    )
+    denominator = sum(p for (s, c), p in dist.items() if c >= min_items + 1)
+    return numerator / denominator
+
+
+def test_e15_enumeration_wall(benchmark, report):
+    """Exact per-world enumeration is out of reach at n = 16: timing the
+    n = 10 prefix and scaling by 2^6 puts it far beyond 10 seconds."""
+    prefix = E15_ITEMS[:10]
+    formula = conjunction(
+        [parse_event(E15_EVENT), parse_event(E15_CONDITION)]
+    )
+    pdoc = subset_sum_pdocument(prefix)
+    start = time.perf_counter()
+    naive_probability(pdoc, formula)
+    elapsed = time.perf_counter() - start
+    projected = elapsed * 2 ** (len(E15_ITEMS) - len(prefix))
+    assert projected > 10.0, (
+        f"enumeration projects to {projected:.1f}s at n=16 — the gadget no "
+        "longer justifies the approximation tier"
+    )
+    report(
+        f"E15 enumeration n=10 takes {elapsed:.2f}s -> projected "
+        f"{projected:.0f}s at n=16"
+    )
+
+
+@pytest.mark.parametrize("n", [6, 8, 10])
+def test_e15_interval_contains_exact_on_enumerable_instances(n, report):
+    """On instances small enough to enumerate, the certified interval
+    contains the exact conditional probability."""
+    items = E15_ITEMS[:n]
+    pdoc = subset_sum_pdocument(items)
+    condition = parse_event(E15_CONDITION)
+    event = parse_event(E15_EVENT)
+    exact = naive_probability(pdoc, conjunction([event, condition])) / (
+        naive_probability(pdoc, condition)
+    )
+    db = PXDB(pdoc, [condition])
+    result = db.approx_probability(
+        event, epsilon=E15_EPSILON, delta=E15_DELTA, seed=100 + n
+    )
+    assert result.lo <= float(exact) <= result.hi, (n, result, float(exact))
+    assert _exact_conditional(items, 30, 3) == exact  # DP cross-check
+    report(
+        f"E15 containment n={n:>2}: exact {float(exact):.4f} in "
+        f"[{result.lo:.4f}, {result.hi:.4f}] after {result.n} draws"
+    )
+
+
+def test_e15_approx_tier_answers_hard_sum(benchmark, report, record):
+    """The headline run: eps=0.02, delta=0.05 on the n=16 gadget in under
+    a second warm, interval containing the DP's exact conditional, and
+    empirical-Bernstein using measurably fewer samples than fixed-n
+    Hoeffding would."""
+    exact = float(_exact_conditional(E15_ITEMS, 30, 3))
+    condition = parse_event(E15_CONDITION)
+    event = parse_event(E15_EVENT)
+    db = PXDB(subset_sum_pdocument(E15_ITEMS), [condition])
+    # Warm the sampler engines (the serving scenario: the store keeps the
+    # PXDB hot; only the first-ever request pays compilation).
+    db.approx_probability(event, epsilon=0.2, seed=0)
+
+    benchmark.group = "E15-approx"
+    result = benchmark.pedantic(
+        lambda: db.approx_probability(
+            event, epsilon=E15_EPSILON, delta=E15_DELTA, seed=1215
+        ),
+        rounds=3,
+        iterations=1,
+    )
+    wall = benchmark_mean(benchmark)
+    assert wall < 1.0, f"warm approx answer took {wall:.2f}s (budget 1s)"
+    assert result.lo <= exact <= result.hi
+    assert result.stopped == "target"
+
+    hoeffding_n = hoeffding_sample_size(E15_EPSILON, E15_DELTA)  # 4612
+    assert result.n < hoeffding_n / 2, (
+        f"empirical-Bernstein used {result.n} samples, expected well under "
+        f"the fixed-n Hoeffding budget of {hoeffding_n}"
+    )
+    report(
+        f"E15 approx SUM>30 | C: {result.estimate:.4f} in "
+        f"[{result.lo:.4f}, {result.hi:.4f}] (exact {exact:.4f}), "
+        f"n={result.n} vs Hoeffding {hoeffding_n}, {wall * 1000:.0f} ms warm"
+    )
+    record(
+        "approx SUM event n=16",
+        wall_s=wall,
+        counters={
+            "n_samples": result.n,
+            "hoeffding_n": hoeffding_n,
+            "epsilon": E15_EPSILON,
+            "delta": E15_DELTA,
+        },
+        speedup=hoeffding_n / result.n,
     )
 
 

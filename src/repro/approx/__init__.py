@@ -1,0 +1,61 @@
+"""The guaranteed-accuracy approximation tier for NP-hard aggregates.
+
+Exact evaluation of SUM/AVG events under constraints is NP-hard
+(Proposition 7.2), but the paper's polynomial conditioned sampler makes
+an unbiased Monte-Carlo estimator with *certified* additive error the
+natural serving tier:
+
+* :mod:`repro.approx.bounds` — Hoeffding and empirical-Bernstein
+  stopping rules (fixed-n and adaptive/anytime), each certifying
+  ``estimate ± ε`` at confidence 1 − δ;
+* :mod:`repro.approx.estimator` — batched, seedable, span-instrumented
+  estimation of arbitrary c-formula events over the warm sampler;
+* :mod:`repro.approx.events` — the textual aggregate-event grammar the
+  CLI (``repro approx``) and the service (``/approx``) accept.
+
+Wired as ``backend="approx"`` through :class:`~repro.core.pxdb.PXDB`
+(``approx_probability`` / ``approx_query``), the service routes and the
+CLI.  See docs/ALGORITHM.md §10 for the derivation.
+"""
+
+from .bounds import (
+    DEFAULT_RULE,
+    RULES,
+    AnytimeHoeffding,
+    BoundedEstimate,
+    EmpiricalBernstein,
+    FixedHoeffding,
+    StoppingRule,
+    bernstein_halfwidth,
+    hoeffding_halfwidth,
+    hoeffding_sample_size,
+    make_rule,
+)
+from .estimator import (
+    DEFAULT_DELTA,
+    DEFAULT_EPSILON,
+    DEFAULT_MAX_SAMPLES,
+    ApproxEstimator,
+    ApproxResult,
+)
+from .events import parse_event
+
+__all__ = [
+    "DEFAULT_RULE",
+    "RULES",
+    "AnytimeHoeffding",
+    "ApproxEstimator",
+    "ApproxResult",
+    "BoundedEstimate",
+    "DEFAULT_DELTA",
+    "DEFAULT_EPSILON",
+    "DEFAULT_MAX_SAMPLES",
+    "EmpiricalBernstein",
+    "FixedHoeffding",
+    "StoppingRule",
+    "bernstein_halfwidth",
+    "hoeffding_halfwidth",
+    "hoeffding_sample_size",
+    "make_rule",
+    "parse_event",
+]

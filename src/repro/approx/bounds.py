@@ -1,0 +1,321 @@
+"""Concentration bounds and adaptive stopping rules for the Monte-Carlo tier.
+
+Every estimator in :mod:`repro.approx` averages i.i.d. indicator draws
+X₁, …, Xₙ ∈ [0, 1] from the conditioned sampler and must certify
+
+    Pr(|X̄ₙ − μ| ≤ ε) ≥ 1 − δ
+
+for a *user-chosen* additive error ε at confidence 1 − δ.  Three rules:
+
+* :class:`FixedHoeffding` — the classical bound.  The sample size
+  n = ⌈ln(2/δ) / (2ε²)⌉ is fixed *before* any data is seen, so the plain
+  Hoeffding inequality applies at the stopping time (which is therefore
+  deterministic — stopping early at a data-independent cap stays valid).
+* :class:`AnytimeHoeffding` — a sequential variant whose interval is
+  simultaneously valid at *every* checkpoint (union bound over
+  checkpoints k with budgets δₖ = δ/(k(k+1)), which sum to δ).  Pays a
+  slightly larger final n than the fixed rule for the right to stop —
+  and report a sound interval — at any point, e.g. a ``max_samples`` cap.
+* :class:`EmpiricalBernstein` — the adaptive rule (EBStop family:
+  Audibert, Munos & Szepesvári 2007; Mnih, Szepesvári & Audibert 2008).
+  Its half-width
+
+      h = √(2 Vₙ ln(3/δₖ) / n) + 3 ln(3/δₖ) / n
+
+  replaces the worst-case range with the *empirical* variance Vₙ, so on
+  low-variance streams (probabilities near 0 or 1 — exactly where the
+  NP-hard SUM/AVG events of Proposition 7.2 usually land) it stops with
+  a fraction of Hoeffding's samples; the additive 3 ln(3/δₖ)/n term
+  keeps it valid even when Vₙ underestimates the true variance.
+
+Checkpoint scheduling is *adaptive*: after each checkpoint the rule
+solves its own half-width formula for the smallest n that would reach ε
+at the current variance estimate and jumps (growth-capped) straight
+there, so the harmonic δₖ budget is spent on a handful of checkpoints
+instead of leaking on every draw.
+
+Sequential intervals are reported as the *intersection* of all
+checkpoint intervals — the union bound makes them simultaneously valid,
+and intersecting can only tighten the result.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, NamedTuple
+
+
+class BoundedEstimate(NamedTuple):
+    """``(estimate, lo, hi, n)``: X̄ₙ with its certified confidence
+    interval, clipped to [0, 1] (probabilities cannot leave the unit
+    interval, and clipping an interval that contains μ keeps μ)."""
+
+    estimate: float
+    lo: float
+    hi: float
+    n: int
+
+
+def hoeffding_sample_size(epsilon: float, delta: float = 0.05) -> int:
+    """Samples for additive error ``epsilon`` at confidence 1 − ``delta``:
+    n = ⌈ln(2/δ) / (2ε²)⌉ (Hoeffding's inequality for [0, 1] variables)."""
+    _validate(epsilon, delta)
+    return math.ceil(math.log(2.0 / delta) / (2.0 * epsilon * epsilon))
+
+
+def hoeffding_halfwidth(n: int, delta: float) -> float:
+    """The half-width √(ln(2/δ) / 2n) certified by n fixed-size samples."""
+    return math.sqrt(math.log(2.0 / delta) / (2.0 * n))
+
+
+def bernstein_halfwidth(variance: float, n: int, delta: float) -> float:
+    """The empirical-Bernstein half-width at sample variance ``variance``."""
+    log_term = math.log(3.0 / delta)
+    return math.sqrt(2.0 * variance * log_term / n) + 3.0 * log_term / n
+
+
+def _validate(epsilon: float, delta: float) -> None:
+    if not 0.0 < epsilon < 1.0 or not 0.0 < delta < 1.0:
+        raise ValueError("epsilon and delta must lie in (0, 1)")
+
+
+class StoppingRule:
+    """Base: Welford-accumulated mean/variance plus the certification API.
+
+    Subclasses decide *when* the certified half-width reaches ε.  Usage::
+
+        rule = EmpiricalBernstein(epsilon=0.02, delta=0.05)
+        while not rule.done and n < cap:
+            rule.observe(draw())
+        estimate, lo, hi, n_used = rule.finalize()
+    """
+
+    name = "?"
+
+    def __init__(self, epsilon: float, delta: float = 0.05):
+        _validate(epsilon, delta)
+        self.epsilon = float(epsilon)
+        self.delta = float(delta)
+        self._n = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        # Running certified interval (intersection over checkpoints for
+        # the sequential rules); [0, 1] is trivially valid at n = 0.
+        self._lo = 0.0
+        self._hi = 1.0
+        self._done = False
+
+    # -- data -----------------------------------------------------------------
+    def observe(self, value: float) -> None:
+        """Fold one draw in (must lie in [0, 1]); O(1)."""
+        if not 0.0 <= value <= 1.0:
+            raise ValueError(f"observations must lie in [0, 1], got {value!r}")
+        self._n += 1
+        delta = value - self._mean
+        self._mean += delta / self._n
+        self._m2 += delta * (value - self._mean)
+        self._advance()
+
+    def observe_many(self, values: Iterable[float]) -> None:
+        for value in values:
+            self.observe(value)
+
+    # -- state ----------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        return self._n
+
+    @property
+    def mean(self) -> float:
+        return self._mean
+
+    @property
+    def variance(self) -> float:
+        """The (biased, 1/n) sample variance — the Vₙ of the EB bound."""
+        return self._m2 / self._n if self._n else 0.0
+
+    @property
+    def done(self) -> bool:
+        """Whether the certified half-width has reached ε."""
+        return self._done
+
+    @property
+    def interval(self) -> tuple[float, float]:
+        return self._lo, self._hi
+
+    def result(self) -> BoundedEstimate:
+        """The current estimate with its certified interval."""
+        lo, hi = self._lo, self._hi
+        estimate = min(max(self._mean, lo), hi)
+        return BoundedEstimate(estimate, lo, hi, self._n)
+
+    def finalize(self) -> BoundedEstimate:
+        """Certify at the *current* n (sequential rules spend one final
+        checkpoint if draws arrived past the last one — the way to get
+        the tightest sound interval after a ``max_samples`` truncation),
+        then report."""
+        return self.result()
+
+    def suggest_batch(self, cap: int = 256) -> int:
+        """How many further draws to take before the next decision point
+        (a batching hint, not a contract — overshooting a checkpoint is
+        always sound, the checkpoint simply fires at a larger n)."""
+        raise NotImplementedError
+
+    # -- subclass hook ---------------------------------------------------------
+    def _advance(self) -> None:
+        raise NotImplementedError
+
+    def _intersect(self, halfwidth: float) -> None:
+        self._lo = max(self._lo, self._mean - halfwidth)
+        self._hi = min(self._hi, self._mean + halfwidth)
+        if halfwidth <= self.epsilon:
+            self._done = True
+
+
+class FixedHoeffding(StoppingRule):
+    """The fixed-n rule: draw exactly ⌈ln(2/δ)/(2ε²)⌉ samples, report
+    X̄ ± ε.  Data-independent by construction — its only legitimate early
+    exit is a *predetermined* cap, where the bound still holds at the
+    capped n (the stopping time never looked at the data)."""
+
+    name = "hoeffding"
+
+    def __init__(self, epsilon: float, delta: float = 0.05):
+        super().__init__(epsilon, delta)
+        self.n_target = hoeffding_sample_size(epsilon, delta)
+
+    def _advance(self) -> None:
+        if self._n >= self.n_target:
+            self._intersect(hoeffding_halfwidth(self._n, self.delta))
+
+    def finalize(self) -> BoundedEstimate:
+        if not self._done and self._n:
+            # Truncated below n_target: n was capped a priori, so the
+            # plain (wider-than-ε) Hoeffding interval at this n is valid.
+            self._intersect(hoeffding_halfwidth(self._n, self.delta))
+            self._done = False
+        return self.result()
+
+    def suggest_batch(self, cap: int = 256) -> int:
+        return max(1, min(cap, self.n_target - self._n))
+
+
+class _Sequential(StoppingRule):
+    """Shared checkpoint machinery: harmonic δ budget + adaptive jumps."""
+
+    #: First checkpoint — below this the variance estimate is noise.
+    FIRST_CHECKPOINT = 32
+    #: Per-checkpoint growth cap on the adaptive jump.  Jumping straight
+    #: to the projected target trusts a possibly-low variance estimate;
+    #: capping at 4× bounds the overshoot to one re-plan per quadrupling.
+    GROWTH = 4
+
+    def __init__(self, epsilon: float, delta: float = 0.05):
+        super().__init__(epsilon, delta)
+        self._k = 0
+        self._checked_at = 0
+        self._next_checkpoint = self.FIRST_CHECKPOINT
+
+    def _delta_k(self, k: int) -> float:
+        # Σ_{k≥1} δ/(k(k+1)) = δ — the union bound over all checkpoints.
+        return self.delta / (k * (k + 1))
+
+    def _advance(self) -> None:
+        if self._done or self._n < self._next_checkpoint:
+            return
+        self._checkpoint()
+
+    def _checkpoint(self) -> None:
+        self._k += 1
+        self._checked_at = self._n
+        self._intersect(self._halfwidth(self._delta_k(self._k)))
+        if self._done:
+            return
+        target = self._target_n(self._delta_k(self._k + 1))
+        self._next_checkpoint = max(
+            self._n + 16, min(target, self.GROWTH * self._n)
+        )
+
+    def finalize(self) -> BoundedEstimate:
+        if not self._done and self._n > self._checked_at:
+            # Spend one more checkpoint at the truncation point so the
+            # reported interval reflects every draw actually taken.
+            self._checkpoint()
+        return self.result()
+
+    def suggest_batch(self, cap: int = 256) -> int:
+        return max(1, min(cap, self._next_checkpoint - self._n))
+
+    # -- subclass hooks --------------------------------------------------------
+    def _halfwidth(self, delta_k: float) -> float:
+        raise NotImplementedError
+
+    def _target_n(self, delta_k: float) -> int:
+        """Smallest n projected to certify ε at budget ``delta_k``."""
+        raise NotImplementedError
+
+
+class AnytimeHoeffding(_Sequential):
+    """The sequential Hoeffding rule: √(ln(2/δₖ) / 2n) at checkpoint k.
+
+    Variance-blind, so its target n is computable in closed form and the
+    schedule needs only a few checkpoints; strictly more samples than
+    :class:`FixedHoeffding` at full term (δₖ < δ), but sound at any
+    truncation point."""
+
+    name = "anytime"
+
+    def _halfwidth(self, delta_k: float) -> float:
+        return hoeffding_halfwidth(self._n, delta_k)
+
+    def _target_n(self, delta_k: float) -> int:
+        return math.ceil(
+            math.log(2.0 / delta_k) / (2.0 * self.epsilon * self.epsilon)
+        )
+
+
+class EmpiricalBernstein(_Sequential):
+    """The adaptive rule: variance-sensitive half-width, anytime valid.
+
+    Solving  √(2 Vₙ L / n) + 3 L / n = ε  for n (L = ln(3/δₖ)) is a
+    quadratic in √n, giving the adaptive jump target
+
+        √n = (√(2 Vₙ L) + √(2 Vₙ L + 12 ε L)) / (2ε).
+
+    The 3L/n term floors the stopping n at ≈ 3 ln(3/δₖ)/ε even at zero
+    variance — still far below Hoeffding's ln(2/δ)/(2ε²) for small ε."""
+
+    name = "bernstein"
+
+    def _halfwidth(self, delta_k: float) -> float:
+        return bernstein_halfwidth(self.variance, self._n, delta_k)
+
+    def _target_n(self, delta_k: float) -> int:
+        log_term = math.log(3.0 / delta_k)
+        a = math.sqrt(2.0 * self.variance * log_term)
+        root = (a + math.sqrt(a * a + 12.0 * self.epsilon * log_term)) / (
+            2.0 * self.epsilon
+        )
+        return math.ceil(root * root)
+
+
+RULES: dict[str, type[StoppingRule]] = {
+    FixedHoeffding.name: FixedHoeffding,
+    AnytimeHoeffding.name: AnytimeHoeffding,
+    EmpiricalBernstein.name: EmpiricalBernstein,
+}
+
+DEFAULT_RULE = EmpiricalBernstein.name
+
+
+def make_rule(
+    name: str | None, epsilon: float, delta: float = 0.05
+) -> StoppingRule:
+    """A fresh stopping rule by name (None → the adaptive default)."""
+    cls = RULES.get(DEFAULT_RULE if name is None else name)
+    if cls is None:
+        raise ValueError(
+            f"unknown stopping rule {name!r} (choose from {', '.join(RULES)})"
+        )
+    return cls(epsilon, delta)

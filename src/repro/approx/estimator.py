@@ -1,0 +1,240 @@
+"""The Monte-Carlo estimator over the conditioned sampler.
+
+Proposition 7.2 makes Pr(D ⊨ γ) NP-hard once γ contains SUM or AVG atoms
+— but the paper's own SAMPLE⟨C⟩ algorithm (Figure 3) draws from the
+*conditioned* distribution in polynomial time, and every c-formula
+(aggregates included) is polynomial to evaluate on a *concrete* document
+(:class:`~repro.core.formulas.DocumentEvaluator`).  The composition is an
+unbiased estimator with rigorous additive error:
+
+    X_i = [d_i ⊨ γ],  d_i ~ Pr(D = ·)      ⇒      E[X̄] = Pr(D ⊨ γ),
+
+certified to ±ε at confidence 1 − δ by a :mod:`repro.approx.bounds`
+stopping rule.  Because the proposal *is* the target distribution there
+is no rejection blow-up — the cost per draw is the sampler's, independent
+of Pr(P ⊨ C), unlike :mod:`repro.baseline.rejection` whose expected
+attempts are 1 / Pr(P ⊨ C).
+
+Draws run on the PXDB's warm engines (``backend="auto"`` by default:
+float-fast, decisions bit-identical to exact — see docs/NUMERIC.md), are
+batched between stopping-rule decision points, seedable, and traced as
+``approx.estimate`` spans carrying n/ε/δ attributes.
+
+:meth:`ApproxEstimator.estimate_many` evaluates several events against
+the *same* draws — the estimator analogue of the exact evaluator's joint
+DP batching, and what makes approximate EVAL⟨Q, C⟩ (one event per
+candidate answer) affordable.  Each event keeps its own stopping rule;
+an event that certifies early stops observing while the rest continue.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..core.formulas import CFormula, DocumentEvaluator
+from ..obs.spans import TRACER
+from ..pdoc.generate import random_instance
+from .bounds import StoppingRule, make_rule
+from .events import parse_event
+
+DEFAULT_EPSILON = 0.05
+DEFAULT_DELTA = 0.05
+DEFAULT_MAX_SAMPLES = 200_000
+#: Upper bound on draws between stopping-rule consultations.
+MAX_BATCH = 256
+
+
+@dataclass(frozen=True)
+class ApproxResult:
+    """One certified estimate: Pr(event) ∈ [lo, hi] with confidence
+    1 − δ, from ``n`` draws.  ``stopped`` records why sampling ended —
+    ``"target"`` (the rule certified ±ε) or ``"max_samples"`` (the cap
+    hit first; the interval is still valid, just wider than ε)."""
+
+    estimate: float
+    lo: float
+    hi: float
+    n: int
+    epsilon: float
+    delta: float
+    rule: str
+    seed: int | None
+    stopped: str
+
+    @property
+    def width(self) -> float:
+        return self.hi - self.lo
+
+    def __contains__(self, value) -> bool:
+        return self.lo <= value <= self.hi
+
+    def as_dict(self) -> dict:
+        """JSON-ready rendering (the service payload shape)."""
+        return {
+            "estimate": self.estimate,
+            "interval": [self.lo, self.hi],
+            "n_samples": self.n,
+            "epsilon": self.epsilon,
+            "delta": self.delta,
+            "rule": self.rule,
+            "seed": self.seed,
+            "stopped": self.stopped,
+        }
+
+
+class ApproxEstimator:
+    """The reusable estimator bound to one PXDB.
+
+    Holding one per PXDB (the store holds one per entry) keeps the
+    sampler engines warm across calls and accumulates the observability
+    counters (:meth:`stats`)."""
+
+    def __init__(self, pxdb, backend: str = "auto"):
+        self.pxdb = pxdb
+        self.backend = backend
+        self.calls = 0
+        self.samples_drawn = 0
+
+    def stats(self) -> dict:
+        return {
+            "backend": self.backend,
+            "calls": self.calls,
+            "samples_drawn": self.samples_drawn,
+        }
+
+    # -- estimation ------------------------------------------------------------
+    def estimate(
+        self,
+        event: CFormula | str,
+        *,
+        epsilon: float = DEFAULT_EPSILON,
+        delta: float = DEFAULT_DELTA,
+        rule: str | None = None,
+        max_samples: int = DEFAULT_MAX_SAMPLES,
+        seed: int | None = None,
+        rng: random.Random | None = None,
+        conditioned: bool = True,
+    ) -> ApproxResult:
+        """Certified estimate of Pr(D ⊨ event) (``conditioned=True``) or
+        of the unconditioned Pr(P ⊨ event) (``conditioned=False`` — draws
+        come from :func:`~repro.pdoc.generate.random_instance` instead of
+        the conditioned sampler; this is how ``/sat backend=approx``
+        estimates the denominator Pr(P ⊨ C) itself)."""
+        return self.estimate_many(
+            [event],
+            epsilon=epsilon,
+            delta=delta,
+            rule=rule,
+            max_samples=max_samples,
+            seed=seed,
+            rng=rng,
+            conditioned=conditioned,
+        )[0]
+
+    def estimate_many(
+        self,
+        events: Sequence[CFormula | str],
+        *,
+        epsilon: float = DEFAULT_EPSILON,
+        delta: float = DEFAULT_DELTA,
+        rule: str | None = None,
+        max_samples: int = DEFAULT_MAX_SAMPLES,
+        seed: int | None = None,
+        rng: random.Random | None = None,
+        conditioned: bool = True,
+    ) -> list[ApproxResult]:
+        """All events evaluated against shared draws (one sampler pass
+        serves every event); each event gets its own stopping rule, so
+        every returned interval carries the full 1 − δ guarantee.
+
+        Each event is a :class:`CFormula` or an event-grammar string
+        (:func:`repro.approx.events.parse_event`)."""
+        events = [
+            parse_event(event) if isinstance(event, str) else event
+            for event in events
+        ]
+        if not events:
+            return []
+        if max_samples < 1:
+            raise ValueError(f"max_samples must be positive, got {max_samples}")
+        rules = [make_rule(rule, epsilon, delta) for _ in events]
+        if rng is None:
+            rng = random.Random(seed)
+        if not TRACER.enabled:
+            return self._run(events, rules, rng, max_samples, seed, conditioned)
+        with TRACER.span(
+            "approx.estimate",
+            events=len(events),
+            epsilon=epsilon,
+            delta=delta,
+            rule=rules[0].name,
+            backend=self.backend,
+            conditioned=conditioned,
+        ) as span:
+            results = self._run(
+                events, rules, rng, max_samples, seed, conditioned
+            )
+            span.set(
+                n=max(result.n for result in results),
+                certified=all(r.stopped == "target" for r in results),
+            )
+            return results
+
+    # -- internals -------------------------------------------------------------
+    def _run(
+        self,
+        events: list[CFormula],
+        rules: list[StoppingRule],
+        rng: random.Random,
+        max_samples: int,
+        seed: int | None,
+        conditioned: bool,
+    ) -> list[ApproxResult]:
+        active = list(range(len(events)))
+        drawn = 0
+        while active and drawn < max_samples:
+            batch = min(
+                MAX_BATCH,
+                max_samples - drawn,
+                min(rules[i].suggest_batch(MAX_BATCH) for i in active),
+            )
+            for _ in range(batch):
+                document = self._draw(rng, conditioned)
+                evaluator = DocumentEvaluator()
+                for index in active:
+                    rules[index].observe(
+                        1.0
+                        if evaluator.satisfies(document.root, events[index])
+                        else 0.0
+                    )
+            drawn += batch
+            active = [i for i in active if not rules[i].done]
+        self.calls += 1
+        self.samples_drawn += drawn
+        results = []
+        for stopping_rule in rules:
+            certified = stopping_rule.done
+            estimate, lo, hi, n_used = stopping_rule.finalize()
+            results.append(
+                ApproxResult(
+                    estimate=estimate,
+                    lo=lo,
+                    hi=hi,
+                    n=n_used,
+                    epsilon=stopping_rule.epsilon,
+                    delta=stopping_rule.delta,
+                    rule=stopping_rule.name,
+                    seed=seed,
+                    stopped="target" if certified else "max_samples",
+                )
+            )
+        return results
+
+    def _draw(self, rng: random.Random, conditioned: bool):
+        if conditioned:
+            return self.pxdb.sample(
+                rng, backend=None if self.backend == "exact" else self.backend
+            )
+        return random_instance(self.pxdb.pdoc, rng)

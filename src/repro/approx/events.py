@@ -1,0 +1,148 @@
+"""Textual aggregate events for the approximation tier.
+
+The constraint grammar (:mod:`repro.core.constraint_parser`) deliberately
+stops at count constraints — the paper's Definition 2.2.  The Monte-Carlo
+tier answers *arbitrary* aggregate events, including the NP-hard SUM/AVG
+atoms of Section 7.2, so the CLI (``repro approx``) and the service
+(``/approx``) need a textual surface for them::
+
+    sum(all) > 10
+    avg(items/$*) >= 5/2 and count(*//$member) <= 4
+    min('ph.d. st.'//$salary or professor//$salary) < 1000
+
+Grammar (one conjunction of aggregate atoms):
+
+    event     :=  atom (" and " atom)*
+    atom      :=  AGG "(" selectors ")" OP number
+    AGG       :=  sum | avg | min | max | count | cnt     (case-insensitive)
+    selectors :=  "all" | selector (" or " selector)*
+    OP        :=  = | != | < | <= | > | >=                (and unicode aliases)
+
+Each selector is a pattern with exactly one ``$``-marked node
+(:func:`repro.xmltree.parser.parse_selector`); ``all`` is sugar for the
+every-node pair ``$* or *//$*`` (the root plus every descendant — the
+shape the aggregate benchmarks use).  Numbers are exact: integers,
+fractions (``5/2``) or decimal strings, parsed by ``Fraction``.
+"""
+
+from __future__ import annotations
+
+import re
+from fractions import Fraction
+
+from .. import ops
+from ..core.formulas import (
+    AvgAtom,
+    CFormula,
+    CountAtom,
+    MaxAtom,
+    MinAtom,
+    SFormula,
+    SumAtom,
+    conjunction,
+)
+from ..xmltree.parser import parse_selector
+
+_ATOMS = {
+    "sum": SumAtom,
+    "avg": AvgAtom,
+    "min": MinAtom,
+    "max": MaxAtom,
+    "count": CountAtom,
+    "cnt": CountAtom,
+}
+
+_HEAD_RE = re.compile(r"^\s*([a-zA-Z]+)\s*\(")
+_TAIL_RE = re.compile(r"^\s*(<=|>=|!=|<>|==|≤|≥|≠|[=<>])\s*(\S+)\s*$")
+
+#: The ``all`` sugar: the root node plus every proper descendant.
+ALL_SELECTORS = ("$*", "*//$*")
+
+
+def parse_event(text: str) -> CFormula:
+    """Parse an aggregate event into a c-formula (``ValueError`` on any
+    syntax problem, with the offending fragment in the message)."""
+    if not text or not text.strip():
+        raise ValueError("empty aggregate event")
+    atoms = [_parse_atom(part) for part in _split_words(text, "and")]
+    return conjunction(atoms)
+
+
+def _parse_atom(text: str) -> CFormula:
+    head = _HEAD_RE.match(text)
+    if head is None:
+        raise ValueError(
+            f"expected an aggregate atom like 'sum(all) > 10', got {text!r}"
+        )
+    cls = _ATOMS.get(head.group(1).lower())
+    if cls is None:
+        raise ValueError(
+            f"unknown aggregate {head.group(1)!r} "
+            f"(choose from {', '.join(sorted(set(_ATOMS)))})"
+        )
+    body_start = head.end()
+    body_end = _matching_paren(text, body_start - 1)
+    tail = _TAIL_RE.match(text[body_end + 1:])
+    if tail is None:
+        raise ValueError(
+            f"expected a comparison after the selector list in {text!r}"
+        )
+    op = ops.normalize(tail.group(1))
+    try:
+        bound = Fraction(tail.group(2))
+    except (ValueError, ZeroDivisionError) as error:
+        raise ValueError(
+            f"invalid bound {tail.group(2)!r} in {text!r}: {error}"
+        ) from None
+    if cls is CountAtom:
+        if bound.denominator != 1:
+            raise ValueError(f"count bound must be an integer, got {bound}")
+        bound = int(bound)
+    return cls(_parse_selectors(text[body_start:body_end]), op, bound)
+
+
+def _parse_selectors(body: str) -> list[SFormula]:
+    if body.strip().lower() == "all":
+        texts: tuple[str, ...] = ALL_SELECTORS
+    else:
+        texts = tuple(_split_words(body, "or"))
+    selectors = []
+    for text in texts:
+        pattern, node = parse_selector(text.strip())
+        selectors.append(SFormula(pattern, node))
+    return selectors
+
+
+def _matching_paren(text: str, open_index: int) -> int:
+    depth = 0
+    for index in range(open_index, len(text)):
+        char = text[index]
+        if char == "(":
+            depth += 1
+        elif char == ")":
+            depth -= 1
+            if depth == 0:
+                return index
+    raise ValueError(f"unbalanced parentheses in {text!r}")
+
+
+def _split_words(text: str, word: str) -> list[str]:
+    """Split on the keyword ``word`` at parenthesis depth 0 (the keyword
+    must stand alone between spaces, so label text like ``band`` or a
+    selector ``origin`` never splits)."""
+    parts: list[str] = []
+    depth = 0
+    start = 0
+    tokens = re.finditer(r"\S+", text)
+    for match in tokens:
+        token = match.group(0)
+        if depth == 0 and token.lower() == word:
+            parts.append(text[start:match.start()])
+            start = match.end()
+            continue
+        depth += token.count("(") - token.count(")")
+    parts.append(text[start:])
+    cleaned = [part.strip() for part in parts]
+    if any(not part for part in cleaned):
+        raise ValueError(f"dangling {word!r} in {text!r}")
+    return cleaned

@@ -14,14 +14,24 @@ enumerator:
   rules out *relative*-error/positivity guarantees, not additive ones);
 * used by tests as an independent plausibility check on large instances
   where enumeration is impossible.
+
+This baseline samples **unconditioned** instances of P̃ — it estimates
+Pr(P ⊨ γ), not the PXDB-conditioned Pr(D ⊨ γ), and
+:func:`estimate_conditional_probability` conditions by *discarding*
+non-satisfying draws, so it degrades as Pr(P ⊨ C) shrinks, exactly like
+:mod:`repro.baseline.rejection`.  The production tier is
+:mod:`repro.approx`: it drives the paper's polynomial conditioned sampler
+(cost independent of Pr(P ⊨ C)) and stops adaptively via
+empirical-Bernstein bounds instead of the fixed-n Hoeffding count used
+here.
 """
 
 from __future__ import annotations
 
-import math
 import random
 from fractions import Fraction
 
+from ..approx.bounds import hoeffding_sample_size
 from ..core.formulas import CFormula, DocumentEvaluator
 from ..pdoc.generate import random_instance
 from ..pdoc.pdocument import PDocument
@@ -29,10 +39,10 @@ from ..pdoc.pdocument import PDocument
 
 def sample_size(epsilon: float, delta: float = 0.05) -> int:
     """The Hoeffding bound: samples needed for additive error ``epsilon``
-    with confidence 1 − ``delta``."""
-    if not 0 < epsilon < 1 or not 0 < delta < 1:
-        raise ValueError("epsilon and delta must lie in (0, 1)")
-    return math.ceil(math.log(2 / delta) / (2 * epsilon * epsilon))
+    with confidence 1 − ``delta``.  Delegates to
+    :func:`repro.approx.bounds.hoeffding_sample_size` — one formula, one
+    implementation."""
+    return hoeffding_sample_size(epsilon, delta)
 
 
 def estimate_probability(

@@ -19,7 +19,37 @@ from ..xmltree.document import Document
 
 
 class RejectionBudgetExceeded(RuntimeError):
-    """Raised when no satisfying instance was found within the budget."""
+    """Raised when no satisfying instance was found within the budget.
+
+    Carries ``attempts`` (the exhausted budget) and ``estimate`` — the
+    condition probability Pr(P ⊨ C) when the caller knows it, else
+    ``None``, in which case the message quotes the *rule of three*:
+    zero hits in n trials bounds the probability below 3/n at 95%
+    confidence.  Either way the message says how improbable the
+    condition (at least empirically) is, which is what the reader of a
+    stack trace actually wants to know.
+    """
+
+    def __init__(self, attempts: int, estimate: float | None = None):
+        self.attempts = attempts
+        self.estimate = None if estimate is None else float(estimate)
+        if self.estimate is None:
+            bound = 3.0 / attempts if attempts > 0 else 1.0
+            detail = (
+                f"Pr(P |= C) < {bound:.3g} with 95% confidence "
+                "(rule of three)"
+            )
+        else:
+            expected = (
+                f"{1.0 / self.estimate:.3g}" if self.estimate > 0 else "inf"
+            )
+            detail = (
+                f"Pr(P |= C) ~= {self.estimate:.3g}, "
+                f"expected attempts per sample ~= {expected}"
+            )
+        super().__init__(
+            f"no satisfying instance in {attempts} attempts; {detail}"
+        )
 
 
 def rejection_sample(
@@ -27,18 +57,20 @@ def rejection_sample(
     condition: CFormula,
     rng: random.Random | None = None,
     max_attempts: int = 1_000_000,
+    condition_probability: float | None = None,
 ) -> tuple[Document, int]:
     """Draw one document of the PXDB (P̃, C); returns (document, attempts).
 
     Raises :class:`RejectionBudgetExceeded` after ``max_attempts``
     rejections — with low-probability constraint sets this is the expected
-    outcome, which is the point of the baseline.
+    outcome, which is the point of the baseline.  Pass the exact
+    ``condition_probability`` (when the DP already computed it) to get it
+    echoed in the failure message; otherwise the message carries the
+    rule-of-three upper bound implied by the exhausted budget.
     """
     rng = rng if rng is not None else random.Random()
     for attempt in range(1, max_attempts + 1):
         document = random_instance(pdoc, rng)
         if DocumentEvaluator().satisfies(document.root, condition):
             return document, attempt
-    raise RejectionBudgetExceeded(
-        f"no satisfying instance in {max_attempts} attempts"
-    )
+    raise RejectionBudgetExceeded(max_attempts, estimate=condition_probability)

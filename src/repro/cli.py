@@ -13,6 +13,9 @@ Commands
 * ``query     PDOC -q QUERY [-c FILE]``    — EVAL⟨Q, C⟩: per-answer probabilities;
 * ``sample    PDOC [-c FILE] [-n N] [--stats] [--no-incremental]``
                                            — SAMPLE⟨C⟩: conditioned samples (Fig. 3);
+* ``approx    PDOC [-c FILE] -e EVENT [--epsilon E] [--delta D] [--seed S]``
+                                           — certified Monte-Carlo estimate of an
+                                             NP-hard aggregate event (repro.approx);
 * ``check     PDOC DOCUMENT -c FILE``      — explain a document's violations;
 * ``skeleton  PDOC``                       — print the skeleton document;
 * ``circuit   {compile,eval,grad,stats,sweep} PDOC [-c FILE] [-q PATTERN]``
@@ -41,6 +44,10 @@ import random
 import sys
 from fractions import Fraction
 
+from .approx import DEFAULT_DELTA as APPROX_DELTA
+from .approx import DEFAULT_EPSILON as APPROX_EPSILON
+from .approx import DEFAULT_MAX_SAMPLES as APPROX_MAX_SAMPLES
+from .approx import RULES as APPROX_RULES
 from .core.constraints import constraints_formula
 from .core.evaluator import probability
 from .core.explain import explain_violations
@@ -155,6 +162,35 @@ def _cmd_sample(args) -> int:
                 "statistics do not apply",
                 file=sys.stderr,
             )
+    return 0
+
+
+def _cmd_approx(args) -> int:
+    pdoc = _load_pdocument(args.pdocument)
+    constraints = _load_constraints(args.constraints)
+    db = PXDB(pdoc, constraints)
+    result = db.approx_probability(
+        args.event,
+        epsilon=args.epsilon,
+        delta=args.delta,
+        max_samples=args.max_samples,
+        rule=args.rule,
+        seed=args.seed,
+        backend=args.backend or "auto",
+    )
+    print(f"Pr(event | C) ~= {result.estimate:.6f}")
+    print(f"interval      = [{result.lo:.6f}, {result.hi:.6f}]  "
+          f"(eps={result.epsilon:g}, delta={result.delta:g})")
+    print(f"samples       = {result.n}  (rule={result.rule}, "
+          f"stopped={result.stopped})")
+    if result.seed is not None:
+        print(f"seed          = {result.seed}")
+    if result.stopped == "max_samples":
+        print(
+            "warning: sample budget exhausted before the +/-epsilon target; "
+            "the interval above is the certified width at the budget",
+            file=sys.stderr,
+        )
     return 0
 
 
@@ -522,6 +558,43 @@ def build_parser() -> argparse.ArgumentParser:
         "with exact fallback; bit-identical to exact)",
     )
     p.set_defaults(func=_cmd_sample)
+
+    p = sub.add_parser(
+        "approx",
+        help="Monte-Carlo estimate of an NP-hard aggregate event with a "
+        "certified +/-epsilon interval (docs/ALGORITHM.md section 10)",
+    )
+    p.add_argument("pdocument")
+    p.add_argument("-c", "--constraints")
+    p.add_argument(
+        "-e",
+        "--event",
+        required=True,
+        help="aggregate event over conditioned documents, e.g. "
+        "\"sum(*//$*) > 20 and count($*) >= 2\" (see repro.approx.events)",
+    )
+    p.add_argument("--epsilon", type=float, default=APPROX_EPSILON,
+                   help="additive error target (default %(default)s)")
+    p.add_argument("--delta", type=float, default=APPROX_DELTA,
+                   help="failure probability (default %(default)s)")
+    p.add_argument("--max-samples", type=int, default=APPROX_MAX_SAMPLES,
+                   help="hard sample budget (default %(default)s)")
+    p.add_argument("--seed", type=int, default=None,
+                   help="RNG seed; the same seed reproduces the estimate exactly")
+    p.add_argument(
+        "--rule",
+        choices=sorted(APPROX_RULES),
+        default=None,
+        help="stopping rule: empirical-Bernstein (default; adaptive, stops "
+        "early on low variance), fixed-n Hoeffding, or anytime Hoeffding",
+    )
+    p.add_argument(
+        "--backend",
+        choices=["exact", "float64", "auto"],
+        default=None,
+        help="sampler arithmetic for the conditioned draws (docs/NUMERIC.md)",
+    )
+    p.set_defaults(func=_cmd_approx)
 
     p = sub.add_parser("check", help="explain a document's constraint violations")
     p.add_argument("document")

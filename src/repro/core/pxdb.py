@@ -32,7 +32,13 @@ from .constraints import Constraint, constraints_formula
 from .evaluator import probabilities, probability
 from .formulas import CFormula, conjunction
 from .query import Query
-from .query_eval import AnswerTable, decode_answers, evaluate_query
+from .query_eval import (
+    AnswerTable,
+    bound_formula,
+    candidate_tuples,
+    decode_answers,
+    evaluate_query,
+)
 from .sampler import sample as _sample
 
 
@@ -65,7 +71,8 @@ class PXDB:
     CIRCUIT_CACHE_CAP = 8
 
     __slots__ = ("pdoc", "constraints", "_condition", "_constraint_prob",
-                 "_sample_engine", "_event_circuits", "_aux_engines")
+                 "_sample_engine", "_event_circuits", "_aux_engines",
+                 "_approx_estimators")
 
     def __init__(
         self,
@@ -87,6 +94,10 @@ class PXDB:
         # IncrementalEngine).  The exact engine stays in _sample_engine so
         # the store's warm-engine injection keeps working unchanged.
         self._aux_engines: dict = {}
+        # Warm Monte-Carlo estimators (repro.approx), keyed by sampler
+        # backend — one per backend so counters and engines stay warm
+        # across approx_probability / approx_query calls.
+        self._approx_estimators: dict = {}
         if check and not self.is_well_defined():
             raise ValueError(
                 "the p-document is not consistent with the constraints "
@@ -405,6 +416,98 @@ class PXDB:
             backend=backend,
             fallback_engine=fallback,
         )
+
+    # -- the approximation tier (repro.approx) ----------------------------------
+    def approx_estimator(self, backend: str = "auto"):
+        """The warm Monte-Carlo estimator for ``backend`` (built on first
+        use, retained — its sampler engines and draw counters survive
+        across calls, which is what makes repeated approximate queries
+        cheap)."""
+        estimator = self._approx_estimators.get(backend)
+        if estimator is None:
+            from ..approx.estimator import ApproxEstimator
+
+            estimator = ApproxEstimator(self, backend=backend)
+            self._approx_estimators[backend] = estimator
+        return estimator
+
+    def approx_probability(
+        self,
+        event: CFormula,
+        *,
+        epsilon: float = 0.05,
+        delta: float = 0.05,
+        max_samples: int = 200_000,
+        rule: str | None = None,
+        seed: int | None = None,
+        rng: random.Random | None = None,
+        backend: str = "auto",
+        conditioned: bool = True,
+    ):
+        """Certified Monte-Carlo estimate of Pr(D ⊨ event): an
+        :class:`~repro.approx.estimator.ApproxResult` whose
+        ``[lo, hi]`` contains the exact value with probability 1 − δ,
+        with ``hi − lo ≤ 2ε`` unless ``max_samples`` truncated sampling.
+
+        This is the serving tier for the NP-hard SUM/AVG events of
+        Proposition 7.2: unlike :meth:`event_probability` it accepts
+        *any* c-formula, at the price of an ε that is additive (the
+        proposition rules out relative-error guarantees, not additive
+        ones).  ``backend`` picks the sampler arithmetic (``auto`` by
+        default: float-fast, bit-identical draws to ``exact``); ``rule``
+        picks the stopping rule (empirical-Bernstein by default — see
+        :mod:`repro.approx.bounds`).  Deterministic given ``seed``.
+        """
+        return self.approx_estimator(backend).estimate(
+            event,
+            epsilon=epsilon,
+            delta=delta,
+            rule=rule,
+            max_samples=max_samples,
+            seed=seed,
+            rng=rng,
+            conditioned=conditioned,
+        )
+
+    def approx_query(
+        self,
+        query: Query | str,
+        *,
+        epsilon: float = 0.05,
+        delta: float = 0.05,
+        max_samples: int = 200_000,
+        rule: str | None = None,
+        seed: int | None = None,
+        rng: random.Random | None = None,
+        backend: str = "auto",
+    ) -> dict:
+        """Approximate EVAL⟨Q, C⟩: every candidate answer's event is
+        evaluated against *shared* conditioned draws (one sampler pass
+        serves all answers), returning ``{uid tuple: ApproxResult}``.
+        Answers whose interval is [0, 0]-adjacent are still reported —
+        dropping them is the caller's decision, since a zero estimate
+        only certifies Pr ≤ hi, never impossibility."""
+        if isinstance(query, str):
+            query = Query.parse(query)
+        answers = candidate_tuples(query, self.pdoc)
+        results = self.approx_estimator(backend).estimate_many(
+            [bound_formula(query, answer) for answer in answers],
+            epsilon=epsilon,
+            delta=delta,
+            rule=rule,
+            max_samples=max_samples,
+            seed=seed,
+            rng=rng,
+        )
+        return dict(zip(answers, results))
+
+    def approx_stats(self) -> dict:
+        """Per-backend estimator counters (the service's /metrics and
+        /stats surface these per stored entry)."""
+        return {
+            backend: estimator.stats()
+            for backend, estimator in self._approx_estimators.items()
+        }
 
     # -- document probabilities --------------------------------------------------
     def document_probability(self, document: Document) -> Fraction:

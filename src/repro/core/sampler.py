@@ -181,6 +181,15 @@ def _draw_exact(current, rng, engine, evaluate):
         if prior == 0 or prior == 1:
             continue  # lines 5–9: the choice is already determined
         conditioned += 1
+        if q == 1:
+            # Every world of the current conditioned document satisfies C,
+            # and conditioning an edge only restricts the world set — so
+            # q′ = 1, the posterior equals the prior, and no evaluation is
+            # needed.  Same coin on the same value: the draw sequence is
+            # unchanged, only the evaluator calls disappear (a large win
+            # once a monotone constraint is already met by kept edges).
+            current.condition_edge_in_place(edge, bernoulli(prior, rng))
+            continue
         snapshot = current.edge_snapshot(edge)
         current.condition_edge_in_place(edge, True)  # Norm(P, v→w)
         q_chosen = evaluate(current)  # q′
@@ -212,6 +221,12 @@ def _draw_float(current, rng, evaluate):
         if prior == 0 or prior == 1:
             continue
         conditioned += 1
+        if q == 1.0:
+            # Certain satisfaction: posteriors equal priors (see the exact
+            # loop).  q stays 1.0 — restricting an all-satisfying world
+            # set cannot unsatisfy it.
+            current.condition_edge_in_place(edge, bernoulli(prior, rng))
+            continue
         snapshot = current.edge_snapshot(edge)
         current.condition_edge_in_place(edge, True)
         q_chosen = evaluate(current)
@@ -270,6 +285,7 @@ def _draw_guarded(current, rng, evaluate, fallback_engine, incremental):
 
     edges = 0
     conditioned = 0
+    last_uncertified = None
     for edge in current.dist_edges():
         node, index = edge
         edges += 1
@@ -277,6 +293,29 @@ def _draw_guarded(current, rng, evaluate, fallback_engine, incremental):
         if prior == 0 or prior == 1:
             continue
         conditioned += 1
+        if q_exact is None and q is not last_uncertified and (
+            q[1] >= 1.0 and q[0] > 1.0 - 1e-9
+        ):
+            # The enclosure brushes 1 but outward rounding keeps the lower
+            # bound a few ulps short, so it can never *prove* q = 1.  One
+            # exact evaluation on the warm fallback engine settles it; on
+            # success every remaining edge short-circuits below.  A failed
+            # attempt is remembered (by enclosure identity) so a q that
+            # truly hovers below 1 costs at most one extra evaluation per
+            # conditioning state, not one per edge.
+            certified = evaluate_exact(current)
+            if certified == 1:
+                q_exact = certified
+                q = lift(certified)
+            else:
+                last_uncertified = q
+        if q_exact == 1 or q[0] >= 1.0:
+            # The enclosure proves q = 1 (or the exact fallback computed
+            # it): the posterior is exactly the prior, so flip the same
+            # exact coin the exact backend would — bit-identical draws,
+            # zero evaluator runs.
+            current.condition_edge_in_place(edge, bernoulli(prior, rng))
+            continue
         snapshot = current.edge_snapshot(edge)
         current.condition_edge_in_place(edge, True)
         q_chosen = evaluate(current)

@@ -15,9 +15,12 @@ Modules
 * :mod:`~repro.service.coalesce` — batches concurrent formula-probability
   requests against one entry into single joint DP passes;
 * :mod:`~repro.service.server`   — the stdlib JSON-over-HTTP server
-  (``/sat``, ``/query``, ``/sample``, ``/sweep``, ``/check``, ``/stats``,
-  ``/metrics``, ``/register``) and the transport-independent
-  :class:`~repro.service.server.PXDBService` it wraps;
+  (``/sat``, ``/query``, ``/approx``, ``/sample``, ``/sweep``,
+  ``/check``, ``/stats``, ``/metrics``, ``/register``) and the
+  transport-independent :class:`~repro.service.server.PXDBService` it
+  wraps; ``/sat`` and ``/query`` accept ``backend="approx"`` (the
+  Monte-Carlo tier of :mod:`repro.approx`, confidence intervals in the
+  payload);
 * :mod:`~repro.service.pool`     — optional process-pool execution for
   CPU-bound evaluation, with per-worker engine warm-up and graceful
   degradation to in-process execution;
@@ -37,7 +40,7 @@ Start one with ``python -m repro serve --db name=doc.pxml:constraints.txt``
 
 from .client import ServiceClient, ServiceError
 from .coalesce import Coalescer
-from .metrics import LatencyHistogram, Metrics
+from .metrics import LatencyHistogram, Metrics, ValueHistogram
 from .pool import EvaluationPool, PoolUnavailable
 from .server import PXDBService, make_server, serve_forever, start_server
 from .store import (
@@ -60,6 +63,7 @@ __all__ = [
     "ServiceClient",
     "ServiceError",
     "StoreEntry",
+    "ValueHistogram",
     "load_pxdb",
     "make_server",
     "read_constraints",

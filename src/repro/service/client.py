@@ -95,6 +95,34 @@ class ServiceClient:
         )
         return body["documents"]
 
+    def approx(
+        self,
+        db: str,
+        event: str,
+        *,
+        epsilon: float | None = None,
+        delta: float | None = None,
+        max_samples: int | None = None,
+        seed: int | None = None,
+        rule: str | None = None,
+    ) -> dict:
+        """A certified Monte-Carlo estimate of an aggregate event (the
+        ``/approx`` route): the payload carries ``estimate``, the
+        confidence ``interval`` [lo, hi], ``n_samples`` and the echoed
+        ``seed`` — pass the same seed to reproduce the answer exactly."""
+        body = {
+            "db": db,
+            "event": event,
+            "epsilon": epsilon,
+            "delta": delta,
+            "max_samples": max_samples,
+            "seed": seed,
+            "rule": rule,
+        }
+        return self._request(
+            "/approx", {key: value for key, value in body.items() if value is not None}
+        )
+
     def check(self, db: str, document_xml: str) -> dict:
         return self._request("/check", {"db": db, "document": document_xml})
 

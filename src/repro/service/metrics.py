@@ -27,6 +27,13 @@ DEFAULT_BUCKETS = (
     0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
 )
 
+# Bucket upper bounds for raw-value histograms.  Chosen for confidence
+# interval widths (the approx tier's bound-width distribution): 2ε at the
+# default ε=0.05 is 0.1, the tight E15 setting (ε=0.02) lands at 0.04.
+VALUE_BUCKETS = (
+    0.001, 0.0025, 0.005, 0.01, 0.02, 0.04, 0.06, 0.1, 0.2, 0.5, 1.0,
+)
+
 
 class LatencyHistogram:
     """A fixed-bucket latency histogram (cumulative-style, Prometheus-like).
@@ -110,6 +117,27 @@ class LatencyHistogram:
         }
 
 
+class ValueHistogram(LatencyHistogram):
+    """A unitless histogram over raw values (confidence-interval widths,
+    batch sizes, …): the same bucket/quantile machinery as
+    :class:`LatencyHistogram`, with a summary that does *not* scale to
+    milliseconds."""
+
+    __slots__ = ()
+
+    def __init__(self, buckets: tuple[float, ...] = VALUE_BUCKETS):
+        super().__init__(buckets)
+
+    def summary(self) -> dict:
+        return {
+            "count": self.count,
+            "mean": round(self.total / self.count, 6) if self.count else 0.0,
+            "p50": round(self.quantile(0.5), 6),
+            "p90": round(self.quantile(0.9), 6),
+            "p99": round(self.quantile(0.99), 6),
+        }
+
+
 class Metrics:
     """Named counters plus per-key latency histograms, behind one lock."""
 
@@ -117,6 +145,7 @@ class Metrics:
         self._lock = threading.Lock()
         self._counters: dict[str, int] = {}
         self._histograms: dict[str, LatencyHistogram] = {}
+        self._values: dict[str, ValueHistogram] = {}
         self.started_at = time.time()
 
     def increment(self, name: str, amount: int = 1) -> None:
@@ -131,6 +160,15 @@ class Metrics:
             if histogram is None:
                 histogram = self._histograms[name] = LatencyHistogram()
             histogram.observe(seconds, trace_id)
+
+    def observe_value(self, name: str, value: float) -> None:
+        """Fold a raw (unitless) value into the named value histogram —
+        the approx tier records every confidence-interval width here."""
+        with self._lock:
+            histogram = self._values.get(name)
+            if histogram is None:
+                histogram = self._values[name] = ValueHistogram()
+            histogram.observe(value)
 
     def timed(self, name: str) -> "_Timer":
         """``with metrics.timed("query"): …`` — counts the request, times
@@ -150,11 +188,17 @@ class Metrics:
                 if exemplars:
                     summary["exemplars"] = exemplars
                 latency[name] = summary
-            return {
+            payload = {
                 "uptime_s": round(time.time() - self.started_at, 3),
                 "counters": dict(sorted(self._counters.items())),
                 "latency": latency,
             }
+            if self._values:
+                payload["values"] = {
+                    name: histogram.summary()
+                    for name, histogram in sorted(self._values.items())
+                }
+            return payload
 
     def render_prometheus(
         self, extra: Iterable[tuple[str, dict, float]] = ()
@@ -174,6 +218,11 @@ class Metrics:
                 (name, histogram.buckets, list(histogram.counts),
                  histogram.count, histogram.total)
                 for name, histogram in sorted(self._histograms.items())
+            ]
+            values = [
+                (name, histogram.buckets, list(histogram.counts),
+                 histogram.count, histogram.total)
+                for name, histogram in sorted(self._values.items())
             ]
             uptime = time.time() - self.started_at
         lines = [
@@ -199,6 +248,18 @@ class Metrics:
                 lines.append(f'{metric}_bucket{{op="{label}",le="+Inf"}} {count}')
                 lines.append(f'{metric}_sum{{op="{label}"}} {_format_value(total)}')
                 lines.append(f'{metric}_count{{op="{label}"}} {count}')
+        for name, buckets, counts, count, total in values:
+            metric = f"pxdb_{_sanitize(name)}"
+            lines.append(f"# TYPE {metric} histogram")
+            cumulative = 0
+            for bound, bucket_count in zip(buckets, counts):
+                cumulative += bucket_count
+                lines.append(
+                    f'{metric}_bucket{{le="{_format_value(bound)}"}} {cumulative}'
+                )
+            lines.append(f'{metric}_bucket{{le="+Inf"}} {count}')
+            lines.append(f"{metric}_sum {_format_value(total)}")
+            lines.append(f"{metric}_count {count}")
         for name, labels, value in extra:
             metric = _sanitize(name)
             rendered = ",".join(

@@ -102,19 +102,28 @@ def _worker_op(op: str, name: str, payload: dict) -> dict:
         # stagger spreads concurrent probes across distinct idle workers.
         time.sleep(float(payload.get("stagger", 0.0)))
         return _worker_stats_payload()
-    from .server import query_payload, sample_payload, sat_payload
+    from .server import approx_payload, query_payload, sample_payload, sat_payload
 
     if _WORKER_STORE is None:
         raise KeyError("worker store is not initialized")
     entry = _WORKER_STORE.get(name)
     if op == "sat":
-        return sat_payload(entry, backend=payload.get("backend"))
+        return sat_payload(
+            entry,
+            backend=payload.get("backend"),
+            approx=payload.get("approx"),
+        )
     if op == "query":
         return query_payload(
             entry,
             payload["query_text"],
             coalesce=False,
             backend=payload.get("backend"),
+            approx=payload.get("approx"),
+        )
+    if op == "approx":
+        return approx_payload(
+            entry, payload["event_text"], options=payload.get("options")
         )
     if op == "sample":
         return sample_payload(

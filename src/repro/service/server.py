@@ -67,15 +67,39 @@ _slow_log = get_logger("service.slow")
 # responses are byte-identical (the arithmetic is exact everywhere; the
 # guard counters of non-exact backends are the one per-process exception).
 
-def _resolve_backend(backend: str | None) -> str:
-    """Request/default backend name → validated canonical name."""
+def _resolve_backend(backend: str | None, allow_approx: bool = False) -> str:
+    """Request/default backend name → validated canonical name.
+
+    ``"approx"`` is not a numeric arithmetic but the Monte-Carlo serving
+    tier (:mod:`repro.approx`); it is legal only on the surfaces that
+    implement it (``/sat``, ``/query`` and ``/approx``), never as the
+    service-wide default."""
     if backend is None:
         return "exact"
+    if backend == "approx" and allow_approx:
+        return backend
     if backend not in BACKEND_NAMES:
-        raise ValueError(
-            f"unknown backend {backend!r} (choose from {', '.join(BACKEND_NAMES)})"
-        )
+        choices = ", ".join(BACKEND_NAMES) + (", approx" if allow_approx else "")
+        raise ValueError(f"unknown backend {backend!r} (choose from {choices})")
     return backend
+
+
+def _approx_options(params: dict) -> dict:
+    """Validated estimator keywords from request fields (absent fields
+    fall to the estimator defaults; range errors surface as the
+    estimator's ``ValueError`` → HTTP 400)."""
+    options: dict = {}
+    if params.get("epsilon") is not None:
+        options["epsilon"] = float(params["epsilon"])
+    if params.get("delta") is not None:
+        options["delta"] = float(params["delta"])
+    if params.get("max_samples") is not None:
+        options["max_samples"] = int(params["max_samples"])
+    if params.get("seed") is not None:
+        options["seed"] = int(params["seed"])
+    if params.get("rule") is not None:
+        options["rule"] = str(params["rule"])
+    return options
 
 
 def _sort_value(value) -> float:
@@ -115,11 +139,33 @@ def _guarded_event_values(pxdb, events, via: str = "dp") -> list:
     return values
 
 
-def sat_payload(entry: StoreEntry, backend: str | None = None) -> dict:
+def sat_payload(
+    entry: StoreEntry, backend: str | None = None, approx: dict | None = None
+) -> dict:
     """CONSTRAINT-SAT⟨C⟩ — answered from the cached denominator (the store
     primed it from the warm engine's load-time pass, so this is O(1) for
-    the exact backend; other backends re-evaluate in their arithmetic)."""
-    name = _resolve_backend(backend)
+    the exact backend; other backends re-evaluate in their arithmetic).
+
+    ``backend="approx"`` estimates Pr(P ⊨ C) by *unconditioned* sampling
+    instead (the denominator is what conditioning divides by, so the
+    conditioned sampler cannot estimate it) and reports the confidence
+    interval.  ``well_defined`` stays exact either way: the store proved
+    Pr(P ⊨ C) > 0 with the load-time DP pass."""
+    name = _resolve_backend(backend, allow_approx=True)
+    if name == "approx":
+        estimator = entry.pxdb.approx_estimator()
+        with entry.sample_lock:
+            result = estimator.estimate(
+                entry.pxdb.condition, conditioned=False, **(approx or {})
+            )
+        return {
+            "db": entry.name,
+            "backend": name,
+            "constraint_probability": repr(result.estimate),
+            "constraint_probability_float": result.estimate,
+            "well_defined": True,
+            **result.as_dict(),
+        }
     if name == "exact":
         value = entry.pxdb.constraint_probability()
     else:
@@ -134,12 +180,61 @@ def sat_payload(entry: StoreEntry, backend: str | None = None) -> dict:
     }
 
 
+def approx_query_payload(
+    entry: StoreEntry, query_text: str, options: dict | None = None
+) -> dict:
+    """Approximate EVAL⟨Q, C⟩: one stopping rule per candidate answer,
+    all fed by the same conditioned draws (``PXDB.approx_query``), under
+    the entry's sample lock (draws mutate the warm engine caches).  Rows
+    are sorted by estimate; every row carries its own interval and
+    per-answer ``n`` (an answer that certifies early stops observing)."""
+    options = options or {}
+    with TRACER.span("query.bind"):
+        query = Query.parse(query_text)
+    with entry.sample_lock:
+        table = entry.pxdb.approx_query(query, **options)
+    results = list(table.values())
+    decoded = decode_answers(table, entry.pxdb.pdoc)
+    rows = [
+        {
+            "answer": [str(label) for label in labels],
+            "probability": repr(result.estimate),
+            "probability_float": result.estimate,
+            "interval": [result.lo, result.hi],
+            "n_samples": result.n,
+            "stopped": result.stopped,
+        }
+        for labels, result in sorted(
+            decoded.items(), key=lambda kv: (-kv[1].estimate, str(kv[0]))
+        )
+    ]
+    payload = {
+        "db": entry.name,
+        "query": query_text,
+        "backend": "approx",
+        "answers": rows,
+    }
+    if results:
+        first = results[0]
+        payload.update(
+            {
+                "epsilon": first.epsilon,
+                "delta": first.delta,
+                "rule": first.rule,
+                "seed": first.seed,
+                "n_samples": max(result.n for result in results),
+            }
+        )
+    return payload
+
+
 def query_payload(
     entry: StoreEntry,
     query_text: str,
     *,
     coalesce: bool = True,
     backend: str | None = None,
+    approx: dict | None = None,
 ) -> dict:
     """EVAL⟨Q, C⟩ — all candidate tuples evaluated in one joint DP pass,
     through the coalescer (shared with concurrent requests) unless
@@ -155,8 +250,12 @@ def query_payload(
     Non-exact backends bypass the coalescer (it batches exact DP passes
     only); ``auto`` ranks answers through :func:`_guarded_event_values`,
     so its answer set and order are provably the exact backend's.
+    ``backend="approx"`` routes to :func:`approx_query_payload` — the
+    Monte-Carlo tier with per-answer confidence intervals.
     """
-    name = _resolve_backend(backend)
+    name = _resolve_backend(backend, allow_approx=True)
+    if name == "approx":
+        return approx_query_payload(entry, query_text, approx)
     pdoc = entry.pxdb.pdoc
     known = entry.cached_events(query_text)
     if known is not None:
@@ -320,6 +419,28 @@ def sweep_payload(
     return payload
 
 
+def approx_payload(
+    entry: StoreEntry, event_text: str, options: dict | None = None
+) -> dict:
+    """The ``/approx`` route: a certified Monte-Carlo estimate of an
+    arbitrary aggregate event (``repro.approx.events`` grammar — SUM and
+    AVG atoms included, which the exact routes must reject by
+    Proposition 7.2).  The seed is echoed back in the payload, so any
+    reported answer is reproducible from its own JSON."""
+    from ..approx.events import parse_event
+
+    event = parse_event(event_text)
+    estimator = entry.pxdb.approx_estimator()
+    with entry.sample_lock:
+        result = estimator.estimate(event, **(options or {}))
+    return {
+        "db": entry.name,
+        "backend": "approx",
+        "event": event_text,
+        **result.as_dict(),
+    }
+
+
 # -- the service --------------------------------------------------------------
 
 class PXDBService:
@@ -375,20 +496,59 @@ class PXDBService:
                 )
 
     # -- problem endpoints ----------------------------------------------------
-    def _backend(self, backend: str | None) -> str:
-        return _resolve_backend(backend) if backend is not None \
+    def _backend(self, backend: str | None, allow_approx: bool = False) -> str:
+        return _resolve_backend(backend, allow_approx) if backend is not None \
             else self.default_backend
 
-    def sat(self, db: str, backend: str | None = None) -> dict:
-        name = self._backend(backend)
-        with self._request("sat", db=db, backend=name), self.metrics.timed("sat"):
-            return self._dispatch("sat", db, {"backend": name})
+    def _record_approx(self, payload: dict) -> None:
+        """Fold one approx payload into the sample counter and the
+        bound-width histogram (one width per reported interval)."""
+        rows = payload.get("answers")
+        intervals = (
+            [row.get("interval") for row in rows]
+            if rows is not None
+            else [payload.get("interval")]
+        )
+        for interval in intervals:
+            if interval:
+                self.metrics.observe_value(
+                    "approx.bound_width", interval[1] - interval[0]
+                )
+        if payload.get("n_samples"):
+            self.metrics.increment("approx.samples", payload["n_samples"])
 
-    def query(self, db: str, query_text: str, backend: str | None = None) -> dict:
-        name = self._backend(backend)
+    def sat(
+        self, db: str, backend: str | None = None, approx: dict | None = None
+    ) -> dict:
+        name = self._backend(backend, allow_approx=True)
+        with self._request("sat", db=db, backend=name), self.metrics.timed("sat"):
+            payload = self._dispatch("sat", db, {"backend": name, "approx": approx})
+            if name == "approx":
+                self._record_approx(payload)
+            return payload
+
+    def query(
+        self,
+        db: str,
+        query_text: str,
+        backend: str | None = None,
+        approx: dict | None = None,
+    ) -> dict:
+        name = self._backend(backend, allow_approx=True)
         with self._request("query", db=db, query=query_text, backend=name) as span, \
                 self.metrics.timed("query"):
             entry = self.store.get(db)  # also refreshes mtime-stale entries
+            if name == "approx":
+                # Never cached: a Monte-Carlo payload is a fresh draw
+                # unless seeded, and even seeded runs advance the
+                # estimator's counters — repeatability is the *seed's*
+                # contract, not the cache's.
+                payload = self._dispatch(
+                    "query", db,
+                    {"query_text": query_text, "backend": name, "approx": approx},
+                )
+                self._record_approx(payload)
+                return payload
             # Result-cache key carries the backend: the same text answered
             # in a different arithmetic is a different payload.
             cache_key = query_text if name == "exact" \
@@ -402,6 +562,20 @@ class PXDBService:
                 "query", db, {"query_text": query_text, "backend": name}
             )
             entry.cache_query(cache_key, payload)
+            return payload
+
+    def approx(
+        self, db: str, event: str, options: dict | None = None
+    ) -> dict:
+        """A certified estimate of an arbitrary aggregate event
+        (``/approx``); ``options`` are the validated estimator keywords
+        (epsilon, delta, max_samples, seed, rule)."""
+        with self._request("approx", db=db, event=event), \
+                self.metrics.timed("approx"):
+            payload = self._dispatch(
+                "approx", db, {"event_text": event, "options": options}
+            )
+            self._record_approx(payload)
             return payload
 
     def sample(
@@ -501,6 +675,13 @@ class PXDBService:
             }
             for entry in self.store.loaded_entries()
         }
+        approx_stats = {
+            entry.name: entry.pxdb.approx_stats()
+            for entry in self.store.loaded_entries()
+            if entry.pxdb.approx_stats()
+        }
+        if approx_stats:
+            payload["approx"] = approx_stats
         if self.pool is not None:
             payload["pool"] = self.pool.stats()
             payload["pool_workers"] = self.pool.worker_stats(timeout=1.0)
@@ -571,6 +752,8 @@ class PXDBService:
             return query_payload(entry, **kwargs)
         if op == "sample":
             return sample_payload(entry, **kwargs)
+        if op == "approx":
+            return approx_payload(entry, **kwargs)
         raise AssertionError(f"unknown operation {op!r}")
 
 
@@ -606,13 +789,22 @@ class _Handler(BaseHTTPRequestHandler):
         try:
             if route == "/sat":
                 payload = service.sat(
-                    _required(params, "db"), backend=params.get("backend")
+                    _required(params, "db"),
+                    backend=params.get("backend"),
+                    approx=_approx_options(params),
                 )
             elif route == "/query":
                 payload = service.query(
                     _required(params, "db"),
                     _required(params, "query"),
                     backend=params.get("backend"),
+                    approx=_approx_options(params),
+                )
+            elif route == "/approx":
+                payload = service.approx(
+                    _required(params, "db"),
+                    _required(params, "event"),
+                    options=_approx_options(params),
                 )
             elif route == "/sample":
                 seed = params.get("seed")

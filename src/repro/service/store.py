@@ -251,6 +251,10 @@ class StoreEntry:
             "circuits": self.pxdb.circuit_stats(),
             "engine": self.engine.stats(),
             "coalescer": self.coalescer.stats(),
+            # Monte-Carlo estimator state lives with the entry (warm
+            # engines + draw counters per sampler backend); empty until
+            # the first backend=approx request.
+            "approx": self.pxdb.approx_stats(),
         }
 
 

@@ -7,6 +7,8 @@ import random
 from fractions import Fraction
 
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
 from repro.aggregates.hardness import (
     decide_by_dp,
@@ -39,6 +41,8 @@ from repro.pdoc.pdocument import pdocument
 from repro.workloads.random_gen import random_formula, random_pdocument
 from repro.workloads.synthetic import numeric_pdocument
 from repro.xmltree.parser import parse_selector
+
+from .strategies import DEFAULT_SETTINGS
 
 
 def sel(text: str) -> SFormula:
@@ -222,3 +226,87 @@ def test_dp_and_enumeration_agree_randomized():
         items = [rng.randint(1, 12) for _ in range(rng.randint(1, 8))]
         target = rng.randint(0, sum(items) + 2)
         assert decide_by_dp(items, target) == decide_by_enumeration(items, target)
+
+
+@given(
+    items=st.lists(st.integers(min_value=1, max_value=50), min_size=1, max_size=10),
+    offset=st.integers(min_value=-2, max_value=2),
+    fraction=st.floats(min_value=0.0, max_value=1.0),
+)
+@DEFAULT_SETTINGS
+def test_dp_and_enumeration_agree_property(items, offset, fraction):
+    # Targets concentrate around achievable subset sums (fraction of the
+    # total ± a small offset) so the property exercises both outcomes
+    # rather than trivially-unsolvable targets.
+    target = int(fraction * sum(items)) + offset
+    assert decide_by_dp(items, target) == decide_by_enumeration(items, target)
+
+
+# -- nested MIN/MAX rewriting --------------------------------------------------
+
+
+def _contains_minmax(f, seen=None):
+    seen = seen if seen is not None else set()
+    if id(f) in seen:
+        return False
+    seen.add(id(f))
+    if isinstance(f, (MinAtom, MaxAtom)):
+        return True
+    for part in getattr(f, "parts", ()):
+        if _contains_minmax(part, seen):
+            return True
+    inner = getattr(f, "inner", None)
+    if inner is not None and _contains_minmax(inner, seen):
+        return True
+    for sf in getattr(f, "disjuncts", ()):
+        for value in sf.alpha.values():
+            if _contains_minmax(value, seen):
+                return True
+    return False
+
+
+def _nested_extremum_atom(outer_cls, inner_cls, outer_op, inner_op):
+    """An extremum atom whose selector attaches another extremum atom:
+    e.g. MIN over nodes whose subtree has MAX(*/$*) > 2."""
+    inner = inner_cls([sel("*/$*")], inner_op, Fraction(2))
+    base = sel("*//$*")
+    guarded = base.with_alpha(base.projected, inner)
+    return outer_cls([guarded], outer_op, Fraction(3))
+
+
+@pytest.mark.parametrize("outer_cls", [MinAtom, MaxAtom])
+@pytest.mark.parametrize("inner_cls", [MinAtom, MaxAtom])
+def test_rewrite_nested_extrema_semantics(outer_cls, inner_cls):
+    rng = random.Random(hash((outer_cls.__name__, inner_cls.__name__)) % 10**6)
+    atom = _nested_extremum_atom(outer_cls, inner_cls, "<=", ">")
+    rewritten = rewrite(atom)
+    assert not _contains_minmax(rewritten)
+    for _ in range(40):
+        pd = random_pdocument(rng, numeric=True)
+        document = random_instance(pd, rng)
+        evaluator = DocumentEvaluator()
+        assert evaluator.satisfies(document.root, atom) == evaluator.satisfies(
+            document.root, rewritten
+        ), (outer_cls.__name__, inner_cls.__name__)
+
+
+def test_rewrite_nested_extrema_probabilities_match_baseline():
+    # Three levels: CNT over a selector guarded by MAX, itself guarded by
+    # MIN.  The rewrite must recurse through every alpha attachment.
+    innermost = MinAtom([sel("*/$*")], ">=", Fraction(1))
+    mid_base = sel("*/$*")
+    mid = MaxAtom([mid_base.with_alpha(mid_base.projected, innermost)], ">", Fraction(2))
+    outer_base = sel("*//$*")
+    atom = CountAtom([outer_base.with_alpha(outer_base.projected, mid)], ">=", 1)
+    rewritten = rewrite(atom)
+    assert not _contains_minmax(rewritten)
+    rng = random.Random(1234)
+    for _ in range(10):
+        pd = random_pdocument(rng, numeric=True)
+        assert probability(pd, rewritten) == naive_probability(pd, atom)
+
+
+def test_rewrite_nested_is_idempotent():
+    atom = _nested_extremum_atom(MaxAtom, MinAtom, ">", "<=")
+    once = rewrite(atom)
+    assert rewrite(once) is once

@@ -119,3 +119,27 @@ def test_rejection_budget_error_message():
     pd = two_leaf_pdoc()
     with pytest.raises(RejectionBudgetExceeded, match="5 attempts"):
         rejection_sample(pd, FALSE, random.Random(0), max_attempts=5)
+
+
+def test_rejection_budget_error_carries_diagnostics():
+    pd = two_leaf_pdoc()
+    # Without a known condition probability: attempts + rule-of-three bound.
+    with pytest.raises(RejectionBudgetExceeded) as info:
+        rejection_sample(pd, FALSE, random.Random(0), max_attempts=30)
+    error = info.value
+    assert error.attempts == 30
+    assert error.estimate is None
+    assert "rule of three" in str(error)
+    assert f"{3 / 30:.3g}" in str(error)
+    # With the exact Pr(P |= C) supplied: estimate + expected attempts.
+    with pytest.raises(RejectionBudgetExceeded) as info:
+        rejection_sample(
+            pd, FALSE, random.Random(0), max_attempts=4,
+            condition_probability=0.001,
+        )
+    error = info.value
+    assert error.attempts == 4
+    assert error.estimate == 0.001
+    assert "0.001" in str(error)
+    assert "expected attempts" in str(error)
+    assert "1e+03" in str(error)

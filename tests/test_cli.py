@@ -283,3 +283,62 @@ def test_circuit_grad_ranks_parameters(files, capsys):
     out = capsys.readouterr().out
     assert "most influential first" in out
     assert out.count("ind@") == 1  # --top limits the listing
+
+
+def test_approx(files, capsys):
+    pdoc_path, constraints_path = files
+    args = [
+        "approx",
+        str(pdoc_path),
+        "-c",
+        str(constraints_path),
+        "-e",
+        "count(*//$book) >= 2",
+        "--epsilon",
+        "0.05",
+        "--seed",
+        "42",
+    ]
+    assert main(args) == 0
+    out = capsys.readouterr().out
+    assert "Pr(event | C) ~=" in out
+    assert "rule=bernstein" in out
+    assert "stopped=target" in out
+    assert "seed          = 42" in out
+    # Deterministic: the same seed reprints the identical report.
+    assert main(args) == 0
+    assert capsys.readouterr().out == out
+
+
+def test_approx_budget_warning(files, capsys):
+    pdoc_path, constraints_path = files
+    assert (
+        main(
+            [
+                "approx",
+                str(pdoc_path),
+                "-c",
+                str(constraints_path),
+                "-e",
+                "count(*//$book) >= 2",
+                "--epsilon",
+                "0.01",
+                "--max-samples",
+                "100",
+                "--rule",
+                "hoeffding",
+                "--seed",
+                "1",
+            ]
+        )
+        == 0
+    )
+    captured = capsys.readouterr()
+    assert "stopped=max_samples" in captured.out
+    assert "budget exhausted" in captured.err
+
+
+def test_approx_bad_event(files, capsys):
+    pdoc_path, _ = files
+    assert main(["approx", str(pdoc_path), "-e", "nonsense"]) == 2
+    assert "error:" in capsys.readouterr().err

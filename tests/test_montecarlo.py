@@ -44,6 +44,15 @@ def test_sample_size_hoeffding():
         sample_size(0.1, 1.5)
 
 
+def test_sample_size_delegates_to_approx_bounds():
+    """One Hoeffding formula in the codebase: the baseline re-exports the
+    conditioned tier's implementation."""
+    from repro.approx.bounds import hoeffding_sample_size
+
+    for epsilon, delta in [(0.05, 0.05), (0.02, 0.05), (0.1, 0.01)]:
+        assert sample_size(epsilon, delta) == hoeffding_sample_size(epsilon, delta)
+
+
 def test_estimate_close_to_exact():
     pd = build_pdoc()
     formula = CountAtom([sel("r/$a")], ">=", 1)

@@ -805,3 +805,99 @@ def test_http_sweep_roundtrip(http_service):
     without_pattern = client.sweep("cat", [["1", "0"], ["0", "1"]])
     assert without_pattern["constraint_probability"] == pytest.approx([1.0, 1.0])
     assert "event_probability" not in without_pattern
+
+
+# -- the approximation tier (backend=approx, /approx) -------------------------
+
+def test_service_sat_approx_backend(catalog_service):
+    payload = catalog_service.sat("cat", backend="approx", approx={"seed": 3})
+    assert payload["backend"] == "approx"
+    lo, hi = payload["interval"]
+    assert lo <= 0.625 <= hi  # exact Pr(P |= C) = 5/8
+    assert payload["well_defined"] is True  # proved by the load-time DP
+    assert payload["seed"] == 3
+    again = catalog_service.sat("cat", backend="approx", approx={"seed": 3})
+    assert again == payload
+
+
+def test_service_query_approx_backend_not_cached(catalog_service):
+    options = {"epsilon": 0.05, "seed": 11}
+    payload = catalog_service.query("cat", QUERY, backend="approx", approx=options)
+    exact = {("Dune",): 0.8, ("Solaris",): 0.4}
+    assert payload["epsilon"] == 0.05
+    for row in payload["answers"]:
+        lo, hi = row["interval"]
+        assert lo <= exact[tuple(row["answer"])] <= hi
+    # Seeded repeat is identical — by re-estimation, never via the cache.
+    again = catalog_service.query("cat", QUERY, backend="approx", approx=options)
+    assert again == payload
+    assert catalog_service.metrics.counter("query.cache_hits") == 0
+
+
+def test_service_approx_route_deterministic(catalog_service):
+    options = {"epsilon": 0.04, "delta": 0.05, "seed": 42}
+    payload = catalog_service.approx("cat", "count(*//$book) >= 2", options)
+    assert payload["backend"] == "approx"
+    assert payload["seed"] == 42  # echoed back, the repeatability contract
+    lo, hi = payload["interval"]
+    assert lo <= 0.2 <= hi  # exact Pr = 1/5
+    assert hi - lo <= 2 * 0.04
+    assert payload["stopped"] == "target"
+    assert payload == catalog_service.approx("cat", "count(*//$book) >= 2", options)
+
+
+def test_service_approx_metrics(catalog_service):
+    catalog_service.approx("cat", "count(*//$book) >= 1", {"seed": 1})
+    catalog_service.sat("cat", backend="approx", approx={"seed": 2})
+    metrics = catalog_service.metrics_payload()
+    assert metrics["counters"]["approx.requests"] == 1
+    assert metrics["counters"]["approx.samples"] > 0
+    widths = metrics["values"]["approx.bound_width"]
+    assert widths["count"] == 2
+    assert 0.0 < widths["mean"] <= 0.2
+    assert metrics["approx"]["cat"]["auto"]["samples_drawn"] > 0
+    rendered = catalog_service.metrics_prometheus()
+    assert "pxdb_approx_bound_width_bucket" in rendered
+    assert "pxdb_approx_samples_total" in rendered
+
+
+def test_service_approx_rejects_bad_input(catalog_service):
+    with pytest.raises(ValueError, match="aggregate atom"):
+        catalog_service.approx("cat", "nonsense")
+    with pytest.raises(ValueError, match="unknown backend"):
+        catalog_service.sample("cat", backend="approx")
+    with pytest.raises(ValueError, match="unknown stopping rule"):
+        catalog_service.approx("cat", "count($*) >= 1", {"rule": "magic"})
+
+
+def test_http_approx_roundtrip(http_service):
+    client, service = http_service
+    body = client.approx(
+        "cat", "count(*//$book) >= 2", epsilon=0.05, seed=7, rule="bernstein"
+    )
+    assert body["seed"] == 7
+    assert body["rule"] == "bernstein"
+    lo, hi = body["interval"]
+    assert lo <= 0.2 <= hi
+    # Same seed over HTTP reproduces the estimate exactly.
+    again = client.approx(
+        "cat", "count(*//$book) >= 2", epsilon=0.05, seed=7, rule="bernstein"
+    )
+    assert again["estimate"] == body["estimate"]
+    assert again["n_samples"] == body["n_samples"]
+    # backend=approx on the GET-style /sat and /query params.
+    sat_body = client._request("/sat", {"db": "cat", "backend": "approx",
+                                        "seed": 5, "epsilon": 0.05})
+    assert sat_body["interval"][0] <= 0.625 <= sat_body["interval"][1]
+    query_body = client._request(
+        "/query",
+        {"db": "cat", "query": QUERY, "backend": "approx", "seed": 5},
+    )
+    assert all("interval" in row for row in query_body["answers"])
+
+
+def test_http_approx_error_status(http_service):
+    client, _ = http_service
+    with pytest.raises(ServiceError) as info:
+        client.approx("cat", "garbage")
+    assert info.value.status == 400

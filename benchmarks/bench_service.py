@@ -1,6 +1,7 @@
-"""E11 — the service layer: warm store-and-serve vs cold per-request work.
+"""E11/E16 — the service layer: warm store-and-serve vs cold per-request
+work, and the async sharded front end vs the threaded baseline under load.
 
-Two claims, both load-bearing for the service subsystem:
+Claims, all load-bearing for the service subsystem:
 
 * **Warm throughput** — repeat requests against a *stored* PXDB (parsed
   once, condition compiled once, Pr(P ⊨ C) cached, incremental engine and
@@ -13,11 +14,20 @@ Two claims, both load-bearing for the service subsystem:
   XML) to sequential direct :class:`~repro.core.pxdb.PXDB` calls.  The
   coalescer shares DP passes and the pool shares nothing but file specs;
   neither is allowed to perturb a single digit.
+* **E16: sharded throughput** — on a mixed sat/query/top-k workload over
+  persistent connections, the async front end (consistent-hash shards +
+  per-entry heterogeneous batch scheduler) must sustain ≥ 2× the request
+  rate of the threaded baseline, with every response correct, /metrics
+  p50/p99 populated, and each shard worker's warm store confined to its
+  own shard's entries.
 """
 
 from __future__ import annotations
 
+import json
 import random
+import socket
+import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
@@ -27,7 +37,16 @@ import pytest
 from repro.core.pxdb import PXDB
 from repro.obs.benchrec import benchmark_mean
 from repro.pdoc.serialize import pdocument_to_xml
-from repro.service import DocumentStore, Metrics, PXDBService, ServiceClient, start_server
+from repro.service import (
+    DocumentStore,
+    Metrics,
+    PXDBService,
+    ServiceClient,
+    ShardRouter,
+    build_sharded_service,
+    start_async_server,
+    start_server,
+)
 from repro.service.store import read_constraints, read_pdocument
 from repro.workloads.university import scaled_university
 from repro.xmltree.serialize import document_to_xml
@@ -251,4 +270,219 @@ def test_bench_service_coalescer_early_drain(university_files, report, record):
         window_s=window,
         direct_ms=direct_mean * 1000,
         overhead_ms=overhead * 1000,
+    )
+
+
+# -- E16: the async sharded front end under load ------------------------------
+
+CONNECTIONS = 16
+ROUNDS = 3
+
+
+def _shard_split_names(shards: int = 2) -> list[str]:
+    """One PXDB name per shard (the router is deterministic, so probing
+    candidate names until every shard owns one is stable across runs)."""
+    router = ShardRouter(shards)
+    names: dict[int, str] = {}
+    index = 0
+    while len(names) < shards:
+        candidate = f"db{index}"
+        names.setdefault(router.shard_for(candidate), candidate)
+        index += 1
+    return [names[shard] for shard in range(shards)]
+
+
+@pytest.fixture()
+def sharded_files(tmp_path: Path) -> tuple[list[str], dict[str, tuple]]:
+    """Two university PXDBs whose names land on different shards."""
+    names = _shard_split_names(2)
+    specs: dict[str, tuple] = {}
+    pdocument_path = tmp_path / "uni-a.pxml"
+    pdocument_path.write_text(
+        pdocument_to_xml(scaled_university(departments=2, members=3, students=1))
+    )
+    constraints_path = tmp_path / "uni-a.cons"
+    constraints_path.write_text(CONSTRAINTS_TEXT)
+    specs[names[0]] = (pdocument_path, constraints_path)
+    other_path = tmp_path / "uni-b.pxml"
+    other_path.write_text(
+        pdocument_to_xml(scaled_university(departments=3, members=3, students=1))
+    )
+    specs[names[1]] = (other_path, None)
+    return names, specs
+
+
+def _mixed_requests(name: str, connection: int, round_index: int) -> list[tuple]:
+    """One round of the mixed workload: sat + two queries + one top-k
+    whose ``k`` is unique per (connection, round) — a result-cache miss by
+    design, so every top-k forces a real evaluation while the repeated
+    query texts exercise the shared result cache on both front ends."""
+    requests = [("/sat", {"db": name})]
+    for query in QUERIES:
+        requests.append(("/query", {"db": name, "query": query}))
+    requests.append(
+        ("/topk", {"db": name, "query": QUERIES[0],
+                   "k": 1 + connection * 100 + round_index})
+    )
+    return requests
+
+
+def _run_load(host: str, port: int, names: list[str]) -> tuple[int, float, list]:
+    """CONNECTIONS persistent HTTP/1.1 connections, each cycling the
+    mixed request set against its pinned PXDB; returns (ok_responses,
+    elapsed_s, errors).  Raw sockets so both front ends serve identical
+    keep-alive traffic (urllib reconnects per request, which would bench
+    the TCP stack, not the server)."""
+    errors: list[str] = []
+    counts = [0] * CONNECTIONS
+
+    def worker(connection: int) -> None:
+        name = names[connection % len(names)]
+        sock = socket.create_connection((host, port), timeout=120)
+        reader = sock.makefile("rb")
+        try:
+            for round_index in range(ROUNDS):
+                for path, payload in _mixed_requests(name, connection, round_index):
+                    body = json.dumps(payload).encode()
+                    sock.sendall(
+                        (
+                            f"POST {path} HTTP/1.1\r\nHost: bench\r\n"
+                            f"Content-Type: application/json\r\n"
+                            f"Content-Length: {len(body)}\r\n\r\n"
+                        ).encode() + body
+                    )
+                    status = reader.readline()
+                    if not status:
+                        raise RuntimeError("server closed the connection")
+                    headers = {}
+                    while True:
+                        line = reader.readline().strip()
+                        if not line:
+                            break
+                        key, _, value = line.partition(b":")
+                        headers[key.lower().strip()] = value.strip()
+                    answer = json.loads(reader.read(int(headers[b"content-length"])))
+                    if status.split()[1] != b"200" or answer.get("ok") is not True:
+                        errors.append(f"{path}: {status!r} {answer}")
+                    elif path == "/topk" and answer["answers"] != sorted(
+                        answer["answers"], key=lambda row: eval_fraction(row["probability"]),
+                        reverse=True,
+                    ):
+                        errors.append(f"unsorted top-k: {answer['answers']}")
+                    counts[connection] += 1
+                    if headers.get(b"connection", b"").lower() == b"close":
+                        reader.close()
+                        sock.close()
+                        sock = socket.create_connection((host, port), timeout=120)
+                        reader = sock.makefile("rb")
+        except Exception as error:  # noqa: BLE001 — reported to the main thread
+            errors.append(f"connection {connection}: {error!r}")
+        finally:
+            try:
+                reader.close()
+                sock.close()
+            except OSError:
+                pass
+
+    threads = [
+        threading.Thread(target=worker, args=(index,))
+        for index in range(CONNECTIONS)
+    ]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return sum(counts), time.perf_counter() - start, errors
+
+
+def eval_fraction(text: str):
+    from fractions import Fraction
+
+    return Fraction(text)
+
+
+def test_bench_service_async_sharded_load(sharded_files, report, record):
+    names, specs = sharded_files
+    total_requests = CONNECTIONS * ROUNDS * 4
+
+    # Threaded baseline: the default front end, coalescer on, no pool.
+    store = DocumentStore()
+    for name in names:
+        store.register(name, *specs[name])
+    server = start_server(PXDBService(store, metrics=Metrics()))
+    host, port = server.server_address[:2]
+    try:
+        threaded_total, threaded_elapsed, errors = _run_load(host, port, names)
+    finally:
+        server.shutdown()
+        server.server_close()
+    assert not errors, errors[:3]
+    assert threaded_total == total_requests
+    threaded_rps = threaded_total / threaded_elapsed
+
+    # Async sharded: 2 shards, heterogeneous batch scheduler in front.
+    async_store = DocumentStore()
+    for name in names:
+        async_store.register(name, *specs[name])
+    service = build_sharded_service(async_store, shards=2, window=0.01)
+    handle = start_async_server(service)
+    try:
+        async_total, async_elapsed, errors = _run_load(
+            handle.address[0], handle.address[1], names
+        )
+        assert not errors, errors[:3]
+        assert async_total == total_requests
+        async_rps = async_total / async_elapsed
+
+        metrics = ServiceClient(
+            f"http://{handle.address[0]}:{handle.address[1]}"
+        ).metrics()
+        # p50/p99 populated for every batched route.
+        for op in ("sat", "query", "topk"):
+            latency = metrics["latency"][op]
+            assert latency["count"] > 0
+            assert latency["p99_ms"] >= latency["p50_ms"] >= 0
+        scheduler = metrics["scheduler"]
+        assert scheduler["mean_batch_size"] >= 2, (
+            f"the scheduler should pack concurrent requests: {scheduler}"
+        )
+        assert service.metrics.counter("scheduler.fallbacks") == 0
+        # Shard confinement: every worker's warm store holds exactly its
+        # shard's names, nothing else.
+        assignment = service.pool.shard_assignment()
+        workers = service.pool.worker_stats(timeout=10.0)
+        assert workers["probed"] >= 1
+        for info in workers["workers"].values():
+            assert info["names"] == sorted(assignment[info["shard"]])
+    finally:
+        handle.stop()
+        service.scheduler.close()
+        service.pool.shutdown()
+
+    speedup = async_rps / threaded_rps
+    report(
+        f"E16 service  sharded front end: {total_requests} mixed requests  "
+        f"threaded {threaded_rps:6.1f} req/s  async {async_rps:6.1f} req/s  "
+        f"speedup {speedup:4.2f}x (floor 2x)  "
+        f"mean batch {scheduler['mean_batch_size']:.1f}"
+    )
+    assert speedup >= 2.0, (
+        f"async sharded front end should sustain >= 2x the threaded rate: "
+        f"threaded {threaded_rps:.1f} req/s vs async {async_rps:.1f} req/s "
+        f"({speedup:.2f}x)"
+    )
+    record(
+        f"{CONNECTIONS} connections x {ROUNDS} rounds, mixed sat/query/topk",
+        wall_s=async_elapsed,
+        counters={
+            "requests": total_requests,
+            "scheduler_batches": scheduler["batches"],
+            "batched_requests": scheduler["batched_requests"],
+        },
+        speedup=speedup,
+        threaded_requests_per_s=threaded_rps,
+        async_requests_per_s=async_rps,
+        mean_batch_size=scheduler["mean_batch_size"],
+        p99_topk_ms=metrics["latency"]["topk"]["p99_ms"],
     )

@@ -355,7 +355,7 @@ def _cmd_serve(args) -> int:
     from .obs.spans import TRACER
     from .service.metrics import Metrics
     from .service.pool import EvaluationPool
-    from .service.server import PXDBService, make_server
+    from .service.server import PXDBService, serve_forever
     from .service.store import DocumentStore
 
     configure_logging(args.log_level, json_mode=args.log_json)
@@ -378,6 +378,49 @@ def _cmd_serve(args) -> int:
             + f"  Pr(P |= C) = {probability} ~= {float(probability):.6f}",
             file=sys.stderr,
         )
+    if args.trace:
+        print(
+            f"tracing on: ring={args.trace_ring}"
+            + (f", jsonl={args.trace_jsonl}" if args.trace_jsonl else ""),
+            file=sys.stderr,
+        )
+    if args.backend != "exact":
+        print(f"default numeric backend: {args.backend}", file=sys.stderr)
+
+    def _announce(address) -> None:
+        print(f"serving PXDBs on http://{address[0]}:{address[1]}", file=sys.stderr)
+
+    if args.frontend == "async":
+        from .service.frontend import build_sharded_service
+        from .service.frontend.aserver import serve_async
+
+        service = build_sharded_service(
+            store,
+            shards=args.shards,
+            workers_per_shard=args.pool if args.pool > 0 else 1,
+            window=args.scheduler_window,
+            max_batch=args.scheduler_max_batch,
+            metrics=Metrics(),
+            slow_ms=args.slow_ms,
+            default_backend=args.backend,
+            pool_timeout=args.pool_timeout,
+        )
+        for shard, names in service.pool.shard_assignment().items():
+            print(
+                f"shard {shard}: {', '.join(names) or '(no file-backed PXDBs)'}",
+                file=sys.stderr,
+            )
+        try:
+            serve_async(
+                service, args.host, args.port, verbose=args.verbose,
+                drain_timeout=args.drain_timeout, on_bound=_announce,
+            )
+        finally:
+            service.scheduler.close(args.drain_timeout)
+            service.pool.shutdown()
+        print("shutting down", file=sys.stderr)
+        return 0
+
     pool = None
     if args.pool > 0:
         pool = EvaluationPool(
@@ -392,25 +435,15 @@ def _cmd_serve(args) -> int:
         store, metrics=Metrics(), pool=pool, slow_ms=args.slow_ms,
         default_backend=args.backend,
     )
-    if args.backend != "exact":
-        print(f"default numeric backend: {args.backend}", file=sys.stderr)
-    server = make_server(service, args.host, args.port, verbose=args.verbose)
-    host, port = server.server_address[:2]
-    if args.trace:
-        print(
-            f"tracing on: ring={args.trace_ring}"
-            + (f", jsonl={args.trace_jsonl}" if args.trace_jsonl else ""),
-            file=sys.stderr,
-        )
-    print(f"serving PXDBs on http://{host}:{port}", file=sys.stderr)
     try:
-        server.serve_forever()
-    except KeyboardInterrupt:
-        print("shutting down", file=sys.stderr)
+        serve_forever(
+            service, args.host, args.port, verbose=args.verbose,
+            drain_timeout=args.drain_timeout, on_bound=_announce,
+        )
     finally:
-        server.server_close()
         if pool is not None:
             pool.shutdown()
+    print("shutting down", file=sys.stderr)
     return 0
 
 
@@ -681,12 +714,53 @@ def build_parser() -> argparse.ArgumentParser:
         help="TCP port (0 picks an ephemeral port, printed at startup)",
     )
     p.add_argument(
+        "--frontend",
+        choices=["threaded", "async"],
+        default="threaded",
+        help="HTTP front end: 'threaded' (stdlib thread-per-request) or "
+        "'async' (event loop + consistent-hash sharded workers + "
+        "heterogeneous batch scheduler; docs/SERVICE.md)",
+    )
+    p.add_argument(
+        "--shards",
+        type=int,
+        default=2,
+        metavar="N",
+        help="[async] pin PXDBs to N worker shards by consistent hashing; "
+        "each shard's workers warm only its own entries",
+    )
+    p.add_argument(
+        "--scheduler-window",
+        type=float,
+        default=0.002,
+        metavar="S",
+        help="[async] batching window: pending sat/query/topk requests "
+        "against one PXDB within the window share one joint DP pass "
+        "(a lone request waits only window/8)",
+    )
+    p.add_argument(
+        "--scheduler-max-batch",
+        type=int,
+        default=64,
+        metavar="N",
+        help="[async] drain a batch immediately once N requests pend",
+    )
+    p.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=5.0,
+        metavar="S",
+        help="seconds to drain in-flight work on SIGTERM/Ctrl-C before "
+        "closing the socket",
+    )
+    p.add_argument(
         "--pool",
         type=int,
         default=0,
         metavar="N",
         help="dispatch sat/query/sample to N worker processes with warm "
-        "stores (0 = in-process execution only)",
+        "stores (0 = in-process execution only; with --frontend async "
+        "this is workers per shard, minimum 1)",
     )
     p.add_argument(
         "--pool-timeout",

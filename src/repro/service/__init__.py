@@ -23,7 +23,12 @@ Modules
   payload);
 * :mod:`~repro.service.pool`     — optional process-pool execution for
   CPU-bound evaluation, with per-worker engine warm-up and graceful
-  degradation to in-process execution;
+  degradation to in-process execution; the sharded variant pins each
+  PXDB to one worker via consistent hashing;
+* :mod:`~repro.service.frontend` — the asyncio front end
+  (``repro serve --frontend async --shards N``): event-loop HTTP server,
+  consistent-hash shard router, and a per-entry batch scheduler packing
+  heterogeneous sat/query/topk requests into single joint DP passes;
 * :mod:`~repro.service.client`   — the thin Python client (exact
   ``Fraction`` round-trips);
 * :mod:`~repro.service.metrics`  — request counters, latency histograms
@@ -40,8 +45,10 @@ Start one with ``python -m repro serve --db name=doc.pxml:constraints.txt``
 
 from .client import ServiceClient, ServiceError
 from .coalesce import Coalescer
+from .frontend import BatchScheduler, ShardRouter, build_sharded_service
+from .frontend.aserver import serve_async, start_async_server
 from .metrics import LatencyHistogram, Metrics, ValueHistogram
-from .pool import EvaluationPool, PoolUnavailable
+from .pool import EvaluationPool, PoolUnavailable, ShardedEvaluationPool
 from .server import PXDBService, make_server, serve_forever, start_server
 from .store import (
     DocumentStore,
@@ -53,6 +60,7 @@ from .store import (
 )
 
 __all__ = [
+    "BatchScheduler",
     "Coalescer",
     "DocumentStore",
     "EvaluationPool",
@@ -62,13 +70,18 @@ __all__ = [
     "PoolUnavailable",
     "ServiceClient",
     "ServiceError",
+    "ShardRouter",
+    "ShardedEvaluationPool",
     "StoreEntry",
     "ValueHistogram",
+    "build_sharded_service",
     "load_pxdb",
     "make_server",
     "read_constraints",
     "read_document",
     "read_pdocument",
+    "serve_async",
     "serve_forever",
+    "start_async_server",
     "start_server",
 ]

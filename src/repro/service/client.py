@@ -14,6 +14,8 @@ Used by the test suite, the service benchmark, and the CI smoke job.
 from __future__ import annotations
 
 import json
+import random
+import time
 from fractions import Fraction
 from urllib import error as urlerror
 from urllib import request as urlrequest
@@ -31,15 +33,48 @@ class ServiceError(RuntimeError):
 
 class ServiceClient:
     """One service endpoint, many calls.  Thread-safe (no shared state
-    beyond the base URL), so concurrent-client tests share one instance."""
+    beyond the base URL), so concurrent-client tests share one instance.
 
-    def __init__(self, base_url: str, timeout: float = 60.0):
+    ``retries``/``backoff`` turn on bounded retry for *idempotent* calls
+    (sat/query/topk/stats/metrics/…): a connection failure or reset is
+    retried up to ``retries`` times with jittered exponential backoff
+    (``backoff``, ``2·backoff``, ``4·backoff``, … seconds, each scaled by
+    a random factor in [0.5, 1.0) so a thundering herd of clients does
+    not re-synchronize).  HTTP *errors* are never retried — the server
+    answered; asking again will not change a 400/404/500.  ``sample`` and
+    ``approx`` are never retried regardless of the setting: they draw
+    from the server's RNG, so a retry after an ambiguous failure could
+    consume entropy twice (non-idempotent).
+    """
+
+    def __init__(self, base_url: str, timeout: float = 60.0, *,
+                 retries: int = 0, backoff: float = 0.05):
+        if retries < 0:
+            raise ValueError("retries must be non-negative")
+        if backoff < 0:
+            raise ValueError("backoff must be non-negative")
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
 
     # -- transport ------------------------------------------------------------
     def _request(self, path: str, payload: dict | None = None,
-                 params: dict | None = None) -> dict:
+                 params: dict | None = None, *, idempotent: bool = True) -> dict:
+        attempts = self.retries + 1 if idempotent else 1
+        for attempt in range(attempts):
+            try:
+                return self._request_once(path, payload, params)
+            except ServiceError as error:
+                # status set → an HTTP response arrived: never retry.
+                if error.status is not None or attempt == attempts - 1:
+                    raise
+                delay = self.backoff * (2 ** attempt)
+                time.sleep(delay * (0.5 + random.random() / 2))
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _request_once(self, path: str, payload: dict | None,
+                      params: dict | None) -> dict:
         url = self.base_url + path
         if params:
             url += "?" + urlencode(params)
@@ -64,6 +99,11 @@ class ServiceClient:
             raise ServiceError(
                 f"cannot reach service at {self.base_url}: {error.reason}"
             ) from None
+        except (ConnectionResetError, ConnectionRefusedError) as error:
+            # A reset mid-response bypasses urllib's URLError wrapping.
+            raise ServiceError(
+                f"cannot reach service at {self.base_url}: {error}"
+            ) from None
         if not body.get("ok", False):
             raise ServiceError(str(body.get("error", "service error")))
         return body
@@ -87,11 +127,23 @@ class ServiceClient:
     def query_info(self, db: str, query: str) -> dict:
         return self._request("/query", {"db": db, "query": query})
 
+    def topk(self, db: str, query: str, k: int = 10) -> dict[tuple, Fraction]:
+        """The ``k`` most probable answers of ``query``, exact — same
+        shape as :meth:`query`, truncated after the probability sort."""
+        return {
+            tuple(row["answer"]): Fraction(row["probability"])
+            for row in self.topk_info(db, query, k)["answers"]
+        }
+
+    def topk_info(self, db: str, query: str, k: int = 10) -> dict:
+        return self._request("/topk", {"db": db, "query": query, "k": k})
+
     def sample(self, db: str, count: int = 1, seed: int | None = None) -> list[str]:
         """``count`` sampled documents as XML strings (deterministic given
         ``seed`` — identical to ``PXDB.sample(random.Random(seed))``)."""
         body = self._request(
-            "/sample", {"db": db, "count": count, "seed": seed}
+            "/sample", {"db": db, "count": count, "seed": seed},
+            idempotent=False,
         )
         return body["documents"]
 
@@ -120,7 +172,9 @@ class ServiceClient:
             "rule": rule,
         }
         return self._request(
-            "/approx", {key: value for key, value in body.items() if value is not None}
+            "/approx",
+            {key: value for key, value in body.items() if value is not None},
+            idempotent=False,
         )
 
     def check(self, db: str, document_xml: str) -> dict:

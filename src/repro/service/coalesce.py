@@ -15,6 +15,14 @@ The result is identical to evaluating each request alone (the arithmetic
 is exact and per-formula independent); only the traversal is shared —
 with k concurrent requests the document is walked once instead of k
 times.
+
+The async sharded front end generalizes this idea: its
+:class:`~repro.service.frontend.scheduler.BatchScheduler` packs
+*heterogeneous* pending requests (sat / query / top-k) per entry into one
+joint pass and executes it inside the entry's pinned shard worker.  This
+coalescer stays as the in-entry primitive for the threaded/non-sharded
+path — every ``StoreEntry`` still carries one, and identical-event
+merging remains the right tool when requests arrive via blocking threads.
 """
 
 from __future__ import annotations

@@ -1,0 +1,374 @@
+"""Asyncio HTTP front end: thousands of connections, few threads.
+
+The threaded server spends one OS thread per in-flight request, and that
+thread *blocks* for the whole evaluation — under heavy concurrency most
+of the process is parked threads.  This front end accepts connections on
+a single event loop, parses the same JSON routes, and splits requests by
+shape:
+
+* **batchable** exact ``/sat``, ``/query``, ``/topk`` requests are handed
+  to the :class:`~repro.service.frontend.scheduler.BatchScheduler` and
+  awaited via ``asyncio.wrap_future`` — the event loop holds *no thread*
+  while a request waits inside a batching window or a shard worker, which
+  is exactly what lets thousands of clients pile onto a handful of joint
+  DP passes;
+* everything else (``/sample``, ``/approx``, ``/metrics``, …) runs the
+  shared transport-agnostic :func:`repro.service.server.dispatch_route`
+  on the default executor, preserving the threaded server's semantics
+  and error contract verbatim.
+
+The HTTP surface is deliberately identical to the threaded front end —
+same routes, same params, same status mapping, same Prometheus content
+negotiation — so :class:`~repro.service.client.ServiceClient` and every
+existing test speak to either interchangeably.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+import threading
+from urllib.parse import parse_qs, urlparse
+
+from ...obs.logs import get_logger
+from ..server import (
+    PXDBService,
+    _message as _key_message,
+    dispatch_route,
+    wants_prometheus,
+)
+
+_log = get_logger("service.aserver")
+
+_ROUTE_OPS = {"/sat": "sat", "/query": "query", "/topk": "topk"}
+_MAX_HEAD_BYTES = 64 * 1024
+_MAX_BODY_BYTES = 16 * 1024 * 1024
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    500: "Internal Server Error",
+}
+_PROMETHEUS_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class _BadRequest(Exception):
+    """Malformed HTTP — answer 400 and drop the connection."""
+
+
+def _encode_response(
+    status: int, body: bytes, content_type: str, keep_alive: bool
+) -> bytes:
+    head = (
+        f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+        f"Server: PXDBService/1.0 (async)\r\n"
+        f"Content-Type: {content_type}\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+        "\r\n"
+    )
+    return head.encode("latin-1") + body
+
+
+async def _read_request(reader: asyncio.StreamReader):
+    """One parsed request: (method, target, headers, body) — or ``None``
+    on a clean end-of-stream between keep-alive requests."""
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as error:
+        if not error.partial:
+            return None
+        raise _BadRequest("truncated request head") from error
+    except asyncio.LimitOverrunError as error:
+        raise _BadRequest("request head too large") from error
+    lines = head.decode("latin-1").split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) < 3:
+        raise _BadRequest(f"malformed request line: {lines[0]!r}")
+    method, target = parts[0], parts[1]
+    headers: dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, separator, value = line.partition(":")
+        if not separator:
+            raise _BadRequest(f"malformed header line: {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    try:
+        length = int(headers.get("content-length") or 0)
+    except ValueError as error:
+        raise _BadRequest("malformed Content-Length") from error
+    if length < 0 or length > _MAX_BODY_BYTES:
+        raise _BadRequest("request body too large")
+    body = await reader.readexactly(length) if length else b""
+    return method, target, headers, body
+
+
+class AsyncHTTPFrontend:
+    """Connection/request handling over one :class:`PXDBService`."""
+
+    def __init__(self, service: PXDBService, *, verbose: bool = False):
+        self.service = service
+        self.verbose = verbose
+
+    async def handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    request = await _read_request(reader)
+                except _BadRequest as error:
+                    body = json.dumps({"ok": False, "error": str(error)})
+                    writer.write(
+                        _encode_response(
+                            400, body.encode("utf-8"), "application/json", False
+                        )
+                    )
+                    await writer.drain()
+                    break
+                if request is None:
+                    break
+                method, target, headers, body = request
+                keep_alive = headers.get("connection", "").lower() != "close"
+                status, payload = await self._handle_request(
+                    method, target, headers, body
+                )
+                if isinstance(payload, str):
+                    data = _encode_response(
+                        status, payload.encode("utf-8"), _PROMETHEUS_TYPE, keep_alive
+                    )
+                else:
+                    data = _encode_response(
+                        status,
+                        json.dumps(payload).encode("utf-8"),
+                        "application/json",
+                        keep_alive,
+                    )
+                writer.write(data)
+                await writer.drain()
+                if self.verbose:
+                    _log.info(
+                        "request", extra={"target": target, "status": status}
+                    )
+                if not keep_alive:
+                    break
+        except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
+            pass  # client went away (or server stopping) mid-request
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _handle_request(
+        self, method: str, target: str, headers: dict, body: bytes
+    ) -> tuple[int, dict | str]:
+        parsed = urlparse(target)
+        route = parsed.path
+        if method == "GET":
+            params = {
+                key: values[-1] for key, values in parse_qs(parsed.query).items()
+            }
+        elif method == "POST":
+            try:
+                params = json.loads(body) if body else {}
+                if not isinstance(params, dict):
+                    raise ValueError("request body must be a JSON object")
+            except json.JSONDecodeError as error:
+                return 400, {"ok": False, "error": f"invalid JSON body: {error}"}
+            except ValueError as error:
+                return 400, {"ok": False, "error": str(error)}
+        else:
+            return 405, {"ok": False, "error": f"unsupported method: {method}"}
+
+        op = _ROUTE_OPS.get(route)
+        if op is not None:
+            try:
+                request = self.service.batchable_request(op, params)
+            except ValueError as error:
+                return 400, {"ok": False, "error": str(error)}
+            if request is not None:
+                return await self._handle_batched(op, route, params, request)
+
+        prometheus = route == "/metrics" and wants_prometheus(
+            params, headers.get("accept")
+        )
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            None,
+            lambda: dispatch_route(
+                self.service, route, params, prometheus=prometheus
+            ),
+        )
+
+    async def _handle_batched(
+        self, op: str, route: str, params: dict, request: dict
+    ) -> tuple[int, dict]:
+        """Scheduler path: same error contract as :func:`dispatch_route`."""
+        db = params.get("db")
+        if db is None:
+            return 400, {"ok": False, "error": "missing required parameter 'db'"}
+        try:
+            future = self.service.submit_batched(op, db, request)
+            payload = await asyncio.wrap_future(future)
+        except KeyError as error:
+            return 404, {"ok": False, "error": _key_message(error)}
+        except ValueError as error:
+            return 400, {"ok": False, "error": str(error)}
+        except asyncio.CancelledError:
+            raise
+        except Exception as error:  # noqa: BLE001 — last-resort 500
+            self.service.metrics.increment("http.internal_errors")
+            _log.exception("internal error", extra={"route": route})
+            return 500, {"ok": False, "error": f"{type(error).__name__}: {error}"}
+        return 200, {"ok": True, **payload}
+
+
+async def _serve(
+    service: PXDBService,
+    host: str,
+    port: int,
+    *,
+    verbose: bool = False,
+    drain_timeout: float = 5.0,
+    on_bound=None,
+    install_signals: bool = False,
+    handle: "AsyncServerHandle | None" = None,
+) -> None:
+    loop = asyncio.get_running_loop()
+    stop = asyncio.Event()
+    frontend = AsyncHTTPFrontend(service, verbose=verbose)
+    server = await asyncio.start_server(
+        frontend.handle_connection, host, port, limit=_MAX_HEAD_BYTES
+    )
+    address = server.sockets[0].getsockname()[:2]
+    if install_signals:
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except (NotImplementedError, RuntimeError, ValueError):
+                pass  # non-main thread / platform without loop signals
+    if handle is not None:
+        handle._bind(loop, stop, address)
+    _log.info("serving (async)", extra={"host": address[0], "port": address[1]})
+    if on_bound is not None:
+        on_bound(address)
+    try:
+        await stop.wait()
+    finally:
+        server.close()
+        await server.wait_closed()
+        # Drain blocks (scheduler flush + pool quiesce): keep it off the
+        # loop thread so in-flight handlers can still finish responding.
+        await loop.run_in_executor(None, service.drain, drain_timeout)
+
+
+def serve_async(
+    service: PXDBService,
+    host: str = "127.0.0.1",
+    port: int = 8642,
+    *,
+    verbose: bool = False,
+    drain_timeout: float = 5.0,
+    on_bound=None,
+) -> None:
+    """Blocking serve loop for ``repro serve --frontend async``.
+
+    SIGTERM and Ctrl-C both stop it cleanly: stop accepting, let
+    in-flight handlers respond, drain the scheduler and quiesce the
+    shard pool — the same graceful-stop contract as the threaded
+    :func:`repro.service.server.serve_forever`.
+    """
+    try:
+        asyncio.run(
+            _serve(
+                service,
+                host,
+                port,
+                verbose=verbose,
+                drain_timeout=drain_timeout,
+                on_bound=on_bound,
+                install_signals=True,
+            )
+        )
+    except KeyboardInterrupt:
+        pass  # loop signal handler unavailable (e.g. Windows): exit quietly
+
+
+class AsyncServerHandle:
+    """A running async front end on a background thread (tests/benches).
+
+    ``start_async_server`` returns one; read the bound ``address`` and
+    call :meth:`stop` when done."""
+
+    def __init__(self):
+        self.address: tuple[str, int] | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop: asyncio.Event | None = None
+        self._thread: threading.Thread | None = None
+        self._ready = threading.Event()
+        self._error: BaseException | None = None
+
+    def _bind(self, loop, stop, address) -> None:
+        self._loop = loop
+        self._stop = stop
+        self.address = address
+        self._ready.set()
+
+    def stop(self, timeout: float = 10.0) -> None:
+        if self._loop is not None and self._stop is not None:
+            try:
+                self._loop.call_soon_threadsafe(self._stop.set)
+            except RuntimeError:
+                pass  # loop already closed
+        if self._thread is not None:
+            self._thread.join(timeout=timeout)
+
+    def __enter__(self) -> "AsyncServerHandle":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+
+def start_async_server(
+    service: PXDBService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    *,
+    verbose: bool = False,
+    drain_timeout: float = 5.0,
+) -> AsyncServerHandle:
+    """Serve on a daemon thread; returns once the port is bound."""
+    handle = AsyncServerHandle()
+
+    def _run() -> None:
+        try:
+            asyncio.run(
+                _serve(
+                    service,
+                    host,
+                    port,
+                    verbose=verbose,
+                    drain_timeout=drain_timeout,
+                    handle=handle,
+                )
+            )
+        except BaseException as error:  # noqa: BLE001 — surface via handle
+            handle._error = error
+            handle._ready.set()
+
+    handle._thread = threading.Thread(
+        target=_run, name="pxdb-aserver", daemon=True
+    )
+    handle._thread.start()
+    handle._ready.wait(timeout=10.0)
+    if handle._error is not None:
+        raise RuntimeError("async front end failed to start") from handle._error
+    if handle.address is None:
+        raise RuntimeError("async front end did not bind within 10s")
+    return handle

@@ -34,6 +34,10 @@ VALUE_BUCKETS = (
     0.001, 0.0025, 0.005, 0.01, 0.02, 0.04, 0.06, 0.1, 0.2, 0.5, 1.0,
 )
 
+# Bucket upper bounds for request-count histograms (scheduler batch
+# sizes): powers of two up to the scheduler's default batch ceiling.
+COUNT_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0)
+
 
 class LatencyHistogram:
     """A fixed-bucket latency histogram (cumulative-style, Prometheus-like).
@@ -146,6 +150,10 @@ class Metrics:
         self._counters: dict[str, int] = {}
         self._histograms: dict[str, LatencyHistogram] = {}
         self._values: dict[str, ValueHistogram] = {}
+        # Optional HTTP route per latency histogram ("sat" → "/sat"): the
+        # Prometheus exposition adds it as a `route` label so per-route
+        # p99s are separable without changing the JSON snapshot shape.
+        self._routes: dict[str, str] = {}
         self.started_at = time.time()
 
     def increment(self, name: str, amount: int = 1) -> None:
@@ -153,27 +161,40 @@ class Metrics:
             self._counters[name] = self._counters.get(name, 0) + amount
 
     def observe(
-        self, name: str, seconds: float, trace_id: str | None = None
+        self,
+        name: str,
+        seconds: float,
+        trace_id: str | None = None,
+        route: str | None = None,
     ) -> None:
         with self._lock:
             histogram = self._histograms.get(name)
             if histogram is None:
                 histogram = self._histograms[name] = LatencyHistogram()
+            if route is not None:
+                self._routes[name] = route
             histogram.observe(seconds, trace_id)
 
-    def observe_value(self, name: str, value: float) -> None:
+    def observe_value(
+        self, name: str, value: float, buckets: tuple[float, ...] | None = None
+    ) -> None:
         """Fold a raw (unitless) value into the named value histogram —
-        the approx tier records every confidence-interval width here."""
+        the approx tier records every confidence-interval width here, the
+        scheduler its batch sizes (``buckets`` picks the scale on first
+        touch; later calls reuse the existing histogram)."""
         with self._lock:
             histogram = self._values.get(name)
             if histogram is None:
-                histogram = self._values[name] = ValueHistogram()
+                histogram = self._values[name] = ValueHistogram(
+                    buckets if buckets is not None else VALUE_BUCKETS
+                )
             histogram.observe(value)
 
-    def timed(self, name: str) -> "_Timer":
+    def timed(self, name: str, route: str | None = None) -> "_Timer":
         """``with metrics.timed("query"): …`` — counts the request, times
-        it, and counts ``<name>.errors`` when the block raises."""
-        return _Timer(self, name)
+        it, and counts ``<name>.errors`` when the block raises.  ``route``
+        tags the latency histogram with its HTTP route for Prometheus."""
+        return _Timer(self, name, route)
 
     def counter(self, name: str) -> int:
         with self._lock:
@@ -215,8 +236,8 @@ class Metrics:
         with self._lock:
             counters = sorted(self._counters.items())
             histograms = [
-                (name, histogram.buckets, list(histogram.counts),
-                 histogram.count, histogram.total)
+                (name, self._routes.get(name), histogram.buckets,
+                 list(histogram.counts), histogram.count, histogram.total)
                 for name, histogram in sorted(self._histograms.items())
             ]
             values = [
@@ -236,18 +257,20 @@ class Metrics:
         if histograms:
             metric = "pxdb_request_duration_seconds"
             lines.append(f"# TYPE {metric} histogram")
-            for name, buckets, counts, count, total in histograms:
-                label = _sanitize(name)
+            for name, route, buckets, counts, count, total in histograms:
+                label = f'op="{_sanitize(name)}"'
+                if route is not None:
+                    label += f',route="{_escape_label(route)}"'
                 cumulative = 0
                 for bound, bucket_count in zip(buckets, counts):
                     cumulative += bucket_count
                     lines.append(
-                        f'{metric}_bucket{{op="{label}",le="{_format_value(bound)}"}}'
+                        f'{metric}_bucket{{{label},le="{_format_value(bound)}"}}'
                         f" {cumulative}"
                     )
-                lines.append(f'{metric}_bucket{{op="{label}",le="+Inf"}} {count}')
-                lines.append(f'{metric}_sum{{op="{label}"}} {_format_value(total)}')
-                lines.append(f'{metric}_count{{op="{label}"}} {count}')
+                lines.append(f'{metric}_bucket{{{label},le="+Inf"}} {count}')
+                lines.append(f"{metric}_sum{{{label}}} {_format_value(total)}")
+                lines.append(f"{metric}_count{{{label}}} {count}")
         for name, buckets, counts, count, total in values:
             metric = f"pxdb_{_sanitize(name)}"
             lines.append(f"# TYPE {metric} histogram")
@@ -295,11 +318,12 @@ def _format_value(value) -> str:
 
 
 class _Timer:
-    __slots__ = ("metrics", "name", "start")
+    __slots__ = ("metrics", "name", "route", "start")
 
-    def __init__(self, metrics: Metrics, name: str):
+    def __init__(self, metrics: Metrics, name: str, route: str | None = None):
         self.metrics = metrics
         self.name = name
+        self.route = route
 
     def __enter__(self) -> "_Timer":
         self.metrics.increment(f"{self.name}.requests")
@@ -311,7 +335,10 @@ class _Timer:
         # timer runs inside the request's root span, so this is the id the
         # /trace endpoint resolves.
         self.metrics.observe(
-            self.name, time.perf_counter() - self.start, TRACER.current_trace_id()
+            self.name,
+            time.perf_counter() - self.start,
+            TRACER.current_trace_id(),
+            route=self.route,
         )
         if exc_type is not None:
             self.metrics.increment(f"{self.name}.errors")

@@ -60,11 +60,7 @@ def _init_worker(
         query_cache_cap=query_cache_cap,
         coalesce_window=0.0,  # single-request workers have nobody to wait for
     )
-    for name, pdocument_path, constraints_path in specs:
-        try:
-            store.register(name, pdocument_path, constraints_path)
-        except ValueError:
-            continue
+    store.register_specs(specs)
     _WORKER_STORE = store
 
 
@@ -102,11 +98,21 @@ def _worker_op(op: str, name: str, payload: dict) -> dict:
         # stagger spreads concurrent probes across distinct idle workers.
         time.sleep(float(payload.get("stagger", 0.0)))
         return _worker_stats_payload()
-    from .server import approx_payload, query_payload, sample_payload, sat_payload
+    from .server import (
+        approx_payload,
+        batch_payloads,
+        query_payload,
+        sample_payload,
+        sat_payload,
+    )
 
     if _WORKER_STORE is None:
         raise KeyError("worker store is not initialized")
     entry = _WORKER_STORE.get(name)
+    if op == "batch":
+        # One heterogeneous scheduler batch → ONE joint pass in this
+        # worker (per-request errors come back as __error__ markers).
+        return {"payloads": batch_payloads(entry, payload["requests"])}
     if op == "sat":
         return sat_payload(
             entry,
@@ -139,13 +145,16 @@ def _worker_stats_payload() -> dict:
     """This worker's warm-store and per-entry engine counters."""
     store = _WORKER_STORE
     if store is None:
-        return {"pid": os.getpid(), "store": None, "engines": {}}
+        return {"pid": os.getpid(), "store": None, "engines": {}, "names": []}
     return {
         "pid": os.getpid(),
         "store": store.stats(),
         "engines": {
             entry.name: entry.engine.stats() for entry in store.loaded_entries()
         },
+        # Which PXDBs this worker actually holds — the shard-confinement
+        # witness (a sharded worker must list only its shard's names).
+        "names": sorted(name for name, _, _ in store.specs()),
     }
 
 
@@ -180,6 +189,8 @@ class EvaluationPool:
         self.queue_limit = queue_limit if queue_limit is not None else workers * 2
         self._slots = threading.BoundedSemaphore(self.queue_limit)
         self._lock = threading.Lock()
+        self._active = 0  # futures submitted but not yet done
+        self._quiet = threading.Condition(self._lock)
         self._broken = False
         self.submitted = 0
         self.completed = 0
@@ -238,7 +249,8 @@ class EvaluationPool:
             raise
         with self._lock:
             self.submitted += 1
-        future.add_done_callback(lambda _f: self._slots.release())
+            self._active += 1
+        future.add_done_callback(self._task_done)
         deadline = self.timeout if timeout is None else timeout
         try:
             result = future.result(deadline)
@@ -255,6 +267,27 @@ class EvaluationPool:
         with self._lock:
             self.completed += 1
         return result
+
+    def _task_done(self, _future) -> None:
+        self._slots.release()
+        with self._quiet:
+            self._active -= 1
+            if self._active == 0:
+                self._quiet.notify_all()
+
+    def quiesce(self, timeout: float = 5.0) -> bool:
+        """Wait until no submitted work is still running in the workers
+        (or ``timeout`` expires) — the graceful-stop half of SIGTERM.
+        Timed-out requests count: their futures run to completion in the
+        worker even after the caller gave up on the result."""
+        deadline = time.monotonic() + timeout
+        with self._quiet:
+            while self._active:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._quiet.wait(remaining)
+        return True
 
     def worker_stats(self, timeout: float = 5.0, max_age: float = 5.0) -> dict:
         """Per-worker warm-store/engine counters, plus a summed view.
@@ -292,7 +325,9 @@ class EvaluationPool:
                 except Exception:  # timeout/broken pool: skip this probe
                     continue
                 workers[str(row["pid"])] = {
-                    "store": row["store"], "engines": row["engines"]
+                    "store": row["store"],
+                    "engines": row["engines"],
+                    "names": row.get("names", []),
                 }
         summed = _sum_worker_stats(workers)
         report = {"workers": workers, "summed": summed, "probed": len(workers)}
@@ -317,6 +352,136 @@ class EvaluationPool:
         self._executor.shutdown(wait=False, cancel_futures=True)
 
     def __enter__(self) -> "EvaluationPool":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown()
+
+
+class ShardedEvaluationPool:
+    """N per-shard :class:`EvaluationPool`\\ s behind one consistent-hash
+    router — the memory-partitioned counterpart of the flat pool.
+
+    The flat pool warms *every* spec in *every* worker (k workers = k full
+    copies of the warm state).  Here each PXDB name is pinned to one shard
+    by :class:`~repro.service.frontend.shards.ShardRouter`, and each
+    shard's workers are initialized with **only that shard's specs**:
+    per-worker memory is confined to its shard, every request for a name
+    lands on the one pool whose caches are hot for it, and the batch
+    scheduler's per-entry batches execute where the entry lives.
+
+    The surface mirrors :class:`EvaluationPool` (``run`` / ``stats`` /
+    ``worker_stats`` / ``quiesce`` / ``shutdown``), so
+    :class:`~repro.service.server.PXDBService` uses either interchangeably;
+    ``run_batch`` adds the scheduler's heterogeneous-batch entry point.
+    """
+
+    def __init__(
+        self,
+        specs: list[tuple[str, str, str | None]] = (),
+        *,
+        shards: int = 2,
+        workers_per_shard: int = 1,
+        replicas: int = 64,
+        timeout: float = 30.0,
+        queue_limit: int | None = None,
+        engine_cache_cap: int | None = None,
+        query_cache_cap: int = 128,
+    ):
+        from .frontend.shards import ShardRouter
+
+        if shards < 1:
+            raise ValueError("shards must be at least 1")
+        self.router = ShardRouter(shards, replicas)
+        self.shards = shards
+        self.workers = shards * workers_per_shard
+        self.timeout = timeout
+        assignment = self.router.assign(name for name, _, _ in specs)
+        by_name = {name: (name, pdoc, cons) for name, pdoc, cons in specs}
+        self._shard_names = [assignment[shard] for shard in range(shards)]
+        self.pools = [
+            EvaluationPool(
+                [by_name[name] for name in self._shard_names[shard]],
+                workers=workers_per_shard,
+                timeout=timeout,
+                queue_limit=queue_limit,
+                engine_cache_cap=engine_cache_cap,
+                query_cache_cap=query_cache_cap,
+            )
+            for shard in range(shards)
+        ]
+
+    def pool_for(self, name: str) -> EvaluationPool:
+        return self.pools[self.router.shard_for(name)]
+
+    def run(self, op: str, name: str, payload: dict | None = None,
+            timeout: float | None = None) -> dict:
+        return self.pool_for(name).run(op, name, payload, timeout)
+
+    def run_batch(self, name: str, requests: list[dict],
+                  timeout: float | None = None) -> list[dict]:
+        """Execute one heterogeneous scheduler batch inside the shard
+        worker that owns ``name``; returns the per-request payloads."""
+        return self.run("batch", name, {"requests": requests}, timeout)["payloads"]
+
+    def quiesce(self, timeout: float = 5.0) -> bool:
+        deadline = time.monotonic() + timeout
+        drained = True
+        for pool in self.pools:
+            remaining = max(deadline - time.monotonic(), 0.0)
+            drained = pool.quiesce(remaining) and drained
+        return drained
+
+    def stats(self) -> dict:
+        per_shard = []
+        totals = {"submitted": 0, "completed": 0, "timeouts": 0, "rejected": 0}
+        broken = False
+        for shard, pool in enumerate(self.pools):
+            row = pool.stats()
+            broken = broken or row["broken"]
+            for key in totals:
+                totals[key] += row[key]
+            per_shard.append(
+                {"shard": shard, "entries": len(self._shard_names[shard]), **row}
+            )
+        return {
+            "workers": self.workers,
+            "shards": self.shards,
+            "queue_limit": sum(pool.queue_limit for pool in self.pools),
+            "timeout_s": self.timeout,
+            **totals,
+            "broken": broken,
+            "per_shard": per_shard,
+        }
+
+    def shard_assignment(self) -> dict[int, list[str]]:
+        """{shard → the PXDB names its workers warm} (confinement view)."""
+        return {
+            shard: list(names) for shard, names in enumerate(self._shard_names)
+        }
+
+    def worker_stats(self, timeout: float = 5.0, max_age: float = 5.0) -> dict:
+        workers: dict[str, dict] = {}
+        per_shard = []
+        deadline = time.monotonic() + timeout
+        for shard, pool in enumerate(self.pools):
+            remaining = max(deadline - time.monotonic(), 0.1)
+            report = pool.worker_stats(timeout=remaining, max_age=max_age)
+            per_shard.append({"shard": shard, "probed": report["probed"]})
+            for pid, row in report["workers"].items():
+                workers[pid] = {**row, "shard": shard}
+        return {
+            "workers": workers,
+            "summed": _sum_worker_stats(workers),
+            "probed": len(workers),
+            "per_shard": per_shard,
+        }
+
+    def shutdown(self) -> None:
+        for pool in self.pools:
+            pool.shutdown()
+
+    def __enter__(self) -> "ShardedEvaluationPool":
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:

@@ -34,10 +34,12 @@ from __future__ import annotations
 
 import json
 import random
+import signal
 import threading
 import time
 import xml.etree.ElementTree as ET
 from collections import deque
+from concurrent.futures import Future
 from contextlib import contextmanager
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlparse
@@ -228,6 +230,34 @@ def approx_query_payload(
     return payload
 
 
+def _answer_rows(
+    entry: StoreEntry, answers, values, backend_name: str
+) -> list[dict]:
+    """Decode (answer, value) pairs into sorted JSON rows — the shared
+    tail of ``/query``, ``/topk`` and the scheduler's batched requests,
+    so every route renders identical rows for identical values."""
+    with TRACER.span("query.decode", candidates=len(answers), backend=backend_name):
+        table = {
+            answer: value
+            for answer, value in zip(answers, values)
+            if maybe_positive(value)
+        }
+        rows = []
+        for labels, value in sorted(
+            decode_answers(table, entry.pxdb.pdoc).items(),
+            key=lambda kv: (-_sort_value(kv[1]), str(kv[0])),
+        ):
+            text, approx = _value_fields(value)
+            rows.append(
+                {
+                    "answer": [str(label) for label in labels],
+                    "probability": text,
+                    "probability_float": approx,
+                }
+            )
+    return rows
+
+
 def query_payload(
     entry: StoreEntry,
     query_text: str,
@@ -283,26 +313,131 @@ def query_payload(
         else:
             values = entry.pxdb.event_probabilities(events, backend=name)
         entry.cache_events(query_text, tuple(answers), tuple(events))
-    with TRACER.span("query.decode", candidates=len(answers), backend=name):
-        table = {
-            answer: value
-            for answer, value in zip(answers, values)
-            if maybe_positive(value)
-        }
-        rows = []
-        for labels, value in sorted(
-            decode_answers(table, pdoc).items(),
-            key=lambda kv: (-_sort_value(kv[1]), str(kv[0])),
-        ):
-            text, approx = _value_fields(value)
-            rows.append(
-                {
-                    "answer": [str(label) for label in labels],
-                    "probability": text,
-                    "probability_float": approx,
-                }
-            )
+    rows = _answer_rows(entry, answers, values, name)
     return {"db": entry.name, "query": query_text, "backend": name, "answers": rows}
+
+
+def topk_payload(
+    entry: StoreEntry,
+    query_text: str,
+    k: int,
+    *,
+    coalesce: bool = True,
+    backend: str | None = None,
+) -> dict:
+    """TOP-K⟨Q, C⟩ — the ``k`` most probable answers of a query.
+
+    Evaluation is exactly ``/query`` (same candidate events, same joint
+    pass, same sort), truncated to the top ``k`` rows — which makes the
+    operation packable into the scheduler's heterogeneous batches: its
+    events simply join the shared pass alongside everything else pending
+    against the entry."""
+    if k < 1:
+        raise ValueError(f"k must be positive, got {k}")
+    payload = query_payload(
+        entry, query_text, coalesce=coalesce, backend=backend
+    )
+    return {
+        "db": entry.name,
+        "query": query_text,
+        "k": k,
+        "backend": payload["backend"],
+        "candidates": len(payload["answers"]),
+        "answers": payload["answers"][:k],
+    }
+
+
+# Batchable operation names the scheduler understands (everything the
+# heterogeneous joint pass can serve; /sample mutates engine state and
+# /sweep is a vectorized numpy pass — neither joins a DP batch).
+BATCH_OPS = ("sat", "query", "topk")
+
+
+def batch_payloads(entry: StoreEntry, requests: list[dict]) -> list[dict]:
+    """Execute a heterogeneous batch against one entry in ONE joint pass.
+
+    ``requests`` are scheduler request dicts — ``{"op": "sat"}``,
+    ``{"op": "query", "query_text": …}``, ``{"op": "topk", "query_text":
+    …, "k": …}`` — in arrival order.  All candidate events of every
+    query/topk request are concatenated into a single
+    ``PXDB.event_probabilities`` call (one bottom-up DP traversal, the
+    cached denominator shared), then sliced back out per request.  The
+    arithmetic is exact and per-formula independent, so every returned
+    ``Fraction`` is identical to running the requests sequentially
+    through :func:`sat_payload` / :func:`query_payload` /
+    :func:`topk_payload` — only the traversal is shared.
+
+    Per-request *input* errors (a malformed query text, k < 1) are
+    isolated: the failing request's slot carries an ``{"__error__": …}``
+    marker and every other request still evaluates.  Errors of the joint
+    pass itself (an inconsistent p-document) fail the whole batch.
+    """
+    plans: list[tuple] = []  # ("sat",) | ("rows", text, k, answers, slice)
+    flat: list = []
+    for request in requests:
+        op = request.get("op")
+        try:
+            if op == "sat":
+                plans.append(("sat",))
+                continue
+            if op not in BATCH_OPS:
+                raise ValueError(f"unknown batch operation {op!r}")
+            text = request.get("query_text")
+            if text is None:
+                raise ValueError("missing required parameter 'query'")
+            k = None
+            if op == "topk":
+                k = int(request.get("k", 10))
+                if k < 1:
+                    raise ValueError(f"k must be positive, got {k}")
+            known = entry.cached_events(text)
+            if known is not None:
+                answers, events = known
+            else:
+                with TRACER.span("query.bind"):
+                    query = Query.parse(text)
+                    answers = tuple(candidate_tuples(query, entry.pxdb.pdoc))
+                    events = tuple(bound_formula(query, a) for a in answers)
+                entry.cache_events(text, answers, events)
+        except ValueError as error:
+            plans.append(("error", {"type": "ValueError", "message": str(error)}))
+            continue
+        start = len(flat)
+        flat.extend(events)
+        plans.append(("rows", text, k, answers, (start, len(flat))))
+    # The single shared pass.  With only sat requests (or only errors)
+    # the event list is empty and the warm denominator answers alone.
+    values = entry.pxdb.event_probabilities(flat)
+    payloads: list[dict] = []
+    for plan in plans:
+        if plan[0] == "sat":
+            payloads.append(sat_payload(entry))
+        elif plan[0] == "error":
+            payloads.append({"__error__": plan[1]})
+        else:
+            _, text, k, answers, (start, stop) = plan
+            rows = _answer_rows(entry, answers, values[start:stop], "exact")
+            if k is None:
+                payloads.append(
+                    {
+                        "db": entry.name,
+                        "query": text,
+                        "backend": "exact",
+                        "answers": rows,
+                    }
+                )
+            else:
+                payloads.append(
+                    {
+                        "db": entry.name,
+                        "query": text,
+                        "k": k,
+                        "backend": "exact",
+                        "candidates": len(rows),
+                        "answers": rows[:k],
+                    }
+                )
+    return payloads
 
 
 def sample_payload(
@@ -454,10 +589,15 @@ class PXDBService:
         pool: EvaluationPool | None = None,
         slow_ms: float | None = None,
         default_backend: str = "exact",
+        scheduler=None,
     ):
         self.store = store if store is not None else DocumentStore()
         self.metrics = metrics if metrics is not None else Metrics()
         self.pool = pool
+        # Optional per-shard heterogeneous batch scheduler (the async
+        # front end routes exact sat/query/topk requests through it; see
+        # repro.service.frontend.scheduler).  None = unscheduled paths.
+        self.scheduler = scheduler
         # Numeric backend used when a request does not name one; every
         # sat/query/sample request may override it with a "backend" field.
         self.default_backend = _resolve_backend(default_backend)
@@ -521,7 +661,8 @@ class PXDBService:
         self, db: str, backend: str | None = None, approx: dict | None = None
     ) -> dict:
         name = self._backend(backend, allow_approx=True)
-        with self._request("sat", db=db, backend=name), self.metrics.timed("sat"):
+        with self._request("sat", db=db, backend=name), \
+                self.metrics.timed("sat", route="/sat"):
             payload = self._dispatch("sat", db, {"backend": name, "approx": approx})
             if name == "approx":
                 self._record_approx(payload)
@@ -536,7 +677,7 @@ class PXDBService:
     ) -> dict:
         name = self._backend(backend, allow_approx=True)
         with self._request("query", db=db, query=query_text, backend=name) as span, \
-                self.metrics.timed("query"):
+                self.metrics.timed("query", route="/query"):
             entry = self.store.get(db)  # also refreshes mtime-stale entries
             if name == "approx":
                 # Never cached: a Monte-Carlo payload is a fresh draw
@@ -564,6 +705,30 @@ class PXDBService:
             entry.cache_query(cache_key, payload)
             return payload
 
+    def topk(
+        self,
+        db: str,
+        query_text: str,
+        k: int = 10,
+        backend: str | None = None,
+    ) -> dict:
+        """The ``k`` most probable answers of a query (``/topk``) — a
+        ``/query`` evaluation truncated after the sort, so it batches
+        into the same joint passes (coalescer or scheduler)."""
+        name = self._backend(backend)
+        with self._request("topk", db=db, query=query_text, k=k, backend=name) as span, \
+                self.metrics.timed("topk", route="/topk"):
+            entry = self.store.get(db)
+            cache_key = f"topk\x00{k}\x00{name}\x00{query_text}"
+            cached = entry.cached_query(cache_key)
+            if cached is not None:
+                self.metrics.increment("query.cache_hits")
+                span.set(cache="hit")
+                return cached
+            payload = topk_payload(entry, query_text, k, backend=name)
+            entry.cache_query(cache_key, payload)
+            return payload
+
     def approx(
         self, db: str, event: str, options: dict | None = None
     ) -> dict:
@@ -571,7 +736,7 @@ class PXDBService:
         (``/approx``); ``options`` are the validated estimator keywords
         (epsilon, delta, max_samples, seed, rule)."""
         with self._request("approx", db=db, event=event), \
-                self.metrics.timed("approx"):
+                self.metrics.timed("approx", route="/approx"):
             payload = self._dispatch(
                 "approx", db, {"event_text": event, "options": options}
             )
@@ -587,13 +752,13 @@ class PXDBService:
     ) -> dict:
         name = self._backend(backend)
         with self._request("sample", db=db, count=count, backend=name), \
-                self.metrics.timed("sample"):
+                self.metrics.timed("sample", route="/sample"):
             return self._dispatch(
                 "sample", db, {"count": count, "seed": seed, "backend": name}
             )
 
     def check(self, db: str, document_xml: str) -> dict:
-        with self._request("check", db=db), self.metrics.timed("check"):
+        with self._request("check", db=db), self.metrics.timed("check", route="/check"):
             return check_payload(self.store.get(db), document_xml)
 
     def sweep(self, db: str, bindings, pattern: str | None = None) -> dict:
@@ -602,20 +767,101 @@ class PXDBService:
         needs the shared in-process circuit)."""
         with self._request(
             "sweep", db=db, bindings=len(bindings) if bindings else 0
-        ), self.metrics.timed("sweep"):
+        ), self.metrics.timed("sweep", route="/sweep"):
             return sweep_payload(self.store.get(db), bindings, pattern=pattern)
+
+    # -- scheduler integration ------------------------------------------------
+    BATCH_ROUTES = {"sat": "/sat", "query": "/query", "topk": "/topk"}
+
+    def batchable_request(self, op: str, params: dict) -> dict | None:
+        """The scheduler request dict for (op, params), or ``None`` when
+        the request cannot join a heterogeneous batch (no scheduler, a
+        non-exact backend, or a non-batchable operation).  Raises
+        ``ValueError`` on missing fields, like the unbatched path."""
+        if self.scheduler is None or op not in self.BATCH_ROUTES:
+            return None
+        if self._backend(params.get("backend"), allow_approx=True) != "exact":
+            return None
+        if op == "sat":
+            return {"op": "sat"}
+        text = params.get("query")
+        if text is None:
+            raise ValueError("missing required parameter 'query'")
+        if op == "query":
+            return {"op": "query", "query_text": text}
+        return {"op": "topk", "query_text": text, "k": int(params.get("k", 10))}
+
+    def submit_batched(self, op: str, db: str, request: dict):
+        """Submit one batchable request to the scheduler; returns a
+        ``concurrent.futures.Future`` resolving to the payload dict (the
+        async front end awaits it without holding a thread).  Latency and
+        error metrics are recorded when the future completes.
+
+        The entry's query-result cache is consulted first and filled on
+        success — the same keys the threaded :meth:`query`/:meth:`topk`
+        paths use (batched requests are always exact), so a repeat of a
+        served request resolves immediately instead of re-entering the
+        scheduler, and the two front ends share one cache discipline."""
+        self.metrics.increment(f"{op}.requests")
+        start = time.perf_counter()
+        cache_key = None
+        entry = None
+        if op == "query":
+            cache_key = request["query_text"]
+        elif op == "topk":
+            cache_key = f"topk\x00{request['k']}\x00exact\x00{request['query_text']}"
+        if cache_key is not None:
+            try:
+                entry = self.store.get(db)
+            except (KeyError, ValueError):
+                entry = None  # let the scheduler surface the real error
+            if entry is not None:
+                cached = entry.cached_query(cache_key)
+                if cached is not None:
+                    self.metrics.increment("query.cache_hits")
+                    self.metrics.observe(
+                        op, time.perf_counter() - start,
+                        route=self.BATCH_ROUTES[op],
+                    )
+                    done: Future = Future()
+                    done.set_result(cached)
+                    return done
+
+        def _done(future) -> None:
+            self.metrics.observe(
+                op, time.perf_counter() - start, route=self.BATCH_ROUTES[op]
+            )
+            if future.cancelled() or future.exception() is not None:
+                self.metrics.increment(f"{op}.errors")
+            elif entry is not None and cache_key is not None:
+                entry.cache_query(cache_key, future.result())
+
+        future = self.scheduler.submit(db, request)
+        future.add_done_callback(_done)
+        return future
+
+    def drain(self, timeout: float = 5.0) -> None:
+        """Graceful-stop drain (the SIGTERM path): flush every pending
+        scheduler batch, then wait out in-flight pool work, so no
+        accepted request is abandoned mid-evaluation."""
+        if self.scheduler is not None:
+            self.scheduler.drain(timeout)
+        if self.pool is not None:
+            quiesce = getattr(self.pool, "quiesce", None)
+            if quiesce is not None:
+                quiesce(timeout)
 
     # -- management endpoints -------------------------------------------------
     def register(
         self, name: str, pdocument_path: str, constraints_path: str | None = None
     ) -> dict:
-        with self._request("register", db=name), self.metrics.timed("register"):
+        with self._request("register", db=name), self.metrics.timed("register", route="/register"):
             entry = self.store.register(name, pdocument_path, constraints_path)
             _log.info("registered database", extra={"db": name})
             return entry.info()
 
     def stats(self) -> dict:
-        with self.metrics.timed("stats"):
+        with self.metrics.timed("stats", route="/stats"):
             payload = {
                 "store": self.store.stats(),
                 "databases": {
@@ -685,6 +931,8 @@ class PXDBService:
         if self.pool is not None:
             payload["pool"] = self.pool.stats()
             payload["pool_workers"] = self.pool.worker_stats(timeout=1.0)
+        if self.scheduler is not None:
+            payload["scheduler"] = self.scheduler.stats()
         return payload
 
     def metrics_prometheus(self) -> str:
@@ -711,12 +959,28 @@ class PXDBService:
                 ("pxdb_circuit_hits_total", labels, entry.circuit_hits),
                 ("pxdb_entry_param_reloads_total", labels, entry.param_reloads),
             ]
-        if self.pool is not None:
+        if self.scheduler is not None:
             extra += [
-                (f"pxdb_pool_{key}", {}, value)
-                for key, value in self.pool.stats().items()
+                (f"pxdb_scheduler_{key}", {}, value)
+                for key, value in self.scheduler.stats().items()
                 if isinstance(value, (int, float))
             ]
+        if self.pool is not None:
+            pool_stats = self.pool.stats()
+            extra += [
+                (f"pxdb_pool_{key}", {}, value)
+                for key, value in pool_stats.items()
+                if isinstance(value, (int, float))
+            ]
+            # Sharded pools report per-shard rows — one labeled gauge
+            # family, so /sat-on-shard-0 vs shard-1 load is separable.
+            for shard in pool_stats.get("per_shard", ()):
+                labels = {"shard": str(shard.get("shard"))}
+                extra += [
+                    (f"pxdb_shard_{key}", labels, value)
+                    for key, value in shard.items()
+                    if key != "shard" and isinstance(value, (int, float))
+                ]
             workers = self.pool.worker_stats(timeout=1.0)
             for pid, info in workers["workers"].items():
                 labels = {"pid": pid}
@@ -757,6 +1021,133 @@ class PXDBService:
         raise AssertionError(f"unknown operation {op!r}")
 
 
+# -- transport-agnostic route dispatch ----------------------------------------
+# One table of JSON routes, shared verbatim by the threaded HTTP skin
+# below and the asyncio front end (repro.service.frontend.aserver) — the
+# two transports differ only in how bytes arrive, never in what a route
+# means or which status an error maps to.
+
+def route_payload(service: PXDBService, route: str, params: dict,
+                  *, prometheus: bool = False):
+    """Resolve one parsed request to its payload (no error mapping).
+
+    Returns a JSON-ready ``dict`` for every route except ``/metrics``
+    with ``prometheus=True``, which returns the text exposition ``str``.
+    Raises ``KeyError`` (unknown route/db), ``ValueError`` (bad input) or
+    whatever the evaluation raises — :func:`dispatch_route` maps them.
+    """
+    if route == "/sat":
+        return service.sat(
+            _required(params, "db"),
+            backend=params.get("backend"),
+            approx=_approx_options(params),
+        )
+    if route == "/query":
+        return service.query(
+            _required(params, "db"),
+            _required(params, "query"),
+            backend=params.get("backend"),
+            approx=_approx_options(params),
+        )
+    if route == "/topk":
+        return service.topk(
+            _required(params, "db"),
+            _required(params, "query"),
+            k=int(params.get("k", 10)),
+            backend=params.get("backend"),
+        )
+    if route == "/approx":
+        return service.approx(
+            _required(params, "db"),
+            _required(params, "event"),
+            options=_approx_options(params),
+        )
+    if route == "/sample":
+        seed = params.get("seed")
+        return service.sample(
+            _required(params, "db"),
+            count=int(params.get("count", 1)),
+            seed=int(seed) if seed is not None else None,
+            backend=params.get("backend"),
+        )
+    if route == "/sweep":
+        return service.sweep(
+            _required(params, "db"),
+            params.get("bindings"),
+            pattern=params.get("pattern"),
+        )
+    if route == "/check":
+        return service.check(
+            _required(params, "db"), _required(params, "document")
+        )
+    if route == "/register":
+        return service.register(
+            _required(params, "name"),
+            _required(params, "pdocument"),
+            params.get("constraints"),
+        )
+    if route == "/stats":
+        return service.stats()
+    if route == "/traces":
+        return service.traces(
+            slow_ms=float(params.get("slow_ms", 0.0)),
+            limit=int(params.get("limit", 50)),
+        )
+    if route.startswith("/trace/"):
+        return service.trace(route[len("/trace/"):])
+    if route == "/metrics":
+        if prometheus:
+            return service.metrics_prometheus()
+        return service.metrics_payload()
+    if route == "/health":
+        return {
+            "status": "ok",
+            "version": service.version,
+            "tracing": TRACER.enabled,
+        }
+    raise _NoSuchRoute(route)
+
+
+class _NoSuchRoute(Exception):
+    def __init__(self, route: str):
+        super().__init__(route)
+        self.route = route
+
+
+def dispatch_route(service: PXDBService, route: str, params: dict,
+                   *, prometheus: bool = False) -> tuple[int, dict | str]:
+    """One request, fully handled: (HTTP status, JSON dict or plain text).
+
+    The error contract both front ends share: unknown route/db → 404,
+    bad input → 400, anything else → 500 with a one-line message (the
+    traceback goes to the server-side log)."""
+    try:
+        payload = route_payload(service, route, params, prometheus=prometheus)
+    except _NoSuchRoute as error:
+        return 404, {"ok": False, "error": f"no such endpoint: {error.route}"}
+    except KeyError as error:
+        _log.info("not found", extra={"route": route, "error": _message(error)})
+        return 404, {"ok": False, "error": _message(error)}
+    except ValueError as error:
+        _log.info("bad request", extra={"route": route, "error": str(error)})
+        return 400, {"ok": False, "error": str(error)}
+    except Exception as error:  # noqa: BLE001 — last-resort 500
+        service.metrics.increment("http.internal_errors")
+        _log.exception("internal error", extra={"route": route})
+        return 500, {"ok": False, "error": f"{type(error).__name__}: {error}"}
+    if isinstance(payload, str):
+        return 200, payload
+    return 200, {"ok": True, **payload}
+
+
+def wants_prometheus(params: dict, accept: str | None) -> bool:
+    """The /metrics content negotiation both front ends apply."""
+    accept = accept or ""
+    return params.get("format") == "prometheus" or (
+        "text/plain" in accept and "application/json" not in accept
+    )
+
+
 # -- the HTTP skin ------------------------------------------------------------
 
 class _Handler(BaseHTTPRequestHandler):
@@ -785,95 +1176,16 @@ class _Handler(BaseHTTPRequestHandler):
         self._handle(urlparse(self.path).path, params)
 
     def _handle(self, route: str, params: dict) -> None:
-        service = self.service
-        try:
-            if route == "/sat":
-                payload = service.sat(
-                    _required(params, "db"),
-                    backend=params.get("backend"),
-                    approx=_approx_options(params),
-                )
-            elif route == "/query":
-                payload = service.query(
-                    _required(params, "db"),
-                    _required(params, "query"),
-                    backend=params.get("backend"),
-                    approx=_approx_options(params),
-                )
-            elif route == "/approx":
-                payload = service.approx(
-                    _required(params, "db"),
-                    _required(params, "event"),
-                    options=_approx_options(params),
-                )
-            elif route == "/sample":
-                seed = params.get("seed")
-                payload = service.sample(
-                    _required(params, "db"),
-                    count=int(params.get("count", 1)),
-                    seed=int(seed) if seed is not None else None,
-                    backend=params.get("backend"),
-                )
-            elif route == "/sweep":
-                payload = service.sweep(
-                    _required(params, "db"),
-                    params.get("bindings"),
-                    pattern=params.get("pattern"),
-                )
-            elif route == "/check":
-                payload = service.check(
-                    _required(params, "db"), _required(params, "document")
-                )
-            elif route == "/register":
-                payload = service.register(
-                    _required(params, "name"),
-                    _required(params, "pdocument"),
-                    params.get("constraints"),
-                )
-            elif route == "/stats":
-                payload = service.stats()
-            elif route == "/traces":
-                payload = service.traces(
-                    slow_ms=float(params.get("slow_ms", 0.0)),
-                    limit=int(params.get("limit", 50)),
-                )
-            elif route.startswith("/trace/"):
-                payload = service.trace(route[len("/trace/"):])
-            elif route == "/metrics":
-                accept = self.headers.get("Accept") or ""
-                if params.get("format") == "prometheus" or (
-                    "text/plain" in accept and "application/json" not in accept
-                ):
-                    self._send_text(200, service.metrics_prometheus())
-                    return
-                payload = service.metrics_payload()
-            elif route == "/health":
-                payload = {
-                    "status": "ok",
-                    "version": service.version,
-                    "tracing": TRACER.enabled,
-                }
-            else:
-                self._send(404, {"ok": False, "error": f"no such endpoint: {route}"})
-                return
-        except KeyError as error:
-            _log.info(
-                "not found", extra={"route": route, "error": _message(error)}
-            )
-            self._send(404, {"ok": False, "error": _message(error)})
-        except ValueError as error:
-            _log.info(
-                "bad request", extra={"route": route, "error": str(error)}
-            )
-            self._send(400, {"ok": False, "error": str(error)})
-        except Exception as error:  # noqa: BLE001 — last-resort 500
-            self.service.metrics.increment("http.internal_errors")
-            # The response stays a one-liner; the full traceback goes to the
-            # server-side log, where it can actually be acted on.
-            _log.exception("internal error", extra={"route": route})
-            self._send(500, {"ok": False, "error": f"{type(error).__name__}: {error}"})
+        prometheus = route == "/metrics" and wants_prometheus(
+            params, self.headers.get("Accept")
+        )
+        status, body = dispatch_route(
+            self.service, route, params, prometheus=prometheus
+        )
+        if isinstance(body, str):
+            self._send_text(status, body)
         else:
-            self._send(200, {"ok": True, **payload})
+            self._send(status, body)
 
     def _send(self, status: int, payload: dict) -> None:
         body = json.dumps(payload).encode("utf-8")
@@ -966,18 +1278,51 @@ def serve_forever(
     verbose: bool = False,
     slow_ms: float | None = None,
     default_backend: str = "exact",
+    pool: EvaluationPool | None = None,
+    drain_timeout: float = 5.0,
+    on_bound=None,
 ) -> None:
-    """Blocking serve loop for the CLI (Ctrl-C returns cleanly)."""
+    """Blocking serve loop for the CLI.
+
+    Both Ctrl-C and SIGTERM stop it *cleanly*: SIGTERM (the container
+    deploy signal) is translated into the same shutdown path as
+    KeyboardInterrupt — stop accepting, drain in-flight work (scheduler
+    flush + pool quiesce via :meth:`PXDBService.drain`), then
+    ``server_close()`` — so a rolling restart never abandons accepted
+    requests.  ``on_bound`` (if given) receives the bound (host, port)
+    before serving starts.
+    """
     server = make_server(
         service, host, port, verbose=verbose, slow_ms=slow_ms,
-        default_backend=default_backend,
+        pool=pool, default_backend=default_backend,
     )
+    service = server.service  # type: ignore[attr-defined] — the wrapped one
+
+    def _on_sigterm(signum, frame) -> None:
+        _log.info("SIGTERM received, shutting down")
+        # shutdown() blocks until the serve loop exits; the loop cannot
+        # advance while the handler runs in its thread, so hand the call
+        # to a helper thread and return from the handler immediately.
+        threading.Thread(
+            target=server.shutdown, name="pxdb-sigterm", daemon=True
+        ).start()
+
+    previous = None
+    try:
+        previous = signal.signal(signal.SIGTERM, _on_sigterm)
+    except ValueError:
+        pass  # not the main thread (tests): SIGTERM keeps its old meaning
     _log.info(
         "serving", extra={"host": host, "port": server.server_address[1]}
     )
+    if on_bound is not None:
+        on_bound(server.server_address[:2])
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         pass
     finally:
+        if previous is not None:
+            signal.signal(signal.SIGTERM, previous)
+        service.drain(drain_timeout)
         server.server_close()

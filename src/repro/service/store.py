@@ -310,6 +310,24 @@ class DocumentStore:
             self._install(name, entry)
             return entry
 
+    def register_specs(
+        self, specs: Iterable[tuple[str, str, str | None]]
+    ) -> list[str]:
+        """Bulk-register ``DocumentStore.specs()`` output — the warming
+        path for pool workers (flat *and* sharded: a shard worker gets
+        only its shard's slice, so its memory holds only those entries).
+        A spec that fails to load is skipped, not fatal: the name stays
+        unregistered here and callers fall back elsewhere.  Returns the
+        names actually registered."""
+        registered = []
+        for name, pdocument_path, constraints_path in specs:
+            try:
+                self.register(name, pdocument_path, constraints_path)
+            except ValueError:
+                continue
+            registered.append(name)
+        return registered
+
     def add(
         self,
         name: str,

@@ -1,15 +1,23 @@
-"""Tests for the PXDB service layer (store, coalescer, server, pool)."""
+"""Tests for the PXDB service layer (store, coalescer, server, pool,
+shard router, batch scheduler, async front end)."""
 
 from __future__ import annotations
 
+import json
 import os
 import random
+import signal
+import socket
+import subprocess
+import sys
 import threading
 import time
 from fractions import Fraction
 from pathlib import Path
+from urllib.request import urlopen
 
 import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.core.evaluator import IncrementalEngine
 from repro.core.formulas import exists
@@ -18,6 +26,7 @@ from repro.core.query import Query
 from repro.pdoc.pdocument import PNode, pdocument
 from repro.pdoc.serialize import pdocument_to_xml
 from repro.service import (
+    BatchScheduler,
     Coalescer,
     DocumentStore,
     EvaluationPool,
@@ -27,10 +36,22 @@ from repro.service import (
     PoolUnavailable,
     ServiceClient,
     ServiceError,
+    ShardRouter,
+    ShardedEvaluationPool,
     load_pxdb,
+    start_async_server,
     start_server,
 )
+from repro.service.metrics import COUNT_BUCKETS
+from repro.service.server import (
+    batch_payloads,
+    query_payload,
+    sat_payload,
+    topk_payload,
+)
 from repro.service.store import read_constraints, read_pdocument
+
+from .strategies import DEFAULT_SETTINGS
 from repro.workloads.university import s_st
 from repro.xmltree.document import Document, doc
 from repro.xmltree.serialize import document_to_xml
@@ -901,3 +922,562 @@ def test_http_approx_error_status(http_service):
     with pytest.raises(ServiceError) as info:
         client.approx("cat", "garbage")
     assert info.value.status == 400
+
+
+# -- /topk: top-k answers of a query ------------------------------------------
+
+def test_service_topk_is_query_truncation(catalog_service):
+    full = catalog_service.query("cat", QUERY)
+    top = catalog_service.topk("cat", QUERY, k=1)
+    assert top["answers"] == full["answers"][:1]
+    assert top["candidates"] == len(full["answers"])
+    assert top["k"] == 1
+    with pytest.raises(ValueError, match="k must be positive"):
+        catalog_service.topk("cat", QUERY, k=0)
+    # Per-(query, k) result cache, separate from /query's.
+    again = catalog_service.topk("cat", QUERY, k=1)
+    assert again == top
+    assert catalog_service.metrics.counter("query.cache_hits") == 1
+
+
+# -- the consistent-hash shard router -----------------------------------------
+
+def test_shard_router_partitions_and_is_deterministic():
+    names = [f"db-{index}" for index in range(200)]
+    router = ShardRouter(4)
+    assignment = router.assign(names)
+    # A partition: every name in exactly one shard, shards 0..3 all used.
+    assert sorted(name for shard in assignment.values() for name in shard) == sorted(names)
+    assert set(assignment) == {0, 1, 2, 3}
+    assert all(assignment[shard] for shard in assignment)
+    # blake2b positions, not hash(): a fresh router (≈ another process)
+    # agrees on every assignment.
+    again = ShardRouter(4)
+    assert [router.shard_for(n) for n in names] == [again.shard_for(n) for n in names]
+    with pytest.raises(ValueError, match="shards must be at least 1"):
+        ShardRouter(0)
+    with pytest.raises(ValueError, match="replicas must be at least 1"):
+        ShardRouter(2, replicas=0)
+
+
+def test_shard_router_growth_moves_a_fraction():
+    """Consistent hashing: going 4 → 5 shards re-homes ~1/5 of the names,
+    not all of them (the bound is generous to stay timing/distribution
+    independent)."""
+    names = [f"db-{index}" for index in range(400)]
+    before = ShardRouter(4)
+    after = ShardRouter(5)
+    moved = sum(before.shard_for(n) != after.shard_for(n) for n in names)
+    assert 0 < moved < len(names) / 2
+
+
+# -- the heterogeneous batch scheduler ----------------------------------------
+
+def _echo_runner(calls: list):
+    def runner(db: str, requests: list[dict]) -> list[dict]:
+        calls.append((db, list(requests)))
+        return [dict(request) for request in requests]
+
+    return runner
+
+
+def test_scheduler_packs_pending_requests_into_batches():
+    calls: list = []
+    with BatchScheduler(_echo_runner(calls), window=0.2) as scheduler:
+        futures = [scheduler.submit("db", {"n": index}) for index in range(10)]
+        results = [future.result(timeout=10) for future in futures]
+    assert [result["n"] for result in results] == list(range(10))
+    # All ten arrived within one window: far fewer runner calls than
+    # requests (usually exactly one).
+    assert len(calls) <= 3
+    assert sum(len(batch) for _, batch in calls) == 10
+    stats = scheduler.stats()
+    assert stats["batched_requests"] == 10
+    assert stats["largest_batch"] >= 4
+
+
+def test_scheduler_lone_request_pays_grace_not_window():
+    calls: list = []
+    with BatchScheduler(_echo_runner(calls), window=2.0) as scheduler:
+        start = time.perf_counter()
+        scheduler.submit("db", {"n": 0}).result(timeout=10)
+        elapsed = time.perf_counter() - start
+    # Grace slice is window/8 = 0.25 s; the full 2 s window would fail this.
+    assert elapsed < 1.5
+
+
+def test_scheduler_max_batch_drains_immediately():
+    calls: list = []
+    with BatchScheduler(_echo_runner(calls), window=30.0, max_batch=3) as scheduler:
+        futures = [scheduler.submit("db", {"n": index}) for index in range(3)]
+        for future in futures:
+            future.result(timeout=5)  # would time out if the window ruled
+    assert calls and len(calls[0][1]) == 3
+
+
+def test_scheduler_groups_by_db():
+    calls: list = []
+    with BatchScheduler(_echo_runner(calls), window=0.2) as scheduler:
+        a = [scheduler.submit("a", {"n": index}) for index in range(3)]
+        b = [scheduler.submit("b", {"n": index}) for index in range(3)]
+        for future in a + b:
+            future.result(timeout=10)
+    # Two dbs never share a batch — each joint pass is per-entry.
+    assert {db for db, _ in calls} == {"a", "b"}
+    assert sum(len(batch) for db, batch in calls if db == "a") == 3
+    assert sum(len(batch) for db, batch in calls if db == "b") == 3
+
+
+def test_scheduler_per_request_error_isolation(catalog_files):
+    store = DocumentStore()
+    store.register("cat", *catalog_files)
+    scheduler = BatchScheduler(
+        lambda db, requests: batch_payloads(store.get(db), requests),
+        window=0.05,
+    )
+    try:
+        good = scheduler.submit("cat", {"op": "query", "query_text": QUERY})
+        bad = scheduler.submit("cat", {"op": "query", "query_text": "not a ((( query"})
+        bad_k = scheduler.submit("cat", {"op": "topk", "query_text": QUERY, "k": 0})
+        assert good.result(timeout=10)["answers"]
+        with pytest.raises(ValueError):
+            bad.result(timeout=10)
+        with pytest.raises(ValueError, match="k must be positive"):
+            bad_k.result(timeout=10)
+    finally:
+        scheduler.close()
+
+
+def test_scheduler_runner_failure_fans_out():
+    def boom(db: str, requests: list[dict]) -> list[dict]:
+        raise RuntimeError("shard down")
+
+    scheduler = BatchScheduler(boom, window=0.01)
+    try:
+        futures = [scheduler.submit("db", {}) for _ in range(3)]
+        for future in futures:
+            with pytest.raises(RuntimeError, match="shard down"):
+                future.result(timeout=10)
+        assert scheduler.stats()["errors"] >= 1
+    finally:
+        scheduler.close()
+
+
+def test_scheduler_drain_flushes_waiting_windows():
+    calls: list = []
+    scheduler = BatchScheduler(_echo_runner(calls), window=30.0)
+    try:
+        future = scheduler.submit("db", {"n": 1})
+        start = time.perf_counter()
+        assert scheduler.drain(10.0) is True
+        assert future.done()
+        # Drain zeroed the deadline instead of sitting out the grace slice
+        # (30/8 = 3.75 s).
+        assert time.perf_counter() - start < 3.0
+    finally:
+        scheduler.close()
+
+
+_BATCH_QUERIES = (
+    QUERY,
+    "catalog/shelf/$book",
+    "catalog/$shelf",
+    "catalog/shelf/book/$title",
+)
+
+_batch_requests = st.lists(
+    st.one_of(
+        st.just({"op": "sat"}),
+        st.sampled_from(_BATCH_QUERIES).map(
+            lambda q: {"op": "query", "query_text": q}
+        ),
+        st.tuples(
+            st.sampled_from(_BATCH_QUERIES), st.integers(min_value=1, max_value=3)
+        ).map(lambda pair: {"op": "topk", "query_text": pair[0], "k": pair[1]}),
+    ),
+    min_size=1,
+    max_size=8,
+)
+
+
+@settings(
+    DEFAULT_SETTINGS,
+    max_examples=25,
+    suppress_health_check=[
+        HealthCheck.too_slow,
+        HealthCheck.function_scoped_fixture,
+    ],
+)
+@given(requests=_batch_requests)
+def test_scheduler_mixed_interleaving_identity(catalog_files, requests):
+    """Any interleaving of mixed sat/query/top-k requests through the
+    batch scheduler returns payloads byte-identical to sequential direct
+    evaluation — exact Fractions, shared traversal, same answer."""
+    store = DocumentStore()
+    store.register("cat", *catalog_files)
+    scheduler = BatchScheduler(
+        lambda db, batch: batch_payloads(store.get(db), batch),
+        window=0.02,
+    )
+    try:
+        futures = [
+            scheduler.submit("cat", dict(request)) for request in requests
+        ]
+        batched = [future.result(timeout=30) for future in futures]
+    finally:
+        scheduler.close()
+    # The reference: a fresh entry (cold caches), every request evaluated
+    # alone, in order.
+    entry = DocumentStore().register("cat", *catalog_files)
+    for request, payload in zip(requests, batched):
+        if request["op"] == "sat":
+            expected = sat_payload(entry)
+        elif request["op"] == "query":
+            expected = query_payload(entry, request["query_text"], coalesce=False)
+        else:
+            expected = topk_payload(
+                entry, request["query_text"], request["k"], coalesce=False
+            )
+        assert json.dumps(payload, sort_keys=True) == json.dumps(
+            expected, sort_keys=True
+        )
+
+
+# -- the sharded pool ---------------------------------------------------------
+
+def test_sharded_pool_confinement_and_batch_identity(catalog_files, tmp_path):
+    pdoc_path, constraints_path = catalog_files
+    other = tmp_path / "other.pxml"
+    other.write_text(pdocument_to_xml(make_catalog()))
+    store = DocumentStore()
+    store.register("cat", pdoc_path, constraints_path)
+    store.register("cat2", other)
+    pool = ShardedEvaluationPool(store.specs(), shards=2, workers_per_shard=1)
+    try:
+        assignment = pool.shard_assignment()
+        assert sorted(
+            name for names in assignment.values() for name in names
+        ) == ["cat", "cat2"]
+        # Plain ops route to the owning shard.
+        assert pool.run("sat", "cat", {})["constraint_probability"] == "5/8"
+        assert pool.run("sat", "cat2", {})["constraint_probability"] == "1"
+        # A heterogeneous batch in the worker equals sequential in-process.
+        requests = [
+            {"op": "sat"},
+            {"op": "query", "query_text": QUERY},
+            {"op": "topk", "query_text": QUERY, "k": 1},
+        ]
+        pooled = pool.run_batch("cat", requests)
+        entry = DocumentStore().register("cat", pdoc_path, constraints_path)
+        direct = [
+            sat_payload(entry),
+            query_payload(entry, QUERY, coalesce=False),
+            topk_payload(entry, QUERY, 1, coalesce=False),
+        ]
+        assert json.dumps(pooled, sort_keys=True) == json.dumps(
+            direct, sort_keys=True
+        )
+        stats = pool.stats()
+        assert stats["shards"] == 2
+        assert [row["shard"] for row in stats["per_shard"]] == [0, 1]
+        assert sum(row["entries"] for row in stats["per_shard"]) == 2
+        # Memory confinement: each worker's store holds ONLY its shard's
+        # names.
+        report = pool.worker_stats(timeout=10.0)
+        assert report["probed"] >= 1
+        for info in report["workers"].values():
+            assert info["names"] == sorted(assignment[info["shard"]])
+            assert len(info["names"]) == 1
+    finally:
+        pool.shutdown()
+
+
+def test_pool_quiesce_waits_for_inflight_work(catalog_files):
+    store = DocumentStore()
+    store.register("cat", *catalog_files)
+    pool = EvaluationPool(store.specs(), workers=1, timeout=0.05)
+    try:
+        with pytest.raises(PoolUnavailable):  # result timeout, worker busy
+            pool.run("sleep", "cat", {"seconds": 0.5})
+        start = time.perf_counter()
+        assert pool.quiesce(20.0) is True
+        # quiesce really waited the abandoned request out rather than
+        # returning while the worker was still evaluating.
+        assert time.perf_counter() - start > 0.1
+        assert pool.quiesce(1.0) is True  # idempotent when already quiet
+    finally:
+        pool.shutdown()
+
+
+# -- the async front end ------------------------------------------------------
+
+@pytest.fixture()
+def async_http_service(catalog_files):
+    """An asyncio server over an in-process scheduler (no worker
+    processes — the sharded-pool path has its own test above)."""
+    store = DocumentStore()
+    store.register("cat", *catalog_files)
+    metrics = Metrics()
+    scheduler = BatchScheduler(
+        lambda db, requests: batch_payloads(store.get(db), requests),
+        window=0.01,
+        metrics=metrics,
+    )
+    service = PXDBService(store, metrics=metrics, scheduler=scheduler)
+    handle = start_async_server(service)
+    client = ServiceClient(f"http://{handle.address[0]}:{handle.address[1]}")
+    yield client, service
+    handle.stop()
+    scheduler.close()
+
+
+def test_async_http_roundtrip_matches_direct(async_http_service, catalog_files):
+    client, service = async_http_service
+    assert client.health() is True
+    assert client.sat("cat") == Fraction(5, 8)
+    db = PXDB(read_pdocument(catalog_files[0]), read_constraints(catalog_files[1]))
+    expected = {
+        tuple(str(label) for label in labels): value
+        for labels, value in db.query_labels(QUERY).items()
+    }
+    assert client.query("cat", QUERY) == expected
+    top = client.topk("cat", QUERY, k=1)
+    assert top == {("Dune",): Fraction(4, 5)}
+    # Non-batchable routes run through the shared executor path.
+    samples = client.sample("cat", count=2, seed=3)
+    rng = random.Random(3)
+    fresh = PXDB(read_pdocument(catalog_files[0]), read_constraints(catalog_files[1]))
+    assert samples == [
+        document_to_xml(fresh.sample(rng), style="tags") for _ in range(2)
+    ]
+    assert service.metrics.counter("sat.requests") == 1
+    assert service.scheduler.stats()["batches"] >= 1
+
+
+def test_async_http_error_statuses(async_http_service):
+    client, _ = async_http_service
+    with pytest.raises(ServiceError) as unknown_db:
+        client.sat("ghost")  # batched path: KeyError from the runner
+    assert unknown_db.value.status == 404
+    with pytest.raises(ServiceError) as bad_query:
+        client.query("cat", "not a ((( query")  # per-request error marker
+    assert bad_query.value.status == 400
+    with pytest.raises(ServiceError) as missing_param:
+        client._request("/query", {"db": "cat"})
+    assert missing_param.value.status == 400
+    with pytest.raises(ServiceError) as bad_k:
+        client.topk("cat", QUERY, k=0)
+    assert bad_k.value.status == 400
+    with pytest.raises(ServiceError) as no_endpoint:
+        client._request("/nope", {})
+    assert no_endpoint.value.status == 404
+    with pytest.raises(ServiceError) as bad_count:
+        client.sample("cat", count=0)  # executor path keeps its contract
+    assert bad_count.value.status == 400
+
+
+def test_async_http_concurrent_mixed_identity(async_http_service, catalog_files):
+    """A concurrent mixed burst over the async front end returns exactly
+    the sequential direct answers, while the scheduler actually batches."""
+    client, service = async_http_service
+    db = PXDB(read_pdocument(catalog_files[0]), read_constraints(catalog_files[1]))
+    expected_sat = db.constraint_probability()
+    expected_query = {
+        tuple(str(label) for label in labels): value
+        for labels, value in db.query_labels(QUERY).items()
+    }
+    expected_top = dict(
+        sorted(expected_query.items(), key=lambda item: -item[1])[:1]
+    )
+    failures: list[str] = []
+
+    def run_client(index: int) -> None:
+        try:
+            assert client.sat("cat") == expected_sat
+            assert client.query("cat", QUERY) == expected_query
+            assert client.topk("cat", QUERY, k=1) == expected_top
+        except Exception as error:  # noqa: BLE001 — collected for the main thread
+            failures.append(f"client {index}: {error!r}")
+
+    threads = [threading.Thread(target=run_client, args=(i,)) for i in range(6)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not failures, failures
+    stats = service.scheduler.stats()
+    # Every sat is batched; query/topk repeats may resolve from the shared
+    # result cache instead of re-entering the scheduler.
+    assert 6 <= stats["batched_requests"] <= 18
+    assert stats["batches"] >= 1
+
+
+def test_async_http_repeat_hits_shared_result_cache(async_http_service):
+    client, service = async_http_service
+    first = client.query("cat", QUERY)
+    batched = service.scheduler.stats()["batched_requests"]
+    # The repeat resolves from the entry's result cache (the same cache the
+    # threaded front end fills) without re-entering the scheduler.
+    assert client.query("cat", QUERY) == first
+    assert service.metrics.counter("query.cache_hits") == 1
+    assert service.scheduler.stats()["batched_requests"] == batched
+
+
+def test_async_http_prometheus_routes_and_scheduler(async_http_service):
+    client, _ = async_http_service
+    client.sat("cat")
+    client.topk("cat", QUERY, k=1)
+    with urlopen(client.base_url + "/metrics?format=prometheus", timeout=10) as response:
+        assert "text/plain" in response.headers["Content-Type"]
+        text = response.read().decode("utf-8")
+    assert 'op="sat",route="/sat"' in text
+    assert 'op="topk",route="/topk"' in text
+    assert "pxdb_scheduler_batch_size_bucket" in text
+    assert "pxdb_scheduler_batches" in text
+
+
+@pytest.mark.parametrize("frontend", ["threaded", "async"])
+def test_serve_cli_sigterm_clean_shutdown(frontend, catalog_files):
+    """`repro serve` (both front ends) drains and exits 0 on SIGTERM —
+    the container-deploy stop signal, not just Ctrl-C."""
+    pdoc_path, constraints_path = catalog_files
+    process = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--frontend", frontend, "--shards", "2",
+            "--db", f"cat={pdoc_path}:{constraints_path}",
+            "--port", "0",
+        ],
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    try:
+        port = None
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline:
+            line = process.stderr.readline()
+            if "serving PXDBs on http://" in line:
+                port = int(line.rsplit(":", 1)[1])
+                break
+        assert port, "server never announced its port"
+        with urlopen(f"http://127.0.0.1:{port}/sat?db=cat", timeout=30) as response:
+            body = json.loads(response.read())
+        assert body["constraint_probability"] == "5/8"
+        process.send_signal(signal.SIGTERM)
+        assert process.wait(timeout=30) == 0
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.wait(timeout=10)
+
+
+# -- client retry/backoff -----------------------------------------------------
+
+def _flaky_http_server(failures: int, body: bytes = b'{"ok": true, "status": "ok"}'):
+    """A raw socket server: drops the first ``failures`` connections
+    without a response, then answers every request with ``body``.
+    Returns (base_url, accept_counter, close)."""
+    listener = socket.socket()
+    listener.bind(("127.0.0.1", 0))
+    listener.listen(8)
+    host, port = listener.getsockname()
+    accepts: list[int] = []
+    stop = threading.Event()
+
+    def serve() -> None:
+        while not stop.is_set():
+            try:
+                connection, _ = listener.accept()
+            except OSError:
+                return
+            accepts.append(1)
+            if len(accepts) <= failures:
+                connection.close()
+                continue
+            try:
+                connection.recv(65536)
+                connection.sendall(
+                    b"HTTP/1.1 200 OK\r\n"
+                    b"Content-Type: application/json\r\n"
+                    b"Content-Length: " + str(len(body)).encode() + b"\r\n"
+                    b"Connection: close\r\n\r\n" + body
+                )
+            finally:
+                connection.close()
+
+    thread = threading.Thread(target=serve, daemon=True)
+    thread.start()
+
+    def close() -> None:
+        stop.set()
+        listener.close()
+
+    return f"http://{host}:{port}", accepts, close
+
+
+def test_client_retries_idempotent_calls():
+    base_url, accepts, close = _flaky_http_server(failures=2)
+    try:
+        client = ServiceClient(base_url, retries=3, backoff=0.01)
+        assert client.health() is True  # two resets absorbed, third attempt wins
+        assert len(accepts) == 3
+    finally:
+        close()
+
+
+def test_client_retries_off_by_default():
+    base_url, accepts, close = _flaky_http_server(failures=1)
+    try:
+        client = ServiceClient(base_url)
+        with pytest.raises(ServiceError, match="cannot reach service"):
+            client.health()
+        assert len(accepts) == 1  # no second attempt
+    finally:
+        close()
+
+
+def test_client_never_retries_non_idempotent_calls():
+    base_url, accepts, close = _flaky_http_server(failures=100)
+    try:
+        client = ServiceClient(base_url, retries=3, backoff=0.01)
+        with pytest.raises(ServiceError):
+            client.sample("cat", count=1, seed=0)
+        assert len(accepts) == 1  # sample draws server RNG: one attempt only
+        with pytest.raises(ServiceError):
+            client.approx("cat", "count(*/$x) >= 1")
+        assert len(accepts) == 2
+    finally:
+        close()
+
+
+def test_client_never_retries_http_errors(http_service):
+    client, service = http_service
+    before = service.metrics.counter("sat.requests")
+    retrying = ServiceClient(client.base_url, retries=3, backoff=0.01)
+    with pytest.raises(ServiceError) as info:
+        retrying.sat("ghost")
+    assert info.value.status == 404
+    # The server answered: exactly one attempt despite retries=3.
+    assert service.metrics.counter("sat.requests") == before + 1
+    with pytest.raises(ValueError):
+        ServiceClient(client.base_url, retries=-1)
+
+
+# -- metrics: the route label -------------------------------------------------
+
+def test_metrics_route_label_separates_endpoints():
+    metrics = Metrics()
+    with metrics.timed("sat", route="/sat"):
+        pass
+    with metrics.timed("sweep", route="/sweep"):
+        pass
+    metrics.observe_value("scheduler.batch_size", 3, buckets=COUNT_BUCKETS)
+    text = metrics.render_prometheus()
+    assert 'op="sat",route="/sat"' in text
+    assert 'op="sweep",route="/sweep"' in text
+    assert "pxdb_scheduler_batch_size_bucket" in text
+    # The JSON snapshot keeps its pre-label shape (route is Prometheus-only).
+    snapshot = metrics.snapshot()
+    assert set(snapshot["latency"]) == {"sat", "sweep"}
+    assert "route" not in json.dumps(snapshot["latency"])
+    assert snapshot["values"]["scheduler.batch_size"]["count"] == 1

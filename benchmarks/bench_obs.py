@@ -15,18 +15,28 @@ singleton without allocating.  Claims regenerated:
   stays under 5% of the draw's wall time;
 * **bounded enabled overhead** — the tracing-on/off wall-time ratio is
   reported (not asserted: enabled tracing is allowed to cost, it only
-  has to be *worth* it).
+  has to be *worth* it);
+* **≤ 5% cost-observatory overhead** — on an E16-style mixed
+  sat/query/top-k workload, the per-request price of cost attribution
+  (the trace-finish fold into :class:`CostObservatory` +
+  :class:`SpanProfiler`) plus a worst-case per-request SLO tick stays
+  under 5% of the request's own latency.
 """
 
 from __future__ import annotations
 
 import random
 import time
+from pathlib import Path
 
 from repro.core.constraints import constraints_formula
 from repro.core.evaluator import IncrementalEngine
 from repro.core.sampler import sample
+from repro.obs.cost import CostObservatory
+from repro.obs.profile import SpanProfiler
+from repro.obs.slo import SLOMonitor
 from repro.obs.spans import NOOP_SPAN, TRACER
+from repro.pdoc.serialize import pdocument_to_xml
 from repro.workloads.university import figure1_constraints, figure1_pdocument
 
 CONDITION = constraints_formula(figure1_constraints())
@@ -106,3 +116,134 @@ def test_bench_disabled_overhead_within_budget(report, record):
         f"(budget 5%): {hooks_per_draw:.1f} hooks x {per_call * 1e9:.0f} ns "
         f"vs {t_off * 1000:.3f} ms"
     )
+
+
+MIXED_QUERIES = ["*//'ph.d. st.'/$name", "university/$department"]
+MIXED_CONSTRAINTS = (
+    "forall university/$department : "
+    "count(*//$member[position/~'professor'][position/chair]) <= 1\n"
+    "forall university/$department : "
+    "count(*//$member[//~'professor']) >= 3 -> "
+    "count(*//$member[position/~'professor'][position/chair]) >= 1\n"
+)
+CONNECTIONS = 16
+ROUNDS = 3
+
+
+def _mixed_requests(connection: int, round_index: int) -> list[tuple[str, dict]]:
+    """One E16-style round: sat + both queries + a cache-busting top-k
+    (the unique ``k`` forces a fresh ranking pass per request)."""
+    return (
+        [("/sat", {"db": "uni"})]
+        + [("/query", {"db": "uni", "query": q}) for q in MIXED_QUERIES]
+        + [
+            (
+                "/topk",
+                {
+                    "db": "uni",
+                    "query": MIXED_QUERIES[0],
+                    "k": 1 + connection * 100 + round_index,
+                },
+            )
+        ]
+    )
+
+
+def test_bench_cost_attribution_overhead(tmp_path: Path, report, record):
+    """Cost attribution + SLO monitoring must cost < 5% of a request.
+
+    The mixed workload runs in-process through ``dispatch_route`` so the
+    measured per-request latency is the service's own (no socket noise);
+    harvesting already happens inside it via the trace-finish observer.
+    The observability price is then measured directly: re-folding the
+    captured traces into a fresh observatory + profiler gives the
+    per-request attribution cost, and a worst-case SLO tick (one history
+    snapshot per request — production ticks at most once per second) is
+    charged on top."""
+    from repro.service import DocumentStore, Metrics, PXDBService
+    from repro.service.server import dispatch_route
+    from repro.workloads.university import scaled_university
+
+    pdoc_path = tmp_path / "uni.pxml"
+    pdoc_path.write_text(
+        pdocument_to_xml(scaled_university(departments=3, members=3, students=1))
+    )
+    cons_path = tmp_path / "uni.cons"
+    cons_path.write_text(MIXED_CONSTRAINTS)
+
+    TRACER.configure(enabled=True, ring_size=4096)
+    TRACER.reset()
+    try:
+        store = DocumentStore()
+        store.register("uni", pdoc_path, cons_path)
+        service = PXDBService(store, metrics=Metrics())
+
+        # Warm-up round, then the measured E16-style mixed load.
+        for route, params in _mixed_requests(connection=99, round_index=0):
+            status, _ = dispatch_route(service, route, dict(params))
+            assert status == 200
+        latencies: list[float] = []
+        for connection in range(CONNECTIONS):
+            for round_index in range(ROUNDS):
+                for route, params in _mixed_requests(connection, round_index):
+                    start = time.perf_counter()
+                    status, _ = dispatch_route(service, route, dict(params))
+                    latencies.append(time.perf_counter() - start)
+                    assert status == 200
+        mean_latency = sum(latencies) / len(latencies)
+        assert service.costs.records_harvested >= len(latencies), (
+            "every dispatched request must be harvested into a CostRecord"
+        )
+
+        # Representative traces: the requests' own span trees, replayed
+        # against a fresh observatory + profiler to isolate the fold cost.
+        traces = []
+        for summary in TRACER.traces(limit=256):
+            spans = TRACER.trace(summary["trace_id"])
+            roots = [s for s in spans if s["parent_id"] is None]
+            if roots and roots[0]["name"].startswith("request."):
+                traces.append((roots[0], spans))
+        assert len(traces) >= 32, f"expected a trace corpus, got {len(traces)}"
+        repeats = 20
+        observatory = CostObservatory(top_n=10)
+        profiler = SpanProfiler()
+        start = time.perf_counter()
+        for _ in range(repeats):
+            for root, spans in traces:
+                observatory.harvest(root, spans)
+                profiler.add_trace(root, spans)
+        fold_cost = (time.perf_counter() - start) / (repeats * len(traces))
+
+        # Worst-case SLO price: one un-rate-limited tick per request.
+        monitor = SLOMonitor(service.metrics, min_tick_s=0.0)
+        ticks = 200
+        start = time.perf_counter()
+        for index in range(ticks):
+            monitor.tick(now=float(index))
+        slo_cost = (time.perf_counter() - start) / ticks
+
+        overhead = (fold_cost + slo_cost) / mean_latency
+        report(
+            f"E13 obs  cost observatory: fold {fold_cost * 1e6:.0f} µs + "
+            f"SLO tick {slo_cost * 1e6:.0f} µs = {overhead:.3%} of a "
+            f"{mean_latency * 1000:.2f} ms mixed request (budget 5%)"
+        )
+        record(
+            f"scaled university mixed sat/query/topk, {CONNECTIONS}x{ROUNDS} rounds",
+            wall_s=mean_latency,
+            counters={
+                "requests": len(latencies),
+                "traces_folded": len(traces),
+            },
+            fold_cost_s=fold_cost,
+            slo_tick_cost_s=slo_cost,
+            observatory_overhead_fraction=overhead,
+        )
+        assert overhead <= 0.05, (
+            f"cost attribution + SLO tick cost {overhead:.2%} of a mixed "
+            f"request (budget 5%): fold {fold_cost * 1e6:.1f} µs + tick "
+            f"{slo_cost * 1e6:.1f} µs vs {mean_latency * 1000:.3f} ms"
+        )
+    finally:
+        TRACER.configure(enabled=False, ring_size=4096)
+        TRACER.reset()

@@ -363,7 +363,25 @@ def _cmd_serve(args) -> int:
         enabled=args.trace,
         ring_size=args.trace_ring,
         jsonl_path=args.trace_jsonl,
+        jsonl_max_bytes=args.trace_jsonl_max_bytes,
+        tail_sample=args.trace_tail,
+        tail_slow_ms=args.trace_tail_slow_ms,
+        tail_rate=args.trace_tail_rate,
     )
+    slos = None
+    if args.slo:
+        from .obs.slo import default_slos, parse_slo
+
+        slos = default_slos()
+        for spec in args.slo:
+            parsed = parse_slo(spec)
+            slos[parsed["route"]] = parsed
+            print(
+                f"SLO {parsed['route']}: p{parsed['quantile'] * 100:g} "
+                f"<= {parsed['threshold_ms']:g}ms, errors <= "
+                f"{parsed['error_budget'] * 100:g}%",
+                file=sys.stderr,
+            )
     store = DocumentStore(
         max_entries=args.max_entries,
         coalesce_window=args.coalesce_window,
@@ -381,7 +399,13 @@ def _cmd_serve(args) -> int:
     if args.trace:
         print(
             f"tracing on: ring={args.trace_ring}"
-            + (f", jsonl={args.trace_jsonl}" if args.trace_jsonl else ""),
+            + (f", jsonl={args.trace_jsonl}" if args.trace_jsonl else "")
+            + (
+                f", tail sampling (slow>={args.trace_tail_slow_ms:g}ms, "
+                f"rate={args.trace_tail_rate:g})"
+                if args.trace_tail
+                else ""
+            ),
             file=sys.stderr,
         )
     if args.backend != "exact":
@@ -404,6 +428,7 @@ def _cmd_serve(args) -> int:
             slow_ms=args.slow_ms,
             default_backend=args.backend,
             pool_timeout=args.pool_timeout,
+            slos=slos,
         )
         for shard, names in service.pool.shard_assignment().items():
             print(
@@ -433,7 +458,7 @@ def _cmd_serve(args) -> int:
         )
     service = PXDBService(
         store, metrics=Metrics(), pool=pool, slow_ms=args.slow_ms,
-        default_backend=args.backend,
+        default_backend=args.backend, slos=slos,
     )
     try:
         serve_forever(
@@ -498,6 +523,75 @@ def _cmd_trace(args) -> int:
             print(f"wrote {len(dump)} traces to {args.output}", file=sys.stderr)
         else:
             print(text)
+        return 0
+    except ServiceError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+def _cmd_obs(args) -> int:
+    import json as _json
+
+    from .service.client import ServiceClient, ServiceError
+
+    client = ServiceClient(args.url)
+    try:
+        if args.action == "profile":
+            if (args.format or "collapsed") == "collapsed":
+                text = client.profile("collapsed", source=args.source)
+                if not text:
+                    print(
+                        "empty profile (no traces folded yet; is the server "
+                        "running with --trace and taking requests?)",
+                        file=sys.stderr,
+                    )
+            else:
+                body = client.profile("json", source=args.source)
+                text = _json.dumps(body.get("profile", body), indent=2)
+            if args.output:
+                with open(args.output, "w", encoding="utf-8") as handle:
+                    handle.write(text + ("\n" if text else ""))
+                print(f"wrote profile to {args.output}", file=sys.stderr)
+            elif text:
+                print(text)
+            return 0
+        if args.action == "costs":
+            body = client.costs()
+            if args.format == "json":
+                print(_json.dumps(body, indent=2, default=str))
+                return 0
+            entries = body.get("entries", [])
+            if not entries:
+                print(
+                    "no cost records (is the server running with --trace?)"
+                )
+                return 0
+            print(
+                f"{'route':<10} {'db':<16} {'shard':<6} {'requests':>8} "
+                f"{'cost units':>12} {'ms':>10}"
+            )
+            for row in entries:
+                print(
+                    f"{row['route']:<10} {row['db']:<16} {row['shard']:<6} "
+                    f"{row['requests']:>8} {row['cost_units']:>12} "
+                    f"{row['duration_ms']:>10.3f}"
+                )
+            return 0
+        # slo
+        body = client.slo()
+        if args.format == "json":
+            print(_json.dumps(body, indent=2, default=str))
+            return 0
+        print(f"overall state: {body.get('state', 'ok')}")
+        for row in body.get("slos", []):
+            burns = row.get("burn", {})
+            burn_text = "  ".join(
+                f"{window}={value:.2f}" for window, value in burns.items()
+            )
+            print(
+                f"{row['route']:<10} {row['objective']:<8} "
+                f"{row['state']:<5} {burn_text}"
+            )
         return 0
     except ServiceError as error:
         print(f"error: {error}", file=sys.stderr)
@@ -813,6 +907,46 @@ def build_parser() -> argparse.ArgumentParser:
         help="also append every finished span to FILE as JSON lines",
     )
     p.add_argument(
+        "--trace-jsonl-max-bytes",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="rotate the JSONL export to FILE.1 when it would exceed "
+        "BYTES (rotation never drops a span)",
+    )
+    p.add_argument(
+        "--trace-tail",
+        action="store_true",
+        help="tail-based trace retention: keep slow/error traces whole, "
+        "sample the rest at --trace-tail-rate (cost attribution still "
+        "sees every trace)",
+    )
+    p.add_argument(
+        "--trace-tail-slow-ms",
+        type=float,
+        default=25.0,
+        metavar="MS",
+        help="(with --trace-tail) always keep traces at least MS long "
+        "(default 25)",
+    )
+    p.add_argument(
+        "--trace-tail-rate",
+        type=float,
+        default=0.1,
+        metavar="R",
+        help="(with --trace-tail) keep fast, healthy traces with "
+        "probability R (default 0.1)",
+    )
+    p.add_argument(
+        "--slo",
+        action="append",
+        default=None,
+        metavar="SPEC",
+        help="add/override an SLO, e.g. query=p99:50ms:0.1%% — burn-rate "
+        "state at /slo, /health and pxdb_slo_* metrics (repeatable; "
+        "stock routes keep loose defaults)",
+    )
+    p.add_argument(
         "--slow-ms",
         type=float,
         default=None,
@@ -874,6 +1008,42 @@ def build_parser() -> argparse.ArgumentParser:
         help="(export) write JSON here instead of stdout",
     )
     p.set_defaults(func=_cmd_trace)
+
+    p = sub.add_parser(
+        "obs",
+        help="cost/profile/SLO views of a running service "
+        "(docs/OBSERVABILITY.md)",
+    )
+    p.add_argument(
+        "action",
+        choices=["profile", "costs", "slo"],
+        help="profile: cumulative collapsed-stack profile; costs: "
+        "per-(route, db, shard) cost attribution; slo: burn-rate state",
+    )
+    p.add_argument(
+        "--url",
+        default="http://127.0.0.1:8642",
+        help="service base URL (default http://127.0.0.1:8642)",
+    )
+    p.add_argument(
+        "--format",
+        choices=["collapsed", "json", "table"],
+        default=None,
+        help="profile: collapsed (default, flamegraph-compatible) or "
+        "json; costs/slo: table (default) or json",
+    )
+    p.add_argument(
+        "--source",
+        choices=["spans", "stacks"],
+        default=None,
+        help="(profile) force the span-folded or thread-stack source",
+    )
+    p.add_argument(
+        "-o", "--output",
+        metavar="FILE",
+        help="(profile) write the profile here instead of stdout",
+    )
+    p.set_defaults(func=_cmd_obs)
 
     return parser
 

@@ -48,6 +48,9 @@ SCHEMA = "pxdb-bench/1"
 #: Relative wall-time increase (or speedup decrease) that counts as a
 #: regression.  Generous because micro-benchmarks on shared CI are noisy.
 DEFAULT_THRESHOLD = 0.25
+# Rows faster than this (both runs) are never flagged: a 25% swing on a
+# sub-5ms row is scheduler noise, not a regression.
+DEFAULT_MIN_WALL = 0.005
 
 
 class BenchRecorder:
@@ -154,13 +157,17 @@ def load(path: str | Path) -> dict:
 
 
 def compare(
-    previous: Mapping, current: Mapping, threshold: float = DEFAULT_THRESHOLD
+    previous: Mapping, current: Mapping, threshold: float = DEFAULT_THRESHOLD,
+    min_wall: float = DEFAULT_MIN_WALL,
 ) -> list[dict]:
     """Row-by-row regression report: current vs. previous payload.
 
     Rows are matched on (test, workload).  A regression is a wall-time
     increase above ``threshold`` (relative) or a speedup ratio that fell
-    by more than ``threshold``.  Returns one dict per flagged row.
+    by more than ``threshold``.  Wall-time rows where *both* runs are
+    below ``min_wall`` seconds are exempt — relative thresholds on
+    sub-millisecond timings flag scheduler jitter, not code.  Returns
+    one dict per flagged row.
     """
     older = {(r["test"], r["workload"]): r for r in previous["rows"]}
     flagged: list[dict] = []
@@ -170,7 +177,8 @@ def compare(
             continue
         if row["wall_s"] and old["wall_s"]:
             ratio = row["wall_s"] / old["wall_s"]
-            if ratio > 1.0 + threshold:
+            noise_floor = row["wall_s"] < min_wall and old["wall_s"] < min_wall
+            if ratio > 1.0 + threshold and not noise_floor:
                 flagged.append(
                     {
                         "test": row["test"],
@@ -196,7 +204,9 @@ def compare(
     return flagged
 
 
-def format_regressions(flagged: Sequence[Mapping]) -> str:
+def format_regressions(
+    flagged: Sequence[Mapping], min_wall: float | None = None
+) -> str:
     lines = []
     for f in flagged:
         direction = "slower" if f["kind"] == "wall_s" else "lower speedup"
@@ -205,34 +215,46 @@ def format_regressions(flagged: Sequence[Mapping]) -> str:
             f"{f['previous']:.6g} -> {f['current']:.6g} "
             f"({f['ratio']:.2f}x, {direction})"
         )
+    if lines and min_wall is not None:
+        lines.append(
+            f"(wall-time rows under {min_wall * 1000:.3g} ms in both runs "
+            "are exempt from the relative threshold)"
+        )
     return "\n".join(lines)
 
 
 def main(argv: Sequence[str] | None = None) -> int:
-    """``python -m repro.obs.benchrec PREVIOUS.json CURRENT.json [--threshold X]``
-    — exit 1 when regressions are flagged."""
+    """``python -m repro.obs.benchrec PREVIOUS.json CURRENT.json
+    [--threshold X] [--min-wall SECONDS]`` — exit 1 when regressions are
+    flagged."""
     args = list(sys.argv[1:] if argv is None else argv)
     threshold = DEFAULT_THRESHOLD
+    min_wall = DEFAULT_MIN_WALL
     if "--threshold" in args:
         at = args.index("--threshold")
         threshold = float(args[at + 1])
+        del args[at : at + 2]
+    if "--min-wall" in args:
+        at = args.index("--min-wall")
+        min_wall = float(args[at + 1])
         del args[at : at + 2]
     if len(args) != 2:
         print(__doc__.strip().splitlines()[0], file=sys.stderr)
         print(
             "usage: python -m repro.obs.benchrec PREVIOUS.json CURRENT.json"
-            " [--threshold X]",
+            " [--threshold X] [--min-wall SECONDS]",
             file=sys.stderr,
         )
         return 2
     previous, current = load(args[0]), load(args[1])
-    flagged = compare(previous, current, threshold=threshold)
+    flagged = compare(previous, current, threshold=threshold, min_wall=min_wall)
     if flagged:
-        print(format_regressions(flagged))
+        print(format_regressions(flagged, min_wall=min_wall))
         return 1
     print(
         f"no regressions: {len(current['rows'])} row(s) vs "
-        f"{args[0]} (threshold {threshold:.0%})"
+        f"{args[0]} (threshold {threshold:.0%}, "
+        f"min wall {min_wall * 1000:.3g} ms)"
     )
     return 0
 

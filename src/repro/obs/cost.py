@@ -1,0 +1,266 @@
+"""Per-request cost attribution: from span trees to ``CostRecord`` rows.
+
+Latency tells you a request was slow; the paper's complexity model
+(Theorem 5.3) tells you *why*: DP nodes visited × signature widths, plus
+circuit gates swept, sampler edges walked and Monte-Carlo draws burned.
+All of those quantities are already on the spans the engine emits
+(``dp.run``, ``circuit.*``, ``sample.draw``, ``approx.estimate``, …), so
+cost attribution is a pure fold over a finished trace — no new
+instrumentation in the hot path.
+
+:func:`fold_trace` turns one finished trace into :data:`CostRecord`
+dicts (one per request; a heterogeneous ``scheduler.batch`` trace is
+split across its routes proportionally to the batch's per-op
+composition, recorded by the scheduler as the ``ops`` attribute).
+:class:`CostObservatory` subscribes to the tracer's trace-finish hook,
+aggregates records per ``(route, db, shard)``, keeps top-N rings of the
+most expensive entries and individual requests, and renders everything
+as the ``/costs`` payload and ``pxdb_cost_*`` Prometheus series.
+
+Because harvesting happens at root-span finish — *before* tail sampling
+decides whether the ring keeps the trace — cost totals stay exact even
+when trace retention is sampled down.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Iterable
+
+#: Additive structural counters carried by every cost record; summed in
+#: the per-(route, db, shard) aggregates and scaled by ``share`` when a
+#: batch is split across routes.
+ADDITIVE_COUNTERS = (
+    "dp_runs",
+    "nodes_computed",
+    "cache_hits",
+    "cache_misses",
+    "engine_passes",
+    "circuit_sweeps",
+    "gates",
+    "sampler_draws",
+    "sample_edges",
+    "approx_samples",
+    "batch_requests",
+    "pool_dispatches",
+    "spans",
+)
+
+#: Cost-units weights: one abstract unit per DP node computed / circuit
+#: gate swept / distributional edge walked / Monte-Carlo sample drawn —
+#: the structural quantities the run-time bound is linear in.  Rankings
+#: use these instead of wall time so "most expensive" is deterministic
+#: under scheduler jitter.
+_COST_UNIT_KEYS = ("nodes_computed", "gates", "sample_edges", "approx_samples")
+
+
+def _num(value, default=0):
+    return value if isinstance(value, (int, float)) else default
+
+
+def _fold_counters(spans: Iterable[dict]) -> dict:
+    """One pass over a trace's spans → the additive counter totals."""
+    c = dict.fromkeys(ADDITIVE_COUNTERS, 0)
+    c["max_sig_width"] = 0
+    for span in spans:
+        name = span["name"]
+        attrs = span["attributes"]
+        c["spans"] += 1
+        if name == "dp.run":
+            c["dp_runs"] += 1
+            c["nodes_computed"] += _num(attrs.get("nodes_computed"))
+            c["cache_hits"] += _num(attrs.get("cache_hits"))
+            c["cache_misses"] += _num(attrs.get("cache_misses"))
+            width = _num(attrs.get("max_sig_width"))
+            if width > c["max_sig_width"]:
+                c["max_sig_width"] = width
+        elif name == "engine.pass":
+            c["engine_passes"] += 1
+        elif name.startswith("circuit."):
+            c["circuit_sweeps"] += 1
+            c["gates"] += _num(attrs.get("gates"))
+        elif name == "sample.draw":
+            c["sampler_draws"] += 1
+            c["sample_edges"] += _num(attrs.get("edges"))
+        elif name == "approx.estimate":
+            c["approx_samples"] += _num(attrs.get("n"))
+        elif name == "pool.dispatch":
+            c["pool_dispatches"] += 1
+    return c
+
+
+def cost_units(counters: dict) -> float:
+    """The scalar work score used for top-N ranking (structural units,
+    not wall time — deterministic for identical traffic)."""
+    return float(sum(_num(counters.get(key)) for key in _COST_UNIT_KEYS))
+
+
+def fold_trace(
+    root: dict,
+    spans: list[dict],
+    shard_resolver: Callable[[str], int | None] | None = None,
+) -> list[dict]:
+    """Fold one finished trace into cost records.
+
+    A ``request.<op>`` root yields one record.  A ``scheduler.batch``
+    root (the async front end's joint pass over a heterogeneous batch)
+    yields one record per op present, with the batch's additive cost
+    split proportionally to the op's share of the batch — a batch of one
+    therefore attributes its DP counters *exactly* (share 1.0).
+    Non-request roots (``pxdb.sweep``, bare engine runs, …) yield one
+    record under their root name.
+    """
+    attrs = root["attributes"]
+    counters = _fold_counters(spans)
+    name = root["name"]
+    db = attrs.get("db")
+    shard = shard_resolver(db) if (shard_resolver is not None and db) else None
+    base = {
+        "trace_id": root["trace_id"],
+        "db": db,
+        "shard": shard,
+        "status": root["status"],
+        "start": root["start"],
+        "duration_ms": root["duration_ms"],
+        "max_sig_width": counters["max_sig_width"],
+    }
+
+    def record(route: str, share: float, requests: float) -> dict:
+        row = dict(base)
+        row["route"] = route
+        row["share"] = share
+        row["requests"] = requests
+        for key in ADDITIVE_COUNTERS:
+            total = counters[key]
+            row[key] = total if share == 1.0 else total * share
+        row["duration_ms"] = base["duration_ms"] * share
+        row["cost_units"] = cost_units(row)
+        return row
+
+    if name.startswith("request."):
+        return [record(name[len("request."):], 1.0, 1)]
+    if name == "scheduler.batch":
+        width = _num(attrs.get("requests"), 1) or 1
+        counters["batch_requests"] = width
+        ops = attrs.get("ops")
+        if not isinstance(ops, dict) or not ops:
+            ops = {"batch": width}
+        total = sum(_num(v, 0) for v in ops.values()) or 1
+        rows = []
+        for op, raw in sorted(ops.items()):
+            count = _num(raw, 0)
+            if count <= 0:
+                continue
+            share = 1.0 if count == total else count / total
+            rows.append(record(str(op), share, count))
+        return rows
+    return [record(name, 1.0, 1)]
+
+
+class CostObservatory:
+    """Aggregated per-request resource attribution for one service.
+
+    Subscribed to :meth:`repro.obs.spans.Tracer.on_trace_finish` (via the
+    service's harvest hook); keeps, behind one lock:
+
+    * cumulative totals per ``(route, db, shard)``;
+    * a top-N ring of the most expensive *entries* (aggregate keys,
+      ranked by cumulative cost units);
+    * a top-N ring of the most expensive individual *requests*.
+    """
+
+    def __init__(
+        self,
+        top_n: int = 10,
+        shard_resolver: Callable[[str], int | None] | None = None,
+    ):
+        self.top_n = top_n
+        self.shard_resolver = shard_resolver
+        self._lock = threading.Lock()
+        self._totals: dict[tuple, dict] = {}
+        self._top_requests: list[dict] = []
+        self.records_harvested = 0
+
+    # -- ingestion ------------------------------------------------------------
+    def harvest(self, root: dict, spans: list[dict]) -> None:
+        """Tracer trace-finish observer: fold and aggregate one trace."""
+        for row in fold_trace(root, spans, self.shard_resolver):
+            self.add(row)
+
+    def add(self, row: dict) -> None:
+        key = (row["route"], row["db"] or "-",
+               "-" if row["shard"] is None else row["shard"])
+        with self._lock:
+            self.records_harvested += 1
+            total = self._totals.get(key)
+            if total is None:
+                total = self._totals[key] = dict.fromkeys(ADDITIVE_COUNTERS, 0)
+                total.update(
+                    route=key[0], db=key[1], shard=key[2],
+                    requests=0, errors=0, duration_ms=0.0,
+                    cost_units=0.0, max_sig_width=0,
+                )
+            total["requests"] += row["requests"]
+            if row["status"] != "ok":
+                total["errors"] += 1
+            total["duration_ms"] += row["duration_ms"]
+            total["cost_units"] += row["cost_units"]
+            if row["max_sig_width"] > total["max_sig_width"]:
+                total["max_sig_width"] = row["max_sig_width"]
+            for counter in ADDITIVE_COUNTERS:
+                total[counter] += row[counter]
+            self._push_top_locked(row)
+
+    def _push_top_locked(self, row: dict) -> None:
+        top = self._top_requests
+        top.append(row)
+        top.sort(key=lambda r: (-r["cost_units"], -r["duration_ms"]))
+        del top[self.top_n:]
+
+    # -- exposition -----------------------------------------------------------
+    def snapshot(self) -> dict:
+        """The ``/costs`` payload: aggregate rows plus both top-N rings."""
+        with self._lock:
+            totals = [dict(total) for total in self._totals.values()]
+            top_requests = [dict(row) for row in self._top_requests]
+            harvested = self.records_harvested
+        totals.sort(key=lambda t: (-t["cost_units"], -t["duration_ms"]))
+        for rows in (totals, top_requests):
+            for row in rows:
+                row["duration_ms"] = round(row["duration_ms"], 3)
+        return {
+            "records": harvested,
+            "top_n": self.top_n,
+            "entries": totals,
+            "top_requests": top_requests,
+        }
+
+    def prometheus_rows(self) -> list[tuple]:
+        """``pxdb_cost_*`` rows for the metrics exposition — 4-tuples
+        (name, labels, value, type) fed to ``render_prometheus(extra=…)``."""
+        rows: list[tuple] = []
+        with self._lock:
+            totals = sorted(self._totals.items())
+        for (route, db, shard), total in totals:
+            labels = {"route": route, "db": db, "shard": shard}
+            rows.append(("pxdb_cost_requests_total", labels,
+                         total["requests"], "counter"))
+            rows.append(("pxdb_cost_errors_total", labels,
+                         total["errors"], "counter"))
+            rows.append(("pxdb_cost_duration_ms_total", labels,
+                         total["duration_ms"], "counter"))
+            rows.append(("pxdb_cost_units_total", labels,
+                         total["cost_units"], "counter"))
+            rows.append(("pxdb_cost_nodes_computed_total", labels,
+                         total["nodes_computed"], "counter"))
+            rows.append(("pxdb_cost_cache_hits_total", labels,
+                         total["cache_hits"], "counter"))
+            rows.append(("pxdb_cost_gates_total", labels,
+                         total["gates"], "counter"))
+            rows.append(("pxdb_cost_sampler_draws_total", labels,
+                         total["sampler_draws"], "counter"))
+            rows.append(("pxdb_cost_approx_samples_total", labels,
+                         total["approx_samples"], "counter"))
+            rows.append(("pxdb_cost_max_sig_width", labels,
+                         total["max_sig_width"], "gauge"))
+        return rows

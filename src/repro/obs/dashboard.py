@@ -1,0 +1,200 @@
+"""The live debug dashboard: one self-contained HTML page.
+
+``/debug/dashboard`` renders the service's current state — request
+counters and latencies, SLO burn-rate alert state, the cost
+observatory's most expensive entries and requests, and the recent slow
+traces — as a single HTML document with inline CSS and zero external
+assets (no fonts, no JS frameworks, no CDN: it must work on an
+air-gapped box through an SSH tunnel).  A ``meta refresh`` keeps it
+live; everything is computed server-side from the same payloads the
+JSON endpoints serve, so the dashboard can never disagree with the API.
+"""
+
+from __future__ import annotations
+
+import html
+import time
+
+_STATE_COLORS = {"ok": "#2da44e", "warn": "#d4a72c", "page": "#cf222e"}
+
+_STYLE = """
+body { font-family: ui-monospace, SFMono-Regular, Menlo, Consolas, monospace;
+       background: #0d1117; color: #c9d1d9; margin: 1.5rem; font-size: 13px; }
+h1 { font-size: 18px; color: #e6edf3; margin: 0 0 0.25rem 0; }
+h2 { font-size: 14px; color: #e6edf3; border-bottom: 1px solid #30363d;
+     padding-bottom: 0.25rem; margin: 1.5rem 0 0.5rem 0; }
+table { border-collapse: collapse; width: 100%; }
+th, td { text-align: left; padding: 0.2rem 0.8rem 0.2rem 0;
+         border-bottom: 1px solid #21262d; white-space: nowrap; }
+th { color: #8b949e; font-weight: normal; }
+td.num, th.num { text-align: right; }
+.pill { display: inline-block; padding: 0 0.5rem; border-radius: 1rem;
+        color: #0d1117; font-weight: bold; }
+.muted { color: #8b949e; }
+.grid { display: flex; flex-wrap: wrap; gap: 2rem; }
+.grid > div { flex: 1 1 24rem; min-width: 0; }
+"""
+
+
+def _esc(value) -> str:
+    return html.escape(str(value))
+
+
+def _pill(state: str) -> str:
+    color = _STATE_COLORS.get(state, "#8b949e")
+    return f'<span class="pill" style="background:{color}">{_esc(state)}</span>'
+
+
+def _table(headers: list[str], rows: list[list], numeric_from: int = 1) -> str:
+    if not rows:
+        return '<p class="muted">no data yet</p>'
+    head = "".join(
+        f'<th class="num">{_esc(h)}</th>' if i >= numeric_from else f"<th>{_esc(h)}</th>"
+        for i, h in enumerate(headers)
+    )
+    body = []
+    for row in rows:
+        cells = "".join(
+            f'<td class="num">{cell}</td>' if i >= numeric_from else f"<td>{cell}</td>"
+            for i, cell in enumerate(row)
+        )
+        body.append(f"<tr>{cells}</tr>")
+    return f"<table><tr>{head}</tr>{''.join(body)}</table>"
+
+
+def render_dashboard(
+    metrics: dict,
+    slo: dict,
+    costs: dict,
+    traces: list[dict],
+    version: str = "",
+    refresh_s: int = 5,
+) -> str:
+    """Assemble the dashboard HTML from the JSON endpoint payloads."""
+    # -- header ---------------------------------------------------------------
+    uptime = metrics.get("uptime_s", 0.0)
+    overall = slo.get("state", "ok")
+    parts = [
+        "<!doctype html><html><head><meta charset='utf-8'>",
+        f"<meta http-equiv='refresh' content='{int(refresh_s)}'>",
+        "<title>PXDB cost observatory</title>",
+        f"<style>{_STYLE}</style></head><body>",
+        f"<h1>PXDB cost observatory {_pill(overall)}</h1>",
+        f"<p class='muted'>version {_esc(version) or '?'} · uptime "
+        f"{uptime:.0f}s · refreshes every {int(refresh_s)}s · "
+        f"rendered {_esc(time.strftime('%H:%M:%S'))}</p>",
+        "<div class='grid'>",
+    ]
+
+    # -- SLO burn rates -------------------------------------------------------
+    slo_rows = []
+    for row in slo.get("slos", ()):
+        burns = row.get("burn", {})
+        slo_rows.append([
+            _esc(row.get("route")),
+            _esc(row.get("objective")),
+            f"{row.get('budget', 0) * 100:.3g}%",
+            f"{burns.get('5m', 0):.2f}",
+            f"{burns.get('1h', 0):.2f}",
+            _pill(row.get("state", "ok")),
+        ])
+    parts.append(
+        "<div><h2>SLO burn rates</h2>"
+        + _table(["route", "objective", "budget", "burn 5m", "burn 1h", "state"],
+                 slo_rows, numeric_from=2)
+        + "</div>"
+    )
+
+    # -- request latencies ----------------------------------------------------
+    latency_rows = []
+    for op, summary in sorted(metrics.get("latency", {}).items()):
+        latency_rows.append([
+            _esc(op),
+            f"{summary.get('count', 0)}",
+            f"{summary.get('mean_ms', 0):.2f}",
+            f"{summary.get('p50_ms', 0):.2f}",
+            f"{summary.get('p99_ms', 0):.2f}",
+        ])
+    parts.append(
+        "<div><h2>Request latency (ms)</h2>"
+        + _table(["op", "count", "mean", "p50", "p99"], latency_rows)
+        + "</div>"
+    )
+
+    parts.append("</div><div class='grid'>")
+
+    # -- most expensive entries ----------------------------------------------
+    entry_rows = []
+    for row in costs.get("entries", ())[:10]:
+        entry_rows.append([
+            _esc(row.get("route")),
+            _esc(row.get("db")),
+            _esc(row.get("shard")),
+            f"{row.get('requests', 0):g}",
+            f"{row.get('cost_units', 0):.0f}",
+            f"{row.get('nodes_computed', 0):.0f}",
+            f"{row.get('gates', 0):.0f}",
+            f"{row.get('duration_ms', 0):.1f}",
+        ])
+    parts.append(
+        "<div><h2>Most expensive entries (route · db · shard)</h2>"
+        + _table(["route", "db", "shard", "req", "cost units", "dp nodes",
+                  "gates", "total ms"], entry_rows, numeric_from=3)
+        + "</div>"
+    )
+
+    # -- most expensive requests ---------------------------------------------
+    request_rows = []
+    for row in costs.get("top_requests", ())[:10]:
+        request_rows.append([
+            f"<a style='color:#58a6ff' href='/trace/{_esc(row.get('trace_id'))}'>"
+            f"{_esc(str(row.get('trace_id'))[:16])}</a>",
+            _esc(row.get("route")),
+            _esc(row.get("db") or "-"),
+            f"{row.get('cost_units', 0):.0f}",
+            f"{row.get('max_sig_width', 0)}",
+            f"{row.get('duration_ms', 0):.2f}",
+        ])
+    parts.append(
+        "<div><h2>Most expensive requests</h2>"
+        + _table(["trace", "route", "db", "cost units", "sig width", "ms"],
+                 request_rows, numeric_from=3)
+        + "</div>"
+    )
+
+    parts.append("</div>")
+
+    # -- recent slow traces ---------------------------------------------------
+    trace_rows = []
+    for row in traces[:15]:
+        trace_rows.append([
+            f"<a style='color:#58a6ff' href='/trace/{_esc(row.get('trace_id'))}'>"
+            f"{_esc(str(row.get('trace_id'))[:16])}</a>",
+            _esc(row.get("name")),
+            _esc(row.get("status")),
+            f"{row.get('spans', 0)}",
+            f"{row.get('duration_ms', 0):.2f}",
+        ])
+    parts.append(
+        "<h2>Slowest recent traces</h2>"
+        + _table(["trace", "root", "status", "spans", "ms"],
+                 trace_rows, numeric_from=3)
+    )
+
+    counters = metrics.get("counters", {})
+    if counters:
+        top = sorted(counters.items(), key=lambda kv: -kv[1])[:16]
+        counter_rows = [[_esc(name), f"{value}"] for name, value in top]
+        parts.append(
+            "<h2>Counters</h2>" + _table(["counter", "value"], counter_rows)
+        )
+
+    parts.append(
+        "<p class='muted'>endpoints: <a style='color:#58a6ff' href='/metrics'>"
+        "/metrics</a> · <a style='color:#58a6ff' href='/costs'>/costs</a> · "
+        "<a style='color:#58a6ff' href='/slo'>/slo</a> · "
+        "<a style='color:#58a6ff' href='/profile?format=collapsed'>/profile</a>"
+        " · <a style='color:#58a6ff' href='/traces'>/traces</a></p>"
+    )
+    parts.append("</body></html>")
+    return "".join(parts)

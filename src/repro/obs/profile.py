@@ -1,0 +1,216 @@
+"""Span-folded profiling: collapsed-stack profiles without a profiler.
+
+A finished trace is already a call tree — each span knows its parent,
+its wall time and how much of it the children cover.  Folding every
+finished trace into cumulative ``root;child;grandchild`` paths therefore
+yields a flamegraph-compatible profile of where request time goes
+(*self* time per span path), at zero extra cost on the hot path: the
+fold runs on the tracer's trace-finish hook, off the request thread's
+critical section.
+
+:class:`SpanProfiler` keeps those cumulative paths (count / self-ms /
+total-ms per path) and renders Brendan Gregg's collapsed format —
+``path;segments value`` lines, value in integer microseconds of self
+time — which ``flamegraph.pl``, speedscope and friends all ingest.
+
+When tracing is off there are no spans to fold, so
+:class:`StackSampler` provides the fallback: a background thread that
+samples every Python thread's stack via ``sys._current_frames()`` at a
+fixed interval and folds the frames into the same collapsed shape.
+Sampling is wait-free for the profiled threads (the sampler only reads
+frame objects) and costs nothing when not started.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+from typing import Iterable
+
+from .spans import build_tree
+
+
+def _fold_tree(node: dict, prefix: str, into: dict, max_paths: int) -> None:
+    path = f"{prefix};{node['name']}" if prefix else node["name"]
+    children = node.get("children", ())
+    duration = max(node["duration_ms"], 0.0)
+    covered = sum(max(child["duration_ms"], 0.0) for child in children)
+    self_ms = max(duration - covered, 0.0)
+    stats = into.get(path)
+    if stats is None:
+        if len(into) >= max_paths:
+            return  # bounded: pathological traces cannot grow without limit
+        stats = into[path] = [0, 0.0, 0.0]
+    stats[0] += 1
+    stats[1] += self_ms
+    stats[2] += duration
+    for child in children:
+        _fold_tree(child, path, into, max_paths)
+
+
+class SpanProfiler:
+    """Cumulative collapsed-stack profile folded from finished traces.
+
+    ``add_trace(root, spans)`` matches the tracer's trace-finish observer
+    signature; everything else reads the accumulated ``path →
+    (count, self_ms, total_ms)`` table.
+    """
+
+    def __init__(self, max_paths: int = 4096):
+        self.max_paths = max_paths
+        self._lock = threading.Lock()
+        self._paths: dict[str, list] = {}
+        self.traces_folded = 0
+
+    def add_trace(self, root: dict, spans: list[dict]) -> None:
+        forest = build_tree(spans if spans else [root])
+        folded: dict[str, list] = {}
+        for tree_root in forest:
+            _fold_tree(tree_root, "", folded, self.max_paths)
+        with self._lock:
+            self.traces_folded += 1
+            for path, (count, self_ms, total_ms) in folded.items():
+                stats = self._paths.get(path)
+                if stats is None:
+                    if len(self._paths) >= self.max_paths:
+                        continue
+                    stats = self._paths[path] = [0, 0.0, 0.0]
+                stats[0] += count
+                stats[1] += self_ms
+                stats[2] += total_ms
+
+    def reset(self) -> None:
+        with self._lock:
+            self._paths.clear()
+            self.traces_folded = 0
+
+    def snapshot(self) -> dict:
+        """JSON payload: rows sorted by self time, heaviest first."""
+        with self._lock:
+            rows = [
+                {
+                    "path": path,
+                    "count": count,
+                    "self_ms": round(self_ms, 3),
+                    "total_ms": round(total_ms, 3),
+                }
+                for path, (count, self_ms, total_ms) in self._paths.items()
+            ]
+            folded = self.traces_folded
+        rows.sort(key=lambda row: -row["self_ms"])
+        return {"source": "spans", "traces_folded": folded, "paths": rows}
+
+    def collapsed(self) -> str:
+        """The flamegraph collapsed format: one ``path value`` line per
+        span path, value in integer microseconds of cumulative self time
+        (zero-self paths are kept at their fold count so pure-dispatch
+        frames still appear)."""
+        with self._lock:
+            items = sorted(self._paths.items())
+        lines = []
+        for path, (count, self_ms, _total) in items:
+            value = int(self_ms * 1000)
+            lines.append(f"{path} {value if value > 0 else count}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+class StackSampler:
+    """Background thread-stack sampler — the profile source of last
+    resort when tracing (and therefore span folding) is disabled.
+
+    Samples ``sys._current_frames()`` every ``interval`` seconds and
+    folds each thread's frame stack into ``module.function`` collapsed
+    paths keyed oldest-frame-first.  Values are sample counts (convert
+    to time by multiplying by the interval).
+    """
+
+    def __init__(self, interval: float = 0.01, max_paths: int = 4096,
+                 max_depth: int = 64):
+        self.interval = interval
+        self.max_paths = max_paths
+        self.max_depth = max_depth
+        self._lock = threading.Lock()
+        self._paths: dict[str, int] = {}
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self.samples = 0
+
+    # -- lifecycle ------------------------------------------------------------
+    def start(self) -> "StackSampler":
+        if self._thread is not None and self._thread.is_alive():
+            return self
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="pxdb-stack-sampler", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=1.0)
+            self._thread = None
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    # -- sampling -------------------------------------------------------------
+    def _run(self) -> None:
+        me = threading.get_ident()
+        while not self._stop.wait(self.interval):
+            self.sample_once(skip_idents=(me,))
+
+    def sample_once(self, skip_idents: Iterable[int] = ()) -> int:
+        """Take one sample of every live thread stack; returns the number
+        of stacks folded (exposed for deterministic tests)."""
+        skip = set(skip_idents)
+        folded = 0
+        frames = sys._current_frames()
+        for ident, frame in frames.items():
+            if ident in skip:
+                continue
+            stack = []
+            depth = 0
+            while frame is not None and depth < self.max_depth:
+                code = frame.f_code
+                module = code.co_filename.rsplit("/", 1)[-1]
+                if module.endswith(".py"):
+                    module = module[:-3]
+                stack.append(f"{module}.{code.co_name}")
+                frame = frame.f_back
+                depth += 1
+            if not stack:
+                continue
+            path = ";".join(reversed(stack))
+            folded += 1
+            with self._lock:
+                if path in self._paths or len(self._paths) < self.max_paths:
+                    self._paths[path] = self._paths.get(path, 0) + 1
+        with self._lock:
+            self.samples += 1
+        return folded
+
+    # -- exposition -----------------------------------------------------------
+    def snapshot(self) -> dict:
+        with self._lock:
+            rows = [
+                {"path": path, "count": count}
+                for path, count in self._paths.items()
+            ]
+            samples = self.samples
+        rows.sort(key=lambda row: -row["count"])
+        return {
+            "source": "stacks",
+            "samples": samples,
+            "interval_s": self.interval,
+            "paths": rows,
+        }
+
+    def collapsed(self) -> str:
+        with self._lock:
+            items = sorted(self._paths.items())
+        return "\n".join(f"{path} {count}" for path, count in items) + (
+            "\n" if items else ""
+        )

@@ -1,0 +1,249 @@
+"""Declarative per-route SLOs with multi-window burn-rate evaluation.
+
+An SLO here is the SRE-workbook shape: a latency objective ("p99 of
+``/query`` under 50 ms") plus an error objective ("under 0.1% errors"),
+each with an implied *error budget* — the fraction of requests allowed
+to miss (1 − quantile for latency, the error rate itself for errors).
+The **burn rate** over a trailing window is how fast that budget is
+being consumed: ``bad_fraction / budget``.  Burn 1.0 spends exactly the
+budget; burn 14.4 exhausts a 30-day budget in ~2 days.
+
+Alerting uses the classic multi-window scheme: a state trips only when
+the burn exceeds the threshold over **both** a fast window (5 m — quick
+detection, quick reset) and a slow window (1 h — immune to blips).
+Thresholds default to the workbook's page ≈ 14.4 and warn ≈ 6.
+
+Evaluation is pull-based and cheap: :class:`SLOMonitor` snapshots the
+service's existing latency histograms and error counters (no new
+instrumentation) whenever ``/slo``, ``/health`` or ``/metrics`` is
+served, keeps a bounded history of cumulative snapshots, and
+differentiates across it to get windowed fractions.  Bucket boundaries
+make the latency check conservative: only observations in buckets whose
+upper bound is at or below the threshold count as good.
+
+Specs parse from CLI strings — ``repro serve --slo query=p99:50ms:0.1%``
+— via :func:`parse_slo`; :data:`DEFAULT_SLOS` covers the stock routes
+with generous budgets so the dashboard has state out of the box.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+import time
+from collections import deque
+
+#: (label, seconds) — fast and slow evaluation windows.
+WINDOWS = (("5m", 300.0), ("1h", 3600.0))
+
+#: Burn-rate thresholds (SRE workbook: 14.4 ≈ 2% of a 30-day budget per
+#: hour; 6 ≈ 5% per 6 hours).
+PAGE_BURN = 14.4
+WARN_BURN = 6.0
+
+_STATE_ORDER = {"ok": 0, "warn": 1, "page": 2}
+
+_SPEC_RE = re.compile(
+    r"^(?P<route>[A-Za-z0-9_.\-]+)=p(?P<quantile>\d{1,2}(?:\.\d+)?):"
+    r"(?P<threshold>\d+(?:\.\d+)?)(?P<unit>ms|s):"
+    r"(?P<errors>\d+(?:\.\d+)?)%$"
+)
+
+
+def parse_slo(spec: str) -> dict:
+    """``"query=p99:50ms:0.1%"`` → an SLO dict (route, quantile,
+    threshold_ms, latency budget, error budget).  Raises ``ValueError``
+    with the expected grammar on malformed input."""
+    match = _SPEC_RE.match(spec.strip())
+    if match is None:
+        raise ValueError(
+            f"invalid SLO spec {spec!r} — expected"
+            " <route>=p<quantile>:<threshold>(ms|s):<error-rate>%,"
+            " e.g. query=p99:50ms:0.1%"
+        )
+    quantile = float(match["quantile"]) / 100.0
+    if not 0.0 < quantile < 1.0:
+        raise ValueError(f"invalid SLO quantile in {spec!r}")
+    threshold_ms = float(match["threshold"]) * (1000.0 if match["unit"] == "s" else 1.0)
+    error_budget = float(match["errors"]) / 100.0
+    if not 0.0 < error_budget < 1.0:
+        raise ValueError(f"invalid SLO error budget in {spec!r}")
+    return {
+        "route": match["route"],
+        "quantile": quantile,
+        "threshold_ms": threshold_ms,
+        "latency_budget": round(1.0 - quantile, 10),
+        "error_budget": error_budget,
+    }
+
+
+def default_slos() -> dict[str, dict]:
+    """Stock objectives for the built-in routes — deliberately loose
+    (p99 within 1 s, 5% errors): they exist so burn-rate state renders
+    out of the box, not to page anyone on a laptop."""
+    return {
+        op: parse_slo(f"{op}=p99:1000ms:5%")
+        for op in ("sat", "query", "topk", "sample", "approx")
+    }
+
+
+class SLOMonitor:
+    """Burn-rate evaluation of a set of SLOs against a ``Metrics`` sink.
+
+    ``clock`` is injectable for tests (defaults to ``time.monotonic``).
+    ``min_requests`` is the low-traffic guard: a window with fewer
+    completed requests never trips warn/page (one slow request out of
+    three is noise, not a burning budget) — its burn is still reported.
+    """
+
+    def __init__(
+        self,
+        metrics,
+        slos: dict[str, dict] | None = None,
+        clock=time.monotonic,
+        min_requests: int = 10,
+        min_tick_s: float = 1.0,
+    ):
+        self.metrics = metrics
+        self.slos = dict(default_slos() if slos is None else slos)
+        self._clock = clock
+        self.min_requests = min_requests
+        self.min_tick_s = min_tick_s
+        self._lock = threading.Lock()
+        # route → deque of (t, total, good_latency, errors) cumulative rows.
+        self._history: dict[str, deque] = {
+            route: deque() for route in self.slos
+        }
+        self._last_tick: float | None = None
+
+    # -- sampling -------------------------------------------------------------
+    def tick(self, now: float | None = None) -> None:
+        """Append one cumulative snapshot per route (rate-limited to one
+        per ``min_tick_s``; callers can tick on every scrape)."""
+        now = self._clock() if now is None else now
+        with self._lock:
+            if (
+                self._last_tick is not None
+                and now - self._last_tick < self.min_tick_s
+            ):
+                return
+            self._last_tick = now
+            horizon = now - WINDOWS[-1][1] - 60.0
+            for route, slo in self.slos.items():
+                good, total = self.metrics.latency_within(
+                    route, slo["threshold_ms"] / 1000.0
+                )
+                errors = self.metrics.counter(f"{route}.errors")
+                history = self._history[route]
+                history.append((now, total, good, errors))
+                while history and history[0][0] < horizon:
+                    history.popleft()
+
+    # -- evaluation -----------------------------------------------------------
+    def _window_delta(self, history, now: float, window_s: float):
+        """Cumulative delta across the trailing window: latest snapshot
+        minus the newest snapshot at or before ``now − window_s`` (or the
+        oldest available — a truncated window — when history is young)."""
+        latest = history[-1]
+        cutoff = now - window_s
+        baseline = history[0]
+        for row in history:
+            if row[0] <= cutoff:
+                baseline = row
+            else:
+                break
+        return (
+            latest[1] - baseline[1],  # requests completed in window
+            latest[2] - baseline[2],  # of which within the threshold
+            latest[3] - baseline[3],  # errors in window
+        )
+
+    def evaluate(self, now: float | None = None) -> list[dict]:
+        """Tick, then report both objectives of every SLO: windowed burn
+        rates and the multi-window alert state."""
+        now = self._clock() if now is None else now
+        self.tick(now)
+        with self._lock:
+            histories = {
+                route: list(history) for route, history in self._history.items()
+            }
+        report: list[dict] = []
+        for route, slo in sorted(self.slos.items()):
+            history = histories.get(route)
+            if not history:
+                continue
+            windows: dict[str, tuple] = {
+                label: self._window_delta(history, now, seconds)
+                for label, seconds in WINDOWS
+            }
+            for objective, budget in (
+                ("latency", slo["latency_budget"]),
+                ("errors", slo["error_budget"]),
+            ):
+                burns: dict[str, float] = {}
+                eligible = True
+                for label, (total, good, errors) in windows.items():
+                    if total <= 0:
+                        burns[label] = 0.0
+                        eligible = False
+                        continue
+                    bad = (total - good) if objective == "latency" else errors
+                    burns[label] = round((bad / total) / budget, 4)
+                    if total < self.min_requests:
+                        eligible = False
+                state = "ok"
+                if eligible and all(b >= PAGE_BURN for b in burns.values()):
+                    state = "page"
+                elif eligible and all(b >= WARN_BURN for b in burns.values()):
+                    state = "warn"
+                report.append(
+                    {
+                        "route": route,
+                        "objective": objective,
+                        "quantile": slo["quantile"],
+                        "threshold_ms": slo["threshold_ms"],
+                        "budget": budget,
+                        "burn": burns,
+                        "window_requests": {
+                            label: windows[label][0] for label in burns
+                        },
+                        "state": state,
+                    }
+                )
+        return report
+
+    def payload(self, now: float | None = None) -> dict:
+        """The ``/slo`` response body."""
+        report = self.evaluate(now)
+        worst = "ok"
+        for row in report:
+            if _STATE_ORDER[row["state"]] > _STATE_ORDER[worst]:
+                worst = row["state"]
+        return {
+            "state": worst,
+            "page_burn": PAGE_BURN,
+            "warn_burn": WARN_BURN,
+            "windows": {label: seconds for label, seconds in WINDOWS},
+            "min_requests": self.min_requests,
+            "slos": report,
+        }
+
+    def state(self, now: float | None = None) -> str:
+        """The worst alert state across every objective (for ``/health``)."""
+        return self.payload(now)["state"]
+
+    def prometheus_rows(self, now: float | None = None) -> list[tuple]:
+        """``pxdb_slo_*`` rows — (name, labels, value, type) 4-tuples."""
+        rows: list[tuple] = []
+        for item in self.evaluate(now):
+            base = {"route": item["route"], "objective": item["objective"]}
+            rows.append(("pxdb_slo_budget", base, item["budget"], "gauge"))
+            rows.append(
+                ("pxdb_slo_state", base, _STATE_ORDER[item["state"]], "gauge")
+            )
+            for label, burn in item["burn"].items():
+                rows.append(
+                    ("pxdb_slo_burn_rate", {**base, "window": label},
+                     burn, "gauge")
+                )
+        return rows

@@ -108,6 +108,45 @@ class ServiceClient:
             raise ServiceError(str(body.get("error", "service error")))
         return body
 
+    def _request_text(self, path: str, params: dict | None = None) -> str:
+        """GET a text-rendering route (``/profile?format=collapsed``,
+        ``/debug/dashboard``) — same retry policy as idempotent JSON
+        calls, but the body is returned verbatim."""
+        attempts = self.retries + 1
+        for attempt in range(attempts):
+            try:
+                return self._request_text_once(path, params)
+            except ServiceError as error:
+                if error.status is not None or attempt == attempts - 1:
+                    raise
+                delay = self.backoff * (2 ** attempt)
+                time.sleep(delay * (0.5 + random.random() / 2))
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _request_text_once(self, path: str, params: dict | None) -> str:
+        url = self.base_url + path
+        if params:
+            url += "?" + urlencode(params)
+        try:
+            with urlrequest.urlopen(url, timeout=self.timeout) as response:
+                return response.read().decode("utf-8")
+        except urlerror.HTTPError as error:
+            try:
+                message = json.loads(error.read().decode("utf-8")).get(
+                    "error", str(error)
+                )
+            except (ValueError, OSError):
+                message = str(error)
+            raise ServiceError(message, status=error.code) from None
+        except urlerror.URLError as error:
+            raise ServiceError(
+                f"cannot reach service at {self.base_url}: {error.reason}"
+            ) from None
+        except (ConnectionResetError, ConnectionRefusedError) as error:
+            raise ServiceError(
+                f"cannot reach service at {self.base_url}: {error}"
+            ) from None
+
     # -- the three problems ---------------------------------------------------
     def sat(self, db: str) -> Fraction:
         """Pr(P ⊨ C) of the stored PXDB, exact."""
@@ -216,6 +255,27 @@ class ServiceClient:
     def health_info(self) -> dict:
         """The full /health payload (status, version, tracing flag)."""
         return self._request("/health")
+
+    # -- cost observatory -----------------------------------------------------
+    def costs(self) -> dict:
+        """The /costs payload: per-(route, db, shard) aggregates plus the
+        most expensive entries and requests."""
+        return self._request("/costs")
+
+    def slo(self) -> dict:
+        """The /slo payload: burn rates and alert state per objective."""
+        return self._request("/slo")
+
+    def profile(self, fmt: str = "collapsed", source: str | None = None):
+        """The cumulative profile — a collapsed-stack string when ``fmt``
+        is ``"collapsed"`` (flamegraph-compatible), the JSON payload
+        otherwise.  ``source`` forces ``"spans"`` or ``"stacks"``."""
+        params: dict = {"format": fmt}
+        if source is not None:
+            params["source"] = source
+        if fmt == "collapsed":
+            return self._request_text("/profile", params)
+        return self._request("/profile", params)
 
     # -- tracing --------------------------------------------------------------
     def trace(self, trace_id: str) -> dict:

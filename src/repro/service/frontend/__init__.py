@@ -61,6 +61,7 @@ def build_sharded_service(
     default_backend: str = "exact",
     pool_timeout: float = 30.0,
     queue_limit: int | None = None,
+    slos: dict | None = None,
 ):
     """A :class:`~repro.service.server.PXDBService` wired for the async
     front end: sharded pool + batch scheduler over ``store``.
@@ -106,4 +107,5 @@ def build_sharded_service(
         scheduler=scheduler,
         slow_ms=slow_ms,
         default_backend=default_backend,
+        slos=slos,
     )

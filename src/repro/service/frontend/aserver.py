@@ -36,6 +36,7 @@ from ..server import (
     PXDBService,
     _message as _key_message,
     dispatch_route,
+    text_content_type,
     wants_prometheus,
 )
 
@@ -138,7 +139,10 @@ class AsyncHTTPFrontend:
                 )
                 if isinstance(payload, str):
                     data = _encode_response(
-                        status, payload.encode("utf-8"), _PROMETHEUS_TYPE, keep_alive
+                        status,
+                        payload.encode("utf-8"),
+                        text_content_type(urlparse(target).path),
+                        keep_alive,
                     )
                 else:
                     data = _encode_response(

@@ -173,9 +173,18 @@ class BatchScheduler:
 
     def _run_batch(self, db: str, batch: list[tuple[dict, Future]]) -> None:
         requests = [request for request, _ in batch]
+        span_attrs = {}
+        if TRACER.enabled:
+            # Per-op composition of the batch: cost attribution splits the
+            # joint pass across routes proportionally to these counts.
+            ops: dict[str, int] = {}
+            for request in requests:
+                key = str(request.get("op", "?"))
+                ops[key] = ops.get(key, 0) + 1
+            span_attrs["ops"] = ops
         try:
             with TRACER.span(
-                "scheduler.batch", db=db, requests=len(batch)
+                "scheduler.batch", db=db, requests=len(batch), **span_attrs
             ):
                 payloads = self.runner(db, requests)
             if len(payloads) != len(batch):

@@ -15,7 +15,7 @@ from __future__ import annotations
 import re
 import threading
 import time
-from bisect import bisect_left
+from bisect import bisect_left, bisect_right
 from typing import Iterable
 
 from ..obs.spans import TRACER
@@ -200,6 +200,19 @@ class Metrics:
         with self._lock:
             return self._counters.get(name, 0)
 
+    def latency_within(self, name: str, threshold_s: float) -> tuple[int, int]:
+        """``(observations at or under threshold, total observations)``
+        for the named latency histogram — the SLO engine's good/total
+        split.  Conservative at bucket granularity: only buckets whose
+        upper bound is ≤ ``threshold_s`` count as good, so a threshold
+        inside a bucket treats that whole bucket as bad."""
+        with self._lock:
+            histogram = self._histograms.get(name)
+            if histogram is None:
+                return 0, 0
+            index = bisect_right(histogram.buckets, threshold_s)
+            return sum(histogram.counts[:index]), histogram.count
+
     def snapshot(self) -> dict:
         with self._lock:
             latency = {}
@@ -222,16 +235,18 @@ class Metrics:
             return payload
 
     def render_prometheus(
-        self, extra: Iterable[tuple[str, dict, float]] = ()
+        self, extra: Iterable[tuple] = ()
     ) -> str:
         """The Prometheus text exposition (format 0.0.4) of this sink.
 
         Counters become ``pxdb_<name>_total``; each latency histogram
         becomes a classic ``pxdb_request_duration_seconds`` series (with
         *cumulative* ``le`` buckets, as the format requires — the internal
-        buckets are disjoint).  ``extra`` rows — (metric name, label dict,
-        value) — are appended as gauges; the service uses them for store,
-        circuit and pool statistics.
+        buckets are disjoint).  ``extra`` rows are (metric name, label
+        dict, value) triples rendered as gauges, or (name, labels, value,
+        type) 4-tuples for explicitly typed series (the cost observatory
+        emits counters this way).  Every metric gets exactly one
+        ``# HELP`` and one ``# TYPE`` line, before its first sample.
         """
         with self._lock:
             counters = sorted(self._counters.items())
@@ -246,17 +261,27 @@ class Metrics:
                 for name, histogram in sorted(self._values.items())
             ]
             uptime = time.time() - self.started_at
-        lines = [
-            "# TYPE pxdb_uptime_seconds gauge",
-            f"pxdb_uptime_seconds {_format_value(uptime)}",
-        ]
+        lines: list[str] = []
+        described: set[str] = set()
+
+        def header(metric: str, kind: str) -> None:
+            # One HELP + TYPE pair per metric, before its first sample —
+            # repeated headers are illegal in the exposition format.
+            if metric in described:
+                return
+            described.add(metric)
+            lines.append(f"# HELP {metric} {_help_text(metric, kind)}")
+            lines.append(f"# TYPE {metric} {kind}")
+
+        header("pxdb_uptime_seconds", "gauge")
+        lines.append(f"pxdb_uptime_seconds {_format_value(uptime)}")
         for name, value in counters:
             metric = f"pxdb_{_sanitize(name)}_total"
-            lines.append(f"# TYPE {metric} counter")
+            header(metric, "counter")
             lines.append(f"{metric} {value}")
         if histograms:
             metric = "pxdb_request_duration_seconds"
-            lines.append(f"# TYPE {metric} histogram")
+            header(metric, "histogram")
             for name, route, buckets, counts, count, total in histograms:
                 label = f'op="{_sanitize(name)}"'
                 if route is not None:
@@ -273,7 +298,7 @@ class Metrics:
                 lines.append(f"{metric}_count{{{label}}} {count}")
         for name, buckets, counts, count, total in values:
             metric = f"pxdb_{_sanitize(name)}"
-            lines.append(f"# TYPE {metric} histogram")
+            header(metric, "histogram")
             cumulative = 0
             for bound, bucket_count in zip(buckets, counts):
                 cumulative += bucket_count
@@ -283,18 +308,65 @@ class Metrics:
             lines.append(f'{metric}_bucket{{le="+Inf"}} {count}')
             lines.append(f"{metric}_sum {_format_value(total)}")
             lines.append(f"{metric}_count {count}")
-        for name, labels, value in extra:
+        # Extras must be grouped by metric: a metric's samples have to be
+        # contiguous under a single header, and callers interleave
+        # per-label rows (e.g. per-shard gauges).
+        grouped: dict[str, tuple[str, list]] = {}
+        for row in extra:
+            name, labels, value = row[0], row[1], row[2]
+            kind = row[3] if len(row) > 3 else "gauge"
             metric = _sanitize(name)
-            rendered = ",".join(
-                f'{key}="{_escape_label(item)}"'
-                for key, item in sorted(labels.items())
-            )
-            lines.append(f"# TYPE {metric} gauge")
-            lines.append(
-                f"{metric}{{{rendered}}} {_format_value(value)}"
-                if rendered else f"{metric} {_format_value(value)}"
-            )
+            grouped.setdefault(metric, (kind, []))[1].append((labels, value))
+        for metric, (kind, samples) in grouped.items():
+            header(metric, kind)
+            for labels, value in samples:
+                rendered = ",".join(
+                    f'{key}="{_escape_label(item)}"'
+                    for key, item in sorted(labels.items())
+                )
+                lines.append(
+                    f"{metric}{{{rendered}}} {_format_value(value)}"
+                    if rendered else f"{metric} {_format_value(value)}"
+                )
         return "\n".join(lines) + "\n"
+
+
+# Curated HELP strings for the families a dashboard actually reads;
+# everything else falls back to a generated one-liner so the exposition
+# is always complete (every series carries # HELP and # TYPE).
+_HELP = {
+    "pxdb_uptime_seconds": "Seconds since this metrics sink was created.",
+    "pxdb_request_duration_seconds":
+        "Request latency in seconds, by op and HTTP route.",
+    "pxdb_scheduler_batch_size":
+        "Requests packed per joint scheduler batch.",
+    "pxdb_cost_requests_total":
+        "Requests attributed per route, PXDB entry and shard.",
+    "pxdb_cost_units_total":
+        "Structural work units (DP nodes + gates + edges + samples) attributed.",
+    "pxdb_cost_nodes_computed_total":
+        "DP subtree signature distributions computed, attributed per route/db/shard.",
+    "pxdb_cost_max_sig_width":
+        "Widest signature distribution seen for this route/db/shard.",
+    "pxdb_slo_burn_rate":
+        "Error-budget burn rate over the trailing window (1.0 = budget pace).",
+    "pxdb_slo_state":
+        "SLO alert state: 0 ok, 1 warn, 2 page.",
+    "pxdb_slo_budget": "Configured error budget (fraction of requests).",
+}
+
+
+def _help_text(metric: str, kind: str) -> str:
+    text = _HELP.get(metric)
+    if text is not None:
+        return text
+    stem = metric[5:] if metric.startswith("pxdb_") else metric
+    if kind == "counter":
+        stem = stem[:-6] if stem.endswith("_total") else stem
+        return f"Monotonic count of {stem.replace('_', ' ')}."
+    if kind == "histogram":
+        return f"Distribution of {stem.replace('_', ' ')}."
+    return f"Current {stem.replace('_', ' ')}."
 
 
 def _sanitize(name: str) -> str:

@@ -52,7 +52,11 @@ from ..numeric import BACKEND_NAMES, GUARD, maybe_positive
 from ..numeric import value_fields as _value_fields
 from ..numeric.backends import Interval
 from ..obs import package_version
+from ..obs.cost import CostObservatory
+from ..obs.dashboard import render_dashboard
 from ..obs.logs import get_logger
+from ..obs.profile import SpanProfiler, StackSampler
+from ..obs.slo import SLOMonitor
 from ..obs.spans import TRACER, build_tree
 from ..xmltree.serialize import document_from_xml, document_to_xml
 from .metrics import Metrics
@@ -590,6 +594,7 @@ class PXDBService:
         slow_ms: float | None = None,
         default_backend: str = "exact",
         scheduler=None,
+        slos: dict | None = None,
     ):
         self.store = store if store is not None else DocumentStore()
         self.metrics = metrics if metrics is not None else Metrics()
@@ -607,6 +612,34 @@ class PXDBService:
         self.slow_ms = slow_ms
         self._slow_requests: deque[dict] = deque(maxlen=64)
         self.version = package_version()
+        # Cost observatory: every finished trace is folded into per-(route,
+        # db, shard) resource attribution and a cumulative span profile via
+        # the tracer's trace-finish hook.  The hook holds the bound method
+        # weakly, so a dropped service deregisters itself.
+        self.costs = CostObservatory(shard_resolver=self._shard_for)
+        self.profiler = SpanProfiler()
+        # Fallback profile source when tracing is off: a thread-stack
+        # sampler, started lazily by the first /profile request that has
+        # no span data to fold.
+        self.stack_sampler = StackSampler()
+        self.slo = SLOMonitor(self.metrics, slos)
+        TRACER.on_trace_finish(self._harvest_trace)
+
+    def _harvest_trace(self, root: dict, spans: list[dict]) -> None:
+        """Tracer trace-finish observer: one fold feeds both the cost
+        observatory and the span profiler."""
+        self.costs.harvest(root, spans)
+        self.profiler.add_trace(root, spans)
+
+    def _shard_for(self, db: str) -> int | None:
+        """The shard an entry is pinned to (sharded pools only)."""
+        router = getattr(self.pool, "router", None)
+        if router is None:
+            return None
+        try:
+            return router.shard_for(db)
+        except Exception:  # noqa: BLE001 — attribution must never raise
+            return None
 
     @contextmanager
     def _request(self, op: str, **attrs):
@@ -894,6 +927,50 @@ class PXDBService:
             "tracing": TRACER.stats(),
         }
 
+    def costs_payload(self) -> dict:
+        """Per-request cost attribution (/costs): aggregate rows per
+        (route, db, shard) plus top-N most expensive entries/requests."""
+        return {"tracing": TRACER.enabled, **self.costs.snapshot()}
+
+    def slo_payload(self) -> dict:
+        """Burn-rate state of every configured SLO (/slo)."""
+        return self.slo.payload()
+
+    def profile_payload(self, fmt: str | None = None, source: str | None = None):
+        """The cumulative profile (/profile[?format=collapsed][&source=…]).
+
+        Source selection: the span-folded profile whenever span data
+        exists (tracing on, or folded earlier); otherwise the thread-stack
+        sampler, started lazily on first use.  ``format=collapsed``
+        returns flamegraph-compatible text instead of JSON.
+        """
+        if source not in (None, "spans", "stacks"):
+            raise ValueError(f"unknown profile source {source!r}")
+        use_spans = source == "spans" or (
+            source is None and (TRACER.enabled or self.profiler.traces_folded)
+        )
+        if use_spans:
+            provider = self.profiler
+        else:
+            provider = self.stack_sampler
+            if not provider.running:
+                provider.start()
+        if fmt == "collapsed":
+            return provider.collapsed()
+        if fmt not in (None, "json"):
+            raise ValueError(f"unknown profile format {fmt!r}")
+        return provider.snapshot()
+
+    def dashboard_html(self) -> str:
+        """The self-contained /debug/dashboard page."""
+        return render_dashboard(
+            self.metrics.snapshot(),
+            self.slo.payload(),
+            self.costs.snapshot(),
+            TRACER.traces(limit=15),
+            version=self.version,
+        )
+
     def metrics_payload(self) -> dict:
         payload = self.metrics.snapshot()
         payload["version"] = self.version
@@ -933,6 +1010,8 @@ class PXDBService:
             payload["pool_workers"] = self.pool.worker_stats(timeout=1.0)
         if self.scheduler is not None:
             payload["scheduler"] = self.scheduler.stats()
+        payload["slo"] = self.slo.payload()
+        payload["costs"] = {"records": self.costs.records_harvested}
         return payload
 
     def metrics_prometheus(self) -> str:
@@ -991,6 +1070,8 @@ class PXDBService:
                 extra.append((f"pxdb_pool_workers_store_{key}", {}, value))
             for key, value in workers["summed"]["engines"].items():
                 extra.append((f"pxdb_pool_workers_engine_{key}", {}, value))
+        extra += self.costs.prometheus_rows()
+        extra += self.slo.prometheus_rows()
         return self.metrics.render_prometheus(extra)
 
     # -- internals ------------------------------------------------------------
@@ -1099,11 +1180,22 @@ def route_payload(service: PXDBService, route: str, params: dict,
         if prometheus:
             return service.metrics_prometheus()
         return service.metrics_payload()
+    if route == "/costs":
+        return service.costs_payload()
+    if route == "/slo":
+        return service.slo_payload()
+    if route == "/profile":
+        return service.profile_payload(
+            fmt=params.get("format"), source=params.get("source")
+        )
+    if route == "/debug/dashboard":
+        return service.dashboard_html()
     if route == "/health":
         return {
             "status": "ok",
             "version": service.version,
             "tracing": TRACER.enabled,
+            "slo": service.slo.state(),
         }
     raise _NoSuchRoute(route)
 
@@ -1148,6 +1240,17 @@ def wants_prometheus(params: dict, accept: str | None) -> bool:
     )
 
 
+def text_content_type(route: str) -> str:
+    """Content type for a route's *text* (non-JSON) payload — shared by
+    both front ends so /metrics scrapes, collapsed profiles and the HTML
+    dashboard all negotiate identically."""
+    if route == "/debug/dashboard":
+        return "text/html; charset=utf-8"
+    if route == "/metrics":
+        return "text/plain; version=0.0.4; charset=utf-8"
+    return "text/plain; charset=utf-8"
+
+
 # -- the HTTP skin ------------------------------------------------------------
 
 class _Handler(BaseHTTPRequestHandler):
@@ -1183,7 +1286,7 @@ class _Handler(BaseHTTPRequestHandler):
             self.service, route, params, prometheus=prometheus
         )
         if isinstance(body, str):
-            self._send_text(status, body)
+            self._send_text(status, body, text_content_type(route))
         else:
             self._send(status, body)
 
@@ -1195,10 +1298,15 @@ class _Handler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
-    def _send_text(self, status: int, text: str) -> None:
+    def _send_text(
+        self,
+        status: int,
+        text: str,
+        content_type: str = "text/plain; version=0.0.4; charset=utf-8",
+    ) -> None:
         body = text.encode("utf-8")
         self.send_response(status)
-        self.send_header("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
@@ -1232,6 +1340,7 @@ def make_server(
     verbose: bool = False,
     slow_ms: float | None = None,
     default_backend: str = "exact",
+    slos: dict | None = None,
 ) -> ThreadingHTTPServer:
     """A bound (not yet serving) threaded HTTP server over ``service``.
 
@@ -1242,7 +1351,7 @@ def make_server(
     if not isinstance(service, PXDBService):
         service = PXDBService(
             service, metrics=metrics, pool=pool, slow_ms=slow_ms,
-            default_backend=default_backend,
+            default_backend=default_backend, slos=slos,
         )
     server = ThreadingHTTPServer((host, port), _Handler)
     server.daemon_threads = True
@@ -1281,6 +1390,7 @@ def serve_forever(
     pool: EvaluationPool | None = None,
     drain_timeout: float = 5.0,
     on_bound=None,
+    slos: dict | None = None,
 ) -> None:
     """Blocking serve loop for the CLI.
 
@@ -1294,7 +1404,7 @@ def serve_forever(
     """
     server = make_server(
         service, host, port, verbose=verbose, slow_ms=slow_ms,
-        pool=pool, default_backend=default_backend,
+        pool=pool, default_backend=default_backend, slos=slos,
     )
     service = server.service  # type: ignore[attr-defined] — the wrapped one
 

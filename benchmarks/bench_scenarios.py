@@ -1,0 +1,115 @@
+"""E17 — the scenario matrix as a measurement corpus.
+
+Certifies the shipped standard matrix (pairwise coverage of the declared
+feature axes, the acceptance floor is 95%) and times the evaluator
+across *all* scenario shapes at once: the joint exact DP pass and the
+float64 pass over every instance's condition + events, plus one bounded
+differential fuzz sweep proving the whole corpus agrees across backends.
+
+This is the module that turns BENCH_* claims from "measured on the
+university workload" into "measured across dozens of scenario shapes".
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.evaluator import probabilities
+from repro.core.formulas import conjunction
+from repro.workloads.fuzz import FuzzConfig, run_fuzz
+from repro.workloads.scenarios import CoverageLedger, standard_matrix
+
+
+def _instance_formulas(instance):
+    condition = instance.condition
+    return [condition] + [
+        conjunction([condition, event]) for event in instance.dp_events
+    ]
+
+
+def test_matrix_pairwise_coverage(scenario_matrix, report, record):
+    ledger = CoverageLedger()
+    for instance in scenario_matrix:
+        ledger.record(instance.features, tag=instance.spec.name)
+    coverage = ledger.coverage()
+    assert coverage >= 0.95, ledger.unhit()
+    sizes = [instance.pdoc.size() for instance in scenario_matrix]
+    record(
+        "matrix_coverage",
+        counters={
+            "specs": len(scenario_matrix),
+            "pairs_total": len(ledger.universe),
+            "pairs_hit": len(ledger.hit),
+            "min_nodes": min(sizes),
+            "max_nodes": max(sizes),
+        },
+        coverage=coverage,
+    )
+    report(
+        f"E17 scenarios  pairwise coverage: {len(scenario_matrix)} shapes  "
+        f"{len(ledger.hit)}/{len(ledger.universe)} feature pairs "
+        f"({coverage:.1%})  {min(sizes)}-{max(sizes)} nodes"
+    )
+
+
+def test_matrix_exact_vs_float64_sweep(scenario_matrix, report, record):
+    corpus = [
+        (instance, _instance_formulas(instance))
+        for instance in scenario_matrix
+    ]
+    started = time.perf_counter()
+    exact = [
+        probabilities(instance.pdoc, formulas)
+        for instance, formulas in corpus
+    ]
+    exact_s = time.perf_counter() - started
+    started = time.perf_counter()
+    floats = [
+        probabilities(instance.pdoc, formulas, backend="float64")
+        for instance, formulas in corpus
+    ]
+    float_s = time.perf_counter() - started
+    # The differential contract holds across every shape in the corpus.
+    for exact_row, float_row in zip(exact, floats):
+        for reference, value in zip(exact_row, float_row):
+            target = float(reference)
+            assert abs(value - target) <= 1e-9 * max(abs(target), 1e-12)
+    speedup = exact_s / float_s if float_s > 0 else float("inf")
+    formula_count = sum(len(formulas) for _, formulas in corpus)
+    record(
+        "matrix_exact_vs_float64",
+        wall_s=exact_s,
+        counters={"instances": len(corpus), "formulas": formula_count},
+        speedup=speedup,
+    )
+    report(
+        f"E17 scenarios  joint DP across the matrix: {formula_count} formulas "
+        f"over {len(corpus)} shapes  exact {exact_s * 1e3:.1f} ms  "
+        f"float64 {float_s * 1e3:.1f} ms  ({speedup:.1f}x)"
+    )
+
+
+def test_matrix_differential_sweep_zero_disagreements(report, record):
+    started = time.perf_counter()
+    result = run_fuzz(
+        seed=17,
+        budget=len(standard_matrix()),
+        config=FuzzConfig(check_approx=False),
+        artifact_dir=None,
+    )
+    wall_s = time.perf_counter() - started
+    assert result.disagreements == 0, [
+        (f.stage, f.spec.name, f.seed) for f in result.failures
+    ]
+    record(
+        "matrix_differential_sweep",
+        wall_s=wall_s,
+        counters={
+            "instances": result.instances,
+            **{f"checks_{k}": v for k, v in result.checks.items()},
+        },
+    )
+    report(
+        f"E17 scenarios  differential sweep: {result.instances} instances  "
+        f"0 disagreements  {wall_s:.2f} s"
+    )

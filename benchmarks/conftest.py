@@ -34,6 +34,17 @@ _RECORDERS: dict[str, benchrec.BenchRecorder] = {}
 
 
 @pytest.fixture(scope="session")
+def scenario_matrix():
+    """The shipped pairwise-covering scenario matrix (one instance per
+    spec, generated at a fixed seed) — the standard corpus every
+    benchmark area can measure against instead of the single university
+    workload.  See docs/WORKLOADS.md."""
+    from repro.workloads.scenarios import generate, standard_matrix
+
+    return [generate(spec, seed=17) for spec in standard_matrix()]
+
+
+@pytest.fixture(scope="session")
 def report():
     """Collect human-readable experiment rows (printed at session end)."""
 

@@ -613,6 +613,89 @@ def _cmd_stats(args) -> int:
     return 0
 
 
+def _cmd_fuzz(args) -> int:
+    import json as _json
+    from pathlib import Path
+
+    from .service.metrics import Metrics
+    from .workloads.fuzz import FuzzConfig, load_spec_file, run_fuzz
+    from .workloads.scenarios import CoverageLedger, standard_matrix
+
+    if args.list:
+        matrix = standard_matrix()
+        ledger = CoverageLedger()
+        for spec in matrix:
+            ledger.record(spec.features, tag=spec.name)
+        for spec in matrix:
+            print(spec.name)
+        print(
+            f"{len(matrix)} specs, pairwise coverage "
+            f"{ledger.coverage():.1%} ({len(ledger.hit)}/"
+            f"{len(ledger.universe)} pairs)"
+        )
+        return 0
+
+    seed = args.seed
+    if args.spec and args.spec != "standard":
+        specs, artifact_seed = load_spec_file(args.spec)
+        if seed is None:
+            seed = artifact_seed
+    else:
+        specs = None
+    if seed is None:
+        seed = 0
+
+    config = FuzzConfig.from_backends(
+        args.backends.split(",") if args.backends else None,
+        max_enum_edges=args.max_enum_edges,
+    )
+    metrics = Metrics()
+
+    def progress(index: int, report) -> None:
+        if (index + 1) % 25 == 0:
+            print(
+                f"  {report.instances} instances, "
+                f"{report.disagreements} disagreements, "
+                f"coverage {report.ledger.coverage():.1%}"
+            )
+
+    report = run_fuzz(
+        specs=specs,
+        seed=seed,
+        budget=args.budget,
+        config=config,
+        artifact_dir=args.artifacts,
+        metrics=metrics,
+        time_budget=args.time_budget,
+        progress=progress if args.budget >= 25 else None,
+    )
+    if args.ledger:
+        path = Path(args.ledger)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            _json.dumps(report.as_dict(), indent=2) + "\n", encoding="utf-8"
+        )
+        print(f"ledger written to {path}")
+    print(
+        f"fuzz: {report.instances} instances (seed {seed}), "
+        f"{report.disagreements} disagreements, "
+        f"pairwise coverage {report.ledger.coverage():.1%}"
+        + (", TRUNCATED by time budget" if report.truncated else "")
+    )
+    for stage, count in report.checks.items():
+        skipped = report.skipped.get(stage, 0)
+        note = f" ({skipped} skipped)" if skipped else ""
+        print(f"  {stage:>9}: {count} checks{note}")
+    for failure in report.failures:
+        print(
+            f"  DISAGREEMENT [{failure.stage}] spec {failure.spec.name} "
+            f"seed {failure.seed} -> {failure.artifact_path}"
+        )
+    if args.metrics:
+        print(metrics.render_prometheus(), end="")
+    return 1 if report.failures else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -1044,6 +1127,76 @@ def build_parser() -> argparse.ArgumentParser:
         help="(profile) write the profile here instead of stdout",
     )
     p.set_defaults(func=_cmd_obs)
+
+    p = sub.add_parser(
+        "fuzz",
+        help="coverage-guided differential fuzzing over the scenario "
+        "matrix (docs/WORKLOADS.md)",
+    )
+    p.add_argument(
+        "--spec",
+        metavar="FILE",
+        help="scenario spec source: 'standard' (default) for the shipped "
+        "matrix, or a JSON file (a spec object, a list of specs, or a "
+        "fuzz failure artifact — artifacts carry their seed)",
+    )
+    p.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="run seed; instance i is generated at seed+i "
+        "(default 0, or the artifact's seed with --spec <artifact>)",
+    )
+    p.add_argument(
+        "--budget",
+        type=int,
+        default=200,
+        help="number of instances to generate and check (default 200)",
+    )
+    p.add_argument(
+        "--backends",
+        metavar="LIST",
+        help="comma-separated stages to enable: float64,interval,auto,"
+        "circuit,batch,approx or 'all' (default all)",
+    )
+    p.add_argument(
+        "--max-enum-edges",
+        type=int,
+        default=10,
+        metavar="N",
+        help="run the possible-worlds baseline only on instances with at "
+        "most N distributional edges (default 10)",
+    )
+    p.add_argument(
+        "--time-budget",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="stop generating new instances after this many seconds",
+    )
+    p.add_argument(
+        "--artifacts",
+        default="tests/artifacts",
+        metavar="DIR",
+        help="where shrunk failure artifacts go (default tests/artifacts)",
+    )
+    p.add_argument(
+        "--ledger",
+        metavar="FILE",
+        help="write the full JSON report (coverage ledger included) here",
+    )
+    p.add_argument(
+        "--list",
+        action="store_true",
+        help="print the standard scenario matrix and its pairwise "
+        "coverage, then exit",
+    )
+    p.add_argument(
+        "--metrics",
+        action="store_true",
+        help="dump pxdb_fuzz_* counters in Prometheus format after the run",
+    )
+    p.set_defaults(func=_cmd_fuzz)
 
     return parser
 

@@ -1,1 +1,44 @@
-"""Workload generators: the paper's running example and synthetic scaling inputs."""
+"""Workload generators: the paper's running example, synthetic scaling
+inputs, the schema-driven scenario matrix and the differential fuzz
+harness built on it."""
+
+from .fuzz import (
+    FuzzConfig,
+    FuzzDisagreement,
+    FuzzReport,
+    check_instance,
+    run_fuzz,
+    shrink_spec,
+)
+from .random_gen import DEFAULT_SEED, seeded_rng
+from .scenarios import (
+    AXES,
+    CoverageLedger,
+    GenerationError,
+    ScenarioInstance,
+    ScenarioSpec,
+    all_pairs,
+    generate,
+    matrix_instances,
+    standard_matrix,
+)
+
+__all__ = [
+    "AXES",
+    "DEFAULT_SEED",
+    "seeded_rng",
+    "CoverageLedger",
+    "FuzzConfig",
+    "FuzzDisagreement",
+    "FuzzReport",
+    "GenerationError",
+    "ScenarioInstance",
+    "ScenarioSpec",
+    "all_pairs",
+    "check_instance",
+    "generate",
+    "matrix_instances",
+    "run_fuzz",
+    "shrink_spec",
+    "standard_matrix",
+]

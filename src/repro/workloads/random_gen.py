@@ -4,6 +4,13 @@ The differential test-suite (evaluator vs. possible-worlds baseline,
 sampler vs. exact conditional distribution) draws its instances here.
 Everything is driven by a caller-supplied ``random.Random``, so hypothesis
 can feed seeds and shrinking stays meaningful.
+
+Determinism contract: no helper in this package may touch the
+module-level ``random`` functions — under pytest-xdist (or any other
+import-order shuffling) the shared global state would make "same seed ⇒
+same instance" false.  Callers that want a default stream use
+:func:`seeded_rng`; ``tests/test_random_gen_determinism.py`` audits the
+package source for violations.
 """
 
 from __future__ import annotations
@@ -27,6 +34,17 @@ from ..xmltree.pattern import CHILD, DESC, Pattern, PatternNode
 from ..xmltree.predicates import ANY, LabelEquals
 
 DEFAULT_LABELS = ("a", "b", "c")
+
+#: The seed behind every *defaulted* rng in this package.
+DEFAULT_SEED = 0
+
+
+def seeded_rng(seed: int = DEFAULT_SEED) -> random.Random:
+    """A fresh, independent ``random.Random(seed)`` — the only sanctioned
+    way to default an rng parameter in this package (a bare
+    ``random.Random()`` would seed from the OS and break reproducibility;
+    the module-level ``random`` functions share cross-test state)."""
+    return random.Random(seed)
 
 
 def random_pdocument(

@@ -1,0 +1,689 @@
+"""Schema-driven scenario matrix: declarative p-document + constraint specs.
+
+Every benchmark and correctness claim before this module was measured
+against the university workload plus a handful of small synthetics —
+entire regions of the paper's feature space (node kinds ind/mux/exp ×
+constraint forms × aggregate types × depth/fanout regimes) were never
+exercised *together*.  This module closes that gap with three pieces:
+
+* :class:`ScenarioSpec` — a declarative, schema-like description of one
+  scenario shape: one value per **feature axis** (:data:`AXES`).  Specs
+  are plain data (JSON round-trippable), so a failing fuzz artifact can
+  name the exact shape that produced it.
+* :func:`generate` — a deterministic, seedable generator that turns a
+  spec into a concrete :class:`ScenarioInstance`: a validated p-document,
+  a satisfiable constraint set of the requested form, and event formulas
+  of the requested aggregate type.  Same ``(spec, seed)`` ⇒ byte-identical
+  instance, on any machine, under any test sharding.
+* :class:`CoverageLedger` + :func:`standard_matrix` — pairwise coverage
+  accounting over the declared axes.  The standard matrix is a greedy
+  pairwise-covering design (the ``xsdcoverage`` mindset: target coverage
+  of feature *pairs*, not the full cartesian product) that benchmarks,
+  the fuzz harness (:mod:`repro.workloads.fuzz`) and CI all reuse; the
+  ledger reports which feature pairs each emitted instance covers and
+  which remain unhit.
+
+Instances stay deliberately small: the differential harness cross-checks
+them against the exponential possible-worlds baseline, so a scenario is
+useful exactly when its world set is enumerable.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+from fractions import Fraction
+from functools import lru_cache
+from typing import Iterable, Iterator
+
+from ..core.constraints import Constraint, always, constraints_formula
+from ..core.evaluator import probability
+from ..core.formulas import (
+    AvgAtom,
+    CountAtom,
+    MaxAtom,
+    MinAtom,
+    RatioAtom,
+    SFormula,
+    SumAtom,
+    exists,
+    negation,
+)
+from ..pdoc.pdocument import EXP, IND, MUX, ORD, PDocument, PNode
+from ..xmltree.parser import parse_selector
+from .random_gen import random_formula, random_selector
+
+#: The declared feature axes.  Order matters twice: it is the canonical
+#: spec-field order, and within each axis the FIRST value is the
+#: *simplest* — the fuzz harness shrinks failing specs toward it.
+AXES: dict[str, tuple[str, ...]] = {
+    "kinds": ("ind", "mux", "exp", "mixed"),
+    "depth": ("shallow", "deep"),
+    "fanout": ("narrow", "wide"),
+    "mass": ("uniform", "skewed", "extreme", "reestimated"),
+    "constraint": ("none", "atmost", "atleast", "implication", "cformula"),
+    "aggregate": ("count", "boolean", "minmax", "ratio", "sum"),
+}
+
+#: Content labels of generated documents (the root is always ``"r"``).
+LABELS = ("a", "b", "c")
+
+
+class GenerationError(ValueError):
+    """A generated instance violated its spec's laws *on emission*.
+
+    Raised by the generator itself — with the offending spec ``axis``
+    named — instead of letting a malformed p-document fail deep inside
+    the evaluator where the spec context is long gone.
+    """
+
+    def __init__(self, message: str, *, axis: str | None = None,
+                 spec: "ScenarioSpec | None" = None, seed: int | None = None):
+        detail = message
+        if axis is not None:
+            detail += f" [axis: {axis}]"
+        if spec is not None:
+            detail += f" [spec: {spec.name}]"
+        if seed is not None:
+            detail += f" [seed: {seed}]"
+        super().__init__(detail)
+        self.axis = axis
+        self.spec = spec
+        self.seed = seed
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One scenario shape: a value for every feature axis."""
+
+    kinds: str = "ind"
+    depth: str = "shallow"
+    fanout: str = "narrow"
+    mass: str = "uniform"
+    constraint: str = "none"
+    aggregate: str = "count"
+
+    def __post_init__(self):
+        for axis, values in AXES.items():
+            value = getattr(self, axis)
+            if value not in values:
+                raise GenerationError(
+                    f"unknown value {value!r} (choose from {', '.join(values)})",
+                    axis=axis,
+                )
+
+    @property
+    def name(self) -> str:
+        return "-".join(getattr(self, axis) for axis in AXES)
+
+    @property
+    def features(self) -> dict[str, str]:
+        return {axis: getattr(self, axis) for axis in AXES}
+
+    def to_dict(self) -> dict[str, str]:
+        return self.features
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ScenarioSpec":
+        unknown = set(data) - set(AXES)
+        if unknown:
+            raise GenerationError(
+                f"unknown spec axis {sorted(unknown)[0]!r} "
+                f"(declared axes: {', '.join(AXES)})",
+                axis=sorted(unknown)[0],
+            )
+        return cls(**{axis: str(value) for axis, value in data.items()})
+
+    def simplified(self, axis: str) -> "ScenarioSpec":
+        """This spec with ``axis`` reset to its simplest value."""
+        return replace(self, **{axis: AXES[axis][0]})
+
+
+@dataclass(frozen=True)
+class ScenarioInstance:
+    """A concrete generated instance of one spec."""
+
+    spec: ScenarioSpec
+    seed: int
+    pdoc: PDocument
+    constraints: tuple
+    #: Events the polynomial evaluator / circuits / numeric backends accept.
+    dp_events: tuple
+    #: NP-hard events (SUM/AVG, Proposition 7.2): enumeration + approx only.
+    hard_events: tuple
+
+    @property
+    def features(self) -> dict[str, str]:
+        return self.spec.features
+
+    @property
+    def condition(self):
+        return constraints_formula(self.constraints)
+
+    def dist_edges(self) -> int:
+        return len(self.pdoc.dist_edges())
+
+    def summary(self) -> dict:
+        return {
+            "spec": self.spec.to_dict(),
+            "seed": self.seed,
+            "nodes": self.pdoc.size(),
+            "ordinary": self.pdoc.ordinary_size(),
+            "dist_edges": self.dist_edges(),
+            "constraints": len(self.constraints),
+            "dp_events": len(self.dp_events),
+            "hard_events": len(self.hard_events),
+        }
+
+
+# -- emission validation ------------------------------------------------------
+
+#: Which axis a given emission-law violation indicts.
+_LAW_AXIS = {
+    "structure": "fanout",
+    "probability": "mass",
+    "mux-sum": "mass",
+    "exp-distribution": "kinds",
+}
+
+
+def check_emitted(
+    pdoc: PDocument,
+    spec: ScenarioSpec | None = None,
+    seed: int | None = None,
+) -> None:
+    """Validate a generated p-document against the emission laws:
+    distributional nodes are internal, every probability lies in (0, 1],
+    mux children's probabilities sum to at most 1, and exp nodes carry a
+    non-empty subset distribution summing to exactly 1 in which every
+    child appears.  Raises :class:`GenerationError` naming the offending
+    spec axis instead of failing deep in the evaluator."""
+
+    def fail(law: str, message: str) -> None:
+        raise GenerationError(message, axis=_LAW_AXIS[law], spec=spec, seed=seed)
+
+    if pdoc.root.kind != ORD:
+        fail("structure", "the root must be an ordinary node")
+    for node in pdoc.nodes():
+        if node.kind == ORD:
+            continue
+        if not node.children:
+            fail("structure", f"distributional node {node!r} is a leaf")
+        if node.kind in (IND, MUX):
+            if len(node.probs) != len(node.children):
+                fail("structure", f"{node.kind} node has unweighted children")
+            for prob in node.probs:
+                if not 0 < prob <= 1:
+                    fail("probability",
+                         f"edge probability {prob} outside (0, 1]")
+            if node.kind == MUX and sum(node.probs) > 1:
+                fail("mux-sum",
+                     f"mux child probabilities sum to {sum(node.probs)} > 1")
+        else:  # EXP
+            if not node.subsets:
+                fail("exp-distribution", "exp node has an empty subset list")
+            total = Fraction(0)
+            covered: set[int] = set()
+            for subset, prob in node.subsets:
+                if not 0 < prob <= 1:
+                    fail("probability",
+                         f"exp subset weight {prob} outside (0, 1]")
+                total += prob
+                covered |= subset
+            if total != 1:
+                fail("exp-distribution",
+                     f"exp subset weights sum to {total}, not 1")
+            if covered != set(range(len(node.children))):
+                fail("exp-distribution",
+                     "some exp child appears in no positive-weight subset")
+
+
+# -- the generator ------------------------------------------------------------
+
+_DEPTH_LIMIT = {"shallow": 2, "deep": 4}
+_FANOUT_RANGE = {"narrow": (1, 2), "wide": (2, 4)}
+_ORD_BUDGET = {
+    ("shallow", "narrow"): 7,
+    ("shallow", "wide"): 12,
+    ("deep", "narrow"): 11,
+    ("deep", "wide"): 16,
+}
+
+
+def _sf(text: str) -> SFormula:
+    pattern, node = parse_selector(text)
+    return SFormula(pattern, node)
+
+
+def _edge_prob(rng: random.Random, mass: str) -> Fraction:
+    """One probability in (0, 1] of the requested mass shape."""
+    if mass == "uniform":
+        return Fraction(1, 2)
+    if mass == "skewed":
+        return rng.choice(
+            (Fraction(9, 10), Fraction(9, 10), Fraction(4, 5), Fraction(1, 8))
+        )
+    if mass == "extreme":
+        return rng.choice(
+            (Fraction(1, 64), Fraction(63, 64), Fraction(1), Fraction(1, 1024))
+        )
+    # reestimated: 6-significant-digit rationals — the regime where exact
+    # Fraction denominators blow up (see tests/strategies.py).
+    return Fraction(rng.randrange(1, 999_999), 1_000_000)
+
+
+def _mux_probs(rng: random.Random, mass: str, count: int) -> list[Fraction]:
+    """``count`` positive weights summing to at most 1 (exactly, in
+    Fractions), shaped by the mass axis."""
+    if mass == "uniform":
+        return [Fraction(1, count + 1)] * count
+    raw = [_edge_prob(rng, mass) for _ in range(count)]
+    if mass == "reestimated":
+        target = Fraction(rng.randrange(500_000, 999_999), 1_000_000)
+    else:
+        target = Fraction(1)
+    total = sum(raw)
+    return [value * target / total for value in raw]
+
+
+def _exp_distribution(
+    rng: random.Random, mass: str, count: int
+) -> list[tuple[tuple[int, ...], Fraction]]:
+    """A subset distribution over ``count`` children: 2–4 distinct
+    subsets, every child covered, positive weights summing to exactly 1."""
+    indices = list(range(count))
+    subsets: list[frozenset[int]] = []
+    seen: set[frozenset[int]] = set()
+    for _ in range(rng.randint(2, 3)):
+        subset = frozenset(i for i in indices if rng.random() < 0.6)
+        if subset not in seen:
+            seen.add(subset)
+            subsets.append(subset)
+    covered = set().union(*subsets) if subsets else set()
+    for index in indices:
+        if index not in covered:
+            singleton = frozenset((index,))
+            if singleton not in seen:
+                seen.add(singleton)
+                subsets.append(singleton)
+    if all(not subset for subset in subsets):
+        subsets.append(frozenset(indices))
+    raw = [_edge_prob(rng, mass) for _ in subsets]
+    total = sum(raw)
+    return [
+        (tuple(sorted(subset)), value / total)
+        for subset, value in zip(subsets, raw)
+    ]
+
+
+def _grow_pdocument(spec: ScenarioSpec, rng: random.Random) -> PDocument:
+    depth_limit = _DEPTH_LIMIT[spec.depth]
+    fan_lo, fan_hi = _FANOUT_RANGE[spec.fanout]
+    budget = [_ORD_BUDGET[(spec.depth, spec.fanout)]]
+    numeric = spec.aggregate in ("minmax", "sum")
+
+    def pick_kind() -> str:
+        if spec.kinds == "mixed":
+            return rng.choice((IND, MUX, EXP))
+        return spec.kinds
+
+    def pick_label(leaf: bool):
+        if numeric and leaf and rng.random() < 0.5:
+            return rng.randint(1, 6)
+        return rng.choice(LABELS)
+
+    root = PNode(ORD, "r")
+
+    def grow(node: PNode, depth: int, force_deep: bool) -> None:
+        if depth >= depth_limit or budget[0] <= 0:
+            return
+        children = rng.randint(fan_lo, fan_hi)
+        for slot in range(children):
+            if budget[0] <= 0:
+                break
+            deeper = force_deep and slot == 0
+            # Interior slots favor a distributional node; the forced-deep
+            # spine keeps at least one ordinary chain so the document
+            # really reaches the regime's depth.
+            if rng.random() < 0.6 and not (deeper and depth + 1 >= depth_limit):
+                kind = pick_kind()
+                dist = PNode(kind)
+                node._attach(dist)
+                fanout = rng.randint(1, max(fan_hi - 1, 1))
+                for _ in range(fanout):
+                    if budget[0] <= 0 and dist.children:
+                        break
+                    child = PNode(ORD, pick_label(leaf=depth + 1 >= depth_limit))
+                    if kind in (IND, MUX):
+                        dist._children.append(child)
+                        child._parent = dist
+                    else:
+                        dist.add_exp_child(child)
+                    budget[0] -= 1
+                    grow(child, depth + 1, deeper)
+                if kind in (IND, MUX):
+                    if kind == IND:
+                        dist.probs = [
+                            _edge_prob(rng, spec.mass) for _ in dist.children
+                        ]
+                    else:
+                        dist.probs = _mux_probs(
+                            rng, spec.mass, len(dist.children)
+                        )
+                else:
+                    dist.set_exp_distribution(
+                        _exp_distribution(rng, spec.mass, len(dist.children))
+                    )
+                dist.invalidate_fingerprints()
+            else:
+                child = PNode(ORD, pick_label(leaf=depth + 1 >= depth_limit))
+                node._attach(child)
+                budget[0] -= 1
+                grow(child, depth + 1, deeper)
+
+    grow(root, 0, force_deep=spec.depth == "deep")
+    if not root.children:  # degenerate draw: guarantee one dist node
+        dist = PNode(spec.kinds if spec.kinds != "mixed" else IND)
+        root._attach(dist)
+        leaf = PNode(ORD, pick_label(leaf=True))
+        if dist.kind in (IND, MUX):
+            dist._children.append(leaf)
+            leaf._parent = dist
+            dist.probs = (
+                [_edge_prob(rng, spec.mass)]
+                if dist.kind == IND
+                else _mux_probs(rng, spec.mass, 1)
+            )
+        else:
+            dist.add_exp_child(leaf)
+            dist.set_exp_distribution(_exp_distribution(rng, spec.mass, 1))
+        dist.invalidate_fingerprints()
+    if numeric and not any(
+        isinstance(node.label, int) for node in _ordinary(root)
+    ):
+        # Guarantee at least one numeric leaf for MIN/MAX/SUM events.
+        leaves = [n for n in _ordinary(root) if not n.children and n is not root]
+        target = leaves[-1] if leaves else root
+        if target is not root:
+            target.label = rng.randint(1, 6)
+            target.invalidate_fingerprints()
+        else:
+            extra = PNode(ORD, rng.randint(1, 6))
+            root._attach(extra)
+    return PDocument(root)
+
+
+def _ordinary(root: PNode) -> Iterator[PNode]:
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        if node.kind == ORD:
+            yield node
+        stack.extend(reversed(node.children))
+
+
+# -- constraints per form -----------------------------------------------------
+
+def _string_labels(pdoc: PDocument) -> list[str]:
+    present = {
+        node.label
+        for node in pdoc.ordinary_nodes()
+        if isinstance(node.label, str) and node.label != "r"
+    }
+    return sorted(present) or list(LABELS[:1])
+
+
+def _satisfiable(pdoc: PDocument, constraints: Iterable) -> bool:
+    return probability(pdoc, constraints_formula(tuple(constraints))) > 0
+
+
+def _make_constraints(
+    spec: ScenarioSpec, rng: random.Random, pdoc: PDocument
+) -> tuple:
+    """A constraint set of the requested form that keeps the PXDB
+    well-defined (Pr(P ⊨ C) > 0) — candidates are tried in a
+    deterministic order and relaxed until satisfiable."""
+    if spec.constraint == "none":
+        return ()
+    labels = _string_labels(pdoc)
+    scope_label = rng.choice(labels)
+    target_label = rng.choice(labels)
+    scopes = [_sf("$*"), _sf(f"*//${scope_label}")]
+    target = _sf(f"*//${target_label}")
+
+    if spec.constraint == "atmost":
+        start = rng.randint(0, 2)
+        for scope in scopes:
+            for bound in range(start, start + 8):
+                candidate = always(scope, target, "<=", bound, name="S-atmost")
+                if _satisfiable(pdoc, [candidate]):
+                    return (candidate,)
+        # CNT ≤ (ordinary size) holds in every world.
+        return (always(scopes[0], target, "<=", pdoc.ordinary_size(),
+                       name="S-atmost"),)
+
+    if spec.constraint == "atleast":
+        for scope in scopes:
+            for bound in (2, 1):
+                candidate = always(scope, target, ">=", bound, name="S-atleast")
+                if _satisfiable(pdoc, [candidate]):
+                    return (candidate,)
+        return (always(scopes[0], target, ">=", 0, name="S-atleast"),)
+
+    if spec.constraint == "implication":
+        antecedent = _sf(f"*//${rng.choice(labels)}")
+        op2, n2 = rng.choice((("<=", 1), ("<=", 2), (">=", 1)))
+        for scope in scopes:
+            for relax in range(4):
+                bound = n2 + relax if op2 == "<=" else max(n2 - relax, 0)
+                candidate = Constraint(
+                    scope, antecedent, ">=", 1, target, op2, bound,
+                    name="S-implication",
+                )
+                if _satisfiable(pdoc, [candidate]):
+                    return (candidate,)
+        return (Constraint(scopes[0], antecedent, ">=", 1, target, "<=",
+                           pdoc.ordinary_size(), name="S-implication"),)
+
+    # cformula: Section 7.1 — an arbitrary c-formula as the constraint.
+    for _ in range(8):
+        candidate = random_formula(rng, labels=tuple(labels))
+        if _satisfiable(pdoc, [candidate]):
+            return (candidate,)
+    return (CountAtom([_sf("$*")], ">=", 0),)
+
+
+# -- events per aggregate type ------------------------------------------------
+
+_ALL_NODES = ("$*", "*//$*")
+
+
+def _make_events(
+    spec: ScenarioSpec, rng: random.Random, pdoc: PDocument
+) -> tuple[tuple, tuple]:
+    """(dp_events, hard_events) of the requested aggregate type."""
+    labels = _string_labels(pdoc)
+    label = rng.choice(labels)
+    every = [_sf(text) for text in _ALL_NODES]
+
+    if spec.aggregate == "count":
+        return (
+            CountAtom([_sf(f"*//${label}")], rng.choice(("<=", ">=", "=")),
+                      rng.randint(0, 3)),
+            CountAtom(every, ">=", rng.randint(1, 4)),
+        ), ()
+    if spec.aggregate == "boolean":
+        pattern = random_selector(rng, labels=tuple(labels)).pattern
+        return (exists(pattern), negation(exists(pattern))), ()
+    if spec.aggregate == "minmax":
+        return (
+            MinAtom(every, rng.choice(("<=", ">")), rng.randint(1, 5)),
+            MaxAtom(every, rng.choice((">=", "<")), rng.randint(2, 6)),
+        ), ()
+    if spec.aggregate == "ratio":
+        inner = CountAtom([_sf("*//$*")], ">=", 1)
+        return (
+            RatioAtom([_sf(f"*//${label}")], inner,
+                      rng.choice(("<", ">=")), Fraction(rng.randint(0, 4), 4)),
+            CountAtom(every, ">=", rng.randint(1, 3)),
+        ), ()
+    # sum: the NP-hard side (Proposition 7.2) — enumeration/approx only,
+    # with one tractable companion event so circuits still get exercised.
+    hard = (
+        SumAtom(every, rng.choice((">=", "<=")), rng.randint(2, 12)),
+        AvgAtom(every, rng.choice((">=", "<")), Fraction(rng.randint(1, 8), 2)),
+    )
+    return (CountAtom(every, ">=", rng.randint(1, 4)),), hard
+
+
+def generate(spec: ScenarioSpec, seed: int) -> ScenarioInstance:
+    """Emit the instance of ``spec`` at ``seed``: deterministic, validated
+    on emission (:func:`check_emitted`), with a satisfiable constraint
+    set.  All randomness flows through one ``random.Random(seed)``."""
+    rng = random.Random(seed)
+    pdoc = _grow_pdocument(spec, rng)
+    check_emitted(pdoc, spec, seed)
+    constraints = _make_constraints(spec, rng, pdoc)
+    if constraints and not _satisfiable(pdoc, constraints):
+        raise GenerationError(
+            "generated constraint set is unsatisfiable (Pr(P |= C) = 0)",
+            axis="constraint", spec=spec, seed=seed,
+        )
+    dp_events, hard_events = _make_events(spec, rng, pdoc)
+    return ScenarioInstance(
+        spec=spec,
+        seed=seed,
+        pdoc=pdoc,
+        constraints=constraints,
+        dp_events=dp_events,
+        hard_events=hard_events,
+    )
+
+
+# -- pairwise coverage --------------------------------------------------------
+
+Pair = tuple[tuple[str, str], tuple[str, str]]
+
+
+def all_pairs(axes: dict[str, tuple[str, ...]] | None = None) -> set[Pair]:
+    """Every feature pair ((axis_a, value_a), (axis_b, value_b)) with
+    axis_a < axis_b — the pairwise coverage target set."""
+    axes = AXES if axes is None else axes
+    names = sorted(axes)
+    pairs: set[Pair] = set()
+    for i, a in enumerate(names):
+        for b in names[i + 1:]:
+            for va in axes[a]:
+                for vb in axes[b]:
+                    pairs.add(((a, va), (b, vb)))
+    return pairs
+
+
+def pairs_of(features: dict[str, str],
+             axes: dict[str, tuple[str, ...]] | None = None) -> set[Pair]:
+    """The feature pairs one instance (or spec) covers."""
+    axes = AXES if axes is None else axes
+    names = sorted(set(features) & set(axes))
+    covered: set[Pair] = set()
+    for i, a in enumerate(names):
+        for b in names[i + 1:]:
+            covered.add(((a, features[a]), (b, features[b])))
+    return covered
+
+
+class CoverageLedger:
+    """Pairwise-coverage accounting over the declared feature axes.
+
+    ``record`` folds one instance's features in and returns the pairs it
+    newly covered; ``report`` is the JSON-ready ledger the fuzz CLI and
+    CI artifacts persist: per-instance rows, the coverage fraction, and
+    the explicit list of feature pairs that remain unhit."""
+
+    def __init__(self, axes: dict[str, tuple[str, ...]] | None = None):
+        self.axes = dict(AXES if axes is None else axes)
+        self.universe = all_pairs(self.axes)
+        self.hit: set[Pair] = set()
+        self.rows: list[dict] = []
+
+    def record(self, features: dict[str, str], tag: str | None = None) -> set[Pair]:
+        covered = pairs_of(features, self.axes) & self.universe
+        new = covered - self.hit
+        self.hit |= covered
+        self.rows.append({
+            "tag": tag,
+            "features": dict(features),
+            "pairs": len(covered),
+            "new_pairs": len(new),
+        })
+        return new
+
+    def coverage(self) -> float:
+        if not self.universe:
+            return 1.0
+        return len(self.hit) / len(self.universe)
+
+    def unhit(self) -> list[Pair]:
+        return sorted(self.universe - self.hit)
+
+    def report(self) -> dict:
+        return {
+            "schema": "pxdb-fuzz-coverage/1",
+            "axes": {axis: list(values) for axis, values in self.axes.items()},
+            "total_pairs": len(self.universe),
+            "hit_pairs": len(self.hit),
+            "coverage": round(self.coverage(), 4),
+            "unhit": [
+                [list(first), list(second)] for first, second in self.unhit()
+            ],
+            "instances": self.rows,
+        }
+
+
+@lru_cache(maxsize=1)
+def standard_matrix() -> tuple[ScenarioSpec, ...]:
+    """The shipped scenario matrix: a deterministic greedy pairwise
+    covering design over :data:`AXES` (full pairwise coverage, dozens of
+    shapes instead of the 1600-spec cartesian product)."""
+    # Deterministic enumeration of the full cartesian product.
+    pool: list[dict[str, str]] = [{}]
+    for axis in list(AXES):
+        pool = [
+            {**partial, axis: value}
+            for partial in pool
+            for value in AXES[axis]
+        ]
+    specs = [ScenarioSpec(**features) for features in pool]
+    remaining = all_pairs()
+    chosen: list[ScenarioSpec] = []
+    while remaining:
+        best = None
+        best_gain = -1
+        for spec in specs:
+            gain = len(pairs_of(spec.features) & remaining)
+            if gain > best_gain:
+                best, best_gain = spec, gain
+        if best is None or best_gain == 0:  # pragma: no cover - full axes
+            break
+        chosen.append(best)
+        remaining -= pairs_of(best.features)
+    return tuple(chosen)
+
+
+def matrix_instances(
+    specs: Iterable[ScenarioSpec] | None = None,
+    seed: int = 0,
+    budget: int | None = None,
+) -> Iterator[ScenarioInstance]:
+    """Cycle the matrix, one fresh seed per instance: instance ``i`` uses
+    ``specs[i % len]`` at seed ``seed + i`` — the deterministic stream the
+    fuzz harness and the scenario benchmarks share."""
+    specs = tuple(standard_matrix() if specs is None else specs)
+    if not specs:
+        raise GenerationError("empty scenario matrix", axis="kinds")
+    count = 0
+    while budget is None or count < budget:
+        spec = specs[count % len(specs)]
+        yield generate(spec, seed + count)
+        count += 1
+        if budget is None and count >= len(specs):
+            return

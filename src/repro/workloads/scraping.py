@@ -27,6 +27,7 @@ from fractions import Fraction
 
 from ..xmltree.document import DocNode, Document
 from ..pdoc.pdocument import PDocument, PNode
+from .random_gen import seeded_rng
 
 
 class ScrapeModel:
@@ -92,7 +93,10 @@ def scrape(
     uids; spurious injections get fresh ones.
     """
     model = model if model is not None else ScrapeModel()
-    rng = rng if rng is not None else random.Random()
+    # Deterministic default: an OS-seeded random.Random() here made
+    # "scrape(truth) is reproducible" silently false (same seed ⇒ same
+    # instance is the package-wide contract).
+    rng = rng if rng is not None else seeded_rng()
 
     def build(node: DocNode, depth: int) -> PNode:
         ambiguous = (

@@ -342,3 +342,80 @@ def test_approx_bad_event(files, capsys):
     pdoc_path, _ = files
     assert main(["approx", str(pdoc_path), "-e", "nonsense"]) == 2
     assert "error:" in capsys.readouterr().err
+
+
+# -- fuzz subcommand ----------------------------------------------------------
+
+def test_fuzz_list(capsys):
+    assert main(["fuzz", "--list"]) == 0
+    out = capsys.readouterr().out
+    assert "pairwise coverage" in out
+    assert "specs" in out
+
+
+def test_fuzz_small_run_writes_ledger(tmp_path, capsys):
+    import json
+
+    ledger = tmp_path / "ledger.json"
+    assert (
+        main(
+            [
+                "fuzz",
+                "--seed", "3",
+                "--budget", "4",
+                "--artifacts", str(tmp_path / "artifacts"),
+                "--ledger", str(ledger),
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "4 instances" in out
+    assert "0 disagreements" in out
+    report = json.loads(ledger.read_text())
+    assert report["schema"] == "pxdb-fuzz-report/1"
+    assert report["instances"] == 4
+    assert report["disagreements"] == 0
+    assert report["coverage"]["total_pairs"] == 197
+
+
+def test_fuzz_metrics_flag_renders_counters(tmp_path, capsys):
+    assert (
+        main(
+            [
+                "fuzz",
+                "--budget", "2",
+                "--artifacts", str(tmp_path),
+                "--metrics",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "pxdb_fuzz_instances_total 2" in out
+
+
+def test_fuzz_spec_file_and_artifact_seed(tmp_path, capsys):
+    import json
+
+    spec_file = tmp_path / "spec.json"
+    spec_file.write_text(json.dumps({"spec": {"kinds": "mux"}, "seed": 9}))
+    assert (
+        main(
+            [
+                "fuzz",
+                "--spec", str(spec_file),
+                "--budget", "1",
+                "--artifacts", str(tmp_path / "artifacts"),
+            ]
+        )
+        == 0
+    )
+    assert "1 instances (seed 9)" in capsys.readouterr().out
+
+
+def test_fuzz_bad_spec_file_exits_2(tmp_path, capsys):
+    bogus = tmp_path / "bogus.json"
+    bogus.write_text('{"kinds": "quantum"}')
+    assert main(["fuzz", "--spec", str(bogus), "--budget", "1"]) == 2
+    assert "error:" in capsys.readouterr().err

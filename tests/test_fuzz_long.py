@@ -1,0 +1,42 @@
+"""The acceptance-grade fuzz run (ISSUE 10): 200 generated instances
+through the full differential suite with zero disagreements, at full
+pairwise coverage of the declared feature axes.
+
+Marked ``fuzz`` and excluded from tier-1 (see pyproject.toml); run with
+
+    PYTHONPATH=src python -m pytest tests/test_fuzz_long.py -m fuzz
+
+or equivalently ``repro fuzz --seed 2026 --budget 200``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service.metrics import Metrics
+from repro.workloads.fuzz import run_fuzz
+
+
+@pytest.mark.fuzz
+def test_two_hundred_instances_zero_disagreements(tmp_path):
+    metrics = Metrics()
+    report = run_fuzz(
+        seed=2026, budget=200, artifact_dir=tmp_path, metrics=metrics
+    )
+    assert report.instances == 200
+    assert report.disagreements == 0, [
+        (f.stage, f.spec.name, f.seed, f.detail) for f in report.failures
+    ]
+    # Every differential stage exercised many times over the run.
+    assert report.checks["exact-dp"] == 200
+    assert report.checks["float64"] == 200
+    assert report.checks["interval"] == 200
+    assert report.checks["auto"] == 200
+    assert report.checks["circuit"] == 200
+    assert report.checks["rebind"] == 200
+    assert report.checks["enum"] >= 150
+    assert report.checks["approx"] >= 150
+    # Full pairwise coverage of the declared axes (≥ 95% required).
+    assert report.ledger.coverage() >= 0.95
+    assert metrics.counter("fuzz.instances") == 200
+    assert not list(tmp_path.iterdir())

@@ -1,0 +1,121 @@
+"""Determinism regression tests for the workload generators.
+
+The package-wide contract (satellite of the fuzz PR): every generator is
+driven by one caller-supplied ``random.Random``, so "same seed ⇒ same
+instance" holds even under pytest-xdist, where module-level ``random``
+state would be advanced in nondeterministic interleavings.  These tests
+pin the behavior AND audit the package source so a stray ``random.foo()``
+call cannot creep back in.
+"""
+
+from __future__ import annotations
+
+import ast
+import importlib
+import inspect
+import pkgutil
+import random
+
+import pytest
+
+import repro.workloads as workloads_pkg
+from repro.pdoc.serialize import pdocument_to_xml
+from repro.workloads.random_gen import (
+    DEFAULT_SEED,
+    random_formula,
+    random_pdocument,
+    random_selector,
+    seeded_rng,
+)
+from repro.workloads.scraping import ScrapeModel, scrape
+from repro.xmltree.document import Document, doc
+
+
+@pytest.mark.parametrize("allow_exp,numeric", [
+    (False, False), (True, False), (True, True),
+])
+def test_random_pdocument_same_seed_same_instance(allow_exp, numeric):
+    first = random_pdocument(
+        random.Random(123), allow_exp=allow_exp, numeric=numeric
+    )
+    second = random_pdocument(
+        random.Random(123), allow_exp=allow_exp, numeric=numeric
+    )
+    assert pdocument_to_xml(first) == pdocument_to_xml(second)
+
+
+def test_random_formula_and_selector_same_seed_same_repr():
+    for seed in range(5):
+        first = [
+            repr(random_formula(random.Random(seed))),
+            repr(random_selector(random.Random(seed))),
+        ]
+        second = [
+            repr(random_formula(random.Random(seed))),
+            repr(random_selector(random.Random(seed))),
+        ]
+        assert first == second
+
+
+def test_generators_do_not_disturb_global_random_state():
+    random.seed(999)
+    expected = random.Random(999).random()
+    random_pdocument(random.Random(0), allow_exp=True)
+    random_formula(random.Random(1))
+    assert random.random() == expected
+
+
+def test_seeded_rng_is_fresh_and_deterministic():
+    assert seeded_rng().random() == random.Random(DEFAULT_SEED).random()
+    first, second = seeded_rng(5), seeded_rng(5)
+    assert first is not second
+    assert [first.random() for _ in range(3)] == [
+        second.random() for _ in range(3)
+    ]
+
+
+def test_scrape_default_rng_is_deterministic():
+    truth = Document(
+        doc(
+            "listing",
+            doc("flat", doc("rooms", 3), doc("price", 1200)),
+            doc("flat", doc("rooms", 2), doc("price", 900)),
+        )
+    )
+    model = ScrapeModel()
+    first = scrape(truth, model)
+    second = scrape(truth, model)
+    assert pdocument_to_xml(first) == pdocument_to_xml(second)
+
+
+# -- source audit: no module-level random use anywhere in the package ---------
+
+class _GlobalRandomUse(ast.NodeVisitor):
+    """Flags ``random.<anything>`` except ``random.Random`` itself."""
+
+    def __init__(self):
+        self.violations: list[str] = []
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if (
+            isinstance(node.value, ast.Name)
+            and node.value.id == "random"
+            and node.attr != "Random"
+        ):
+            self.violations.append(f"random.{node.attr} at line {node.lineno}")
+        self.generic_visit(node)
+
+
+def test_no_workloads_module_touches_global_random_state():
+    modules = [workloads_pkg] + [
+        importlib.import_module(f"{workloads_pkg.__name__}.{info.name}")
+        for info in pkgutil.iter_modules(workloads_pkg.__path__)
+    ]
+    assert len(modules) > 3
+    for module in modules:
+        checker = _GlobalRandomUse()
+        checker.visit(ast.parse(inspect.getsource(module)))
+        assert not checker.violations, (
+            f"{module.__name__} uses module-level random state: "
+            f"{checker.violations}"
+        )

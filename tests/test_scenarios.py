@@ -1,0 +1,265 @@
+"""Tests for the schema-driven scenario matrix (repro.workloads.scenarios).
+
+Covers the declared axes, generator determinism, emission validation
+(structured GenerationError naming the offending axis), constraint
+satisfiability, the pairwise coverage ledger, and the shipped standard
+matrix's coverage floor.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.constraints import constraints_formula
+from repro.core.evaluator import probability
+from repro.core.formulas import AvgAtom, SumAtom
+from repro.pdoc.pdocument import EXP, IND, MUX, ORD, PDocument, PNode
+from repro.pdoc.serialize import pdocument_to_xml
+from repro.workloads.scenarios import (
+    AXES,
+    CoverageLedger,
+    GenerationError,
+    ScenarioSpec,
+    all_pairs,
+    check_emitted,
+    generate,
+    matrix_instances,
+    pairs_of,
+    standard_matrix,
+)
+
+
+# -- axes and specs -----------------------------------------------------------
+
+def test_every_axis_declares_at_least_two_values():
+    for axis, values in AXES.items():
+        assert len(values) >= 2, axis
+        assert len(set(values)) == len(values), axis
+
+
+def test_spec_rejects_unknown_axis_value_naming_the_axis():
+    with pytest.raises(GenerationError) as excinfo:
+        ScenarioSpec(mass="gaussian")
+    assert excinfo.value.axis == "mass"
+    assert "gaussian" in str(excinfo.value)
+
+
+def test_spec_from_dict_rejects_unknown_axis():
+    with pytest.raises(GenerationError) as excinfo:
+        ScenarioSpec.from_dict({"kinds": "ind", "shape": "torus"})
+    assert excinfo.value.axis == "shape"
+
+
+def test_spec_round_trips_through_dict():
+    spec = ScenarioSpec(kinds="exp", mass="extreme", aggregate="sum")
+    assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+
+
+def test_simplified_resets_one_axis_to_the_first_value():
+    spec = ScenarioSpec(kinds="mixed", depth="deep")
+    assert spec.simplified("kinds") == ScenarioSpec(depth="deep")
+    assert spec.simplified("kinds").kinds == AXES["kinds"][0]
+
+
+# -- generator determinism and validity ---------------------------------------
+
+def test_generate_is_deterministic():
+    spec = ScenarioSpec(kinds="mixed", depth="deep", fanout="wide",
+                        mass="reestimated", constraint="implication",
+                        aggregate="ratio")
+    first = generate(spec, 42)
+    second = generate(spec, 42)
+    assert pdocument_to_xml(first.pdoc) == pdocument_to_xml(second.pdoc)
+    assert repr(first.constraints) == repr(second.constraints)
+    assert repr(first.dp_events) == repr(second.dp_events)
+    assert repr(first.hard_events) == repr(second.hard_events)
+
+
+def test_different_seeds_vary_the_instance():
+    spec = ScenarioSpec(kinds="mixed", depth="deep", fanout="wide",
+                        mass="reestimated")
+    xmls = {pdocument_to_xml(generate(spec, seed).pdoc) for seed in range(6)}
+    assert len(xmls) > 1
+
+
+@pytest.mark.parametrize("spec", standard_matrix(), ids=lambda s: s.name)
+def test_standard_matrix_instances_are_valid(spec):
+    instance = generate(spec, seed=3)
+    instance.pdoc.validate()
+    check_emitted(instance.pdoc, spec, 3)
+    # Constraint sets keep the PXDB well-defined.
+    condition = constraints_formula(instance.constraints)
+    assert probability(instance.pdoc, condition) > 0
+    assert instance.dp_events
+
+
+def test_generated_probabilities_stay_in_half_open_unit_interval():
+    for spec in standard_matrix()[:8]:
+        instance = generate(spec, seed=11)
+        for node in instance.pdoc.nodes():
+            for prob in node.probs:
+                assert 0 < prob <= 1
+            for _, weight in node.subsets:
+                assert 0 < weight <= 1
+
+
+def test_kinds_axis_is_honored():
+    for kind in ("ind", "mux", "exp"):
+        spec = ScenarioSpec(kinds=kind, depth="deep", fanout="wide")
+        instance = generate(spec, seed=1)
+        dist_kinds = {
+            node.kind
+            for node in instance.pdoc.nodes()
+            if node.kind != ORD
+        }
+        assert dist_kinds == {kind}
+
+
+def test_constraint_axis_is_honored():
+    assert generate(ScenarioSpec(constraint="none"), 1).constraints == ()
+    for form in ("atmost", "atleast", "implication", "cformula"):
+        instance = generate(ScenarioSpec(constraint=form, depth="deep"), 1)
+        assert instance.constraints
+
+
+def test_sum_aggregate_emits_hard_events_and_numeric_labels():
+    instance = generate(ScenarioSpec(aggregate="sum", depth="deep"), 2)
+    assert any(isinstance(e, (SumAtom, AvgAtom)) for e in instance.hard_events)
+    assert any(
+        isinstance(node.label, int) for node in instance.pdoc.ordinary_nodes()
+    )
+    # The DP-side companions must stay tractable.
+    assert instance.dp_events
+
+
+def test_mux_probabilities_sum_to_at_most_one_in_every_mass_shape():
+    for mass in AXES["mass"]:
+        spec = ScenarioSpec(kinds="mux", fanout="wide", mass=mass)
+        for seed in range(4):
+            instance = generate(spec, seed)
+            for node in instance.pdoc.nodes():
+                if node.kind == MUX:
+                    assert sum(node.probs) <= 1
+
+
+def test_exp_distributions_sum_to_exactly_one_and_cover_children():
+    spec = ScenarioSpec(kinds="exp", depth="deep", fanout="wide",
+                        mass="reestimated")
+    for seed in range(4):
+        instance = generate(spec, seed)
+        exp_nodes = [n for n in instance.pdoc.nodes() if n.kind == EXP]
+        assert exp_nodes
+        for node in exp_nodes:
+            assert sum(weight for _, weight in node.subsets) == 1
+            covered = set().union(*(subset for subset, _ in node.subsets))
+            assert covered == set(range(len(node.children)))
+
+
+# -- emission validation ------------------------------------------------------
+
+def _doc_with_bad_mux() -> PDocument:
+    root = PNode(ORD, "r")
+    mux = PNode(MUX)
+    root._attach(mux)
+    for label in ("a", "b"):
+        child = PNode(ORD, label)
+        mux._children.append(child)
+        child._parent = mux
+    mux.probs = [Fraction(3, 4), Fraction(3, 4)]
+    return PDocument(root, validate=False)
+
+
+def test_check_emitted_names_the_mass_axis_for_mux_oversum():
+    with pytest.raises(GenerationError) as excinfo:
+        check_emitted(_doc_with_bad_mux(), ScenarioSpec(), seed=9)
+    assert excinfo.value.axis == "mass"
+    assert "mux" in str(excinfo.value)
+    assert "seed: 9" in str(excinfo.value)
+
+
+def test_check_emitted_names_the_mass_axis_for_zero_probability():
+    root = PNode(ORD, "r")
+    ind = PNode(IND)
+    root._attach(ind)
+    child = PNode(ORD, "a")
+    ind._children.append(child)
+    child._parent = ind
+    ind.probs = [Fraction(0)]
+    with pytest.raises(GenerationError) as excinfo:
+        check_emitted(PDocument(root))
+    assert excinfo.value.axis == "mass"
+
+
+def test_check_emitted_names_the_kinds_axis_for_bad_exp_distribution():
+    root = PNode(ORD, "r")
+    exp = PNode(EXP)
+    root._attach(exp)
+    exp.add_exp_child(PNode(ORD, "a"))
+    exp.subsets = [(frozenset({0}), Fraction(1, 2))]  # sums to 1/2, not 1
+    with pytest.raises(GenerationError) as excinfo:
+        check_emitted(PDocument(root))
+    assert excinfo.value.axis == "kinds"
+
+
+def test_check_emitted_names_the_fanout_axis_for_leaf_dist_node():
+    root = PNode(ORD, "r")
+    root._attach(PNode(IND))
+    with pytest.raises(GenerationError) as excinfo:
+        check_emitted(PDocument(root, validate=False))
+    assert excinfo.value.axis == "fanout"
+
+
+# -- pairwise coverage --------------------------------------------------------
+
+TOY_AXES = {"x": ("1", "2"), "y": ("a", "b", "c")}
+
+
+def test_all_pairs_count_matches_the_product_formula():
+    assert len(all_pairs(TOY_AXES)) == 2 * 3
+    expected = 0
+    names = list(AXES)
+    for i, a in enumerate(names):
+        for b in names[i + 1:]:
+            expected += len(AXES[a]) * len(AXES[b])
+    assert len(all_pairs()) == expected
+
+
+def test_ledger_tracks_partial_coverage():
+    ledger = CoverageLedger(TOY_AXES)
+    new = ledger.record({"x": "1", "y": "a"}, tag="first")
+    assert new == {(("x", "1"), ("y", "a"))}
+    assert ledger.coverage() == pytest.approx(1 / 6)
+    assert len(ledger.unhit()) == 5
+    # Re-recording the same features covers nothing new.
+    assert ledger.record({"x": "1", "y": "a"}) == set()
+    report = ledger.report()
+    assert report["total_pairs"] == 6
+    assert report["hit_pairs"] == 1
+    assert len(report["instances"]) == 2
+    assert report["instances"][0]["tag"] == "first"
+
+
+def test_pairs_of_one_full_spec_covers_fifteen_pairs():
+    spec = ScenarioSpec()
+    assert len(pairs_of(spec.features)) == 15  # C(6, 2)
+
+
+def test_standard_matrix_meets_the_coverage_floor():
+    ledger = CoverageLedger()
+    for spec in standard_matrix():
+        ledger.record(spec.features, tag=spec.name)
+    assert ledger.coverage() >= 0.95, ledger.unhit()
+
+
+def test_standard_matrix_is_deterministic_and_compact():
+    assert standard_matrix() == standard_matrix()
+    assert 10 <= len(standard_matrix()) <= 80
+
+
+def test_matrix_instances_cycles_specs_with_distinct_seeds():
+    instances = list(matrix_instances(seed=100, budget=5))
+    assert [inst.seed for inst in instances] == [100, 101, 102, 103, 104]
+    matrix = standard_matrix()
+    assert [inst.spec for inst in instances] == list(matrix[:5])
